@@ -1,0 +1,75 @@
+//===- bench/BenchCommon.h - Shared table-printing helpers ------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table bench binaries: each prints the paper
+/// table's rows (operation pair, abstract-dialect condition, concrete
+/// runtime condition) together with the machine verification verdict of
+/// every printed condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_BENCH_BENCHCOMMON_H
+#define SEMCOMM_BENCH_BENCHCOMMON_H
+
+#include "commute/ExhaustiveEngine.h"
+#include "logic/Printer.h"
+
+#include <cstdio>
+#include <string>
+
+namespace semcomm {
+namespace bench {
+
+/// Prints one table row and verifies the printed condition both ways.
+/// Returns true when the condition is sound and complete.
+inline bool printRow(const ExhaustiveEngine &Engine, const Catalog &C,
+                     const Family &Fam, const std::string &Op1,
+                     const std::string &Op2, ConditionKind K) {
+  const ConditionEntry &E = C.entry(Fam, Op1, Op2);
+  ExprRef Phi = E.get(K);
+  bool Sound = Engine
+                   .verifyCondition(Fam, Op1, Op2, K, MethodRole::Soundness,
+                                    Phi)
+                   .Verified;
+  bool Complete = Engine
+                      .verifyCondition(Fam, Op1, Op2, K,
+                                       MethodRole::Completeness, Phi)
+                      .Verified;
+  std::printf("  %-28s %-28s\n", E.op1().renderCall("s1", 1).c_str(),
+              E.op2().renderCall("s2", 2).c_str());
+  std::printf("    abstract: %s\n", printAbstract(Phi).c_str());
+  std::printf("    concrete: %s\n", printConcrete(Phi).c_str());
+  std::printf("    verified: sound=%s complete=%s\n", Sound ? "yes" : "NO",
+              Complete ? "yes" : "NO");
+  return Sound && Complete;
+}
+
+/// Verifies every condition of \p Fam at kind \p K, printing a summary
+/// line; returns the number of failures.
+inline int verifyAllOfKind(const ExhaustiveEngine &Engine, const Catalog &C,
+                           const Family &Fam, ConditionKind K) {
+  int Failures = 0;
+  for (const ConditionEntry &E : C.entries(Fam))
+    for (MethodRole R : {MethodRole::Soundness, MethodRole::Completeness})
+      if (!Engine
+               .verifyCondition(Fam, E.op1().Name, E.op2().Name, K, R,
+                                E.get(K))
+               .Verified)
+        ++Failures;
+  std::printf("[full %s table: %zu %s conditions, %d verification "
+              "failures]\n",
+              Fam.Name.c_str(), C.entries(Fam).size(), conditionKindName(K),
+              Failures);
+  return Failures;
+}
+
+} // namespace bench
+} // namespace semcomm
+
+#endif // SEMCOMM_BENCH_BENCHCOMMON_H

@@ -1,0 +1,19 @@
+//===- bench/fig_2_1_hashset_spec.cpp - Figure 2-1 ---------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// Prints the Jahob HashSet interface specification of Fig. 2-1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jahobgen/JahobPrinter.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("Figure 2-1: The Jahob HashSet Specification\n\n%s",
+              semcomm::renderHashSetSpec().c_str());
+  return 0;
+}

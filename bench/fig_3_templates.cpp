@@ -1,0 +1,27 @@
+//===- bench/fig_3_templates.cpp - Figures 3-1 / 3-2 -------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// Prints the generation templates: the completeness commutativity testing
+// method template (Fig. 3-1; the soundness template differs as §3.2
+// describes) and the inverse testing method template (Fig. 3-2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jahobgen/JahobPrinter.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("Figure 3-1: Template for Completeness Commutativity Testing "
+              "Methods\n\n%s\n",
+              semcomm::renderCompletenessTemplate().c_str());
+  std::printf("(The soundness template inserts the condition unnegated, "
+              "omits the\nreverse-order precondition assumptions, and "
+              "asserts agreement; §3.2.)\n\n");
+  std::printf("Figure 3-2: Template for Inverse Testing Methods\n\n%s",
+              semcomm::renderInverseTemplate().c_str());
+  return 0;
+}

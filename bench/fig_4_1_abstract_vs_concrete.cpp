@@ -1,0 +1,48 @@
+//===- bench/fig_4_1_abstract_vs_concrete.cpp - Figure 4-1 --------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// Demonstrates the commuting diagram of Fig. 4-1 on a live ListSet: the
+// two execution orders produce different concrete linked lists whose
+// abstractions coincide — semantic commutativity beyond concrete-state
+// equality (§1.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/ListSet.h"
+
+#include <cstdio>
+
+using namespace semcomm;
+
+static std::string listText(const ListSet &S) {
+  std::string Text = "first";
+  for (const Value &V : S.elementsInListOrder())
+    Text += " -> " + V.str();
+  return Text;
+}
+
+int main() {
+  std::printf("Figure 4-1: Execution on Concrete States and Abstract "
+              "States\n\n");
+  ListSet A, B;
+  A.add(Value::obj(1));
+  A.add(Value::obj(2)); // order m1; m2
+  B.add(Value::obj(2));
+  B.add(Value::obj(1)); // order m2; m1
+
+  std::printf("order add(o1); add(o2):  concrete %s\n", listText(A).c_str());
+  std::printf("order add(o2); add(o1):  concrete %s\n", listText(B).c_str());
+  std::printf("concrete states equal:   %s\n",
+              A.elementsInListOrder() == B.elementsInListOrder() ? "yes"
+                                                                 : "no");
+  std::printf("abstraction a(s1;2):     %s\n", A.abstraction().str().c_str());
+  std::printf("abstraction a(s2;1):     %s\n", B.abstraction().str().c_str());
+  bool Equal = A.abstraction() == B.abstraction();
+  std::printf("abstract states equal:   %s\n\n", Equal ? "yes" : "no");
+  std::printf("A commutativity analysis at the concrete level would reject "
+              "this pair;\nthe semantic analysis accepts it (§1.1).\n");
+  return Equal ? 0 : 1;
+}

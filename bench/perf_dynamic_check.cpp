@@ -1,0 +1,98 @@
+//===- bench/perf_dynamic_check.cpp - Gatekeeper overhead --------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// Measures the cost of dynamically evaluating a between commutativity
+// condition against a live structure (the fourth column of the paper's
+// tables), compared with the cost of the gated operation itself. The
+// paper's dynamic usage scenario only pays off if this check is cheap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/HashSet.h"
+#include "impl/HashTable.h"
+#include "runtime/DynamicChecker.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace semcomm;
+
+namespace {
+struct CheckerFixture {
+  ExprFactory F;
+  Catalog C{F};
+  DynamicChecker Checker{F, C};
+};
+CheckerFixture &fixture() {
+  static CheckerFixture Fx;
+  return Fx;
+}
+} // namespace
+
+static void BM_HashSetAddRaw(benchmark::State &State) {
+  HashSet S;
+  for (int I = 0; I < 64; ++I)
+    S.add(Value::obj(I));
+  int64_t K = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.add(Value::obj(K % 128)));
+    S.remove(Value::obj(K % 128));
+    ++K;
+  }
+}
+BENCHMARK(BM_HashSetAddRaw);
+
+static void BM_GatekeeperCheckSet(benchmark::State &State) {
+  CheckerFixture &Fx = fixture();
+  HashSet S;
+  for (int I = 0; I < 64; ++I)
+    S.add(Value::obj(I));
+  int64_t K = 0;
+  for (auto _ : State) {
+    bool Ok = Fx.Checker.mayCommute(S, "add", {Value::obj(K % 128)},
+                                    Value::boolean(true), "contains",
+                                    {Value::obj((K + 1) % 128)});
+    benchmark::DoNotOptimize(Ok);
+    ++K;
+  }
+}
+BENCHMARK(BM_GatekeeperCheckSet);
+
+static void BM_GatekeeperCheckMap(benchmark::State &State) {
+  CheckerFixture &Fx = fixture();
+  HashTable T;
+  for (int I = 0; I < 64; ++I)
+    T.put(Value::obj(I), Value::obj(I + 100));
+  int64_t K = 0;
+  for (auto _ : State) {
+    bool Ok = Fx.Checker.mayCommute(T, "put",
+                                    {Value::obj(K % 128), Value::obj(1)},
+                                    Value::null(), "get",
+                                    {Value::obj((K + 1) % 128)});
+    benchmark::DoNotOptimize(Ok);
+    ++K;
+  }
+}
+BENCHMARK(BM_GatekeeperCheckMap);
+
+static void BM_ExactCheckWithSavedState(benchmark::State &State) {
+  CheckerFixture &Fx = fixture();
+  HashSet Before;
+  for (int I = 0; I < 64; ++I)
+    Before.add(Value::obj(I));
+  HashSet Live(Before);
+  int64_t K = 0;
+  for (auto _ : State) {
+    bool Ok = Fx.Checker.commutesExact(Before, Live, "contains",
+                                       {Value::obj(K % 128)},
+                                       Value::boolean(K % 2 == 0), "add_",
+                                       {Value::obj((K + 1) % 128)});
+    benchmark::DoNotOptimize(Ok);
+    ++K;
+  }
+}
+BENCHMARK(BM_ExactCheckWithSavedState);
+
+BENCHMARK_MAIN();

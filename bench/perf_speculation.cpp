@@ -1,0 +1,88 @@
+//===- bench/perf_speculation.cpp - Exposed concurrency ----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// The paper's motivation (§1): exploiting commutativity is essential for
+// speculative parallel performance on linked data structures. This bench
+// runs the same transactional workloads through the speculative runtime
+// with the commutativity gatekeeper on and off, and with inverse vs
+// snapshot rollback, at several key-contention levels, reporting aborts,
+// undone work, and wall-clock time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SpeculativeRuntime.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <random>
+
+using namespace semcomm;
+
+static StructureFactory factoryFor(const std::string &Name) {
+  for (const StructureFactory &F : allStructureFactories())
+    if (F.Name == Name)
+      return F;
+  std::abort();
+}
+
+/// Map workload: NumTxns transactions of TxnLen puts over KeyRange keys.
+static std::vector<Transaction> makeWorkload(int NumTxns, int TxnLen,
+                                             int KeyRange, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::vector<Transaction> Txns;
+  for (int T = 0; T < NumTxns; ++T) {
+    Transaction Txn;
+    for (int I = 0; I < TxnLen; ++I)
+      Txn.push_back(
+          {"put", {Value::obj(1 + static_cast<int64_t>(Rng() % KeyRange)),
+                   Value::obj(1 + static_cast<int64_t>(Rng() % 4))}});
+    Txns.push_back(Txn);
+  }
+  return Txns;
+}
+
+static void runConfig(ExprFactory &F, const Catalog &C, const char *Label,
+                      int KeyRange, bool UseCommutativity,
+                      RollbackPolicy Policy) {
+  std::vector<Transaction> Txns = makeWorkload(8, 10, KeyRange, 42);
+  SpeculativeRuntime Rt(F, C, factoryFor("HashTable"), Policy);
+  Rt.setUseCommutativity(UseCommutativity);
+  Stopwatch W;
+  RuntimeStats S = Rt.run(Txns);
+  std::printf("  %-34s keys=%-5d commits=%llu aborts=%-4llu stalls=%-4llu "
+              "undone=%-5llu checks=%llu pass=%.0f%% time=%.1fms\n",
+              Label, KeyRange, (unsigned long long)S.Commits,
+              (unsigned long long)S.Aborts, (unsigned long long)S.Stalls,
+              (unsigned long long)S.OpsUndone,
+              (unsigned long long)S.GatekeeperChecks,
+              S.GatekeeperChecks
+                  ? 100.0 * S.GatekeeperPasses / S.GatekeeperChecks
+                  : 0.0,
+              W.millis());
+}
+
+int main() {
+  ExprFactory F;
+  Catalog C(F);
+
+  std::printf("Speculative runtime: 8 transactions x 10 puts on a shared "
+              "HashTable\n\n");
+  for (int KeyRange : {1000, 64, 12}) {
+    std::printf("contention level: %d keys\n", KeyRange);
+    runConfig(F, C, "gatekeeper on,  inverse rollback", KeyRange, true,
+              RollbackPolicy::Inverses);
+    runConfig(F, C, "gatekeeper on,  snapshot rollback", KeyRange, true,
+              RollbackPolicy::Snapshot);
+    runConfig(F, C, "gatekeeper OFF, inverse rollback", KeyRange, false,
+              RollbackPolicy::Inverses);
+    std::printf("\n");
+  }
+  std::printf("Shape check: the gatekeeper eliminates aborts on "
+              "low-contention workloads\n(distinct-key puts commute), and "
+              "inverse rollback undoes only the aborted\ntransaction's "
+              "operations while snapshots discard collateral work.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/tr_full_catalog.cpp - The technical report's complete tables ----===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// The paper repeatedly defers to "the complete tables available in the
+// technical report version" (MIT-CSAIL-TR-2010-056) for the full set of
+// 765 commutativity conditions, including the recorded-return variants the
+// in-paper tables omit. This bench regenerates those complete tables from
+// the catalog: every ordered pair of operation variants of every family,
+// at all three kinds, in both dialects, with its verification verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/ExhaustiveEngine.h"
+#include "logic/Printer.h"
+
+#include <cstdio>
+
+using namespace semcomm;
+
+int main() {
+  ExprFactory F;
+  Catalog C(F);
+  ExhaustiveEngine Engine;
+
+  unsigned Total = 0, Failures = 0;
+  for (const Family *Fam : allFamilies()) {
+    std::string Structures;
+    for (const std::string &Name : Fam->StructureNames)
+      Structures += (Structures.empty() ? "" : " and ") + Name;
+    std::printf("==== Complete commutativity conditions on %s ====\n\n",
+                Structures.c_str());
+    for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                            ConditionKind::After}) {
+      std::printf("---- %s conditions ----\n", conditionKindName(K));
+      for (const ConditionEntry &E : C.entries(*Fam)) {
+        ExprRef Phi = E.get(K);
+        bool Sound =
+            Engine
+                .verifyCondition(*Fam, E.op1().Name, E.op2().Name, K,
+                                 MethodRole::Soundness, Phi)
+                .Verified;
+        bool Complete =
+            Engine
+                .verifyCondition(*Fam, E.op1().Name, E.op2().Name, K,
+                                 MethodRole::Completeness, Phi)
+                .Verified;
+        Total += Fam->StructureNames.size();
+        if (!Sound || !Complete)
+          ++Failures;
+        std::printf("%-26s %-26s\n", E.op1().renderCall("s1", 1).c_str(),
+                    E.op2().renderCall("s2", 2).c_str());
+        std::printf("    %s\n", printAbstract(Phi).c_str());
+        std::printf("    %s\n", printConcrete(Phi).c_str());
+        if (!Sound || !Complete)
+          std::printf("    *** VERIFICATION FAILED (sound=%d complete=%d)\n",
+                      Sound, Complete);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("==== %u conditions total (counted per structure; paper: "
+              "765), %u verification failures ====\n",
+              Total, Failures);
+  return Failures != 0;
+}

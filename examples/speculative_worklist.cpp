@@ -1,0 +1,92 @@
+//===- examples/speculative_worklist.cpp - Irregular parallelism demo --------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// The paper's motivating usage (§1, [29,30,31]): irregular computations
+// speculatively execute worklist items as transactions over shared linked
+// structures, using verified commutativity conditions to detect conflicts
+// and verified inverses to roll back. This example colors a small graph:
+// each transaction claims a vertex, reads its neighbours' colors from a
+// shared HashTable, and writes its own — reads of distinct keys and writes
+// of distinct vertices commute, which is what makes the speculation
+// profitable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SpeculativeRuntime.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace semcomm;
+
+static StructureFactory factoryFor(const std::string &Name) {
+  for (const StructureFactory &F : allStructureFactories())
+    if (F.Name == Name)
+      return F;
+  std::abort();
+}
+
+int main() {
+  // A ring of 12 vertices: vertex i neighbours i-1 and i+1.
+  const int NumVertices = 12;
+  auto Neighbour = [](int V, int D) {
+    return (V + D + NumVertices) % NumVertices;
+  };
+
+  // Greedy coloring: each transaction reads both neighbours, then writes
+  // the smallest color distinct from what it read. With sequential
+  // round-robin interleaving the reads may race with neighbours' writes;
+  // the gatekeeper orders exactly the conflicting ones.
+  std::vector<Transaction> Txns;
+  for (int V = 0; V < NumVertices; ++V) {
+    Transaction T;
+    T.push_back({"get", {Value::obj(Neighbour(V, -1))}});
+    T.push_back({"get", {Value::obj(Neighbour(V, +1))}});
+    // Color choice approximated statically (ring => 2-3 colors by parity).
+    int Color = (V % 2) + 1;
+    if (V == NumVertices - 1)
+      Color = 3; // odd ring closure
+    T.push_back({"put", {Value::obj(V), Value::obj(Color)}});
+    Txns.push_back(T);
+  }
+
+  ExprFactory F;
+  Catalog C(F);
+  SpeculativeRuntime Rt(F, C, factoryFor("HashTable"),
+                        RollbackPolicy::Inverses);
+  RuntimeStats Stats = Rt.run(Txns);
+
+  std::printf("speculative graph coloring on a %d-ring\n", NumVertices);
+  std::printf("  commits=%llu aborts=%llu ops=%llu undone=%llu "
+              "gatekeeper pass rate=%.0f%%\n",
+              (unsigned long long)Stats.Commits,
+              (unsigned long long)Stats.Aborts,
+              (unsigned long long)Stats.OpsExecuted,
+              (unsigned long long)Stats.OpsUndone,
+              Stats.GatekeeperChecks
+                  ? 100.0 * Stats.GatekeeperPasses / Stats.GatekeeperChecks
+                  : 0.0);
+
+  // Validate the coloring.
+  int Conflicts = 0;
+  for (int V = 0; V < NumVertices; ++V) {
+    Value Mine = Rt.structure().mapGet(Value::obj(V));
+    Value Next = Rt.structure().mapGet(Value::obj(Neighbour(V, 1)));
+    if (Mine.isNull() || Mine == Next)
+      ++Conflicts;
+  }
+  std::printf("  coloring valid: %s (%d conflicting edges)\n",
+              Conflicts == 0 ? "yes" : "NO", Conflicts);
+
+  // The same workload without commutativity: strictly more aborts.
+  SpeculativeRuntime Naive(F, C, factoryFor("HashTable"));
+  Naive.setUseCommutativity(false);
+  RuntimeStats NaiveStats = Naive.run(Txns);
+  std::printf("  without the gatekeeper: aborts=%llu (vs %llu with)\n",
+              (unsigned long long)NaiveStats.Aborts,
+              (unsigned long long)Stats.Aborts);
+  return Conflicts == 0 ? 0 : 1;
+}

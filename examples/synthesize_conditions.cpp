@@ -1,0 +1,68 @@
+//===- examples/synthesize_conditions.cpp - Learning conditions ---------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+// The paper's conditions are written by the data structure developer and
+// then verified (§1.5). This example closes that loop: it *synthesizes*
+// the between condition of every Set pair from the operation semantics
+// alone (bucketing scenarios by atom valuations), then shows that each
+// learned condition verifies sound and complete — i.e. agrees with the
+// shipped hand-written catalog everywhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/ExhaustiveEngine.h"
+#include "commute/Synthesizer.h"
+#include "logic/Printer.h"
+
+#include <cstdio>
+
+using namespace semcomm;
+
+int main() {
+  ExprFactory F;
+  Catalog C(F);
+  ExhaustiveEngine Engine;
+  const Family &Fam = setFamily();
+
+  std::printf("Synthesizing all %zu between conditions of the Set "
+              "interface from scratch\n\n",
+              C.entries(Fam).size());
+  int Failures = 0;
+  for (const ConditionEntry &E : C.entries(Fam)) {
+    SynthesisResult R = synthesizeCondition(
+        F, Fam, E.op1().Name, E.op2().Name,
+        defaultAtoms(F, Fam, E.op1().Name, E.op2().Name));
+    if (!R.Expressible) {
+      std::printf("%-24s INEXPRESSIBLE: %s\n", E.pairName().c_str(),
+                  R.AmbiguityNote.c_str());
+      ++Failures;
+      continue;
+    }
+    bool Sound = Engine
+                     .verifyCondition(Fam, E.op1().Name, E.op2().Name,
+                                      ConditionKind::Between,
+                                      MethodRole::Soundness, R.Condition)
+                     .Verified;
+    bool Complete =
+        Engine
+            .verifyCondition(Fam, E.op1().Name, E.op2().Name,
+                             ConditionKind::Between,
+                             MethodRole::Completeness, R.Condition)
+            .Verified;
+    Failures += !(Sound && Complete);
+    std::printf("%-24s learned:  %s\n", E.pairName().c_str(),
+                printAbstract(R.Condition).c_str());
+    std::printf("%-24s catalog:  %s   [%s]\n", "",
+                printAbstract(E.Between).c_str(),
+                Sound && Complete ? "equivalent: sound+complete"
+                                  : "MISMATCH");
+  }
+  std::printf("\n%d failures. A sound-and-complete condition is the unique "
+              "commutativity\nboundary, so \"learned verifies "
+              "sound+complete\" means learned == catalog\neverywhere.\n",
+              Failures);
+  return Failures != 0;
+}

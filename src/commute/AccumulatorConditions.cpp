@@ -1,0 +1,37 @@
+//===- commute/AccumulatorConditions.cpp - Table 5.1 ----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The 12 Accumulator conditions (Table 5.1). increase(v1) and read()
+/// commute exactly when the increment is 0; everything else always commutes
+/// (addition is commutative).
+///
+//===----------------------------------------------------------------------===//
+
+#include "commute/CatalogBuilder.h"
+
+using namespace semcomm;
+
+std::vector<ConditionEntry>
+semcomm::buildAccumulatorConditions(ExprFactory &F) {
+  CatalogBuilder B(F, accumulatorFamily());
+  Vocab &D = B.D;
+
+  // increase(v1); increase(v2): the counter ends at c + v1 + v2 either way.
+  B.addUniform("increase", "increase", D.tru());
+
+  // increase(v1); r2 = read(): read observes c + v1 first order, c second.
+  B.addUniform("increase", "read", D.eq(D.N1, D.c(0)));
+
+  // r1 = read(); increase(v2): symmetric.
+  B.addUniform("read", "increase", D.eq(D.N2, D.c(0)));
+
+  // Two reads of an unchanged counter.
+  B.addUniform("read", "read", D.tru());
+
+  return B.take();
+}

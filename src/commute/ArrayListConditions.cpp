@@ -1,0 +1,495 @@
+//===- commute/ArrayListConditions.cpp - Tables 5.6 / 5.7 -----------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The 243 ArrayList conditions (81 ordered pairs of {add_at, get, indexOf,
+/// lastIndexOf, remove_at, remove_at_, set, set_, size} x three kinds).
+/// These are by far the most intricate conditions of the paper (§5.2:
+/// "substantially more complicated ... in part to the use of integer
+/// indexing and in part to the presence of operations that shift the
+/// indexing relationships across large regions of the data structure").
+///
+/// Conventions:
+///  * s1 is the state before the first operation, s2 after it, s3 after
+///    both (first execution order); r1/r2 are the first-order results.
+///  * Indexed reads are self-guarding: an out-of-range s[i] yields Undef,
+///    which falsifies the equality it appears in, so clauses like
+///    i1 > i2 & s1[i1-1] = v1 need no explicit bounds conjunct unless the
+///    paper's table prints one.
+///  * The rows sampled by Tables 5.6 and 5.7 use the paper's exact
+///    between/after formulations (over s2, s3, r1, r2); remaining
+///    between/after conditions either substitute the first operation's
+///    recorded return value per §4.1.2 or fall back to the initial-state
+///    formulation, which is always a legal (and still sound and complete)
+///    between/after condition.
+///
+/// Every formula below is machine-checked sound AND complete by the
+/// exhaustive engine; see tests/CatalogTest.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "commute/CatalogBuilder.h"
+
+using namespace semcomm;
+
+std::vector<ConditionEntry>
+semcomm::buildArrayListConditions(ExprFactory &F) {
+  CatalogBuilder B(F, arrayListFamily());
+  Vocab &D = B.D;
+
+  ExprRef T = D.tru();
+  ExprRef FalseE = D.fls();
+  ExprRef C0 = D.c(0), C1 = D.c(1);
+  ExprRef I1 = D.I1, I2 = D.I2, V1 = D.V1, V2 = D.V2;
+  ExprRef S1 = D.S1, S2 = D.S2, S3 = D.S3;
+  ExprRef R1O = D.R1O, R2O = D.R2O, R1I = D.R1I, R2I = D.R2I;
+
+  // Initial-state reads around the two indices.
+  ExprRef A1 = D.at(S1, I1);               // s1[i1]
+  ExprRef A1m = D.at(S1, D.sub(I1, C1));   // s1[i1-1]
+  ExprRef A1p = D.at(S1, D.add(I1, C1));   // s1[i1+1]
+  ExprRef A2 = D.at(S1, I2);               // s1[i2]
+  ExprRef A2m = D.at(S1, D.sub(I2, C1));   // s1[i2-1]
+  ExprRef A2p = D.at(S1, D.add(I2, C1));   // s1[i2+1]
+  // First/last occurrence indices in the initial state.
+  ExprRef J1 = D.idx(S1, V1), J2 = D.idx(S1, V2);
+  ExprRef LJ1 = D.lidx(S1, V1), LJ2 = D.lidx(S1, V2);
+
+  ExprRef VEq = D.eq(V1, V2), VNe = D.ne(V1, V2);
+  ExprRef ILt = D.lt(I1, I2), IEq = D.eq(I1, I2), IGt = D.gt(I1, I2);
+
+  const char *RaVariants[] = {"remove_at", "remove_at_"};
+  const char *SetVariants[] = {"set", "set_"};
+
+  // ==========================================================================
+  // op1 = add_at(i1, v1)
+  // ==========================================================================
+
+  // add_at ; add_at — insertions collide unless the displaced neighbour
+  // already carries the inserted value (Table 5.6/5.7 row 1).
+  B.add("add_at", "add_at",
+        /*Before=*/
+        D.disj({D.conj({ILt, D.eq(A2m, V2)}),
+                D.conj({IEq, VEq}),
+                D.conj({IGt, D.eq(A1m, V1)})}),
+        /*Between (paper)=*/
+        D.disj({D.conj({ILt, D.le(I2, D.sub(D.len(S2), C1)),
+                        D.eq(D.at(S2, I2), V2)}),
+                D.conj({IEq, VEq}),
+                D.conj({IGt, D.eq(D.at(S2, D.sub(I1, C1)), V1)})}),
+        /*After (paper)=*/
+        D.disj({D.conj({ILt, D.eq(D.at(S3, D.add(I2, C1)), V2)}),
+                D.conj({IEq, VEq}),
+                D.conj({IGt, D.eq(D.at(S3, I1), V1)})}));
+
+  // add_at ; get — the read must land below the insertion point or see an
+  // unchanged value.
+  {
+    ExprRef Between =
+        D.disj({D.lt(I2, I1),
+                D.conj({IEq, D.eq(D.at(S2, D.add(I1, C1)), V1)}),
+                D.conj({D.gt(I2, I1),
+                        D.eq(D.at(S2, I2), D.at(S2, D.add(I2, C1)))})});
+    B.add("add_at", "get",
+          D.disj({D.lt(I2, I1),
+                  D.conj({IEq, D.eq(A2, V1)}),
+                  D.conj({D.gt(I2, I1), D.eq(A2m, A2)})}),
+          Between, Between);
+  }
+
+  // add_at ; indexOf (Table 5.6/5.7 row 2).
+  B.add("add_at", "indexOf",
+        /*Before=*/
+        D.disj({D.conj({D.lt(J2, C0), VNe}),
+                D.conj({D.le(C0, J2), D.lt(J2, I1)}),
+                D.conj({VEq, D.eq(J2, I1)})}),
+        /*Between (paper)=*/
+        D.disj({D.lt(D.idx(S2, V2), C0),
+                D.conj({D.le(C0, D.idx(S2, V2)), D.lt(D.idx(S2, V2), I1)}),
+                D.conj({D.eq(D.idx(S2, V2), I1),
+                        D.eq(D.at(S2, D.add(I1, C1)), V2)})}),
+        /*After (paper)=*/
+        D.disj({D.lt(R2I, C0),
+                D.conj({D.le(C0, R2I), D.lt(R2I, I1)}),
+                D.conj({D.eq(R2I, I1), D.eq(D.at(S3, D.add(I1, C1)), V2)})}));
+
+  // add_at ; lastIndexOf — inserting v1 never commutes with scanning for the
+  // same value, and for different values the last occurrence must sit below
+  // the insertion point.
+  B.add("add_at", "lastIndexOf",
+        D.conj({VNe, D.lt(LJ2, I1)}),
+        D.conj({VNe, D.lt(D.lidx(S2, V2), I1)}),
+        D.conj({VNe, D.lt(R2I, I1)}));
+
+  // add_at ; remove_at — the removal must either delete a duplicate
+  // neighbour above the insertion point or delete exactly the inserted
+  // value (Table 5.6/5.7 row 3). Identical for both remove_at variants.
+  for (const char *Ra : RaVariants)
+    B.add("add_at", Ra,
+          /*Before=*/
+          D.disj({D.conj({ILt, D.eq(A2m, A2)}),
+                  D.conj({D.le(I2, I1), D.eq(A1, V1)})}),
+          /*Between (paper)=*/
+          D.disj({D.conj({ILt, D.eq(D.at(S2, I2), D.at(S2, D.add(I2, C1)))}),
+                  D.conj({D.le(I2, I1),
+                          D.eq(D.at(S2, D.add(I1, C1)), V1)})}),
+          /*After (paper)=*/
+          D.disj({D.conj({ILt, D.eq(D.at(S2, I2), D.at(S3, I2))}),
+                  D.conj({D.le(I2, I1), D.eq(D.at(S3, I1), V1)})}));
+
+  // add_at ; set — writes above the insertion point land one slot off
+  // between the orders, so the written region must already be uniform.
+  for (const char *SetOp : SetVariants) {
+    ExprRef Between =
+        D.disj({D.lt(I2, I1),
+                D.conj({IEq, VEq, D.eq(D.at(S2, D.add(I1, C1)), V2)}),
+                D.conj({D.gt(I2, I1), D.eq(D.at(S2, I2), V2),
+                        D.eq(D.at(S2, D.add(I2, C1)), V2)})});
+    B.add("add_at", SetOp,
+          D.disj({D.lt(I2, I1),
+                  D.conj({IEq, VEq, D.eq(A1, V1)}),
+                  D.conj({D.gt(I2, I1), D.eq(A2m, V2), D.eq(A2, V2)})}),
+          Between, Between);
+  }
+
+  // add_at ; size — size() observes n+1 first order, n in the other.
+  B.addUniform("add_at", "size", FalseE);
+
+  // ==========================================================================
+  // op1 = r1 = get(i1)
+  // ==========================================================================
+
+  {
+    // get ; add_at — the insertion must not displace the read slot.
+    ExprRef Between =
+        D.disj({ILt,
+                D.conj({IEq, D.eq(R1O, V2)}),
+                D.conj({IGt, D.eq(D.at(S1, D.sub(I1, C1)), R1O)})});
+    B.add("get", "add_at",
+          D.disj({ILt,
+                  D.conj({IEq, D.eq(A1, V2)}),
+                  D.conj({IGt, D.eq(A1m, A1)})}),
+          Between, Between);
+  }
+
+  B.addUniform("get", "get", T);
+  B.addUniform("get", "indexOf", T);
+  B.addUniform("get", "lastIndexOf", T);
+
+  for (const char *Ra : RaVariants) {
+    // get ; remove_at — removal at or below the read slot shifts it.
+    ExprRef Between =
+        D.disj({ILt, D.conj({D.ge(I1, I2),
+                             D.eq(R1O, D.at(S1, D.add(I1, C1)))})});
+    B.add("get", Ra,
+          D.disj({ILt, D.conj({D.ge(I1, I2), D.eq(A1, A1p)})}),
+          Between, Between);
+  }
+
+  for (const char *SetOp : SetVariants) {
+    ExprRef Between = D.disj({D.ne(I1, I2), D.eq(R1O, V2)});
+    B.add("get", SetOp, D.disj({D.ne(I1, I2), D.eq(A1, V2)}), Between,
+          Between);
+  }
+
+  B.addUniform("get", "size", T);
+
+  // ==========================================================================
+  // op1 = r1 = indexOf(v1)
+  // ==========================================================================
+
+  {
+    // indexOf ; add_at (Table 5.6/5.7 row 4).
+    ExprRef Between = D.disj({D.conj({D.lt(R1I, C0), VNe}),
+                              D.conj({D.le(C0, R1I), D.lt(R1I, I2)}),
+                              D.conj({D.eq(R1I, I2), VEq})});
+    B.add("indexOf", "add_at",
+          D.disj({D.conj({D.lt(J1, C0), VNe}),
+                  D.conj({D.le(C0, J1), D.lt(J1, I2)}),
+                  D.conj({D.eq(J1, I2), VEq})}),
+          Between, Between);
+  }
+
+  B.addUniform("indexOf", "get", T);
+  B.addUniform("indexOf", "indexOf", T);
+  B.addUniform("indexOf", "lastIndexOf", T);
+
+  for (const char *Ra : RaVariants) {
+    // indexOf ; remove_at (Table 5.6/5.7 row 6): removing the first
+    // occurrence is tolerable only when a duplicate sits right behind it.
+    ExprRef Between =
+        D.disj({D.lt(R1I, C0),
+                D.conj({D.le(C0, R1I), D.lt(R1I, I2)}),
+                D.conj({D.eq(R1I, I2), D.lt(I2, D.sub(D.len(S2), C1)),
+                        D.eq(D.at(S2, D.add(I2, C1)), V1)})});
+    B.add("indexOf", Ra,
+          D.disj({D.lt(J1, I2),
+                  D.conj({D.eq(J1, I2), D.eq(A2p, V1)})}),
+          Between, Between);
+  }
+
+  for (const char *SetOp : SetVariants) {
+    // indexOf ; set — the write must stay above the first occurrence, or
+    // rewrite it with the same value, or involve a different value
+    // entirely when scanning found nothing at or below the write.
+    ExprRef Between =
+        D.disj({D.conj({D.le(C0, R1I), D.lt(R1I, I2)}),
+                D.conj({D.eq(R1I, I2), VEq}),
+                D.conj({D.disj({D.lt(R1I, C0), D.gt(R1I, I2)}), VNe})});
+    B.add("indexOf", SetOp,
+          D.disj({D.conj({D.le(C0, J1), D.lt(J1, I2)}),
+                  D.conj({D.eq(J1, I2), VEq}),
+                  D.conj({D.disj({D.lt(J1, C0), D.gt(J1, I2)}), VNe})}),
+          Between, Between);
+  }
+
+  B.addUniform("indexOf", "size", T);
+
+  // ==========================================================================
+  // op1 = r1 = lastIndexOf(v1)
+  // ==========================================================================
+
+  {
+    ExprRef Between = D.conj({VNe, D.lt(R1I, I2)});
+    B.add("lastIndexOf", "add_at", D.conj({VNe, D.lt(LJ1, I2)}), Between,
+          Between);
+  }
+
+  B.addUniform("lastIndexOf", "get", T);
+  B.addUniform("lastIndexOf", "indexOf", T);
+  B.addUniform("lastIndexOf", "lastIndexOf", T);
+
+  for (const char *Ra : RaVariants) {
+    // lastIndexOf ; remove_at — any removal at or below the last
+    // occurrence disturbs it (no duplicate rescue: the next occurrence is
+    // strictly earlier).
+    ExprRef Between = D.lt(R1I, I2);
+    B.add("lastIndexOf", Ra, D.lt(LJ1, I2), Between, Between);
+  }
+
+  for (const char *SetOp : SetVariants) {
+    ExprRef Between = D.disj({D.gt(R1I, I2),
+                              D.conj({D.eq(R1I, I2), VEq}),
+                              D.conj({D.lt(R1I, I2), VNe})});
+    B.add("lastIndexOf", SetOp,
+          D.disj({D.gt(LJ1, I2),
+                  D.conj({D.eq(LJ1, I2), VEq}),
+                  D.conj({D.lt(LJ1, I2), VNe})}),
+          Between, Between);
+  }
+
+  B.addUniform("lastIndexOf", "size", T);
+
+  // ==========================================================================
+  // op1 = remove_at(i1) (recorded: r1 = s1[i1]) / remove_at_(i1)
+  // ==========================================================================
+
+  for (const char *Ra : RaVariants) {
+    bool Recorded = std::string(Ra) == "remove_at";
+    // The removed element, as a between/after condition sees it: the
+    // recorded variant substitutes r1 per §4.1.2; the discarded variant
+    // queries s1 as the paper's Tables 5.6/5.7 do.
+    ExprRef Removed = Recorded ? R1O : A1;
+
+    // remove_at ; add_at (Table 5.6/5.7 row 7).
+    B.add(Ra, "add_at",
+          /*Before=*/
+          D.disj({D.conj({D.le(I1, I2), D.eq(A2, V2)}),
+                  D.conj({IGt, D.eq(A1m, A1)})}),
+          /*Between (paper)=*/
+          D.disj({D.conj({ILt, D.eq(D.at(S2, D.sub(I2, C1)), V2)}),
+                  D.conj({IEq, D.eq(Removed, V2)}),
+                  D.conj({IGt, D.eq(D.at(S2, D.sub(I1, C1)), Removed)})}),
+          /*After (paper)=*/
+          D.disj({D.conj({ILt, D.eq(D.at(S3, D.sub(I2, C1)), V2)}),
+                  D.conj({IEq, D.eq(Removed, V2)}),
+                  D.conj({IGt, D.eq(D.at(S3, I1), Removed)})}));
+
+    // remove_at ; get.
+    B.add(Ra, "get",
+          D.disj({D.lt(I2, I1),
+                  D.conj({D.ge(I2, I1), D.eq(A2, A2p)})}),
+          D.disj({D.lt(I2, I1),
+                  D.conj({D.ge(I2, I1), D.eq(D.at(S1, I2), D.at(S2, I2))})}),
+          D.disj({D.lt(I2, I1),
+                  D.conj({D.ge(I2, I1), D.eq(D.at(S1, I2), R2O)})}));
+
+    // remove_at ; indexOf (Table 5.6/5.7 row 8; §5.2.1's adjacent-copies
+    // case analysis).
+    B.add(Ra, "indexOf",
+          /*Before=*/
+          D.disj({D.lt(J2, I1),
+                  D.conj({D.eq(J2, I1), D.eq(A1p, V2)})}),
+          /*Between (paper)=*/
+          D.disj({D.conj({D.lt(D.idx(S2, V2), C0), D.ne(Removed, V2)}),
+                  D.conj({D.le(C0, D.idx(S2, V2)),
+                          D.lt(D.idx(S2, V2), I1)}),
+                  D.conj({D.eq(D.idx(S2, V2), I1), D.eq(Removed, V2),
+                          D.lt(I1, D.len(S2))})}),
+          /*After (paper)=*/
+          D.disj({D.conj({D.lt(R2I, C0), D.ne(Removed, V2)}),
+                  D.conj({D.le(C0, R2I), D.lt(R2I, I1)}),
+                  D.conj({D.eq(R2I, I1), D.eq(Removed, V2),
+                          D.lt(I1, D.len(S3))})}));
+
+    // remove_at ; lastIndexOf.
+    B.add(Ra, "lastIndexOf",
+          D.lt(LJ2, I1),
+          D.conj({D.lt(D.lidx(S2, V2), I1), D.ne(Removed, V2)}),
+          D.conj({D.lt(R2I, I1), D.ne(Removed, V2)}));
+
+    // remove_at ; remove_at (Table 5.6/5.7 row 9). When both returns are
+    // discarded, removing the same index twice commutes outright (the same
+    // two cells disappear either way); any recorded return additionally
+    // forces the adjacent duplicate.
+    for (const char *Ra2 : RaVariants) {
+      bool BothDiscard = !Recorded && std::string(Ra2) == "remove_at_";
+      if (BothDiscard) {
+        // The paper's Table 5.6/5.7 row, over s2 and s3.
+        B.add(Ra, Ra2,
+              /*Before=*/
+              D.disj({D.conj({ILt, D.eq(A2, A2p)}),
+                      IEq,
+                      D.conj({IGt, D.eq(A1, A1p)})}),
+              /*Between (paper)=*/
+              D.disj({D.conj({ILt, D.eq(D.at(S2, D.sub(I2, C1)),
+                                        D.at(S2, I2))}),
+                      IEq,
+                      D.conj({IGt, D.lt(I1, D.len(S2)),
+                              D.eq(A1, D.at(S2, I1))})}),
+              /*After (paper)=*/
+              D.disj({D.conj({ILt, D.eq(D.at(S3, D.sub(I2, C1)),
+                                        D.at(S2, I2))}),
+                      IEq,
+                      D.conj({IGt, D.eq(A1, D.at(S3, D.sub(I1, C1)))})}));
+        continue;
+      }
+      // Some observed return forces the duplicate at i1 even when i1 = i2;
+      // the initial-state form is the clearest sound-and-complete
+      // between/after condition here.
+      ExprRef Phi = D.disj({D.conj({ILt, D.eq(A2, A2p)}),
+                            D.conj({D.ge(I1, I2), D.eq(A1, A1p)})});
+      B.add(Ra, Ra2, Phi, Phi, Phi);
+    }
+
+    // remove_at ; set.
+    for (const char *Set2 : SetVariants) {
+      bool BothDiscard = !Recorded && std::string(Set2) == "set_";
+      ExprRef Before =
+          BothDiscard
+              ? D.disj({D.lt(I2, I1),
+                        D.conj({D.gt(I2, I1), D.eq(A2, V2), D.eq(A2p, V2)}),
+                        D.conj({IEq, D.eq(A1p, V2)})})
+              : D.disj({D.lt(I2, I1),
+                        D.conj({D.ge(I2, I1), D.eq(A2, V2),
+                                D.eq(A2p, V2)})});
+      B.add(Ra, Set2, Before, Before, Before);
+    }
+
+    // remove_at ; size.
+    B.addUniform(Ra, "size", FalseE);
+  }
+
+  // ==========================================================================
+  // op1 = set(i1, v1) (recorded: r1 = s1[i1]) / set_(i1, v1)
+  // ==========================================================================
+
+  for (const char *SetOp : SetVariants) {
+    bool Recorded = std::string(SetOp) == "set";
+    ExprRef Replaced = Recorded ? R1O : A1; // between/after view of s1[i1]
+
+    // set ; add_at — insertion at or below the written slot shifts it.
+    {
+      ExprRef Between =
+          D.disj({ILt,
+                  D.conj({IEq, VEq, D.eq(Replaced, V1)}),
+                  D.conj({IGt, D.eq(D.at(S2, D.sub(I1, C1)), V1),
+                          D.eq(Replaced, V1)})});
+      B.add(SetOp, "add_at",
+            D.disj({ILt,
+                    D.conj({IEq, VEq, D.eq(A1, V1)}),
+                    D.conj({IGt, D.eq(A1m, V1), D.eq(A1, V1)})}),
+            Between, Between);
+    }
+
+    // set ; get.
+    {
+      ExprRef Between = D.disj({D.ne(I1, I2), D.eq(Replaced, V1)});
+      B.add(SetOp, "get", D.disj({D.ne(I1, I2), D.eq(A1, V1)}), Between,
+            Between);
+    }
+
+    // set ; indexOf and set ; lastIndexOf — the scan's result in s1 is not
+    // recoverable after the write, so all kinds query s1 (the paper's
+    // "cannot help querying the initial state" case, §4.1.2).
+    B.addUniform(SetOp, "indexOf",
+                 D.disj({D.conj({D.le(C0, J2), D.lt(J2, I1)}),
+                         D.conj({D.eq(J2, I1), VEq}),
+                         D.conj({D.disj({D.lt(J2, C0), D.gt(J2, I1)}),
+                                 VNe})}));
+    B.addUniform(SetOp, "lastIndexOf",
+                 D.disj({D.gt(LJ2, I1),
+                         D.conj({D.eq(LJ2, I1), VEq}),
+                         D.conj({D.lt(LJ2, I1), VNe})}));
+
+    // set ; remove_at.
+    for (const char *Ra2 : RaVariants) {
+      bool BothDiscard = !Recorded && std::string(Ra2) == "remove_at_";
+      ExprRef Before =
+          BothDiscard
+              ? D.disj({ILt,
+                        D.conj({IEq, D.eq(A1p, V1)}),
+                        D.conj({IGt, D.eq(A1, V1), D.eq(A1p, V1)})})
+              : D.disj({ILt,
+                        D.conj({D.ge(I1, I2), D.eq(A1, V1),
+                                D.eq(A1p, V1)})});
+      ExprRef Between =
+          BothDiscard
+              ? D.disj({ILt,
+                        D.conj({IEq, D.eq(D.at(S2, D.add(I1, C1)), V1)}),
+                        D.conj({IGt, D.eq(Replaced, V1),
+                                D.eq(D.at(S2, D.add(I1, C1)), V1)})})
+              : D.disj({ILt,
+                        D.conj({D.ge(I1, I2), D.eq(Replaced, V1),
+                                D.eq(D.at(S2, D.add(I1, C1)), V1)})});
+      B.add(SetOp, Ra2, Before, Between, Between);
+    }
+
+    // set ; set — same slot demands same value; the recorded previous
+    // value must also be what the other order observes.
+    for (const char *Set2 : SetVariants) {
+      bool BothDiscard = !Recorded && std::string(Set2) == "set_";
+      ExprRef Before = BothDiscard
+                           ? D.disj({D.ne(I1, I2), VEq})
+                           : D.disj({D.ne(I1, I2),
+                                     D.conj({VEq, D.eq(A1, V1)})});
+      ExprRef Between = BothDiscard
+                            ? Before
+                            : D.disj({D.ne(I1, I2),
+                                      D.conj({VEq, D.eq(Replaced, V1)})});
+      B.add(SetOp, Set2, Before, Between, Between);
+    }
+
+    B.addUniform(SetOp, "size", T);
+  }
+
+  // ==========================================================================
+  // op1 = r1 = size()
+  // ==========================================================================
+
+  B.addUniform("size", "add_at", FalseE);
+  B.addUniform("size", "get", T);
+  B.addUniform("size", "indexOf", T);
+  B.addUniform("size", "lastIndexOf", T);
+  for (const char *Ra : RaVariants)
+    B.addUniform("size", Ra, FalseE);
+  for (const char *SetOp : SetVariants)
+    B.addUniform("size", SetOp, T);
+  B.addUniform("size", "size", T);
+
+  return B.take();
+}

@@ -1,0 +1,78 @@
+//===- commute/CatalogBuilder.h - Catalog authoring helper ------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helper shared by the four per-family condition catalogs. Each
+/// catalog plays the role of the paper's "developer-specified commutativity
+/// conditions": every ordered pair of operation variants gets a before, a
+/// between, and an after condition, later verified sound and complete by the
+/// engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_COMMUTE_CATALOGBUILDER_H
+#define SEMCOMM_COMMUTE_CATALOGBUILDER_H
+
+#include "commute/Condition.h"
+#include "logic/Dsl.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace semcomm {
+
+/// Collects ConditionEntry rows for one family.
+class CatalogBuilder {
+public:
+  CatalogBuilder(ExprFactory &F, const Family &Fam) : D(F), Fam(Fam) {}
+
+  /// Registers the three conditions of the ordered pair (\p Op1 first).
+  void add(const char *Op1, const char *Op2, ExprRef Before, ExprRef Between,
+           ExprRef After) {
+    ConditionEntry E;
+    E.Fam = &Fam;
+    E.Op1 = Fam.opIndex(Op1);
+    E.Op2 = Fam.opIndex(Op2);
+    E.Before = Before;
+    E.Between = Between;
+    E.After = After;
+    Entries.push_back(E);
+  }
+
+  /// Registers a pair whose three conditions coincide.
+  void addUniform(const char *Op1, const char *Op2, ExprRef Phi) {
+    add(Op1, Op2, Phi, Phi, Phi);
+  }
+
+  /// Finalizes; aborts if any ordered pair is missing or duplicated.
+  std::vector<ConditionEntry> take() {
+    unsigned N = Fam.Ops.size();
+    std::vector<int> Seen(N * N, 0);
+    for (const ConditionEntry &E : Entries)
+      ++Seen[E.Op1 * N + E.Op2];
+    for (unsigned I = 0; I != N * N; ++I)
+      if (Seen[I] != 1) {
+        std::fprintf(stderr,
+                     "catalog for %s: pair (%s, %s) specified %d times\n",
+                     Fam.Name.c_str(), Fam.Ops[I / N].Name.c_str(),
+                     Fam.Ops[I % N].Name.c_str(), Seen[I]);
+        std::abort();
+      }
+    return std::move(Entries);
+  }
+
+  Vocab D;
+  const Family &Fam;
+
+private:
+  std::vector<ConditionEntry> Entries;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_COMMUTE_CATALOGBUILDER_H

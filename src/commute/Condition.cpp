@@ -1,0 +1,147 @@
+//===- commute/Condition.cpp - Commutativity condition entries ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/Condition.h"
+
+#include "logic/Printer.h"
+#include "logic/Simplifier.h"
+#include "support/Unreachable.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace semcomm;
+
+const char *semcomm::conditionKindName(ConditionKind K) {
+  switch (K) {
+  case ConditionKind::Before:
+    return "before";
+  case ConditionKind::Between:
+    return "between";
+  case ConditionKind::After:
+    return "after";
+  }
+  semcomm_unreachable("invalid condition kind");
+}
+
+ExprRef ConditionEntry::get(ConditionKind K) const {
+  switch (K) {
+  case ConditionKind::Before:
+    return Before;
+  case ConditionKind::Between:
+    return Between;
+  case ConditionKind::After:
+    return After;
+  }
+  semcomm_unreachable("invalid condition kind");
+}
+
+Catalog::Catalog(ExprFactory &F) {
+  Entries[&accumulatorFamily()] = buildAccumulatorConditions(F);
+  Entries[&setFamily()] = buildSetConditions(F);
+  Entries[&mapFamily()] = buildMapConditions(F);
+  Entries[&arrayListFamily()] = buildArrayListConditions(F);
+
+  for (const auto &[Fam, List] : Entries) {
+    unsigned NumOps = Fam->Ops.size();
+    if (List.size() != NumOps * NumOps) {
+      std::fprintf(stderr,
+                   "catalog for %s has %zu entries, expected %u (pairs of %u "
+                   "operations)\n",
+                   Fam->Name.c_str(), List.size(), NumOps * NumOps, NumOps);
+      std::abort();
+    }
+  }
+}
+
+const std::vector<ConditionEntry> &Catalog::entries(const Family &Fam) const {
+  auto It = Entries.find(&Fam);
+  assert(It != Entries.end() && "unknown family");
+  return It->second;
+}
+
+const ConditionEntry &Catalog::entry(const Family &Fam,
+                                     const std::string &Op1,
+                                     const std::string &Op2) const {
+  unsigned I1 = Fam.opIndex(Op1), I2 = Fam.opIndex(Op2);
+  for (const ConditionEntry &E : entries(Fam))
+    if (E.Op1 == I1 && E.Op2 == I2)
+      return E;
+  semcomm_unreachable("catalog entry lookup failed");
+}
+
+unsigned Catalog::totalConditionsPaperCount() const {
+  // Each ordered pair contributes a before, a between, and an after
+  // condition, counted once per implementing structure (the paper's §5.1
+  // accounting: 3*2^2 + 2*3*6^2 + 2*3*7^2 + 3*9^2 = 765).
+  unsigned Total = 0;
+  for (const auto &[Fam, List] : Entries)
+    Total += 3 * static_cast<unsigned>(List.size()) *
+             static_cast<unsigned>(Fam->StructureNames.size());
+  return Total;
+}
+
+// --- Free-variable discipline validation ------------------------------------
+
+static void checkVars(const ConditionEntry &E, ConditionKind K) {
+  ExprRef Phi = E.get(K);
+
+  std::set<std::string> Allowed;
+  auto AddArgs = [&Allowed](const Operation &Op, int Pos) {
+    for (const std::string &Base : Op.ArgBaseNames)
+      Allowed.insert(Base + std::to_string(Pos));
+  };
+  AddArgs(E.op1(), 1);
+  AddArgs(E.op2(), 2);
+
+  std::set<std::string> AllowedStates = {"s1"};
+  if (K != ConditionKind::Before) {
+    AllowedStates.insert("s2");
+    if (E.op1().RecordsReturn)
+      Allowed.insert("r1");
+  }
+  if (K == ConditionKind::After) {
+    AllowedStates.insert("s3");
+    if (E.op2().RecordsReturn)
+      Allowed.insert("r2");
+  }
+
+  std::set<std::string> Vars, States;
+  collectFreeVars(Phi, Vars);
+  collectStateNames(Phi, States);
+  for (const std::string &V : Vars)
+    if (!Allowed.count(V)) {
+      std::fprintf(stderr,
+                   "%s condition for (%s) of %s references '%s', outside its "
+                   "free-variable discipline: %s\n",
+                   conditionKindName(K), E.pairName().c_str(),
+                   E.Fam->Name.c_str(), V.c_str(),
+                   printAbstract(Phi).c_str());
+      std::abort();
+    }
+  for (const std::string &S : States)
+    if (!AllowedStates.count(S)) {
+      std::fprintf(stderr,
+                   "%s condition for (%s) of %s references state '%s', "
+                   "outside its free-variable discipline: %s\n",
+                   conditionKindName(K), E.pairName().c_str(),
+                   E.Fam->Name.c_str(), S.c_str(),
+                   printAbstract(Phi).c_str());
+      std::abort();
+    }
+}
+
+void Catalog::validate() const {
+  for (const auto &[Fam, List] : Entries)
+    for (const ConditionEntry &E : List)
+      for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                              ConditionKind::After}) {
+        assert(E.get(K) && "missing condition formula");
+        checkVars(E, K);
+      }
+}

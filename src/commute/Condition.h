@@ -1,0 +1,98 @@
+//===- commute/Condition.h - Commutativity condition entries ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ConditionEntry carries, for one ordered pair of operation variants, the
+/// developer-specified before / between / after commutativity conditions
+/// (§4.1.2). The Catalog holds the full set: 765 conditions counted the
+/// paper's way (Set and Map conditions counted once per implementing
+/// structure).
+///
+/// Free-variable disciplines (§4.1.2), enforced by Catalog::validate():
+///   before  : arguments and s1 only;
+///   between : arguments, r1 (if recorded), s1, s2;
+///   after   : arguments, r1, r2 (as recorded), s1, s2, s3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_COMMUTE_CONDITION_H
+#define SEMCOMM_COMMUTE_CONDITION_H
+
+#include "logic/ExprFactory.h"
+#include "spec/Family.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// When a condition can be evaluated relative to the two operations
+/// (§4.1.2): before either runs, between them, or after both.
+enum class ConditionKind : uint8_t { Before, Between, After };
+
+const char *conditionKindName(ConditionKind K);
+
+/// The conditions of one ordered pair (op1 executes first, then op2).
+struct ConditionEntry {
+  const Family *Fam = nullptr;
+  unsigned Op1 = 0, Op2 = 0; ///< Indices into Fam->Ops.
+  ExprRef Before = nullptr;
+  ExprRef Between = nullptr;
+  ExprRef After = nullptr;
+
+  ExprRef get(ConditionKind K) const;
+  const Operation &op1() const { return Fam->Ops[Op1]; }
+  const Operation &op2() const { return Fam->Ops[Op2]; }
+
+  /// "add,contains" style key used in diagnostics.
+  std::string pairName() const {
+    return op1().Name + "," + op2().Name;
+  }
+};
+
+/// The complete commutativity condition catalog over all four families.
+class Catalog {
+public:
+  /// Builds every entry. All expressions live in \p F.
+  explicit Catalog(ExprFactory &F);
+
+  /// Entries of one family, ordered by (Op1, Op2).
+  const std::vector<ConditionEntry> &entries(const Family &Fam) const;
+
+  /// The entry for an ordered pair of operation variant names.
+  const ConditionEntry &entry(const Family &Fam, const std::string &Op1,
+                              const std::string &Op2) const;
+
+  /// Number of conditions counted per implementing structure, i.e. the
+  /// paper's 765.
+  unsigned totalConditionsPaperCount() const;
+
+  /// Number of generated testing methods counted per structure (2x the
+  /// conditions; the paper's 1530).
+  unsigned totalTestingMethodsPaperCount() const {
+    return 2 * totalConditionsPaperCount();
+  }
+
+  /// Checks the free-variable discipline of every entry; aborts with a
+  /// diagnostic on a violation (catalog authoring bug).
+  void validate() const;
+
+private:
+  std::map<const Family *, std::vector<ConditionEntry>> Entries;
+};
+
+// Per-family catalog builders (one translation unit each).
+std::vector<ConditionEntry> buildAccumulatorConditions(ExprFactory &F);
+std::vector<ConditionEntry> buildSetConditions(ExprFactory &F);
+std::vector<ConditionEntry> buildMapConditions(ExprFactory &F);
+std::vector<ConditionEntry> buildArrayListConditions(ExprFactory &F);
+
+} // namespace semcomm
+
+#endif // SEMCOMM_COMMUTE_CONDITION_H

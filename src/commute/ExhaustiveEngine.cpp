@@ -1,0 +1,166 @@
+//===- commute/ExhaustiveEngine.cpp - Bounded-exhaustive verifier ---------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/ExhaustiveEngine.h"
+
+#include "logic/Evaluator.h"
+#include "logic/Printer.h"
+
+#include <cassert>
+
+using namespace semcomm;
+
+std::string Counterexample::str() const {
+  std::string S = "initial state: " + Initial.str() + "\n  op1 args:";
+  for (const Value &V : Args1)
+    S += " " + V.str();
+  S += "\n  op2 args:";
+  for (const Value &V : Args2)
+    S += " " + V.str();
+  return S + "\n  " + Explanation;
+}
+
+namespace {
+
+/// The fully executed two-order scenario: states, returns, preconditions.
+struct ScenarioOutcome {
+  // First order: op1; op2.
+  AbstractState SBetween; ///< s2 = state after op1.
+  AbstractState SFinal1;  ///< s3 = state after op1; op2.
+  Value R1First, R2First;
+  // Reverse order: op2; op1 (valid only when RevPreOk).
+  bool RevPreOk = false;
+  AbstractState SFinal2;
+  Value R1Second, R2Second;
+
+  /// Do the two orders agree on everything the clients observe?
+  bool agrees(const Operation &Op1, const Operation &Op2) const {
+    if (!RevPreOk)
+      return false;
+    if (!(SFinal1 == SFinal2))
+      return false;
+    if (Op1.RecordsReturn && R1First != R1Second)
+      return false;
+    if (Op2.RecordsReturn && R2First != R2Second)
+      return false;
+    return true;
+  }
+};
+
+} // namespace
+
+/// Executes the rest of both orders, given the already-computed first step
+/// of the first order (\p SBetween, \p R1First).
+static ScenarioOutcome runScenario(const AbstractState &Initial,
+                                   AbstractState SBetween, Value R1First,
+                                   const Operation &Op1, const ArgList &A1,
+                                   const Operation &Op2, const ArgList &A2) {
+  ScenarioOutcome Out{std::move(SBetween), Initial, R1First, Value(),
+                      false,               Initial, Value(), Value()};
+
+  Out.SFinal1 = Out.SBetween;
+  Out.R2First = Op2.Apply(Out.SFinal1, A2);
+
+  // Reverse order; stop at the first failing precondition.
+  if (!Op2.Pre(Initial, A2))
+    return Out;
+  Out.SFinal2 = Initial;
+  Out.R2Second = Op2.Apply(Out.SFinal2, A2);
+  if (!Op1.Pre(Out.SFinal2, A1))
+    return Out;
+  Out.R1Second = Op1.Apply(Out.SFinal2, A1);
+  Out.RevPreOk = true;
+  return Out;
+}
+
+/// Binds the condition environment along the first execution order.
+static void bindEnv(Env &E, const Operation &Op1, const ArgList &A1,
+                    const Operation &Op2, const ArgList &A2,
+                    const AbstractState &S1, const ScenarioOutcome &Out) {
+  for (size_t I = 0; I != A1.size(); ++I)
+    E.bind(Op1.ArgBaseNames[I] + "1", A1[I]);
+  for (size_t I = 0; I != A2.size(); ++I)
+    E.bind(Op2.ArgBaseNames[I] + "2", A2[I]);
+  if (Op1.RecordsReturn)
+    E.bind("r1", Out.R1First);
+  if (Op2.RecordsReturn)
+    E.bind("r2", Out.R2First);
+  E.bindState("s1", &S1);
+  E.bindState("s2", &Out.SBetween);
+  E.bindState("s3", &Out.SFinal1);
+}
+
+VerifyResult ExhaustiveEngine::verifyCondition(const Family &Fam,
+                                               const std::string &Op1Name,
+                                               const std::string &Op2Name,
+                                               ConditionKind, MethodRole R,
+                                               ExprRef Phi) const {
+  const Operation &Op1 = Fam.op(Op1Name);
+  const Operation &Op2 = Fam.op(Op2Name);
+
+  VerifyResult Result;
+  Result.Verified = true;
+
+  for (const AbstractState &Initial : enumerateStates(Fam, Bounds)) {
+    std::vector<ArgList> Args1 = enumerateArgs(Fam, Op1, Initial, Bounds);
+    std::vector<ArgList> Args2 = enumerateArgs(Fam, Op2, Initial, Bounds);
+    for (const ArgList &A1 : Args1) {
+      if (!Op1.Pre(Initial, A1))
+        continue;
+      for (const ArgList &A2 : Args2) {
+        // The templates assume the first order's preconditions (Fig. 3-1
+        // lines 8/11); scenarios outside them are vacuous.
+        AbstractState Mid = Initial;
+        Value R1First = Op1.Apply(Mid, A1);
+        if (!Op2.Pre(Mid, A2))
+          continue;
+
+        ScenarioOutcome Out =
+            runScenario(Initial, std::move(Mid), R1First, Op1, A1, Op2, A2);
+        ++Result.ScenariosChecked;
+
+        Env E;
+        bindEnv(E, Op1, A1, Op2, A2, Initial, Out);
+        bool CondHolds = evaluateBool(Phi, E);
+        bool Agrees = Out.agrees(Op1, Op2);
+
+        bool Violated = (R == MethodRole::Soundness) ? (CondHolds && !Agrees)
+                                                     : (!CondHolds && Agrees);
+        if (!Violated)
+          continue;
+
+        Counterexample CE{Initial, A1, A2, ""};
+        if (R == MethodRole::Soundness) {
+          CE.Explanation =
+              "condition holds but the orders disagree: " +
+              std::string(!Out.RevPreOk
+                              ? "reverse-order precondition fails"
+                              : (Out.SFinal1 == Out.SFinal2
+                                     ? "recorded return values differ"
+                                     : "final abstract states differ (" +
+                                           Out.SFinal1.str() + " vs " +
+                                           Out.SFinal2.str() + ")"));
+        } else {
+          CE.Explanation = "condition fails but the orders agree (final "
+                           "state " +
+                           Out.SFinal1.str() + ")";
+        }
+        Result.Verified = false;
+        Result.CE = std::move(CE);
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+VerifyResult ExhaustiveEngine::verify(const TestingMethod &M) const {
+  const ConditionEntry &E = *M.Entry;
+  return verifyCondition(*E.Fam, E.op1().Name, E.op2().Name, M.Kind, M.Role,
+                         E.get(M.Kind));
+}

@@ -1,0 +1,138 @@
+//===- commute/MapConditions.cpp - Tables 5.4 / 5.5 -----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The 147 conditions shared by AssociationList and HashTable (49 ordered
+/// pairs of {containsKey, get, put, put_, remove, remove_, size} x three
+/// kinds; Tables 5.4 and 5.5 sample the discarded-update rows).
+///
+/// Shapes (M = key-value relation before the first operation):
+///  * put/remove on the same key never commute with each other: one order
+///    leaves the key bound, the other unbound.
+///  * Two puts on the same key commute only when they write the same value;
+///    recorded variants additionally need that value already bound (the
+///    returned previous value must agree across orders).
+///  * Observers of key k commute with updates of the same key only when the
+///    update does not change k's binding: (k1, v2) in s1 for put,
+///    (k1, _) ~in s1 for remove.
+///  * Between/after conditions substitute the recorded previous value:
+///    put and remove return M(k1) (or null), so (k1, _) in s1 becomes
+///    r1 ~= null and (k1, v) in s1 becomes r1 = v (§4.1.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "commute/CatalogBuilder.h"
+
+using namespace semcomm;
+
+std::vector<ConditionEntry> semcomm::buildMapConditions(ExprFactory &F) {
+  CatalogBuilder B(F, mapFamily());
+  Vocab &D = B.D;
+
+  ExprRef T = D.tru();
+  ExprRef KNE = D.ne(D.K1, D.K2);      // k1 ~= k2
+  ExprRef H1 = D.hasKey(D.S1, D.K1);   // (k1, _) in s1
+  ExprRef NH1 = D.noKey(D.S1, D.K1);   // (k1, _) ~in s1
+  ExprRef H2 = D.hasKey(D.S1, D.K2);   // (k2, _) in s1
+  ExprRef NH2 = D.noKey(D.S1, D.K2);   // (k2, _) ~in s1
+  ExprRef M1V1 = D.maps(D.S1, D.K1, D.V1); // (k1, v1) in s1
+  ExprRef M1V2 = D.maps(D.S1, D.K1, D.V2); // (k1, v2) in s1
+  ExprRef VE = D.eq(D.V1, D.V2);           // v1 = v2
+  ExprRef R1 = D.R1B;                       // containsKey's boolean result
+  ExprRef R1Null = D.eq(D.R1O, D.null());   // r1 = null (put/remove/get)
+  ExprRef R1NotNull = D.ne(D.R1O, D.null());
+  ExprRef R1IsV1 = D.eq(D.R1O, D.V1);
+  ExprRef R1IsV2 = D.eq(D.R1O, D.V2);
+  ExprRef R2Null = D.eq(D.R2O, D.null());
+  ExprRef R2NotNull = D.ne(D.R2O, D.null());
+
+  // --- op1 = r1 = containsKey(k1) -------------------------------------------
+  B.addUniform("containsKey", "containsKey", T);
+  B.addUniform("containsKey", "get", T);
+  B.add("containsKey", "put", D.disj({KNE, H1}), D.disj({KNE, R1}),
+        D.disj({KNE, R1}));
+  B.add("containsKey", "put_", D.disj({KNE, H1}), D.disj({KNE, R1}),
+        D.disj({KNE, R1}));
+  B.add("containsKey", "remove", D.disj({KNE, NH1}),
+        D.disj({KNE, D.lnot(R1)}), D.disj({KNE, D.lnot(R1)}));
+  B.add("containsKey", "remove_", D.disj({KNE, NH1}),
+        D.disj({KNE, D.lnot(R1)}), D.disj({KNE, D.lnot(R1)}));
+  B.addUniform("containsKey", "size", T);
+
+  // --- op1 = r1 = get(k1) -----------------------------------------------------
+  // get returns M(k1) or null.
+  B.addUniform("get", "containsKey", T);
+  B.addUniform("get", "get", T);
+  B.add("get", "put", D.disj({KNE, M1V2}), D.disj({KNE, R1IsV2}),
+        D.disj({KNE, R1IsV2}));
+  B.add("get", "put_", D.disj({KNE, M1V2}), D.disj({KNE, R1IsV2}),
+        D.disj({KNE, R1IsV2}));
+  B.add("get", "remove", D.disj({KNE, NH1}), D.disj({KNE, R1Null}),
+        D.disj({KNE, R1Null}));
+  B.add("get", "remove_", D.disj({KNE, NH1}), D.disj({KNE, R1Null}),
+        D.disj({KNE, R1Null}));
+  B.addUniform("get", "size", T);
+
+  // --- op1 = r1 = put(k1, v1) --------------------------------------------------
+  // put returns the previous binding of k1 (or null).
+  B.add("put", "containsKey", D.disj({KNE, H1}), D.disj({KNE, R1NotNull}),
+        D.disj({KNE, R1NotNull}));
+  B.add("put", "get", D.disj({KNE, M1V1}), D.disj({KNE, R1IsV1}),
+        D.disj({KNE, R1IsV1}));
+  B.add("put", "put", D.disj({KNE, D.conj({VE, M1V1})}),
+        D.disj({KNE, D.conj({VE, R1IsV1})}),
+        D.disj({KNE, D.conj({VE, R1IsV1})}));
+  B.add("put", "put_", D.disj({KNE, D.conj({VE, M1V1})}),
+        D.disj({KNE, D.conj({VE, R1IsV1})}),
+        D.disj({KNE, D.conj({VE, R1IsV1})}));
+  B.addUniform("put", "remove", KNE);
+  B.addUniform("put", "remove_", KNE);
+  B.add("put", "size", H1, R1NotNull, R1NotNull);
+
+  // --- op1 = put(k1, v1) (return discarded) -------------------------------------
+  B.addUniform("put_", "containsKey", D.disj({KNE, H1}));
+  B.addUniform("put_", "get", D.disj({KNE, M1V1}));
+  B.addUniform("put_", "put", D.disj({KNE, D.conj({VE, M1V1})}));
+  B.addUniform("put_", "put_", D.disj({KNE, VE}));
+  B.addUniform("put_", "remove", KNE);
+  B.addUniform("put_", "remove_", KNE);
+  B.addUniform("put_", "size", H1);
+
+  // --- op1 = r1 = remove(k1) -----------------------------------------------------
+  // remove returns the previous binding of k1 (or null).
+  B.add("remove", "containsKey", D.disj({KNE, NH1}), D.disj({KNE, R1Null}),
+        D.disj({KNE, R1Null}));
+  B.add("remove", "get", D.disj({KNE, NH1}), D.disj({KNE, R1Null}),
+        D.disj({KNE, R1Null}));
+  B.addUniform("remove", "put", KNE);
+  B.addUniform("remove", "put_", KNE);
+  B.add("remove", "remove", D.disj({KNE, NH1}), D.disj({KNE, R1Null}),
+        D.disj({KNE, R1Null}));
+  B.add("remove", "remove_", D.disj({KNE, NH1}), D.disj({KNE, R1Null}),
+        D.disj({KNE, R1Null}));
+  B.add("remove", "size", NH1, R1Null, R1Null);
+
+  // --- op1 = remove(k1) (return discarded) -----------------------------------------
+  B.addUniform("remove_", "containsKey", D.disj({KNE, NH1}));
+  B.addUniform("remove_", "get", D.disj({KNE, NH1}));
+  B.addUniform("remove_", "put", KNE);
+  B.addUniform("remove_", "put_", KNE);
+  B.addUniform("remove_", "remove", D.disj({KNE, NH1}));
+  B.addUniform("remove_", "remove_", T);
+  B.addUniform("remove_", "size", NH1);
+
+  // --- op1 = r1 = size() ------------------------------------------------------------
+  B.addUniform("size", "containsKey", T);
+  B.addUniform("size", "get", T);
+  B.add("size", "put", H2, H2, R2NotNull);
+  B.addUniform("size", "put_", H2);
+  B.add("size", "remove", NH2, NH2, R2Null);
+  B.addUniform("size", "remove_", NH2);
+  B.addUniform("size", "size", T);
+
+  return B.take();
+}

@@ -1,0 +1,395 @@
+//===- commute/ProofHints.cpp - Jahob proof-language hint scripts ----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/ProofHints.h"
+
+#include "logic/Dsl.h"
+#include "logic/Evaluator.h"
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace semcomm;
+
+const char *semcomm::hintCommandKindName(HintCommandKind K) {
+  switch (K) {
+  case HintCommandKind::Note:
+    return "note";
+  case HintCommandKind::Assuming:
+    return "assuming";
+  case HintCommandKind::PickWitness:
+    return "pickWitness";
+  }
+  semcomm_unreachable("invalid hint command kind");
+}
+
+namespace {
+
+/// Formula builders for the lemma library the scripts draw on. All are over
+/// the standard method vocabulary (s1/s2/s3, i1/i2/v1/v2, r1/r2).
+class LemmaLibrary {
+public:
+  explicit LemmaLibrary(ExprFactory &F) : D(F), J(F.var("j", Sort::Int)) {}
+
+  /// The elements below the update index are untouched by op1:
+  /// ALL j : 0..i1-1. s2[j] = s1[j].
+  ExprRef prefixFrame() {
+    return D.F.forallInt("j", D.c(0), D.sub(D.I1, D.c(1)),
+                         D.eq(D.at(D.S2, J), D.at(D.S1, J)));
+  }
+
+  /// The shift lemma of op1: how positions at or above i1 move.
+  ExprRef shiftFrame(const std::string &Op1) {
+    if (Op1 == "add_at")
+      return D.F.forallInt("j", D.I1, D.sub(D.len(D.S1), D.c(1)),
+                           D.eq(D.at(D.S2, D.add(J, D.c(1))),
+                                D.at(D.S1, J)));
+    if (Op1 == "remove_at" || Op1 == "remove_at_")
+      return D.F.forallInt("j", D.I1, D.sub(D.len(D.S2), D.c(1)),
+                           D.eq(D.at(D.S2, J),
+                                D.at(D.S1, D.add(J, D.c(1)))));
+    // set(i1, v1): everything but i1 is untouched.
+    return D.F.forallInt(
+        "j", D.c(0), D.sub(D.len(D.S1), D.c(1)),
+        D.F.implies(D.ne(J, D.I1), D.eq(D.at(D.S2, J), D.at(D.S1, J))));
+  }
+
+  /// Definition of a failed scan: idx(s, v) < 0 <-> no cell holds v.
+  ExprRef scanNegDef(ExprRef S, ExprRef V, bool Last) {
+    ExprRef Idx = Last ? D.lidx(S, V) : D.idx(S, V);
+    return D.F.iff(D.lt(Idx, D.c(0)),
+                   D.F.forallInt("j", D.c(0), D.sub(D.len(S), D.c(1)),
+                                 D.ne(D.at(S, J), V)));
+  }
+
+  /// Transfer of absence across op1's shift: if the scanned element is
+  /// absent from the intermediate state, it was absent initially (for
+  /// add_at, modulo the inserted element itself).
+  ExprRef transferNeg(const std::string &Op1, ExprRef V, bool Last) {
+    ExprRef IdxS2 = Last ? D.lidx(D.S2, V) : D.idx(D.S2, V);
+    ExprRef IdxS1 = Last ? D.lidx(D.S1, V) : D.idx(D.S1, V);
+    if (Op1 == "add_at")
+      return D.F.implies(D.lt(IdxS2, D.c(0)), D.lt(IdxS1, D.c(0)));
+    // remove_at: absence initially implies absence afterwards.
+    return D.F.implies(D.lt(IdxS1, D.c(0)), D.lt(IdxS2, D.c(0)));
+  }
+
+  /// pickWitness obligation: whenever the scan succeeds, an occurrence
+  /// position exists to name.
+  ExprRef witnessOccurrence(ExprRef S, ExprRef V, bool Last) {
+    ExprRef Idx = Last ? D.lidx(S, V) : D.idx(S, V);
+    return D.F.implies(D.ge(Idx, D.c(0)),
+                       D.F.existsInt("j", D.c(0), D.sub(D.len(S), D.c(1)),
+                                     D.eq(D.at(S, J), V)));
+  }
+
+  /// idx returned r1 means nothing below r1 holds v1.
+  ExprRef noneBefore() {
+    return D.F.implies(
+        D.ge(D.R1I, D.c(0)),
+        D.F.forallInt("j", D.c(0), D.sub(D.R1I, D.c(1)),
+                      D.ne(D.at(D.S1, J), D.V1)));
+  }
+
+  /// §5.2.1's adjacent-copies case: if the first occurrence of the scanned
+  /// element sits at the removal point and a duplicate follows it, the
+  /// post-removal state still has its first occurrence there. \p RemIdx is
+  /// the removal index variable and \p V the scanned element (they differ
+  /// between categories 1 and 2).
+  ExprRef adjacentCopy(ExprRef PostState, ExprRef RemIdx, ExprRef V) {
+    return D.F.implies(
+        D.conj({D.eq(D.idx(D.S1, V), RemIdx),
+                D.eq(D.at(D.S1, D.add(RemIdx, D.c(1))), V)}),
+        D.eq(D.idx(PostState, V), RemIdx));
+  }
+
+  Vocab D;
+  ExprRef J;
+};
+
+} // namespace
+
+std::vector<HintScript>
+semcomm::buildArrayListHintScripts(ExprFactory &F) {
+  LemmaLibrary L(F);
+  Vocab &D = L.D;
+  std::vector<HintScript> Scripts;
+
+  const char *ShiftOps[] = {"add_at", "remove_at", "remove_at_"};
+  const char *ScanOps[] = {"indexOf", "lastIndexOf"};
+  const char *RaOps[] = {"remove_at", "remove_at_"};
+
+  auto note = [](ExprRef Formula, const char *Comment) {
+    return HintCommand{HintCommandKind::Note, Formula, "", Comment};
+  };
+  auto assuming = [](ExprRef Formula, const char *Comment) {
+    return HintCommand{HintCommandKind::Assuming, Formula, "", Comment};
+  };
+  auto pickWitness = [](ExprRef Formula, const char *Var,
+                        const char *Comment) {
+    return HintCommand{HintCommandKind::PickWitness, Formula, Var, Comment};
+  };
+
+  // --- Category 1: soundness, shift x scan (12 methods) ---------------------
+  for (const char *Op1 : ShiftOps)
+    for (const char *Scan : ScanOps)
+      for (ConditionKind K : {ConditionKind::Between, ConditionKind::After}) {
+        bool Last = std::string(Scan) == "lastIndexOf";
+        HintScript S;
+        S.Op1Name = Op1;
+        S.Op2Name = Scan;
+        S.Kind = K;
+        S.Role = MethodRole::Soundness;
+        S.Category = 1;
+        S.Commands.push_back(assuming(
+            D.lt(Last ? D.lidx(D.S2, D.V2) : D.idx(D.S2, D.V2), D.c(0)),
+            "the case where the scan finds nothing after the shift"));
+        S.Commands.push_back(pickWitness(
+            L.witnessOccurrence(D.S1, D.V2, Last), "j",
+            "name an occurrence of v2 in the initial state"));
+        S.Commands.push_back(
+            note(L.prefixFrame(), "cells below i1 are untouched"));
+        S.Commands.push_back(
+            note(L.shiftFrame(Op1), "how cells at or above i1 move"));
+        S.Commands.push_back(note(L.scanNegDef(D.S2, D.V2, Last),
+                                  "a failed scan means no cell holds v2"));
+        S.Commands.push_back(note(
+            L.transferNeg(Op1, D.V2, Last),
+            "transfer absence of v2 across the shift (contraposition)"));
+        if (K == ConditionKind::After)
+          S.Commands.push_back(
+              note(L.scanNegDef(D.S1, D.V2, Last),
+                   "the same definitional expansion in the initial state"));
+        if (std::string(Op1) == "remove_at" &&
+            std::string(Scan) == "indexOf" && K == ConditionKind::After)
+          S.Commands.push_back(
+              note(L.adjacentCopy(D.S2, D.I1, D.V2),
+                   "the adjacent-copies case: the duplicate takes over"));
+        Scripts.push_back(std::move(S));
+      }
+
+  // --- Category 2: soundness, scan x remove_at (8 methods) ------------------
+  for (const char *Scan : ScanOps)
+    for (const char *Ra : RaOps)
+      for (ConditionKind K : {ConditionKind::Between, ConditionKind::After}) {
+        bool Last = std::string(Scan) == "lastIndexOf";
+        HintScript S;
+        S.Op1Name = Scan;
+        S.Op2Name = Ra;
+        S.Kind = K;
+        S.Role = MethodRole::Soundness;
+        S.Category = 2;
+        S.Commands.push_back(pickWitness(
+            L.witnessOccurrence(D.S1, D.V1, Last), "j",
+            "name the occurrence the scan found"));
+        S.Commands.push_back(note(
+            Last ? D.F.implies(
+                       D.ge(D.R1I, D.c(0)),
+                       D.F.forallInt(
+                           "j", D.add(D.R1I, D.c(1)),
+                           D.sub(D.len(D.S1), D.c(1)),
+                           D.ne(D.at(D.S1, L.J), D.V1)))
+                 : L.noneBefore(),
+            "no other occurrence on the scanned side of r1"));
+        S.Commands.push_back(
+            K == ConditionKind::After && !Last
+                ? note(L.adjacentCopy(D.S3, D.I2, D.V1),
+                       "the adjacent-copies case (§5.2.1)")
+                : note(L.scanNegDef(D.S1, D.V1, Last),
+                       "definitional expansion of the scan"));
+        if (Last && K == ConditionKind::After)
+          S.Commands.push_back(pickWitness(
+              L.witnessOccurrence(D.S3, D.V1, Last), "j2",
+              "name the surviving occurrence after the removal"));
+        Scripts.push_back(std::move(S));
+      }
+
+  // --- Category 3: completeness, update x update (20 methods) ---------------
+  {
+    const std::pair<const char *, const char *> Pairs[] = {
+        {"add_at", "add_at"},     {"add_at", "remove_at"},
+        {"add_at", "remove_at_"}, {"add_at", "set"},
+        {"add_at", "set_"},       {"remove_at", "add_at"},
+        {"remove_at_", "add_at"}, {"set", "add_at"},
+        {"set_", "add_at"},       {"remove_at", "set"}};
+    for (const auto &[Op1, Op2] : Pairs)
+      for (ConditionKind K : {ConditionKind::Between, ConditionKind::After}) {
+        HintScript S;
+        S.Op1Name = Op1;
+        S.Op2Name = Op2;
+        S.Kind = K;
+        S.Role = MethodRole::Completeness;
+        S.Category = 3;
+        S.Commands.push_back(assuming(
+            D.le(D.I1, D.I2),
+            "case analysis on the relative position of the two indices"));
+        S.Commands.push_back(
+            note(L.prefixFrame(), "cells below i1 are untouched"));
+        S.Commands.push_back(note(
+            L.shiftFrame(Op1),
+            "locate the differing element via op1's shift"));
+        if (std::string(Op1) == "remove_at" && std::string(Op2) == "set")
+          S.Commands.push_back(assuming(
+              D.eq(D.I1, D.I2),
+              "the same-index case, where the set lands on the hole"));
+        Scripts.push_back(std::move(S));
+      }
+  }
+
+  // --- Category 4: completeness, shift x scan (17 methods) ------------------
+  for (const char *Op1 : ShiftOps)
+    for (const char *Scan : ScanOps)
+      for (ConditionKind K : {ConditionKind::Between, ConditionKind::After}) {
+        bool Last = std::string(Scan) == "lastIndexOf";
+        HintScript S;
+        S.Op1Name = Op1;
+        S.Op2Name = Scan;
+        S.Kind = K;
+        S.Role = MethodRole::Completeness;
+        S.Category = 4;
+        S.Commands.push_back(assuming(
+            D.ge(Last ? D.lidx(D.S1, D.V2) : D.idx(D.S1, D.V2), D.c(0)),
+            "the case where the scanned element occurs initially"));
+        S.Commands.push_back(note(L.scanNegDef(D.S1, D.V2, Last),
+                                  "definitional expansion of the scan"));
+        Scripts.push_back(std::move(S));
+      }
+  // The five before-kind completeness methods whose disequality witness
+  // involves the first-occurrence position.
+  {
+    const std::pair<const char *, const char *> BeforePairs[] = {
+        {"add_at", "indexOf"},
+        {"add_at", "lastIndexOf"},
+        {"remove_at", "indexOf"},
+        {"remove_at_", "indexOf"},
+        {"remove_at", "lastIndexOf"}};
+    for (const auto &[Op1, Scan] : BeforePairs) {
+      bool Last = std::string(Scan) == "lastIndexOf";
+      HintScript S;
+      S.Op1Name = Op1;
+      S.Op2Name = Scan;
+      S.Kind = ConditionKind::Before;
+      S.Role = MethodRole::Completeness;
+      S.Category = 4;
+      S.Commands.push_back(
+          assuming(D.ge(Last ? D.lidx(D.S1, D.V2) : D.idx(D.S1, D.V2),
+                        D.c(0)),
+                   "the case where the scanned element occurs initially"));
+      S.Commands.push_back(note(L.scanNegDef(D.S1, D.V2, Last),
+                                "definitional expansion of the scan"));
+      Scripts.push_back(std::move(S));
+    }
+  }
+
+  return Scripts;
+}
+
+HintSummary semcomm::summarizeHints(const std::vector<HintScript> &Scripts) {
+  HintSummary Sum;
+  for (const HintScript &S : Scripts) {
+    ++Sum.Methods;
+    assert(S.Category >= 1 && S.Category <= 4 && "bad category");
+    ++Sum.MethodsByCategory[S.Category];
+    for (const HintCommand &C : S.Commands)
+      switch (C.Kind) {
+      case HintCommandKind::Note:
+        ++Sum.Notes;
+        break;
+      case HintCommandKind::Assuming:
+        ++Sum.Assumings;
+        break;
+      case HintCommandKind::PickWitness:
+        ++Sum.PickWitnesses;
+        break;
+      }
+  }
+  return Sum;
+}
+
+HintValidation semcomm::validateScript(const HintScript &Script,
+                                       const Catalog &C,
+                                       const Scope &Bounds) {
+  const Family &Fam = arrayListFamily();
+  const ConditionEntry &Entry = C.entry(Fam, Script.Op1Name, Script.Op2Name);
+  const Operation &Op1 = Entry.op1();
+  const Operation &Op2 = Entry.op2();
+  ExprRef Phi = Entry.get(Script.Kind);
+
+  HintValidation Result;
+  std::vector<bool> AssumingSeen(Script.Commands.size(), false);
+
+  for (const AbstractState &Initial : enumerateStates(Fam, Bounds)) {
+    for (const ArgList &A1 : enumerateArgs(Fam, Op1, Initial, Bounds)) {
+      if (!Op1.Pre(Initial, A1))
+        continue;
+      for (const ArgList &A2 : enumerateArgs(Fam, Op2, Initial, Bounds)) {
+        AbstractState Mid = Initial;
+        Value R1 = Op1.Apply(Mid, A1);
+        if (!Op2.Pre(Mid, A2))
+          continue;
+        AbstractState Fin = Mid;
+        Value R2 = Op2.Apply(Fin, A2);
+
+        Env E;
+        for (size_t I = 0; I != A1.size(); ++I)
+          E.bind(Op1.ArgBaseNames[I] + "1", A1[I]);
+        for (size_t I = 0; I != A2.size(); ++I)
+          E.bind(Op2.ArgBaseNames[I] + "2", A2[I]);
+        if (Op1.RecordsReturn)
+          E.bind("r1", R1);
+        if (Op2.RecordsReturn)
+          E.bind("r2", R2);
+        E.bindState("s1", &Initial);
+        E.bindState("s2", &Mid);
+        E.bindState("s3", &Fin);
+
+        // The commands sit after the method's assume (Fig. 3-1): phi for
+        // soundness scripts, ~phi for completeness scripts.
+        bool Assumed = evaluateBool(Phi, E);
+        if (Script.Role == MethodRole::Completeness)
+          Assumed = !Assumed;
+        if (!Assumed)
+          continue;
+
+        for (size_t I = 0; I != Script.Commands.size(); ++I) {
+          const HintCommand &Cmd = Script.Commands[I];
+          bool Holds = evaluateBool(Cmd.Formula, E);
+          switch (Cmd.Kind) {
+          case HintCommandKind::Note:
+          case HintCommandKind::PickWitness:
+            // Lemmas and witness obligations must hold in every reached
+            // scenario.
+            if (!Holds) {
+              Result.FailureNote = std::string(hintCommandKindName(Cmd.Kind)) +
+                                   " formula fails (" + Cmd.Comment +
+                                   ") in state " + Initial.str();
+              return Result;
+            }
+            break;
+          case HintCommandKind::Assuming:
+            // Cases must be non-vacuous somewhere in the scenario space.
+            if (Holds)
+              AssumingSeen[I] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t I = 0; I != Script.Commands.size(); ++I)
+    if (Script.Commands[I].Kind == HintCommandKind::Assuming &&
+        !AssumingSeen[I]) {
+      Result.FailureNote = "assuming case is vacuous (" +
+                           Script.Commands[I].Comment + ")";
+      return Result;
+    }
+
+  Result.Ok = true;
+  return Result;
+}

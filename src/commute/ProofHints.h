@@ -1,0 +1,101 @@
+//===- commute/ProofHints.h - Jahob proof-language hint scripts -*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The proof-guidance content of §5.2.1 / Table 5.9: 57 of the 1530
+/// generated commutativity testing methods — all on ArrayList — required
+/// developer assistance through the Jahob proof language, totalling 201
+/// commands (128 note, 51 assuming, 22 pickWitness). The methods fall into
+/// four categories:
+///
+///   1. soundness, between/after, {add_at, remove_at} x {indexOf,
+///      lastIndexOf} (12 methods): the prover must transfer "the element
+///      does not occur" facts across the index shift;
+///   2. soundness, between/after, {indexOf, lastIndexOf} x {remove_at}
+///      (8 methods): the adjacent-duplicate case analysis;
+///   3. completeness, between/after, combinations of add_at, remove_at and
+///      set (20 methods): the prover needs the explicit position at which
+///      the two final states differ;
+///   4. completeness for the shift x scan combinations (17 methods): case
+///      analyses over the relative position of the scanned element.
+///
+/// This module reconstructs those scripts. Every command carries a real
+/// formula over the method's vocabulary (arguments, returns, s1/s2/s3);
+/// validateScript() machine-checks each script the way Jahob's integrated
+/// reasoning validates proof commands: note formulas must hold in every
+/// scenario that reaches them, assuming cases must be non-vacuous, and
+/// pickWitness obligations must always provide a witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_COMMUTE_PROOFHINTS_H
+#define SEMCOMM_COMMUTE_PROOFHINTS_H
+
+#include "commute/TestingMethod.h"
+#include "spec/Family.h"
+
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// The three Jahob proof-language commands the paper's scripts use.
+enum class HintCommandKind : uint8_t { Note, Assuming, PickWitness };
+
+const char *hintCommandKindName(HintCommandKind K);
+
+/// One proof-language command with its formula payload.
+struct HintCommand {
+  HintCommandKind Kind;
+  ExprRef Formula;        ///< Lemma / case / witness obligation.
+  std::string WitnessVar; ///< pickWitness only.
+  std::string Comment;    ///< What the command contributes to the proof.
+};
+
+/// The hint script of one testing method.
+struct HintScript {
+  std::string Op1Name, Op2Name;
+  ConditionKind Kind = ConditionKind::Before;
+  MethodRole Role = MethodRole::Soundness;
+  int Category = 0; ///< 1..4 per §5.2.1.
+  std::vector<HintCommand> Commands;
+
+  bool matches(const TestingMethod &M) const {
+    return M.Entry->op1().Name == Op1Name && M.Entry->op2().Name == Op2Name &&
+           M.Kind == Kind && M.Role == Role;
+  }
+};
+
+/// Builds the 57 ArrayList hint scripts.
+std::vector<HintScript> buildArrayListHintScripts(ExprFactory &F);
+
+/// Command-count summary for the Table 5.9 bench.
+struct HintSummary {
+  unsigned Methods = 0;
+  unsigned Notes = 0;
+  unsigned Assumings = 0;
+  unsigned PickWitnesses = 0;
+  unsigned MethodsByCategory[5] = {0, 0, 0, 0, 0};
+};
+
+HintSummary summarizeHints(const std::vector<HintScript> &Scripts);
+
+/// Validation outcome of one script.
+struct HintValidation {
+  bool Ok = false;
+  std::string FailureNote;
+};
+
+/// Machine-checks \p Script against the exhaustive scenario space of the
+/// corresponding testing method (see file comment for the obligations).
+HintValidation validateScript(const HintScript &Script, const Catalog &C,
+                              const Scope &Bounds = Scope());
+
+} // namespace semcomm
+
+#endif // SEMCOMM_COMMUTE_PROOFHINTS_H

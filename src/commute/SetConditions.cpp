@@ -1,0 +1,102 @@
+//===- commute/SetConditions.cpp - Tables 5.2 / 5.3 -----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The 108 conditions shared by ListSet and HashSet (36 ordered pairs of
+/// {add, add_, contains, remove, remove_, size} x {before, between, after};
+/// Tables 5.2 and 5.3 sample the discarded-update rows).
+///
+/// Shapes (s = abstract set before the first operation):
+///  * add/remove of the same element never commute: the final sets differ
+///    (S - {v} vs S + {v}), hence the bare v1 ~= v2 conditions.
+///  * A recorded add/contains result changes across orders only when the
+///    other operation flips v's membership, hence v1 ~= v2 | v1 in s1.
+///  * Between conditions replace membership queries by the first
+///    operation's recorded return value where one exists (§4.1.2's
+///    "replace clauses ... with equivalent clauses that reference return
+///    values"): add returns v1 ~in s1, remove and contains return v1 in s1.
+///  * size() commutes with an update only when the update is a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#include "commute/CatalogBuilder.h"
+
+using namespace semcomm;
+
+std::vector<ConditionEntry> semcomm::buildSetConditions(ExprFactory &F) {
+  CatalogBuilder B(F, setFamily());
+  Vocab &D = B.D;
+
+  ExprRef T = D.tru();
+  ExprRef NE = D.ne(D.V1, D.V2);       // v1 ~= v2
+  ExprRef E1 = D.in(D.V1, D.S1);       // v1 in s1
+  ExprRef NotE1 = D.notIn(D.V1, D.S1); // v1 ~in s1
+  ExprRef E2 = D.in(D.V2, D.S1);       // v2 in s1
+  ExprRef NotE2 = D.notIn(D.V2, D.S1); // v2 ~in s1
+  ExprRef R1 = D.R1B;                  // first operation's recorded result
+  ExprRef NotR1 = D.lnot(D.R1B);
+  ExprRef NotR2 = D.lnot(D.R2B);
+
+  ExprRef NEorE1 = D.disj({NE, E1});
+  ExprRef NEorNotE1 = D.disj({NE, NotE1});
+  ExprRef NEorR1 = D.disj({NE, R1});
+  ExprRef NEorNotR1 = D.disj({NE, NotR1});
+
+  // --- op1 = r1 = add(v1) ---------------------------------------------------
+  // add returns (v1 ~in s1), so between conditions use ~r1 for v1 in s1.
+  B.add("add", "add", NEorE1, NEorNotR1, NEorNotR1);
+  B.add("add", "add_", NEorE1, NEorNotR1, NEorNotR1);
+  B.add("add", "contains", NEorE1, NEorNotR1, NEorNotR1);
+  B.addUniform("add", "remove", NE);
+  B.addUniform("add", "remove_", NE);
+  B.add("add", "size", E1, NotR1, NotR1);
+
+  // --- op1 = add(v1) (return discarded) --------------------------------------
+  B.addUniform("add_", "add", NEorE1);
+  B.addUniform("add_", "add_", T);
+  B.addUniform("add_", "contains", NEorE1);
+  B.addUniform("add_", "remove", NE);
+  B.addUniform("add_", "remove_", NE);
+  B.addUniform("add_", "size", E1);
+
+  // --- op1 = r1 = contains(v1) -----------------------------------------------
+  // contains returns (v1 in s1).
+  B.add("contains", "add", NEorE1, NEorR1, NEorR1);
+  B.add("contains", "add_", NEorE1, NEorR1, NEorR1);
+  B.addUniform("contains", "contains", T);
+  B.add("contains", "remove", NEorNotE1, NEorNotR1, NEorNotR1);
+  B.add("contains", "remove_", NEorNotE1, NEorNotR1, NEorNotR1);
+  B.addUniform("contains", "size", T);
+
+  // --- op1 = r1 = remove(v1) --------------------------------------------------
+  // remove returns (v1 in s1).
+  B.addUniform("remove", "add", NE);
+  B.addUniform("remove", "add_", NE);
+  B.add("remove", "contains", NEorNotE1, NEorNotR1, NEorNotR1);
+  B.add("remove", "remove", NEorNotE1, NEorNotR1, NEorNotR1);
+  B.add("remove", "remove_", NEorNotE1, NEorNotR1, NEorNotR1);
+  B.add("remove", "size", NotE1, NotR1, NotR1);
+
+  // --- op1 = remove(v1) (return discarded) ------------------------------------
+  B.addUniform("remove_", "add", NE);
+  B.addUniform("remove_", "add_", NE);
+  B.addUniform("remove_", "contains", NEorNotE1);
+  B.addUniform("remove_", "remove", NEorNotE1);
+  B.addUniform("remove_", "remove_", T);
+  B.addUniform("remove_", "size", NotE1);
+
+  // --- op1 = r1 = size() -------------------------------------------------------
+  // size changes across orders iff the second operation changes cardinality.
+  B.add("size", "add", E2, E2, NotR2);
+  B.addUniform("size", "add_", E2);
+  B.addUniform("size", "contains", T);
+  B.add("size", "remove", NotE2, NotE2, NotR2);
+  B.addUniform("size", "remove_", NotE2);
+  B.addUniform("size", "size", T);
+
+  return B.take();
+}

@@ -1,0 +1,67 @@
+//===- commute/Synthesizer.h - Condition synthesis --------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In the paper, commutativity conditions are "provided by the developer
+/// and verified by our implemented system" (§1.5). This module closes the
+/// loop the paper leaves as future work: given an ordered pair of
+/// operations and an atom vocabulary, it *learns* the sound-and-complete
+/// condition directly from the scenario space.
+///
+/// Because a sound AND complete condition is semantically unique (it is
+/// exactly the set of scenarios where the orders agree), synthesis doubles
+/// as an independent check of the hand-written catalog: over any atom
+/// vocabulary rich enough to express it, the synthesized condition must be
+/// scenario-equivalent to the catalog's.
+///
+/// Method: evaluate the atoms in every scenario, bucket scenarios by atom
+/// valuation, and require each bucket to be pure (all-commute or
+/// all-conflict); impure buckets mean the vocabulary cannot express the
+/// condition. The condition is then the DNF over commuting buckets,
+/// greedily minimized by dropping literals that never flip a bucket's
+/// verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_COMMUTE_SYNTHESIZER_H
+#define SEMCOMM_COMMUTE_SYNTHESIZER_H
+
+#include "commute/Condition.h"
+
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// Result of a synthesis attempt.
+struct SynthesisResult {
+  bool Expressible = false; ///< The vocabulary separates the two classes.
+  ExprRef Condition = nullptr; ///< Minimized DNF (when Expressible).
+  uint64_t Scenarios = 0;
+  /// When !Expressible: two scenarios with identical atom valuations but
+  /// different commute verdicts, for diagnosing the missing atom.
+  std::string AmbiguityNote;
+};
+
+/// Learns the between condition of (\p Op1 ; \p Op2) over the given
+/// boolean \p Atoms (formulas over the pair's vocabulary).
+SynthesisResult synthesizeCondition(ExprFactory &F, const Family &Fam,
+                                    const std::string &Op1,
+                                    const std::string &Op2,
+                                    const std::vector<ExprRef> &Atoms,
+                                    const Scope &Bounds = Scope());
+
+/// A default atom vocabulary for a pair: argument equalities, membership /
+/// key / value atoms matching the family, and recorded-return atoms.
+std::vector<ExprRef> defaultAtoms(ExprFactory &F, const Family &Fam,
+                                  const std::string &Op1,
+                                  const std::string &Op2);
+
+} // namespace semcomm
+
+#endif // SEMCOMM_COMMUTE_SYNTHESIZER_H

@@ -1,0 +1,53 @@
+//===- commute/TestingMethod.cpp - Generated testing methods --------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/TestingMethod.h"
+
+#include "support/Unreachable.h"
+
+using namespace semcomm;
+
+const char *semcomm::methodRoleName(MethodRole R) {
+  switch (R) {
+  case MethodRole::Soundness:
+    return "soundness";
+  case MethodRole::Completeness:
+    return "completeness";
+  }
+  semcomm_unreachable("invalid method role");
+}
+
+std::string TestingMethod::name() const {
+  std::string CleanOp1 = Entry->op1().Name, CleanOp2 = Entry->op2().Name;
+  // Method names use the call names; the discarded-return variant keeps its
+  // trailing underscore so names stay unique.
+  std::string Name = CleanOp1 + "_" + CleanOp2 + "_" +
+                     conditionKindName(Kind) + "_" +
+                     (Role == MethodRole::Soundness ? "s" : "c") + "_" +
+                     std::to_string(Id);
+  return Name;
+}
+
+std::vector<TestingMethod>
+semcomm::generateTestingMethods(const Catalog &C, const Family &Fam) {
+  std::vector<TestingMethod> Methods;
+  unsigned Id = 0;
+  for (const ConditionEntry &Entry : C.entries(Fam))
+    for (ConditionKind Kind : {ConditionKind::Before, ConditionKind::Between,
+                               ConditionKind::After})
+      for (MethodRole Role :
+           {MethodRole::Soundness, MethodRole::Completeness}) {
+        TestingMethod M;
+        M.Entry = &Entry;
+        M.Kind = Kind;
+        M.Role = Role;
+        M.Id = Id++;
+        Methods.push_back(M);
+      }
+  return Methods;
+}

@@ -1,0 +1,55 @@
+//===- commute/TestingMethod.h - Generated testing methods ------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generator of Ch. 3: for every condition it emits a soundness testing
+/// method and a completeness testing method following the templates of
+/// Figures 3-1 and 3-2. A TestingMethod is the semantic object the engines
+/// verify; the jahobgen module can render it as Jahob-annotated Java
+/// source exactly in the shape of Fig. 2-2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_COMMUTE_TESTINGMETHOD_H
+#define SEMCOMM_COMMUTE_TESTINGMETHOD_H
+
+#include "commute/Condition.h"
+
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// Whether a generated method checks Property 1 or Property 2.
+enum class MethodRole : uint8_t { Soundness, Completeness };
+
+const char *methodRoleName(MethodRole R);
+
+/// One automatically generated commutativity testing method.
+struct TestingMethod {
+  const ConditionEntry *Entry = nullptr;
+  ConditionKind Kind = ConditionKind::Before;
+  MethodRole Role = MethodRole::Soundness;
+  /// Numeric id within the family's generation order (part of the paper's
+  /// method naming scheme, e.g. contains_add_between_s_40).
+  unsigned Id = 0;
+
+  const Family &family() const { return *Entry->Fam; }
+
+  /// The paper-style method name: <op1>_<op2>_<kind>_<s|c>_<id>.
+  std::string name() const;
+};
+
+/// Generates the full suite of testing methods for one family, in catalog
+/// order: for each entry, before/between/after x soundness/completeness.
+std::vector<TestingMethod> generateTestingMethods(const Catalog &C,
+                                                  const Family &Fam);
+
+} // namespace semcomm
+
+#endif // SEMCOMM_COMMUTE_TESTINGMETHOD_H

@@ -1,0 +1,23 @@
+//===- impl/Accumulator.cpp - Counter with increase/read ------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/Accumulator.h"
+
+#include "support/Unreachable.h"
+
+using namespace semcomm;
+
+Value Accumulator::invoke(const std::string &CallName, const ArgList &Args) {
+  if (CallName == "increase") {
+    increase(Args[0].asInt());
+    return Value::null();
+  }
+  if (CallName == "read")
+    return Value::integer(read());
+  semcomm_unreachable("unknown Accumulator operation");
+}

@@ -1,0 +1,47 @@
+//===- impl/Accumulator.h - Counter with increase/read ----------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_IMPL_ACCUMULATOR_H
+#define SEMCOMM_IMPL_ACCUMULATOR_H
+
+#include "impl/ConcreteStructure.h"
+
+namespace semcomm {
+
+/// The Accumulator of Ch. 5: a counter clients can increase and read.
+class Accumulator : public ConcreteStructure {
+public:
+  Accumulator() = default;
+
+  /// Adds \p V to the counter.
+  void increase(int64_t V) { Total += V; }
+  /// Returns the counter value.
+  int64_t read() const { return Total; }
+
+  // ConcreteStructure.
+  std::string name() const override { return "Accumulator"; }
+  const Family &family() const override { return accumulatorFamily(); }
+  Value invoke(const std::string &CallName, const ArgList &Args) override;
+  AbstractState abstraction() const override {
+    return AbstractState::makeCounter(Total);
+  }
+  bool repOk() const override { return true; }
+  std::unique_ptr<ConcreteStructure> clone() const override {
+    return std::make_unique<Accumulator>(*this);
+  }
+
+  // StateView (concrete-dialect condition evaluation).
+  int64_t counter() const override { return Total; }
+
+private:
+  int64_t Total = 0;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_IMPL_ACCUMULATOR_H

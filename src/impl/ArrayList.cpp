@@ -1,0 +1,113 @@
+//===- impl/ArrayList.cpp - Growable dense int->obj map --------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/ArrayList.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace semcomm;
+
+ArrayList::ArrayList() { Data.reserve(4); }
+
+void ArrayList::ensureCapacity(size_t Needed) {
+  if (Needed > Data.capacity())
+    Data.reserve(Data.capacity() * 2 > Needed ? Data.capacity() * 2 : Needed);
+}
+
+void ArrayList::addAt(int64_t I, const Value &V) {
+  assert(I >= 0 && static_cast<size_t>(I) <= Count &&
+         "add_at index out of range");
+  ensureCapacity(Count + 1);
+  Data.resize(Count + 1);
+  for (size_t J = Count; J > static_cast<size_t>(I); --J)
+    Data[J] = Data[J - 1];
+  Data[static_cast<size_t>(I)] = V;
+  ++Count;
+}
+
+Value ArrayList::removeAt(int64_t I) {
+  assert(I >= 0 && static_cast<size_t>(I) < Count &&
+         "remove_at index out of range");
+  Value Old = Data[static_cast<size_t>(I)];
+  for (size_t J = static_cast<size_t>(I); J + 1 < Count; ++J)
+    Data[J] = Data[J + 1];
+  --Count;
+  // Leave the stale tail cell in place, as a Java array would.
+  return Old;
+}
+
+Value ArrayList::set(int64_t I, const Value &V) {
+  assert(I >= 0 && static_cast<size_t>(I) < Count && "set index out of range");
+  Value Old = Data[static_cast<size_t>(I)];
+  Data[static_cast<size_t>(I)] = V;
+  return Old;
+}
+
+Value ArrayList::get(int64_t I) const {
+  assert(I >= 0 && static_cast<size_t>(I) < Count && "get index out of range");
+  return Data[static_cast<size_t>(I)];
+}
+
+Value ArrayList::seqAt(int64_t I) const {
+  if (I < 0 || static_cast<size_t>(I) >= Count)
+    return Value::undef();
+  return Data[static_cast<size_t>(I)];
+}
+
+int64_t ArrayList::seqIndexOf(const Value &V) const {
+  for (size_t I = 0; I != Count; ++I)
+    if (Data[I] == V)
+      return static_cast<int64_t>(I);
+  return -1;
+}
+
+int64_t ArrayList::seqLastIndexOf(const Value &V) const {
+  for (size_t I = Count; I != 0; --I)
+    if (Data[I - 1] == V)
+      return static_cast<int64_t>(I - 1);
+  return -1;
+}
+
+Value ArrayList::invoke(const std::string &CallName, const ArgList &Args) {
+  if (CallName == "add_at") {
+    addAt(Args[0].asInt(), Args[1]);
+    return Value::null();
+  }
+  if (CallName == "remove_at")
+    return removeAt(Args[0].asInt());
+  if (CallName == "set")
+    return set(Args[0].asInt(), Args[1]);
+  if (CallName == "get")
+    return get(Args[0].asInt());
+  if (CallName == "indexOf")
+    return Value::integer(indexOf(Args[0]));
+  if (CallName == "lastIndexOf")
+    return Value::integer(lastIndexOf(Args[0]));
+  if (CallName == "size")
+    return Value::integer(size());
+  semcomm_unreachable("unknown ArrayList operation");
+}
+
+AbstractState ArrayList::abstraction() const {
+  AbstractState S = AbstractState::makeSeq();
+  for (size_t I = 0; I != Count; ++I)
+    S.seqInsert(S.seqLen(), Data[I]);
+  return S;
+}
+
+bool ArrayList::repOk() const {
+  // Live cells hold non-null, defined values; Count within backing store.
+  if (Count > Data.size())
+    return false;
+  for (size_t I = 0; I != Count; ++I)
+    if (Data[I].isNull() || Data[I].isUndef())
+      return false;
+  return true;
+}

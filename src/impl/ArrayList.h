@@ -1,0 +1,67 @@
+//===- impl/ArrayList.h - Growable dense int->obj map -----------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_IMPL_ARRAYLIST_H
+#define SEMCOMM_IMPL_ARRAYLIST_H
+
+#include "impl/ConcreteStructure.h"
+
+namespace semcomm {
+
+/// ArrayList implements a map from a dense integer range [0, size) to
+/// objects, backed by a growable array with Java-style amortized doubling
+/// (Ch. 5). add_at/remove_at shift the suffix; the spare capacity and the
+/// stale cells beyond size are concrete-only state the abstraction ignores.
+class ArrayList : public ConcreteStructure {
+public:
+  ArrayList();
+
+  /// Inserts \p V at \p I (0 <= I <= size), shifting the suffix up.
+  void addAt(int64_t I, const Value &V);
+  /// Removes and returns the element at \p I, shifting the suffix down.
+  Value removeAt(int64_t I);
+  /// Replaces the element at \p I; returns the previous element.
+  Value set(int64_t I, const Value &V);
+  /// The element at \p I (0 <= I < size).
+  Value get(int64_t I) const;
+  /// First index of \p V or -1.
+  int64_t indexOf(const Value &V) const { return seqIndexOf(V); }
+  /// Last index of \p V or -1.
+  int64_t lastIndexOf(const Value &V) const { return seqLastIndexOf(V); }
+
+  /// Backing-array capacity; exposed so tests can observe growth.
+  size_t capacity() const { return Data.capacity(); }
+
+  // ConcreteStructure.
+  std::string name() const override { return "ArrayList"; }
+  const Family &family() const override { return arrayListFamily(); }
+  Value invoke(const std::string &CallName, const ArgList &Args) override;
+  AbstractState abstraction() const override;
+  bool repOk() const override;
+  std::unique_ptr<ConcreteStructure> clone() const override {
+    return std::make_unique<ArrayList>(*this);
+  }
+
+  // StateView.
+  int64_t seqLen() const override { return static_cast<int64_t>(Count); }
+  Value seqAt(int64_t I) const override;
+  int64_t seqIndexOf(const Value &V) const override;
+  int64_t seqLastIndexOf(const Value &V) const override;
+  int64_t size() const override { return static_cast<int64_t>(Count); }
+
+private:
+  void ensureCapacity(size_t Needed);
+
+  /// Backing store; cells at index >= Count are stale concrete-only junk.
+  std::vector<Value> Data;
+  size_t Count = 0;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_IMPL_ARRAYLIST_H

@@ -1,0 +1,125 @@
+//===- impl/AssociationList.cpp - Linked-list key/value map ----------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/AssociationList.h"
+
+#include "support/Unreachable.h"
+
+#include <set>
+
+using namespace semcomm;
+
+AssociationList::AssociationList(const AssociationList &Other) {
+  Node **Tail = &First;
+  for (Node *N = Other.First; N; N = N->Next) {
+    *Tail = new Node{N->Key, N->Val, nullptr};
+    Tail = &(*Tail)->Next;
+  }
+  Count = Other.Count;
+}
+
+AssociationList &AssociationList::operator=(const AssociationList &Other) {
+  if (this == &Other)
+    return *this;
+  clear();
+  AssociationList Copy(Other);
+  First = Copy.First;
+  Count = Copy.Count;
+  Copy.First = nullptr;
+  Copy.Count = 0;
+  return *this;
+}
+
+AssociationList::~AssociationList() { clear(); }
+
+void AssociationList::clear() {
+  Node *N = First;
+  while (N) {
+    Node *Next = N->Next;
+    delete N;
+    N = Next;
+  }
+  First = nullptr;
+  Count = 0;
+}
+
+Value AssociationList::put(const Value &K, const Value &V) {
+  for (Node *N = First; N; N = N->Next)
+    if (N->Key == K) {
+      Value Old = N->Val;
+      N->Val = V;
+      return Old;
+    }
+  First = new Node{K, V, First};
+  ++Count;
+  return Value::null();
+}
+
+Value AssociationList::remove(const Value &K) {
+  for (Node **Link = &First; *Link; Link = &(*Link)->Next)
+    if ((*Link)->Key == K) {
+      Node *Victim = *Link;
+      Value Old = Victim->Val;
+      *Link = Victim->Next;
+      delete Victim;
+      --Count;
+      return Old;
+    }
+  return Value::null();
+}
+
+Value AssociationList::mapGet(const Value &K) const {
+  for (Node *N = First; N; N = N->Next)
+    if (N->Key == K)
+      return N->Val;
+  return Value::null();
+}
+
+bool AssociationList::mapHasKey(const Value &K) const {
+  for (Node *N = First; N; N = N->Next)
+    if (N->Key == K)
+      return true;
+  return false;
+}
+
+Value AssociationList::invoke(const std::string &CallName,
+                              const ArgList &Args) {
+  if (CallName == "put")
+    return put(Args[0], Args[1]);
+  if (CallName == "remove")
+    return remove(Args[0]);
+  if (CallName == "get")
+    return get(Args[0]);
+  if (CallName == "containsKey")
+    return Value::boolean(containsKey(Args[0]));
+  if (CallName == "size")
+    return Value::integer(size());
+  semcomm_unreachable("unknown AssociationList operation");
+}
+
+AbstractState AssociationList::abstraction() const {
+  AbstractState S = AbstractState::makeMap();
+  for (Node *N = First; N; N = N->Next)
+    S.mapPut(N->Key, N->Val);
+  return S;
+}
+
+bool AssociationList::repOk() const {
+  // Keys are unique; no null values; Count matches; acyclic within bound.
+  std::set<Value> Keys;
+  int64_t Length = 0;
+  for (Node *N = First; N; N = N->Next) {
+    if (!Keys.insert(N->Key).second)
+      return false;
+    if (N->Val.isNull())
+      return false;
+    if (++Length > Count)
+      return false;
+  }
+  return Length == Count;
+}

@@ -1,0 +1,64 @@
+//===- impl/AssociationList.h - Linked-list key/value map -------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_IMPL_ASSOCIATIONLIST_H
+#define SEMCOMM_IMPL_ASSOCIATIONLIST_H
+
+#include "impl/ConcreteStructure.h"
+
+namespace semcomm {
+
+/// AssociationList implements the Map interface with a singly-linked list
+/// of key/value pairs (Ch. 5); new bindings are prepended.
+class AssociationList : public ConcreteStructure {
+public:
+  AssociationList() = default;
+  AssociationList(const AssociationList &Other);
+  AssociationList &operator=(const AssociationList &Other);
+  ~AssociationList() override;
+
+  /// Binds \p K to \p V; returns the previous value or null.
+  Value put(const Value &K, const Value &V);
+  /// Unbinds \p K; returns the previous value or null.
+  Value remove(const Value &K);
+  /// The value bound to \p K, or null.
+  Value get(const Value &K) const { return mapGet(K); }
+  /// Whether \p K is bound.
+  bool containsKey(const Value &K) const { return mapHasKey(K); }
+
+  // ConcreteStructure.
+  std::string name() const override { return "AssociationList"; }
+  const Family &family() const override { return mapFamily(); }
+  Value invoke(const std::string &CallName, const ArgList &Args) override;
+  AbstractState abstraction() const override;
+  bool repOk() const override;
+  std::unique_ptr<ConcreteStructure> clone() const override {
+    return std::make_unique<AssociationList>(*this);
+  }
+
+  // StateView.
+  Value mapGet(const Value &K) const override;
+  bool mapHasKey(const Value &K) const override;
+  int64_t size() const override { return Count; }
+
+private:
+  struct Node {
+    Value Key;
+    Value Val;
+    Node *Next;
+  };
+
+  void clear();
+
+  Node *First = nullptr;
+  int64_t Count = 0;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_IMPL_ASSOCIATIONLIST_H

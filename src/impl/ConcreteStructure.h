@@ -1,0 +1,80 @@
+//===- impl/ConcreteStructure.h - Concrete structure interface --*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of the six concrete data structures the paper
+/// verifies (Accumulator, ListSet, HashSet, AssociationList, HashTable,
+/// ArrayList). Every structure carries:
+///
+///  * its Java-style typed operations (declared on the concrete classes),
+///  * a generic invoke() used by the refinement checker and the
+///    speculative runtime,
+///  * the abstraction function a : concrete state -> abstract state
+///    (§2.2), and
+///  * a representation invariant check (standing in for the paper's
+///    full functional verification of the implementations [Zee et al.]).
+///
+/// Each structure is also a StateView, so the *concrete* dialect of the
+/// commutativity conditions (the fourth column of Tables 5.1-5.7) can be
+/// evaluated directly against the live structure at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_IMPL_CONCRETESTRUCTURE_H
+#define SEMCOMM_IMPL_CONCRETESTRUCTURE_H
+
+#include "spec/Family.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// Abstract base of the six verified linked data structures.
+class ConcreteStructure : public StateView {
+public:
+  ~ConcreteStructure() override;
+
+  /// The structure's name ("ListSet", "HashTable", ...).
+  virtual std::string name() const = 0;
+
+  /// The interface family this structure implements.
+  virtual const Family &family() const = 0;
+
+  /// Invokes the operation with call name \p CallName (e.g. "add",
+  /// "remove_at") on this structure. The caller must respect the
+  /// operation's precondition.
+  virtual Value invoke(const std::string &CallName, const ArgList &Args) = 0;
+
+  /// The abstraction function: the abstract state this concrete state
+  /// represents.
+  virtual AbstractState abstraction() const = 0;
+
+  /// Checks the representation invariant (bucket residency, acyclicity
+  /// within size bounds, element/entry counts, ...).
+  virtual bool repOk() const = 0;
+
+  /// Deep copy (the snapshot-rollback baseline of the runtime benches).
+  virtual std::unique_ptr<ConcreteStructure> clone() const = 0;
+};
+
+/// A named factory for one of the six structures.
+struct StructureFactory {
+  std::string Name;
+  const Family *Fam;
+  std::function<std::unique_ptr<ConcreteStructure>()> Make;
+};
+
+/// Factories for all six structures, in the paper's order.
+std::vector<StructureFactory> allStructureFactories();
+
+} // namespace semcomm
+
+#endif // SEMCOMM_IMPL_CONCRETESTRUCTURE_H

@@ -1,0 +1,118 @@
+//===- impl/ListSet.cpp - Singly-linked-list set ---------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/ListSet.h"
+
+#include "support/Unreachable.h"
+
+#include <set>
+
+using namespace semcomm;
+
+ListSet::ListSet(const ListSet &Other) {
+  // Copy preserving list order.
+  Node **Tail = &First;
+  for (Node *N = Other.First; N; N = N->Next) {
+    *Tail = new Node{N->Data, nullptr};
+    Tail = &(*Tail)->Next;
+  }
+  Count = Other.Count;
+}
+
+ListSet &ListSet::operator=(const ListSet &Other) {
+  if (this == &Other)
+    return *this;
+  clear();
+  ListSet Copy(Other);
+  First = Copy.First;
+  Count = Copy.Count;
+  Copy.First = nullptr;
+  Copy.Count = 0;
+  return *this;
+}
+
+ListSet::~ListSet() { clear(); }
+
+void ListSet::clear() {
+  Node *N = First;
+  while (N) {
+    Node *Next = N->Next;
+    delete N;
+    N = Next;
+  }
+  First = nullptr;
+  Count = 0;
+}
+
+bool ListSet::add(const Value &V) {
+  for (Node *N = First; N; N = N->Next)
+    if (N->Data == V)
+      return false;
+  First = new Node{V, First};
+  ++Count;
+  return true;
+}
+
+bool ListSet::remove(const Value &V) {
+  for (Node **Link = &First; *Link; Link = &(*Link)->Next)
+    if ((*Link)->Data == V) {
+      Node *Victim = *Link;
+      *Link = Victim->Next;
+      delete Victim;
+      --Count;
+      return true;
+    }
+  return false;
+}
+
+bool ListSet::contains(const Value &V) const {
+  for (Node *N = First; N; N = N->Next)
+    if (N->Data == V)
+      return true;
+  return false;
+}
+
+std::vector<Value> ListSet::elementsInListOrder() const {
+  std::vector<Value> Out;
+  for (Node *N = First; N; N = N->Next)
+    Out.push_back(N->Data);
+  return Out;
+}
+
+Value ListSet::invoke(const std::string &CallName, const ArgList &Args) {
+  if (CallName == "add")
+    return Value::boolean(add(Args[0]));
+  if (CallName == "remove")
+    return Value::boolean(remove(Args[0]));
+  if (CallName == "contains")
+    return Value::boolean(contains(Args[0]));
+  if (CallName == "size")
+    return Value::integer(size());
+  semcomm_unreachable("unknown ListSet operation");
+}
+
+AbstractState ListSet::abstraction() const {
+  AbstractState S = AbstractState::makeSet();
+  for (Node *N = First; N; N = N->Next)
+    S.setInsert(N->Data);
+  return S;
+}
+
+bool ListSet::repOk() const {
+  // No duplicates; Count matches the list length; the list is acyclic
+  // (guaranteed if the traversal terminates within Count steps).
+  std::set<Value> Seen;
+  int64_t Length = 0;
+  for (Node *N = First; N; N = N->Next) {
+    if (!Seen.insert(N->Data).second)
+      return false;
+    if (++Length > Count)
+      return false;
+  }
+  return Length == Count;
+}

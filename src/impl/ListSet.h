@@ -1,0 +1,70 @@
+//===- impl/ListSet.h - Singly-linked-list set -------------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ListSet implements the Set interface with a singly-linked list, the
+/// paper's canonical example of semantic-but-not-concrete commutativity:
+/// two insertion orders produce different lists yet the same abstract set
+/// (§1.1, Fig. 4-1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_IMPL_LISTSET_H
+#define SEMCOMM_IMPL_LISTSET_H
+
+#include "impl/ConcreteStructure.h"
+
+namespace semcomm {
+
+/// A set of objects stored as an unsorted singly-linked list without
+/// duplicates; new elements are prepended.
+class ListSet : public ConcreteStructure {
+public:
+  ListSet() = default;
+  ListSet(const ListSet &Other);
+  ListSet &operator=(const ListSet &Other);
+  ~ListSet() override;
+
+  /// Adds \p V; returns true iff it was absent.
+  bool add(const Value &V);
+  /// Removes \p V; returns true iff it was present.
+  bool remove(const Value &V);
+
+  /// The elements in list (insertion-dependent) order; exposes the
+  /// concrete representation for Fig. 4-1 style demonstrations.
+  std::vector<Value> elementsInListOrder() const;
+
+  // ConcreteStructure.
+  std::string name() const override { return "ListSet"; }
+  const Family &family() const override { return setFamily(); }
+  Value invoke(const std::string &CallName, const ArgList &Args) override;
+  AbstractState abstraction() const override;
+  bool repOk() const override;
+  std::unique_ptr<ConcreteStructure> clone() const override {
+    return std::make_unique<ListSet>(*this);
+  }
+
+  // StateView; size() doubles as the Java-style accessor.
+  bool contains(const Value &V) const override;
+  int64_t size() const override { return Count; }
+
+private:
+  struct Node {
+    Value Data;
+    Node *Next;
+  };
+
+  void clear();
+
+  Node *First = nullptr;
+  int64_t Count = 0;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_IMPL_LISTSET_H

@@ -1,0 +1,35 @@
+//===- impl/Registry.cpp - The six verified structures ----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/Accumulator.h"
+#include "impl/ArrayList.h"
+#include "impl/AssociationList.h"
+#include "impl/HashSet.h"
+#include "impl/HashTable.h"
+#include "impl/ListSet.h"
+
+using namespace semcomm;
+
+ConcreteStructure::~ConcreteStructure() = default;
+
+std::vector<StructureFactory> semcomm::allStructureFactories() {
+  std::vector<StructureFactory> Factories;
+  Factories.push_back({"Accumulator", &accumulatorFamily(),
+                       [] { return std::make_unique<Accumulator>(); }});
+  Factories.push_back(
+      {"ListSet", &setFamily(), [] { return std::make_unique<ListSet>(); }});
+  Factories.push_back(
+      {"HashSet", &setFamily(), [] { return std::make_unique<HashSet>(); }});
+  Factories.push_back({"AssociationList", &mapFamily(),
+                       [] { return std::make_unique<AssociationList>(); }});
+  Factories.push_back({"HashTable", &mapFamily(),
+                       [] { return std::make_unique<HashTable>(); }});
+  Factories.push_back({"ArrayList", &arrayListFamily(),
+                       [] { return std::make_unique<ArrayList>(); }});
+  return Factories;
+}

@@ -1,0 +1,167 @@
+//===- inverse/InverseSpec.cpp - Inverse operations (Table 5.10) ----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inverse/InverseSpec.h"
+
+using namespace semcomm;
+
+std::vector<InverseSpec> semcomm::buildInverseSpecs() {
+  std::vector<InverseSpec> Specs;
+
+  // Accumulator: s1.increase(v)  ~>  s2.increase(-v).
+  {
+    InverseSpec S;
+    S.Fam = &accumulatorFamily();
+    S.OpName = "increase";
+    S.ForwardText = "s1.increase(v)";
+    S.InverseText = "s2.increase(-v)";
+    S.UsesReturn = false;
+    S.Pre = [](const AbstractState &, const ArgList &, const Value &) {
+      return true;
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &) {
+      St.increase(-Args[0].asInt());
+    };
+    Specs.push_back(S);
+  }
+
+  // Set: r = s1.add(v)  ~>  if r = true then s2.remove(v). The return value
+  // distinguishes "v was new" (undo by removing) from "v was already
+  // present" (the add was a no-op; so is the inverse) — Fig. 2-3.
+  {
+    InverseSpec S;
+    S.Fam = &setFamily();
+    S.OpName = "add";
+    S.ForwardText = "r = s1.add(v)";
+    S.InverseText = "if r = true then s2.remove(v)";
+    S.UsesReturn = true;
+    S.Pre = [](const AbstractState &, const ArgList &, const Value &) {
+      return true;
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &R) {
+      if (R.asBool())
+        St.setErase(Args[0]);
+    };
+    Specs.push_back(S);
+  }
+
+  // Set: r = s1.remove(v)  ~>  if r = true then s2.add(v).
+  {
+    InverseSpec S;
+    S.Fam = &setFamily();
+    S.OpName = "remove";
+    S.ForwardText = "r = s1.remove(v)";
+    S.InverseText = "if r = true then s2.add(v)";
+    S.UsesReturn = true;
+    S.Pre = [](const AbstractState &, const ArgList &, const Value &) {
+      return true;
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &R) {
+      if (R.asBool())
+        St.setInsert(Args[0]);
+    };
+    Specs.push_back(S);
+  }
+
+  // Map: r = s1.put(k, v)  ~>  if r ~= null then s2.put(k, r)
+  //                            else s2.remove(k)            — Fig. 2-4.
+  {
+    InverseSpec S;
+    S.Fam = &mapFamily();
+    S.OpName = "put";
+    S.ForwardText = "r = s1.put(k, v)";
+    S.InverseText = "if r ~= null then s2.put(k, r) else s2.remove(k)";
+    S.UsesReturn = true;
+    S.Pre = [](const AbstractState &, const ArgList &, const Value &) {
+      return true;
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &R) {
+      if (!R.isNull())
+        St.mapPut(Args[0], R);
+      else
+        St.mapErase(Args[0]);
+    };
+    Specs.push_back(S);
+  }
+
+  // Map: r = s1.remove(k)  ~>  if r ~= null then s2.put(k, r).
+  {
+    InverseSpec S;
+    S.Fam = &mapFamily();
+    S.OpName = "remove";
+    S.ForwardText = "r = s1.remove(k)";
+    S.InverseText = "if r ~= null then s2.put(k, r)";
+    S.UsesReturn = true;
+    S.Pre = [](const AbstractState &, const ArgList &, const Value &) {
+      return true;
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &R) {
+      if (!R.isNull())
+        St.mapPut(Args[0], R);
+    };
+    Specs.push_back(S);
+  }
+
+  // ArrayList: s1.add_at(i, v)  ~>  s2.remove_at(i). Note the restored
+  // abstract sequence is identical even though a concrete ArrayList's
+  // spare capacity may differ.
+  {
+    InverseSpec S;
+    S.Fam = &arrayListFamily();
+    S.OpName = "add_at";
+    S.ForwardText = "s1.add_at(i, v)";
+    S.InverseText = "s2.remove_at(i)";
+    S.UsesReturn = false;
+    S.Pre = [](const AbstractState &St, const ArgList &Args, const Value &) {
+      int64_t I = Args[0].asInt();
+      return I >= 0 && I < St.seqLen();
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &) {
+      St.seqRemove(Args[0].asInt());
+    };
+    Specs.push_back(S);
+  }
+
+  // ArrayList: r = s1.remove_at(i)  ~>  s2.add_at(i, r).
+  {
+    InverseSpec S;
+    S.Fam = &arrayListFamily();
+    S.OpName = "remove_at";
+    S.ForwardText = "r = s1.remove_at(i)";
+    S.InverseText = "s2.add_at(i, r)";
+    S.UsesReturn = true;
+    S.Pre = [](const AbstractState &St, const ArgList &Args, const Value &) {
+      int64_t I = Args[0].asInt();
+      return I >= 0 && I <= St.seqLen();
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &R) {
+      St.seqInsert(Args[0].asInt(), R);
+    };
+    Specs.push_back(S);
+  }
+
+  // ArrayList: r = s1.set(i, v)  ~>  s2.set(i, r).
+  {
+    InverseSpec S;
+    S.Fam = &arrayListFamily();
+    S.OpName = "set";
+    S.ForwardText = "r = s1.set(i, v)";
+    S.InverseText = "s2.set(i, r)";
+    S.UsesReturn = true;
+    S.Pre = [](const AbstractState &St, const ArgList &Args, const Value &) {
+      int64_t I = Args[0].asInt();
+      return I >= 0 && I < St.seqLen();
+    };
+    S.Apply = [](AbstractState &St, const ArgList &Args, const Value &R) {
+      St.seqSet(Args[0].asInt(), R);
+    };
+    Specs.push_back(S);
+  }
+
+  return Specs;
+}

@@ -1,0 +1,61 @@
+//===- inverse/InverseSpec.h - Inverse operations (Table 5.10) --*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inverse operations (§1.3, §4.2, Table 5.10): for every operation that
+/// changes the abstract state, a program that — given the operation's
+/// arguments and recorded return value — restores the *abstract* state
+/// (Property 3; the concrete state may legitimately differ). Speculative
+/// systems execute these to roll back mis-speculated operations, which is
+/// typically far cheaper than snapshotting (see bench/perf_inverse_vs_
+/// snapshot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_INVERSE_INVERSESPEC_H
+#define SEMCOMM_INVERSE_INVERSESPEC_H
+
+#include "spec/Family.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// One row of Table 5.10: an updating operation together with the program
+/// that undoes it.
+struct InverseSpec {
+  const Family *Fam = nullptr;
+  /// Name of the forward operation (the recorded variant, since most
+  /// inverses consume the recorded return value).
+  std::string OpName;
+  /// Rendering of the forward call, e.g. "r = s1.put(k, v)".
+  std::string ForwardText;
+  /// Rendering of the inverse program, e.g.
+  /// "if r ~= null then s2.put(k, r) else s2.remove(k)".
+  std::string InverseText;
+  /// Whether the inverse consumes the forward return value (a system
+  /// applying it must therefore store that value, §5.3).
+  bool UsesReturn = false;
+
+  /// Precondition of the inverse in the post-operation state; Property 3
+  /// obliges it to hold whenever the forward precondition held.
+  std::function<bool(const AbstractState &, const ArgList &, const Value &R)>
+      Pre;
+
+  /// Executes the inverse on the state the forward operation produced.
+  std::function<void(AbstractState &, const ArgList &, const Value &R)> Apply;
+};
+
+/// The eight inverse specifications of Table 5.10, in table order.
+std::vector<InverseSpec> buildInverseSpecs();
+
+} // namespace semcomm
+
+#endif // SEMCOMM_INVERSE_INVERSESPEC_H

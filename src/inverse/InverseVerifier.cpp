@@ -1,0 +1,47 @@
+//===- inverse/InverseVerifier.cpp - Inverse testing methods --------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inverse/InverseVerifier.h"
+
+using namespace semcomm;
+
+InverseVerifyResult semcomm::verifyInverse(const InverseSpec &Spec,
+                                           const Scope &Bounds) {
+  const Family &Fam = *Spec.Fam;
+  const Operation &Op = Fam.op(Spec.OpName);
+
+  InverseVerifyResult Result;
+  Result.Verified = true;
+
+  for (const AbstractState &Initial : enumerateStates(Fam, Bounds)) {
+    for (const ArgList &Args : enumerateArgs(Fam, Op, Initial, Bounds)) {
+      if (!Op.Pre(Initial, Args))
+        continue;
+      ++Result.ScenariosChecked;
+
+      AbstractState St = Initial;
+      Value R = Op.Apply(St, Args);
+
+      if (!Spec.Pre(St, Args, R)) {
+        Result.Verified = false;
+        Result.FailureNote = "inverse precondition fails after " +
+                             Op.renderCall("s", 1) + " from " + Initial.str();
+        return Result;
+      }
+
+      Spec.Apply(St, Args, R);
+      if (!(St == Initial)) {
+        Result.Verified = false;
+        Result.FailureNote = "abstract state not restored: started at " +
+                             Initial.str() + ", ended at " + St.str();
+        return Result;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- inverse/InverseVerifier.h - Inverse testing methods ------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse testing method of Fig. 3-2, checked exhaustively over a
+/// Scope: from every abstract state satisfying the forward precondition,
+/// execute the operation, check the inverse's precondition (Property 3
+/// demands it holds), execute the inverse, and require the initial abstract
+/// state back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_INVERSE_INVERSEVERIFIER_H
+#define SEMCOMM_INVERSE_INVERSEVERIFIER_H
+
+#include "inverse/InverseSpec.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace semcomm {
+
+/// Outcome of verifying one inverse testing method.
+struct InverseVerifyResult {
+  bool Verified = false;
+  uint64_t ScenariosChecked = 0;
+  std::string FailureNote; ///< Empty when verified.
+};
+
+/// Exhaustively verifies Property 3 for \p Spec within \p Bounds.
+InverseVerifyResult verifyInverse(const InverseSpec &Spec,
+                                  const Scope &Bounds = Scope());
+
+} // namespace semcomm
+
+#endif // SEMCOMM_INVERSE_INVERSEVERIFIER_H

@@ -1,0 +1,50 @@
+//===- jahobgen/JahobPrinter.h - Jahob-style method rendering ---*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the generated testing methods as Jahob-annotated Java source, in
+/// the exact shape of the paper's figures: the HashSet specification
+/// (Fig. 2-1), the commutativity testing methods (Fig. 2-2, following the
+/// templates of Fig. 3-1), and the inverse testing methods (Figs. 2-3, 2-4,
+/// following Fig. 3-2). The bench binaries for those figures print these
+/// renderings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_JAHOBGEN_JAHOBPRINTER_H
+#define SEMCOMM_JAHOBGEN_JAHOBPRINTER_H
+
+#include "commute/TestingMethod.h"
+#include "inverse/InverseSpec.h"
+
+#include <string>
+
+namespace semcomm {
+
+/// The Jahob HashSet interface specification (Fig. 2-1).
+std::string renderHashSetSpec();
+
+/// One generated commutativity testing method (soundness or completeness)
+/// for \p StructureName, e.g. the two methods of Fig. 2-2.
+std::string renderTestingMethod(const TestingMethod &M,
+                                const std::string &StructureName,
+                                ExprFactory &F);
+
+/// One generated inverse testing method for \p StructureName
+/// (Figs. 2-3 / 2-4).
+std::string renderInverseMethod(const InverseSpec &Spec,
+                                const std::string &StructureName);
+
+/// The generation templates themselves (Figs. 3-1 and 3-2), as commented
+/// pseudo-Java.
+std::string renderCompletenessTemplate();
+std::string renderInverseTemplate();
+
+} // namespace semcomm
+
+#endif // SEMCOMM_JAHOBGEN_JAHOBPRINTER_H

@@ -1,0 +1,156 @@
+//===- logic/Evaluator.cpp - Expression evaluation ------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Evaluator.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace semcomm;
+
+const Value &Env::lookup(const std::string &Name) const {
+  auto It = Vars.find(Name);
+  if (It == Vars.end()) {
+    std::fprintf(stderr, "evaluator: unbound variable '%s'\n", Name.c_str());
+    std::abort();
+  }
+  return It->second;
+}
+
+const StateView *Env::lookupState(const std::string &Name) const {
+  auto It = States.find(Name);
+  if (It == States.end()) {
+    std::fprintf(stderr, "evaluator: unbound state '%s'\n", Name.c_str());
+    std::abort();
+  }
+  return It->second;
+}
+
+static const StateView *stateOperand(ExprRef E, const Env &Environment) {
+  ExprRef S = E->operand(0);
+  assert(S->kind() == ExprKind::Var && S->sort() == Sort::State &&
+         "state queries must name a state variable");
+  return Environment.lookupState(S->name());
+}
+
+namespace semcomm {
+
+Value evaluate(ExprRef E, const Env &Environment) {
+  switch (E->kind()) {
+  case ExprKind::ConstBool:
+    return Value::boolean(E->boolValue());
+  case ExprKind::ConstInt:
+    return Value::integer(E->intValue());
+  case ExprKind::ConstNull:
+    return Value::null();
+  case ExprKind::Var:
+    assert(E->sort() != Sort::State &&
+           "state variables are only valid inside state queries");
+    return Environment.lookup(E->name());
+
+  case ExprKind::Add:
+    return Value::integer(evaluate(E->operand(0), Environment).asInt() +
+                          evaluate(E->operand(1), Environment).asInt());
+  case ExprKind::Sub:
+    return Value::integer(evaluate(E->operand(0), Environment).asInt() -
+                          evaluate(E->operand(1), Environment).asInt());
+  case ExprKind::Neg:
+    return Value::integer(-evaluate(E->operand(0), Environment).asInt());
+
+  case ExprKind::Eq:
+    return Value::boolean(
+        evaluate(E->operand(0), Environment)
+            .semanticEquals(evaluate(E->operand(1), Environment)));
+  case ExprKind::Lt:
+    return Value::boolean(evaluate(E->operand(0), Environment).asInt() <
+                          evaluate(E->operand(1), Environment).asInt());
+  case ExprKind::Le:
+    return Value::boolean(evaluate(E->operand(0), Environment).asInt() <=
+                          evaluate(E->operand(1), Environment).asInt());
+
+  case ExprKind::Not:
+    return Value::boolean(!evaluateBool(E->operand(0), Environment));
+  case ExprKind::And:
+    for (ExprRef Op : E->operands())
+      if (!evaluateBool(Op, Environment))
+        return Value::boolean(false);
+    return Value::boolean(true);
+  case ExprKind::Or:
+    for (ExprRef Op : E->operands())
+      if (evaluateBool(Op, Environment))
+        return Value::boolean(true);
+    return Value::boolean(false);
+  case ExprKind::Implies:
+    if (!evaluateBool(E->operand(0), Environment))
+      return Value::boolean(true);
+    return Value::boolean(evaluateBool(E->operand(1), Environment));
+  case ExprKind::Iff:
+    return Value::boolean(evaluateBool(E->operand(0), Environment) ==
+                          evaluateBool(E->operand(1), Environment));
+  case ExprKind::Ite:
+    return evaluateBool(E->operand(0), Environment)
+               ? evaluate(E->operand(1), Environment)
+               : evaluate(E->operand(2), Environment);
+
+  case ExprKind::SetContains:
+    return Value::boolean(stateOperand(E, Environment)
+                              ->contains(evaluate(E->operand(1), Environment)));
+  case ExprKind::MapGet:
+    return stateOperand(E, Environment)
+        ->mapGet(evaluate(E->operand(1), Environment));
+  case ExprKind::MapHasKey:
+    return Value::boolean(
+        stateOperand(E, Environment)
+            ->mapHasKey(evaluate(E->operand(1), Environment)));
+  case ExprKind::SeqAt:
+    return stateOperand(E, Environment)
+        ->seqAt(evaluate(E->operand(1), Environment).asInt());
+  case ExprKind::SeqLen:
+    return Value::integer(stateOperand(E, Environment)->seqLen());
+  case ExprKind::SeqIndexOf:
+    return Value::integer(
+        stateOperand(E, Environment)
+            ->seqIndexOf(evaluate(E->operand(1), Environment)));
+  case ExprKind::SeqLastIndexOf:
+    return Value::integer(
+        stateOperand(E, Environment)
+            ->seqLastIndexOf(evaluate(E->operand(1), Environment)));
+  case ExprKind::StateSize:
+    return Value::integer(stateOperand(E, Environment)->size());
+  case ExprKind::CounterValue:
+    return Value::integer(stateOperand(E, Environment)->counter());
+
+  case ExprKind::Forall:
+  case ExprKind::Exists: {
+    int64_t Lo = evaluate(E->operand(0), Environment).asInt();
+    int64_t Hi = evaluate(E->operand(1), Environment).asInt();
+    bool IsForall = E->kind() == ExprKind::Forall;
+    Env Inner = Environment;
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      Inner.bind(E->name(), Value::integer(I));
+      bool B = evaluateBool(E->operand(2), Inner);
+      if (IsForall && !B)
+        return Value::boolean(false);
+      if (!IsForall && B)
+        return Value::boolean(true);
+    }
+    return Value::boolean(IsForall);
+  }
+  }
+  semcomm_unreachable("invalid expression kind in evaluate");
+}
+
+bool evaluateBool(ExprRef E, const Env &Environment) {
+  Value V = evaluate(E, Environment);
+  assert(V.isBool() && "expression did not evaluate to a boolean");
+  return V.asBool();
+}
+
+} // namespace semcomm

@@ -1,0 +1,69 @@
+//===- logic/Evaluator.h - Expression evaluation ----------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates logic expressions against an environment binding variables to
+/// values and state names (s1, s2, s3) to StateViews. This single evaluator
+/// serves both halves of the paper's condition tables: the abstract-state
+/// column (evaluated against spec::AbstractState) and the concrete runtime
+/// column (evaluated against adapters over the linked implementations).
+///
+/// And / Or / Implies / Ite evaluate left-to-right with short-circuiting, so
+/// the guarded-access idiom of the ArrayList conditions (bounds guard before
+/// an indexed read) never evaluates an out-of-range read; if a condition is
+/// nevertheless mis-guarded, the read yields Undef, which falsifies any
+/// equality it appears in rather than aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_EVALUATOR_H
+#define SEMCOMM_LOGIC_EVALUATOR_H
+
+#include "logic/Expr.h"
+#include "logic/StateView.h"
+#include "logic/Value.h"
+
+#include <map>
+#include <string>
+
+namespace semcomm {
+
+/// Variable/state bindings for evaluation.
+class Env {
+public:
+  /// Binds scalar variable \p Name to \p V (overwrites).
+  void bind(const std::string &Name, const Value &V) { Vars[Name] = V; }
+
+  /// Binds state name \p Name to \p View (not owned; overwrites).
+  void bindState(const std::string &Name, const StateView *View) {
+    States[Name] = View;
+  }
+
+  /// Looks up a scalar variable; aborts if unbound.
+  const Value &lookup(const std::string &Name) const;
+
+  /// Looks up a state; aborts if unbound.
+  const StateView *lookupState(const std::string &Name) const;
+
+  bool hasVar(const std::string &Name) const { return Vars.count(Name) != 0; }
+
+private:
+  std::map<std::string, Value> Vars;
+  std::map<std::string, const StateView *> States;
+};
+
+/// Evaluates \p E under \p E nvironment; aborts on sort errors or unbound
+/// names (program bugs, not data conditions).
+Value evaluate(ExprRef E, const Env &Environment);
+
+/// Evaluates a Bool-sorted expression to a C++ bool.
+bool evaluateBool(ExprRef E, const Env &Environment);
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_EVALUATOR_H

@@ -1,0 +1,75 @@
+//===- logic/Expr.cpp - Expression kind names -----------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Expr.h"
+
+#include "support/Unreachable.h"
+
+namespace semcomm {
+
+const char *exprKindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::ConstBool:
+    return "ConstBool";
+  case ExprKind::ConstInt:
+    return "ConstInt";
+  case ExprKind::ConstNull:
+    return "ConstNull";
+  case ExprKind::Var:
+    return "Var";
+  case ExprKind::Add:
+    return "Add";
+  case ExprKind::Sub:
+    return "Sub";
+  case ExprKind::Neg:
+    return "Neg";
+  case ExprKind::Eq:
+    return "Eq";
+  case ExprKind::Lt:
+    return "Lt";
+  case ExprKind::Le:
+    return "Le";
+  case ExprKind::Not:
+    return "Not";
+  case ExprKind::And:
+    return "And";
+  case ExprKind::Or:
+    return "Or";
+  case ExprKind::Implies:
+    return "Implies";
+  case ExprKind::Iff:
+    return "Iff";
+  case ExprKind::Ite:
+    return "Ite";
+  case ExprKind::SetContains:
+    return "SetContains";
+  case ExprKind::MapGet:
+    return "MapGet";
+  case ExprKind::MapHasKey:
+    return "MapHasKey";
+  case ExprKind::SeqAt:
+    return "SeqAt";
+  case ExprKind::SeqLen:
+    return "SeqLen";
+  case ExprKind::SeqIndexOf:
+    return "SeqIndexOf";
+  case ExprKind::SeqLastIndexOf:
+    return "SeqLastIndexOf";
+  case ExprKind::StateSize:
+    return "StateSize";
+  case ExprKind::CounterValue:
+    return "CounterValue";
+  case ExprKind::Forall:
+    return "Forall";
+  case ExprKind::Exists:
+    return "Exists";
+  }
+  semcomm_unreachable("invalid expression kind");
+}
+
+} // namespace semcomm

@@ -1,0 +1,135 @@
+//===- logic/Expr.h - Hash-consed first-order expressions ------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression AST of the specification logic: the first-order fragment of
+/// the Jahob specification language that the paper's 765 commutativity
+/// conditions, operation pre/postconditions, and inverse assertions use
+/// (Ch. 4: "the specifications, commutativity conditions, commutativity
+/// testing methods, and inverse testing methods require only first-order
+/// logic"). Nodes are immutable and hash-consed by ExprFactory, so pointer
+/// equality is structural equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_EXPR_H
+#define SEMCOMM_LOGIC_EXPR_H
+
+#include "logic/Sort.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+class ExprFactory;
+
+/// Discriminator for expression nodes.
+enum class ExprKind : uint8_t {
+  // Leaves.
+  ConstBool, ///< true / false (payload).
+  ConstInt,  ///< integer literal (payload).
+  ConstNull, ///< the null object reference.
+  Var,       ///< named variable (v1, i2, r1, s1, ...), with a sort.
+
+  // Integer terms.
+  Add, ///< ops[0] + ops[1]
+  Sub, ///< ops[0] - ops[1]
+  Neg, ///< -ops[0]
+
+  // Atoms.
+  Eq, ///< ops[0] = ops[1]  (any matching sort; Undef equals nothing)
+  Lt, ///< ops[0] < ops[1]  (Int)
+  Le, ///< ops[0] <= ops[1] (Int)
+
+  // Boolean connectives. And/Or are n-ary; evaluation short-circuits
+  // left-to-right, which licenses the guarded-access idiom the paper's
+  // ArrayList conditions use (a bounds guard precedes each indexed read).
+  Not,
+  And,
+  Or,
+  Implies,
+  Iff,
+  Ite, ///< ops[0] ? ops[1] : ops[2]; sort of ops[1]/ops[2].
+
+  // State queries; ops[0] is always a State-sorted expression.
+  SetContains,    ///< ops[1] in ops[0]               : Bool
+  MapGet,         ///< ops[0].get(ops[1])             : Obj (null if absent)
+  MapHasKey,      ///< ops[0].containsKey(ops[1])     : Bool
+  SeqAt,          ///< ops[0][ops[1]]                 : Obj (Undef if OOB)
+  SeqLen,         ///< |ops[0]|                       : Int
+  SeqIndexOf,     ///< first index of ops[1] or -1    : Int
+  SeqLastIndexOf, ///< last index of ops[1] or -1     : Int
+  StateSize,      ///< ops[0].size()                  : Int
+  CounterValue,   ///< accumulator value of ops[0]    : Int
+
+  // Bounded integer quantifiers: boundVar ranges over [ops[0], ops[1]]
+  // inclusive; ops[2] is the Bool body.
+  Forall,
+  Exists,
+};
+
+/// An immutable, hash-consed expression node. Create via ExprFactory only.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  Sort sort() const { return ExprSort; }
+
+  /// The boolean payload of a ConstBool.
+  bool boolValue() const {
+    assert(Kind == ExprKind::ConstBool && "not a bool constant");
+    return Payload != 0;
+  }
+
+  /// The integer payload of a ConstInt.
+  int64_t intValue() const {
+    assert(Kind == ExprKind::ConstInt && "not an int constant");
+    return Payload;
+  }
+
+  /// The variable name of a Var, or the bound variable of a quantifier.
+  const std::string &name() const {
+    assert((Kind == ExprKind::Var || Kind == ExprKind::Forall ||
+            Kind == ExprKind::Exists) &&
+           "expression has no name");
+    return Name;
+  }
+
+  unsigned numOperands() const { return Operands.size(); }
+  const Expr *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<const Expr *> &operands() const { return Operands; }
+
+  bool isTrue() const { return Kind == ExprKind::ConstBool && Payload != 0; }
+  bool isFalse() const { return Kind == ExprKind::ConstBool && Payload == 0; }
+
+private:
+  friend class ExprFactory;
+
+  Expr(ExprKind K, Sort S, int64_t Payload, std::string Name,
+       std::vector<const Expr *> Ops)
+      : Kind(K), ExprSort(S), Payload(Payload), Name(std::move(Name)),
+        Operands(std::move(Ops)) {}
+
+  ExprKind Kind;
+  Sort ExprSort;
+  int64_t Payload;
+  std::string Name;
+  std::vector<const Expr *> Operands;
+};
+
+/// Expressions are referenced by pointer; identity is structural identity.
+using ExprRef = const Expr *;
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_EXPR_H

@@ -1,0 +1,336 @@
+//===- logic/ExprFactory.cpp - Hash-consing expression builder -----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/ExprFactory.h"
+
+#include "support/Unreachable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace semcomm;
+
+ExprFactory::ExprFactory() {
+  CachedTrue = make(ExprKind::ConstBool, Sort::Bool, 1, "", {});
+  CachedFalse = make(ExprKind::ConstBool, Sort::Bool, 0, "", {});
+}
+
+ExprRef ExprFactory::make(ExprKind K, Sort S, int64_t Payload,
+                          std::string Name, std::vector<const Expr *> Ops) {
+  Key NodeKey(K, S, Payload, Name, Ops);
+  auto It = Nodes.find(NodeKey);
+  if (It != Nodes.end())
+    return It->second.get();
+  auto Node = std::unique_ptr<Expr>(
+      new Expr(K, S, Payload, std::move(Name), std::move(Ops)));
+  ExprRef Ref = Node.get();
+  Nodes.emplace(std::move(NodeKey), std::move(Node));
+  return Ref;
+}
+
+ExprRef ExprFactory::boolConst(bool B) { return B ? CachedTrue : CachedFalse; }
+
+ExprRef ExprFactory::intConst(int64_t N) {
+  return make(ExprKind::ConstInt, Sort::Int, N, "", {});
+}
+
+ExprRef ExprFactory::nullConst() {
+  return make(ExprKind::ConstNull, Sort::Obj, 0, "", {});
+}
+
+ExprRef ExprFactory::var(const std::string &Name, Sort S) {
+  assert(!Name.empty() && "variables must be named");
+  return make(ExprKind::Var, S, 0, Name, {});
+}
+
+ExprRef ExprFactory::add(ExprRef A, ExprRef B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int && "add wants ints");
+  if (A->kind() == ExprKind::ConstInt && B->kind() == ExprKind::ConstInt)
+    return intConst(A->intValue() + B->intValue());
+  if (B->kind() == ExprKind::ConstInt && B->intValue() == 0)
+    return A;
+  if (A->kind() == ExprKind::ConstInt && A->intValue() == 0)
+    return B;
+  return make(ExprKind::Add, Sort::Int, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::sub(ExprRef A, ExprRef B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int && "sub wants ints");
+  if (A->kind() == ExprKind::ConstInt && B->kind() == ExprKind::ConstInt)
+    return intConst(A->intValue() - B->intValue());
+  if (B->kind() == ExprKind::ConstInt && B->intValue() == 0)
+    return A;
+  return make(ExprKind::Sub, Sort::Int, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::neg(ExprRef A) {
+  assert(A->sort() == Sort::Int && "neg wants an int");
+  if (A->kind() == ExprKind::ConstInt)
+    return intConst(-A->intValue());
+  return make(ExprKind::Neg, Sort::Int, 0, "", {A});
+}
+
+ExprRef ExprFactory::eq(ExprRef A, ExprRef B) {
+  assert(A->sort() == B->sort() && "equality between different sorts");
+  if (A->kind() == ExprKind::ConstInt && B->kind() == ExprKind::ConstInt)
+    return boolConst(A->intValue() == B->intValue());
+  if (A->kind() == ExprKind::ConstBool && B->kind() == ExprKind::ConstBool)
+    return boolConst(A->boolValue() == B->boolValue());
+  if (A->kind() == ExprKind::ConstNull && B->kind() == ExprKind::ConstNull)
+    return trueExpr();
+  return make(ExprKind::Eq, Sort::Bool, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::lt(ExprRef A, ExprRef B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int && "lt wants ints");
+  if (A->kind() == ExprKind::ConstInt && B->kind() == ExprKind::ConstInt)
+    return boolConst(A->intValue() < B->intValue());
+  return make(ExprKind::Lt, Sort::Bool, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::le(ExprRef A, ExprRef B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int && "le wants ints");
+  if (A->kind() == ExprKind::ConstInt && B->kind() == ExprKind::ConstInt)
+    return boolConst(A->intValue() <= B->intValue());
+  return make(ExprKind::Le, Sort::Bool, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::lnot(ExprRef A) {
+  assert(A->sort() == Sort::Bool && "negation of a non-boolean");
+  if (A->isTrue())
+    return falseExpr();
+  if (A->isFalse())
+    return trueExpr();
+  if (A->kind() == ExprKind::Not)
+    return A->operand(0);
+  return make(ExprKind::Not, Sort::Bool, 0, "", {A});
+}
+
+ExprRef ExprFactory::conj(std::vector<ExprRef> Ops) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef Op : Ops) {
+    assert(Op->sort() == Sort::Bool && "conjunct must be boolean");
+    if (Op->isTrue())
+      continue;
+    if (Op->isFalse())
+      return falseExpr();
+    if (Op->kind() == ExprKind::And) {
+      Flat.insert(Flat.end(), Op->operands().begin(), Op->operands().end());
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  if (Flat.empty())
+    return trueExpr();
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make(ExprKind::And, Sort::Bool, 0, "", std::move(Flat));
+}
+
+ExprRef ExprFactory::disj(std::vector<ExprRef> Ops) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef Op : Ops) {
+    assert(Op->sort() == Sort::Bool && "disjunct must be boolean");
+    if (Op->isFalse())
+      continue;
+    if (Op->isTrue())
+      return trueExpr();
+    if (Op->kind() == ExprKind::Or) {
+      Flat.insert(Flat.end(), Op->operands().begin(), Op->operands().end());
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  if (Flat.empty())
+    return falseExpr();
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make(ExprKind::Or, Sort::Bool, 0, "", std::move(Flat));
+}
+
+ExprRef ExprFactory::implies(ExprRef A, ExprRef B) {
+  assert(A->sort() == Sort::Bool && B->sort() == Sort::Bool);
+  if (A->isTrue())
+    return B;
+  if (A->isFalse() || B->isTrue())
+    return trueExpr();
+  if (B->isFalse())
+    return lnot(A);
+  return make(ExprKind::Implies, Sort::Bool, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::iff(ExprRef A, ExprRef B) {
+  assert(A->sort() == Sort::Bool && B->sort() == Sort::Bool);
+  if (A->isTrue())
+    return B;
+  if (B->isTrue())
+    return A;
+  if (A->isFalse())
+    return lnot(B);
+  if (B->isFalse())
+    return lnot(A);
+  return make(ExprKind::Iff, Sort::Bool, 0, "", {A, B});
+}
+
+ExprRef ExprFactory::ite(ExprRef C, ExprRef T, ExprRef E) {
+  assert(C->sort() == Sort::Bool && T->sort() == E->sort());
+  if (C->isTrue())
+    return T;
+  if (C->isFalse())
+    return E;
+  return make(ExprKind::Ite, T->sort(), 0, "", {C, T, E});
+}
+
+ExprRef ExprFactory::setContains(ExprRef S, ExprRef V) {
+  assert(S->sort() == Sort::State && V->sort() == Sort::Obj);
+  return make(ExprKind::SetContains, Sort::Bool, 0, "", {S, V});
+}
+
+ExprRef ExprFactory::mapGet(ExprRef S, ExprRef K) {
+  assert(S->sort() == Sort::State && K->sort() == Sort::Obj);
+  return make(ExprKind::MapGet, Sort::Obj, 0, "", {S, K});
+}
+
+ExprRef ExprFactory::mapHasKey(ExprRef S, ExprRef K) {
+  assert(S->sort() == Sort::State && K->sort() == Sort::Obj);
+  return make(ExprKind::MapHasKey, Sort::Bool, 0, "", {S, K});
+}
+
+ExprRef ExprFactory::seqAt(ExprRef S, ExprRef I) {
+  assert(S->sort() == Sort::State && I->sort() == Sort::Int);
+  return make(ExprKind::SeqAt, Sort::Obj, 0, "", {S, I});
+}
+
+ExprRef ExprFactory::seqLen(ExprRef S) {
+  assert(S->sort() == Sort::State);
+  return make(ExprKind::SeqLen, Sort::Int, 0, "", {S});
+}
+
+ExprRef ExprFactory::seqIndexOf(ExprRef S, ExprRef V) {
+  assert(S->sort() == Sort::State && V->sort() == Sort::Obj);
+  return make(ExprKind::SeqIndexOf, Sort::Int, 0, "", {S, V});
+}
+
+ExprRef ExprFactory::seqLastIndexOf(ExprRef S, ExprRef V) {
+  assert(S->sort() == Sort::State && V->sort() == Sort::Obj);
+  return make(ExprKind::SeqLastIndexOf, Sort::Int, 0, "", {S, V});
+}
+
+ExprRef ExprFactory::stateSize(ExprRef S) {
+  assert(S->sort() == Sort::State);
+  return make(ExprKind::StateSize, Sort::Int, 0, "", {S});
+}
+
+ExprRef ExprFactory::counterValue(ExprRef S) {
+  assert(S->sort() == Sort::State);
+  return make(ExprKind::CounterValue, Sort::Int, 0, "", {S});
+}
+
+ExprRef ExprFactory::forallInt(const std::string &BoundVar, ExprRef Lo,
+                               ExprRef Hi, ExprRef Body) {
+  assert(Lo->sort() == Sort::Int && Hi->sort() == Sort::Int &&
+         Body->sort() == Sort::Bool);
+  return make(ExprKind::Forall, Sort::Bool, 0, BoundVar, {Lo, Hi, Body});
+}
+
+ExprRef ExprFactory::existsInt(const std::string &BoundVar, ExprRef Lo,
+                               ExprRef Hi, ExprRef Body) {
+  assert(Lo->sort() == Sort::Int && Hi->sort() == Sort::Int &&
+         Body->sort() == Sort::Bool);
+  return make(ExprKind::Exists, Sort::Bool, 0, BoundVar, {Lo, Hi, Body});
+}
+
+ExprRef ExprFactory::substitute(ExprRef E,
+                                const std::map<std::string, ExprRef> &Subst) {
+  switch (E->kind()) {
+  case ExprKind::ConstBool:
+  case ExprKind::ConstInt:
+  case ExprKind::ConstNull:
+    return E;
+  case ExprKind::Var: {
+    auto It = Subst.find(E->name());
+    if (It == Subst.end())
+      return E;
+    assert(It->second->sort() == E->sort() &&
+           "substitution changes the sort of a variable");
+    return It->second;
+  }
+  case ExprKind::Forall:
+  case ExprKind::Exists: {
+    // The bound variable shadows any outer binding of the same name.
+    std::map<std::string, ExprRef> Inner = Subst;
+    Inner.erase(E->name());
+    ExprRef Lo = substitute(E->operand(0), Subst);
+    ExprRef Hi = substitute(E->operand(1), Subst);
+    ExprRef Body = substitute(E->operand(2), Inner);
+    return E->kind() == ExprKind::Forall
+               ? forallInt(E->name(), Lo, Hi, Body)
+               : existsInt(E->name(), Lo, Hi, Body);
+  }
+  default:
+    break;
+  }
+
+  std::vector<ExprRef> NewOps;
+  NewOps.reserve(E->numOperands());
+  bool Changed = false;
+  for (ExprRef Op : E->operands()) {
+    ExprRef NewOp = substitute(Op, Subst);
+    Changed |= (NewOp != Op);
+    NewOps.push_back(NewOp);
+  }
+  if (!Changed)
+    return E;
+
+  switch (E->kind()) {
+  case ExprKind::Add:
+    return add(NewOps[0], NewOps[1]);
+  case ExprKind::Sub:
+    return sub(NewOps[0], NewOps[1]);
+  case ExprKind::Neg:
+    return neg(NewOps[0]);
+  case ExprKind::Eq:
+    return eq(NewOps[0], NewOps[1]);
+  case ExprKind::Lt:
+    return lt(NewOps[0], NewOps[1]);
+  case ExprKind::Le:
+    return le(NewOps[0], NewOps[1]);
+  case ExprKind::Not:
+    return lnot(NewOps[0]);
+  case ExprKind::And:
+    return conj(std::move(NewOps));
+  case ExprKind::Or:
+    return disj(std::move(NewOps));
+  case ExprKind::Implies:
+    return implies(NewOps[0], NewOps[1]);
+  case ExprKind::Iff:
+    return iff(NewOps[0], NewOps[1]);
+  case ExprKind::Ite:
+    return ite(NewOps[0], NewOps[1], NewOps[2]);
+  case ExprKind::SetContains:
+    return setContains(NewOps[0], NewOps[1]);
+  case ExprKind::MapGet:
+    return mapGet(NewOps[0], NewOps[1]);
+  case ExprKind::MapHasKey:
+    return mapHasKey(NewOps[0], NewOps[1]);
+  case ExprKind::SeqAt:
+    return seqAt(NewOps[0], NewOps[1]);
+  case ExprKind::SeqLen:
+    return seqLen(NewOps[0]);
+  case ExprKind::SeqIndexOf:
+    return seqIndexOf(NewOps[0], NewOps[1]);
+  case ExprKind::SeqLastIndexOf:
+    return seqLastIndexOf(NewOps[0], NewOps[1]);
+  case ExprKind::StateSize:
+    return stateSize(NewOps[0]);
+  case ExprKind::CounterValue:
+    return counterValue(NewOps[0]);
+  default:
+    semcomm_unreachable("unhandled expression kind in substitute");
+  }
+}

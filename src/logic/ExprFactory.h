@@ -1,0 +1,107 @@
+//===- logic/ExprFactory.h - Hash-consing expression builder ---*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExprFactory owns and uniques all Expr nodes (the Z3-Context-style
+/// ownership model). Smart constructors perform only lightweight,
+/// semantics-preserving folding (constant folding, unit laws, flattening of
+/// n-ary connectives) so printed conditions keep the shape their authors
+/// wrote.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_EXPRFACTORY_H
+#define SEMCOMM_LOGIC_EXPRFACTORY_H
+
+#include "logic/Expr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace semcomm {
+
+/// Creates and uniques expressions. All ExprRefs obtained from a factory are
+/// valid for the factory's lifetime; structural equality is pointer equality.
+class ExprFactory {
+public:
+  ExprFactory();
+  ExprFactory(const ExprFactory &) = delete;
+  ExprFactory &operator=(const ExprFactory &) = delete;
+
+  // Leaves.
+  ExprRef boolConst(bool B);
+  ExprRef trueExpr() { return CachedTrue; }
+  ExprRef falseExpr() { return CachedFalse; }
+  ExprRef intConst(int64_t N);
+  ExprRef nullConst();
+  ExprRef var(const std::string &Name, Sort S);
+
+  // Integer terms.
+  ExprRef add(ExprRef A, ExprRef B);
+  ExprRef sub(ExprRef A, ExprRef B);
+  ExprRef neg(ExprRef A);
+
+  // Atoms.
+  ExprRef eq(ExprRef A, ExprRef B);
+  ExprRef ne(ExprRef A, ExprRef B) { return lnot(eq(A, B)); }
+  ExprRef lt(ExprRef A, ExprRef B);
+  ExprRef le(ExprRef A, ExprRef B);
+  ExprRef gt(ExprRef A, ExprRef B) { return lt(B, A); }
+  ExprRef ge(ExprRef A, ExprRef B) { return le(B, A); }
+
+  // Connectives (n-ary conj/disj flatten and apply unit laws).
+  ExprRef lnot(ExprRef A);
+  ExprRef conj(std::vector<ExprRef> Ops);
+  ExprRef disj(std::vector<ExprRef> Ops);
+  ExprRef conj2(ExprRef A, ExprRef B) { return conj({A, B}); }
+  ExprRef disj2(ExprRef A, ExprRef B) { return disj({A, B}); }
+  ExprRef implies(ExprRef A, ExprRef B);
+  ExprRef iff(ExprRef A, ExprRef B);
+  ExprRef ite(ExprRef C, ExprRef T, ExprRef E);
+
+  // State queries. \p S must be State-sorted.
+  ExprRef setContains(ExprRef S, ExprRef V);
+  ExprRef mapGet(ExprRef S, ExprRef K);
+  ExprRef mapHasKey(ExprRef S, ExprRef K);
+  ExprRef seqAt(ExprRef S, ExprRef I);
+  ExprRef seqLen(ExprRef S);
+  ExprRef seqIndexOf(ExprRef S, ExprRef V);
+  ExprRef seqLastIndexOf(ExprRef S, ExprRef V);
+  ExprRef stateSize(ExprRef S);
+  ExprRef counterValue(ExprRef S);
+
+  // Bounded integer quantifiers over [Lo, Hi] inclusive.
+  ExprRef forallInt(const std::string &BoundVar, ExprRef Lo, ExprRef Hi,
+                    ExprRef Body);
+  ExprRef existsInt(const std::string &BoundVar, ExprRef Lo, ExprRef Hi,
+                    ExprRef Body);
+
+  /// Capture-free substitution of variables by expressions.
+  ExprRef substitute(ExprRef E,
+                     const std::map<std::string, ExprRef> &Subst);
+
+  /// Number of distinct nodes allocated (diagnostics / tests).
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  ExprRef make(ExprKind K, Sort S, int64_t Payload, std::string Name,
+               std::vector<const Expr *> Ops);
+
+  using Key = std::tuple<ExprKind, Sort, int64_t, std::string,
+                         std::vector<const Expr *>>;
+  std::map<Key, std::unique_ptr<Expr>> Nodes;
+  ExprRef CachedTrue = nullptr;
+  ExprRef CachedFalse = nullptr;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_EXPRFACTORY_H

@@ -1,0 +1,281 @@
+//===- logic/Printer.cpp - Two-dialect condition printing -----------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Printer.h"
+
+#include "support/Unreachable.h"
+
+#include <string>
+
+using namespace semcomm;
+
+namespace {
+
+/// Binding powers; a child is parenthesized when its level is strictly lower
+/// than its context requires.
+enum Level : int {
+  LevelIff = 0,
+  LevelImplies = 1,
+  LevelOr = 2,
+  LevelAnd = 3,
+  LevelNot = 4,
+  LevelCmp = 5,
+  LevelAddSub = 6,
+  LevelNeg = 7,
+  LevelAtom = 8,
+};
+
+class PrinterImpl {
+public:
+  explicit PrinterImpl(PrintDialect D) : Dialect(D) {}
+
+  std::string print(ExprRef E, int MinLevel) {
+    int Level;
+    std::string S = render(E, Level);
+    if (Level < MinLevel)
+      return "(" + S + ")";
+    return S;
+  }
+
+private:
+  bool abstractDialect() const { return Dialect == PrintDialect::Abstract; }
+
+  /// Renders \p E, reporting the binding level of the produced text.
+  std::string render(ExprRef E, int &Level);
+
+  /// Tries the special-cased renderings of negated atoms (`~=`, `~in`,
+  /// `>=`, `>`); returns empty if no special case applies.
+  std::string renderNot(ExprRef Inner, int &Level);
+
+  /// Tries the pair-notation renderings for map atoms in the abstract
+  /// dialect; returns empty if not applicable.
+  std::string renderMapEq(ExprRef Lhs, ExprRef Rhs, bool Negated, int &Level);
+
+  PrintDialect Dialect;
+};
+
+std::string PrinterImpl::renderMapEq(ExprRef Lhs, ExprRef Rhs, bool Negated,
+                                     int &Level) {
+  // Normalize so the MapGet is on the left.
+  if (Rhs->kind() == ExprKind::MapGet)
+    std::swap(Lhs, Rhs);
+  if (Lhs->kind() != ExprKind::MapGet)
+    return "";
+  std::string StateName = print(Lhs->operand(0), LevelAtom);
+  std::string KeyText = print(Lhs->operand(1), 0);
+  if (!abstractDialect()) {
+    Level = LevelCmp;
+    std::string Op = Negated ? " != " : " == ";
+    return StateName + ".get(" + KeyText + ")" + Op + print(Rhs, LevelAddSub);
+  }
+  Level = LevelAtom;
+  // (k, v) in s  /  (k, _) ~in s for comparisons against null.
+  if (Rhs->kind() == ExprKind::ConstNull)
+    return "(" + KeyText + ", _) " + (Negated ? "in " : "~in ") + StateName;
+  return "(" + KeyText + ", " + print(Rhs, 0) + ") " +
+         (Negated ? "~in " : "in ") + StateName;
+}
+
+std::string PrinterImpl::renderNot(ExprRef Inner, int &Level) {
+  switch (Inner->kind()) {
+  case ExprKind::Eq: {
+    std::string MapForm =
+        renderMapEq(Inner->operand(0), Inner->operand(1), true, Level);
+    if (!MapForm.empty())
+      return MapForm;
+    Level = LevelCmp;
+    return print(Inner->operand(0), LevelAddSub) +
+           (abstractDialect() ? " ~= " : " != ") +
+           print(Inner->operand(1), LevelAddSub);
+  }
+  case ExprKind::Lt:
+    Level = LevelCmp;
+    return print(Inner->operand(0), LevelAddSub) + " >= " +
+           print(Inner->operand(1), LevelAddSub);
+  case ExprKind::Le:
+    Level = LevelCmp;
+    return print(Inner->operand(0), LevelAddSub) + " > " +
+           print(Inner->operand(1), LevelAddSub);
+  case ExprKind::SetContains:
+    Level = abstractDialect() ? LevelAtom : LevelNot;
+    if (abstractDialect())
+      return print(Inner->operand(1), LevelAddSub) + " ~in " +
+             print(Inner->operand(0), LevelAtom);
+    return "!" + print(Inner->operand(0), LevelAtom) + ".contains(" +
+           print(Inner->operand(1), 0) + ")";
+  case ExprKind::MapHasKey:
+    Level = abstractDialect() ? LevelAtom : LevelNot;
+    if (abstractDialect())
+      return "(" + print(Inner->operand(1), 0) + ", _) ~in " +
+             print(Inner->operand(0), LevelAtom);
+    return "!" + print(Inner->operand(0), LevelAtom) + ".containsKey(" +
+           print(Inner->operand(1), 0) + ")";
+  default:
+    return "";
+  }
+}
+
+std::string PrinterImpl::render(ExprRef E, int &Level) {
+  switch (E->kind()) {
+  case ExprKind::ConstBool:
+    Level = LevelAtom;
+    return E->boolValue() ? "true" : "false";
+  case ExprKind::ConstInt:
+    Level = LevelAtom;
+    return std::to_string(E->intValue());
+  case ExprKind::ConstNull:
+    Level = LevelAtom;
+    return "null";
+  case ExprKind::Var:
+    Level = LevelAtom;
+    return E->name();
+
+  case ExprKind::Add:
+    Level = LevelAddSub;
+    return print(E->operand(0), LevelAddSub) + " + " +
+           print(E->operand(1), LevelNeg);
+  case ExprKind::Sub:
+    Level = LevelAddSub;
+    return print(E->operand(0), LevelAddSub) + " - " +
+           print(E->operand(1), LevelNeg);
+  case ExprKind::Neg:
+    Level = LevelNeg;
+    return "-" + print(E->operand(0), LevelAtom);
+
+  case ExprKind::Eq: {
+    std::string MapForm =
+        renderMapEq(E->operand(0), E->operand(1), false, Level);
+    if (!MapForm.empty())
+      return MapForm;
+    Level = LevelCmp;
+    return print(E->operand(0), LevelAddSub) +
+           (abstractDialect() ? " = " : " == ") +
+           print(E->operand(1), LevelAddSub);
+  }
+  case ExprKind::Lt:
+    Level = LevelCmp;
+    return print(E->operand(0), LevelAddSub) + " < " +
+           print(E->operand(1), LevelAddSub);
+  case ExprKind::Le:
+    Level = LevelCmp;
+    return print(E->operand(0), LevelAddSub) + " <= " +
+           print(E->operand(1), LevelAddSub);
+
+  case ExprKind::Not: {
+    std::string Special = renderNot(E->operand(0), Level);
+    if (!Special.empty())
+      return Special;
+    Level = LevelNot;
+    return (abstractDialect() ? "~" : "!") + print(E->operand(0), LevelNot);
+  }
+  case ExprKind::And: {
+    Level = LevelAnd;
+    std::string S;
+    for (ExprRef Op : E->operands()) {
+      if (!S.empty())
+        S += abstractDialect() ? " & " : " && ";
+      S += print(Op, LevelAnd + 1);
+    }
+    return S;
+  }
+  case ExprKind::Or: {
+    Level = LevelOr;
+    std::string S;
+    for (ExprRef Op : E->operands()) {
+      if (!S.empty())
+        S += abstractDialect() ? " | " : " || ";
+      S += print(Op, LevelOr + 1);
+    }
+    return S;
+  }
+  case ExprKind::Implies:
+    Level = LevelImplies;
+    return print(E->operand(0), LevelImplies + 1) +
+           (abstractDialect() ? " --> " : " ==> ") +
+           print(E->operand(1), LevelImplies);
+  case ExprKind::Iff:
+    Level = LevelIff;
+    return print(E->operand(0), LevelIff + 1) +
+           (abstractDialect() ? " <-> " : " <==> ") +
+           print(E->operand(1), LevelIff + 1);
+  case ExprKind::Ite:
+    Level = LevelAtom;
+    return "(" + print(E->operand(0), 0) + " ? " + print(E->operand(1), 0) +
+           " : " + print(E->operand(2), 0) + ")";
+
+  case ExprKind::SetContains:
+    Level = abstractDialect() ? LevelAtom : LevelAtom;
+    if (abstractDialect())
+      return print(E->operand(1), LevelAddSub) + " in " +
+             print(E->operand(0), LevelAtom);
+    return print(E->operand(0), LevelAtom) + ".contains(" +
+           print(E->operand(1), 0) + ")";
+  case ExprKind::MapGet:
+    Level = LevelAtom;
+    return print(E->operand(0), LevelAtom) +
+           (abstractDialect() ? ".get(" : ".get(") +
+           print(E->operand(1), 0) + ")";
+  case ExprKind::MapHasKey:
+    Level = LevelAtom;
+    if (abstractDialect())
+      return "(" + print(E->operand(1), 0) + ", _) in " +
+             print(E->operand(0), LevelAtom);
+    return print(E->operand(0), LevelAtom) + ".containsKey(" +
+           print(E->operand(1), 0) + ")";
+  case ExprKind::SeqAt:
+    Level = LevelAtom;
+    if (abstractDialect())
+      return print(E->operand(0), LevelAtom) + "[" + print(E->operand(1), 0) +
+             "]";
+    return print(E->operand(0), LevelAtom) + ".get(" +
+           print(E->operand(1), 0) + ")";
+  case ExprKind::SeqLen:
+  case ExprKind::StateSize:
+    Level = LevelAtom;
+    if (abstractDialect())
+      return "|" + print(E->operand(0), LevelAtom) + "|";
+    return print(E->operand(0), LevelAtom) + ".size()";
+  case ExprKind::SeqIndexOf:
+    Level = LevelAtom;
+    if (abstractDialect())
+      return "idx(" + print(E->operand(0), 0) + ", " +
+             print(E->operand(1), 0) + ")";
+    return print(E->operand(0), LevelAtom) + ".indexOf(" +
+           print(E->operand(1), 0) + ")";
+  case ExprKind::SeqLastIndexOf:
+    Level = LevelAtom;
+    if (abstractDialect())
+      return "lidx(" + print(E->operand(0), 0) + ", " +
+             print(E->operand(1), 0) + ")";
+    return print(E->operand(0), LevelAtom) + ".lastIndexOf(" +
+           print(E->operand(1), 0) + ")";
+  case ExprKind::CounterValue:
+    Level = LevelAtom;
+    if (abstractDialect())
+      return "val(" + print(E->operand(0), 0) + ")";
+    return print(E->operand(0), LevelAtom) + ".read()";
+
+  case ExprKind::Forall:
+  case ExprKind::Exists: {
+    Level = LevelIff;
+    const char *Head = E->kind() == ExprKind::Forall ? "ALL " : "EX ";
+    return std::string(Head) + E->name() + " : " +
+           print(E->operand(0), LevelAddSub) + ".." +
+           print(E->operand(1), LevelAddSub) + ". " +
+           print(E->operand(2), LevelImplies);
+  }
+  }
+  semcomm_unreachable("invalid expression kind in printer");
+}
+
+} // namespace
+
+std::string semcomm::printExpr(ExprRef E, PrintDialect D) {
+  PrinterImpl P(D);
+  return P.print(E, 0);
+}

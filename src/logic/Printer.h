@@ -1,0 +1,48 @@
+//===- logic/Printer.h - Two-dialect condition printing ---------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions in the two dialects of the paper's condition tables
+/// (Tables 5.1-5.7):
+///
+///  * Abstract: the third column — math over abstract states, e.g.
+///    `v1 ~= v2 | v1 in s1`, `(k1, v2) in s1`, `|s2| - 1`, `s2[i2] = v2`.
+///  * Concrete: the fourth column — queries invocable on the running data
+///    structure, e.g. `v1 != v2 || s1.contains(v1)`, `s1.get(k1) == v2`,
+///    `s2.size() - 1`, `s2.get(i2) == v2`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_PRINTER_H
+#define SEMCOMM_LOGIC_PRINTER_H
+
+#include "logic/Expr.h"
+
+#include <string>
+
+namespace semcomm {
+
+/// Which table column to render.
+enum class PrintDialect { Abstract, Concrete };
+
+/// Renders \p E with minimal parentheses in dialect \p D.
+std::string printExpr(ExprRef E, PrintDialect D);
+
+/// Shorthand for the abstract (third-column) rendering.
+inline std::string printAbstract(ExprRef E) {
+  return printExpr(E, PrintDialect::Abstract);
+}
+
+/// Shorthand for the concrete (fourth-column) rendering.
+inline std::string printConcrete(ExprRef E) {
+  return printExpr(E, PrintDialect::Concrete);
+}
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_PRINTER_H

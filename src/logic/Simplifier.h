@@ -1,0 +1,47 @@
+//===- logic/Simplifier.h - Boolean simplification & queries ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Light semantics-preserving boolean simplification (used when deriving
+/// lattice conditions by dropping disjuncts, §5.1/Ch. 6) plus structural
+/// queries over expressions: free variables, referenced states, and the
+/// top-level disjunct decomposition that the commutativity lattice operates
+/// on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_SIMPLIFIER_H
+#define SEMCOMM_LOGIC_SIMPLIFIER_H
+
+#include "logic/Expr.h"
+#include "logic/ExprFactory.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// Simplifies \p E: constant folding, flattening, duplicate removal, unit
+/// and complement laws. The result is logically equivalent to \p E.
+ExprRef simplify(ExprFactory &F, ExprRef E);
+
+/// The top-level disjuncts of \p E (the clause set of the paper's
+/// "disjunction of clauses" conditions); a non-Or expression is a single
+/// disjunct.
+std::vector<ExprRef> collectDisjuncts(ExprRef E);
+
+/// Collects the free scalar variable names of \p E into \p Out.
+void collectFreeVars(ExprRef E, std::set<std::string> &Out);
+
+/// Collects the names of the states (s1, s2, s3) that \p E queries.
+void collectStateNames(ExprRef E, std::set<std::string> &Out);
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_SIMPLIFIER_H

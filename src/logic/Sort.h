@@ -1,0 +1,48 @@
+//===- logic/Sort.h - Sorts of the specification logic ---------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four sorts of the first-order fragment the paper's commutativity
+/// conditions live in: booleans, mathematical integers, object references
+/// (which include null), and abstract data structure states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_SORT_H
+#define SEMCOMM_LOGIC_SORT_H
+
+#include <cstdint>
+
+namespace semcomm {
+
+/// The sort (logic-level type) of an expression.
+enum class Sort : uint8_t {
+  Bool,
+  Int,
+  Obj,   ///< Object reference; the null constant inhabits this sort.
+  State, ///< Abstract data structure state (s1, s2, s3 in the paper).
+};
+
+/// Human-readable sort name for diagnostics.
+inline const char *sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "bool";
+  case Sort::Int:
+    return "int";
+  case Sort::Obj:
+    return "obj";
+  case Sort::State:
+    return "state";
+  }
+  return "<invalid>";
+}
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_SORT_H

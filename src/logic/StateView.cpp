@@ -1,0 +1,51 @@
+//===- logic/StateView.cpp - Query interface over a data structure -------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/StateView.h"
+
+#include "support/Unreachable.h"
+
+using namespace semcomm;
+
+StateView::~StateView() = default;
+
+bool StateView::contains(const Value &) const {
+  semcomm_unreachable("contains() queried on a non-set state");
+}
+
+Value StateView::mapGet(const Value &) const {
+  semcomm_unreachable("mapGet() queried on a non-map state");
+}
+
+bool StateView::mapHasKey(const Value &) const {
+  semcomm_unreachable("mapHasKey() queried on a non-map state");
+}
+
+int64_t StateView::seqLen() const {
+  semcomm_unreachable("seqLen() queried on a non-sequence state");
+}
+
+Value StateView::seqAt(int64_t) const {
+  semcomm_unreachable("seqAt() queried on a non-sequence state");
+}
+
+int64_t StateView::seqIndexOf(const Value &) const {
+  semcomm_unreachable("seqIndexOf() queried on a non-sequence state");
+}
+
+int64_t StateView::seqLastIndexOf(const Value &) const {
+  semcomm_unreachable("seqLastIndexOf() queried on a non-sequence state");
+}
+
+int64_t StateView::size() const {
+  semcomm_unreachable("size() queried on a state without a size");
+}
+
+int64_t StateView::counter() const {
+  semcomm_unreachable("counter() queried on a non-accumulator state");
+}

@@ -1,0 +1,64 @@
+//===- logic/StateView.h - Query interface over a data structure *- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// StateView is the bridge between the logic's state-query atoms and any
+/// state they may be evaluated against. Abstract states (spec module)
+/// implement it directly; the concrete linked data structures (impl module)
+/// implement it through adapters, which is exactly how the paper's *fourth
+/// table column* — commutativity conditions over the concrete structure —
+/// is evaluated at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_STATEVIEW_H
+#define SEMCOMM_LOGIC_STATEVIEW_H
+
+#include "logic/Value.h"
+
+#include <cstdint>
+
+namespace semcomm {
+
+/// Read-only query interface over a (set / map / sequence / counter) state.
+/// Queries that do not apply to the underlying state kind abort; queries
+/// that are partial on their arguments (seqAt out of range, mapGet of an
+/// absent key) return Value::undef() / Value::null() respectively, keeping
+/// condition evaluation total.
+class StateView {
+public:
+  virtual ~StateView();
+
+  /// Set interface: is \p V an element of the abstract set?
+  virtual bool contains(const Value &V) const;
+
+  /// Map interface: the value bound to key \p K, or null if unbound.
+  virtual Value mapGet(const Value &K) const;
+  /// Map interface: is \p K bound?
+  virtual bool mapHasKey(const Value &K) const;
+
+  /// Sequence interface: number of elements.
+  virtual int64_t seqLen() const;
+  /// Sequence interface: element at \p I, or Undef when out of range.
+  virtual Value seqAt(int64_t I) const;
+  /// Sequence interface: first index holding \p V, or -1.
+  virtual int64_t seqIndexOf(const Value &V) const;
+  /// Sequence interface: last index holding \p V, or -1.
+  virtual int64_t seqLastIndexOf(const Value &V) const;
+
+  /// Size of the container (set cardinality, map entry count, sequence
+  /// length).
+  virtual int64_t size() const;
+
+  /// Accumulator interface: current counter value.
+  virtual int64_t counter() const;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_LOGIC_STATEVIEW_H

@@ -1,0 +1,46 @@
+//===- logic/Value.cpp - Runtime values of the specification logic -------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Value.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace semcomm;
+
+bool Value::asBool() const {
+  assert(Kind == KindType::Bool && "asBool on a non-boolean value");
+  return Payload != 0;
+}
+
+int64_t Value::asInt() const {
+  assert(Kind == KindType::Int && "asInt on a non-integer value");
+  return Payload;
+}
+
+int64_t Value::objId() const {
+  assert(Kind == KindType::Obj && "objId on a non-object value");
+  return Payload;
+}
+
+std::string Value::str() const {
+  switch (Kind) {
+  case KindType::Null:
+    return "null";
+  case KindType::Bool:
+    return Payload ? "true" : "false";
+  case KindType::Int:
+    return std::to_string(Payload);
+  case KindType::Obj:
+    return "o" + std::to_string(Payload);
+  case KindType::Undef:
+    return "undef";
+  }
+  semcomm_unreachable("invalid value kind");
+}

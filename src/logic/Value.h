@@ -1,0 +1,99 @@
+//===- logic/Value.h - Runtime values of the specification logic -*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the scalar domain shared by the specification logic, the abstract
+/// data structure states, and the concrete implementations: Java-style object
+/// identities, null, mathematical integers, booleans, and a distinguished
+/// Undef used to totalize partial queries (e.g. out-of-range sequence reads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_LOGIC_VALUE_H
+#define SEMCOMM_LOGIC_VALUE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace semcomm {
+
+/// A scalar runtime value. Obj values model Java object references by
+/// identity; two Obj values are equal iff their identities are equal.
+/// Undef never compares equal to anything, including itself, mirroring the
+/// convention that a mis-guarded partial query falsifies the enclosing atom.
+class Value {
+public:
+  enum class KindType : uint8_t { Null, Bool, Int, Obj, Undef };
+
+  /// Default-constructs the null reference.
+  Value() : Kind(KindType::Null), Payload(0) {}
+
+  static Value null() { return Value(); }
+  static Value boolean(bool B) { return Value(KindType::Bool, B ? 1 : 0); }
+  static Value integer(int64_t N) { return Value(KindType::Int, N); }
+  static Value obj(int64_t Id) { return Value(KindType::Obj, Id); }
+  static Value undef() { return Value(KindType::Undef, 0); }
+
+  KindType kind() const { return Kind; }
+  bool isNull() const { return Kind == KindType::Null; }
+  bool isBool() const { return Kind == KindType::Bool; }
+  bool isInt() const { return Kind == KindType::Int; }
+  bool isObj() const { return Kind == KindType::Obj; }
+  bool isUndef() const { return Kind == KindType::Undef; }
+
+  /// The boolean payload; only valid for Bool values.
+  bool asBool() const;
+  /// The integer payload; only valid for Int values.
+  int64_t asInt() const;
+  /// The object identity; only valid for Obj values.
+  int64_t objId() const;
+
+  /// Semantic equality as used by the logic's `=` atom: Undef is equal to
+  /// nothing (not even itself).
+  bool semanticEquals(const Value &Other) const {
+    if (Kind == KindType::Undef || Other.Kind == KindType::Undef)
+      return false;
+    return Kind == Other.Kind && Payload == Other.Payload;
+  }
+
+  /// Structural equality (Undef == Undef holds); used by containers.
+  friend bool operator==(const Value &A, const Value &B) {
+    return A.Kind == B.Kind && A.Payload == B.Payload;
+  }
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+  /// Arbitrary-but-total order for use as container keys.
+  friend bool operator<(const Value &A, const Value &B) {
+    if (A.Kind != B.Kind)
+      return static_cast<int>(A.Kind) < static_cast<int>(B.Kind);
+    return A.Payload < B.Payload;
+  }
+
+  /// Renders the value for diagnostics: null, true, 42, o3, undef.
+  std::string str() const;
+
+  /// A hash consistent with operator==.
+  size_t hashCode() const {
+    return std::hash<int64_t>()(Payload) * 31u + static_cast<size_t>(Kind);
+  }
+
+private:
+  Value(KindType K, int64_t P) : Kind(K), Payload(P) {}
+
+  KindType Kind;
+  int64_t Payload;
+};
+
+} // namespace semcomm
+
+template <> struct std::hash<semcomm::Value> {
+  size_t operator()(const semcomm::Value &V) const { return V.hashCode(); }
+};
+
+#endif // SEMCOMM_LOGIC_VALUE_H

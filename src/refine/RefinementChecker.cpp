@@ -1,0 +1,137 @@
+//===- refine/RefinementChecker.cpp - Impl-vs-spec simulation --------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/RefinementChecker.h"
+
+#include <random>
+
+using namespace semcomm;
+
+namespace {
+
+/// Shared single-step checker: applies one operation to both the concrete
+/// structure and its abstract shadow, comparing results.
+class StepChecker {
+public:
+  explicit StepChecker(RefinementResult &Result) : Result(Result) {}
+
+  /// Returns false (and records the failure) if the step breaks the
+  /// simulation; the operation must satisfy its precondition.
+  bool step(ConcreteStructure &C, AbstractState &Shadow, const Operation &Op,
+            const ArgList &Args) {
+    ++Result.StepsChecked;
+    Value ConcreteRet = C.invoke(Op.CallName, Args);
+    Value SpecRet = Op.Apply(Shadow, Args);
+
+    if (!C.repOk()) {
+      fail(C, Op, Args, "representation invariant violated");
+      return false;
+    }
+    if (Op.HasReturn && ConcreteRet != SpecRet) {
+      fail(C, Op, Args,
+           "return value " + ConcreteRet.str() + " differs from spec's " +
+               SpecRet.str());
+      return false;
+    }
+    if (!(C.abstraction() == Shadow)) {
+      fail(C, Op, Args,
+           "abstraction " + C.abstraction().str() +
+               " differs from spec state " + Shadow.str());
+      return false;
+    }
+    return true;
+  }
+
+private:
+  void fail(ConcreteStructure &C, const Operation &Op, const ArgList &Args,
+            const std::string &Why) {
+    std::string ArgText;
+    for (const Value &V : Args)
+      ArgText += (ArgText.empty() ? "" : ", ") + V.str();
+    Result.Ok = false;
+    Result.FailureNote =
+        C.name() + "." + Op.CallName + "(" + ArgText + "): " + Why;
+  }
+
+  RefinementResult &Result;
+};
+
+} // namespace
+
+RefinementResult
+semcomm::checkRefinementExhaustive(const StructureFactory &Factory, int Depth,
+                                   const Scope &Bounds) {
+  RefinementResult Result;
+  Result.Ok = true;
+  const Family &Fam = *Factory.Fam;
+  StepChecker Checker(Result);
+
+  // Depth-first over operation sequences; concrete states are cloned at
+  // each branch so sibling branches see independent histories.
+  struct Frame {
+    std::unique_ptr<ConcreteStructure> C;
+    AbstractState Shadow;
+    int Remaining;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Factory.Make(), Fam.emptyState(), Depth});
+
+  while (!Stack.empty()) {
+    Frame Current = std::move(Stack.back());
+    Stack.pop_back();
+    if (Current.Remaining == 0)
+      continue;
+    for (const Operation &Op : Fam.Ops) {
+      if (!Op.RecordsReturn && Op.HasReturn)
+        continue; // The discarded variants execute identical code.
+      for (const ArgList &Args :
+           enumerateArgs(Fam, Op, Current.Shadow, Bounds)) {
+        if (!Op.Pre(Current.Shadow, Args))
+          continue;
+        Frame Next{Current.C->clone(), Current.Shadow,
+                   Current.Remaining - 1};
+        if (!Checker.step(*Next.C, Next.Shadow, Op, Args))
+          return Result;
+        if (Op.Mutates)
+          Stack.push_back(std::move(Next));
+        // Pure operations cannot change the state; re-exploring from them
+        // would only duplicate work.
+      }
+    }
+  }
+  return Result;
+}
+
+RefinementResult
+semcomm::checkRefinementRandomized(const StructureFactory &Factory, int Walks,
+                                   int Length, uint64_t Seed,
+                                   const Scope &Bounds) {
+  RefinementResult Result;
+  Result.Ok = true;
+  const Family &Fam = *Factory.Fam;
+  StepChecker Checker(Result);
+  std::mt19937_64 Rng(Seed);
+
+  for (int W = 0; W < Walks; ++W) {
+    std::unique_ptr<ConcreteStructure> C = Factory.Make();
+    AbstractState Shadow = Fam.emptyState();
+    for (int Step = 0; Step < Length; ++Step) {
+      const Operation &Op = Fam.Ops[Rng() % Fam.Ops.size()];
+      std::vector<ArgList> Candidates =
+          enumerateArgs(Fam, Op, Shadow, Bounds);
+      if (Candidates.empty())
+        continue;
+      const ArgList &Args = Candidates[Rng() % Candidates.size()];
+      if (!Op.Pre(Shadow, Args))
+        continue;
+      if (!Checker.step(*C, Shadow, Op, Args))
+        return Result;
+    }
+  }
+  return Result;
+}

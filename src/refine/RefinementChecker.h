@@ -1,0 +1,54 @@
+//===- refine/RefinementChecker.h - Impl-vs-spec simulation -----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper builds on fully verified implementations (Zee et al., PLDI'08):
+/// every structure provably implements its abstract specification, which is
+/// what licenses reasoning about commutativity at the abstract level. As
+/// our offline substitute (DESIGN.md §2), this module checks the forward
+/// simulation bounded-exhaustively and by long randomized walks:
+///
+///   for every reachable concrete state c and operation op(args):
+///     repOk(c), and
+///     a(c.op(args)) == spec(op)(a(c)), with equal return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_REFINE_REFINEMENTCHECKER_H
+#define SEMCOMM_REFINE_REFINEMENTCHECKER_H
+
+#include "impl/ConcreteStructure.h"
+
+#include <cstdint>
+#include <string>
+
+namespace semcomm {
+
+/// Outcome of a refinement check.
+struct RefinementResult {
+  bool Ok = false;
+  uint64_t StepsChecked = 0;
+  std::string FailureNote; ///< Empty when Ok.
+};
+
+/// Exhaustive forward-simulation check over all operation sequences of
+/// length <= \p Depth with arguments drawn from \p Bounds.
+RefinementResult checkRefinementExhaustive(const StructureFactory &Factory,
+                                           int Depth,
+                                           const Scope &Bounds = Scope());
+
+/// Randomized forward-simulation check: \p Walks random operation sequences
+/// of length \p Length each (deterministic in \p Seed).
+RefinementResult checkRefinementRandomized(const StructureFactory &Factory,
+                                           int Walks, int Length,
+                                           uint64_t Seed = 1,
+                                           const Scope &Bounds = Scope());
+
+} // namespace semcomm
+
+#endif // SEMCOMM_REFINE_REFINEMENTCHECKER_H

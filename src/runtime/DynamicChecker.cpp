@@ -1,0 +1,73 @@
+//===- runtime/DynamicChecker.cpp - Run-time condition checking ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DynamicChecker.h"
+
+#include "logic/Evaluator.h"
+#include "logic/Simplifier.h"
+
+using namespace semcomm;
+
+ExprRef DynamicChecker::betweenOf(const Family &Fam, const std::string &Op1,
+                                  const std::string &Op2) const {
+  return Cat.entry(Fam, Op1, Op2).Between;
+}
+
+void DynamicChecker::bindArgs(Env &E, const Family &Fam,
+                              const std::string &Op1, const ArgList &A1,
+                              const Value &R1, const std::string &Op2,
+                              const ArgList &A2) const {
+  const Operation &O1 = Fam.op(Op1);
+  const Operation &O2 = Fam.op(Op2);
+  for (size_t I = 0; I != A1.size(); ++I)
+    E.bind(O1.ArgBaseNames[I] + "1", A1[I]);
+  for (size_t I = 0; I != A2.size(); ++I)
+    E.bind(O2.ArgBaseNames[I] + "2", A2[I]);
+  if (O1.RecordsReturn)
+    E.bind("r1", R1);
+}
+
+bool DynamicChecker::commutesExact(const StateView &Before,
+                                   const ConcreteStructure &Live,
+                                   const std::string &Op1, const ArgList &A1,
+                                   const Value &R1, const std::string &Op2,
+                                   const ArgList &A2) const {
+  const Family &Fam = Live.family();
+  Env E;
+  bindArgs(E, Fam, Op1, A1, R1, Op2, A2);
+  E.bindState("s1", &Before);
+  E.bindState("s2", &Live);
+  return evaluateBool(betweenOf(Fam, Op1, Op2), E);
+}
+
+ExprRef DynamicChecker::conservativeBetween(const Family &Fam,
+                                            const std::string &Op1,
+                                            const std::string &Op2) const {
+  std::vector<ExprRef> Kept;
+  for (ExprRef Clause : collectDisjuncts(betweenOf(Fam, Op1, Op2))) {
+    std::set<std::string> States;
+    collectStateNames(Clause, States);
+    if (!States.count("s1"))
+      Kept.push_back(Clause);
+  }
+  return F.disj(std::move(Kept)); // Empty disjunction folds to false.
+}
+
+bool DynamicChecker::mayCommute(const ConcreteStructure &Live,
+                                const std::string &Op1, const ArgList &A1,
+                                const Value &R1, const std::string &Op2,
+                                const ArgList &A2) const {
+  const Family &Fam = Live.family();
+  ExprRef Phi = conservativeBetween(Fam, Op1, Op2);
+  if (Phi->isFalse())
+    return false;
+  Env E;
+  bindArgs(E, Fam, Op1, A1, R1, Op2, A2);
+  E.bindState("s2", &Live);
+  return evaluateBool(Phi, E);
+}

@@ -1,0 +1,70 @@
+//===- runtime/DynamicChecker.h - Run-time condition checking ---*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's dynamic usage of the conditions (§1.2, §4.1): systems that
+/// cannot statically resolve commutativity evaluate the *concrete dialect*
+/// of a between condition just before executing the second operation. This
+/// checker does exactly that against the live linked structure.
+///
+/// Between conditions may reference the initial state s1; at run time a
+/// system must either have saved those values or drop the clauses that
+/// need them, obtaining a sound but incomplete condition (§4.1.2 options
+/// 1 and 2). Both policies are provided; the conservative policy is the
+/// entry point of the commutativity lattice (Lattice.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_RUNTIME_DYNAMICCHECKER_H
+#define SEMCOMM_RUNTIME_DYNAMICCHECKER_H
+
+#include "commute/Condition.h"
+#include "impl/ConcreteStructure.h"
+#include "logic/Evaluator.h"
+
+namespace semcomm {
+
+/// Evaluates between conditions against live structures.
+class DynamicChecker {
+public:
+  DynamicChecker(ExprFactory &F, const Catalog &C) : F(F), Cat(C) {}
+
+  /// Exact check: evaluates the between condition of (Op1; Op2) with s1
+  /// bound to \p Before (a saved pre-state view) and s2 bound to \p Live.
+  bool commutesExact(const StateView &Before, const ConcreteStructure &Live,
+                     const std::string &Op1, const ArgList &A1,
+                     const Value &R1, const std::string &Op2,
+                     const ArgList &A2) const;
+
+  /// Conservative check requiring no saved state: clauses referencing s1
+  /// are dropped, leaving a sound, possibly incomplete condition evaluated
+  /// against \p Live only. Returns false ("may conflict") when every
+  /// clause needed s1.
+  bool mayCommute(const ConcreteStructure &Live, const std::string &Op1,
+                  const ArgList &A1, const Value &R1, const std::string &Op2,
+                  const ArgList &A2) const;
+
+  /// The conservative (s1-free) between condition used by mayCommute.
+  ExprRef conservativeBetween(const Family &Fam, const std::string &Op1,
+                              const std::string &Op2) const;
+
+private:
+  ExprRef betweenOf(const Family &Fam, const std::string &Op1,
+                    const std::string &Op2) const;
+
+  void bindArgs(Env &E, const Family &Fam, const std::string &Op1,
+                const ArgList &A1, const Value &R1, const std::string &Op2,
+                const ArgList &A2) const;
+
+  ExprFactory &F;
+  const Catalog &Cat;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_RUNTIME_DYNAMICCHECKER_H

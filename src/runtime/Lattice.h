@@ -1,0 +1,56 @@
+//===- runtime/Lattice.h - The commutativity lattice ------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §5.1 / Ch. 6 observe that the verified conditions are disjunctions of
+/// clauses, and that dropping clauses yields sound but incomplete
+/// conditions that are cheaper to evaluate but expose less concurrency —
+/// a lattice ordered by disjunction (Kulkarni et al.'s commutativity
+/// lattice). This module enumerates that lattice for a pair of operations,
+/// machine-checking soundness/completeness of every point and measuring
+/// the concurrency it exposes (the fraction of scenarios it accepts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_RUNTIME_LATTICE_H
+#define SEMCOMM_RUNTIME_LATTICE_H
+
+#include "commute/ExhaustiveEngine.h"
+
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// One point of the commutativity lattice of a pair of operations.
+struct LatticePoint {
+  ExprRef Condition = nullptr;
+  unsigned NumClauses = 0;
+  bool Sound = false;
+  bool Complete = false;
+  /// Fraction of (precondition-satisfying) scenarios the condition
+  /// accepts: the concurrency this point exposes to a dynamic checker.
+  double AcceptRate = 0.0;
+};
+
+/// Enumerates every clause subset of the between condition for
+/// (\p Op1; \p Op2) of \p Fam, verifying and measuring each point.
+std::vector<LatticePoint> buildLattice(ExprFactory &F, const Catalog &C,
+                                       const ExhaustiveEngine &Engine,
+                                       const Family &Fam,
+                                       const std::string &Op1,
+                                       const std::string &Op2);
+
+/// The acceptance rate of \p Phi as a between condition of (\p Op1; \p Op2).
+double acceptanceRate(const Family &Fam, const std::string &Op1,
+                      const std::string &Op2, ExprRef Phi,
+                      const Scope &Bounds = Scope());
+
+} // namespace semcomm
+
+#endif // SEMCOMM_RUNTIME_LATTICE_H

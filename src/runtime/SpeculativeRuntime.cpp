@@ -1,0 +1,194 @@
+//===- runtime/SpeculativeRuntime.cpp - Commutativity-based txns -----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SpeculativeRuntime.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace semcomm;
+
+/// Concretely executes the Table 5.10 inverse program of \p OpName on \p S.
+static void applyInverseConcrete(ConcreteStructure &S,
+                                 const std::string &OpName,
+                                 const ArgList &Args, const Value &Ret) {
+  const std::string Key = S.family().Name + "." + OpName;
+  if (Key == "Accumulator.increase") {
+    S.invoke("increase", {Value::integer(-Args[0].asInt())});
+    return;
+  }
+  if (Key == "Set.add") {
+    if (Ret.asBool())
+      S.invoke("remove", {Args[0]});
+    return;
+  }
+  if (Key == "Set.remove") {
+    if (Ret.asBool())
+      S.invoke("add", {Args[0]});
+    return;
+  }
+  if (Key == "Map.put") {
+    if (!Ret.isNull())
+      S.invoke("put", {Args[0], Ret});
+    else
+      S.invoke("remove", {Args[0]});
+    return;
+  }
+  if (Key == "Map.remove") {
+    if (!Ret.isNull())
+      S.invoke("put", {Args[0], Ret});
+    return;
+  }
+  if (Key == "ArrayList.add_at") {
+    S.invoke("remove_at", {Args[0]});
+    return;
+  }
+  if (Key == "ArrayList.remove_at") {
+    S.invoke("add_at", {Args[0], Ret});
+    return;
+  }
+  if (Key == "ArrayList.set") {
+    S.invoke("set", {Args[0], Ret});
+    return;
+  }
+  semcomm_unreachable("no concrete inverse for this operation");
+}
+
+SpeculativeRuntime::SpeculativeRuntime(ExprFactory &F, const Catalog &C,
+                                       const StructureFactory &Factory,
+                                       RollbackPolicy Policy)
+    : F(F), Checker(F, C), Factory(Factory), Policy(Policy),
+      Shared(Factory.Make()), Inverses(buildInverseSpecs()) {}
+
+void SpeculativeRuntime::abortTxn(unsigned T, RuntimeStats &Stats) {
+  TxState &St = States[T];
+  if (St.Log.empty() && St.Pc == 0) {
+    // Nothing executed yet: the conflict just delays the transaction.
+    ++Stats.Stalls;
+    return;
+  }
+  ++Stats.Aborts;
+
+  if (Policy == RollbackPolicy::Inverses) {
+    // Undo this transaction's effects in reverse order (§1.3); other
+    // transactions' effects stay in place — the inverses restore the
+    // *abstract* state contribution of this transaction only, which is
+    // exactly why they compose where snapshots cannot.
+    for (auto It = St.Log.rbegin(); It != St.Log.rend(); ++It) {
+      if (!Shared->family().op(It->OpName).Mutates)
+        continue;
+      applyInverseConcrete(*Shared, It->OpName, It->Args, It->Ret);
+      ++Stats.OpsUndone;
+    }
+    St.Log.clear();
+    St.Pc = 0;
+    return;
+  }
+
+  // Snapshot policy: restore the copy taken at this transaction's first
+  // write. This is only sound because the policy enforces a single active
+  // writer (see run()): a whole-structure restore would otherwise discard
+  // other transactions' uncommitted work — the concurrency loss that makes
+  // "pessimistically saving the data structure state" inferior to
+  // inverses (§1.3).
+  if (St.Snapshot)
+    Shared = St.Snapshot->clone();
+  Stats.OpsUndone += St.Log.size();
+  St.Log.clear();
+  St.Pc = 0;
+  St.Snapshot.reset();
+}
+
+RuntimeStats SpeculativeRuntime::run(const std::vector<Transaction> &Txns) {
+  RuntimeStats Stats;
+  States.clear();
+  States.resize(Txns.size());
+
+  // Round-robin scheduler with a failsafe bound.
+  uint64_t MaxSlots = 1000 * (1 + Txns.size()) * (1 + Txns.size());
+  for (const Transaction &T : Txns)
+    MaxSlots += 100 * T.size() * (1 + Txns.size());
+
+  bool AllDone = false;
+  for (uint64_t Slot = 0; !AllDone && Slot < MaxSlots; ++Slot) {
+    AllDone = true;
+    for (unsigned T = 0; T != Txns.size(); ++T) {
+      TxState &St = States[T];
+      if (St.Committed)
+        continue;
+      AllDone = false;
+      if (St.Pc >= Txns[T].size()) {
+        // Script finished: commit (atomically, in this simulation).
+        St.Committed = true;
+        St.Log.clear();
+        St.Snapshot.reset();
+        ++Stats.Commits;
+        continue;
+      }
+
+      const TxOp &Op = Txns[T][St.Pc];
+      const Operation &Spec = Shared->family().op(Op.OpName);
+
+      // Gatekeeper: the operation must commute with every uncommitted
+      // operation of every other transaction (wound-wait on conflict:
+      // younger transactions are aborted in favour of older ones). The
+      // snapshot policy additionally requires writer exclusivity, since a
+      // whole-structure restore cannot coexist with interleaved writers.
+      bool SelfAborted = false;
+      const Family &Fam = Shared->family();
+      for (unsigned U = 0; U != Txns.size() && !SelfAborted; ++U) {
+        if (U == T || States[U].Committed)
+          continue;
+        for (const LogEntry &Entry : States[U].Log) {
+          ++Stats.GatekeeperChecks;
+          bool WriterClash = Policy == RollbackPolicy::Snapshot &&
+                             Spec.Mutates &&
+                             Fam.op(Entry.OpName).Mutates;
+          bool Commutes =
+              !WriterClash && UseCommutativity &&
+              Checker.mayCommute(*Shared, Entry.OpName, Entry.Args,
+                                 Entry.Ret, Op.OpName, Op.Args);
+          if (Commutes) {
+            ++Stats.GatekeeperPasses;
+            continue;
+          }
+          if (U > T) {
+            abortTxn(U, Stats);
+            break; // U's log is gone; recheck the remaining transactions.
+          }
+          abortTxn(T, Stats);
+          SelfAborted = true;
+          break;
+        }
+      }
+      if (SelfAborted)
+        continue;
+
+      // Skip operations whose precondition does not hold right now
+      // (defensive; the workload generators produce total operations).
+      AbstractState Abs = Shared->abstraction();
+      if (!Spec.Pre(Abs, Op.Args)) {
+        ++St.Pc;
+        continue;
+      }
+
+      if (Policy == RollbackPolicy::Snapshot && Spec.Mutates &&
+          !St.Snapshot) {
+        St.Snapshot = Shared->clone();
+        ++Stats.SnapshotsTaken;
+      }
+
+      Value Ret = Shared->invoke(Spec.CallName, Op.Args);
+      St.Log.push_back({Op.OpName, Op.Args, Ret});
+      ++St.Pc;
+      ++Stats.OpsExecuted;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,115 @@
+//===- runtime/SpeculativeRuntime.h - Commutativity-based txns --*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating usage scenario (§1.2, §1.3, [29,30,31]): a
+/// speculative system executes transactions optimistically, uses the
+/// commutativity conditions as a *gatekeeper* — an operation may proceed
+/// only if it commutes with every uncommitted operation of every other
+/// transaction — and, on conflict, rolls a transaction back with the
+/// verified inverse operations (or, as the baseline, by restoring a
+/// snapshot).
+///
+/// The paper treats the atomicity mechanism as orthogonal (Ch. 1.5); this
+/// runtime therefore simulates transaction interleavings deterministically
+/// (round-robin, wound-wait conflict resolution), exercising exactly the
+/// condition-evaluation and rollback code paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_RUNTIME_SPECULATIVERUNTIME_H
+#define SEMCOMM_RUNTIME_SPECULATIVERUNTIME_H
+
+#include "inverse/InverseSpec.h"
+#include "runtime/DynamicChecker.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// One scripted operation of a transaction.
+struct TxOp {
+  std::string OpName; ///< A recorded-variant operation of the family.
+  ArgList Args;
+};
+
+/// A transaction: a straight-line script of operations.
+using Transaction = std::vector<TxOp>;
+
+/// How an aborted transaction's effects are undone.
+enum class RollbackPolicy : uint8_t {
+  Inverses, ///< Undo the log with the verified inverse operations (§1.3).
+  Snapshot, ///< Restore a deep copy taken at transaction begin (baseline).
+};
+
+/// Execution statistics.
+struct RuntimeStats {
+  uint64_t OpsExecuted = 0;
+  uint64_t GatekeeperChecks = 0;
+  uint64_t GatekeeperPasses = 0;
+  uint64_t Aborts = 0;
+  /// Conflicts hit before a transaction had executed anything: the
+  /// transaction merely waits (degenerates to pessimistic serialization
+  /// when the gatekeeper is off).
+  uint64_t Stalls = 0;
+  uint64_t OpsUndone = 0;
+  uint64_t SnapshotsTaken = 0;
+  uint64_t Commits = 0;
+};
+
+/// Deterministic speculative executor over one shared structure.
+class SpeculativeRuntime {
+public:
+  SpeculativeRuntime(ExprFactory &F, const Catalog &C,
+                     const StructureFactory &Factory,
+                     RollbackPolicy Policy = RollbackPolicy::Inverses);
+
+  /// Runs \p Txns round-robin to completion; returns statistics. The
+  /// shared structure retains the committed effects afterwards.
+  RuntimeStats run(const std::vector<Transaction> &Txns);
+
+  /// The shared structure (for result inspection).
+  const ConcreteStructure &structure() const { return *Shared; }
+
+  /// When true (default), the gatekeeper is consulted; when false, every
+  /// pair of concurrent operations conflicts (the no-commutativity
+  /// baseline of bench/perf_speculation).
+  void setUseCommutativity(bool B) { UseCommutativity = B; }
+
+private:
+  struct LogEntry {
+    std::string OpName;
+    ArgList Args;
+    Value Ret;
+  };
+  struct TxState {
+    size_t Pc = 0; ///< Next script index.
+    std::vector<LogEntry> Log;
+    std::unique_ptr<ConcreteStructure> Snapshot;
+    bool Committed = false;
+  };
+
+  void abortTxn(unsigned T, RuntimeStats &Stats);
+
+  ExprFactory &F;
+  DynamicChecker Checker;
+  const StructureFactory &Factory;
+  RollbackPolicy Policy;
+  bool UseCommutativity = true;
+
+  std::unique_ptr<ConcreteStructure> Shared;
+  std::vector<InverseSpec> Inverses;
+  std::vector<TxState> States;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_RUNTIME_SPECULATIVERUNTIME_H

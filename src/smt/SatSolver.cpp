@@ -1,0 +1,274 @@
+//===- smt/SatSolver.cpp - CDCL propositional solver ------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace semcomm;
+
+SatSolver::SatSolver() {
+  // Var indices are 1-based; slot 0 is a sentinel.
+  Assign.push_back(Undef);
+  Level.push_back(0);
+  Reason.push_back(-1);
+  Activity.push_back(0.0);
+  Watches.resize(2);
+}
+
+int SatSolver::addVar() {
+  Assign.push_back(Undef);
+  Level.push_back(0);
+  Reason.push_back(-1);
+  Activity.push_back(0.0);
+  Watches.resize(Watches.size() + 2);
+  return numVars();
+}
+
+void SatSolver::attach(int ClauseIdx) {
+  const Clause &C = Clauses[ClauseIdx];
+  assert(C.Lits.size() >= 2 && "attach needs a watchable clause");
+  Watches[watchIndex(C.Lits[0].negated())].push_back({ClauseIdx});
+  Watches[watchIndex(C.Lits[1].negated())].push_back({ClauseIdx});
+}
+
+void SatSolver::addClause(const std::vector<Lit> &Input) {
+  if (Unsatisfiable)
+    return;
+
+  // Normalize: drop duplicate literals and satisfied-at-root clauses.
+  std::vector<Lit> C;
+  for (Lit L : Input) {
+    if (valueOf(L) == 1 && Level[L.var()] == 0)
+      return; // Already true at root level.
+    if (valueOf(L) == 0 && Level[L.var()] == 0)
+      continue; // False at root; drop the literal.
+    if (std::find(C.begin(), C.end(), L) != C.end())
+      continue;
+    if (std::find(C.begin(), C.end(), L.negated()) != C.end())
+      return; // Tautology.
+    C.push_back(L);
+  }
+
+  if (C.empty()) {
+    Unsatisfiable = true;
+    return;
+  }
+  if (C.size() == 1) {
+    if (valueOf(C[0]) == 0) {
+      Unsatisfiable = true;
+      return;
+    }
+    if (valueOf(C[0]) == Undef)
+      enqueue(C[0], -1);
+    if (propagate() != -1)
+      Unsatisfiable = true;
+    return;
+  }
+
+  Clauses.push_back({std::move(C), false});
+  attach(static_cast<int>(Clauses.size()) - 1);
+}
+
+void SatSolver::enqueue(Lit L, int ReasonIdx) {
+  assert(valueOf(L) == Undef && "enqueue of an assigned literal");
+  Assign[L.var()] = L.positive() ? 1 : 0;
+  Level[L.var()] = currentLevel();
+  Reason[L.var()] = ReasonIdx;
+  Trail.push_back(L);
+}
+
+int SatSolver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit P = Trail[PropHead++];
+    std::vector<Watcher> &Ws = Watches[watchIndex(P)];
+    size_t Keep = 0;
+    for (size_t I = 0; I != Ws.size(); ++I) {
+      int CI = Ws[I].ClauseIdx;
+      Clause &C = Clauses[CI];
+      // Ensure the falsified literal sits in slot 1.
+      Lit NotP = P.negated();
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP && "watch list out of sync");
+
+      if (valueOf(C.Lits[0]) == 1) {
+        Ws[Keep++] = Ws[I]; // Clause already satisfied; keep the watch.
+        continue;
+      }
+      // Look for a replacement watch.
+      bool Moved = false;
+      for (size_t K = 2; K != C.Lits.size(); ++K)
+        if (valueOf(C.Lits[K]) != 0) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[watchIndex(C.Lits[1].negated())].push_back({CI});
+          Moved = true;
+          break;
+        }
+      if (Moved)
+        continue;
+
+      // No replacement: clause is unit or conflicting.
+      Ws[Keep++] = Ws[I];
+      if (valueOf(C.Lits[0]) == 0) {
+        // Conflict: restore the untouched suffix of the watch list.
+        for (size_t K = I + 1; K != Ws.size(); ++K)
+          Ws[Keep++] = Ws[K];
+        Ws.resize(Keep);
+        return CI;
+      }
+      enqueue(C.Lits[0], CI);
+    }
+    Ws.resize(Keep);
+  }
+  return -1;
+}
+
+void SatSolver::bumpActivity(int Var) {
+  Activity[Var] += ActivityInc;
+  if (Activity[Var] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
+                        int &BackLevel) {
+  // Standard first-UIP resolution walk over the trail.
+  Learned.clear();
+  Learned.push_back(Lit()); // Slot for the asserting literal.
+  std::vector<bool> SeenVar(Assign.size(), false);
+  int Counter = 0;
+  Lit P;
+  bool HaveP = false;
+  size_t TrailIdx = Trail.size();
+  int CI = ConflictIdx;
+
+  do {
+    assert(CI != -1 && "analysis walked past a decision");
+    const Clause &C = Clauses[CI];
+    for (size_t I = (HaveP ? 1 : 0); I != C.Lits.size(); ++I) {
+      Lit Q = C.Lits[I];
+      if (HaveP && Q == P)
+        continue;
+      int V = Q.var();
+      if (SeenVar[V] || Level[V] == 0)
+        continue;
+      SeenVar[V] = true;
+      bumpActivity(V);
+      if (Level[V] == currentLevel())
+        ++Counter;
+      else
+        Learned.push_back(Q);
+    }
+    // Pick the next trail literal to resolve on.
+    while (!SeenVar[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    --TrailIdx;
+    P = Trail[TrailIdx];
+    HaveP = true;
+    SeenVar[P.var()] = false;
+    CI = Reason[P.var()];
+    --Counter;
+  } while (Counter > 0);
+  Learned[0] = P.negated();
+
+  // Backjump level: the second-highest level in the learned clause.
+  BackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learned.size(); ++I)
+    if (Level[Learned[I].var()] > BackLevel) {
+      BackLevel = Level[Learned[I].var()];
+      MaxIdx = I;
+    }
+  if (Learned.size() > 1)
+    std::swap(Learned[1], Learned[MaxIdx]);
+}
+
+void SatSolver::backtrack(int ToLevel) {
+  if (currentLevel() <= ToLevel)
+    return;
+  size_t Bound = TrailLim[ToLevel];
+  for (size_t I = Trail.size(); I != Bound; --I) {
+    int V = Trail[I - 1].var();
+    Assign[V] = Undef;
+    Reason[V] = -1;
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(ToLevel);
+  PropHead = Bound;
+}
+
+int SatSolver::pickBranchVar() {
+  int Best = 0;
+  double BestAct = -1.0;
+  for (int V = 1; V <= numVars(); ++V)
+    if (Assign[V] == Undef && Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+    }
+  return Best;
+}
+
+SatResult SatSolver::solve(int64_t MaxConflicts) {
+  if (Unsatisfiable)
+    return SatResult::Unsat;
+  if (propagate() != -1)
+    return SatResult::Unsat;
+
+  int64_t RestartLimit = 64;
+  int64_t SinceRestart = 0;
+
+  while (true) {
+    int ConflictIdx = propagate();
+    if (ConflictIdx != -1) {
+      ++Conflicts;
+      ++SinceRestart;
+      if (MaxConflicts >= 0 && Conflicts > MaxConflicts)
+        return SatResult::Unknown;
+      if (currentLevel() == 0)
+        return SatResult::Unsat;
+
+      std::vector<Lit> Learned;
+      int BackLevel = 0;
+      analyze(ConflictIdx, Learned, BackLevel);
+      backtrack(BackLevel);
+      if (Learned.size() == 1) {
+        enqueue(Learned[0], -1);
+      } else {
+        Clauses.push_back({Learned, true});
+        int CI = static_cast<int>(Clauses.size()) - 1;
+        attach(CI);
+        enqueue(Learned[0], CI);
+      }
+      ActivityInc *= 1.05;
+      continue;
+    }
+
+    if (SinceRestart >= RestartLimit) {
+      SinceRestart = 0;
+      RestartLimit = RestartLimit + RestartLimit / 2;
+      backtrack(0);
+      continue;
+    }
+
+    int V = pickBranchVar();
+    if (V == 0)
+      return SatResult::Sat; // Full assignment, no conflict.
+    ++Decisions;
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    enqueue(Lit(V, false), -1); // Negative-first polarity.
+  }
+}
+
+bool SatSolver::modelValue(int Var) const {
+  assert(Var >= 1 && Var <= numVars() && "model query out of range");
+  return Assign[Var] == 1;
+}

@@ -1,0 +1,122 @@
+//===- smt/SatSolver.h - CDCL propositional solver --------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact CDCL SAT solver (two-watched-literal propagation, 1UIP clause
+/// learning, activity-based decisions, geometric restarts). It is the
+/// workhorse under the SmtSolver facade, playing the role Z3/CVC3 play under
+/// Jahob's integrated reasoning (§1.4): the symbolic engine eagerly encodes
+/// its verification conditions into propositional logic and asks this
+/// solver for a countermodel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SMT_SATSOLVER_H
+#define SEMCOMM_SMT_SATSOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace semcomm {
+
+/// A propositional literal: variable index (1-based) with sign.
+struct Lit {
+  int Encoded = 0; ///< +v for v, -v for ~v; 0 is invalid.
+
+  Lit() = default;
+  Lit(int Var, bool Positive) : Encoded(Positive ? Var : -Var) {}
+
+  int var() const { return Encoded > 0 ? Encoded : -Encoded; }
+  bool positive() const { return Encoded > 0; }
+  Lit negated() const {
+    Lit L;
+    L.Encoded = -Encoded;
+    return L;
+  }
+  friend bool operator==(Lit A, Lit B) { return A.Encoded == B.Encoded; }
+};
+
+/// Satisfiability verdicts. Unknown is returned when the conflict budget is
+/// exhausted — the analogue of the paper's prover timeouts (Table 5.8's
+/// ArrayList entry is dominated by such timeouts).
+enum class SatResult : uint8_t { Sat, Unsat, Unknown };
+
+/// Conflict-driven clause-learning SAT solver.
+class SatSolver {
+public:
+  SatSolver();
+
+  /// Allocates a fresh variable; returns its 1-based index.
+  int addVar();
+
+  /// Adds a clause (empty clause makes the instance trivially Unsat).
+  void addClause(const std::vector<Lit> &Clause);
+
+  /// Solves under an optional conflict budget (negative = unlimited).
+  SatResult solve(int64_t MaxConflicts = -1);
+
+  /// Model access after Sat: the value of \p Var.
+  bool modelValue(int Var) const;
+
+  /// Statistics for the verification-time tables.
+  int64_t numConflicts() const { return Conflicts; }
+  int64_t numDecisions() const { return Decisions; }
+  int numVars() const { return static_cast<int>(Assign.size()) - 1; }
+
+private:
+  enum : uint8_t { Undef = 2 };
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+  };
+
+  struct Watcher {
+    int ClauseIdx;
+  };
+
+  // Assignment trail.
+  std::vector<uint8_t> Assign;  ///< Per-var value (0/1/Undef).
+  std::vector<int> Level;       ///< Decision level per var.
+  std::vector<int> Reason;      ///< Clause index forcing the var, or -1.
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;    ///< Trail indices where levels start.
+  size_t PropHead = 0;
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; ///< Indexed by literal code.
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  bool Unsatisfiable = false;
+
+  int64_t Conflicts = 0;
+  int64_t Decisions = 0;
+
+  size_t watchIndex(Lit L) const {
+    return 2 * static_cast<size_t>(L.var()) + (L.positive() ? 0 : 1);
+  }
+  uint8_t valueOf(Lit L) const {
+    uint8_t V = Assign[L.var()];
+    if (V == Undef)
+      return Undef;
+    return L.positive() ? V : static_cast<uint8_t>(1 - V);
+  }
+  void enqueue(Lit L, int ReasonIdx);
+  int propagate(); ///< Returns conflicting clause index or -1.
+  void analyze(int ConflictIdx, std::vector<Lit> &Learned, int &BackLevel);
+  void backtrack(int ToLevel);
+  void bumpActivity(int Var);
+  void attach(int ClauseIdx);
+  int pickBranchVar();
+  int currentLevel() const { return static_cast<int>(TrailLim.size()); }
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SMT_SATSOLVER_H

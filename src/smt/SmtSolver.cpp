@@ -1,0 +1,319 @@
+//===- smt/SmtSolver.cpp - Eager-encoding SMT facade -------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include "logic/Printer.h"
+#include "smt/Tseitin.h"
+#include "support/Unreachable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace semcomm;
+
+// --- Linear integer atom canonicalization -----------------------------------
+
+namespace {
+
+/// A linear combination of opaque integer symbols plus a constant.
+struct LinearForm {
+  std::map<std::string, std::pair<ExprRef, int64_t>> Coeffs; // key: printed
+  int64_t Constant = 0;
+
+  void addSymbol(ExprRef Sym, int64_t C) {
+    std::string Key = printAbstract(Sym);
+    auto [It, _] = Coeffs.try_emplace(Key, Sym, 0);
+    It->second.second += C;
+    if (It->second.second == 0)
+      Coeffs.erase(It);
+  }
+
+  void negate() {
+    for (auto &[K, V] : Coeffs)
+      V.second = -V.second;
+    Constant = -Constant;
+  }
+
+  std::string signature() const {
+    std::string Sig;
+    for (const auto &[K, V] : Coeffs)
+      Sig += (V.second >= 0 ? "+" : "") + std::to_string(V.second) + "*" + K;
+    return Sig;
+  }
+};
+
+/// Decomposes an Int-sorted expression into a LinearForm; any
+/// non-arithmetic subterm (variable, indexOf, size, counter, ...) is an
+/// opaque symbol.
+void decompose(ExprRef E, int64_t Sign, LinearForm &Out) {
+  switch (E->kind()) {
+  case ExprKind::ConstInt:
+    Out.Constant += Sign * E->intValue();
+    return;
+  case ExprKind::Add:
+    decompose(E->operand(0), Sign, Out);
+    decompose(E->operand(1), Sign, Out);
+    return;
+  case ExprKind::Sub:
+    decompose(E->operand(0), Sign, Out);
+    decompose(E->operand(1), -Sign, Out);
+    return;
+  case ExprKind::Neg:
+    decompose(E->operand(0), -Sign, Out);
+    return;
+  default:
+    assert(E->sort() == Sort::Int && "non-integer term in linear form");
+    Out.addSymbol(E, Sign);
+    return;
+  }
+}
+
+/// Metadata for a canonicalized integer atom variable.
+struct IntAtomInfo {
+  std::string Signature; ///< Symbol part (canonical).
+  bool IsEq = false;     ///< sum = C when true; sum <= C otherwise.
+  int64_t C = 0;
+};
+
+} // namespace
+
+/// Per-check scratch state shared through the members below.
+static std::map<ExprRef, IntAtomInfo> *CurrentIntAtoms = nullptr;
+
+ExprRef SmtSolver::canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B) {
+  // diff = A - B  (for Lt: A < B  <=>  diff <= -1; Le: diff <= 0).
+  LinearForm Diff;
+  decompose(A, 1, Diff);
+  decompose(B, -1, Diff);
+  int64_t Bound = -Diff.Constant;
+  Diff.Constant = 0;
+
+  if (Diff.Coeffs.empty()) {
+    switch (K) {
+    case ExprKind::Eq:
+      return F.boolConst(0 == Bound);
+    case ExprKind::Lt:
+      return F.boolConst(0 < Bound);
+    case ExprKind::Le:
+      return F.boolConst(0 <= Bound);
+    default:
+      semcomm_unreachable("bad int atom kind");
+    }
+  }
+
+  bool IsEq = (K == ExprKind::Eq);
+  if (K == ExprKind::Lt)
+    Bound -= 1; // sum <= Bound - 1.
+
+  // Canonical sign for equalities: least symbol has a positive coefficient.
+  if (IsEq && Diff.Coeffs.begin()->second.second < 0) {
+    Diff.negate();
+    Bound = -Bound;
+  }
+
+  std::string Name = std::string(IsEq ? "ieq" : "ile") + "[" +
+                     Diff.signature() + "]" + std::to_string(Bound);
+  ExprRef Atom = F.var(Name, Sort::Bool);
+  if (CurrentIntAtoms)
+    (*CurrentIntAtoms)[Atom] = {Diff.signature(), IsEq, Bound};
+  return Atom;
+}
+
+ExprRef SmtSolver::eqObj(ExprRef A, ExprRef B) {
+  if (A == B)
+    return F.trueExpr();
+  // Lower object-sorted ITEs into the boolean structure.
+  if (A->kind() == ExprKind::Ite)
+    return F.disj({F.conj({normalize(A->operand(0)),
+                           eqObj(A->operand(1), B)}),
+                   F.conj({F.lnot(normalize(A->operand(0))),
+                           eqObj(A->operand(2), B)})});
+  if (B->kind() == ExprKind::Ite)
+    return eqObj(B, A);
+  // Canonical operand order (printed form is a stable total order).
+  if (printAbstract(B) < printAbstract(A))
+    std::swap(A, B);
+  return F.eq(A, B);
+}
+
+ExprRef SmtSolver::normalizeAtom(ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::Eq: {
+    Sort S = E->operand(0)->sort();
+    if (S == Sort::Int)
+      return canonicalIntAtom(ExprKind::Eq, E->operand(0), E->operand(1));
+    if (S == Sort::Obj)
+      return eqObj(E->operand(0), E->operand(1));
+    return F.iff(normalize(E->operand(0)), normalize(E->operand(1)));
+  }
+  case ExprKind::Lt:
+    return canonicalIntAtom(ExprKind::Lt, E->operand(0), E->operand(1));
+  case ExprKind::Le:
+    return canonicalIntAtom(ExprKind::Le, E->operand(0), E->operand(1));
+  default:
+    // Boolean variables and state-query atoms stay as they are.
+    return E;
+  }
+}
+
+ExprRef SmtSolver::normalize(ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::Not:
+    return F.lnot(normalize(E->operand(0)));
+  case ExprKind::And:
+  case ExprKind::Or: {
+    std::vector<ExprRef> Ops;
+    for (ExprRef Op : E->operands())
+      Ops.push_back(normalize(Op));
+    return E->kind() == ExprKind::And ? F.conj(std::move(Ops))
+                                      : F.disj(std::move(Ops));
+  }
+  case ExprKind::Implies:
+    return F.implies(normalize(E->operand(0)), normalize(E->operand(1)));
+  case ExprKind::Iff:
+    return F.iff(normalize(E->operand(0)), normalize(E->operand(1)));
+  case ExprKind::Ite:
+    assert(E->sort() == Sort::Bool && "non-boolean ITE outside an atom");
+    return F.ite(normalize(E->operand(0)), normalize(E->operand(1)),
+                 normalize(E->operand(2)));
+  default:
+    return normalizeAtom(E);
+  }
+}
+
+// --- Bridge generation -------------------------------------------------------
+
+/// Collects object terms and membership atoms from a normalized formula.
+static void collectTheoryAtoms(ExprRef E, std::set<ExprRef> &ObjTerms,
+                               std::set<ExprRef> &MemAtoms) {
+  if (E->kind() == ExprKind::Eq && E->operand(0)->sort() == Sort::Obj) {
+    ObjTerms.insert(E->operand(0));
+    ObjTerms.insert(E->operand(1));
+    return;
+  }
+  if (E->kind() == ExprKind::SetContains) {
+    MemAtoms.insert(E);
+    return;
+  }
+  for (ExprRef Op : E->operands())
+    collectTheoryAtoms(Op, ObjTerms, MemAtoms);
+}
+
+void SmtSolver::collectBridges(const std::map<ExprRef, int> &,
+                               std::vector<ExprRef> &Bridges) {
+  std::set<ExprRef> ObjTermSet, MemAtoms;
+  for (ExprRef E : Asserted)
+    collectTheoryAtoms(normalize(E), ObjTermSet, MemAtoms);
+
+  std::vector<ExprRef> Terms(ObjTermSet.begin(), ObjTermSet.end());
+  std::sort(Terms.begin(), Terms.end(), [](ExprRef A, ExprRef B) {
+    return printAbstract(A) < printAbstract(B);
+  });
+
+  // Equality transitivity over every term triple. The pairwise atoms are
+  // created through eqObj so they coincide with the assertion's atoms.
+  for (size_t I = 0; I != Terms.size(); ++I)
+    for (size_t J = I + 1; J != Terms.size(); ++J)
+      for (size_t K = J + 1; K != Terms.size(); ++K) {
+        ExprRef AB = eqObj(Terms[I], Terms[J]);
+        ExprRef BC = eqObj(Terms[J], Terms[K]);
+        ExprRef AC = eqObj(Terms[I], Terms[K]);
+        Bridges.push_back(F.implies(F.conj({AB, BC}), AC));
+        Bridges.push_back(F.implies(F.conj({AB, AC}), BC));
+        Bridges.push_back(F.implies(F.conj({BC, AC}), AB));
+      }
+
+  // Congruence for map lookups: equal keys read equal values.
+  std::vector<ExprRef> Lookups;
+  for (ExprRef T : Terms)
+    if (T->kind() == ExprKind::MapGet)
+      Lookups.push_back(T);
+  for (size_t I = 0; I != Lookups.size(); ++I)
+    for (size_t J = I + 1; J != Lookups.size(); ++J) {
+      if (Lookups[I]->operand(0) != Lookups[J]->operand(0))
+        continue;
+      ExprRef KeysEq =
+          eqObj(Lookups[I]->operand(1), Lookups[J]->operand(1));
+      Bridges.push_back(
+          F.implies(KeysEq, eqObj(Lookups[I], Lookups[J])));
+    }
+
+  // Congruence for set membership: equal elements agree on membership.
+  std::vector<ExprRef> Mems(MemAtoms.begin(), MemAtoms.end());
+  for (size_t I = 0; I != Mems.size(); ++I)
+    for (size_t J = I + 1; J != Mems.size(); ++J) {
+      if (Mems[I]->operand(0) != Mems[J]->operand(0))
+        continue;
+      ExprRef ElemsEq = eqObj(Mems[I]->operand(1), Mems[J]->operand(1));
+      Bridges.push_back(F.implies(ElemsEq, F.iff(Mems[I], Mems[J])));
+    }
+
+  // Linear integer atom lattice: within one symbol signature, equalities
+  // with different constants exclude each other and interact with bounds.
+  std::vector<std::pair<ExprRef, IntAtomInfo>> IntAtoms(
+      CurrentIntAtoms->begin(), CurrentIntAtoms->end());
+  for (size_t I = 0; I != IntAtoms.size(); ++I)
+    for (size_t J = 0; J != IntAtoms.size(); ++J) {
+      if (I == J ||
+          IntAtoms[I].second.Signature != IntAtoms[J].second.Signature)
+        continue;
+      const IntAtomInfo &A = IntAtoms[I].second;
+      const IntAtomInfo &B = IntAtoms[J].second;
+      if (A.IsEq && B.IsEq && I < J && A.C != B.C)
+        Bridges.push_back(F.disj({F.lnot(IntAtoms[I].first),
+                                  F.lnot(IntAtoms[J].first)}));
+      if (A.IsEq && !B.IsEq)
+        Bridges.push_back(A.C <= B.C
+                              ? F.implies(IntAtoms[I].first,
+                                          IntAtoms[J].first)
+                              : F.implies(IntAtoms[I].first,
+                                          F.lnot(IntAtoms[J].first)));
+      if (!A.IsEq && !B.IsEq && I < J && A.C <= B.C)
+        Bridges.push_back(
+            F.implies(IntAtoms[I].first, IntAtoms[J].first));
+    }
+}
+
+// --- Top level ----------------------------------------------------------------
+
+void SmtSolver::assertFormula(ExprRef E) { Asserted.push_back(E); }
+
+SatResult SmtSolver::check(int64_t MaxConflicts) {
+  std::map<ExprRef, IntAtomInfo> IntAtoms;
+  CurrentIntAtoms = &IntAtoms;
+
+  std::vector<ExprRef> Normalized;
+  for (ExprRef E : Asserted)
+    Normalized.push_back(normalize(E));
+
+  std::vector<ExprRef> Bridges;
+  collectBridges({}, Bridges);
+
+  SatSolver Sat;
+  Tseitin Encoder(Sat);
+  for (ExprRef E : Normalized)
+    Encoder.assertTrue(E);
+  for (ExprRef B : Bridges)
+    Encoder.assertTrue(normalize(B));
+
+  SatResult R = Sat.solve(MaxConflicts);
+  LastConflicts = Sat.numConflicts();
+  LastDecisions = Sat.numDecisions();
+  LastNumAtoms = static_cast<int>(Encoder.atoms().size());
+
+  LastModel.clear();
+  if (R == SatResult::Sat)
+    for (const auto &[Atom, V] : Encoder.atoms())
+      if (Sat.modelValue(V))
+        LastModel.push_back(printAbstract(Atom));
+
+  CurrentIntAtoms = nullptr;
+  return R;
+}

@@ -1,0 +1,82 @@
+//===- smt/SmtSolver.h - Eager-encoding SMT facade --------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver the symbolic engine discharges verification conditions with —
+/// the role Z3 / CVC3 play under Jahob (§1.4). The interface is Z3-flavored
+/// (a context-owned expression factory, assertFormula / check / model), and
+/// the implementation is *eager*: theory semantics is compiled into
+/// propositional bridge clauses before a single CDCL search, UCLID-style:
+///
+///  * Equality over object terms: symmetry is handled by atom
+///    canonicalization; transitivity over every term triple; congruence
+///    for the uninterpreted query terms (map lookups, set membership).
+///  * Linear integer atoms are canonicalized to `sum-of-symbols <=/= c`
+///    form; atoms sharing a symbol part get ordering/exclusivity bridges.
+///
+/// The encoding is complete for the fragment the symbolic engine emits
+/// (see SymbolicEngine.h); on larger fragments it is conservative: check()
+/// may report Sat with a spurious model, which the engine treats as a
+/// failed proof — never as unsoundness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SMT_SMTSOLVER_H
+#define SEMCOMM_SMT_SMTSOLVER_H
+
+#include "logic/ExprFactory.h"
+#include "smt/SatSolver.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// Eager SMT checker over the logic's expressions.
+class SmtSolver {
+public:
+  explicit SmtSolver(ExprFactory &F) : F(F) {}
+
+  /// Conjoins \p E to the context.
+  void assertFormula(ExprRef E);
+
+  /// Decides the asserted conjunction under a conflict budget
+  /// (negative = unlimited). Unknown means the budget ran out.
+  SatResult check(int64_t MaxConflicts = -1);
+
+  /// SAT statistics of the last check().
+  int64_t conflicts() const { return LastConflicts; }
+  int64_t decisions() const { return LastDecisions; }
+  int numAtoms() const { return LastNumAtoms; }
+
+  /// After a Sat check(): the atoms assigned true, for countermodel
+  /// diagnostics.
+  std::vector<std::string> modelAtoms() const { return LastModel; }
+
+private:
+  ExprRef normalize(ExprRef E);
+  ExprRef normalizeAtom(ExprRef E);
+  ExprRef canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B);
+  ExprRef eqObj(ExprRef A, ExprRef B);
+
+  void collectBridges(const std::map<ExprRef, int> &Atoms,
+                      std::vector<ExprRef> &Bridges);
+
+  ExprFactory &F;
+  std::vector<ExprRef> Asserted;
+  int64_t LastConflicts = 0;
+  int64_t LastDecisions = 0;
+  int LastNumAtoms = 0;
+  std::vector<std::string> LastModel;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SMT_SMTSOLVER_H

@@ -1,0 +1,111 @@
+//===- smt/Tseitin.cpp - Structural CNF encoding ----------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Tseitin.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace semcomm;
+
+Lit Tseitin::freshDefinition() { return Lit(Solver.addVar(), true); }
+
+Lit Tseitin::atomLit(ExprRef Atom) {
+  auto It = Atoms.find(Atom);
+  if (It != Atoms.end())
+    return Lit(It->second, true);
+  int V = Solver.addVar();
+  Atoms.emplace(Atom, V);
+  return Lit(V, true);
+}
+
+Lit Tseitin::encode(ExprRef E) {
+  auto Cached = Cache.find(E);
+  if (Cached != Cache.end())
+    return Cached->second;
+
+  Lit Result;
+  switch (E->kind()) {
+  case ExprKind::ConstBool: {
+    // A constant literal: a fresh variable pinned by a unit clause.
+    Lit L = freshDefinition();
+    Solver.addClause({E->boolValue() ? L : L.negated()});
+    Result = L;
+    break;
+  }
+  case ExprKind::Not:
+    Result = encode(E->operand(0)).negated();
+    break;
+  case ExprKind::And: {
+    Lit G = freshDefinition();
+    std::vector<Lit> Back{G};
+    for (ExprRef Op : E->operands()) {
+      Lit L = encode(Op);
+      Solver.addClause({G.negated(), L});
+      Back.push_back(L.negated());
+    }
+    Solver.addClause(Back);
+    Result = G;
+    break;
+  }
+  case ExprKind::Or: {
+    Lit G = freshDefinition();
+    std::vector<Lit> Fwd{G.negated()};
+    for (ExprRef Op : E->operands()) {
+      Lit L = encode(Op);
+      Solver.addClause({G, L.negated()});
+      Fwd.push_back(L);
+    }
+    Solver.addClause(Fwd);
+    Result = G;
+    break;
+  }
+  case ExprKind::Implies: {
+    Lit A = encode(E->operand(0));
+    Lit B = encode(E->operand(1));
+    Lit G = freshDefinition();
+    Solver.addClause({G.negated(), A.negated(), B});
+    Solver.addClause({G, A});
+    Solver.addClause({G, B.negated()});
+    Result = G;
+    break;
+  }
+  case ExprKind::Iff: {
+    Lit A = encode(E->operand(0));
+    Lit B = encode(E->operand(1));
+    Lit G = freshDefinition();
+    Solver.addClause({G.negated(), A.negated(), B});
+    Solver.addClause({G.negated(), A, B.negated()});
+    Solver.addClause({G, A, B});
+    Solver.addClause({G, A.negated(), B.negated()});
+    Result = G;
+    break;
+  }
+  case ExprKind::Ite: {
+    assert(E->sort() == Sort::Bool && "only boolean ITE is propositional");
+    Lit C = encode(E->operand(0));
+    Lit T = encode(E->operand(1));
+    Lit F = encode(E->operand(2));
+    Lit G = freshDefinition();
+    Solver.addClause({G.negated(), C.negated(), T});
+    Solver.addClause({G.negated(), C, F});
+    Solver.addClause({G, C.negated(), T.negated()});
+    Solver.addClause({G, C, F.negated()});
+    Result = G;
+    break;
+  }
+  default:
+    assert(E->sort() == Sort::Bool && "encoding a non-boolean expression");
+    Result = atomLit(E);
+    break;
+  }
+
+  Cache.emplace(E, Result);
+  return Result;
+}

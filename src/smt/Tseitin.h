@@ -1,0 +1,54 @@
+//===- smt/Tseitin.h - Structural CNF encoding ------------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tseitin transformation from the logic's boolean structure into CNF over
+/// atom variables. Non-propositional boolean expressions (equalities,
+/// comparisons, state-query atoms, boolean variables) become SAT variables;
+/// the caller (SmtSolver) is responsible for adding theory-consistency
+/// bridge clauses over those atoms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SMT_TSEITIN_H
+#define SEMCOMM_SMT_TSEITIN_H
+
+#include "logic/Expr.h"
+#include "smt/SatSolver.h"
+
+#include <map>
+
+namespace semcomm {
+
+/// Encodes expressions into a SatSolver, memoizing shared subformulas
+/// (hash-consing makes the memoization exact).
+class Tseitin {
+public:
+  explicit Tseitin(SatSolver &Solver) : Solver(Solver) {}
+
+  /// Returns a literal equisatisfiably representing \p E.
+  Lit encode(ExprRef E);
+
+  /// Asserts \p E at the top level.
+  void assertTrue(ExprRef E) { Solver.addClause({encode(E)}); }
+
+  /// The atom map: every non-propositional boolean leaf and its variable.
+  const std::map<ExprRef, int> &atoms() const { return Atoms; }
+
+private:
+  Lit freshDefinition();
+  Lit atomLit(ExprRef Atom);
+
+  SatSolver &Solver;
+  std::map<ExprRef, Lit> Cache;
+  std::map<ExprRef, int> Atoms;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SMT_TSEITIN_H

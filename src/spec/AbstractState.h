@@ -1,0 +1,104 @@
+//===- spec/AbstractState.h - Abstract data structure states ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract states the paper's semantic reasoning happens over (Ch. 2.1,
+/// Ch. 4): the set `contents` of a ListSet/HashSet, the key-value relation of
+/// an AssociationList/HashTable, the integer-indexed sequence of an
+/// ArrayList, and the counter of an Accumulator. Two executions commute
+/// exactly when they agree on these states — not on the concrete linked
+/// structures, which may differ (Fig. 4-1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SPEC_ABSTRACTSTATE_H
+#define SEMCOMM_SPEC_ABSTRACTSTATE_H
+
+#include "logic/StateView.h"
+#include "logic/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace semcomm {
+
+/// Which abstract-state theory a family of data structures uses.
+enum class StateKind : uint8_t { Counter, Set, Map, Seq };
+
+/// A value of one of the four abstract-state theories. Equality is abstract
+/// (semantic) equality, i.e. exactly the relation a(s1;2) = a(s2;1) of
+/// Property 1.
+class AbstractState : public StateView {
+public:
+  static AbstractState makeCounter(int64_t Initial = 0);
+  static AbstractState makeSet();
+  static AbstractState makeMap();
+  static AbstractState makeSeq();
+
+  StateKind kind() const { return Kind; }
+
+  // --- StateView (read-only queries) --------------------------------------
+  bool contains(const Value &V) const override;
+  Value mapGet(const Value &K) const override;
+  bool mapHasKey(const Value &K) const override;
+  int64_t seqLen() const override;
+  Value seqAt(int64_t I) const override;
+  int64_t seqIndexOf(const Value &V) const override;
+  int64_t seqLastIndexOf(const Value &V) const override;
+  int64_t size() const override;
+  int64_t counter() const override;
+
+  // --- Mutators used by the executable operation specifications -----------
+
+  /// Adds \p V to the set; returns true iff it was absent (the add() result).
+  bool setInsert(const Value &V);
+  /// Removes \p V; returns true iff it was present (the remove() result).
+  bool setErase(const Value &V);
+
+  /// Binds \p K to \p V; returns the previous binding or null (put()).
+  Value mapPut(const Value &K, const Value &V);
+  /// Unbinds \p K; returns the previous binding or null (remove()).
+  Value mapErase(const Value &K);
+
+  /// Inserts \p V at index \p I, shifting later elements up (add_at()).
+  void seqInsert(int64_t I, const Value &V);
+  /// Removes and returns the element at \p I, shifting down (remove_at()).
+  Value seqRemove(int64_t I);
+  /// Replaces the element at \p I; returns the replaced element (set()).
+  Value seqSet(int64_t I, const Value &V);
+
+  /// Adds \p Delta to the counter (increase()).
+  void increase(int64_t Delta);
+
+  /// Abstract-state equality.
+  friend bool operator==(const AbstractState &A, const AbstractState &B);
+  friend bool operator!=(const AbstractState &A, const AbstractState &B) {
+    return !(A == B);
+  }
+  /// Total order so states can key ordered containers.
+  friend bool operator<(const AbstractState &A, const AbstractState &B);
+
+  /// Diagnostic rendering: {o1, o2}, {o1->o2}, [o1, o1, o3], ctr(7).
+  std::string str() const;
+
+private:
+  explicit AbstractState(StateKind K) : Kind(K) {}
+
+  StateKind Kind;
+  int64_t CounterVal = 0;
+  /// Set elements (kept sorted) or sequence elements (in order).
+  std::vector<Value> Elems;
+  /// Map entries, kept sorted by key.
+  std::vector<std::pair<Value, Value>> Entries;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SPEC_ABSTRACTSTATE_H

@@ -1,0 +1,57 @@
+//===- spec/AccumulatorFamily.cpp - Accumulator operation specs -----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Accumulator (Ch. 5) maintains a counter with increase(v) and read().
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Family.h"
+
+using namespace semcomm;
+
+static Family makeAccumulatorFamily() {
+  Family F;
+  F.Name = "Accumulator";
+  F.Kind = StateKind::Counter;
+  F.StructureNames = {"Accumulator"};
+
+  Operation Increase;
+  Increase.Name = "increase";
+  Increase.CallName = "increase";
+  Increase.ArgSorts = {Sort::Int};
+  Increase.ArgBaseNames = {"v"};
+  Increase.HasReturn = false;
+  Increase.RecordsReturn = false;
+  Increase.Mutates = true;
+  Increase.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Increase.Apply = [](AbstractState &S, const ArgList &Args) {
+    S.increase(Args[0].asInt());
+    return Value::null();
+  };
+  F.Ops.push_back(Increase);
+
+  Operation Read;
+  Read.Name = "read";
+  Read.CallName = "read";
+  Read.ReturnSort = Sort::Int;
+  Read.HasReturn = true;
+  Read.RecordsReturn = true;
+  Read.Mutates = false;
+  Read.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Read.Apply = [](AbstractState &S, const ArgList &) {
+    return Value::integer(S.counter());
+  };
+  F.Ops.push_back(Read);
+
+  return F;
+}
+
+const Family &semcomm::accumulatorFamily() {
+  static Family F = makeAccumulatorFamily();
+  return F;
+}

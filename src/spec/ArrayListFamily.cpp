@@ -1,0 +1,159 @@
+//===- spec/ArrayListFamily.cpp - ArrayList operation specs ---------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The ArrayList interface (Ch. 5): a map from a dense integer range to
+/// objects with add_at(i, v), get(i), indexOf(v), lastIndexOf(v),
+/// remove_at(i), set(i, v), size(). remove_at and set come in recorded- and
+/// discarded-return variants, yielding 9 operations.
+///
+/// Index preconditions follow java.util.List: add_at admits 0 <= i <= size;
+/// the element accessors admit 0 <= i < size. These preconditions *do*
+/// depend on the abstract state, which is why reverse-order precondition
+/// checks appear in the ArrayList commutativity conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Family.h"
+
+using namespace semcomm;
+
+static bool indexWithin(const AbstractState &S, const ArgList &Args) {
+  int64_t I = Args[0].asInt();
+  return I >= 0 && I < S.seqLen();
+}
+
+static Operation makeRemoveAt(const std::string &Name, bool Records) {
+  Operation Op;
+  Op.Name = Name;
+  Op.CallName = "remove_at";
+  Op.ArgSorts = {Sort::Int};
+  Op.ArgBaseNames = {"i"};
+  Op.ReturnSort = Sort::Obj;
+  Op.HasReturn = true;
+  Op.RecordsReturn = Records;
+  Op.Mutates = true;
+  Op.Pre = indexWithin;
+  Op.Apply = [](AbstractState &S, const ArgList &Args) {
+    return S.seqRemove(Args[0].asInt());
+  };
+  return Op;
+}
+
+static Operation makeSet(const std::string &Name, bool Records) {
+  Operation Op;
+  Op.Name = Name;
+  Op.CallName = "set";
+  Op.ArgSorts = {Sort::Int, Sort::Obj};
+  Op.ArgBaseNames = {"i", "v"};
+  Op.ReturnSort = Sort::Obj;
+  Op.HasReturn = true;
+  Op.RecordsReturn = Records;
+  Op.Mutates = true;
+  Op.Pre = indexWithin;
+  Op.Apply = [](AbstractState &S, const ArgList &Args) {
+    return S.seqSet(Args[0].asInt(), Args[1]);
+  };
+  return Op;
+}
+
+static Family makeArrayListFamily() {
+  Family F;
+  F.Name = "ArrayList";
+  F.Kind = StateKind::Seq;
+  F.StructureNames = {"ArrayList"};
+
+  Operation AddAt;
+  AddAt.Name = "add_at";
+  AddAt.CallName = "add_at";
+  AddAt.ArgSorts = {Sort::Int, Sort::Obj};
+  AddAt.ArgBaseNames = {"i", "v"};
+  AddAt.HasReturn = false;
+  AddAt.RecordsReturn = false;
+  AddAt.Mutates = true;
+  AddAt.Pre = [](const AbstractState &S, const ArgList &Args) {
+    int64_t I = Args[0].asInt();
+    return I >= 0 && I <= S.seqLen();
+  };
+  AddAt.Apply = [](AbstractState &S, const ArgList &Args) {
+    S.seqInsert(Args[0].asInt(), Args[1]);
+    return Value::null();
+  };
+  F.Ops.push_back(AddAt);
+
+  Operation Get;
+  Get.Name = "get";
+  Get.CallName = "get";
+  Get.ArgSorts = {Sort::Int};
+  Get.ArgBaseNames = {"i"};
+  Get.ReturnSort = Sort::Obj;
+  Get.HasReturn = true;
+  Get.RecordsReturn = true;
+  Get.Mutates = false;
+  Get.Pre = indexWithin;
+  Get.Apply = [](AbstractState &S, const ArgList &Args) {
+    return S.seqAt(Args[0].asInt());
+  };
+  F.Ops.push_back(Get);
+
+  Operation IndexOf;
+  IndexOf.Name = "indexOf";
+  IndexOf.CallName = "indexOf";
+  IndexOf.ArgSorts = {Sort::Obj};
+  IndexOf.ArgBaseNames = {"v"};
+  IndexOf.ReturnSort = Sort::Int;
+  IndexOf.HasReturn = true;
+  IndexOf.RecordsReturn = true;
+  IndexOf.Mutates = false;
+  IndexOf.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  IndexOf.Apply = [](AbstractState &S, const ArgList &Args) {
+    return Value::integer(S.seqIndexOf(Args[0]));
+  };
+  F.Ops.push_back(IndexOf);
+
+  Operation LastIndexOf;
+  LastIndexOf.Name = "lastIndexOf";
+  LastIndexOf.CallName = "lastIndexOf";
+  LastIndexOf.ArgSorts = {Sort::Obj};
+  LastIndexOf.ArgBaseNames = {"v"};
+  LastIndexOf.ReturnSort = Sort::Int;
+  LastIndexOf.HasReturn = true;
+  LastIndexOf.RecordsReturn = true;
+  LastIndexOf.Mutates = false;
+  LastIndexOf.Pre = [](const AbstractState &, const ArgList &) {
+    return true;
+  };
+  LastIndexOf.Apply = [](AbstractState &S, const ArgList &Args) {
+    return Value::integer(S.seqLastIndexOf(Args[0]));
+  };
+  F.Ops.push_back(LastIndexOf);
+
+  F.Ops.push_back(makeRemoveAt("remove_at", /*Records=*/true));
+  F.Ops.push_back(makeRemoveAt("remove_at_", /*Records=*/false));
+  F.Ops.push_back(makeSet("set", /*Records=*/true));
+  F.Ops.push_back(makeSet("set_", /*Records=*/false));
+
+  Operation Size;
+  Size.Name = "size";
+  Size.CallName = "size";
+  Size.ReturnSort = Sort::Int;
+  Size.HasReturn = true;
+  Size.RecordsReturn = true;
+  Size.Mutates = false;
+  Size.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Size.Apply = [](AbstractState &S, const ArgList &) {
+    return Value::integer(S.size());
+  };
+  F.Ops.push_back(Size);
+
+  return F;
+}
+
+const Family &semcomm::arrayListFamily() {
+  static Family F = makeArrayListFamily();
+  return F;
+}

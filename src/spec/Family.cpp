@@ -1,0 +1,203 @@
+//===- spec/Family.cpp - Data structure families and scopes ---------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Family.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace semcomm;
+
+std::string Operation::renderCall(const std::string &StateName,
+                                  int Position) const {
+  std::string Call;
+  if (RecordsReturn)
+    Call += "r" + std::to_string(Position) + " = ";
+  Call += StateName + "." + CallName + "(";
+  for (size_t I = 0; I != ArgBaseNames.size(); ++I) {
+    if (I)
+      Call += ", ";
+    Call += ArgBaseNames[I] + std::to_string(Position);
+  }
+  return Call + ")";
+}
+
+AbstractState Family::emptyState() const {
+  switch (Kind) {
+  case StateKind::Counter:
+    return AbstractState::makeCounter(0);
+  case StateKind::Set:
+    return AbstractState::makeSet();
+  case StateKind::Map:
+    return AbstractState::makeMap();
+  case StateKind::Seq:
+    return AbstractState::makeSeq();
+  }
+  semcomm_unreachable("invalid state kind");
+}
+
+const Operation &Family::op(const std::string &OpName) const {
+  for (const Operation &Op : Ops)
+    if (Op.Name == OpName)
+      return Op;
+  std::fprintf(stderr, "family %s has no operation '%s'\n", Name.c_str(),
+               OpName.c_str());
+  std::abort();
+}
+
+unsigned Family::opIndex(const std::string &OpName) const {
+  for (unsigned I = 0; I != Ops.size(); ++I)
+    if (Ops[I].Name == OpName)
+      return I;
+  std::fprintf(stderr, "family %s has no operation '%s'\n", Name.c_str(),
+               OpName.c_str());
+  std::abort();
+}
+
+// --- State enumeration ------------------------------------------------------
+
+static void enumerateSeqStates(int MaxLen, int NumVals,
+                               std::vector<AbstractState> &Out) {
+  // Breadth-first over lengths: all value strings of length 0..MaxLen.
+  std::vector<std::vector<Value>> Current = {{}};
+  for (int Len = 0; Len <= MaxLen; ++Len) {
+    for (const auto &Prefix : Current) {
+      AbstractState S = AbstractState::makeSeq();
+      for (const Value &V : Prefix)
+        S.seqInsert(S.seqLen(), V);
+      Out.push_back(S);
+    }
+    if (Len == MaxLen)
+      break;
+    std::vector<std::vector<Value>> Next;
+    for (const auto &Prefix : Current)
+      for (int V = 1; V <= NumVals; ++V) {
+        auto Extended = Prefix;
+        Extended.push_back(Value::obj(V));
+        Next.push_back(std::move(Extended));
+      }
+    Current = std::move(Next);
+  }
+}
+
+std::vector<AbstractState> semcomm::enumerateStates(const Family &F,
+                                                    const Scope &S) {
+  std::vector<AbstractState> Out;
+  switch (F.Kind) {
+  case StateKind::Counter:
+    for (int C = -S.CounterRange; C <= S.CounterRange; ++C)
+      Out.push_back(AbstractState::makeCounter(C));
+    return Out;
+
+  case StateKind::Set: {
+    int N = S.SetUniverse;
+    for (unsigned Mask = 0; Mask < (1u << N); ++Mask) {
+      AbstractState State = AbstractState::makeSet();
+      for (int I = 0; I < N; ++I)
+        if (Mask & (1u << I))
+          State.setInsert(Value::obj(I + 1));
+      Out.push_back(State);
+    }
+    return Out;
+  }
+
+  case StateKind::Map: {
+    // Each key independently maps to one of MapVals values or is absent.
+    int NumKeys = S.MapKeys, NumVals = S.MapVals;
+    int64_t Total = 1;
+    for (int I = 0; I < NumKeys; ++I)
+      Total *= (NumVals + 1);
+    for (int64_t Code = 0; Code < Total; ++Code) {
+      AbstractState State = AbstractState::makeMap();
+      int64_t Rest = Code;
+      for (int K = 1; K <= NumKeys; ++K) {
+        int Choice = static_cast<int>(Rest % (NumVals + 1));
+        Rest /= (NumVals + 1);
+        if (Choice != 0)
+          State.mapPut(Value::obj(K), Value::obj(Choice));
+      }
+      Out.push_back(State);
+    }
+    return Out;
+  }
+
+  case StateKind::Seq:
+    enumerateSeqStates(S.MaxSeqLen, S.SeqVals, Out);
+    return Out;
+  }
+  semcomm_unreachable("invalid state kind");
+}
+
+// --- Argument enumeration ---------------------------------------------------
+
+/// The candidate values for one formal parameter.
+static std::vector<Value> argDomain(const Family &F, const std::string &Base,
+                                    Sort ArgSort, const AbstractState &Initial,
+                                    const Scope &S) {
+  std::vector<Value> Domain;
+  if (ArgSort == Sort::Int) {
+    if (F.Kind == StateKind::Counter) {
+      for (int V = -S.CounterRange; V <= S.CounterRange; ++V)
+        Domain.push_back(Value::integer(V));
+      return Domain;
+    }
+    // Sequence indices: cover one past an insertion-grown structure;
+    // preconditions filter invalid scenarios.
+    assert(F.Kind == StateKind::Seq && "int argument outside seq/counter");
+    for (int64_t I = 0; I <= Initial.seqLen() + 1; ++I)
+      Domain.push_back(Value::integer(I));
+    return Domain;
+  }
+
+  assert(ArgSort == Sort::Obj && "unexpected argument sort");
+  int Count = 0;
+  switch (F.Kind) {
+  case StateKind::Set:
+    Count = S.SetUniverse;
+    break;
+  case StateKind::Map:
+    Count = (Base == "k") ? S.MapKeys : S.MapVals;
+    break;
+  case StateKind::Seq:
+    Count = S.SeqVals;
+    break;
+  case StateKind::Counter:
+    semcomm_unreachable("object argument on an accumulator");
+  }
+  for (int I = 1; I <= Count; ++I)
+    Domain.push_back(Value::obj(I));
+  return Domain;
+}
+
+std::vector<ArgList> semcomm::enumerateArgs(const Family &F,
+                                            const Operation &Op,
+                                            const AbstractState &Initial,
+                                            const Scope &S) {
+  std::vector<ArgList> Tuples = {{}};
+  for (size_t A = 0; A != Op.ArgSorts.size(); ++A) {
+    std::vector<Value> Domain =
+        argDomain(F, Op.ArgBaseNames[A], Op.ArgSorts[A], Initial, S);
+    std::vector<ArgList> Next;
+    Next.reserve(Tuples.size() * Domain.size());
+    for (const ArgList &Tuple : Tuples)
+      for (const Value &V : Domain) {
+        ArgList Extended = Tuple;
+        Extended.push_back(V);
+        Next.push_back(std::move(Extended));
+      }
+    Tuples = std::move(Next);
+  }
+  return Tuples;
+}
+
+std::vector<const Family *> semcomm::allFamilies() {
+  return {&accumulatorFamily(), &setFamily(), &mapFamily(),
+          &arrayListFamily()};
+}

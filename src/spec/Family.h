@@ -1,0 +1,93 @@
+//===- spec/Family.h - Data structure families and scopes -------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Family bundles the operation specifications shared by data structures
+/// implementing the same interface; the paper's counting conventions (§5.1)
+/// follow from the four families:
+///
+///   Accumulator (2 ops)   — Accumulator
+///   Set         (6 ops)   — ListSet, HashSet
+///   Map         (7 ops)   — AssociationList, HashTable
+///   ArrayList   (9 ops)   — ArrayList
+///
+/// giving 3*2^2 + 2*3*6^2 + 2*3*7^2 + 3*9^2 = 765 commutativity conditions.
+///
+/// Scope describes the finite universe the exhaustive engine enumerates; see
+/// DESIGN.md §4.1 for the small-scope adequacy argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SPEC_FAMILY_H
+#define SEMCOMM_SPEC_FAMILY_H
+
+#include "spec/Operation.h"
+
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// The operations and metadata shared by structures of one interface.
+struct Family {
+  /// Interface name: "Accumulator", "Set", "Map", "ArrayList".
+  std::string Name;
+
+  /// Theory of the abstract state.
+  StateKind Kind;
+
+  /// The verified structures exporting this interface (ListSet and HashSet
+  /// share the Set conditions, etc.).
+  std::vector<std::string> StructureNames;
+
+  /// All operation variants (recorded and discarded), in table order.
+  std::vector<Operation> Ops;
+
+  /// The initial abstract state of a freshly constructed structure.
+  AbstractState emptyState() const;
+
+  /// Finds an operation variant by Name; aborts if absent.
+  const Operation &op(const std::string &Name) const;
+
+  /// Index of an operation variant by Name; aborts if absent.
+  unsigned opIndex(const std::string &Name) const;
+};
+
+/// Finite enumeration bounds for the exhaustive engine.
+struct Scope {
+  int SetUniverse = 4;  ///< Distinct objects for set elements.
+  int MapKeys = 3;      ///< Distinct keys.
+  int MapVals = 3;      ///< Distinct values.
+  int SeqVals = 3;      ///< Distinct sequence elements.
+  int MaxSeqLen = 4;    ///< Maximum ArrayList length enumerated.
+  int CounterRange = 2; ///< Counter values / increments in [-R, R].
+};
+
+/// All abstract states of \p F's theory within \p S.
+std::vector<AbstractState> enumerateStates(const Family &F, const Scope &S);
+
+/// All argument tuples for \p Op when the *initial* state of the scenario is
+/// \p Initial (index arguments range over [0, len+1] so that a second
+/// operation applied after an insertion is fully covered; preconditions
+/// filter the rest).
+std::vector<ArgList> enumerateArgs(const Family &F, const Operation &Op,
+                                   const AbstractState &Initial,
+                                   const Scope &S);
+
+// Singleton family definitions (constructed on first use).
+const Family &accumulatorFamily();
+const Family &setFamily();
+const Family &mapFamily();
+const Family &arrayListFamily();
+
+/// The four families in the paper's presentation order.
+std::vector<const Family *> allFamilies();
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SPEC_FAMILY_H

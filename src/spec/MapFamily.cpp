@@ -1,0 +1,115 @@
+//===- spec/MapFamily.cpp - AssociationList/HashTable operation specs -----===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Map interface of AssociationList and HashTable (Ch. 5):
+/// containsKey(k), get(k), put(k, v), remove(k), size(). put and remove come
+/// in recorded- and discarded-return variants, yielding 7 operations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Family.h"
+
+using namespace semcomm;
+
+static Operation makePut(const std::string &Name, bool Records) {
+  Operation Op;
+  Op.Name = Name;
+  Op.CallName = "put";
+  Op.ArgSorts = {Sort::Obj, Sort::Obj};
+  Op.ArgBaseNames = {"k", "v"};
+  Op.ReturnSort = Sort::Obj;
+  Op.HasReturn = true;
+  Op.RecordsReturn = Records;
+  Op.Mutates = true;
+  Op.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Op.Apply = [](AbstractState &S, const ArgList &Args) {
+    return S.mapPut(Args[0], Args[1]);
+  };
+  return Op;
+}
+
+static Operation makeMapRemove(const std::string &Name, bool Records) {
+  Operation Op;
+  Op.Name = Name;
+  Op.CallName = "remove";
+  Op.ArgSorts = {Sort::Obj};
+  Op.ArgBaseNames = {"k"};
+  Op.ReturnSort = Sort::Obj;
+  Op.HasReturn = true;
+  Op.RecordsReturn = Records;
+  Op.Mutates = true;
+  Op.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Op.Apply = [](AbstractState &S, const ArgList &Args) {
+    return S.mapErase(Args[0]);
+  };
+  return Op;
+}
+
+static Family makeMapFamily() {
+  Family F;
+  F.Name = "Map";
+  F.Kind = StateKind::Map;
+  F.StructureNames = {"AssociationList", "HashTable"};
+
+  Operation ContainsKey;
+  ContainsKey.Name = "containsKey";
+  ContainsKey.CallName = "containsKey";
+  ContainsKey.ArgSorts = {Sort::Obj};
+  ContainsKey.ArgBaseNames = {"k"};
+  ContainsKey.ReturnSort = Sort::Bool;
+  ContainsKey.HasReturn = true;
+  ContainsKey.RecordsReturn = true;
+  ContainsKey.Mutates = false;
+  ContainsKey.Pre = [](const AbstractState &, const ArgList &) {
+    return true;
+  };
+  ContainsKey.Apply = [](AbstractState &S, const ArgList &Args) {
+    return Value::boolean(S.mapHasKey(Args[0]));
+  };
+  F.Ops.push_back(ContainsKey);
+
+  Operation Get;
+  Get.Name = "get";
+  Get.CallName = "get";
+  Get.ArgSorts = {Sort::Obj};
+  Get.ArgBaseNames = {"k"};
+  Get.ReturnSort = Sort::Obj;
+  Get.HasReturn = true;
+  Get.RecordsReturn = true;
+  Get.Mutates = false;
+  Get.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Get.Apply = [](AbstractState &S, const ArgList &Args) {
+    return S.mapGet(Args[0]);
+  };
+  F.Ops.push_back(Get);
+
+  F.Ops.push_back(makePut("put", /*Records=*/true));
+  F.Ops.push_back(makePut("put_", /*Records=*/false));
+  F.Ops.push_back(makeMapRemove("remove", /*Records=*/true));
+  F.Ops.push_back(makeMapRemove("remove_", /*Records=*/false));
+
+  Operation Size;
+  Size.Name = "size";
+  Size.CallName = "size";
+  Size.ReturnSort = Sort::Int;
+  Size.HasReturn = true;
+  Size.RecordsReturn = true;
+  Size.Mutates = false;
+  Size.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Size.Apply = [](AbstractState &S, const ArgList &) {
+    return Value::integer(S.size());
+  };
+  F.Ops.push_back(Size);
+
+  return F;
+}
+
+const Family &semcomm::mapFamily() {
+  static Family F = makeMapFamily();
+  return F;
+}

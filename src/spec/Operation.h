@@ -1,0 +1,84 @@
+//===- spec/Operation.h - Executable operation specifications ---*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Operation is the executable form of a Jahob operation specification
+/// (requires / modifies / ensures, Fig. 2-1): a precondition over the
+/// abstract state and an abstract-state transformer returning the operation's
+/// result. As in the paper (§5.1), every updating operation exists in two
+/// variants — one whose client records the return value and one whose client
+/// discards it — because the recorded variant observes more of the state and
+/// therefore commutes less often.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SPEC_OPERATION_H
+#define SEMCOMM_SPEC_OPERATION_H
+
+#include "logic/Sort.h"
+#include "spec/AbstractState.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// Actual arguments of one operation invocation.
+using ArgList = std::vector<Value>;
+
+/// One operation variant of a data structure family.
+struct Operation {
+  /// Identifier within the family; discarded-return variants carry a
+  /// trailing underscore (e.g. "add" records, "add_" discards).
+  std::string Name;
+
+  /// The method name a client calls ("add", "remove_at", ...).
+  std::string CallName;
+
+  /// Sorts of the formal parameters.
+  std::vector<Sort> ArgSorts;
+
+  /// Base names of the formals; engines bind the actuals of operation N to
+  /// <base>N in condition environments (e.g. put's {"k","v"} become k1, v1).
+  std::vector<std::string> ArgBaseNames;
+
+  /// Sort of the return value (meaningful only when HasReturn).
+  Sort ReturnSort = Sort::Bool;
+
+  /// Whether the method returns a value at all (add_at and increase do not).
+  bool HasReturn = false;
+
+  /// Whether this variant's client records the return value. Pure
+  /// observers always record; discarded-return variants never do.
+  bool RecordsReturn = false;
+
+  /// Whether the operation may change the abstract state.
+  bool Mutates = false;
+
+  /// requires-clause over the abstract state (the paper's init / non-null
+  /// conjuncts are implicit: engines never supply null arguments or
+  /// uninitialized structures).
+  std::function<bool(const AbstractState &, const ArgList &)> Pre;
+
+  /// ensures-clause, as an executable transformer. Must only be applied in
+  /// states satisfying Pre. Returns the operation result (Value::null() for
+  /// void operations).
+  std::function<Value(AbstractState &, const ArgList &)> Apply;
+
+  /// Renders an invocation for the paper-style tables, e.g.
+  /// "r2 = s2.contains(v2)" or "s1.add(v1)". \p Position is 1 or 2.
+  std::string renderCall(const std::string &StateName, int Position) const;
+
+  /// True for the pure observers (contains, get, size, indexOf, ...).
+  bool isPure() const { return !Mutates; }
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SPEC_OPERATION_H

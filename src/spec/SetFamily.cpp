@@ -1,0 +1,91 @@
+//===- spec/SetFamily.cpp - ListSet/HashSet operation specs ---------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The Set interface of ListSet and HashSet (Fig. 2-1, Ch. 5): add(v),
+/// contains(v), remove(v), size(). The updating operations add and remove
+/// come in recorded- and discarded-return variants ("add" / "add_"),
+/// yielding the paper's 6 operations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Family.h"
+
+using namespace semcomm;
+
+/// Builds one of add/add_/remove/remove_.
+static Operation makeSetUpdate(const std::string &Name, bool Records,
+                               bool IsAdd) {
+  Operation Op;
+  Op.Name = Name;
+  Op.CallName = IsAdd ? "add" : "remove";
+  Op.ArgSorts = {Sort::Obj};
+  Op.ArgBaseNames = {"v"};
+  Op.ReturnSort = Sort::Bool;
+  Op.HasReturn = true;
+  Op.RecordsReturn = Records;
+  Op.Mutates = true;
+  Op.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  if (IsAdd)
+    Op.Apply = [](AbstractState &S, const ArgList &Args) {
+      return Value::boolean(S.setInsert(Args[0]));
+    };
+  else
+    Op.Apply = [](AbstractState &S, const ArgList &Args) {
+      return Value::boolean(S.setErase(Args[0]));
+    };
+  return Op;
+}
+
+static Family makeSetFamily() {
+  Family F;
+  F.Name = "Set";
+  F.Kind = StateKind::Set;
+  F.StructureNames = {"ListSet", "HashSet"};
+
+  F.Ops.push_back(makeSetUpdate("add", /*Records=*/true, /*IsAdd=*/true));
+  F.Ops.push_back(makeSetUpdate("add_", /*Records=*/false, /*IsAdd=*/true));
+
+  Operation Contains;
+  Contains.Name = "contains";
+  Contains.CallName = "contains";
+  Contains.ArgSorts = {Sort::Obj};
+  Contains.ArgBaseNames = {"v"};
+  Contains.ReturnSort = Sort::Bool;
+  Contains.HasReturn = true;
+  Contains.RecordsReturn = true;
+  Contains.Mutates = false;
+  Contains.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Contains.Apply = [](AbstractState &S, const ArgList &Args) {
+    return Value::boolean(S.contains(Args[0]));
+  };
+  F.Ops.push_back(Contains);
+
+  F.Ops.push_back(makeSetUpdate("remove", /*Records=*/true, /*IsAdd=*/false));
+  F.Ops.push_back(
+      makeSetUpdate("remove_", /*Records=*/false, /*IsAdd=*/false));
+
+  Operation Size;
+  Size.Name = "size";
+  Size.CallName = "size";
+  Size.ReturnSort = Sort::Int;
+  Size.HasReturn = true;
+  Size.RecordsReturn = true;
+  Size.Mutates = false;
+  Size.Pre = [](const AbstractState &, const ArgList &) { return true; };
+  Size.Apply = [](AbstractState &S, const ArgList &) {
+    return Value::integer(S.size());
+  };
+  F.Ops.push_back(Size);
+
+  return F;
+}
+
+const Family &semcomm::setFamily() {
+  static Family F = makeSetFamily();
+  return F;
+}

@@ -1,0 +1,41 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled opt-in RTTI in the style of llvm/Support/Casting.h. A class
+/// hierarchy participates by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SUPPORT_CASTING_H
+#define SEMCOMM_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace semcomm {
+
+/// Returns true if \p V is an instance of To (per To::classof).
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> used on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast: asserts that \p V really is a To.
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast: returns null if \p V is not a To.
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SUPPORT_CASTING_H

@@ -1,0 +1,45 @@
+//===- support/Timing.h - Wall-clock stopwatch ------------------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small steady-clock stopwatch used by the verification-time benches
+/// (Table 5.8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SUPPORT_TIMING_H
+#define SEMCOMM_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace semcomm {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the measurement interval.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SUPPORT_TIMING_H

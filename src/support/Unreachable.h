@@ -1,0 +1,35 @@
+//===- support/Unreachable.h - Fatal internal-error helpers ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Provides semcomm_unreachable, an analogue of llvm_unreachable: marks code
+/// paths that must never execute if program invariants hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SUPPORT_UNREACHABLE_H
+#define SEMCOMM_SUPPORT_UNREACHABLE_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace semcomm {
+
+/// Reports an internal invariant violation and aborts. Never returns.
+[[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
+                                           unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace semcomm
+
+#define semcomm_unreachable(MSG)                                               \
+  ::semcomm::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // SEMCOMM_SUPPORT_UNREACHABLE_H

@@ -1,0 +1,343 @@
+//===- tests/CatalogTest.cpp - Full catalog verification --------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The central test of the reproduction: every one of the 765 commutativity
+/// conditions (1530 generated testing methods, counted per structure) is
+/// verified sound AND complete by the exhaustive engine, and perturbing any
+/// condition is detected.
+///
+//===----------------------------------------------------------------------===//
+
+#include "commute/ExhaustiveEngine.h"
+#include "logic/Evaluator.h"
+#include "logic/Dsl.h"
+#include "logic/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace semcomm;
+
+namespace {
+struct CatalogFixture {
+  ExprFactory F;
+  Catalog C{F};
+  ExhaustiveEngine Engine;
+};
+CatalogFixture &fixture() {
+  static CatalogFixture Fx;
+  return Fx;
+}
+} // namespace
+
+TEST(CatalogShape, PaperCounts) {
+  Catalog &C = fixture().C;
+  EXPECT_EQ(C.totalConditionsPaperCount(), 765u);
+  EXPECT_EQ(C.totalTestingMethodsPaperCount(), 1530u);
+  EXPECT_EQ(C.entries(accumulatorFamily()).size(), 4u);
+  EXPECT_EQ(C.entries(setFamily()).size(), 36u);
+  EXPECT_EQ(C.entries(mapFamily()).size(), 49u);
+  EXPECT_EQ(C.entries(arrayListFamily()).size(), 81u);
+}
+
+TEST(CatalogShape, FreeVariableDisciplineHolds) {
+  // Aborts with a diagnostic on violation.
+  fixture().C.validate();
+}
+
+TEST(CatalogShape, MethodNamingFollowsThePaper) {
+  Catalog &C = fixture().C;
+  std::vector<TestingMethod> Methods = generateTestingMethods(C, setFamily());
+  // 36 entries x 3 kinds x 2 roles.
+  EXPECT_EQ(Methods.size(), 216u);
+  bool SawBetweenSound = false;
+  for (const TestingMethod &M : Methods)
+    if (M.name().find("contains_add_between_s_") == 0)
+      SawBetweenSound = true;
+  EXPECT_TRUE(SawBetweenSound);
+}
+
+// Exhaustive verification of every testing method, parameterized by family
+// (the 1530-method analogue of the paper's §5.2 run).
+class FamilyVerification : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyVerification, AllMethodsVerify) {
+  CatalogFixture &Fx = fixture();
+  const Family &Fam = *allFamilies()[GetParam()];
+  for (const TestingMethod &M : generateTestingMethods(Fx.C, Fam)) {
+    VerifyResult R = Fx.Engine.verify(M);
+    EXPECT_TRUE(R.Verified)
+        << Fam.Name << " " << M.name() << " ("
+        << methodRoleName(M.Role) << "):\n  phi: "
+        << printAbstract(M.Entry->get(M.Kind)) << "\n  "
+        << (R.CE ? R.CE->str() : "");
+    EXPECT_GT(R.ScenariosChecked, 0u) << M.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyVerification,
+                         ::testing::Range(0, 4));
+
+// --- Paper-sampled rows render exactly as in Tables 5.1-5.6 ------------------
+
+TEST(PaperRows, Table51Accumulator) {
+  Catalog &C = fixture().C;
+  EXPECT_TRUE(
+      C.entry(accumulatorFamily(), "increase", "increase").Before->isTrue());
+  EXPECT_EQ(printAbstract(
+                C.entry(accumulatorFamily(), "increase", "read").Between),
+            "v1 = 0");
+}
+
+TEST(PaperRows, Table52SetBefore) {
+  Catalog &C = fixture().C;
+  const Family &S = setFamily();
+  EXPECT_TRUE(C.entry(S, "add_", "add_").Before->isTrue());
+  EXPECT_EQ(printAbstract(C.entry(S, "add_", "contains").Before),
+            "v1 ~= v2 | v1 in s1");
+  EXPECT_EQ(printAbstract(C.entry(S, "add_", "remove_").Before),
+            "v1 ~= v2");
+  EXPECT_EQ(printAbstract(C.entry(S, "contains", "remove_").Before),
+            "v1 ~= v2 | v1 ~in s1");
+  EXPECT_TRUE(C.entry(S, "remove_", "remove_").Before->isTrue());
+}
+
+TEST(PaperRows, Table53SetBetween) {
+  Catalog &C = fixture().C;
+  const Family &S = setFamily();
+  // §5.1's worked example: between condition for r1 = s.add(v1);
+  // r2 = s.add(v2) is (v1 ~= v2 | ~r1).
+  EXPECT_EQ(printAbstract(C.entry(S, "add", "add").Between),
+            "v1 ~= v2 | ~r1");
+  EXPECT_EQ(printAbstract(C.entry(S, "contains", "add_").Between),
+            "v1 ~= v2 | r1");
+  EXPECT_EQ(printAbstract(C.entry(S, "contains", "remove_").Between),
+            "v1 ~= v2 | ~r1");
+}
+
+TEST(PaperRows, Table54MapBefore) {
+  Catalog &C = fixture().C;
+  const Family &M = mapFamily();
+  EXPECT_EQ(printAbstract(C.entry(M, "get", "put_").Before),
+            "k1 ~= k2 | (k1, v2) in s1");
+  EXPECT_EQ(printAbstract(C.entry(M, "put_", "put_").Before),
+            "k1 ~= k2 | v1 = v2");
+  EXPECT_EQ(printAbstract(C.entry(M, "remove_", "get").Before),
+            "k1 ~= k2 | (k1, _) ~in s1");
+  EXPECT_TRUE(C.entry(M, "remove_", "remove_").Before->isTrue());
+}
+
+TEST(PaperRows, Table55MapAfter) {
+  Catalog &C = fixture().C;
+  const Family &M = mapFamily();
+  EXPECT_EQ(printAbstract(C.entry(M, "get", "put_").After),
+            "k1 ~= k2 | r1 = v2");
+  EXPECT_EQ(printAbstract(C.entry(M, "get", "remove_").After),
+            "k1 ~= k2 | r1 = null");
+  EXPECT_EQ(printAbstract(C.entry(M, "put_", "get").After),
+            "k1 ~= k2 | (k1, v1) in s1");
+}
+
+TEST(PaperRows, Table56ArrayListBetween) {
+  Catalog &C = fixture().C;
+  const Family &A = arrayListFamily();
+  // The (r1 = indexOf(v1); add_at(i2, v2)) row.
+  EXPECT_EQ(printAbstract(C.entry(A, "indexOf", "add_at").Between),
+            "r1 < 0 & v1 ~= v2 | 0 <= r1 & r1 < i2 | r1 = i2 & v1 = v2");
+  EXPECT_TRUE(C.entry(A, "indexOf", "indexOf").Between->isTrue());
+  // The (remove_at_; remove_at_) row's same-index clause.
+  std::string RaRa =
+      printAbstract(C.entry(A, "remove_at_", "remove_at_").Between);
+  EXPECT_NE(RaRa.find("i1 = i2"), std::string::npos);
+}
+
+// --- Mutation testing: the engine rejects perturbed conditions ----------------
+
+namespace {
+struct Mutation {
+  const char *FamilyName;
+  const char *Op1, *Op2;
+  ConditionKind Kind;
+  /// Builds a wrong condition for the pair.
+  ExprRef (*Build)(Vocab &D, ExprRef Original);
+  /// Which role must fail.
+  MethodRole ExpectedFailure;
+};
+} // namespace
+
+class MutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationTest, PerturbedConditionsAreRejected) {
+  CatalogFixture &Fx = fixture();
+  Vocab D(Fx.F);
+
+  static const Mutation Mutations[] = {
+      // Weakening to true must break completeness... or soundness when the
+      // real condition is restrictive.
+      {"Set", "add", "remove", ConditionKind::Before,
+       [](Vocab &D, ExprRef) { return D.tru(); }, MethodRole::Soundness},
+      // Strengthening to false must break completeness for a commuting
+      // pair.
+      {"Set", "add_", "add_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) { return D.fls(); }, MethodRole::Completeness},
+      // Dropping the membership disjunct of (contains; add) keeps
+      // soundness but loses completeness.
+      {"Set", "contains", "add_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) { return D.ne(D.V1, D.V2); },
+       MethodRole::Completeness},
+      // Swapping the polarity of the membership clause breaks soundness.
+      {"Set", "contains", "add_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) {
+         return D.disj({D.ne(D.V1, D.V2), D.notIn(D.V1, D.S1)});
+       },
+       MethodRole::Soundness},
+      // Map: requiring only key inequality for put/put misses the
+      // equal-values case (completeness).
+      {"Map", "put_", "put_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) { return D.ne(D.K1, D.K2); },
+       MethodRole::Completeness},
+      // Map: allowing equal keys for put/remove breaks soundness.
+      {"Map", "put_", "remove_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) { return D.tru(); }, MethodRole::Soundness},
+      // ArrayList: forgetting the duplicate-neighbour requirement of
+      // (add_at; remove_at) breaks soundness.
+      {"ArrayList", "add_at", "remove_at_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) { return D.le(D.I2, D.I1); },
+       MethodRole::Soundness},
+      // ArrayList: the i1 = i2 clause of remove_at_/remove_at_ is
+      // necessary (completeness breaks without it).
+      {"ArrayList", "remove_at_", "remove_at_", ConditionKind::Before,
+       [](Vocab &D, ExprRef) {
+         ExprRef A2 = D.at(D.S1, D.I2);
+         ExprRef A2p = D.at(D.S1, D.add(D.I2, D.c(1)));
+         ExprRef A1 = D.at(D.S1, D.I1);
+         ExprRef A1p = D.at(D.S1, D.add(D.I1, D.c(1)));
+         return D.disj({D.conj({D.lt(D.I1, D.I2), D.eq(A2, A2p)}),
+                        D.conj({D.gt(D.I1, D.I2), D.eq(A1, A1p)})});
+       },
+       MethodRole::Completeness},
+  };
+
+  const Mutation &Mu = Mutations[GetParam()];
+  const Family *Fam = nullptr;
+  for (const Family *Candidate : allFamilies())
+    if (Candidate->Name == Mu.FamilyName)
+      Fam = Candidate;
+  ASSERT_NE(Fam, nullptr);
+
+  ExprRef Original = Fx.C.entry(*Fam, Mu.Op1, Mu.Op2).get(Mu.Kind);
+  ExprRef Mutant = Mu.Build(D, Original);
+  ASSERT_NE(Mutant, Original) << "mutation must actually change the formula";
+
+  VerifyResult R = Fx.Engine.verifyCondition(*Fam, Mu.Op1, Mu.Op2, Mu.Kind,
+                                             Mu.ExpectedFailure, Mutant);
+  EXPECT_FALSE(R.Verified)
+      << "mutant not rejected: " << printAbstract(Mutant);
+  EXPECT_TRUE(R.CE.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMutations, MutationTest, ::testing::Range(0, 8));
+
+// --- Scope stability -----------------------------------------------------------
+
+TEST(ScopeStability, ResultsAgreeAcrossScopes) {
+  // DESIGN.md §4.1's empirical cross-check on a representative sample:
+  // verification outcomes are identical at scopes 3 and 5.
+  CatalogFixture &Fx = fixture();
+  Scope Small;
+  Small.SetUniverse = 3;
+  Small.MapKeys = 2;
+  Small.MaxSeqLen = 3;
+  Scope Large;
+  Large.SetUniverse = 5;
+  Large.MapKeys = 4;
+  Large.MaxSeqLen = 5;
+  ExhaustiveEngine SmallEngine(Small), LargeEngine(Large);
+
+  const std::tuple<const Family *, const char *, const char *> Sample[] = {
+      {&setFamily(), "add", "contains"},
+      {&mapFamily(), "put", "remove"},
+      {&arrayListFamily(), "add_at", "indexOf"},
+      {&arrayListFamily(), "remove_at", "remove_at"},
+  };
+  for (const auto &[Fam, Op1, Op2] : Sample)
+    for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                            ConditionKind::After})
+      for (MethodRole Role :
+           {MethodRole::Soundness, MethodRole::Completeness}) {
+        ExprRef Phi = Fx.C.entry(*Fam, Op1, Op2).get(K);
+        bool SmallOk =
+            SmallEngine.verifyCondition(*Fam, Op1, Op2, K, Role, Phi)
+                .Verified;
+        bool LargeOk =
+            LargeEngine.verifyCondition(*Fam, Op1, Op2, K, Role, Phi)
+                .Verified;
+        EXPECT_EQ(SmallOk, LargeOk) << Fam->Name << " " << Op1 << "," << Op2;
+        EXPECT_TRUE(LargeOk);
+      }
+}
+
+// --- §4.1.2's equivalence claim -------------------------------------------------
+
+// "Because the commutativity conditions for our set of data structures are
+// both sound and complete, the before, between, and after conditions are
+// equivalent even if they reference different return values or elements of
+// different abstract states." Checked pointwise over every scenario of
+// every pair.
+class KindEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(KindEquivalence, BeforeBetweenAfterAgreeOnEveryScenario) {
+  CatalogFixture &Fx = fixture();
+  const Family &Fam = *allFamilies()[GetParam()];
+  Scope Bounds;
+  if (Fam.Kind == StateKind::Seq)
+    Bounds.MaxSeqLen = 3; // keep the sweep quick; scope-stable anyway
+
+  for (const ConditionEntry &E : Fx.C.entries(Fam)) {
+    const Operation &Op1 = E.op1();
+    const Operation &Op2 = E.op2();
+    for (const AbstractState &Initial : enumerateStates(Fam, Bounds)) {
+      for (const ArgList &A1 : enumerateArgs(Fam, Op1, Initial, Bounds)) {
+        if (!Op1.Pre(Initial, A1))
+          continue;
+        for (const ArgList &A2 : enumerateArgs(Fam, Op2, Initial, Bounds)) {
+          AbstractState Mid = Initial;
+          Value R1 = Op1.Apply(Mid, A1);
+          if (!Op2.Pre(Mid, A2))
+            continue;
+          AbstractState Fin = Mid;
+          Value R2 = Op2.Apply(Fin, A2);
+
+          Env Env1;
+          for (size_t I = 0; I != A1.size(); ++I)
+            Env1.bind(Op1.ArgBaseNames[I] + "1", A1[I]);
+          for (size_t I = 0; I != A2.size(); ++I)
+            Env1.bind(Op2.ArgBaseNames[I] + "2", A2[I]);
+          if (Op1.RecordsReturn)
+            Env1.bind("r1", R1);
+          if (Op2.RecordsReturn)
+            Env1.bind("r2", R2);
+          Env1.bindState("s1", &Initial);
+          Env1.bindState("s2", &Mid);
+          Env1.bindState("s3", &Fin);
+
+          bool Before = evaluateBool(E.Before, Env1);
+          bool Between = evaluateBool(E.Between, Env1);
+          bool After = evaluateBool(E.After, Env1);
+          ASSERT_EQ(Before, Between)
+              << Fam.Name << " " << E.pairName() << " at "
+              << Initial.str();
+          ASSERT_EQ(Between, After)
+              << Fam.Name << " " << E.pairName() << " at "
+              << Initial.str();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, KindEquivalence, ::testing::Range(0, 4));

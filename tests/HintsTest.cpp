@@ -1,0 +1,104 @@
+//===- tests/HintsTest.cpp - Proof-hint script tests ------------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/ProofHints.h"
+#include "logic/Dsl.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace semcomm;
+
+namespace {
+struct HintsFixture {
+  ExprFactory F;
+  Catalog C{F};
+  std::vector<HintScript> Scripts = buildArrayListHintScripts(F);
+};
+HintsFixture &fixture() {
+  static HintsFixture Fx;
+  return Fx;
+}
+} // namespace
+
+TEST(HintsTest, Table59Counts) {
+  HintSummary S = summarizeHints(fixture().Scripts);
+  // Table 5.9: 128 note + 51 assuming + 22 pickWitness = 201 commands
+  // across the 57 remaining methods (§5.2.1: 12 + 8 + 20 + 17).
+  EXPECT_EQ(S.Methods, 57u);
+  EXPECT_EQ(S.MethodsByCategory[1], 12u);
+  EXPECT_EQ(S.MethodsByCategory[2], 8u);
+  EXPECT_EQ(S.MethodsByCategory[3], 20u);
+  EXPECT_EQ(S.MethodsByCategory[4], 17u);
+  EXPECT_EQ(S.Notes, 128u);
+  EXPECT_EQ(S.Assumings, 51u);
+  EXPECT_EQ(S.PickWitnesses, 22u);
+  EXPECT_EQ(S.Notes + S.Assumings + S.PickWitnesses, 201u);
+}
+
+TEST(HintsTest, EveryScriptTargetsADistinctArrayListMethod) {
+  HintsFixture &Fx = fixture();
+  std::vector<TestingMethod> Methods =
+      generateTestingMethods(Fx.C, arrayListFamily());
+  std::set<std::string> Matched;
+  for (const HintScript &S : Fx.Scripts) {
+    int Hits = 0;
+    for (const TestingMethod &M : Methods)
+      if (S.matches(M)) {
+        ++Hits;
+        Matched.insert(M.name());
+      }
+    EXPECT_EQ(Hits, 1) << S.Op1Name << "," << S.Op2Name;
+  }
+  EXPECT_EQ(Matched.size(), 57u);
+}
+
+// "Integrated reasoning": every command's formula is machine-validated.
+class ScriptValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScriptValidation, ScriptIsValid) {
+  HintsFixture &Fx = fixture();
+  // Chunk the 57 scripts into 8 shards to keep test granularity useful.
+  size_t Shard = GetParam();
+  for (size_t I = Shard; I < Fx.Scripts.size(); I += 8) {
+    const HintScript &S = Fx.Scripts[I];
+    HintValidation V = validateScript(S, Fx.C);
+    EXPECT_TRUE(V.Ok) << S.Op1Name << "," << S.Op2Name << " "
+                      << conditionKindName(S.Kind) << " "
+                      << methodRoleName(S.Role) << ": " << V.FailureNote;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ScriptValidation, ::testing::Range(0, 8));
+
+TEST(HintsTest, CorruptedNoteIsRejected) {
+  HintsFixture &Fx = fixture();
+  Vocab D(Fx.F);
+  HintScript Bad = Fx.Scripts.front();
+  // An invalid "lemma": the intermediate state equals the initial state at
+  // i1 — false whenever add_at/remove_at actually shifts something.
+  Bad.Commands.push_back(HintCommand{
+      HintCommandKind::Note,
+      D.eq(D.at(D.S2, D.I1), D.at(D.S1, D.I1)), "", "bogus lemma"});
+  HintValidation V = validateScript(Bad, Fx.C);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FailureNote.find("note"), std::string::npos);
+}
+
+TEST(HintsTest, VacuousAssumingIsRejected) {
+  HintsFixture &Fx = fixture();
+  Vocab D(Fx.F);
+  HintScript Bad = Fx.Scripts.front();
+  Bad.Commands.push_back(HintCommand{HintCommandKind::Assuming,
+                                     D.lt(D.I1, D.c(0)), "",
+                                     "impossible case"});
+  HintValidation V = validateScript(Bad, Fx.C);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FailureNote.find("vacuous"), std::string::npos);
+}

@@ -1,0 +1,153 @@
+//===- tests/IntegrationTest.cpp - Cross-module end-to-end tests -----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/ExhaustiveEngine.h"
+#include "commute/ProofHints.h"
+#include "commute/SymbolicEngine.h"
+#include "impl/ListSet.h"
+#include "inverse/InverseVerifier.h"
+#include "logic/Evaluator.h"
+#include "refine/RefinementChecker.h"
+#include "runtime/DynamicChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace semcomm;
+
+// The end-to-end pipeline of the paper's Fig. 2-2 example: specify the
+// condition, generate the two testing methods, verify both with both
+// engines, then use the condition dynamically against the verified
+// implementations.
+TEST(IntegrationTest, Figure22EndToEnd) {
+  ExprFactory F;
+  Catalog C(F);
+  const ConditionEntry &E = C.entry(setFamily(), "contains", "add_");
+
+  ExhaustiveEngine Ex;
+  SymbolicEngine Sym(F);
+  for (MethodRole Role : {MethodRole::Soundness, MethodRole::Completeness}) {
+    TestingMethod M;
+    M.Entry = &E;
+    M.Kind = ConditionKind::Between;
+    M.Role = Role;
+    EXPECT_TRUE(Ex.verify(M).Verified);
+    EXPECT_TRUE(Sym.verify(M).Verified);
+  }
+
+  // Dynamic use against both set implementations.
+  DynamicChecker Checker(F, C);
+  for (const StructureFactory &Factory : allStructureFactories()) {
+    if (Factory.Fam != &setFamily())
+      continue;
+    std::unique_ptr<ConcreteStructure> S = Factory.Make();
+    S->invoke("add", {Value::obj(1)});
+    std::unique_ptr<ConcreteStructure> Before = S->clone();
+    Value R1 = S->invoke("contains", {Value::obj(2)}); // false
+    EXPECT_FALSE(Checker.commutesExact(*Before, *S, "contains",
+                                       {Value::obj(2)}, R1, "add_",
+                                       {Value::obj(2)}));
+    EXPECT_TRUE(Checker.commutesExact(*Before, *S, "contains",
+                                      {Value::obj(1)},
+                                      Value::boolean(true), "add_",
+                                      {Value::obj(1)}));
+  }
+}
+
+// Dynamic condition evaluation against the *concrete* structures agrees
+// with evaluation against their abstractions on random scenarios — the
+// soundness of the paper's fourth table column.
+TEST(IntegrationTest, ConcreteAndAbstractEvaluationAgree) {
+  ExprFactory F;
+  Catalog C(F);
+  std::mt19937 Rng(5);
+
+  for (const StructureFactory &Factory : allStructureFactories()) {
+    const Family &Fam = *Factory.Fam;
+    Scope Bounds;
+    for (int Trial = 0; Trial < 120; ++Trial) {
+      // Random reachable structure.
+      std::unique_ptr<ConcreteStructure> S = Factory.Make();
+      AbstractState Shadow = Fam.emptyState();
+      for (int Step = 0; Step < 8; ++Step) {
+        const Operation &Op = Fam.Ops[Rng() % Fam.Ops.size()];
+        auto Cands = enumerateArgs(Fam, Op, Shadow, Bounds);
+        if (Cands.empty())
+          continue;
+        const ArgList &A = Cands[Rng() % Cands.size()];
+        if (!Op.Pre(Shadow, A))
+          continue;
+        S->invoke(Op.CallName, A);
+        Op.Apply(Shadow, A);
+      }
+
+      // Random pair and before-condition (free of r1/r2, so it only needs
+      // s1, which both views provide).
+      const auto &Entries = C.entries(Fam);
+      const ConditionEntry &E = Entries[Rng() % Entries.size()];
+      auto Args1 = enumerateArgs(Fam, E.op1(), Shadow, Bounds);
+      auto Args2 = enumerateArgs(Fam, E.op2(), Shadow, Bounds);
+      if (Args1.empty() || Args2.empty())
+        continue;
+      const ArgList &A1 = Args1[Rng() % Args1.size()];
+      const ArgList &A2 = Args2[Rng() % Args2.size()];
+
+      Env EnvConcrete, EnvAbstract;
+      for (size_t I = 0; I != A1.size(); ++I) {
+        EnvConcrete.bind(E.op1().ArgBaseNames[I] + "1", A1[I]);
+        EnvAbstract.bind(E.op1().ArgBaseNames[I] + "1", A1[I]);
+      }
+      for (size_t I = 0; I != A2.size(); ++I) {
+        EnvConcrete.bind(E.op2().ArgBaseNames[I] + "2", A2[I]);
+        EnvAbstract.bind(E.op2().ArgBaseNames[I] + "2", A2[I]);
+      }
+      EnvConcrete.bindState("s1", S.get());
+      EnvAbstract.bindState("s1", &Shadow);
+      EXPECT_EQ(evaluateBool(E.Before, EnvConcrete),
+                evaluateBool(E.Before, EnvAbstract))
+          << Factory.Name << " " << E.pairName();
+    }
+  }
+}
+
+// The full §5.2/§5.3 run in miniature: catalog verification, hint
+// validation, inverse verification, and refinement checking all pass on a
+// reduced scope, exercising every major subsystem in one process.
+TEST(IntegrationTest, MiniaturePaperRun) {
+  ExprFactory F;
+  Catalog C(F);
+  C.validate();
+
+  Scope Small;
+  Small.SetUniverse = 3;
+  Small.MapKeys = 2;
+  Small.MapVals = 2;
+  Small.MaxSeqLen = 3;
+  Small.SeqVals = 2;
+  ExhaustiveEngine Engine(Small);
+
+  unsigned Verified = 0;
+  for (const Family *Fam : allFamilies())
+    for (const TestingMethod &M : generateTestingMethods(C, *Fam)) {
+      ASSERT_TRUE(Engine.verify(M).Verified) << M.name();
+      ++Verified;
+    }
+  EXPECT_EQ(Verified, 24u + 216u + 294u + 486u);
+
+  for (const InverseSpec &Spec : buildInverseSpecs())
+    EXPECT_TRUE(verifyInverse(Spec, Small).Verified) << Spec.ForwardText;
+
+  for (const HintScript &S : buildArrayListHintScripts(F))
+    EXPECT_TRUE(validateScript(S, C, Small).Ok)
+        << S.Op1Name << "," << S.Op2Name;
+
+  for (const StructureFactory &Factory : allStructureFactories())
+    EXPECT_TRUE(checkRefinementExhaustive(Factory, 3, Small).Ok)
+        << Factory.Name;
+}

@@ -1,0 +1,128 @@
+//===- tests/JahobgenTest.cpp - Jahob rendering tests -----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jahobgen/JahobPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace semcomm;
+
+namespace {
+struct GenFixture {
+  ExprFactory F;
+  Catalog C{F};
+};
+GenFixture &fixture() {
+  static GenFixture Fx;
+  return Fx;
+}
+
+const TestingMethod *findMethod(const std::vector<TestingMethod> &Methods,
+                                const char *Op1, const char *Op2,
+                                ConditionKind K, MethodRole R) {
+  for (const TestingMethod &M : Methods)
+    if (M.Entry->op1().Name == Op1 && M.Entry->op2().Name == Op2 &&
+        M.Kind == K && M.Role == R)
+      return &M;
+  return nullptr;
+}
+} // namespace
+
+TEST(JahobgenTest, HashSetSpecMatchesFigure21) {
+  std::string Spec = renderHashSetSpec();
+  EXPECT_NE(Spec.find("public ghost specvar contents"), std::string::npos);
+  EXPECT_NE(Spec.find("requires \"init & v ~= null\""), std::string::npos);
+  EXPECT_NE(Spec.find("contents = old contents Un {v}"), std::string::npos);
+  EXPECT_NE(Spec.find("result = (v : contents)"), std::string::npos);
+}
+
+TEST(JahobgenTest, Figure22SoundnessMethodShape) {
+  GenFixture &Fx = fixture();
+  auto Methods = generateTestingMethods(Fx.C, setFamily());
+  const TestingMethod *M =
+      findMethod(Methods, "contains", "add_", ConditionKind::Between,
+                 MethodRole::Soundness);
+  ASSERT_NE(M, nullptr);
+  std::string Text = renderTestingMethod(*M, "HashSet", Fx.F);
+
+  // The Fig. 2-2 skeleton: two equal-abstract-state HashSets, both orders,
+  // the assumed between condition, and the agreement assertion.
+  EXPECT_NE(Text.find("HashSet sa, HashSet sb"), std::string::npos);
+  EXPECT_NE(Text.find("sa..contents = sb..contents"), std::string::npos);
+  EXPECT_NE(Text.find("boolean r1a = sa.contains(v1);"), std::string::npos);
+  EXPECT_NE(Text.find("assume \"v1 ~= v2 | r1a\""), std::string::npos);
+  EXPECT_NE(Text.find("sa.add(v2);"), std::string::npos);
+  EXPECT_NE(Text.find("sb.add(v2);"), std::string::npos);
+  EXPECT_NE(Text.find("boolean r1b = sb.contains(v1);"), std::string::npos);
+  EXPECT_NE(Text.find("assert \"r1a = r1b & sa..contents = sb..contents"),
+            std::string::npos);
+}
+
+TEST(JahobgenTest, Figure22CompletenessNegatesConditionAndAssertion) {
+  GenFixture &Fx = fixture();
+  auto Methods = generateTestingMethods(Fx.C, setFamily());
+  const TestingMethod *M =
+      findMethod(Methods, "contains", "add_", ConditionKind::Between,
+                 MethodRole::Completeness);
+  ASSERT_NE(M, nullptr);
+  std::string Text = renderTestingMethod(*M, "HashSet", Fx.F);
+  EXPECT_NE(Text.find("assume \"~(v1 ~= v2 | r1a)\""), std::string::npos);
+  EXPECT_NE(Text.find("assert \"~(r1a = r1b"), std::string::npos);
+}
+
+TEST(JahobgenTest, BeforeConditionSitsBeforeBothCalls) {
+  GenFixture &Fx = fixture();
+  auto Methods = generateTestingMethods(Fx.C, setFamily());
+  const TestingMethod *M = findMethod(
+      Methods, "add", "remove", ConditionKind::Before, MethodRole::Soundness);
+  ASSERT_NE(M, nullptr);
+  std::string Text = renderTestingMethod(*M, "ListSet", Fx.F);
+  size_t Assume = Text.find("assume");
+  size_t FirstCall = Text.find("sa.add(v1)");
+  ASSERT_NE(Assume, std::string::npos);
+  ASSERT_NE(FirstCall, std::string::npos);
+  EXPECT_LT(Assume, FirstCall);
+}
+
+TEST(JahobgenTest, InverseMethodsMatchFigures23And24) {
+  std::vector<InverseSpec> Specs = buildInverseSpecs();
+  std::string AddInv = renderInverseMethod(Specs[1], "HashSet");
+  EXPECT_NE(AddInv.find("boolean r = s.add(v);"), std::string::npos);
+  EXPECT_NE(AddInv.find("if (r) { s.remove(v); }"), std::string::npos);
+  EXPECT_NE(AddInv.find("s..contents = s..(old contents)"),
+            std::string::npos);
+
+  std::string PutInv = renderInverseMethod(Specs[3], "HashTable");
+  EXPECT_NE(PutInv.find("Object r = s.put(k, v);"), std::string::npos);
+  EXPECT_NE(PutInv.find("if (r != null) { s.put(k, r); } else { "
+                        "s.remove(k); }"),
+            std::string::npos);
+}
+
+TEST(JahobgenTest, TemplatesMatchFigures31And32) {
+  std::string T = renderCompletenessTemplate();
+  EXPECT_NE(T.find("before_commutativity_condition"), std::string::npos);
+  EXPECT_NE(T.find("~(r1a = r1b & r2a = r2b"), std::string::npos);
+  std::string I = renderInverseTemplate();
+  EXPECT_NE(I.find("execute_inverse_operation()"), std::string::npos);
+  EXPECT_NE(I.find("s_abstract_state = s_initial_abstract_state"),
+            std::string::npos);
+}
+
+TEST(JahobgenTest, ArrayListMethodRendersIndexArguments) {
+  GenFixture &Fx = fixture();
+  auto Methods = generateTestingMethods(Fx.C, arrayListFamily());
+  const TestingMethod *M =
+      findMethod(Methods, "add_at", "indexOf", ConditionKind::Between,
+                 MethodRole::Soundness);
+  ASSERT_NE(M, nullptr);
+  std::string Text = renderTestingMethod(*M, "ArrayList", Fx.F);
+  EXPECT_NE(Text.find("int i1, Object v1, Object v2"), std::string::npos);
+  EXPECT_NE(Text.find("sa.add_at(i1, v1);"), std::string::npos);
+  EXPECT_NE(Text.find("int r2a = sa.indexOf(v2);"), std::string::npos);
+}

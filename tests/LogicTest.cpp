@@ -1,0 +1,275 @@
+//===- tests/LogicTest.cpp - logic/ module unit tests ----------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Dsl.h"
+#include "logic/Evaluator.h"
+#include "logic/Printer.h"
+#include "logic/Simplifier.h"
+#include "spec/AbstractState.h"
+
+#include <gtest/gtest.h>
+
+using namespace semcomm;
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_TRUE(Value::boolean(true).asBool());
+  EXPECT_FALSE(Value::boolean(false).asBool());
+  EXPECT_EQ(Value::integer(-7).asInt(), -7);
+  EXPECT_EQ(Value::obj(3).objId(), 3);
+  EXPECT_TRUE(Value::undef().isUndef());
+}
+
+TEST(ValueTest, SemanticEqualityTreatsUndefAsEqualToNothing) {
+  EXPECT_TRUE(Value::obj(1).semanticEquals(Value::obj(1)));
+  EXPECT_FALSE(Value::obj(1).semanticEquals(Value::obj(2)));
+  EXPECT_FALSE(Value::obj(1).semanticEquals(Value::null()));
+  // The crucial convention: undef equals nothing, not even itself, so a
+  // mis-guarded out-of-range read falsifies its equality atom.
+  EXPECT_FALSE(Value::undef().semanticEquals(Value::undef()));
+  // Structural equality (containers) still identifies undef with itself.
+  EXPECT_TRUE(Value::undef() == Value::undef());
+}
+
+TEST(ValueTest, Rendering) {
+  EXPECT_EQ(Value::null().str(), "null");
+  EXPECT_EQ(Value::obj(12).str(), "o12");
+  EXPECT_EQ(Value::integer(5).str(), "5");
+  EXPECT_EQ(Value::boolean(true).str(), "true");
+}
+
+// --- Factory ----------------------------------------------------------------
+
+TEST(FactoryTest, HashConsingGivesPointerIdentity) {
+  ExprFactory F;
+  ExprRef A = F.var("v1", Sort::Obj);
+  ExprRef B = F.var("v1", Sort::Obj);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(F.eq(A, F.var("v2", Sort::Obj)),
+            F.eq(F.var("v1", Sort::Obj), F.var("v2", Sort::Obj)));
+  // Different sorts are different variables.
+  EXPECT_NE(F.var("r1", Sort::Bool), F.var("r1", Sort::Obj));
+}
+
+TEST(FactoryTest, ConstantFolding) {
+  ExprFactory F;
+  EXPECT_TRUE(F.eq(F.intConst(2), F.intConst(2))->isTrue());
+  EXPECT_TRUE(F.lt(F.intConst(3), F.intConst(2))->isFalse());
+  EXPECT_EQ(F.add(F.intConst(2), F.intConst(3)), F.intConst(5));
+  EXPECT_EQ(F.sub(F.var("i1", Sort::Int), F.intConst(0)),
+            F.var("i1", Sort::Int));
+  EXPECT_TRUE(F.eq(F.nullConst(), F.nullConst())->isTrue());
+}
+
+TEST(FactoryTest, ConnectiveUnitLaws) {
+  ExprFactory F;
+  ExprRef A = F.var("a", Sort::Bool);
+  EXPECT_EQ(F.conj({A, F.trueExpr()}), A);
+  EXPECT_TRUE(F.conj({A, F.falseExpr()})->isFalse());
+  EXPECT_EQ(F.disj({A, F.falseExpr()}), A);
+  EXPECT_TRUE(F.disj({A, F.trueExpr()})->isTrue());
+  EXPECT_EQ(F.lnot(F.lnot(A)), A);
+  EXPECT_TRUE(F.conj({})->isTrue());
+  EXPECT_TRUE(F.disj({})->isFalse());
+}
+
+TEST(FactoryTest, NaryFlattening) {
+  ExprFactory F;
+  ExprRef A = F.var("a", Sort::Bool), B = F.var("b", Sort::Bool),
+          C = F.var("c", Sort::Bool);
+  ExprRef Nested = F.conj({A, F.conj({B, C})});
+  EXPECT_EQ(Nested->kind(), ExprKind::And);
+  EXPECT_EQ(Nested->numOperands(), 3u);
+}
+
+TEST(FactoryTest, SubstitutionShadowsBoundVariables) {
+  ExprFactory F;
+  ExprRef J = F.var("j", Sort::Int);
+  ExprRef Body = F.eq(J, F.var("i1", Sort::Int));
+  ExprRef Q = F.forallInt("j", F.intConst(0), F.intConst(3), Body);
+  ExprRef Sub =
+      F.substitute(Q, {{"j", F.intConst(9)}, {"i1", F.intConst(1)}});
+  // The bound j must not be replaced; i1 must be.
+  ExprRef Expected = F.forallInt("j", F.intConst(0), F.intConst(3),
+                                 F.eq(J, F.intConst(1)));
+  EXPECT_EQ(Sub, Expected);
+}
+
+// --- Evaluator ----------------------------------------------------------------
+
+TEST(EvaluatorTest, MembershipAndConnectives) {
+  ExprFactory F;
+  Vocab D(F);
+  AbstractState S = AbstractState::makeSet();
+  S.setInsert(Value::obj(1));
+  Env E;
+  E.bindState("s1", &S);
+  E.bind("v1", Value::obj(1));
+  E.bind("v2", Value::obj(2));
+
+  EXPECT_TRUE(evaluateBool(D.in(D.V1, D.S1), E));
+  EXPECT_FALSE(evaluateBool(D.in(D.V2, D.S1), E));
+  EXPECT_TRUE(
+      evaluateBool(D.disj({D.in(D.V2, D.S1), D.in(D.V1, D.S1)}), E));
+  EXPECT_TRUE(evaluateBool(D.ne(D.V1, D.V2), E));
+}
+
+TEST(EvaluatorTest, ShortCircuitGuardsOutOfRangeReads) {
+  ExprFactory F;
+  Vocab D(F);
+  AbstractState S = AbstractState::makeSeq();
+  S.seqInsert(0, Value::obj(1));
+  Env E;
+  E.bindState("s1", &S);
+  E.bind("i1", Value::integer(0));
+  E.bind("v1", Value::obj(1));
+
+  // i1 > 0 is false, so the (otherwise out-of-range) s1[i1 - 1] read is
+  // never evaluated; and even unguarded, it yields undef, falsifying the
+  // equality rather than aborting.
+  ExprRef Guarded = D.conj(
+      {D.gt(D.I1, D.c(0)), D.eq(D.at(D.S1, D.sub(D.I1, D.c(1))), D.V1)});
+  EXPECT_FALSE(evaluateBool(Guarded, E));
+  ExprRef Unguarded = D.eq(D.at(D.S1, D.sub(D.I1, D.c(1))), D.V1);
+  EXPECT_FALSE(evaluateBool(Unguarded, E));
+}
+
+TEST(EvaluatorTest, BoundedQuantifiers) {
+  ExprFactory F;
+  Vocab D(F);
+  AbstractState S = AbstractState::makeSeq();
+  for (int I = 1; I <= 3; ++I)
+    S.seqInsert(S.seqLen(), Value::obj(I));
+  Env E;
+  E.bindState("s1", &S);
+  E.bind("v1", Value::obj(2));
+
+  ExprRef J = F.var("j", Sort::Int);
+  ExprRef Exists = F.existsInt("j", D.c(0), D.sub(D.len(D.S1), D.c(1)),
+                               D.eq(D.at(D.S1, J), D.V1));
+  EXPECT_TRUE(evaluateBool(Exists, E));
+  ExprRef All = F.forallInt("j", D.c(0), D.sub(D.len(D.S1), D.c(1)),
+                            D.eq(D.at(D.S1, J), D.V1));
+  EXPECT_FALSE(evaluateBool(All, E));
+  // Empty range: forall is vacuously true, exists false.
+  ExprRef Empty = F.forallInt("j", D.c(3), D.c(2), F.falseExpr());
+  EXPECT_TRUE(evaluateBool(Empty, E));
+}
+
+TEST(EvaluatorTest, MapAndCounterQueries) {
+  ExprFactory F;
+  Vocab D(F);
+  AbstractState M = AbstractState::makeMap();
+  M.mapPut(Value::obj(1), Value::obj(9));
+  Env E;
+  E.bindState("s1", &M);
+  E.bind("k1", Value::obj(1));
+  E.bind("k2", Value::obj(2));
+  E.bind("v1", Value::obj(9));
+
+  EXPECT_TRUE(evaluateBool(D.maps(D.S1, D.K1, D.V1), E));
+  EXPECT_TRUE(evaluateBool(D.noKey(D.S1, D.K2), E));
+  EXPECT_TRUE(evaluateBool(D.eq(F.mapGet(D.S1, D.K2), F.nullConst()), E));
+
+  AbstractState C = AbstractState::makeCounter(5);
+  Env E2;
+  E2.bindState("s1", &C);
+  EXPECT_TRUE(evaluateBool(F.eq(F.counterValue(D.S1), F.intConst(5)), E2));
+}
+
+// --- Printer -------------------------------------------------------------------
+
+TEST(PrinterTest, PaperStyleSetRow) {
+  ExprFactory F;
+  Vocab D(F);
+  // Table 5.2 row: v1 ~= v2 | v1 in s1, concretely
+  // v1 != v2 || s1.contains(v1).
+  ExprRef Phi = D.disj({D.ne(D.V1, D.V2), D.in(D.V1, D.S1)});
+  EXPECT_EQ(printAbstract(Phi), "v1 ~= v2 | v1 in s1");
+  EXPECT_EQ(printConcrete(Phi), "v1 != v2 || s1.contains(v1)");
+}
+
+TEST(PrinterTest, PaperStyleMapRow) {
+  ExprFactory F;
+  Vocab D(F);
+  // Table 5.4 row: k1 ~= k2 | (k1, v2) in s1, concretely
+  // k1 != k2 || s1.get(k1) == v2.
+  ExprRef Phi = D.disj({D.ne(D.K1, D.K2), D.maps(D.S1, D.K1, D.V2)});
+  EXPECT_EQ(printAbstract(Phi), "k1 ~= k2 | (k1, v2) in s1");
+  EXPECT_EQ(printConcrete(Phi), "k1 != k2 || s1.get(k1) == v2");
+  // The unmapped-key pair forms.
+  EXPECT_EQ(printAbstract(D.eq(F.mapGet(D.S1, D.K1), F.nullConst())),
+            "(k1, _) ~in s1");
+  EXPECT_EQ(printAbstract(D.ne(F.mapGet(D.S1, D.K1), F.nullConst())),
+            "(k1, _) in s1");
+}
+
+TEST(PrinterTest, PaperStyleArrayListRow) {
+  ExprFactory F;
+  Vocab D(F);
+  ExprRef Phi =
+      D.conj({D.lt(D.I1, D.I2),
+              D.eq(D.at(D.S2, D.I2), D.at(D.S2, D.add(D.I2, D.c(1))))});
+  EXPECT_EQ(printAbstract(Phi), "i1 < i2 & s2[i2] = s2[i2 + 1]");
+  EXPECT_EQ(printConcrete(Phi), "i1 < i2 && s2.get(i2) == s2.get(i2 + 1)");
+  EXPECT_EQ(printAbstract(D.lt(D.idx(D.S2, D.V2), D.c(0))),
+            "idx(s2, v2) < 0");
+  EXPECT_EQ(printConcrete(D.lt(D.idx(D.S2, D.V2), D.c(0))),
+            "s2.indexOf(v2) < 0");
+}
+
+TEST(PrinterTest, NegationSpecialCases) {
+  ExprFactory F;
+  Vocab D(F);
+  EXPECT_EQ(printAbstract(D.notIn(D.V1, D.S1)), "v1 ~in s1");
+  EXPECT_EQ(printConcrete(D.notIn(D.V1, D.S1)), "!s1.contains(v1)");
+  EXPECT_EQ(printAbstract(D.ge(D.I1, D.c(0))), "0 <= i1");
+  EXPECT_EQ(printAbstract(F.lnot(D.lt(D.I1, D.I2))), "i1 >= i2");
+  EXPECT_EQ(printAbstract(F.lnot(D.le(D.I1, D.I2))), "i1 > i2");
+}
+
+TEST(PrinterTest, PrecedenceParenthesization) {
+  ExprFactory F;
+  ExprRef A = F.var("a", Sort::Bool), B = F.var("b", Sort::Bool),
+          C = F.var("c", Sort::Bool);
+  EXPECT_EQ(printAbstract(F.conj({F.disj({A, B}), C})), "(a | b) & c");
+  EXPECT_EQ(printAbstract(F.disj({F.conj({A, B}), C})), "a & b | c");
+}
+
+// --- Simplifier -------------------------------------------------------------------
+
+TEST(SimplifierTest, DuplicateAndComplement) {
+  ExprFactory F;
+  ExprRef A = F.var("a", Sort::Bool), B = F.var("b", Sort::Bool);
+  EXPECT_EQ(simplify(F, F.disj({A, B, A})), F.disj({A, B}));
+  EXPECT_TRUE(simplify(F, F.conj({A, F.lnot(A)}))->isFalse());
+  EXPECT_TRUE(simplify(F, F.disj({A, F.lnot(A)}))->isTrue());
+}
+
+TEST(SimplifierTest, CollectDisjunctsAndFreeVars) {
+  ExprFactory F;
+  Vocab D(F);
+  ExprRef Phi = D.disj({D.ne(D.V1, D.V2), D.in(D.V1, D.S1)});
+  EXPECT_EQ(collectDisjuncts(Phi).size(), 2u);
+  EXPECT_EQ(collectDisjuncts(D.tru()).size(), 1u);
+
+  std::set<std::string> Vars, States;
+  collectFreeVars(Phi, Vars);
+  collectStateNames(Phi, States);
+  EXPECT_EQ(Vars, (std::set<std::string>{"v1", "v2"}));
+  EXPECT_EQ(States, (std::set<std::string>{"s1"}));
+
+  // Quantified variables are not free.
+  ExprRef J = F.var("j", Sort::Int);
+  ExprRef Q = F.forallInt("j", D.c(0), D.I1, F.eq(J, D.I1));
+  std::set<std::string> QVars;
+  collectFreeVars(Q, QVars);
+  EXPECT_EQ(QVars, (std::set<std::string>{"i1"}));
+}

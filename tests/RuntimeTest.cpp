@@ -1,0 +1,236 @@
+//===- tests/RuntimeTest.cpp - Dynamic checking, speculation, lattice ------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "impl/HashSet.h"
+#include "impl/HashTable.h"
+#include "runtime/Lattice.h"
+#include "runtime/SpeculativeRuntime.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace semcomm;
+
+namespace {
+struct RuntimeFixture {
+  ExprFactory F;
+  Catalog C{F};
+};
+RuntimeFixture &fixture() {
+  static RuntimeFixture Fx;
+  return Fx;
+}
+
+StructureFactory factoryFor(const std::string &Name) {
+  for (const StructureFactory &F : allStructureFactories())
+    if (F.Name == Name)
+      return F;
+  abort();
+}
+} // namespace
+
+// --- DynamicChecker -------------------------------------------------------------
+
+TEST(DynamicCheckerTest, ExactCheckMatchesGroundTruth) {
+  // Against a live HashSet: contains(v1) then add(v2) commute iff
+  // v1 != v2 or v1 was present (the paper's Fig. 2-2 condition).
+  RuntimeFixture &Fx = fixture();
+  DynamicChecker Checker(Fx.F, Fx.C);
+
+  HashSet Before;
+  Before.add(Value::obj(1));
+  HashSet Live(Before); // contains() is pure, so s2 equals s1.
+  Value R1Present = Value::boolean(true);
+
+  // v1 = o1 present: commutes with add(o1).
+  EXPECT_TRUE(Checker.commutesExact(Before, Live, "contains",
+                                    {Value::obj(1)}, R1Present, "add_",
+                                    {Value::obj(1)}));
+  // v1 = o2 absent: conflicts with add(o2)...
+  EXPECT_FALSE(Checker.commutesExact(Before, Live, "contains",
+                                     {Value::obj(2)},
+                                     Value::boolean(false), "add_",
+                                     {Value::obj(2)}));
+  // ...but commutes with add of a different element.
+  EXPECT_TRUE(Checker.commutesExact(Before, Live, "contains",
+                                    {Value::obj(2)}, Value::boolean(false),
+                                    "add_", {Value::obj(3)}));
+}
+
+TEST(DynamicCheckerTest, ConservativeCheckIsSound) {
+  // Whenever mayCommute says yes, the exact check agrees (dropping
+  // s1-clauses only loses completeness, §4.1.2).
+  RuntimeFixture &Fx = fixture();
+  DynamicChecker Checker(Fx.F, Fx.C);
+  std::mt19937 Rng(7);
+  const Family &Fam = setFamily();
+
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    HashSet Before;
+    for (int I = 1; I <= 4; ++I)
+      if (Rng() & 1)
+        Before.add(Value::obj(I));
+    const Operation &Op1 = Fam.Ops[Rng() % Fam.Ops.size()];
+    ArgList A1, A2;
+    if (!Op1.ArgSorts.empty())
+      A1.push_back(Value::obj(1 + Rng() % 4));
+    HashSet Live(Before);
+    Value R1 = Live.invoke(Op1.CallName, A1);
+    const Operation &Op2 = Fam.Ops[Rng() % Fam.Ops.size()];
+    if (!Op2.ArgSorts.empty())
+      A2.push_back(Value::obj(1 + Rng() % 4));
+
+    if (Checker.mayCommute(Live, Op1.Name, A1, R1, Op2.Name, A2))
+      EXPECT_TRUE(Checker.commutesExact(Before, Live, Op1.Name, A1, R1,
+                                        Op2.Name, A2))
+          << Op1.Name << " then " << Op2.Name;
+  }
+}
+
+// --- SpeculativeRuntime -----------------------------------------------------------
+
+static Transaction mapTxn(std::initializer_list<std::pair<int, int>> Puts) {
+  Transaction T;
+  for (auto [K, V] : Puts)
+    T.push_back({"put", {Value::obj(K), Value::obj(V)}});
+  return T;
+}
+
+TEST(SpeculativeRuntimeTest, DisjointKeysRunWithoutAborts) {
+  RuntimeFixture &Fx = fixture();
+  SpeculativeRuntime Rt(Fx.F, Fx.C, factoryFor("HashTable"));
+  RuntimeStats Stats = Rt.run({mapTxn({{1, 10}, {2, 20}}),
+                               mapTxn({{3, 30}, {4, 40}}),
+                               mapTxn({{5, 50}, {6, 60}})});
+  EXPECT_EQ(Stats.Aborts, 0u);
+  EXPECT_EQ(Stats.Commits, 3u);
+  EXPECT_EQ(Stats.OpsExecuted, 6u);
+  EXPECT_GT(Stats.GatekeeperPasses, 0u);
+  EXPECT_EQ(Rt.structure().size(), 6);
+}
+
+TEST(SpeculativeRuntimeTest, ConflictingPutsAbortAndStillConverge) {
+  RuntimeFixture &Fx = fixture();
+  SpeculativeRuntime Rt(Fx.F, Fx.C, factoryFor("HashTable"));
+  // Same key, different values: put/put commutes only when values agree,
+  // so the second transaction's first put conflicts and it must wait or
+  // roll back — yet both eventually commit.
+  RuntimeStats Stats =
+      Rt.run({mapTxn({{1, 10}, {2, 20}}), mapTxn({{1, 11}, {3, 30}})});
+  EXPECT_GT(Stats.Aborts + Stats.Stalls, 0u);
+  EXPECT_GT(Stats.GatekeeperChecks, Stats.GatekeeperPasses);
+  EXPECT_EQ(Stats.Commits, 2u);
+  // Keys {1, 2, 3} are present; key 1 holds whichever committed last — a
+  // serializable outcome.
+  EXPECT_EQ(Rt.structure().size(), 3);
+  Value K1 = Rt.structure().mapGet(Value::obj(1));
+  EXPECT_TRUE(K1 == Value::obj(10) || K1 == Value::obj(11));
+}
+
+TEST(SpeculativeRuntimeTest, InverseRollbackRestoresContribution) {
+  // One transaction adds elements and is forced to abort by a conflicting
+  // reader; its contribution must vanish from the abstract state.
+  RuntimeFixture &Fx = fixture();
+  SpeculativeRuntime Rt(Fx.F, Fx.C, factoryFor("HashSet"));
+  Transaction Writer = {{"add", {Value::obj(1)}},
+                        {"add", {Value::obj(2)}},
+                        {"remove", {Value::obj(1)}}};
+  Transaction Reader = {{"contains", {Value::obj(2)}},
+                        {"contains", {Value::obj(2)}}};
+  RuntimeStats Stats = Rt.run({Reader, Writer});
+  EXPECT_EQ(Stats.Commits, 2u);
+  // Final committed state: {2} (1 added then removed by the writer).
+  EXPECT_FALSE(Rt.structure().contains(Value::obj(1)));
+  EXPECT_TRUE(Rt.structure().contains(Value::obj(2)));
+  if (Stats.Aborts > 0)
+    EXPECT_GT(Stats.OpsUndone, 0u);
+}
+
+TEST(SpeculativeRuntimeTest, CommutativityIncreasesConcurrency) {
+  // Four transactions adding disjoint element ranges. With the gatekeeper
+  // the adds interleave freely (distinct adds commute); without it every
+  // concurrent pair "conflicts" and execution degenerates to stalling
+  // serialization.
+  RuntimeFixture &Fx = fixture();
+  std::vector<Transaction> Txns;
+  for (int T = 0; T < 4; ++T) {
+    Transaction Txn;
+    for (int I = 0; I < 5; ++I)
+      Txn.push_back({"add", {Value::obj(1 + T * 5 + I)}});
+    Txns.push_back(Txn);
+  }
+
+  SpeculativeRuntime With(Fx.F, Fx.C, factoryFor("HashSet"));
+  RuntimeStats SWith = With.run(Txns);
+  SpeculativeRuntime Without(Fx.F, Fx.C, factoryFor("HashSet"));
+  Without.setUseCommutativity(false);
+  RuntimeStats SWithout = Without.run(Txns);
+
+  EXPECT_EQ(SWith.Commits, 4u);
+  EXPECT_EQ(SWithout.Commits, 4u);
+  // With the gatekeeper: full concurrency, no waiting, no rollbacks.
+  EXPECT_EQ(SWith.Aborts, 0u);
+  EXPECT_EQ(SWith.Stalls, 0u);
+  EXPECT_GT(SWith.GatekeeperPasses, 0u);
+  // Without: the same schedule serializes by stalling.
+  EXPECT_GT(SWithout.Stalls, 0u);
+  EXPECT_EQ(SWithout.GatekeeperPasses, 0u);
+  // Either way the committed abstract state is identical.
+  EXPECT_EQ(With.structure().abstraction(),
+            Without.structure().abstraction());
+}
+
+TEST(SpeculativeRuntimeTest, SnapshotPolicyUndoesCollateralWork) {
+  RuntimeFixture &Fx = fixture();
+  std::vector<Transaction> Txns = {mapTxn({{1, 10}, {2, 20}}),
+                                   mapTxn({{1, 11}, {3, 30}})};
+  SpeculativeRuntime Snap(Fx.F, Fx.C, factoryFor("HashTable"),
+                          RollbackPolicy::Snapshot);
+  RuntimeStats S = Snap.run(Txns);
+  EXPECT_EQ(S.Commits, 2u);
+  EXPECT_GT(S.SnapshotsTaken, 0u);
+  EXPECT_EQ(Snap.structure().size(), 3);
+}
+
+// --- Lattice --------------------------------------------------------------------
+
+TEST(LatticeTest, FullConditionIsTopAndSubsetsAreSoundOnly) {
+  RuntimeFixture &Fx = fixture();
+  ExhaustiveEngine Engine;
+  std::vector<LatticePoint> Points = buildLattice(
+      Fx.F, Fx.C, Engine, setFamily(), "contains", "remove_");
+  // Two clauses: 4 subsets.
+  ASSERT_EQ(Points.size(), 4u);
+
+  const LatticePoint *Top = nullptr, *Bottom = nullptr;
+  for (const LatticePoint &P : Points) {
+    // Dropping clauses preserves soundness (§5.1)...
+    EXPECT_TRUE(P.Sound) << P.NumClauses;
+    // ...and only the full condition is complete.
+    if (P.NumClauses == 2)
+      Top = &P;
+    if (P.NumClauses == 0)
+      Bottom = &P;
+    EXPECT_EQ(P.Complete, P.NumClauses == 2);
+  }
+  ASSERT_NE(Top, nullptr);
+  ASSERT_NE(Bottom, nullptr);
+  EXPECT_TRUE(Bottom->Condition->isFalse());
+  EXPECT_EQ(Bottom->AcceptRate, 0.0);
+  EXPECT_GT(Top->AcceptRate, 0.5);
+
+  // Monotone: more clauses never accept fewer scenarios.
+  for (const LatticePoint &P : Points)
+    EXPECT_LE(P.AcceptRate, Top->AcceptRate);
+}
+
+TEST(LatticeTest, AcceptanceRateOfTrueIsOne) {
+  ExprFactory &F = fixture().F;
+  EXPECT_EQ(acceptanceRate(setFamily(), "add_", "add_", F.trueExpr()), 1.0);
+}
