@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# Builds the bench binaries and runs every one, collecting stdout into
+# bench-results/<name>.txt. Google-Benchmark microbenches emit JSON next to
+# the text so perf runs can be diffed across commits.
+#
+# usage: bench/run_all.sh [build-dir] [results-dir]
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+RESULTS_DIR=${2:-"$REPO_ROOT/bench-results"}
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSEMCOMM_BUILD_BENCHES=ON
+cmake --build "$BUILD_DIR" -j
+
+mkdir -p "$RESULTS_DIR"
+
+PLAIN_BENCHES="
+fig_2_1_hashset_spec
+fig_2_2_testing_methods
+fig_2_3_2_4_inverse_methods
+fig_3_templates
+fig_4_1_abstract_vs_concrete
+perf_engine_scaling
+perf_lattice_ablation
+perf_speculation
+table_5_01_accumulator
+table_5_02_set_before
+table_5_03_set_between
+table_5_04_map_before
+table_5_05_map_after
+table_5_06_arraylist_between
+table_5_07_arraylist_after
+table_5_08_verification_times
+table_5_09_proof_commands
+table_5_10_inverses
+tr_full_catalog
+"
+
+GOOGLE_BENCHES="
+perf_dynamic_check
+perf_inverse_vs_snapshot
+perf_sat_solver
+"
+
+failures=0
+
+for bench in $PLAIN_BENCHES; do
+  bin="$BUILD_DIR/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "MISSING $bench (not built?)"
+    failures=$((failures + 1))
+    continue
+  fi
+  echo "== $bench"
+  if "$bin" > "$RESULTS_DIR/$bench.txt" 2>&1; then :; else
+    echo "FAILED  $bench (see $RESULTS_DIR/$bench.txt)"
+    failures=$((failures + 1))
+  fi
+done
+
+for bench in $GOOGLE_BENCHES; do
+  bin="$BUILD_DIR/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP    $bench (Google Benchmark not available)"
+    continue
+  fi
+  echo "== $bench"
+  if "$bin" --benchmark_out="$RESULTS_DIR/$bench.json" \
+            --benchmark_out_format=json \
+            > "$RESULTS_DIR/$bench.txt" 2>&1; then :; else
+    echo "FAILED  $bench (see $RESULTS_DIR/$bench.txt)"
+    failures=$((failures + 1))
+  fi
+done
+
+echo "bench outputs collected in $RESULTS_DIR"
+exit "$([ "$failures" -eq 0 ] && echo 0 || echo 1)"

@@ -1,0 +1,184 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool used to dispatch independent
+/// verification jobs (the catalog is embarrassingly parallel: every testing
+/// method is verified against its own scenario enumeration). Each worker
+/// owns a deque; it pops from the front of its own and steals from the back
+/// of a victim's when empty, so long-running jobs (ArrayList pairs dominate)
+/// migrate to idle workers instead of serializing behind a single queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SUPPORT_THREADPOOL_H
+#define SEMCOMM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace semcomm {
+
+/// Fixed-size work-stealing pool. submit() may be called from any thread,
+/// including from inside a running task; wait() blocks until every task
+/// submitted so far has finished.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads = hardwareThreads())
+      : Queues(NumThreads == 0 ? 1 : NumThreads) {
+    unsigned N = static_cast<unsigned>(Queues.size());
+    Workers.reserve(N);
+    for (unsigned I = 0; I != N; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    wait();
+    {
+      std::lock_guard<std::mutex> Lock(SleepMutex);
+      Stopping = true;
+    }
+    SleepCV.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// Number of worker threads.
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task. Tasks are distributed round-robin across worker
+  /// deques; idle workers steal, so placement only affects locality.
+  void submit(std::function<void()> Task) {
+    Pending.fetch_add(1, std::memory_order_relaxed);
+    size_t Home = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                  Queues.size();
+    {
+      std::lock_guard<std::mutex> Lock(Queues[Home].Mutex);
+      Queues[Home].Tasks.push_back(std::move(Task));
+    }
+    // Synchronize with sleeping workers: a worker that found no task under
+    // SleepMutex either re-checks after this acquire/release (and sees the
+    // push) or is already blocked in wait() (and receives the notify).
+    { std::lock_guard<std::mutex> Lock(SleepMutex); }
+    SleepCV.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed. The pool
+  /// remains usable afterwards.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(DoneMutex);
+    DoneCV.wait(Lock, [this] {
+      return Pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+  /// Runs \p Body(I) for every I in [0, Count) on a transient pool of
+  /// \p NumThreads workers. Convenience wrapper for one-shot fan-outs.
+  template <typename Fn>
+  static void parallelFor(size_t Count, unsigned NumThreads, Fn Body) {
+    ThreadPool Pool(NumThreads);
+    for (size_t I = 0; I != Count; ++I)
+      Pool.submit([Body, I] { Body(I); });
+    Pool.wait();
+  }
+
+private:
+  struct WorkQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  bool popFront(size_t QueueIdx, std::function<void()> &Task) {
+    WorkQueue &Q = Queues[QueueIdx];
+    std::lock_guard<std::mutex> Lock(Q.Mutex);
+    if (Q.Tasks.empty())
+      return false;
+    Task = std::move(Q.Tasks.front());
+    Q.Tasks.pop_front();
+    return true;
+  }
+
+  bool stealBack(size_t VictimIdx, std::function<void()> &Task) {
+    WorkQueue &Q = Queues[VictimIdx];
+    std::lock_guard<std::mutex> Lock(Q.Mutex);
+    if (Q.Tasks.empty())
+      return false;
+    Task = std::move(Q.Tasks.back());
+    Q.Tasks.pop_back();
+    return true;
+  }
+
+  bool findTask(size_t Self, std::function<void()> &Task) {
+    if (popFront(Self, Task))
+      return true;
+    for (size_t Off = 1; Off != Queues.size(); ++Off)
+      if (stealBack((Self + Off) % Queues.size(), Task))
+        return true;
+    return false;
+  }
+
+  void workerLoop(size_t Self) {
+    std::function<void()> Task;
+    for (;;) {
+      if (findTask(Self, Task)) {
+        Task();
+        Task = nullptr;
+        if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> Lock(DoneMutex);
+          DoneCV.notify_all();
+        }
+        continue;
+      }
+      std::unique_lock<std::mutex> Lock(SleepMutex);
+      SleepCV.wait(Lock, [this, Self, &Task] {
+        return Stopping || findTask(Self, Task);
+      });
+      if (Task) {
+        Lock.unlock();
+        Task();
+        Task = nullptr;
+        if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> DLock(DoneMutex);
+          DoneCV.notify_all();
+        }
+        continue;
+      }
+      if (Stopping)
+        return;
+    }
+  }
+
+  std::vector<WorkQueue> Queues;
+  std::vector<std::thread> Workers;
+  std::atomic<size_t> NextQueue{0};
+  std::atomic<size_t> Pending{0};
+  std::mutex SleepMutex, DoneMutex;
+  std::condition_variable SleepCV, DoneCV;
+  bool Stopping = false;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_SUPPORT_THREADPOOL_H

@@ -1,0 +1,300 @@
+//===- tests/DriverTest.cpp - Parallel verification driver ------------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Pins down the semcommute-verify driver: the job enumeration covers the
+/// complete catalog (the tr_full_catalog counts), a 1-thread run and an
+/// N-thread run reach identical verdicts, and the JSON report round-trips
+/// through the parser without loss.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DriverCore.h"
+
+#include "inverse/InverseSpec.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+using namespace semcomm;
+using namespace semcomm::driver;
+
+namespace {
+
+/// A scope strictly inside the default one: every scenario it enumerates is
+/// also enumerated by the default scope, so all catalog verdicts remain
+/// "verified" while tests run in a fraction of the time.
+Scope smallScope() {
+  Scope S;
+  S.SetUniverse = 2;
+  S.MapKeys = 2;
+  S.MapVals = 2;
+  S.SeqVals = 2;
+  S.MaxSeqLen = 2;
+  S.CounterRange = 1;
+  return S;
+}
+
+struct DriverFixture {
+  ExprFactory F;
+  Catalog C{F};
+};
+
+//===----------------------------------------------------------------------===//
+// Job enumeration completeness
+//===----------------------------------------------------------------------===//
+
+TEST(DriverEnumeration, CoversEveryPairKindAndRole) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  std::vector<JobRecord> Jobs = enumerateJobs(Fx.C, Opts);
+
+  // Per family: |ops|^2 ordered pairs x 3 kinds x 2 roles commutativity
+  // jobs, plus that family's Table 5.10 inverse rows.
+  std::vector<InverseSpec> Inverses = buildInverseSpecs();
+  size_t Expected = 0;
+  for (const Family *Fam : allFamilies()) {
+    Expected += Fx.C.entries(*Fam).size() * 3 * 2;
+    for (const InverseSpec &S : Inverses)
+      if (S.Fam == Fam)
+        ++Expected;
+  }
+  EXPECT_EQ(Jobs.size(), Expected);
+
+  // Every job is distinct.
+  std::set<std::string> Keys;
+  for (const JobRecord &J : Jobs)
+    Keys.insert(J.key());
+  EXPECT_EQ(Keys.size(), Jobs.size());
+
+  // The commutativity jobs cover the paper's 765 conditions (counted per
+  // implementing structure) exactly: each condition contributes one
+  // soundness and one completeness job, counted once per family.
+  size_t PaperCount = 0;
+  for (const Family *Fam : allFamilies()) {
+    size_t FamJobs = 0;
+    for (const JobRecord &J : Jobs)
+      if (J.Family == Fam->Name && J.Category == "commutativity")
+        ++FamJobs;
+    EXPECT_EQ(FamJobs, Fx.C.entries(*Fam).size() * 6) << Fam->Name;
+    PaperCount += FamJobs / 2 * Fam->StructureNames.size();
+  }
+  EXPECT_EQ(PaperCount, Fx.C.totalConditionsPaperCount());
+  EXPECT_EQ(Fx.C.totalConditionsPaperCount(), 765u);
+
+  // All eight Table 5.10 inverses appear.
+  size_t InverseJobs = 0;
+  for (const JobRecord &J : Jobs)
+    if (J.Category == "inverse")
+      ++InverseJobs;
+  EXPECT_EQ(InverseJobs, Inverses.size());
+  EXPECT_EQ(InverseJobs, 8u);
+}
+
+TEST(DriverEnumeration, FamilyFilterAndErrors) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Families = {"Set"};
+  for (const JobRecord &J : enumerateJobs(Fx.C, Opts))
+    EXPECT_EQ(J.Family, "Set");
+
+  std::string Error;
+  std::vector<const Family *> All = resolveFamilies({"all"}, Error);
+  EXPECT_EQ(All.size(), 4u);
+  EXPECT_TRUE(Error.empty());
+
+  std::vector<const Family *> Bad = resolveFamilies({"Stack"}, Error);
+  EXPECT_TRUE(Bad.empty());
+  EXPECT_FALSE(Error.empty());
+
+  std::vector<const Family *> Two = resolveFamilies({"Map", "Set"}, Error);
+  ASSERT_EQ(Two.size(), 2u);
+  // Presentation order is preserved regardless of request order.
+  EXPECT_EQ(Two[0]->Name, "Set");
+  EXPECT_EQ(Two[1]->Name, "Map");
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel runs: verdicts are independent of the thread count
+//===----------------------------------------------------------------------===//
+
+TEST(DriverParallel, OneThreadAndManyThreadsAgree) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Bounds = smallScope();
+
+  Opts.Threads = 1;
+  Report Serial = runFullCatalog(Fx.C, Opts);
+  Opts.Threads = 8;
+  Report Parallel = runFullCatalog(Fx.C, Opts);
+
+  EXPECT_TRUE(Serial.sameVerdicts(Parallel));
+  EXPECT_TRUE(Parallel.sameVerdicts(Serial));
+  EXPECT_EQ(Serial.failures(), 0u);
+  EXPECT_EQ(Parallel.failures(), 0u);
+  EXPECT_EQ(Serial.Results.size(), Parallel.Results.size());
+  EXPECT_EQ(Parallel.Threads, 8u);
+
+  // The small scope exercises every family.
+  EXPECT_EQ(Serial.Families.size(), 4u);
+  for (const FamilySummary &S : Serial.Families) {
+    EXPECT_GT(S.Jobs, 0u) << S.Family;
+    EXPECT_GT(S.Scenarios, 0u) << S.Family;
+  }
+}
+
+TEST(DriverParallel, SubsetRunMatchesItsSlice) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Bounds = smallScope();
+  Opts.Families = {"Accumulator"};
+  Opts.Threads = 4;
+
+  Report R = runFullCatalog(Fx.C, Opts);
+  EXPECT_EQ(R.failures(), 0u);
+  ASSERT_EQ(R.Families.size(), 1u);
+  EXPECT_EQ(R.Families[0].Family, "Accumulator");
+  // 2 ops -> 4 ordered pairs x 3 kinds x 2 roles, plus the increase inverse.
+  EXPECT_EQ(R.Results.size(),
+            Fx.C.entries(accumulatorFamily()).size() * 6 + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(DriverReport, JsonRoundTrips) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Bounds = smallScope();
+  Opts.Families = {"Accumulator", "Set"};
+  Opts.Threads = 2;
+
+  Report R = runFullCatalog(Fx.C, Opts);
+  json::Value Doc = R.toJson();
+
+  // Serialized text parses back to the identical DOM, compact and pretty.
+  for (int Indent : {-1, 2}) {
+    std::optional<json::Value> Parsed = json::Value::parse(Doc.dump(Indent));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_TRUE(*Parsed == Doc);
+    EXPECT_EQ(Parsed->dump(Indent), Doc.dump(Indent));
+  }
+
+  // The DOM deserializes to a report with the same verdicts and metadata.
+  std::optional<Report> Back = Report::fromJson(Doc);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(R.sameVerdicts(*Back));
+  EXPECT_EQ(Back->Threads, R.Threads);
+  EXPECT_EQ(Back->WallMillis, R.WallMillis);
+  EXPECT_EQ(Back->Bounds.SetUniverse, R.Bounds.SetUniverse);
+  EXPECT_EQ(Back->Bounds.CounterRange, R.Bounds.CounterRange);
+  ASSERT_EQ(Back->Families.size(), R.Families.size());
+  for (size_t I = 0; I != R.Families.size(); ++I) {
+    EXPECT_EQ(Back->Families[I].Family, R.Families[I].Family);
+    EXPECT_EQ(Back->Families[I].Jobs, R.Families[I].Jobs);
+    EXPECT_EQ(Back->Families[I].PaperConditions,
+              R.Families[I].PaperConditions);
+  }
+
+  // And the round-tripped report re-serializes byte-identically.
+  EXPECT_EQ(Back->toJson().dump(2), Doc.dump(2));
+
+  // Garbage is rejected, not mis-parsed.
+  EXPECT_FALSE(json::Value::parse("{\"unterminated\": ").has_value());
+  EXPECT_FALSE(json::Value::parse("[1, 2,]trailing").has_value());
+  EXPECT_FALSE(json::Value::parse("1-2").has_value());
+  EXPECT_FALSE(json::Value::parse("+1").has_value());
+  EXPECT_FALSE(json::Value::parse("1e5e5").has_value());
+  EXPECT_FALSE(json::Value::parse("1.").has_value());
+  EXPECT_FALSE(json::Value::parse("[1-2]").has_value());
+  EXPECT_FALSE(Report::fromJson(json::Value::integer(7)).has_value());
+  json::Value NotOurs = json::Value::object();
+  NotOurs.set("tool", json::Value::string("something-else"));
+  EXPECT_FALSE(Report::fromJson(NotOurs).has_value());
+}
+
+TEST(DriverReport, SameVerdictsDetectsDifferences) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Bounds = smallScope();
+  Opts.Families = {"Accumulator"};
+
+  Report A = runFullCatalog(Fx.C, Opts);
+  Report B = A;
+  EXPECT_TRUE(A.sameVerdicts(B));
+
+  B.Results[0].Verified = !B.Results[0].Verified;
+  EXPECT_FALSE(A.sameVerdicts(B));
+
+  Report C = A;
+  C.Results.pop_back();
+  EXPECT_FALSE(A.sameVerdicts(C));
+}
+
+TEST(DriverReport, UnknownFamilyYieldsErrorReportNotSuccess) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Families = {"Sets"}; // typo: must not read as "verified everything"
+  Report R = runFullCatalog(Fx.C, Opts);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_TRUE(R.Results.empty());
+  EXPECT_GT(R.failures(), 0u);
+
+  // The error survives the JSON round-trip.
+  std::optional<Report> Back = Report::fromJson(R.toJson());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Error, R.Error);
+  EXPECT_GT(Back->failures(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(4);
+    EXPECT_EQ(Pool.threadCount(), 4u);
+    for (int I = 0; I != 1000; ++I)
+      Pool.submit([&Counter] { Counter.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Counter.load(), 1000);
+    // The pool is reusable after wait().
+    for (int I = 0; I != 100; ++I)
+      Pool.submit([&Counter] { Counter.fetch_add(1); });
+    Pool.wait();
+  }
+  EXPECT_EQ(Counter.load(), 1100);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  std::atomic<int> Counter{0};
+  ThreadPool Pool(3);
+  for (int I = 0; I != 10; ++I)
+    Pool.submit([&Pool, &Counter] {
+      for (int J = 0; J != 10; ++J)
+        Pool.submit([&Counter] { Counter.fetch_add(1); });
+    });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversTheRange) {
+  std::vector<std::atomic<int>> Hits(257);
+  ThreadPool::parallelFor(Hits.size(), 4,
+                          [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << I;
+}
+
+} // namespace

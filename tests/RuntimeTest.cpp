@@ -86,10 +86,11 @@ TEST(DynamicCheckerTest, ConservativeCheckIsSound) {
     if (!Op2.ArgSorts.empty())
       A2.push_back(Value::obj(1 + Rng() % 4));
 
-    if (Checker.mayCommute(Live, Op1.Name, A1, R1, Op2.Name, A2))
+    if (Checker.mayCommute(Live, Op1.Name, A1, R1, Op2.Name, A2)) {
       EXPECT_TRUE(Checker.commutesExact(Before, Live, Op1.Name, A1, R1,
                                         Op2.Name, A2))
           << Op1.Name << " then " << Op2.Name;
+    }
   }
 }
 
@@ -148,8 +149,9 @@ TEST(SpeculativeRuntimeTest, InverseRollbackRestoresContribution) {
   // Final committed state: {2} (1 added then removed by the writer).
   EXPECT_FALSE(Rt.structure().contains(Value::obj(1)));
   EXPECT_TRUE(Rt.structure().contains(Value::obj(2)));
-  if (Stats.Aborts > 0)
+  if (Stats.Aborts > 0) {
     EXPECT_GT(Stats.OpsUndone, 0u);
+  }
 }
 
 TEST(SpeculativeRuntimeTest, CommutativityIncreasesConcurrency) {

@@ -1,0 +1,390 @@
+//===- tools/DriverCore.cpp - Full-catalog verification driver ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "DriverCore.h"
+
+#include "commute/ExhaustiveEngine.h"
+#include "inverse/InverseVerifier.h"
+#include "support/ThreadPool.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace semcomm;
+using namespace semcomm::driver;
+
+//===----------------------------------------------------------------------===//
+// Job enumeration
+//===----------------------------------------------------------------------===//
+
+std::vector<const Family *>
+driver::resolveFamilies(const std::vector<std::string> &Names,
+                        std::string &Error) {
+  Error.clear();
+  std::vector<const Family *> All = allFamilies();
+  if (Names.empty())
+    return All;
+  for (const std::string &N : Names)
+    if (N == "all")
+      return All;
+
+  std::vector<const Family *> Picked;
+  for (const Family *F : All) {
+    bool Wanted = false;
+    for (const std::string &N : Names)
+      Wanted = Wanted || N == F->Name;
+    if (Wanted)
+      Picked.push_back(F);
+  }
+  for (const std::string &N : Names) {
+    bool Known = false;
+    for (const Family *F : All)
+      Known = Known || N == F->Name;
+    if (!Known) {
+      Error = "unknown family '" + N +
+              "' (expected all, Accumulator, Set, Map or ArrayList)";
+      return {};
+    }
+  }
+  return Picked;
+}
+
+std::vector<JobRecord> driver::enumerateJobs(const Catalog &C,
+                                             const DriverOptions &Opts) {
+  std::string Error;
+  std::vector<const Family *> Fams = resolveFamilies(Opts.Families, Error);
+
+  std::vector<JobRecord> Jobs;
+  for (const Family *Fam : Fams) {
+    if (Opts.Commutativity)
+      for (const ConditionEntry &E : C.entries(*Fam))
+        for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                                ConditionKind::After})
+          for (MethodRole R :
+               {MethodRole::Soundness, MethodRole::Completeness}) {
+            JobRecord J;
+            J.Family = Fam->Name;
+            J.Category = "commutativity";
+            J.Op1 = E.op1().Name;
+            J.Op2 = E.op2().Name;
+            J.Kind = conditionKindName(K);
+            J.Role = methodRoleName(R);
+            Jobs.push_back(std::move(J));
+          }
+    if (Opts.Inverses)
+      for (const InverseSpec &S : buildInverseSpecs())
+        if (S.Fam == Fam) {
+          JobRecord J;
+          J.Family = Fam->Name;
+          J.Category = "inverse";
+          J.Op1 = S.OpName;
+          Jobs.push_back(std::move(J));
+        }
+  }
+  return Jobs;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything a worker needs to execute one job without touching shared
+/// mutable state. Conditions and inverse specs are resolved up front, on
+/// the main thread, so workers only evaluate.
+struct PreparedJob {
+  // Commutativity payload.
+  const Family *Fam = nullptr;
+  const ConditionEntry *Entry = nullptr;
+  ConditionKind Kind = ConditionKind::Before;
+  MethodRole Role = MethodRole::Soundness;
+  // Inverse payload (Inverse != nullptr selects it).
+  const InverseSpec *Inverse = nullptr;
+};
+
+void runJob(const ExhaustiveEngine &Engine, const Scope &Bounds,
+            const PreparedJob &P, JobRecord &Out) {
+  Stopwatch Timer;
+  if (P.Inverse) {
+    InverseVerifyResult R = verifyInverse(*P.Inverse, Bounds);
+    Out.Verified = R.Verified;
+    Out.Scenarios = R.ScenariosChecked;
+    Out.Note = R.FailureNote;
+  } else {
+    VerifyResult R =
+        Engine.verifyCondition(*P.Fam, P.Entry->op1().Name,
+                               P.Entry->op2().Name, P.Kind, P.Role,
+                               P.Entry->get(P.Kind));
+    Out.Verified = R.Verified;
+    Out.Scenarios = R.ScenariosChecked;
+    if (R.CE)
+      Out.Note = R.CE->str();
+  }
+  Out.Millis = Timer.millis();
+}
+
+} // namespace
+
+Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
+  std::string Error;
+  std::vector<const Family *> Fams = resolveFamilies(Opts.Families, Error);
+  if (!Error.empty()) {
+    Report R;
+    R.Threads = Opts.Threads == 0 ? 1 : Opts.Threads;
+    R.Bounds = Opts.Bounds;
+    R.Error = Error;
+    return R;
+  }
+
+  // Force every lazily built singleton now, while single-threaded: family
+  // definitions and the inverse-spec table. The catalog itself was built by
+  // the caller; after this point workers only read.
+  std::vector<InverseSpec> Inverses = buildInverseSpecs();
+
+  std::vector<JobRecord> Jobs = enumerateJobs(C, Opts);
+  std::vector<PreparedJob> Prepared(Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    JobRecord &J = Jobs[I];
+    PreparedJob &P = Prepared[I];
+    for (const Family *F : Fams)
+      if (F->Name == J.Family)
+        P.Fam = F;
+    if (J.Category == "inverse") {
+      for (const InverseSpec &S : Inverses)
+        if (S.Fam == P.Fam && S.OpName == J.Op1)
+          P.Inverse = &S;
+    } else {
+      P.Entry = &C.entry(*P.Fam, J.Op1, J.Op2);
+      for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                              ConditionKind::After})
+        if (J.Kind == conditionKindName(K))
+          P.Kind = K;
+      P.Role = J.Role == methodRoleName(MethodRole::Soundness)
+                   ? MethodRole::Soundness
+                   : MethodRole::Completeness;
+    }
+  }
+
+  ExhaustiveEngine Engine(Opts.Bounds);
+  Stopwatch Wall;
+  {
+    ThreadPool Pool(Opts.Threads == 0 ? 1 : Opts.Threads);
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      Pool.submit([&Engine, &Opts, &Prepared, &Jobs, I] {
+        runJob(Engine, Opts.Bounds, Prepared[I], Jobs[I]);
+      });
+    Pool.wait();
+  }
+
+  Report R;
+  R.Threads = Opts.Threads == 0 ? 1 : Opts.Threads;
+  R.WallMillis = Wall.millis();
+  R.Bounds = Opts.Bounds;
+  R.Results = std::move(Jobs);
+
+  for (const Family *Fam : Fams) {
+    FamilySummary S;
+    S.Family = Fam->Name;
+    if (Opts.Commutativity)
+      S.PaperConditions = static_cast<unsigned>(
+          C.entries(*Fam).size() * 3 * Fam->StructureNames.size());
+    for (const JobRecord &J : R.Results)
+      if (J.Family == Fam->Name) {
+        ++S.Jobs;
+        if (!J.Verified)
+          ++S.Failures;
+        S.JobMillis += J.Millis;
+        S.Scenarios += J.Scenarios;
+      }
+    R.Families.push_back(std::move(S));
+  }
+  return R;
+}
+
+unsigned Report::failures() const {
+  if (!Error.empty())
+    return 1;
+  unsigned N = 0;
+  for (const JobRecord &J : Results)
+    if (!J.Verified)
+      ++N;
+  return N;
+}
+
+bool Report::sameVerdicts(const Report &O) const {
+  if (Error != O.Error || Results.size() != O.Results.size())
+    return false;
+  for (size_t I = 0; I != Results.size(); ++I)
+    if (Results[I].key() != O.Results[I].key() ||
+        Results[I].Verified != O.Results[I].Verified ||
+        Results[I].Scenarios != O.Results[I].Scenarios)
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report
+//===----------------------------------------------------------------------===//
+
+json::Value Report::toJson() const {
+  json::Value Root = json::Value::object();
+  Root.set("tool", json::Value::string("semcommute-verify"));
+  Root.set("threads", json::Value::integer(Threads));
+  Root.set("wall_ms", json::Value::number(WallMillis));
+  if (!Error.empty())
+    Root.set("error", json::Value::string(Error));
+
+  json::Value ScopeObj = json::Value::object();
+  ScopeObj.set("set_universe", json::Value::integer(Bounds.SetUniverse));
+  ScopeObj.set("map_keys", json::Value::integer(Bounds.MapKeys));
+  ScopeObj.set("map_vals", json::Value::integer(Bounds.MapVals));
+  ScopeObj.set("seq_vals", json::Value::integer(Bounds.SeqVals));
+  ScopeObj.set("max_seq_len", json::Value::integer(Bounds.MaxSeqLen));
+  ScopeObj.set("counter_range", json::Value::integer(Bounds.CounterRange));
+  Root.set("scope", std::move(ScopeObj));
+
+  json::Value FamArr = json::Value::array();
+  for (const FamilySummary &S : Families) {
+    json::Value F = json::Value::object();
+    F.set("family", json::Value::string(S.Family));
+    F.set("jobs", json::Value::integer(S.Jobs));
+    F.set("failures", json::Value::integer(S.Failures));
+    F.set("paper_conditions", json::Value::integer(S.PaperConditions));
+    F.set("job_ms", json::Value::number(S.JobMillis));
+    F.set("scenarios", json::Value::integer(
+                           static_cast<int64_t>(S.Scenarios)));
+    FamArr.push(std::move(F));
+  }
+  Root.set("families", std::move(FamArr));
+
+  json::Value ResArr = json::Value::array();
+  for (const JobRecord &J : Results) {
+    json::Value R = json::Value::object();
+    R.set("family", json::Value::string(J.Family));
+    R.set("category", json::Value::string(J.Category));
+    R.set("op1", json::Value::string(J.Op1));
+    R.set("op2", json::Value::string(J.Op2));
+    R.set("kind", json::Value::string(J.Kind));
+    R.set("role", json::Value::string(J.Role));
+    R.set("verified", json::Value::boolean(J.Verified));
+    R.set("scenarios",
+          json::Value::integer(static_cast<int64_t>(J.Scenarios)));
+    R.set("ms", json::Value::number(J.Millis));
+    if (!J.Note.empty())
+      R.set("note", json::Value::string(J.Note));
+    ResArr.push(std::move(R));
+  }
+  Root.set("results", std::move(ResArr));
+  return Root;
+}
+
+std::optional<Report> Report::fromJson(const json::Value &V) {
+  if (!V.isObject())
+    return std::nullopt;
+  const json::Value &Tool = V["tool"];
+  if (!Tool.isString() || Tool.asString() != "semcommute-verify")
+    return std::nullopt;
+
+  Report R;
+  if (!V["threads"].isNumber() || !V["wall_ms"].isNumber())
+    return std::nullopt;
+  R.Threads = static_cast<unsigned>(V["threads"].asInt());
+  R.WallMillis = V["wall_ms"].asDouble();
+  if (const json::Value *E = V.find("error"))
+    R.Error = E->asString();
+
+  const json::Value &S = V["scope"];
+  if (!S.isObject())
+    return std::nullopt;
+  R.Bounds.SetUniverse = static_cast<int>(S["set_universe"].asInt());
+  R.Bounds.MapKeys = static_cast<int>(S["map_keys"].asInt());
+  R.Bounds.MapVals = static_cast<int>(S["map_vals"].asInt());
+  R.Bounds.SeqVals = static_cast<int>(S["seq_vals"].asInt());
+  R.Bounds.MaxSeqLen = static_cast<int>(S["max_seq_len"].asInt());
+  R.Bounds.CounterRange = static_cast<int>(S["counter_range"].asInt());
+
+  const json::Value &FamArr = V["families"];
+  if (!FamArr.isArray())
+    return std::nullopt;
+  for (size_t I = 0; I != FamArr.size(); ++I) {
+    const json::Value &F = FamArr.at(I);
+    FamilySummary Sum;
+    Sum.Family = F["family"].asString();
+    Sum.Jobs = static_cast<unsigned>(F["jobs"].asInt());
+    Sum.Failures = static_cast<unsigned>(F["failures"].asInt());
+    Sum.PaperConditions =
+        static_cast<unsigned>(F["paper_conditions"].asInt());
+    Sum.JobMillis = F["job_ms"].asDouble();
+    Sum.Scenarios = static_cast<uint64_t>(F["scenarios"].asInt());
+    R.Families.push_back(std::move(Sum));
+  }
+
+  const json::Value &ResArr = V["results"];
+  if (!ResArr.isArray())
+    return std::nullopt;
+  for (size_t I = 0; I != ResArr.size(); ++I) {
+    const json::Value &Res = ResArr.at(I);
+    JobRecord J;
+    J.Family = Res["family"].asString();
+    J.Category = Res["category"].asString();
+    J.Op1 = Res["op1"].asString();
+    J.Op2 = Res["op2"].asString();
+    J.Kind = Res["kind"].asString();
+    J.Role = Res["role"].asString();
+    J.Verified = Res["verified"].isBool() && Res["verified"].asBool();
+    J.Scenarios = static_cast<uint64_t>(Res["scenarios"].asInt());
+    J.Millis = Res["ms"].asDouble();
+    if (const json::Value *Note = Res.find("note"))
+      J.Note = Note->asString();
+    R.Results.push_back(std::move(J));
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Summary rendering
+//===----------------------------------------------------------------------===//
+
+std::string driver::renderSummary(const Report &R) {
+  if (!R.Error.empty())
+    return "error: " + R.Error + "\n";
+  char Buf[256];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf),
+                "%-12s %8s %10s %14s %12s %10s\n", "family", "jobs",
+                "failures", "conditions", "scenarios", "job ms");
+  Out += Buf;
+  unsigned TotalJobs = 0, TotalFailures = 0, TotalConds = 0;
+  uint64_t TotalScenarios = 0;
+  double TotalMillis = 0;
+  for (const FamilySummary &S : R.Families) {
+    std::snprintf(Buf, sizeof(Buf), "%-12s %8u %10u %14u %12llu %10.1f\n",
+                  S.Family.c_str(), S.Jobs, S.Failures, S.PaperConditions,
+                  static_cast<unsigned long long>(S.Scenarios), S.JobMillis);
+    Out += Buf;
+    TotalJobs += S.Jobs;
+    TotalFailures += S.Failures;
+    TotalConds += S.PaperConditions;
+    TotalScenarios += S.Scenarios;
+    TotalMillis += S.JobMillis;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%-12s %8u %10u %14u %12llu %10.1f\n",
+                "total", TotalJobs, TotalFailures, TotalConds,
+                static_cast<unsigned long long>(TotalScenarios), TotalMillis);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "wall time %.1f ms on %u thread%s; %u verification "
+                "failure%s\n",
+                R.WallMillis, R.Threads, R.Threads == 1 ? "" : "s",
+                TotalFailures, TotalFailures == 1 ? "" : "s");
+  Out += Buf;
+  return Out;
+}
