@@ -8,6 +8,11 @@
 // §4.1's small-scope argument: the verdicts stabilize by scope 3 while the
 // cost grows combinatorially — the reason the default scope suffices.
 //
+// The symbolic section also compares the one-shot discharge strategy (a
+// fresh solver session per VC, the pre-incremental behavior) against the
+// warm assumption-based session, and emits machine-readable BENCH_JSON
+// lines that bench/run_all.sh collects into BENCH_semcommute.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "commute/ExhaustiveEngine.h"
@@ -17,6 +22,37 @@
 #include <cstdio>
 
 using namespace semcomm;
+
+namespace {
+
+struct SymbolicRun {
+  double Seconds = 0;
+  uint64_t Vcs = 0;
+  int64_t Conflicts = 0;
+  unsigned Failures = 0;
+  unsigned Methods = 0;
+  uint64_t RetainedClauses = 0;
+};
+
+SymbolicRun runSymbolicSuite(ExprFactory &F, const Catalog &C, int Bound,
+                             SolveMode Mode) {
+  SymbolicEngine Engine(F, Bound, /*ConflictBudget=*/200000, Mode);
+  SymbolicRun Out;
+  Stopwatch W;
+  for (const TestingMethod &M :
+       generateTestingMethods(C, arrayListFamily())) {
+    SymbolicResult R = Engine.verify(M);
+    Out.Vcs += R.NumVcs;
+    Out.Conflicts += R.SatConflicts;
+    Out.RetainedClauses += R.RetainedClauses;
+    Out.Failures += !R.Verified;
+    ++Out.Methods;
+  }
+  Out.Seconds = W.seconds();
+  return Out;
+}
+
+} // namespace
 
 int main() {
   ExprFactory F;
@@ -46,23 +82,32 @@ int main() {
   }
 
   std::printf("\nSymbolic engine, full ArrayList method suite by length "
-              "bound:\n\n");
-  std::printf("%8s %10s %12s %10s\n", "bound", "methods", "VCs", "time(s)");
+              "bound,\none-shot session-per-VC vs incremental "
+              "assumption-based session:\n\n");
+  std::printf("%8s %10s %12s %12s %12s %10s\n", "bound", "methods", "VCs",
+              "oneshot(s)", "incr(s)", "speedup");
   for (int Bound = 2; Bound <= 4; ++Bound) {
-    SymbolicEngine Engine(F, Bound);
-    Stopwatch W;
-    uint64_t Vcs = 0;
-    unsigned Failures = 0, Methods = 0;
-    for (const TestingMethod &M :
-         generateTestingMethods(C, arrayListFamily())) {
-      SymbolicResult R = Engine.verify(M);
-      Vcs += R.NumVcs;
-      Failures += !R.Verified;
-      ++Methods;
-    }
-    std::printf("%8d %10u %12llu %10.2f%s\n", Bound, Methods,
-                (unsigned long long)Vcs, W.seconds(),
-                Failures ? "  FAILURES!" : "");
+    // Untimed warm-up: intern this bound's expressions into the shared
+    // factory so neither timed leg pays first-time allocation.
+    runSymbolicSuite(F, C, Bound, SolveMode::Incremental);
+    SymbolicRun OneShot = runSymbolicSuite(F, C, Bound, SolveMode::OneShot);
+    SymbolicRun Incr = runSymbolicSuite(F, C, Bound, SolveMode::Incremental);
+    double Speedup = Incr.Seconds > 0 ? OneShot.Seconds / Incr.Seconds : 0;
+    std::printf("%8d %10u %12llu %12.3f %12.3f %9.2fx%s\n", Bound,
+                Incr.Methods, (unsigned long long)Incr.Vcs, OneShot.Seconds,
+                Incr.Seconds, Speedup,
+                (OneShot.Failures || Incr.Failures) ? "  FAILURES!" : "");
+    // Machine-readable line for bench/run_all.sh's aggregate baseline.
+    std::printf("BENCH_JSON {\"bench\":\"perf_engine_scaling\","
+                "\"metric\":\"symbolic_arraylist_suite\",\"bound\":%d,"
+                "\"methods\":%u,\"vcs\":%llu,\"oneshot_s\":%.4f,"
+                "\"incremental_s\":%.4f,\"speedup\":%.3f,"
+                "\"oneshot_conflicts\":%lld,\"incremental_conflicts\":%lld,"
+                "\"failures\":%u}\n",
+                Bound, Incr.Methods, (unsigned long long)Incr.Vcs,
+                OneShot.Seconds, Incr.Seconds, Speedup,
+                (long long)OneShot.Conflicts, (long long)Incr.Conflicts,
+                OneShot.Failures + Incr.Failures);
   }
   return 0;
 }

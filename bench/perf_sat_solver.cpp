@@ -5,7 +5,11 @@
 // on Linked Data Structures" (PLDI 2011).
 //
 // Throughput of the from-scratch CDCL core and the eager SMT facade the
-// symbolic engine discharges its verification conditions with.
+// symbolic engine discharges its verification conditions with — including
+// the one-shot-vs-incremental comparisons the assumption-based session
+// design is justified by: a warm solver keeps Tseitin definitions, theory
+// bridges, and learned clauses across a family of near-identical queries,
+// the shape of the catalog's ArrayList case splits.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +45,67 @@ static void BM_Pigeonhole(benchmark::State &State) {
 }
 BENCHMARK(BM_Pigeonhole)->Arg(5)->Arg(6)->Arg(7);
 
+namespace {
+
+/// Builds the catalog-shaped CNF query base: N implication chains of
+/// length L over a shared head variable. The driver's VC profile is
+/// encoding-dominated — thousands of queries averaging under one conflict
+/// each — so the interesting comparison is "rebuild the clause database
+/// per query" versus "propagate on a warm solver".
+struct ChainCnf {
+  int Head = 0;
+  std::vector<std::vector<int>> Chains;
+
+  static ChainCnf build(SatSolver &S, int NumChains, int Len) {
+    ChainCnf C;
+    C.Head = S.addVar();
+    C.Chains.assign(NumChains, {});
+    for (int N = 0; N < NumChains; ++N) {
+      int Prev = C.Head;
+      for (int I = 0; I < Len; ++I) {
+        int V = S.addVar();
+        S.addClause({Lit(Prev, false), Lit(V, true)}); // Prev -> V.
+        C.Chains[N].push_back(V);
+        Prev = V;
+      }
+    }
+    return C;
+  }
+};
+
+} // namespace
+
+/// Cold start per query: each of the NumChains queries (head on, some
+/// chain's tail off — Unsat by propagation) pays variable allocation and
+/// clause insertion for the whole base again.
+static void BM_ChainCnfQueriesOneShot(benchmark::State &State) {
+  int NumChains = static_cast<int>(State.range(0));
+  const int Len = 50;
+  for (auto _ : State)
+    for (int Q = 0; Q < NumChains; ++Q) {
+      SatSolver S;
+      ChainCnf C = ChainCnf::build(S, NumChains, Len);
+      benchmark::DoNotOptimize(
+          S.solve({Lit(C.Head, true), Lit(C.Chains[Q].back(), false)}));
+    }
+}
+BENCHMARK(BM_ChainCnfQueriesOneShot)->Arg(8)->Arg(16)->Arg(32);
+
+/// Warm solver: the base is built once; every query is two assumption
+/// literals and a propagation pass over retained clauses.
+static void BM_ChainCnfQueriesIncremental(benchmark::State &State) {
+  int NumChains = static_cast<int>(State.range(0));
+  const int Len = 50;
+  for (auto _ : State) {
+    SatSolver S;
+    ChainCnf C = ChainCnf::build(S, NumChains, Len);
+    for (int Q = 0; Q < NumChains; ++Q)
+      benchmark::DoNotOptimize(
+          S.solve({Lit(C.Head, true), Lit(C.Chains[Q].back(), false)}));
+  }
+}
+BENCHMARK(BM_ChainCnfQueriesIncremental)->Arg(8)->Arg(16)->Arg(32);
+
 /// A representative set-theory VC: transitivity chains plus membership
 /// congruence, as the symbolic engine emits for Set methods.
 static void BM_EqualityChainVc(benchmark::State &State) {
@@ -62,5 +127,59 @@ static void BM_EqualityChainVc(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_EqualityChainVc)->Arg(4)->Arg(8)->Arg(12);
+
+namespace {
+
+/// The catalog-shaped SMT query family: one shared equality-chain prefix
+/// (the "symbolic execution" of the two orders), then one membership VC
+/// per chain element (the "case splits").
+struct ChainWorkload {
+  ExprFactory F;
+  std::vector<ExprRef> Base;
+  std::vector<std::vector<ExprRef>> Queries;
+
+  explicit ChainWorkload(int N) {
+    ExprRef S0 = F.var("S0", Sort::State);
+    std::vector<ExprRef> Xs;
+    for (int I = 0; I < N; ++I)
+      Xs.push_back(F.var("x" + std::to_string(I), Sort::Obj));
+    for (int I = 1; I < N; ++I)
+      Base.push_back(F.eq(Xs[I - 1], Xs[I]));
+    for (int I = 1; I < N; ++I)
+      Queries.push_back({F.setContains(S0, Xs[0]),
+                         F.lnot(F.setContains(S0, Xs[I]))});
+  }
+};
+
+} // namespace
+
+/// Every case split pays Tseitin + bridge generation + CDCL from scratch.
+static void BM_ChainSplitsOneShot(benchmark::State &State) {
+  ChainWorkload W(static_cast<int>(State.range(0)));
+  for (auto _ : State)
+    for (const std::vector<ExprRef> &Q : W.Queries) {
+      SmtSolver Solver(W.F);
+      for (ExprRef B : W.Base)
+        Solver.assertFormula(B);
+      for (ExprRef E : Q)
+        Solver.assertFormula(E);
+      benchmark::DoNotOptimize(Solver.check());
+    }
+}
+BENCHMARK(BM_ChainSplitsOneShot)->Arg(4)->Arg(8)->Arg(12);
+
+/// The prefix is asserted once; each split is two assumption literals on
+/// the warm session.
+static void BM_ChainSplitsIncremental(benchmark::State &State) {
+  ChainWorkload W(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    SmtSession Session(W.F);
+    for (ExprRef B : W.Base)
+      Session.assertBase(B);
+    for (const std::vector<ExprRef> &Q : W.Queries)
+      benchmark::DoNotOptimize(Session.check(Q));
+  }
+}
+BENCHMARK(BM_ChainSplitsIncremental)->Arg(4)->Arg(8)->Arg(12);
 
 BENCHMARK_MAIN();

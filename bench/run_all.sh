@@ -1,19 +1,27 @@
 #!/usr/bin/env sh
 # Builds the bench binaries and runs every one, collecting stdout into
-# bench-results/<name>.txt. Google-Benchmark microbenches emit JSON next to
-# the text so perf runs can be diffed across commits.
+# bench-results/<name>.txt. Google-Benchmark microbenches emit JSON
+# (--benchmark_format/--benchmark_out) next to the text, and the whole run
+# is aggregated into one machine-readable baseline, BENCH_semcommute.json,
+# at the repo root: per-bench wall time + status, every BENCH_JSON line the
+# plain benches print (e.g. perf_engine_scaling's one-shot-vs-incremental
+# comparison), and the Google-Benchmark entries. Commit the baseline to
+# track the perf trajectory across PRs.
 #
-# usage: bench/run_all.sh [build-dir] [results-dir]
+# usage: bench/run_all.sh [build-dir] [results-dir] [baseline-json]
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
 RESULTS_DIR=${2:-"$REPO_ROOT/bench-results"}
+BASELINE_JSON=${3:-"$REPO_ROOT/BENCH_semcommute.json"}
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSEMCOMM_BUILD_BENCHES=ON
 cmake --build "$BUILD_DIR" -j
 
 mkdir -p "$RESULTS_DIR"
+TIMINGS_TSV="$RESULTS_DIR/timings.tsv"
+: > "$TIMINGS_TSV"
 
 PLAIN_BENCHES="
 fig_2_1_hashset_spec
@@ -45,34 +53,114 @@ perf_sat_solver
 
 failures=0
 
+record() { # name seconds status
+  printf '%s\t%s\t%s\n' "$1" "$2" "$3" >> "$TIMINGS_TSV"
+}
+
+now() { # fractional seconds; %N is GNU-only, so keep this POSIX-portable
+  python3 -c 'import time; print(f"{time.time():.3f}")'
+}
+
 for bench in $PLAIN_BENCHES; do
   bin="$BUILD_DIR/$bench"
   if [ ! -x "$bin" ]; then
     echo "MISSING $bench (not built?)"
+    record "$bench" 0 missing
     failures=$((failures + 1))
     continue
   fi
   echo "== $bench"
-  if "$bin" > "$RESULTS_DIR/$bench.txt" 2>&1; then :; else
+  start=$(now)
+  if "$bin" > "$RESULTS_DIR/$bench.txt" 2>&1; then status=ok; else
+    status=failed
     echo "FAILED  $bench (see $RESULTS_DIR/$bench.txt)"
     failures=$((failures + 1))
   fi
+  end=$(now)
+  record "$bench" "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
 done
 
 for bench in $GOOGLE_BENCHES; do
   bin="$BUILD_DIR/$bench"
   if [ ! -x "$bin" ]; then
     echo "SKIP    $bench (Google Benchmark not available)"
+    record "$bench" 0 skipped
     continue
   fi
   echo "== $bench"
+  start=$(now)
   if "$bin" --benchmark_out="$RESULTS_DIR/$bench.json" \
             --benchmark_out_format=json \
-            > "$RESULTS_DIR/$bench.txt" 2>&1; then :; else
+            > "$RESULTS_DIR/$bench.txt" 2>&1
+  then status=ok; else
+    status=failed
     echo "FAILED  $bench (see $RESULTS_DIR/$bench.txt)"
     failures=$((failures + 1))
   fi
+  end=$(now)
+  record "$bench" "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
 done
+
+python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
+import json, os, sys
+
+results_dir, timings_tsv, out_path = sys.argv[1:4]
+
+benches = []
+with open(timings_tsv) as f:
+    for line in f:
+        name, seconds, status = line.rstrip("\n").split("\t")
+        benches.append({"name": name, "seconds": float(seconds),
+                        "status": status})
+
+# Only the benches this run actually executed (recorded in timings.tsv)
+# are scanned, so stale outputs of renamed or removed benches never leak
+# into the committed baseline.
+ran = [b["name"] for b in benches if b["status"] == "ok"]
+
+# BENCH_JSON lines printed by the plain benches (machine-readable metrics
+# such as perf_engine_scaling's one-shot-vs-incremental comparison).
+inline_metrics = []
+for name in ran:
+    path = os.path.join(results_dir, name + ".txt")
+    if not os.path.exists(path):
+        continue
+    with open(path) as f:
+        for line in f:
+            if line.startswith("BENCH_JSON "):
+                try:
+                    inline_metrics.append(json.loads(line[len("BENCH_JSON "):]))
+                except json.JSONDecodeError:
+                    pass
+
+google = {}
+for name in ran:
+    path = os.path.join(results_dir, name + ".json")
+    if not os.path.exists(path):
+        continue
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError:
+            continue
+    rows = [{k: b.get(k) for k in
+             ("name", "real_time", "cpu_time", "time_unit", "iterations")}
+            for b in doc.get("benchmarks", [])]
+    if rows:
+        google[name] = rows
+
+doc = {
+    "schema": 1,
+    "tool": "bench/run_all.sh",
+    "benches": benches,
+    "inline_metrics": inline_metrics,
+    "google_benchmarks": google,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"baseline written to {out_path}")
+EOF
 
 echo "bench outputs collected in $RESULTS_DIR"
 exit "$([ "$failures" -eq 0 ] && echo 0 || echo 1)"

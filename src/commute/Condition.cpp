@@ -41,7 +41,7 @@ ExprRef ConditionEntry::get(ConditionKind K) const {
   semcomm_unreachable("invalid condition kind");
 }
 
-Catalog::Catalog(ExprFactory &F) {
+Catalog::Catalog(ExprFactory &F) : Fact(&F) {
   Entries[&accumulatorFamily()] = buildAccumulatorConditions(F);
   Entries[&setFamily()] = buildSetConditions(F);
   Entries[&mapFamily()] = buildMapConditions(F);

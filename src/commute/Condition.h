@@ -83,7 +83,13 @@ public:
   /// diagnostic on a violation (catalog authoring bug).
   void validate() const;
 
+  /// The factory every catalog expression lives in. Engines that build new
+  /// expressions over catalog conditions (the symbolic path) must use this
+  /// factory so pointer equality stays structural equality.
+  ExprFactory &factory() const { return *Fact; }
+
 private:
+  ExprFactory *Fact = nullptr;
   std::map<const Family *, std::vector<ConditionEntry>> Entries;
 };
 

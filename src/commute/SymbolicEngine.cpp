@@ -10,8 +10,10 @@
 
 #include "support/Unreachable.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
+#include <memory>
 
 using namespace semcomm;
 
@@ -84,24 +86,53 @@ ExprRef rewriteBool(ExprFactory &F, ExprRef E,
   }
 }
 
-/// Discharges one implication VC: premises and the negated goal must be
-/// unsatisfiable. Updates \p R's statistics; returns false on failure and
-/// stores the countermodel.
-bool proveVc(ExprFactory &F, const std::vector<ExprRef> &Premises,
-             ExprRef Goal, int64_t Budget, SymbolicResult &R) {
-  SmtSolver Solver(F);
-  for (ExprRef P : Premises)
-    Solver.assertFormula(P);
-  Solver.assertFormula(F.lnot(Goal));
-  SatResult Out = Solver.check(Budget);
-  R.SatConflicts += Solver.conflicts();
-  ++R.NumVcs;
-  if (Out == SatResult::Unsat)
-    return true;
-  R.LastOutcome = Out;
-  for (const std::string &A : Solver.modelAtoms())
-    R.Countermodel += A + "; ";
-  return false;
+/// Discharges the VCs of one testing method. The shared prefix (\p Base)
+/// is asserted once into a warm SmtSession and every VC is checked under
+/// assumption literals; in one-shot mode the session is rebuilt per VC,
+/// reproducing the historical cold-start behavior.
+class VcSession {
+public:
+  VcSession(ExprFactory &F, int64_t Budget, SolveMode Mode,
+            std::vector<ExprRef> Base)
+      : F(F), Budget(Budget), Mode(Mode), Base(std::move(Base)) {}
+
+  /// Proves one VC: Base ∧ ⋀Assumed must be unsatisfiable. Updates \p R's
+  /// statistics; returns false on failure and stores the countermodel.
+  bool prove(const std::vector<ExprRef> &Assumed, SymbolicResult &R) {
+    if (!Session || Mode == SolveMode::OneShot) {
+      Session = std::make_unique<SmtSession>(F);
+      for (ExprRef B : Base)
+        Session->assertBase(B);
+    }
+    SatResult Out = Session->check(Assumed, Budget);
+    R.SatConflicts += Session->conflicts();
+    R.MaxVcConflicts = std::max(R.MaxVcConflicts, Session->conflicts());
+    ++R.NumVcs;
+    if (Mode == SolveMode::Incremental)
+      R.RetainedClauses = Session->retainedClauses();
+    if (Out == SatResult::Unsat)
+      return true;
+    R.LastOutcome = Out;
+    for (const std::string &A : Session->modelAtoms())
+      R.Countermodel += A + "; ";
+    return false;
+  }
+
+private:
+  ExprFactory &F;
+  int64_t Budget;
+  SolveMode Mode;
+  std::vector<ExprRef> Base;
+  std::unique_ptr<SmtSession> Session;
+};
+
+/// The two VC shapes shared by every family: soundness discharges
+/// Base ∧ Phi ∧ ¬Agree, completeness discharges Base ∧ ¬Phi ∧ Agree.
+bool proveMethodVc(VcSession &Sess, MethodRole Role, ExprFactory &F,
+                   ExprRef Phi, ExprRef Agree, SymbolicResult &R) {
+  if (Role == MethodRole::Soundness)
+    return Sess.prove({Phi, F.lnot(Agree)}, R);
+  return Sess.prove({F.lnot(Phi), Agree}, R);
 }
 
 // ===========================================================================
@@ -109,7 +140,7 @@ bool proveVc(ExprFactory &F, const std::vector<ExprRef> &Premises,
 // ===========================================================================
 
 SymbolicResult verifyCounter(ExprFactory &F, const TestingMethod &M,
-                             int64_t Budget) {
+                             int64_t Budget, SolveMode Mode) {
   const ConditionEntry &E = *M.Entry;
   ExprRef C0 = F.var("c0", Sort::Int);
 
@@ -188,10 +219,8 @@ SymbolicResult verifyCounter(ExprFactory &F, const TestingMethod &M,
   ExprRef AgreeAll = F.conj(std::move(Agree));
 
   SymbolicResult R;
-  if (M.Role == MethodRole::Soundness)
-    R.Verified = proveVc(F, {Phi}, AgreeAll, Budget, R);
-  else
-    R.Verified = proveVc(F, {F.lnot(Phi), AgreeAll}, F.falseExpr(), Budget, R);
+  VcSession Sess(F, Budget, Mode, {});
+  R.Verified = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
   return R;
 }
 
@@ -213,7 +242,7 @@ ExprRef setMem(ExprFactory &F, ExprRef S0, const SymSet &S, ExprRef X) {
 }
 
 SymbolicResult verifySet(ExprFactory &F, const TestingMethod &M,
-                         int64_t Budget) {
+                         int64_t Budget, SolveMode Mode) {
   const ConditionEntry &E = *M.Entry;
   ExprRef S0 = F.var("S0", Sort::State);
   ExprRef V1 = F.var("v1", Sort::Obj), V2 = F.var("v2", Sort::Obj);
@@ -295,16 +324,8 @@ SymbolicResult verifySet(ExprFactory &F, const TestingMethod &M,
                               F.ne(V2, F.nullConst())};
 
   SymbolicResult R;
-  if (M.Role == MethodRole::Soundness) {
-    std::vector<ExprRef> Premises = Pre;
-    Premises.push_back(Phi);
-    R.Verified = proveVc(F, Premises, AgreeAll, Budget, R);
-  } else {
-    std::vector<ExprRef> Premises = Pre;
-    Premises.push_back(F.lnot(Phi));
-    Premises.push_back(AgreeAll);
-    R.Verified = proveVc(F, Premises, F.falseExpr(), Budget, R);
-  }
+  VcSession Sess(F, Budget, Mode, std::move(Pre));
+  R.Verified = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
   return R;
 }
 
@@ -354,7 +375,7 @@ ExprRef leavesEqual(ExprFactory &F, const LeafVec &A, const LeafVec &B) {
 }
 
 SymbolicResult verifyMap(ExprFactory &F, const TestingMethod &M,
-                         int64_t Budget) {
+                         int64_t Budget, SolveMode Mode) {
   const ConditionEntry &E = *M.Entry;
   ExprRef M0 = F.var("M0", Sort::State);
 
@@ -472,16 +493,8 @@ SymbolicResult verifyMap(ExprFactory &F, const TestingMethod &M,
       Pre.push_back(F.ne(T, F.nullConst()));
 
   SymbolicResult R;
-  if (M.Role == MethodRole::Soundness) {
-    std::vector<ExprRef> Premises = Pre;
-    Premises.push_back(Phi);
-    R.Verified = proveVc(F, Premises, AgreeAll, Budget, R);
-  } else {
-    std::vector<ExprRef> Premises = Pre;
-    Premises.push_back(F.lnot(Phi));
-    Premises.push_back(AgreeAll);
-    R.Verified = proveVc(F, Premises, F.falseExpr(), Budget, R);
-  }
+  VcSession Sess(F, Budget, Mode, std::move(Pre));
+  R.Verified = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
   return R;
 }
 
@@ -712,7 +725,7 @@ ExprRef SeqScenario::onAtom(ExprRef Atom) {
 }
 
 SymbolicResult verifySeq(ExprFactory &F, const TestingMethod &M,
-                         int SeqLenBound, int64_t Budget) {
+                         int SeqLenBound, int64_t Budget, SolveMode Mode) {
   const ConditionEntry &E = *M.Entry;
   const Operation &Op1 = E.op1();
   const Operation &Op2 = E.op2();
@@ -721,6 +734,17 @@ SymbolicResult verifySeq(ExprFactory &F, const TestingMethod &M,
   R.Verified = true;
 
   ExprRef V1 = F.var("v1", Sort::Obj), V2 = F.var("v2", Sort::Obj);
+
+  // The shared symbolic-execution prefix of every case split: the argument
+  // objects and all element variables any split can mention are non-null.
+  // Asserting it once lets the warm session reuse its encoding across the
+  // whole (length x index x index) split lattice.
+  std::vector<ExprRef> Base = {F.ne(V1, F.nullConst()),
+                               F.ne(V2, F.nullConst())};
+  for (int64_t P = 0; P < SeqLenBound; ++P)
+    Base.push_back(
+        F.ne(F.var("e" + std::to_string(P), Sort::Obj), F.nullConst()));
+  VcSession Sess(F, Budget, Mode, std::move(Base));
 
   // Applies an operation at concrete index arguments on a term vector.
   // Returns false if the precondition fails.
@@ -897,22 +921,7 @@ SymbolicResult verifySeq(ExprFactory &F, const TestingMethod &M,
         }
         ExprRef AgreeAll = F.conj(std::move(Agree));
 
-        std::vector<ExprRef> Pre = {F.ne(V1, F.nullConst()),
-                                    F.ne(V2, F.nullConst())};
-        for (ExprRef T : Initial)
-          Pre.push_back(F.ne(T, F.nullConst()));
-
-        bool Ok;
-        if (M.Role == MethodRole::Soundness) {
-          std::vector<ExprRef> Premises = Pre;
-          Premises.push_back(Phi);
-          Ok = proveVc(F, Premises, AgreeAll, Budget, R);
-        } else {
-          std::vector<ExprRef> Premises = Pre;
-          Premises.push_back(F.lnot(Phi));
-          Premises.push_back(AgreeAll);
-          Ok = proveVc(F, Premises, F.falseExpr(), Budget, R);
-        }
+        bool Ok = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
         if (Ctx.SawUnsupportedAtom) {
           R.Verified = false;
           R.Countermodel = "unsupported atom shape in bounded lowering";
@@ -936,13 +945,13 @@ SymbolicResult verifySeq(ExprFactory &F, const TestingMethod &M,
 SymbolicResult SymbolicEngine::verify(const TestingMethod &M) {
   switch (M.family().Kind) {
   case StateKind::Counter:
-    return verifyCounter(F, M, ConflictBudget);
+    return verifyCounter(F, M, ConflictBudget, Mode);
   case StateKind::Set:
-    return verifySet(F, M, ConflictBudget);
+    return verifySet(F, M, ConflictBudget, Mode);
   case StateKind::Map:
-    return verifyMap(F, M, ConflictBudget);
+    return verifyMap(F, M, ConflictBudget, Mode);
   case StateKind::Seq:
-    return verifySeq(F, M, SeqLenBound, ConflictBudget);
+    return verifySeq(F, M, SeqLenBound, ConflictBudget, Mode);
   }
   semcomm_unreachable("invalid family kind");
 }

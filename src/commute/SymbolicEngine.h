@@ -33,6 +33,14 @@
 /// reported Unknown — the analogue of the prover timeouts that dominate the
 /// paper's ArrayList verification time (Table 5.8).
 ///
+/// Discharge strategy: each testing method opens one SmtSession, asserts
+/// the shared symbolic-execution prefix (argument/element well-formedness)
+/// once, and discharges every case split under assumption literals. The
+/// warm solver retains Tseitin definitions, theory bridges, and learned
+/// clauses across the splits of a method (SolveMode::Incremental); the
+/// one-shot mode rebuilds the session per VC and exists as the cold-start
+/// baseline for the perf comparison (bench/perf_engine_scaling.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMCOMM_COMMUTE_SYMBOLICENGINE_H
@@ -46,6 +54,17 @@
 
 namespace semcomm {
 
+/// How the engine discharges the VCs of one testing method.
+enum class SolveMode : uint8_t {
+  /// A fresh solver session per VC (the historical behavior; cold start
+  /// every split). Kept as the baseline the perf benches compare against.
+  OneShot,
+  /// One warm session per testing method: the shared prefix is asserted
+  /// once and every case split is discharged under assumption literals,
+  /// retaining Tseitin definitions, bridges, and learned clauses.
+  Incremental,
+};
+
 /// Outcome of symbolically verifying one testing method.
 struct SymbolicResult {
   bool Verified = false;
@@ -54,6 +73,11 @@ struct SymbolicResult {
   SatResult LastOutcome = SatResult::Unknown;
   uint64_t NumVcs = 0;       ///< VC instances discharged (ArrayList splits).
   int64_t SatConflicts = 0;  ///< Total CDCL conflicts.
+  int64_t MaxVcConflicts = 0; ///< Largest single-split conflict count.
+  /// Clauses alive in the method's warm session after the last split
+  /// (Tseitin definitions + bridges + learned); 0 in one-shot mode, where
+  /// nothing is carried over.
+  uint64_t RetainedClauses = 0;
   std::string Countermodel;  ///< Diagnostic atoms of a failed proof.
 };
 
@@ -62,16 +86,20 @@ class SymbolicEngine {
 public:
   /// \p SeqLenBound is the ArrayList case-split bound (lengths 0..bound).
   explicit SymbolicEngine(ExprFactory &F, int SeqLenBound = 3,
-                          int64_t ConflictBudget = 200000)
-      : F(F), SeqLenBound(SeqLenBound), ConflictBudget(ConflictBudget) {}
+                          int64_t ConflictBudget = 200000,
+                          SolveMode Mode = SolveMode::Incremental)
+      : F(F), SeqLenBound(SeqLenBound), ConflictBudget(ConflictBudget),
+        Mode(Mode) {}
 
-  /// Verifies one testing method symbolically.
+  /// Verifies one testing method symbolically. Safe to call concurrently
+  /// from several engines sharing one (thread-safe) ExprFactory.
   SymbolicResult verify(const TestingMethod &M);
 
 private:
   ExprFactory &F;
   int SeqLenBound;
   int64_t ConflictBudget;
+  SolveMode Mode;
 };
 
 } // namespace semcomm

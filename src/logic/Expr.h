@@ -116,15 +116,18 @@ private:
   friend class ExprFactory;
 
   Expr(ExprKind K, Sort S, int64_t Payload, std::string Name,
-       std::vector<const Expr *> Ops)
+       std::vector<const Expr *> Ops, size_t Hash)
       : Kind(K), ExprSort(S), Payload(Payload), Name(std::move(Name)),
-        Operands(std::move(Ops)) {}
+        Operands(std::move(Ops)), Hash(Hash) {}
 
   ExprKind Kind;
   Sort ExprSort;
   int64_t Payload;
   std::string Name;
   std::vector<const Expr *> Operands;
+  /// Structural hash, fixed at interning time so the factory's tables can
+  /// rehash without recomputing keys.
+  size_t Hash;
 };
 
 /// Expressions are referenced by pointer; identity is structural identity.

@@ -15,23 +15,119 @@
 
 using namespace semcomm;
 
+//===----------------------------------------------------------------------===//
+// Interning: sharded open-addressing table over arena nodes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer); the table indices come from the high
+/// bits after shard selection uses the low bits.
+inline size_t mix(size_t H) {
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return H;
+}
+
+inline size_t hashCombine(size_t Seed, size_t V) {
+  return mix(Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2)));
+}
+
+size_t hashKey(ExprKind K, Sort S, int64_t Payload, const std::string &Name,
+               const std::vector<const Expr *> &Ops) {
+  size_t H = hashCombine(static_cast<size_t>(K) * 0x100 + 1,
+                         static_cast<size_t>(S));
+  H = hashCombine(H, static_cast<size_t>(Payload));
+  H = hashCombine(H, std::hash<std::string>{}(Name));
+  for (const Expr *Op : Ops)
+    H = hashCombine(H, reinterpret_cast<size_t>(Op));
+  return H;
+}
+
+bool keyEquals(const Expr *N, ExprKind K, Sort S, int64_t Payload,
+               const std::string &Name,
+               const std::vector<const Expr *> &Ops) {
+  if (N->kind() != K || N->sort() != S || N->numOperands() != Ops.size())
+    return false;
+  if (!std::equal(Ops.begin(), Ops.end(), N->operands().begin()))
+    return false;
+  // Payload and Name are only discriminating for the leaf/quantifier kinds,
+  // but comparing them unconditionally is cheap and always correct.
+  switch (K) {
+  case ExprKind::ConstBool:
+  case ExprKind::ConstInt:
+    return (K == ExprKind::ConstBool ? N->boolValue() == (Payload != 0)
+                                     : N->intValue() == Payload);
+  case ExprKind::Var:
+  case ExprKind::Forall:
+  case ExprKind::Exists:
+    return N->name() == Name;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
 ExprFactory::ExprFactory() {
   CachedTrue = make(ExprKind::ConstBool, Sort::Bool, 1, "", {});
   CachedFalse = make(ExprKind::ConstBool, Sort::Bool, 0, "", {});
 }
 
+void ExprFactory::growTable(Shard &Sh) {
+  size_t NewSize = Sh.Table.empty() ? 64 : Sh.Table.size() * 2;
+  std::vector<const Expr *> NewTable(NewSize, nullptr);
+  size_t Mask = NewSize - 1;
+  for (const Expr *N : Sh.Table) {
+    if (!N)
+      continue;
+    size_t Idx = (N->Hash / NumShards) & Mask;
+    while (NewTable[Idx])
+      Idx = (Idx + 1) & Mask;
+    NewTable[Idx] = N;
+  }
+  Sh.Table = std::move(NewTable);
+}
+
 ExprRef ExprFactory::make(ExprKind K, Sort S, int64_t Payload,
                           std::string Name, std::vector<const Expr *> Ops) {
-  Key NodeKey(K, S, Payload, Name, Ops);
-  auto It = Nodes.find(NodeKey);
-  if (It != Nodes.end())
-    return It->second.get();
-  auto Node = std::unique_ptr<Expr>(
-      new Expr(K, S, Payload, std::move(Name), std::move(Ops)));
-  ExprRef Ref = Node.get();
-  Nodes.emplace(std::move(NodeKey), std::move(Node));
-  return Ref;
+  size_t H = hashKey(K, S, Payload, Name, Ops);
+  Shard &Sh = Shards[H & (NumShards - 1)];
+  std::lock_guard<std::mutex> Lock(Sh.Mutex);
+
+  if (Sh.Count * 4 >= Sh.Table.size() * 3)
+    growTable(Sh);
+  size_t Mask = Sh.Table.size() - 1;
+  size_t Idx = (H / NumShards) & Mask;
+  while (const Expr *N = Sh.Table[Idx]) {
+    if (N->Hash == H && keyEquals(N, K, S, Payload, Name, Ops))
+      return N;
+    Idx = (Idx + 1) & Mask;
+  }
+
+  Sh.Arena.emplace_back(Expr(K, S, Payload, std::move(Name), std::move(Ops),
+                             H));
+  const Expr *Node = &Sh.Arena.back();
+  Sh.Table[Idx] = Node;
+  ++Sh.Count;
+  return Node;
 }
+
+size_t ExprFactory::numNodes() const {
+  size_t N = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.Mutex);
+    N += Sh.Count;
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Smart constructors
+//===----------------------------------------------------------------------===//
 
 ExprRef ExprFactory::boolConst(bool B) { return B ? CachedTrue : CachedFalse; }
 
@@ -245,8 +341,19 @@ ExprRef ExprFactory::existsInt(const std::string &BoundVar, ExprRef Lo,
   return make(ExprKind::Exists, Sort::Bool, 0, BoundVar, {Lo, Hi, Body});
 }
 
+//===----------------------------------------------------------------------===//
+// Substitution (memoized over the DAG)
+//===----------------------------------------------------------------------===//
+
 ExprRef ExprFactory::substitute(ExprRef E,
                                 const std::map<std::string, ExprRef> &Subst) {
+  SubstMemo Memo;
+  return substituteImpl(E, Subst, Memo);
+}
+
+ExprRef ExprFactory::substituteImpl(ExprRef E,
+                                    const std::map<std::string, ExprRef> &Subst,
+                                    SubstMemo &Memo) {
   switch (E->kind()) {
   case ExprKind::ConstBool:
   case ExprKind::ConstInt:
@@ -260,77 +367,116 @@ ExprRef ExprFactory::substitute(ExprRef E,
            "substitution changes the sort of a variable");
     return It->second;
   }
-  case ExprKind::Forall:
-  case ExprKind::Exists: {
-    // The bound variable shadows any outer binding of the same name.
-    std::map<std::string, ExprRef> Inner = Subst;
-    Inner.erase(E->name());
-    ExprRef Lo = substitute(E->operand(0), Subst);
-    ExprRef Hi = substitute(E->operand(1), Subst);
-    ExprRef Body = substitute(E->operand(2), Inner);
-    return E->kind() == ExprKind::Forall
-               ? forallInt(E->name(), Lo, Hi, Body)
-               : existsInt(E->name(), Lo, Hi, Body);
-  }
   default:
     break;
+  }
+
+  auto Hit = Memo.find(E);
+  if (Hit != Memo.end())
+    return Hit->second;
+
+  ExprRef Result;
+  if (E->kind() == ExprKind::Forall || E->kind() == ExprKind::Exists) {
+    // The bound variable shadows any outer binding of the same name. When a
+    // binding is actually dropped, the body sees a different substitution,
+    // so it gets its own memo table.
+    ExprRef Lo = substituteImpl(E->operand(0), Subst, Memo);
+    ExprRef Hi = substituteImpl(E->operand(1), Subst, Memo);
+    ExprRef Body;
+    if (Subst.count(E->name())) {
+      std::map<std::string, ExprRef> Inner = Subst;
+      Inner.erase(E->name());
+      SubstMemo BodyMemo;
+      Body = substituteImpl(E->operand(2), Inner, BodyMemo);
+    } else {
+      Body = substituteImpl(E->operand(2), Subst, Memo);
+    }
+    Result = E->kind() == ExprKind::Forall ? forallInt(E->name(), Lo, Hi, Body)
+                                           : existsInt(E->name(), Lo, Hi, Body);
+    Memo.emplace(E, Result);
+    return Result;
   }
 
   std::vector<ExprRef> NewOps;
   NewOps.reserve(E->numOperands());
   bool Changed = false;
   for (ExprRef Op : E->operands()) {
-    ExprRef NewOp = substitute(Op, Subst);
+    ExprRef NewOp = substituteImpl(Op, Subst, Memo);
     Changed |= (NewOp != Op);
     NewOps.push_back(NewOp);
   }
-  if (!Changed)
+  if (!Changed) {
+    Memo.emplace(E, E);
     return E;
+  }
 
   switch (E->kind()) {
   case ExprKind::Add:
-    return add(NewOps[0], NewOps[1]);
+    Result = add(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Sub:
-    return sub(NewOps[0], NewOps[1]);
+    Result = sub(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Neg:
-    return neg(NewOps[0]);
+    Result = neg(NewOps[0]);
+    break;
   case ExprKind::Eq:
-    return eq(NewOps[0], NewOps[1]);
+    Result = eq(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Lt:
-    return lt(NewOps[0], NewOps[1]);
+    Result = lt(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Le:
-    return le(NewOps[0], NewOps[1]);
+    Result = le(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Not:
-    return lnot(NewOps[0]);
+    Result = lnot(NewOps[0]);
+    break;
   case ExprKind::And:
-    return conj(std::move(NewOps));
+    Result = conj(std::move(NewOps));
+    break;
   case ExprKind::Or:
-    return disj(std::move(NewOps));
+    Result = disj(std::move(NewOps));
+    break;
   case ExprKind::Implies:
-    return implies(NewOps[0], NewOps[1]);
+    Result = implies(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Iff:
-    return iff(NewOps[0], NewOps[1]);
+    Result = iff(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::Ite:
-    return ite(NewOps[0], NewOps[1], NewOps[2]);
+    Result = ite(NewOps[0], NewOps[1], NewOps[2]);
+    break;
   case ExprKind::SetContains:
-    return setContains(NewOps[0], NewOps[1]);
+    Result = setContains(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::MapGet:
-    return mapGet(NewOps[0], NewOps[1]);
+    Result = mapGet(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::MapHasKey:
-    return mapHasKey(NewOps[0], NewOps[1]);
+    Result = mapHasKey(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::SeqAt:
-    return seqAt(NewOps[0], NewOps[1]);
+    Result = seqAt(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::SeqLen:
-    return seqLen(NewOps[0]);
+    Result = seqLen(NewOps[0]);
+    break;
   case ExprKind::SeqIndexOf:
-    return seqIndexOf(NewOps[0], NewOps[1]);
+    Result = seqIndexOf(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::SeqLastIndexOf:
-    return seqLastIndexOf(NewOps[0], NewOps[1]);
+    Result = seqLastIndexOf(NewOps[0], NewOps[1]);
+    break;
   case ExprKind::StateSize:
-    return stateSize(NewOps[0]);
+    Result = stateSize(NewOps[0]);
+    break;
   case ExprKind::CounterValue:
-    return counterValue(NewOps[0]);
+    Result = counterValue(NewOps[0]);
+    break;
   default:
     semcomm_unreachable("unhandled expression kind in substitute");
   }
+  Memo.emplace(E, Result);
+  return Result;
 }

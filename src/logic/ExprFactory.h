@@ -13,6 +13,11 @@
 /// n-ary connectives) so printed conditions keep the shape their authors
 /// wrote.
 ///
+/// Interning is an open-addressing hash table over arena-allocated nodes,
+/// sharded by structural hash with one lock per shard so concurrent engines
+/// (the parallel symbolic driver path) can share a single factory: pointer
+/// equality stays structural equality across every thread.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMCOMM_LOGIC_EXPRFACTORY_H
@@ -20,16 +25,19 @@
 
 #include "logic/Expr.h"
 
+#include <deque>
 #include <map>
-#include <memory>
+#include <mutex>
 #include <string>
-#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 namespace semcomm {
 
 /// Creates and uniques expressions. All ExprRefs obtained from a factory are
 /// valid for the factory's lifetime; structural equality is pointer equality.
+/// Interning (and therefore every smart constructor) is safe to call from
+/// multiple threads concurrently.
 class ExprFactory {
 public:
   ExprFactory();
@@ -84,20 +92,38 @@ public:
   ExprRef existsInt(const std::string &BoundVar, ExprRef Lo, ExprRef Hi,
                     ExprRef Body);
 
-  /// Capture-free substitution of variables by expressions.
+  /// Capture-free substitution of variables by expressions, memoized over
+  /// the expression DAG (hash-consing shares subterms, so the naive
+  /// recursion would revisit them exponentially often).
   ExprRef substitute(ExprRef E,
                      const std::map<std::string, ExprRef> &Subst);
 
   /// Number of distinct nodes allocated (diagnostics / tests).
-  size_t numNodes() const { return Nodes.size(); }
+  size_t numNodes() const;
 
 private:
+  /// One lock-striped slice of the intern table: an open-addressing
+  /// pointer table plus the arena (a deque never moves constructed nodes,
+  /// so ExprRefs stay valid as the shard grows).
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::vector<const Expr *> Table; ///< Power-of-two open addressing.
+    size_t Count = 0;
+    std::deque<Expr> Arena;
+  };
+
+  static constexpr size_t NumShards = 16; ///< Power of two.
+
   ExprRef make(ExprKind K, Sort S, int64_t Payload, std::string Name,
                std::vector<const Expr *> Ops);
+  static void growTable(Shard &Sh);
 
-  using Key = std::tuple<ExprKind, Sort, int64_t, std::string,
-                         std::vector<const Expr *>>;
-  std::map<Key, std::unique_ptr<Expr>> Nodes;
+  using SubstMemo = std::unordered_map<ExprRef, ExprRef>;
+  ExprRef substituteImpl(ExprRef E,
+                         const std::map<std::string, ExprRef> &Subst,
+                         SubstMemo &Memo);
+
+  Shard Shards[NumShards];
   ExprRef CachedTrue = nullptr;
   ExprRef CachedFalse = nullptr;
 };

@@ -217,12 +217,53 @@ int SatSolver::pickBranchVar() {
   return Best;
 }
 
-SatResult SatSolver::solve(int64_t MaxConflicts) {
+void SatSolver::analyzeFinal(Lit Failed) {
+  // The conjunction of assumptions on the trail that (with the clause
+  // database) falsifies \p Failed: walk the implication graph backwards
+  // from ~Failed; every decision reached is an assumption (assumptions are
+  // the only decisions while they are being placed).
+  AssumpCore.clear();
+  AssumpCore.push_back(Failed);
+  if (currentLevel() == 0)
+    return;
+  std::vector<bool> SeenVar(Assign.size(), false);
+  SeenVar[Failed.var()] = true;
+  for (size_t I = Trail.size(); I > static_cast<size_t>(TrailLim[0]); --I) {
+    int V = Trail[I - 1].var();
+    if (!SeenVar[V])
+      continue;
+    if (Reason[V] == -1) {
+      // A decision reached from the failed assumption is itself an
+      // assumption (possibly Failed's own negation, when the assumption
+      // list is directly contradictory).
+      AssumpCore.push_back(Trail[I - 1]);
+    } else {
+      for (Lit Q : Clauses[Reason[V]].Lits)
+        if (Level[Q.var()] > 0)
+          SeenVar[Q.var()] = true;
+    }
+    SeenVar[V] = false;
+  }
+}
+
+SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
+                           int64_t MaxConflicts) {
+  if (&Assumptions == &AssumpCore) {
+    // solve(unsatCore()) is a natural idiom; don't let the clear() below
+    // empty the caller's assumption set.
+    std::vector<Lit> Copy = Assumptions;
+    return solve(Copy, MaxConflicts);
+  }
+  AssumpCore.clear();
+  backtrack(0);
   if (Unsatisfiable)
     return SatResult::Unsat;
-  if (propagate() != -1)
+  if (propagate() != -1) {
+    Unsatisfiable = true;
     return SatResult::Unsat;
+  }
 
+  int64_t StartConflicts = Conflicts;
   int64_t RestartLimit = 64;
   int64_t SinceRestart = 0;
 
@@ -231,19 +272,27 @@ SatResult SatSolver::solve(int64_t MaxConflicts) {
     if (ConflictIdx != -1) {
       ++Conflicts;
       ++SinceRestart;
-      if (MaxConflicts >= 0 && Conflicts > MaxConflicts)
-        return SatResult::Unknown;
-      if (currentLevel() == 0)
+      if (currentLevel() == 0) {
+        Unsatisfiable = true;
         return SatResult::Unsat;
+      }
+      if (MaxConflicts >= 0 && Conflicts - StartConflicts > MaxConflicts) {
+        backtrack(0);
+        return SatResult::Unknown;
+      }
 
       std::vector<Lit> Learned;
       int BackLevel = 0;
       analyze(ConflictIdx, Learned, BackLevel);
       backtrack(BackLevel);
       if (Learned.size() == 1) {
+        // Asserting unit: analyze() computed BackLevel 0, so the trail is
+        // already at the root and the unit survives every future solve.
+        assert(currentLevel() == 0 && "unit learned above the root");
         enqueue(Learned[0], -1);
       } else {
         Clauses.push_back({Learned, true});
+        ++LearnedClauses;
         int CI = static_cast<int>(Clauses.size()) - 1;
         attach(CI);
         enqueue(Learned[0], CI);
@@ -259,9 +308,28 @@ SatResult SatSolver::solve(int64_t MaxConflicts) {
       continue;
     }
 
+    if (currentLevel() < static_cast<int>(Assumptions.size())) {
+      // Place the next assumption as a pseudo-decision.
+      Lit P = Assumptions[currentLevel()];
+      if (valueOf(P) == 0) {
+        analyzeFinal(P);
+        backtrack(0);
+        return SatResult::Unsat;
+      }
+      TrailLim.push_back(static_cast<int>(Trail.size()));
+      if (valueOf(P) == Undef)
+        enqueue(P, -1);
+      continue;
+    }
+
     int V = pickBranchVar();
-    if (V == 0)
-      return SatResult::Sat; // Full assignment, no conflict.
+    if (V == 0) {
+      // Full assignment, no conflict: snapshot the model, then leave the
+      // trail at the root so the solver is immediately reusable.
+      ModelVals = Assign;
+      backtrack(0);
+      return SatResult::Sat;
+    }
     ++Decisions;
     TrailLim.push_back(static_cast<int>(Trail.size()));
     enqueue(Lit(V, false), -1); // Negative-first polarity.
@@ -270,5 +338,7 @@ SatResult SatSolver::solve(int64_t MaxConflicts) {
 
 bool SatSolver::modelValue(int Var) const {
   assert(Var >= 1 && Var <= numVars() && "model query out of range");
-  return Assign[Var] == 1;
+  assert(static_cast<size_t>(Var) < ModelVals.size() &&
+         "no model saved for this variable");
+  return ModelVals[Var] == 1;
 }

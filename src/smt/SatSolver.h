@@ -14,6 +14,15 @@
 /// its verification conditions into propositional logic and asks this
 /// solver for a countermodel.
 ///
+/// The solver is *incremental* in the MiniSat style: solve(Assumptions)
+/// decides the clause database under a set of assumption literals placed as
+/// pseudo-decisions. Because learned clauses never resolve on decisions,
+/// every clause learned under assumptions is implied by the database alone
+/// and is retained across calls — a warm solver discharges a family of
+/// near-identical queries (the catalog's ArrayList case splits) without
+/// re-deriving its lemmas. After an assumption-failed solve, unsatCore()
+/// names the subset of assumptions responsible.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMCOMM_SMT_SATSOLVER_H
@@ -56,18 +65,38 @@ public:
   int addVar();
 
   /// Adds a clause (empty clause makes the instance trivially Unsat).
+  /// May be called between solve() calls; the clause joins the retained
+  /// database.
   void addClause(const std::vector<Lit> &Clause);
 
   /// Solves under an optional conflict budget (negative = unlimited).
-  SatResult solve(int64_t MaxConflicts = -1);
+  SatResult solve(int64_t MaxConflicts = -1) { return solve({}, MaxConflicts); }
+
+  /// Solves the retained clause database under \p Assumptions, each placed
+  /// as a pseudo-decision. Unsat means the database contradicts the
+  /// assumptions (unsatCore() then names the culprits); the database itself
+  /// stays usable, and clauses learned during the search are retained. The
+  /// conflict budget is per-call.
+  SatResult solve(const std::vector<Lit> &Assumptions,
+                  int64_t MaxConflicts = -1);
+
+  /// After an Unsat solve(Assumptions): the subset of the assumptions that
+  /// already suffices for unsatisfiability (empty when the database is
+  /// unsatisfiable on its own).
+  const std::vector<Lit> &unsatCore() const { return AssumpCore; }
 
   /// Model access after Sat: the value of \p Var.
   bool modelValue(int Var) const;
 
-  /// Statistics for the verification-time tables.
+  /// Statistics for the verification-time tables. Conflict/decision counts
+  /// are cumulative across solve() calls.
   int64_t numConflicts() const { return Conflicts; }
   int64_t numDecisions() const { return Decisions; }
   int numVars() const { return static_cast<int>(Assign.size()) - 1; }
+  /// Retained clauses (problem + learned); unit clauses live on the trail
+  /// and are not counted.
+  size_t numClauses() const { return Clauses.size(); }
+  int64_t numLearnedClauses() const { return LearnedClauses; }
 
 private:
   enum : uint8_t { Undef = 2 };
@@ -95,8 +124,12 @@ private:
   double ActivityInc = 1.0;
   bool Unsatisfiable = false;
 
+  std::vector<Lit> AssumpCore;    ///< Core of the last assumption-failure.
+  std::vector<uint8_t> ModelVals; ///< Snapshot of the last Sat assignment.
+
   int64_t Conflicts = 0;
   int64_t Decisions = 0;
+  int64_t LearnedClauses = 0;
 
   size_t watchIndex(Lit L) const {
     return 2 * static_cast<size_t>(L.var()) + (L.positive() ? 0 : 1);
@@ -110,6 +143,7 @@ private:
   void enqueue(Lit L, int ReasonIdx);
   int propagate(); ///< Returns conflicting clause index or -1.
   void analyze(int ConflictIdx, std::vector<Lit> &Learned, int &BackLevel);
+  void analyzeFinal(Lit Failed); ///< Fills AssumpCore from the trail.
   void backtrack(int ToLevel);
   void bumpActivity(int Var);
   void attach(int ClauseIdx);

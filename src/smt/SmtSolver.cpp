@@ -9,14 +9,13 @@
 #include "smt/SmtSolver.h"
 
 #include "logic/Printer.h"
-#include "smt/Tseitin.h"
 #include "support/Unreachable.h"
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 
 using namespace semcomm;
+using detail::IntAtomInfo;
 
 // --- Linear integer atom canonicalization -----------------------------------
 
@@ -75,19 +74,9 @@ void decompose(ExprRef E, int64_t Sign, LinearForm &Out) {
   }
 }
 
-/// Metadata for a canonicalized integer atom variable.
-struct IntAtomInfo {
-  std::string Signature; ///< Symbol part (canonical).
-  bool IsEq = false;     ///< sum = C when true; sum <= C otherwise.
-  int64_t C = 0;
-};
-
 } // namespace
 
-/// Per-check scratch state shared through the members below.
-static std::map<ExprRef, IntAtomInfo> *CurrentIntAtoms = nullptr;
-
-ExprRef SmtSolver::canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B) {
+ExprRef SmtSession::canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B) {
   // diff = A - B  (for Lt: A < B  <=>  diff <= -1; Le: diff <= 0).
   LinearForm Diff;
   decompose(A, 1, Diff);
@@ -121,12 +110,12 @@ ExprRef SmtSolver::canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B) {
   std::string Name = std::string(IsEq ? "ieq" : "ile") + "[" +
                      Diff.signature() + "]" + std::to_string(Bound);
   ExprRef Atom = F.var(Name, Sort::Bool);
-  if (CurrentIntAtoms)
-    (*CurrentIntAtoms)[Atom] = {Diff.signature(), IsEq, Bound};
+  if (IntAtomSeen.insert(Atom).second)
+    IntAtoms.push_back({Atom, {Diff.signature(), IsEq, Bound}});
   return Atom;
 }
 
-ExprRef SmtSolver::eqObj(ExprRef A, ExprRef B) {
+ExprRef SmtSession::eqObj(ExprRef A, ExprRef B) {
   if (A == B)
     return F.trueExpr();
   // Lower object-sorted ITEs into the boolean structure.
@@ -143,7 +132,7 @@ ExprRef SmtSolver::eqObj(ExprRef A, ExprRef B) {
   return F.eq(A, B);
 }
 
-ExprRef SmtSolver::normalizeAtom(ExprRef E) {
+ExprRef SmtSession::normalizeAtom(ExprRef E) {
   switch (E->kind()) {
   case ExprKind::Eq: {
     Sort S = E->operand(0)->sort();
@@ -163,7 +152,7 @@ ExprRef SmtSolver::normalizeAtom(ExprRef E) {
   }
 }
 
-ExprRef SmtSolver::normalize(ExprRef E) {
+ExprRef SmtSession::normalize(ExprRef E) {
   switch (E->kind()) {
   case ExprKind::Not:
     return F.lnot(normalize(E->operand(0)));
@@ -188,132 +177,190 @@ ExprRef SmtSolver::normalize(ExprRef E) {
   }
 }
 
-// --- Bridge generation -------------------------------------------------------
+// --- Incremental bridge generation -------------------------------------------
 
-/// Collects object terms and membership atoms from a normalized formula.
-static void collectTheoryAtoms(ExprRef E, std::set<ExprRef> &ObjTerms,
-                               std::set<ExprRef> &MemAtoms) {
+void SmtSession::collectTheoryAtoms(ExprRef E) {
   if (E->kind() == ExprKind::Eq && E->operand(0)->sort() == Sort::Obj) {
-    ObjTerms.insert(E->operand(0));
-    ObjTerms.insert(E->operand(1));
+    for (ExprRef T : {E->operand(0), E->operand(1)})
+      if (ObjTermSet.insert(T).second) {
+        ObjTerms.push_back(T);
+        if (T->kind() == ExprKind::MapGet)
+          MapLookups.push_back(T);
+      }
     return;
   }
   if (E->kind() == ExprKind::SetContains) {
-    MemAtoms.insert(E);
+    if (MemAtomSet.insert(E).second)
+      MemAtoms.push_back(E);
     return;
   }
   for (ExprRef Op : E->operands())
-    collectTheoryAtoms(Op, ObjTerms, MemAtoms);
+    collectTheoryAtoms(Op);
 }
 
-void SmtSolver::collectBridges(const std::map<ExprRef, int> &,
-                               std::vector<ExprRef> &Bridges) {
-  std::set<ExprRef> ObjTermSet, MemAtoms;
-  for (ExprRef E : Asserted)
-    collectTheoryAtoms(normalize(E), ObjTermSet, MemAtoms);
+void SmtSession::emitNewBridges() {
+  std::vector<ExprRef> Bridges;
 
-  std::vector<ExprRef> Terms(ObjTermSet.begin(), ObjTermSet.end());
-  std::sort(Terms.begin(), Terms.end(), [](ExprRef A, ExprRef B) {
-    return printAbstract(A) < printAbstract(B);
-  });
-
-  // Equality transitivity over every term triple. The pairwise atoms are
-  // created through eqObj so they coincide with the assertion's atoms.
-  for (size_t I = 0; I != Terms.size(); ++I)
-    for (size_t J = I + 1; J != Terms.size(); ++J)
-      for (size_t K = J + 1; K != Terms.size(); ++K) {
-        ExprRef AB = eqObj(Terms[I], Terms[J]);
-        ExprRef BC = eqObj(Terms[J], Terms[K]);
-        ExprRef AC = eqObj(Terms[I], Terms[K]);
+  // Equality transitivity over every term triple that mentions a new term.
+  // New terms have the highest indices, so iterating the triple's maximum
+  // index over the new range enumerates each new triple exactly once. The
+  // pairwise atoms are created through eqObj so they coincide with the
+  // assertions' atoms.
+  for (size_t K = BridgedObjTerms; K < ObjTerms.size(); ++K)
+    for (size_t J = 0; J != K; ++J)
+      for (size_t I = 0; I != J; ++I) {
+        ExprRef AB = eqObj(ObjTerms[I], ObjTerms[J]);
+        ExprRef BC = eqObj(ObjTerms[J], ObjTerms[K]);
+        ExprRef AC = eqObj(ObjTerms[I], ObjTerms[K]);
         Bridges.push_back(F.implies(F.conj({AB, BC}), AC));
         Bridges.push_back(F.implies(F.conj({AB, AC}), BC));
         Bridges.push_back(F.implies(F.conj({BC, AC}), AB));
       }
 
   // Congruence for map lookups: equal keys read equal values.
-  std::vector<ExprRef> Lookups;
-  for (ExprRef T : Terms)
-    if (T->kind() == ExprKind::MapGet)
-      Lookups.push_back(T);
-  for (size_t I = 0; I != Lookups.size(); ++I)
-    for (size_t J = I + 1; J != Lookups.size(); ++J) {
-      if (Lookups[I]->operand(0) != Lookups[J]->operand(0))
+  for (size_t J = BridgedMapLookups; J < MapLookups.size(); ++J)
+    for (size_t I = 0; I != J; ++I) {
+      if (MapLookups[I]->operand(0) != MapLookups[J]->operand(0))
         continue;
       ExprRef KeysEq =
-          eqObj(Lookups[I]->operand(1), Lookups[J]->operand(1));
+          eqObj(MapLookups[I]->operand(1), MapLookups[J]->operand(1));
       Bridges.push_back(
-          F.implies(KeysEq, eqObj(Lookups[I], Lookups[J])));
+          F.implies(KeysEq, eqObj(MapLookups[I], MapLookups[J])));
     }
 
   // Congruence for set membership: equal elements agree on membership.
-  std::vector<ExprRef> Mems(MemAtoms.begin(), MemAtoms.end());
-  for (size_t I = 0; I != Mems.size(); ++I)
-    for (size_t J = I + 1; J != Mems.size(); ++J) {
-      if (Mems[I]->operand(0) != Mems[J]->operand(0))
+  for (size_t J = BridgedMemAtoms; J < MemAtoms.size(); ++J)
+    for (size_t I = 0; I != J; ++I) {
+      if (MemAtoms[I]->operand(0) != MemAtoms[J]->operand(0))
         continue;
-      ExprRef ElemsEq = eqObj(Mems[I]->operand(1), Mems[J]->operand(1));
-      Bridges.push_back(F.implies(ElemsEq, F.iff(Mems[I], Mems[J])));
+      ExprRef ElemsEq = eqObj(MemAtoms[I]->operand(1),
+                              MemAtoms[J]->operand(1));
+      Bridges.push_back(
+          F.implies(ElemsEq, F.iff(MemAtoms[I], MemAtoms[J])));
     }
 
   // Linear integer atom lattice: within one symbol signature, equalities
-  // with different constants exclude each other and interact with bounds.
-  std::vector<std::pair<ExprRef, IntAtomInfo>> IntAtoms(
-      CurrentIntAtoms->begin(), CurrentIntAtoms->end());
-  for (size_t I = 0; I != IntAtoms.size(); ++I)
-    for (size_t J = 0; J != IntAtoms.size(); ++J) {
-      if (I == J ||
-          IntAtoms[I].second.Signature != IntAtoms[J].second.Signature)
+  // with different constants exclude each other, equalities decide bounds,
+  // and the weaker bound follows from the stronger.
+  for (size_t J = BridgedIntAtoms; J < IntAtoms.size(); ++J)
+    for (size_t I = 0; I != J; ++I) {
+      const auto &[AtomA, A] = IntAtoms[I];
+      const auto &[AtomB, B] = IntAtoms[J];
+      if (A.Signature != B.Signature)
         continue;
-      const IntAtomInfo &A = IntAtoms[I].second;
-      const IntAtomInfo &B = IntAtoms[J].second;
-      if (A.IsEq && B.IsEq && I < J && A.C != B.C)
-        Bridges.push_back(F.disj({F.lnot(IntAtoms[I].first),
-                                  F.lnot(IntAtoms[J].first)}));
+      if (A.IsEq && B.IsEq && A.C != B.C)
+        Bridges.push_back(F.disj({F.lnot(AtomA), F.lnot(AtomB)}));
       if (A.IsEq && !B.IsEq)
-        Bridges.push_back(A.C <= B.C
-                              ? F.implies(IntAtoms[I].first,
-                                          IntAtoms[J].first)
-                              : F.implies(IntAtoms[I].first,
-                                          F.lnot(IntAtoms[J].first)));
-      if (!A.IsEq && !B.IsEq && I < J && A.C <= B.C)
-        Bridges.push_back(
-            F.implies(IntAtoms[I].first, IntAtoms[J].first));
+        Bridges.push_back(A.C <= B.C ? F.implies(AtomA, AtomB)
+                                     : F.implies(AtomA, F.lnot(AtomB)));
+      if (B.IsEq && !A.IsEq)
+        Bridges.push_back(B.C <= A.C ? F.implies(AtomB, AtomA)
+                                     : F.implies(AtomB, F.lnot(AtomA)));
+      if (!A.IsEq && !B.IsEq)
+        Bridges.push_back(A.C <= B.C ? F.implies(AtomA, AtomB)
+                                     : F.implies(AtomB, AtomA));
     }
+
+  BridgedObjTerms = ObjTerms.size();
+  BridgedMapLookups = MapLookups.size();
+  BridgedMemAtoms = MemAtoms.size();
+  BridgedIntAtoms = IntAtoms.size();
+
+  for (ExprRef B : Bridges)
+    Encoder.assertTrue(normalize(B));
 }
 
-// --- Top level ----------------------------------------------------------------
+void SmtSession::ingest(ExprRef Normalized) {
+  collectTheoryAtoms(Normalized);
+  emitNewBridges();
+}
+
+void SmtSession::collectBoolAtoms(ExprRef E, std::set<ExprRef> &Out,
+                                  std::set<ExprRef> &Visited) {
+  if (!Visited.insert(E).second)
+    return;
+  switch (E->kind()) {
+  case ExprKind::ConstBool:
+    return;
+  case ExprKind::Not:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Implies:
+  case ExprKind::Iff:
+    for (ExprRef Op : E->operands())
+      collectBoolAtoms(Op, Out, Visited);
+    return;
+  case ExprKind::Ite:
+    if (E->sort() == Sort::Bool) {
+      for (ExprRef Op : E->operands())
+        collectBoolAtoms(Op, Out, Visited);
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+  if (E->sort() == Sort::Bool)
+    Out.insert(E);
+}
+
+// --- Session top level --------------------------------------------------------
+
+void SmtSession::assertBase(ExprRef E) {
+  ExprRef N = normalize(E);
+  ingest(N);
+  std::set<ExprRef> Visited;
+  collectBoolAtoms(N, BaseAtoms, Visited);
+  Encoder.assertTrue(N);
+}
+
+SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
+                            int64_t MaxConflicts) {
+  std::vector<Lit> Assumptions;
+  Assumptions.reserve(Assumed.size());
+  std::set<ExprRef> QueryAtoms, Visited;
+  for (ExprRef E : Assumed) {
+    ExprRef N = normalize(E);
+    ingest(N);
+    collectBoolAtoms(N, QueryAtoms, Visited);
+    Assumptions.push_back(Encoder.encode(N));
+  }
+
+  int64_t ConflictsBefore = Sat.numConflicts();
+  int64_t DecisionsBefore = Sat.numDecisions();
+  SatResult R = Sat.solve(Assumptions, MaxConflicts);
+  ++Checks;
+  LastConflicts = Sat.numConflicts() - ConflictsBefore;
+  LastDecisions = Sat.numDecisions() - DecisionsBefore;
+
+  LastModel.clear();
+  if (R == SatResult::Sat) {
+    // Report only over this check's vocabulary (base + current query): a
+    // warm session's atom map also holds every earlier query's atoms,
+    // which would drown the countermodel in unrelated diagnostics.
+    for (const auto &[Atom, V] : Encoder.atoms())
+      if (Sat.modelValue(V) &&
+          (BaseAtoms.count(Atom) || QueryAtoms.count(Atom)))
+        LastModel.push_back(printAbstract(Atom));
+    // Encoder.atoms() iterates in pointer order, which varies when several
+    // threads share the interning factory; sort so diagnostics are stable.
+    std::sort(LastModel.begin(), LastModel.end());
+  }
+  return R;
+}
+
+// --- One-shot facade ----------------------------------------------------------
 
 void SmtSolver::assertFormula(ExprRef E) { Asserted.push_back(E); }
 
 SatResult SmtSolver::check(int64_t MaxConflicts) {
-  std::map<ExprRef, IntAtomInfo> IntAtoms;
-  CurrentIntAtoms = &IntAtoms;
-
-  std::vector<ExprRef> Normalized;
+  SmtSession Session(F);
   for (ExprRef E : Asserted)
-    Normalized.push_back(normalize(E));
-
-  std::vector<ExprRef> Bridges;
-  collectBridges({}, Bridges);
-
-  SatSolver Sat;
-  Tseitin Encoder(Sat);
-  for (ExprRef E : Normalized)
-    Encoder.assertTrue(E);
-  for (ExprRef B : Bridges)
-    Encoder.assertTrue(normalize(B));
-
-  SatResult R = Sat.solve(MaxConflicts);
-  LastConflicts = Sat.numConflicts();
-  LastDecisions = Sat.numDecisions();
-  LastNumAtoms = static_cast<int>(Encoder.atoms().size());
-
-  LastModel.clear();
-  if (R == SatResult::Sat)
-    for (const auto &[Atom, V] : Encoder.atoms())
-      if (Sat.modelValue(V))
-        LastModel.push_back(printAbstract(Atom));
-
-  CurrentIntAtoms = nullptr;
+    Session.assertBase(E);
+  SatResult R = Session.check({}, MaxConflicts);
+  LastConflicts = Session.conflicts();
+  LastDecisions = Session.decisions();
+  LastNumAtoms = Session.numAtoms();
+  LastModel = Session.modelAtoms();
   return R;
 }

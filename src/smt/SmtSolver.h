@@ -9,15 +9,29 @@
 /// \file
 /// The solver the symbolic engine discharges verification conditions with —
 /// the role Z3 / CVC3 play under Jahob (§1.4). The interface is Z3-flavored
-/// (a context-owned expression factory, assertFormula / check / model), and
-/// the implementation is *eager*: theory semantics is compiled into
-/// propositional bridge clauses before a single CDCL search, UCLID-style:
+/// (a context-owned expression factory, assert / check / model), and the
+/// implementation is *eager*: theory semantics is compiled into
+/// propositional bridge clauses before the CDCL search, UCLID-style:
 ///
 ///  * Equality over object terms: symmetry is handled by atom
 ///    canonicalization; transitivity over every term triple; congruence
 ///    for the uninterpreted query terms (map lookups, set membership).
 ///  * Linear integer atoms are canonicalized to `sum-of-symbols <=/= c`
 ///    form; atoms sharing a symbol part get ordering/exclusivity bridges.
+///
+/// SmtSession is the *incremental* interface: base formulas are asserted
+/// (and Tseitin-encoded, with their bridge clauses) exactly once, and each
+/// query is discharged under assumption literals on a warm SatSolver, so
+/// Tseitin definitions, bridge clauses, and learned clauses are all
+/// retained across the queries of one verification family. Bridges are
+/// emitted incrementally: a new theory atom only generates the bridge
+/// instances that mention it. All bookkeeping is insertion-ordered, so a
+/// session's behavior is a function of the asserted formula sequence alone
+/// — never of pointer values — which keeps multi-threaded driver runs
+/// verdict-deterministic.
+///
+/// SmtSolver is the original one-shot facade, now a thin wrapper that runs
+/// each check() in a fresh session.
 ///
 /// The encoding is complete for the fragment the symbolic engine emits
 /// (see SymbolicEngine.h); on larger fragments it is conservative: check()
@@ -31,15 +45,114 @@
 
 #include "logic/ExprFactory.h"
 #include "smt/SatSolver.h"
+#include "smt/Tseitin.h"
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace semcomm {
 
-/// Eager SMT checker over the logic's expressions.
+namespace detail {
+/// Metadata for a canonicalized integer atom variable.
+struct IntAtomInfo {
+  std::string Signature; ///< Symbol part (canonical).
+  bool IsEq = false;     ///< sum = C when true; sum <= C otherwise.
+  int64_t C = 0;
+};
+} // namespace detail
+
+/// An incremental eager SMT session over the logic's expressions: assert
+/// base formulas once, then discharge many queries under assumptions
+/// against the same warm CDCL solver.
+class SmtSession {
+public:
+  explicit SmtSession(ExprFactory &F) : F(F), Encoder(Sat) {}
+  SmtSession(const SmtSession &) = delete;
+  SmtSession &operator=(const SmtSession &) = delete;
+
+  /// Conjoins \p E to the session permanently: it holds in every
+  /// subsequent check().
+  void assertBase(ExprRef E);
+
+  /// Decides base ∧ ⋀Assumed under a per-call conflict budget (negative =
+  /// unlimited). The \p Assumed formulas hold for this call only; their
+  /// Tseitin encodings, bridge clauses, and any learned clauses are
+  /// retained for future calls.
+  SatResult check(const std::vector<ExprRef> &Assumed,
+                  int64_t MaxConflicts = -1);
+
+  /// SAT statistics of the last check() (per-call deltas).
+  int64_t conflicts() const { return LastConflicts; }
+  int64_t decisions() const { return LastDecisions; }
+  /// Cumulative statistics across the whole session.
+  int64_t totalConflicts() const { return Sat.numConflicts(); }
+  size_t numChecks() const { return Checks; }
+  /// Clauses retained in the warm solver (Tseitin definitions, bridges,
+  /// learned clauses) that later checks reuse instead of re-deriving.
+  size_t retainedClauses() const { return Sat.numClauses(); }
+  int64_t learnedClauses() const { return Sat.numLearnedClauses(); }
+  int numAtoms() const { return static_cast<int>(Encoder.atoms().size()); }
+
+  /// After a Sat check(): the atoms assigned true, for countermodel
+  /// diagnostics (sorted by printed form; deterministic across runs).
+  const std::vector<std::string> &modelAtoms() const { return LastModel; }
+
+private:
+  ExprRef normalize(ExprRef E);
+  ExprRef normalizeAtom(ExprRef E);
+  ExprRef canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B);
+  ExprRef eqObj(ExprRef A, ExprRef B);
+
+  /// Registers the theory atoms of a normalized formula and asserts the
+  /// bridge instances that mention at least one newly seen atom.
+  void ingest(ExprRef Normalized);
+  void collectTheoryAtoms(ExprRef E);
+  void emitNewBridges();
+  /// Collects the boolean atoms (non-propositional leaves) of a normalized
+  /// formula — the vocabulary a countermodel should be reported over.
+  /// \p Visited memoizes over the hash-consed DAG (connective nodes are
+  /// not in \p Out, so Out alone cannot stop re-traversal).
+  static void collectBoolAtoms(ExprRef E, std::set<ExprRef> &Out,
+                               std::set<ExprRef> &Visited);
+
+  ExprFactory &F;
+  SatSolver Sat;
+  Tseitin Encoder;
+
+  // Theory atom registries. Vectors preserve discovery order (the bridge
+  // emission order must not depend on pointer values); sets dedup.
+  std::vector<ExprRef> ObjTerms;
+  std::set<ExprRef> ObjTermSet;
+  std::vector<ExprRef> MapLookups;
+  std::vector<ExprRef> MemAtoms;
+  std::set<ExprRef> MemAtomSet;
+  std::vector<std::pair<ExprRef, detail::IntAtomInfo>> IntAtoms;
+  std::set<ExprRef> IntAtomSeen;
+
+  /// Atoms of the base formulas: a failing check's countermodel is
+  /// reported over base + current-query atoms only, not over every atom
+  /// the warm session has accumulated from earlier, unrelated queries.
+  std::set<ExprRef> BaseAtoms;
+
+  // High-water marks of the atoms already covered by emitted bridges.
+  size_t BridgedObjTerms = 0;
+  size_t BridgedMapLookups = 0;
+  size_t BridgedMemAtoms = 0;
+  size_t BridgedIntAtoms = 0;
+
+  size_t Checks = 0;
+  int64_t LastConflicts = 0;
+  int64_t LastDecisions = 0;
+  std::vector<std::string> LastModel;
+};
+
+/// One-shot eager SMT checker: the historical facade, each check() running
+/// in a fresh SmtSession. Kept for callers that decide a single formula
+/// set (and as the cold-start baseline the incremental benches compare
+/// against).
 class SmtSolver {
 public:
   explicit SmtSolver(ExprFactory &F) : F(F) {}
@@ -58,17 +171,9 @@ public:
 
   /// After a Sat check(): the atoms assigned true, for countermodel
   /// diagnostics.
-  std::vector<std::string> modelAtoms() const { return LastModel; }
+  const std::vector<std::string> &modelAtoms() const { return LastModel; }
 
 private:
-  ExprRef normalize(ExprRef E);
-  ExprRef normalizeAtom(ExprRef E);
-  ExprRef canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B);
-  ExprRef eqObj(ExprRef A, ExprRef B);
-
-  void collectBridges(const std::map<ExprRef, int> &Atoms,
-                      std::vector<ExprRef> &Bridges);
-
   ExprFactory &F;
   std::vector<ExprRef> Asserted;
   int64_t LastConflicts = 0;

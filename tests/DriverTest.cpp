@@ -168,6 +168,98 @@ TEST(DriverParallel, SubsetRunMatchesItsSlice) {
 }
 
 //===----------------------------------------------------------------------===//
+// Engine selection: the symbolic path must match the exhaustive one
+//===----------------------------------------------------------------------===//
+
+TEST(DriverEngines, EnumerationCoversBothEnginesExactlyOnce) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Both;
+  std::vector<JobRecord> Jobs = enumerateJobs(Fx.C, Opts);
+
+  Opts.Engine = EngineKind::Exhaustive;
+  size_t ExOnly = enumerateJobs(Fx.C, Opts).size();
+  Opts.Engine = EngineKind::Symbolic;
+  size_t SymOnly = enumerateJobs(Fx.C, Opts).size();
+
+  // "Both" doubles the commutativity jobs but never the inverse jobs.
+  size_t Inverses = buildInverseSpecs().size();
+  EXPECT_EQ(ExOnly, SymOnly);
+  EXPECT_EQ(Jobs.size(), 2 * ExOnly - Inverses);
+
+  std::set<std::string> Keys;
+  for (const JobRecord &J : Jobs) {
+    EXPECT_TRUE(J.Engine == "exhaustive" || J.Engine == "symbolic")
+        << J.key();
+    if (J.Category == "inverse") {
+      EXPECT_EQ(J.Engine, "exhaustive");
+    }
+    Keys.insert(J.key());
+  }
+  EXPECT_EQ(Keys.size(), Jobs.size());
+}
+
+TEST(DriverEngines, SymbolicMatchesExhaustiveOnFullCatalog) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Bounds = smallScope();
+  Opts.Engine = EngineKind::Both;
+  Opts.SymbolicSeqLenBound = 2;
+  Opts.Threads = 4;
+
+  Report R = runFullCatalog(Fx.C, Opts);
+  EXPECT_EQ(R.failures(), 0u);
+
+  // Pair every symbolic commutativity verdict with its exhaustive twin.
+  std::map<std::string, bool> Exhaustive;
+  for (const JobRecord &J : R.Results)
+    if (J.Category == "commutativity" && J.Engine == "exhaustive")
+      Exhaustive[J.Family + "/" + J.Op1 + "/" + J.Op2 + "/" + J.Kind + "/" +
+                 J.Role] = J.Verified;
+
+  size_t SymbolicJobs = 0;
+  uint64_t TotalVcs = 0;
+  for (const JobRecord &J : R.Results) {
+    if (J.Engine != "symbolic")
+      continue;
+    ++SymbolicJobs;
+    TotalVcs += J.Vcs;
+    std::string Key = J.Family + "/" + J.Op1 + "/" + J.Op2 + "/" + J.Kind +
+                      "/" + J.Role;
+    ASSERT_TRUE(Exhaustive.count(Key)) << Key;
+    EXPECT_EQ(J.Verified, Exhaustive[Key]) << Key;
+    EXPECT_GT(J.Vcs, 0u) << Key;
+  }
+  EXPECT_EQ(SymbolicJobs, Exhaustive.size());
+  EXPECT_GT(TotalVcs, SymbolicJobs); // ArrayList case splits multiply VCs.
+}
+
+TEST(DriverEngines, SymbolicVerdictsAreThreadCountInvariant) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.SymbolicSeqLenBound = 3;
+
+  Opts.Threads = 1;
+  Report Serial = runFullCatalog(Fx.C, Opts);
+  Opts.Threads = 8;
+  Report Parallel = runFullCatalog(Fx.C, Opts);
+
+  EXPECT_TRUE(Serial.sameVerdicts(Parallel));
+  EXPECT_TRUE(Parallel.sameVerdicts(Serial));
+  EXPECT_EQ(Serial.failures(), 0u);
+  EXPECT_EQ(Parallel.failures(), 0u);
+
+  // Solver statistics are a function of the job, not of scheduling.
+  for (size_t I = 0; I != Serial.Results.size(); ++I) {
+    EXPECT_EQ(Serial.Results[I].Vcs, Parallel.Results[I].Vcs)
+        << Serial.Results[I].key();
+    EXPECT_EQ(Serial.Results[I].Conflicts, Parallel.Results[I].Conflicts)
+        << Serial.Results[I].key();
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // JSON report round-trip
 //===----------------------------------------------------------------------===//
 
@@ -220,6 +312,61 @@ TEST(DriverReport, JsonRoundTrips) {
   json::Value NotOurs = json::Value::object();
   NotOurs.set("tool", json::Value::string("something-else"));
   EXPECT_FALSE(Report::fromJson(NotOurs).has_value());
+}
+
+TEST(DriverReport, EngineAndSolverStatsRoundTrip) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Bounds = smallScope();
+  Opts.Families = {"Set"};
+  Opts.Engine = EngineKind::Both;
+  Opts.Threads = 2;
+
+  Report R = runFullCatalog(Fx.C, Opts);
+  std::optional<Report> Back = Report::fromJson(R.toJson());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(R.sameVerdicts(*Back));
+  ASSERT_EQ(Back->Results.size(), R.Results.size());
+  for (size_t I = 0; I != R.Results.size(); ++I) {
+    EXPECT_EQ(Back->Results[I].Engine, R.Results[I].Engine);
+    EXPECT_EQ(Back->Results[I].Vcs, R.Results[I].Vcs);
+    EXPECT_EQ(Back->Results[I].Conflicts, R.Results[I].Conflicts);
+    EXPECT_EQ(Back->Results[I].MaxVcConflicts, R.Results[I].MaxVcConflicts);
+    EXPECT_EQ(Back->Results[I].RetainedClauses,
+              R.Results[I].RetainedClauses);
+  }
+  ASSERT_EQ(Back->Families.size(), R.Families.size());
+  for (size_t I = 0; I != R.Families.size(); ++I) {
+    EXPECT_EQ(Back->Families[I].Vcs, R.Families[I].Vcs);
+    EXPECT_EQ(Back->Families[I].Conflicts, R.Families[I].Conflicts);
+  }
+  // The round-tripped report re-serializes byte-identically.
+  EXPECT_EQ(Back->toJson().dump(2), R.toJson().dump(2));
+}
+
+TEST(DriverReport, LegacyReportsWithoutEngineFieldReadAsExhaustive) {
+  // Reports written before the engine field existed must parse with the
+  // exhaustive engine filled in (keys and verdict comparison depend on it).
+  const char *Doc = R"({
+    "tool": "semcommute-verify",
+    "threads": 1,
+    "wall_ms": 1.5,
+    "scope": {"set_universe": 2, "map_keys": 2, "map_vals": 2,
+              "seq_vals": 2, "max_seq_len": 2, "counter_range": 1},
+    "families": [],
+    "results": [{"family": "Set", "category": "commutativity",
+                 "op1": "add_", "op2": "add_", "kind": "before",
+                 "role": "soundness", "verified": true, "scenarios": 4,
+                 "ms": 0.5}]
+  })";
+  std::optional<json::Value> V = json::Value::parse(Doc);
+  ASSERT_TRUE(V.has_value());
+  std::optional<Report> R = Report::fromJson(*V);
+  ASSERT_TRUE(R.has_value());
+  ASSERT_EQ(R->Results.size(), 1u);
+  EXPECT_EQ(R->Results[0].Engine, "exhaustive");
+  EXPECT_EQ(R->Results[0].key(),
+            "Set/commutativity/exhaustive/add_/add_/before/soundness");
 }
 
 TEST(DriverReport, SameVerdictsDetectsDifferences) {

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace semcomm;
 
 // --- Value ------------------------------------------------------------------
@@ -99,6 +101,57 @@ TEST(FactoryTest, SubstitutionShadowsBoundVariables) {
   // The bound j must not be replaced; i1 must be.
   ExprRef Expected = F.forallInt("j", F.intConst(0), F.intConst(3),
                                  F.eq(J, F.intConst(1)));
+  EXPECT_EQ(Sub, Expected);
+}
+
+TEST(FactoryTest, ConcurrentInterningGivesOneIdentityPerStructure) {
+  // The parallel symbolic driver path shares one factory across workers:
+  // racing threads interning the same structures must converge on the same
+  // node pointers (pointer equality stays structural equality).
+  ExprFactory F;
+  constexpr int NumThreads = 8, NumExprs = 200;
+  std::vector<std::vector<ExprRef>> PerThread(NumThreads);
+  {
+    std::vector<std::thread> Threads;
+    for (int T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&F, &PerThread, T] {
+        std::vector<ExprRef> &Out = PerThread[T];
+        for (int I = 0; I < NumExprs; ++I) {
+          ExprRef V = F.var("x" + std::to_string(I % 40), Sort::Int);
+          ExprRef E = F.le(F.add(V, F.intConst(I % 7)), F.intConst(I % 11));
+          Out.push_back(F.disj({E, F.lnot(E)}));
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  for (int T = 1; T < NumThreads; ++T)
+    for (int I = 0; I < NumExprs; ++I)
+      ASSERT_EQ(PerThread[0][I], PerThread[T][I]) << "thread " << T
+                                                  << " expr " << I;
+  // And the node count reflects one allocation per distinct structure:
+  // re-interning from a single thread must not add anything.
+  size_t Nodes = F.numNodes();
+  for (int I = 0; I < NumExprs; ++I) {
+    ExprRef V = F.var("x" + std::to_string(I % 40), Sort::Int);
+    ExprRef E = F.le(F.add(V, F.intConst(I % 7)), F.intConst(I % 11));
+    F.disj({E, F.lnot(E)});
+  }
+  EXPECT_EQ(F.numNodes(), Nodes);
+}
+
+TEST(FactoryTest, SubstituteIsLinearOnSharedDags) {
+  // A deep, fully shared DAG: x_{k+1} = x_k + x_k. Without memoization the
+  // rewrite visits 2^40 nodes; with it the call returns instantly.
+  ExprFactory F;
+  ExprRef X = F.var("x", Sort::Int);
+  ExprRef Cur = X;
+  for (int I = 0; I < 40; ++I)
+    Cur = F.add(Cur, Cur);
+  ExprRef Sub = F.substitute(Cur, {{"x", F.var("y", Sort::Int)}});
+  ExprRef Expected = F.var("y", Sort::Int);
+  for (int I = 0; I < 40; ++I)
+    Expected = F.add(Expected, Expected);
   EXPECT_EQ(Sub, Expected);
 }
 

@@ -157,6 +157,188 @@ TEST_P(SatFuzzTest, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SatFuzzTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// --- Incremental solving ------------------------------------------------------
+
+namespace {
+
+/// Builds PHP(Holes+1, Holes) with every clause gated behind \p Sel.
+std::vector<std::vector<int>> gatedPigeonhole(SatSolver &S, int Holes,
+                                              Lit Sel) {
+  int Pigeons = Holes + 1;
+  std::vector<std::vector<int>> Var(Pigeons, std::vector<int>(Holes));
+  for (auto &Row : Var)
+    for (int &V : Row)
+      V = S.addVar();
+  for (int P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> C{Sel.negated()};
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(Lit(Var[P][H], true));
+    S.addClause(C);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause({Sel.negated(), Lit(Var[P1][H], false),
+                     Lit(Var[P2][H], false)});
+  return Var;
+}
+
+} // namespace
+
+TEST(SatSolverIncremental, AssumptionsDoNotPersist) {
+  SatSolver S;
+  int A = S.addVar(), B = S.addVar();
+  S.addClause({Lit(A, true), Lit(B, true)});
+  EXPECT_EQ(S.solve({Lit(A, false), Lit(B, false)}), SatResult::Unsat);
+  // The assumptions were per-call: the database itself is still Sat, in
+  // both polarities.
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_EQ(S.solve({Lit(A, true)}), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_EQ(S.solve({Lit(A, false)}), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatSolverIncremental, ContradictoryAssumptions) {
+  SatSolver S;
+  int A = S.addVar();
+  S.addVar();
+  EXPECT_EQ(S.solve({Lit(A, true), Lit(A, false)}), SatResult::Unsat);
+  // Both halves of the contradiction are in the core.
+  const std::vector<Lit> &Core = S.unsatCore();
+  EXPECT_EQ(Core.size(), 2u);
+  EXPECT_TRUE(std::find(Core.begin(), Core.end(), Lit(A, true)) !=
+              Core.end());
+  EXPECT_TRUE(std::find(Core.begin(), Core.end(), Lit(A, false)) !=
+              Core.end());
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(SatSolverIncremental, UnsatCoreIsRelevantSubset) {
+  SatSolver S;
+  int A = S.addVar(), B = S.addVar(), C = S.addVar(), X = S.addVar();
+  S.addClause({Lit(A, false), Lit(X, true)});  // a -> x
+  S.addClause({Lit(B, false), Lit(X, false)}); // b -> ~x
+  ASSERT_EQ(S.solve({Lit(A, true), Lit(C, true), Lit(B, true)}),
+            SatResult::Unsat);
+  std::vector<Lit> Core = S.unsatCore();
+  EXPECT_TRUE(std::find(Core.begin(), Core.end(), Lit(A, true)) !=
+              Core.end());
+  EXPECT_TRUE(std::find(Core.begin(), Core.end(), Lit(B, true)) !=
+              Core.end());
+  EXPECT_TRUE(std::find(Core.begin(), Core.end(), Lit(C, true)) ==
+              Core.end());
+  // The core alone reproduces the contradiction.
+  EXPECT_EQ(S.solve(Core), SatResult::Unsat);
+  // And without b the instance is satisfiable again.
+  EXPECT_EQ(S.solve({Lit(A, true), Lit(C, true)}), SatResult::Sat);
+}
+
+TEST(SatSolverIncremental, LearnedClausesSurviveAcrossCalls) {
+  SatSolver S;
+  Lit Sel(S.addVar(), true);
+  gatedPigeonhole(S, 4, Sel);
+
+  int64_t Before = S.numConflicts();
+  ASSERT_EQ(S.solve({Sel}), SatResult::Unsat);
+  int64_t FirstRun = S.numConflicts() - Before;
+  EXPECT_GT(FirstRun, 0);
+  EXPECT_GT(S.numLearnedClauses(), 0);
+
+  // The refutation lemmas are conditioned only on the activation literal,
+  // so re-asking the same query is cheaper than deriving it cold.
+  int64_t Learned = S.numLearnedClauses();
+  Before = S.numConflicts();
+  ASSERT_EQ(S.solve({Sel}), SatResult::Unsat);
+  int64_t SecondRun = S.numConflicts() - Before;
+  EXPECT_LT(SecondRun, FirstRun);
+  EXPECT_GE(S.numLearnedClauses(), Learned);
+
+  // Deactivated, the gated group is irrelevant.
+  EXPECT_EQ(S.solve({Sel.negated()}), SatResult::Sat);
+}
+
+TEST(SatSolverIncremental, ClausesMayBeAddedBetweenSolves) {
+  SatSolver S;
+  int A = S.addVar(), B = S.addVar();
+  S.addClause({Lit(A, true), Lit(B, true)});
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  S.addClause({Lit(A, false)});
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  S.addClause({Lit(B, false)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+// Property sweep: on random instances, solving under assumptions agrees
+// with a fresh solver that carries the assumptions as unit clauses.
+class SatIncrementalFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatIncrementalFuzzTest, AssumptionsAgreeWithFreshSolver) {
+  std::mt19937 Rng(GetParam());
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    int NV = 3 + static_cast<int>(Rng() % 9);
+    int NC = 2 + static_cast<int>(Rng() % (NV * 4));
+    std::vector<std::vector<int>> Cls;
+    for (int C = 0; C < NC; ++C) {
+      int Len = 1 + static_cast<int>(Rng() % 4);
+      std::vector<int> Clause;
+      for (int I = 0; I < Len; ++I) {
+        int V = 1 + static_cast<int>(Rng() % NV);
+        Clause.push_back((Rng() & 1) ? V : -V);
+      }
+      Cls.push_back(Clause);
+    }
+
+    // One warm solver answers a sequence of assumption sets...
+    SatSolver Warm;
+    for (int V = 0; V < NV; ++V)
+      Warm.addVar();
+    for (const auto &Clause : Cls) {
+      std::vector<Lit> Lits;
+      for (int L : Clause)
+        Lits.push_back(Lit(L > 0 ? L : -L, L > 0));
+      Warm.addClause(Lits);
+    }
+
+    for (int Round = 0; Round < 8; ++Round) {
+      std::vector<Lit> Assumps;
+      int NA = static_cast<int>(Rng() % 4);
+      for (int I = 0; I < NA; ++I) {
+        int V = 1 + static_cast<int>(Rng() % NV);
+        Assumps.push_back(Lit(V, (Rng() & 1) != 0));
+      }
+      SatResult Got = Warm.solve(Assumps);
+
+      // ...a cold solver with the assumptions as units is the reference.
+      SatSolver Fresh;
+      for (int V = 0; V < NV; ++V)
+        Fresh.addVar();
+      for (const auto &Clause : Cls) {
+        std::vector<Lit> Lits;
+        for (int L : Clause)
+          Lits.push_back(Lit(L > 0 ? L : -L, L > 0));
+        Fresh.addClause(Lits);
+      }
+      for (Lit A : Assumps)
+        Fresh.addClause({A});
+      SatResult Want = Fresh.solve();
+
+      ASSERT_EQ(Got, Want) << "seed=" << GetParam() << " iter=" << Iter
+                           << " round=" << Round;
+      if (Got == SatResult::Unsat && !Warm.unsatCore().empty()) {
+        // The reported core must itself be contradictory.
+        ASSERT_EQ(Warm.solve(Warm.unsatCore()), SatResult::Unsat);
+      }
+      if (Warm.solve() == SatResult::Unsat)
+        break; // Database itself became Unsat; later rounds are trivial.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatIncrementalFuzzTest,
+                         ::testing::Values(3, 7, 31, 127));
+
 // --- Tseitin ------------------------------------------------------------------
 
 TEST(TseitinTest, RoundTripSemantics) {
@@ -360,3 +542,72 @@ TEST_P(SmtFuzzTest, FacadeAgreesWithEnumeration) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SmtFuzzTest, ::testing::Values(11, 22, 33, 44));
+
+// --- SmtSession: incremental facade ------------------------------------------
+
+TEST(SmtSessionTest, QueriesDoNotContaminateLaterChecks) {
+  ExprFactory F;
+  ExprRef X = F.var("x", Sort::Int);
+  SmtSession S(F);
+  EXPECT_EQ(S.check({F.eq(X, F.intConst(1))}), SatResult::Sat);
+  EXPECT_EQ(S.check({F.eq(X, F.intConst(2))}), SatResult::Sat);
+  EXPECT_EQ(S.check({F.eq(X, F.intConst(1)), F.eq(X, F.intConst(2))}),
+            SatResult::Unsat);
+  // The failed query was per-call; the session is not poisoned.
+  EXPECT_EQ(S.check({F.eq(X, F.intConst(1))}), SatResult::Sat);
+}
+
+TEST(SmtSessionTest, BaseFormulasPersistAcrossChecks) {
+  ExprFactory F;
+  Vocab Dl(F);
+  SmtSession S(F);
+  S.assertBase(F.ne(Dl.V1, Dl.V2));
+  EXPECT_EQ(S.check({}), SatResult::Sat);
+  EXPECT_EQ(S.check({F.eq(Dl.V1, Dl.V2)}), SatResult::Unsat);
+  EXPECT_EQ(S.check({}), SatResult::Sat);
+  // Base grows monotonically.
+  S.assertBase(F.eq(Dl.V1, Dl.V2));
+  EXPECT_EQ(S.check({}), SatResult::Unsat);
+}
+
+TEST(SmtSessionTest, RetainsEncodingAcrossChecks) {
+  ExprFactory F;
+  Vocab Dl(F);
+  ExprRef S0 = F.var("S0", Sort::State);
+  SmtSession S(F);
+  S.assertBase(F.setContains(S0, Dl.V1));
+  ASSERT_EQ(S.check({F.eq(Dl.V1, Dl.V2), F.lnot(F.setContains(S0, Dl.V2))}),
+            SatResult::Unsat);
+  size_t Retained = S.retainedClauses();
+  EXPECT_GT(Retained, 0u);
+  // Re-checking the same split re-uses the retained encoding: no new
+  // clauses are needed at all.
+  ASSERT_EQ(S.check({F.eq(Dl.V1, Dl.V2), F.lnot(F.setContains(S0, Dl.V2))}),
+            SatResult::Unsat);
+  EXPECT_EQ(S.retainedClauses(), Retained);
+  EXPECT_EQ(S.numChecks(), 2u);
+}
+
+// The incremental session must agree with the one-shot facade (and hence
+// with ground-truth enumeration) on every query of a long random sequence
+// sharing one warm session — bridges and learned clauses accumulate, the
+// verdicts must not drift.
+class SmtSessionFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmtSessionFuzzTest, WarmSessionAgreesWithEnumeration) {
+  std::mt19937 Rng(GetParam());
+  ExprFactory F;
+  SmtSession Session(F);
+  for (int Iter = 0; Iter < 80; ++Iter) {
+    ExprRef Phi = randomFormula(F, Rng, 3);
+    SatResult Got = Session.check({Phi});
+    ASSERT_NE(Got, SatResult::Unknown);
+    bool Expected = satisfiableByEnumeration(Phi);
+    ASSERT_EQ(Got == SatResult::Sat, Expected)
+        << "seed=" << GetParam() << " iter=" << Iter;
+  }
+  EXPECT_EQ(Session.numChecks(), 80u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtSessionFuzzTest,
+                         ::testing::Values(5, 55, 555));

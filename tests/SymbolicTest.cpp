@@ -103,6 +103,53 @@ TEST(SymbolicEngineTest, RejectsIncompleteMapMutant) {
   EXPECT_FALSE(R.Verified);
 }
 
+TEST(SymbolicEngineTest, IncrementalSessionReportsReuseStats) {
+  SymbolicFixture &Fx = fixture();
+  // An ArrayList method has many case splits; the warm session must carry
+  // clauses across them.
+  for (const TestingMethod &M :
+       generateTestingMethods(Fx.C, arrayListFamily())) {
+    SymbolicResult R = Fx.Engine.verify(M);
+    ASSERT_TRUE(R.Verified) << M.name();
+    EXPECT_GT(R.NumVcs, 1u) << M.name();
+    EXPECT_GT(R.RetainedClauses, 0u) << M.name();
+    EXPECT_GE(R.SatConflicts, R.MaxVcConflicts) << M.name();
+    break; // One method suffices; the full sweep runs above.
+  }
+}
+
+TEST(SymbolicEngineTest, OneShotAndIncrementalModesAgree) {
+  // The warm-session optimization must be invisible in the verdicts: both
+  // modes verify the full ArrayList suite (the split-heavy family) and
+  // reject the same mutants.
+  SymbolicFixture &Fx = fixture();
+  SymbolicEngine OneShot(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                         SolveMode::OneShot);
+  SymbolicEngine Incremental(Fx.F, /*SeqLenBound=*/2,
+                             /*ConflictBudget=*/200000,
+                             SolveMode::Incremental);
+  for (const TestingMethod &M :
+       generateTestingMethods(Fx.C, arrayListFamily())) {
+    SymbolicResult A = OneShot.verify(M);
+    SymbolicResult B = Incremental.verify(M);
+    EXPECT_EQ(A.Verified, B.Verified) << M.name();
+    EXPECT_EQ(A.NumVcs, B.NumVcs) << M.name();
+    EXPECT_EQ(A.RetainedClauses, 0u) << M.name();
+  }
+
+  Vocab D(Fx.F);
+  const ConditionEntry &Real =
+      Fx.C.entry(arrayListFamily(), "add_at", "get");
+  ConditionEntry Mutant = Real;
+  Mutant.Before = Mutant.Between = Mutant.After = D.ne(D.I1, D.I2);
+  TestingMethod M;
+  M.Entry = &Mutant;
+  M.Kind = ConditionKind::Before;
+  M.Role = MethodRole::Soundness;
+  EXPECT_FALSE(OneShot.verify(M).Verified);
+  EXPECT_FALSE(Incremental.verify(M).Verified);
+}
+
 TEST(SymbolicEngineTest, EnginesAgreeOnRandomizedWeakenings) {
   // Drop one clause from every multi-clause set/map between condition and
   // confirm both engines give the same verdicts for both roles.

@@ -9,6 +9,7 @@
 #include "DriverCore.h"
 
 #include "commute/ExhaustiveEngine.h"
+#include "commute/SymbolicEngine.h"
 #include "inverse/InverseVerifier.h"
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
@@ -23,6 +24,18 @@ using namespace semcomm::driver;
 //===----------------------------------------------------------------------===//
 // Job enumeration
 //===----------------------------------------------------------------------===//
+
+const char *driver::engineKindName(EngineKind E) {
+  switch (E) {
+  case EngineKind::Exhaustive:
+    return "exhaustive";
+  case EngineKind::Symbolic:
+    return "symbolic";
+  case EngineKind::Both:
+    return "both";
+  }
+  return "exhaustive";
+}
 
 std::vector<const Family *>
 driver::resolveFamilies(const std::vector<std::string> &Names,
@@ -61,29 +74,39 @@ std::vector<JobRecord> driver::enumerateJobs(const Catalog &C,
   std::string Error;
   std::vector<const Family *> Fams = resolveFamilies(Opts.Families, Error);
 
+  std::vector<EngineKind> Engines;
+  if (Opts.Engine == EngineKind::Both)
+    Engines = {EngineKind::Exhaustive, EngineKind::Symbolic};
+  else
+    Engines = {Opts.Engine};
+
   std::vector<JobRecord> Jobs;
   for (const Family *Fam : Fams) {
     if (Opts.Commutativity)
-      for (const ConditionEntry &E : C.entries(*Fam))
-        for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
-                                ConditionKind::After})
-          for (MethodRole R :
-               {MethodRole::Soundness, MethodRole::Completeness}) {
-            JobRecord J;
-            J.Family = Fam->Name;
-            J.Category = "commutativity";
-            J.Op1 = E.op1().Name;
-            J.Op2 = E.op2().Name;
-            J.Kind = conditionKindName(K);
-            J.Role = methodRoleName(R);
-            Jobs.push_back(std::move(J));
-          }
+      for (EngineKind Eng : Engines)
+        for (const ConditionEntry &E : C.entries(*Fam))
+          for (ConditionKind K : {ConditionKind::Before,
+                                  ConditionKind::Between,
+                                  ConditionKind::After})
+            for (MethodRole R :
+                 {MethodRole::Soundness, MethodRole::Completeness}) {
+              JobRecord J;
+              J.Family = Fam->Name;
+              J.Category = "commutativity";
+              J.Engine = engineKindName(Eng);
+              J.Op1 = E.op1().Name;
+              J.Op2 = E.op2().Name;
+              J.Kind = conditionKindName(K);
+              J.Role = methodRoleName(R);
+              Jobs.push_back(std::move(J));
+            }
     if (Opts.Inverses)
       for (const InverseSpec &S : buildInverseSpecs())
         if (S.Fam == Fam) {
           JobRecord J;
           J.Family = Fam->Name;
           J.Category = "inverse";
+          J.Engine = engineKindName(EngineKind::Exhaustive);
           J.Op1 = S.OpName;
           Jobs.push_back(std::move(J));
         }
@@ -98,26 +121,44 @@ std::vector<JobRecord> driver::enumerateJobs(const Catalog &C,
 namespace {
 
 /// Everything a worker needs to execute one job without touching shared
-/// mutable state. Conditions and inverse specs are resolved up front, on
-/// the main thread, so workers only evaluate.
+/// mutable state (exhaustive) or through anything but the lock-striped
+/// factory (symbolic). Conditions and inverse specs are resolved up front,
+/// on the main thread, so workers only evaluate.
 struct PreparedJob {
   // Commutativity payload.
   const Family *Fam = nullptr;
   const ConditionEntry *Entry = nullptr;
   ConditionKind Kind = ConditionKind::Before;
   MethodRole Role = MethodRole::Soundness;
+  bool Symbolic = false;
   // Inverse payload (Inverse != nullptr selects it).
   const InverseSpec *Inverse = nullptr;
 };
 
-void runJob(const ExhaustiveEngine &Engine, const Scope &Bounds,
-            const PreparedJob &P, JobRecord &Out) {
+void runJob(const ExhaustiveEngine &Engine, const Catalog &C,
+            const DriverOptions &Opts, const PreparedJob &P, JobRecord &Out) {
   Stopwatch Timer;
   if (P.Inverse) {
-    InverseVerifyResult R = verifyInverse(*P.Inverse, Bounds);
+    InverseVerifyResult R = verifyInverse(*P.Inverse, Opts.Bounds);
     Out.Verified = R.Verified;
     Out.Scenarios = R.ScenariosChecked;
     Out.Note = R.FailureNote;
+  } else if (P.Symbolic) {
+    SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
+                       Opts.SymbolicConflictBudget);
+    TestingMethod M;
+    M.Entry = P.Entry;
+    M.Kind = P.Kind;
+    M.Role = P.Role;
+    SymbolicResult R = Sym.verify(M);
+    Out.Verified = R.Verified;
+    Out.Scenarios = R.NumVcs;
+    Out.Vcs = R.NumVcs;
+    Out.Conflicts = R.SatConflicts;
+    Out.MaxVcConflicts = R.MaxVcConflicts;
+    Out.RetainedClauses = R.RetainedClauses;
+    if (!R.Verified)
+      Out.Note = R.Countermodel;
   } else {
     VerifyResult R =
         Engine.verifyCondition(*P.Fam, P.Entry->op1().Name,
@@ -162,6 +203,7 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
         if (S.Fam == P.Fam && S.OpName == J.Op1)
           P.Inverse = &S;
     } else {
+      P.Symbolic = J.Engine == engineKindName(EngineKind::Symbolic);
       P.Entry = &C.entry(*P.Fam, J.Op1, J.Op2);
       for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
                               ConditionKind::After})
@@ -178,8 +220,8 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   {
     ThreadPool Pool(Opts.Threads == 0 ? 1 : Opts.Threads);
     for (size_t I = 0; I != Jobs.size(); ++I)
-      Pool.submit([&Engine, &Opts, &Prepared, &Jobs, I] {
-        runJob(Engine, Opts.Bounds, Prepared[I], Jobs[I]);
+      Pool.submit([&Engine, &C, &Opts, &Prepared, &Jobs, I] {
+        runJob(Engine, C, Opts, Prepared[I], Jobs[I]);
       });
     Pool.wait();
   }
@@ -203,6 +245,8 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
           ++S.Failures;
         S.JobMillis += J.Millis;
         S.Scenarios += J.Scenarios;
+        S.Vcs += J.Vcs;
+        S.Conflicts += J.Conflicts;
       }
     R.Families.push_back(std::move(S));
   }
@@ -261,6 +305,8 @@ json::Value Report::toJson() const {
     F.set("job_ms", json::Value::number(S.JobMillis));
     F.set("scenarios", json::Value::integer(
                            static_cast<int64_t>(S.Scenarios)));
+    F.set("vcs", json::Value::integer(static_cast<int64_t>(S.Vcs)));
+    F.set("sat_conflicts", json::Value::integer(S.Conflicts));
     FamArr.push(std::move(F));
   }
   Root.set("families", std::move(FamArr));
@@ -270,6 +316,7 @@ json::Value Report::toJson() const {
     json::Value R = json::Value::object();
     R.set("family", json::Value::string(J.Family));
     R.set("category", json::Value::string(J.Category));
+    R.set("engine", json::Value::string(J.Engine));
     R.set("op1", json::Value::string(J.Op1));
     R.set("op2", json::Value::string(J.Op2));
     R.set("kind", json::Value::string(J.Kind));
@@ -278,6 +325,14 @@ json::Value Report::toJson() const {
     R.set("scenarios",
           json::Value::integer(static_cast<int64_t>(J.Scenarios)));
     R.set("ms", json::Value::number(J.Millis));
+    if (J.Vcs != 0) {
+      // Solver statistics only exist on the symbolic path.
+      R.set("vcs", json::Value::integer(static_cast<int64_t>(J.Vcs)));
+      R.set("sat_conflicts", json::Value::integer(J.Conflicts));
+      R.set("max_vc_conflicts", json::Value::integer(J.MaxVcConflicts));
+      R.set("retained_clauses",
+            json::Value::integer(static_cast<int64_t>(J.RetainedClauses)));
+    }
     if (!J.Note.empty())
       R.set("note", json::Value::string(J.Note));
     ResArr.push(std::move(R));
@@ -324,6 +379,10 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
         static_cast<unsigned>(F["paper_conditions"].asInt());
     Sum.JobMillis = F["job_ms"].asDouble();
     Sum.Scenarios = static_cast<uint64_t>(F["scenarios"].asInt());
+    if (const json::Value *V2 = F.find("vcs"))
+      Sum.Vcs = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = F.find("sat_conflicts"))
+      Sum.Conflicts = V2->asInt();
     R.Families.push_back(std::move(Sum));
   }
 
@@ -335,6 +394,10 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
     JobRecord J;
     J.Family = Res["family"].asString();
     J.Category = Res["category"].asString();
+    if (const json::Value *Eng = Res.find("engine"))
+      J.Engine = Eng->asString();
+    else
+      J.Engine = engineKindName(EngineKind::Exhaustive);
     J.Op1 = Res["op1"].asString();
     J.Op2 = Res["op2"].asString();
     J.Kind = Res["kind"].asString();
@@ -342,6 +405,14 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
     J.Verified = Res["verified"].isBool() && Res["verified"].asBool();
     J.Scenarios = static_cast<uint64_t>(Res["scenarios"].asInt());
     J.Millis = Res["ms"].asDouble();
+    if (const json::Value *V2 = Res.find("vcs"))
+      J.Vcs = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = Res.find("sat_conflicts"))
+      J.Conflicts = V2->asInt();
+    if (const json::Value *V2 = Res.find("max_vc_conflicts"))
+      J.MaxVcConflicts = V2->asInt();
+    if (const json::Value *V2 = Res.find("retained_clauses"))
+      J.RetainedClauses = static_cast<uint64_t>(V2->asInt());
     if (const json::Value *Note = Res.find("note"))
       J.Note = Note->asString();
     R.Results.push_back(std::move(J));
@@ -380,6 +451,20 @@ std::string driver::renderSummary(const Report &R) {
                 "total", TotalJobs, TotalFailures, TotalConds,
                 static_cast<unsigned long long>(TotalScenarios), TotalMillis);
   Out += Buf;
+  uint64_t TotalVcs = 0;
+  int64_t TotalConflicts = 0;
+  for (const FamilySummary &S : R.Families) {
+    TotalVcs += S.Vcs;
+    TotalConflicts += S.Conflicts;
+  }
+  if (TotalVcs != 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "symbolic path: %llu VCs discharged, %lld CDCL "
+                  "conflicts\n",
+                  static_cast<unsigned long long>(TotalVcs),
+                  static_cast<long long>(TotalConflicts));
+    Out += Buf;
+  }
   std::snprintf(Buf, sizeof(Buf),
                 "wall time %.1f ms on %u thread%s; %u verification "
                 "failure%s\n",

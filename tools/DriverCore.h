@@ -33,6 +33,13 @@
 namespace semcomm {
 namespace driver {
 
+/// Which verification engine(s) discharge the commutativity jobs. The
+/// inverse catalog (Table 5.10) is concrete-execution by construction and
+/// always runs on the exhaustive path.
+enum class EngineKind : uint8_t { Exhaustive, Symbolic, Both };
+
+const char *engineKindName(EngineKind E);
+
 /// What to verify and how wide to fan out.
 struct DriverOptions {
   /// Family names to include; empty means all four.
@@ -43,8 +50,14 @@ struct DriverOptions {
   bool Commutativity = true;
   /// Include the inverse-operation catalog (Table 5.10).
   bool Inverses = true;
+  /// Engine selection for the commutativity jobs.
+  EngineKind Engine = EngineKind::Exhaustive;
   /// Enumeration bounds handed to the exhaustive engine.
   Scope Bounds;
+  /// ArrayList case-split bound handed to the symbolic engine.
+  int SymbolicSeqLenBound = 3;
+  /// Per-VC CDCL conflict budget for the symbolic engine.
+  int64_t SymbolicConflictBudget = 200000;
 };
 
 /// One verification job and (after running) its outcome. Category is
@@ -53,18 +66,24 @@ struct DriverOptions {
 struct JobRecord {
   std::string Family;
   std::string Category;
+  std::string Engine; ///< "exhaustive" or "symbolic".
   std::string Op1, Op2;
   std::string Kind;
   std::string Role;
   bool Verified = false;
   uint64_t Scenarios = 0;
   double Millis = 0;
+  // Solver statistics (symbolic jobs; zero on the exhaustive path).
+  uint64_t Vcs = 0;             ///< VC instances discharged.
+  int64_t Conflicts = 0;        ///< Total CDCL conflicts.
+  int64_t MaxVcConflicts = 0;   ///< Largest single-VC conflict count.
+  uint64_t RetainedClauses = 0; ///< Warm-session clauses reused across VCs.
   std::string Note; ///< Counterexample or failure note when !Verified.
 
   /// Stable identity of the job (everything except the outcome).
   std::string key() const {
-    return Family + "/" + Category + "/" + Op1 + "/" + Op2 + "/" + Kind +
-           "/" + Role;
+    return Family + "/" + Category + "/" + Engine + "/" + Op1 + "/" + Op2 +
+           "/" + Kind + "/" + Role;
   }
 };
 
@@ -79,6 +98,9 @@ struct FamilySummary {
   /// Sum of per-job times (approximates CPU time across workers).
   double JobMillis = 0;
   uint64_t Scenarios = 0;
+  /// Symbolic-path aggregates (zero in exhaustive-only runs).
+  uint64_t Vcs = 0;
+  int64_t Conflicts = 0;
 };
 
 /// Everything a run produces; serializes to/from the JSON report.
@@ -115,8 +137,9 @@ std::vector<JobRecord> enumerateJobs(const Catalog &C,
 
 /// Runs every job of enumerateJobs(C, Opts) across Opts.Threads workers and
 /// aggregates the report. The catalog (and the families) must already be
-/// fully built: verification itself never touches the ExprFactory, which is
-/// what makes the jobs safe to run concurrently.
+/// fully built. Exhaustive jobs never touch the ExprFactory; symbolic jobs
+/// intern new expressions concurrently through the catalog's factory, which
+/// is safe because ExprFactory interning is lock-striped.
 Report runFullCatalog(const Catalog &C, const DriverOptions &Opts);
 
 /// Human-readable per-family timing table plus the overall verdict line.

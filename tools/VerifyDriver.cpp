@@ -37,6 +37,11 @@ void printUsage(const char *Argv0) {
       "options:\n"
       "  --families LIST   comma-separated families to verify: all (default),\n"
       "                    Accumulator, Set, Map, ArrayList\n"
+      "  --engine E        engine for the commutativity catalog: exhaustive\n"
+      "                    (default), symbolic, or both; the inverse catalog\n"
+      "                    always runs on the exhaustive path\n"
+      "  --seq-bound N     ArrayList case-split bound for the symbolic\n"
+      "                    engine (default: 3)\n"
       "  --threads N       worker threads (default: hardware concurrency)\n"
       "  --no-commute      skip the commutativity-condition catalog\n"
       "  --no-inverse      skip the inverse catalog (Table 5.10)\n"
@@ -89,6 +94,34 @@ int main(int argc, char **argv) {
       return 0;
     } else if (Arg == "--families") {
       Opts.Families = splitCommas(needValue("--families"));
+    } else if (Arg == "--engine") {
+      std::string E = needValue("--engine");
+      if (E == "exhaustive") {
+        Opts.Engine = EngineKind::Exhaustive;
+      } else if (E == "symbolic") {
+        Opts.Engine = EngineKind::Symbolic;
+      } else if (E == "both") {
+        Opts.Engine = EngineKind::Both;
+      } else {
+        std::fprintf(stderr,
+                     "unknown engine '%s' (expected exhaustive, symbolic or "
+                     "both)\n",
+                     E.c_str());
+        return 2;
+      }
+    } else if (Arg == "--seq-bound") {
+      const char *Val = needValue("--seq-bound");
+      char *End = nullptr;
+      long N = std::strtol(Val, &End, 10);
+      if (End == Val || *End != '\0' || N < 1) {
+        // A bound below 1 would make every ArrayList split vacuous and
+        // "verify" the family with zero VCs.
+        std::fprintf(stderr, "--seq-bound wants a positive integer, got "
+                             "'%s'\n",
+                     Val);
+        return 2;
+      }
+      Opts.SymbolicSeqLenBound = static_cast<int>(N);
     } else if (Arg == "--threads") {
       Opts.Threads = static_cast<unsigned>(
           std::strtoul(needValue("--threads"), nullptr, 10));
