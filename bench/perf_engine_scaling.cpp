@@ -8,10 +8,12 @@
 // §4.1's small-scope argument: the verdicts stabilize by scope 3 while the
 // cost grows combinatorially — the reason the default scope suffices.
 //
-// The symbolic section also compares the one-shot discharge strategy (a
-// fresh solver session per VC, the pre-incremental behavior) against the
-// warm assumption-based session, and emits machine-readable BENCH_JSON
-// lines that bench/run_all.sh collects into BENCH_semcommute.json.
+// The symbolic section compares the three discharge strategies — one-shot
+// session-per-VC, the per-method warm session, and the shared per-pair
+// session (selector literals, one warm solver for all six methods of an
+// op-pair) — and emits machine-readable BENCH_JSON lines that
+// bench/run_all.sh collects into BENCH_semcommute.json, including the
+// shared-pair over per-method speedup ratio and the clause-GC counters.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,8 +34,11 @@ struct SymbolicRun {
   unsigned Failures = 0;
   unsigned Methods = 0;
   uint64_t RetainedClauses = 0;
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
 };
 
+/// Per-method discharge (one engine call per testing method).
 SymbolicRun runSymbolicSuite(ExprFactory &F, const Catalog &C, int Bound,
                              SolveMode Mode) {
   SymbolicEngine Engine(F, Bound, /*ConflictBudget=*/200000, Mode);
@@ -45,8 +50,32 @@ SymbolicRun runSymbolicSuite(ExprFactory &F, const Catalog &C, int Bound,
     Out.Vcs += R.NumVcs;
     Out.Conflicts += R.SatConflicts;
     Out.RetainedClauses += R.RetainedClauses;
+    Out.DbReductions += R.DbReductions;
+    Out.ReclaimedClauses += R.ReclaimedClauses;
     Out.Failures += !R.Verified;
     ++Out.Methods;
+  }
+  Out.Seconds = W.seconds();
+  return Out;
+}
+
+/// Pair-grouped discharge: all six methods of each pair share one session.
+SymbolicRun runSharedPairSuite(ExprFactory &F, const Catalog &C, int Bound) {
+  SymbolicEngine Engine(F, Bound, /*ConflictBudget=*/200000,
+                        SolveMode::SharedPair);
+  SymbolicRun Out;
+  Stopwatch W;
+  for (const ConditionEntry &E : C.entries(arrayListFamily())) {
+    PairOutcome O = Engine.verifyPair(E);
+    for (const SymbolicResult &R : O.Methods) {
+      Out.Vcs += R.NumVcs;
+      Out.Failures += !R.Verified;
+      ++Out.Methods;
+    }
+    Out.Conflicts += O.Conflicts;
+    Out.RetainedClauses += O.RetainedClauses;
+    Out.DbReductions += O.DbReductions;
+    Out.ReclaimedClauses += O.ReclaimedClauses;
   }
   Out.Seconds = W.seconds();
   return Out;
@@ -82,32 +111,46 @@ int main() {
   }
 
   std::printf("\nSymbolic engine, full ArrayList method suite by length "
-              "bound,\none-shot session-per-VC vs incremental "
-              "assumption-based session:\n\n");
-  std::printf("%8s %10s %12s %12s %12s %10s\n", "bound", "methods", "VCs",
-              "oneshot(s)", "incr(s)", "speedup");
+              "bound:\none-shot session-per-VC vs per-method warm session "
+              "vs shared per-pair session:\n\n");
+  std::printf("%8s %10s %12s %12s %12s %12s %10s\n", "bound", "methods",
+              "VCs", "oneshot(s)", "method(s)", "pair(s)", "pair-gain");
   for (int Bound = 2; Bound <= 4; ++Bound) {
     // Untimed warm-up: intern this bound's expressions into the shared
-    // factory so neither timed leg pays first-time allocation.
-    runSymbolicSuite(F, C, Bound, SolveMode::Incremental);
+    // factory so no timed leg pays first-time allocation.
+    runSharedPairSuite(F, C, Bound);
     SymbolicRun OneShot = runSymbolicSuite(F, C, Bound, SolveMode::OneShot);
-    SymbolicRun Incr = runSymbolicSuite(F, C, Bound, SolveMode::Incremental);
-    double Speedup = Incr.Seconds > 0 ? OneShot.Seconds / Incr.Seconds : 0;
-    std::printf("%8d %10u %12llu %12.3f %12.3f %9.2fx%s\n", Bound,
-                Incr.Methods, (unsigned long long)Incr.Vcs, OneShot.Seconds,
-                Incr.Seconds, Speedup,
-                (OneShot.Failures || Incr.Failures) ? "  FAILURES!" : "");
+    SymbolicRun Method = runSymbolicSuite(F, C, Bound, SolveMode::PerMethod);
+    SymbolicRun Pair = runSharedPairSuite(F, C, Bound);
+    // The acceptance metric: shared-pair sessions must at least hold the
+    // line against the per-method incremental baseline.
+    double PairGain = Pair.Seconds > 0 ? Method.Seconds / Pair.Seconds : 0;
+    double IncrGain = Method.Seconds > 0 ? OneShot.Seconds / Method.Seconds
+                                         : 0;
+    unsigned Failures = OneShot.Failures + Method.Failures + Pair.Failures;
+    std::printf("%8d %10u %12llu %12.3f %12.3f %12.3f %9.2fx%s\n", Bound,
+                Pair.Methods, (unsigned long long)Pair.Vcs, OneShot.Seconds,
+                Method.Seconds, Pair.Seconds, PairGain,
+                Failures ? "  FAILURES!" : "");
     // Machine-readable line for bench/run_all.sh's aggregate baseline.
     std::printf("BENCH_JSON {\"bench\":\"perf_engine_scaling\","
                 "\"metric\":\"symbolic_arraylist_suite\",\"bound\":%d,"
                 "\"methods\":%u,\"vcs\":%llu,\"oneshot_s\":%.4f,"
-                "\"incremental_s\":%.4f,\"speedup\":%.3f,"
-                "\"oneshot_conflicts\":%lld,\"incremental_conflicts\":%lld,"
+                "\"per_method_s\":%.4f,\"shared_pair_s\":%.4f,"
+                "\"speedup\":%.3f,\"pair_over_method_speedup\":%.3f,"
+                "\"oneshot_conflicts\":%lld,\"per_method_conflicts\":%lld,"
+                "\"shared_pair_conflicts\":%lld,"
+                "\"shared_pair_retained_clauses\":%llu,"
+                "\"shared_pair_db_reductions\":%llu,"
+                "\"shared_pair_reclaimed_clauses\":%llu,"
                 "\"failures\":%u}\n",
-                Bound, Incr.Methods, (unsigned long long)Incr.Vcs,
-                OneShot.Seconds, Incr.Seconds, Speedup,
-                (long long)OneShot.Conflicts, (long long)Incr.Conflicts,
-                OneShot.Failures + Incr.Failures);
+                Bound, Pair.Methods, (unsigned long long)Pair.Vcs,
+                OneShot.Seconds, Method.Seconds, Pair.Seconds, IncrGain,
+                PairGain, (long long)OneShot.Conflicts,
+                (long long)Method.Conflicts, (long long)Pair.Conflicts,
+                (unsigned long long)Pair.RetainedClauses,
+                (unsigned long long)Pair.DbReductions,
+                (unsigned long long)Pair.ReclaimedClauses, Failures);
   }
   return 0;
 }

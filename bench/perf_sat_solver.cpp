@@ -47,6 +47,66 @@ BENCHMARK(BM_Pigeonhole)->Arg(5)->Arg(6)->Arg(7);
 
 namespace {
 
+/// PHP(Holes+1, Holes) with every clause gated behind a fresh selector —
+/// the conflict-heavy *warm* workload: repeated Unsat/Sat queries on one
+/// long-lived solver, where the learned database grows without bound
+/// unless reduceDb() trims it.
+int buildGatedPigeonhole(SatSolver &S, int Holes) {
+  int Sel = S.addVar();
+  int Pigeons = Holes + 1;
+  std::vector<std::vector<int>> Var(Pigeons, std::vector<int>(Holes));
+  for (auto &Row : Var)
+    for (int &V : Row)
+      V = S.addVar();
+  for (int P = 0; P < Pigeons; ++P) {
+    std::vector<Lit> C{Lit(Sel, false)};
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(Lit(Var[P][H], true));
+    S.addClause(C);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause({Lit(Sel, false), Lit(Var[P1][H], false),
+                     Lit(Var[P2][H], false)});
+  return Sel;
+}
+
+void runWarmPigeonhole(benchmark::State &State, bool GcEnabled) {
+  int Holes = static_cast<int>(State.range(0));
+  int64_t Retained = 0;
+  for (auto _ : State) {
+    SatSolver S;
+    S.setClauseGc(GcEnabled);
+    S.setClauseGcLimit(500); // Aggressive enough to fire at this scale.
+    int Sel = buildGatedPigeonhole(S, Holes);
+    for (int Round = 0; Round < 6; ++Round) {
+      benchmark::DoNotOptimize(S.solve({Lit(Sel, true)}));
+      benchmark::DoNotOptimize(S.solve({Lit(Sel, false)}));
+    }
+    Retained = static_cast<int64_t>(S.numClauses());
+  }
+  // RetainedClauses growth is the number clause-GC is meant to bound.
+  State.counters["retained_clauses"] =
+      benchmark::Counter(static_cast<double>(Retained));
+}
+
+} // namespace
+
+/// Long-lived solver without clause GC: the packrat baseline.
+static void BM_WarmPigeonholeNoGc(benchmark::State &State) {
+  runWarmPigeonhole(State, /*GcEnabled=*/false);
+}
+BENCHMARK(BM_WarmPigeonholeNoGc)->Arg(5)->Arg(6);
+
+/// Same workload with activity-based clause-DB reduction.
+static void BM_WarmPigeonholeGc(benchmark::State &State) {
+  runWarmPigeonhole(State, /*GcEnabled=*/true);
+}
+BENCHMARK(BM_WarmPigeonholeGc)->Arg(5)->Arg(6);
+
+namespace {
+
 /// Builds the catalog-shaped CNF query base: N implication chains of
 /// length L over a shared head variable. The driver's VC profile is
 /// encoding-dominated — thousands of queries averaging under one conflict

@@ -4,8 +4,11 @@
 # (--benchmark_format/--benchmark_out) next to the text, and the whole run
 # is aggregated into one machine-readable baseline, BENCH_semcommute.json,
 # at the repo root: per-bench wall time + status, every BENCH_JSON line the
-# plain benches print (e.g. perf_engine_scaling's one-shot-vs-incremental
-# comparison), and the Google-Benchmark entries. Commit the baseline to
+# plain benches print (e.g. perf_engine_scaling's session-mode comparison),
+# the Google-Benchmark entries, and a driver-level solver-stat snapshot
+# (per-family conflicts, peak retained clauses, clause-GC reclaim counts
+# from a full symbolic `semcommute-verify` run) so conflict-count
+# regressions are caught like wall-time regressions. Commit the baseline to
 # track the perf trajectory across PRs.
 #
 # usage: bench/run_all.sh [build-dir] [results-dir] [baseline-json]
@@ -101,6 +104,30 @@ for bench in $GOOGLE_BENCHES; do
   record "$bench" "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
 done
 
+# Driver-level solver-stat snapshot: a full symbolic run of the catalog,
+# whose per-family conflict / retained-clause / clause-GC numbers join the
+# committed baseline alongside the wall-time metrics.
+DRIVER_BIN="$BUILD_DIR/semcommute-verify"
+DRIVER_JSON="$RESULTS_DIR/driver_solver_stats.json"
+if [ -x "$DRIVER_BIN" ]; then
+  echo "== semcommute-verify (symbolic solver-stat snapshot)"
+  start=$(now)
+  if "$DRIVER_BIN" --families all --engine symbolic --quiet \
+       --json "$DRIVER_JSON" > "$RESULTS_DIR/driver_solver_stats.txt" 2>&1
+  then status=ok; else
+    status=failed
+    echo "FAILED  semcommute-verify (see $RESULTS_DIR/driver_solver_stats.txt)"
+    failures=$((failures + 1))
+  fi
+  end=$(now)
+  record "driver_solver_stats" \
+    "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
+else
+  echo "MISSING semcommute-verify (not built?)"
+  record "driver_solver_stats" 0 missing
+  failures=$((failures + 1))
+fi
+
 python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
 import json, os, sys
 
@@ -149,12 +176,50 @@ for name in ran:
     if rows:
         google[name] = rows
 
+# Driver-level solver statistics: per-family conflict / retained-clause /
+# clause-GC counters plus the per-pair shared-session aggregates, so the
+# committed baseline catches solver-behavior regressions (conflict blowups,
+# unbounded clause retention), not just wall-time ones.
+driver_stats = None
+driver_path = os.path.join(results_dir, "driver_solver_stats.json")
+if os.path.exists(driver_path):
+    try:
+        with open(driver_path) as f:
+            report = json.load(f)
+    except json.JSONDecodeError:
+        report = None
+    if report:
+        fams = [{k: fam.get(k) for k in
+                 ("family", "jobs", "vcs", "sat_conflicts",
+                  "retained_clauses", "db_reductions", "reclaimed_clauses")}
+                for fam in report.get("families", [])]
+        pairs = report.get("pair_stats", [])
+        driver_stats = {
+            "engine": "symbolic",
+            "families": fams,
+            "pair_sessions": {
+                "pairs": len(pairs),
+                "sessions": sum(p.get("sessions", 0) for p in pairs),
+                "checks": sum(p.get("checks", 0) for p in pairs),
+                "sat_conflicts": sum(p.get("sat_conflicts", 0)
+                                     for p in pairs),
+                "db_reductions": sum(p.get("db_reductions", 0)
+                                     for p in pairs),
+                "reclaimed_clauses": sum(p.get("reclaimed_clauses", 0)
+                                         for p in pairs),
+                "peak_retained_clauses": max(
+                    (p.get("retained_clauses", 0) for p in pairs),
+                    default=0),
+            },
+        }
+
 doc = {
-    "schema": 1,
+    "schema": 2,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
     "google_benchmarks": google,
+    "driver_solver_stats": driver_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

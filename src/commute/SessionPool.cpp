@@ -1,0 +1,180 @@
+//===- commute/SessionPool.cpp - Shared per-pair solver sessions ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "commute/SessionPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace semcomm;
+
+const char *semcomm::solveModeName(SolveMode M) {
+  switch (M) {
+  case SolveMode::OneShot:
+    return "oneshot";
+  case SolveMode::PerMethod:
+    return "per-method";
+  case SolveMode::SharedPair:
+    return "shared-pair";
+  }
+  return "shared-pair";
+}
+
+void SharedSession::openSession() {
+  if (Session) {
+    ClosedChecks += Session->numChecks();
+    ClosedConflicts += Session->totalConflicts();
+    ClosedReductions += static_cast<uint64_t>(Session->dbReductions());
+    ClosedReclaimed += static_cast<uint64_t>(Session->reclaimedClauses());
+  }
+  Session = std::make_unique<SmtSession>(F);
+  Session->solver().setClauseGc(GcEnabled);
+  if (GcLimit > 0)
+    Session->solver().setClauseGcLimit(GcLimit);
+  ++SessionsOpened;
+  // Selectors and common formulas belong to the discarded database.
+  AssertedCommon.clear();
+  Selectors.clear();
+  SelectorCount = 0;
+}
+
+void SharedSession::assertPrefix(const MethodPlan &Plan, ExprRef Sel) {
+  for (ExprRef C : Plan.Common)
+    if (AssertedCommon.insert(C).second)
+      Session->assertBase(C);
+  for (const TaggedAssumption &S : Plan.Scoped) {
+    if (Sel)
+      Session->assertScoped(Sel, S.E);
+    else
+      Session->assertBase(S.E);
+  }
+}
+
+bool SharedSession::discharge(const MethodPlan &Plan, SymbolicResult &R) {
+  ExprRef Sel = nullptr;
+  if (Mode == SolveMode::SharedPair) {
+    if (!Session)
+      openSession();
+    // The fingerprint is the plan's prefix content; hash-consing makes
+    // pointer equality structural equality, so two plans match iff their
+    // prefixes are the same formulas.
+    std::vector<ExprRef> Fingerprint = Plan.Common;
+    Fingerprint.push_back(nullptr); // Separator: Common vs Scoped.
+    for (const TaggedAssumption &S : Plan.Scoped)
+      Fingerprint.push_back(S.E);
+
+    std::vector<SelectorEntry> &Entries = Selectors[Plan.Name];
+    for (const SelectorEntry &E : Entries)
+      if (E.Fingerprint == Fingerprint)
+        Sel = E.Sel;
+    if (!Sel) {
+      // A repeated name with a different prefix (e.g. a mutated entry
+      // whose methods share names with the original's) gets its own
+      // selector; "#N" keeps the literal distinct in the shared factory.
+      std::string SelName = "__sel_" + Plan.Name;
+      if (!Entries.empty())
+        SelName += "#" + std::to_string(Entries.size());
+      Sel = F.var(SelName, Sort::Bool);
+      Entries.push_back({std::move(Fingerprint), Sel});
+      ++SelectorCount;
+      assertPrefix(Plan, Sel);
+    }
+  } else if (Mode == SolveMode::PerMethod) {
+    openSession();
+    assertPrefix(Plan, nullptr);
+  }
+
+  uint64_t RedBefore = dbReductions();
+  uint64_t RecBefore = reclaimedClauses();
+
+  auto AddCoreLabel = [&R](const std::string &L) {
+    if (std::find(R.CoreLabels.begin(), R.CoreLabels.end(), L) ==
+        R.CoreLabels.end())
+      R.CoreLabels.push_back(L);
+  };
+
+  bool Ok = true;
+  size_t FailedAt = Plan.Splits.size();
+  for (size_t SI = 0; SI != Plan.Splits.size(); ++SI) {
+    const VcSplit &Split = Plan.Splits[SI];
+    if (Mode == SolveMode::OneShot) {
+      openSession();
+      assertPrefix(Plan, nullptr);
+    }
+    assert(Session && "split discharged without a session");
+
+    std::vector<ExprRef> Assumed;
+    std::vector<std::string> Labels;
+    if (Sel) {
+      Assumed.push_back(Sel);
+      Labels.push_back("sel:" + Plan.Name);
+    }
+    for (const TaggedAssumption &A : Split.Assumed) {
+      Assumed.push_back(A.E);
+      Labels.push_back(A.Label);
+    }
+
+    SatResult Out = Session->check(Assumed, Budget, Sel);
+    R.SatConflicts += Session->conflicts();
+    R.MaxVcConflicts = std::max(R.MaxVcConflicts, Session->conflicts());
+    ++R.NumVcs;
+    if (Mode != SolveMode::OneShot)
+      R.RetainedClauses = Session->retainedClauses();
+
+    if (Out == SatResult::Unsat) {
+      for (size_t I : Session->lastCoreAssumptionIndices())
+        AddCoreLabel(Labels[I]);
+      continue;
+    }
+
+    R.LastOutcome = Out;
+    std::string Atoms;
+    for (const std::string &A : Session->modelAtoms())
+      if (A.rfind("__sel_", 0) != 0) // Selectors are plumbing, not state.
+        Atoms += A + "; ";
+    R.Countermodel =
+        Split.Label.empty() ? Atoms : Split.Label + ": " + Atoms;
+    Ok = false;
+    FailedAt = SI;
+    break;
+  }
+
+  R.DbReductions += dbReductions() - RedBefore;
+  R.ReclaimedClauses += reclaimedClauses() - RecBefore;
+
+  // An out-of-fragment atom trumps whatever the truncated final split said
+  // (the lowering replaced the atom by a free variable, so that split's
+  // verdict is meaningless).
+  if (Plan.Unsupported && (Ok || FailedAt + 1 == Plan.Splits.size())) {
+    R.Countermodel = Plan.UnsupportedNote;
+    Ok = false;
+  }
+  return Ok;
+}
+
+uint64_t SharedSession::checks() const {
+  return ClosedChecks + (Session ? Session->numChecks() : 0);
+}
+
+int64_t SharedSession::conflicts() const {
+  return ClosedConflicts + (Session ? Session->totalConflicts() : 0);
+}
+
+uint64_t SharedSession::dbReductions() const {
+  return ClosedReductions +
+         (Session ? static_cast<uint64_t>(Session->dbReductions()) : 0);
+}
+
+uint64_t SharedSession::reclaimedClauses() const {
+  return ClosedReclaimed +
+         (Session ? static_cast<uint64_t>(Session->reclaimedClauses()) : 0);
+}
+
+uint64_t SharedSession::retainedClauses() const {
+  return Session ? Session->retainedClauses() : 0;
+}

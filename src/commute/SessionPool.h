@@ -1,0 +1,200 @@
+//===- commute/SessionPool.h - Shared per-pair solver sessions --*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discharge layer between the symbolic engines and the smt/ stack.
+///
+/// The six testing methods of one (family, op-pair) — before/between/after
+/// x soundness/completeness (Fig. 2-2) — share almost their entire
+/// symbolic-execution prefix. A MethodPlan captures one method's VCs in
+/// three layers:
+///
+///  * Common:  the pair-shared prefix (argument/element well-formedness),
+///             identical across the pair's methods;
+///  * Scoped:  the method's own prefix (for the single-VC families, the
+///             whole VC body), asserted under a per-method *selector
+///             literal* so several methods can coexist in one clause
+///             database without contaminating each other;
+///  * Splits:  the VC instances (one per ArrayList case split), each a
+///             set of labeled assumption formulas.
+///
+/// SharedSession discharges plans in one of three modes:
+///
+///  * SharedPair (default): one warm SmtSession serves every plan
+///    discharged through the session. Common formulas are asserted once,
+///    each method's Scoped prefix is asserted as `selector -> formula`,
+///    and every split is checked under (selector + split) assumptions.
+///    Tseitin definitions, theory bridges, and learned clauses are shared
+///    across all methods of the pair — soundness and completeness of one
+///    kind share literally their whole encoding.
+///  * PerMethod: one warm session per discharge() call (the pre-pair
+///    behavior, kept as the comparison baseline).
+///  * OneShot: a fresh session per split (the cold-start baseline).
+///
+/// After an Unsat check, the solver's assumption core is mapped back to the
+/// labels of the assumptions it names (selector / split / hint literals),
+/// so a verified method records which assumption subset its proof actually
+/// needed — the first step toward §5.2.1-style ProofHints minimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_COMMUTE_SESSIONPOOL_H
+#define SEMCOMM_COMMUTE_SESSIONPOOL_H
+
+#include "smt/SmtSolver.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+
+/// How the engine discharges the VCs of testing methods.
+enum class SolveMode : uint8_t {
+  /// A fresh solver session per VC (the historical behavior; cold start
+  /// every split). Kept as the baseline the perf benches compare against.
+  OneShot,
+  /// One warm session per testing method: the method's prefix is asserted
+  /// once and every case split is discharged under assumption literals.
+  /// The pre-shared-session incremental mode, kept for comparison.
+  PerMethod,
+  /// One warm session per (family, op-pair): all methods of the pair share
+  /// one solver under per-method selector literals. The default.
+  SharedPair,
+};
+
+const char *solveModeName(SolveMode M);
+
+/// Outcome of symbolically verifying one testing method.
+struct SymbolicResult {
+  bool Verified = false;
+  /// When not verified: whether the solver produced a (possibly spurious)
+  /// countermodel or ran out of budget.
+  SatResult LastOutcome = SatResult::Unknown;
+  uint64_t NumVcs = 0;        ///< VC instances discharged (ArrayList splits).
+  int64_t SatConflicts = 0;   ///< Total CDCL conflicts.
+  int64_t MaxVcConflicts = 0; ///< Largest single-split conflict count.
+  /// Clauses alive in the method's warm session after the last split
+  /// (Tseitin definitions + bridges + learned); 0 in one-shot mode, where
+  /// nothing is carried over. In SharedPair mode this is the *pair*
+  /// session's clause count at the time the method finished.
+  uint64_t RetainedClauses = 0;
+  /// Clause-database GC activity attributable to this method's discharge.
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
+  /// Union, over all Unsat splits, of the labels of the assumptions the
+  /// proofs actually needed (selector / split literals; insertion order,
+  /// deduplicated). Empty when every refutation followed from the base
+  /// alone.
+  std::vector<std::string> CoreLabels;
+  std::string Countermodel; ///< Diagnostic atoms of a failed proof.
+};
+
+/// One labeled assumption formula (the label names it in unsat cores).
+struct TaggedAssumption {
+  ExprRef E = nullptr;
+  std::string Label;
+};
+
+/// One VC instance of a testing method.
+struct VcSplit {
+  std::vector<TaggedAssumption> Assumed;
+  /// Diagnostic prefix for failures, e.g. "n=2 i1=0 i2=1"; empty for the
+  /// single-VC families.
+  std::string Label;
+};
+
+/// The symbolic-discharge plan of one testing method.
+struct MethodPlan {
+  /// Paper-style method name; also names the selector literal.
+  std::string Name;
+  /// Pair-common prefix: asserted once per shared session (deduplicated
+  /// across the plans discharged through it).
+  std::vector<ExprRef> Common;
+  /// Method-own prefix: asserted under the method's selector literal in
+  /// SharedPair mode, as plain base otherwise.
+  std::vector<TaggedAssumption> Scoped;
+  /// The VC instances, discharged in order; discharge stops at the first
+  /// failure.
+  std::vector<VcSplit> Splits;
+  /// True when the plan builder met an atom shape outside the bounded
+  /// lowering's fragment; the method then reports unverified after its
+  /// (truncated) splits run.
+  bool Unsupported = false;
+  std::string UnsupportedNote;
+};
+
+/// A warm solver session shared by the testing methods of one (family,
+/// op-pair). Not thread-safe: one SharedSession lives on one worker.
+class SharedSession {
+public:
+  SharedSession(ExprFactory &F, int64_t Budget, SolveMode Mode)
+      : F(F), Budget(Budget), Mode(Mode) {}
+  SharedSession(const SharedSession &) = delete;
+  SharedSession &operator=(const SharedSession &) = delete;
+
+  /// Discharges every split of \p Plan, accumulating statistics into \p R.
+  /// Returns true when all splits are refuted (the method verifies).
+  bool discharge(const MethodPlan &Plan, SymbolicResult &R);
+
+  /// Clause-GC configuration applied to every solver this session opens
+  /// (benches pin the no-GC baseline; tests force aggressive reduction).
+  void configureClauseGc(bool Enabled, int64_t FirstLimit = 0) {
+    GcEnabled = Enabled;
+    GcLimit = FirstLimit;
+  }
+
+  /// Lifetime statistics (across re-opened sessions in the non-shared
+  /// modes).
+  uint64_t checks() const;
+  int64_t conflicts() const;
+  uint64_t dbReductions() const;
+  uint64_t reclaimedClauses() const;
+  /// Clauses alive in the current warm solver (0 when none is open).
+  uint64_t retainedClauses() const;
+  unsigned numSelectors() const { return SelectorCount; }
+  size_t sessionsOpened() const { return SessionsOpened; }
+
+private:
+  void openSession();
+  void assertPrefix(const MethodPlan &Plan, ExprRef Sel);
+
+  ExprFactory &F;
+  int64_t Budget;
+  SolveMode Mode;
+  bool GcEnabled = true;
+  int64_t GcLimit = 0; ///< 0 keeps the solver default.
+
+  std::unique_ptr<SmtSession> Session;
+  std::set<ExprRef> AssertedCommon; ///< Dedup only; never iterated.
+
+  /// Registered selectors, keyed by plan name. The fingerprint (the
+  /// plan's Common + Scoped formulas) guards against two *different*
+  /// plans sharing a name: a mismatch allocates a fresh selector instead
+  /// of silently proving the new plan against the old plan's prefix.
+  struct SelectorEntry {
+    std::vector<ExprRef> Fingerprint;
+    ExprRef Sel = nullptr;
+  };
+  std::map<std::string, std::vector<SelectorEntry>> Selectors;
+  unsigned SelectorCount = 0;
+  size_t SessionsOpened = 0;
+
+  // Totals of sessions already closed (OneShot / PerMethod modes).
+  uint64_t ClosedChecks = 0;
+  int64_t ClosedConflicts = 0;
+  uint64_t ClosedReductions = 0;
+  uint64_t ClosedReclaimed = 0;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_COMMUTE_SESSIONPOOL_H

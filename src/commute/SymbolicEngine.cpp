@@ -8,12 +8,13 @@
 
 #include "commute/SymbolicEngine.h"
 
+#include "support/Timing.h"
 #include "support/Unreachable.h"
 
 #include <algorithm>
 #include <cassert>
 #include <functional>
-#include <memory>
+#include <map>
 
 using namespace semcomm;
 
@@ -86,61 +87,36 @@ ExprRef rewriteBool(ExprFactory &F, ExprRef E,
   }
 }
 
-/// Discharges the VCs of one testing method. The shared prefix (\p Base)
-/// is asserted once into a warm SmtSession and every VC is checked under
-/// assumption literals; in one-shot mode the session is rebuilt per VC,
-/// reproducing the historical cold-start behavior.
-class VcSession {
-public:
-  VcSession(ExprFactory &F, int64_t Budget, SolveMode Mode,
-            std::vector<ExprRef> Base)
-      : F(F), Budget(Budget), Mode(Mode), Base(std::move(Base)) {}
-
-  /// Proves one VC: Base ∧ ⋀Assumed must be unsatisfiable. Updates \p R's
-  /// statistics; returns false on failure and stores the countermodel.
-  bool prove(const std::vector<ExprRef> &Assumed, SymbolicResult &R) {
-    if (!Session || Mode == SolveMode::OneShot) {
-      Session = std::make_unique<SmtSession>(F);
-      for (ExprRef B : Base)
-        Session->assertBase(B);
-    }
-    SatResult Out = Session->check(Assumed, Budget);
-    R.SatConflicts += Session->conflicts();
-    R.MaxVcConflicts = std::max(R.MaxVcConflicts, Session->conflicts());
-    ++R.NumVcs;
-    if (Mode == SolveMode::Incremental)
-      R.RetainedClauses = Session->retainedClauses();
-    if (Out == SatResult::Unsat)
-      return true;
-    R.LastOutcome = Out;
-    for (const std::string &A : Session->modelAtoms())
-      R.Countermodel += A + "; ";
-    return false;
+/// The two VC shapes shared by every family: soundness refutes
+/// Phi ∧ ¬Agree, completeness refutes ¬Phi ∧ Agree. For the single-VC
+/// families the whole body goes into the plan's selector-scoped prefix and
+/// the lone split carries no extra assumptions.
+void addRoleVc(MethodPlan &P, ExprFactory &F, MethodRole Role, ExprRef Phi,
+               ExprRef Agree) {
+  if (Role == MethodRole::Soundness) {
+    P.Scoped.push_back({Phi, "phi"});
+    P.Scoped.push_back({F.lnot(Agree), "not-agree"});
+  } else {
+    P.Scoped.push_back({F.lnot(Phi), "not-phi"});
+    P.Scoped.push_back({Agree, "agree"});
   }
+  P.Splits.push_back(VcSplit{});
+}
 
-private:
-  ExprFactory &F;
-  int64_t Budget;
-  SolveMode Mode;
-  std::vector<ExprRef> Base;
-  std::unique_ptr<SmtSession> Session;
-};
-
-/// The two VC shapes shared by every family: soundness discharges
-/// Base ∧ Phi ∧ ¬Agree, completeness discharges Base ∧ ¬Phi ∧ Agree.
-bool proveMethodVc(VcSession &Sess, MethodRole Role, ExprFactory &F,
-                   ExprRef Phi, ExprRef Agree, SymbolicResult &R) {
+/// The per-split assumption pair of the multi-VC (ArrayList) family.
+std::vector<TaggedAssumption> roleAssumptions(ExprFactory &F,
+                                              MethodRole Role, ExprRef Phi,
+                                              ExprRef Agree) {
   if (Role == MethodRole::Soundness)
-    return Sess.prove({Phi, F.lnot(Agree)}, R);
-  return Sess.prove({F.lnot(Phi), Agree}, R);
+    return {{Phi, "phi"}, {F.lnot(Agree), "not-agree"}};
+  return {{F.lnot(Phi), "not-phi"}, {Agree, "agree"}};
 }
 
 // ===========================================================================
 // Accumulator
 // ===========================================================================
 
-SymbolicResult verifyCounter(ExprFactory &F, const TestingMethod &M,
-                             int64_t Budget, SolveMode Mode) {
+MethodPlan buildCounterPlan(ExprFactory &F, const TestingMethod &M) {
   const ConditionEntry &E = *M.Entry;
   ExprRef C0 = F.var("c0", Sort::Int);
 
@@ -218,10 +194,10 @@ SymbolicResult verifyCounter(ExprFactory &F, const TestingMethod &M,
   Agree.push_back(F.eq(SA, SB));
   ExprRef AgreeAll = F.conj(std::move(Agree));
 
-  SymbolicResult R;
-  VcSession Sess(F, Budget, Mode, {});
-  R.Verified = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
-  return R;
+  MethodPlan P;
+  P.Name = M.name();
+  addRoleVc(P, F, M.Role, Phi, AgreeAll);
+  return P;
 }
 
 // ===========================================================================
@@ -241,8 +217,7 @@ ExprRef setMem(ExprFactory &F, ExprRef S0, const SymSet &S, ExprRef X) {
   return M;
 }
 
-SymbolicResult verifySet(ExprFactory &F, const TestingMethod &M,
-                         int64_t Budget, SolveMode Mode) {
+MethodPlan buildSetPlan(ExprFactory &F, const TestingMethod &M) {
   const ConditionEntry &E = *M.Entry;
   ExprRef S0 = F.var("S0", Sort::State);
   ExprRef V1 = F.var("v1", Sort::Obj), V2 = F.var("v2", Sort::Obj);
@@ -320,13 +295,11 @@ SymbolicResult verifySet(ExprFactory &F, const TestingMethod &M,
     Agree.push_back(F.iff(setMem(F, S0, SA, X), setMem(F, S0, SB, X)));
   ExprRef AgreeAll = F.conj(std::move(Agree));
 
-  std::vector<ExprRef> Pre = {F.ne(V1, F.nullConst()),
-                              F.ne(V2, F.nullConst())};
-
-  SymbolicResult R;
-  VcSession Sess(F, Budget, Mode, std::move(Pre));
-  R.Verified = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
-  return R;
+  MethodPlan P;
+  P.Name = M.name();
+  P.Common = {F.ne(V1, F.nullConst()), F.ne(V2, F.nullConst())};
+  addRoleVc(P, F, M.Role, Phi, AgreeAll);
+  return P;
 }
 
 // ===========================================================================
@@ -374,8 +347,7 @@ ExprRef leavesEqual(ExprFactory &F, const LeafVec &A, const LeafVec &B) {
   return F.disj(std::move(Cases));
 }
 
-SymbolicResult verifyMap(ExprFactory &F, const TestingMethod &M,
-                         int64_t Budget, SolveMode Mode) {
+MethodPlan buildMapPlan(ExprFactory &F, const TestingMethod &M) {
   const ConditionEntry &E = *M.Entry;
   ExprRef M0 = F.var("M0", Sort::State);
 
@@ -487,15 +459,13 @@ SymbolicResult verifyMap(ExprFactory &F, const TestingMethod &M,
                                 mapGetLeaves(F, M0, SB, K)));
   ExprRef AgreeAll = F.conj(std::move(Agree));
 
-  std::vector<ExprRef> Pre;
+  MethodPlan P;
+  P.Name = M.name();
   for (const std::vector<ExprRef> *V : {&A1, &A2})
     for (ExprRef T : *V)
-      Pre.push_back(F.ne(T, F.nullConst()));
-
-  SymbolicResult R;
-  VcSession Sess(F, Budget, Mode, std::move(Pre));
-  R.Verified = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
-  return R;
+      P.Common.push_back(F.ne(T, F.nullConst()));
+  addRoleVc(P, F, M.Role, Phi, AgreeAll);
+  return P;
 }
 
 // ===========================================================================
@@ -724,27 +694,26 @@ ExprRef SeqScenario::onAtom(ExprRef Atom) {
   }
 }
 
-SymbolicResult verifySeq(ExprFactory &F, const TestingMethod &M,
-                         int SeqLenBound, int64_t Budget, SolveMode Mode) {
+MethodPlan buildSeqPlan(ExprFactory &F, const TestingMethod &M,
+                        int SeqLenBound) {
   const ConditionEntry &E = *M.Entry;
   const Operation &Op1 = E.op1();
   const Operation &Op2 = E.op2();
 
-  SymbolicResult R;
-  R.Verified = true;
+  MethodPlan Plan;
+  Plan.Name = M.name();
 
   ExprRef V1 = F.var("v1", Sort::Obj), V2 = F.var("v2", Sort::Obj);
 
   // The shared symbolic-execution prefix of every case split: the argument
   // objects and all element variables any split can mention are non-null.
   // Asserting it once lets the warm session reuse its encoding across the
-  // whole (length x index x index) split lattice.
-  std::vector<ExprRef> Base = {F.ne(V1, F.nullConst()),
-                               F.ne(V2, F.nullConst())};
+  // whole (length x index x index) split lattice — and, in SharedPair
+  // mode, across every testing method of the pair.
+  Plan.Common = {F.ne(V1, F.nullConst()), F.ne(V2, F.nullConst())};
   for (int64_t P = 0; P < SeqLenBound; ++P)
-    Base.push_back(
+    Plan.Common.push_back(
         F.ne(F.var("e" + std::to_string(P), Sort::Obj), F.nullConst()));
-  VcSession Sess(F, Budget, Mode, std::move(Base));
 
   // Applies an operation at concrete index arguments on a term vector.
   // Returns false if the precondition fails.
@@ -921,37 +890,73 @@ SymbolicResult verifySeq(ExprFactory &F, const TestingMethod &M,
         }
         ExprRef AgreeAll = F.conj(std::move(Agree));
 
-        bool Ok = proveMethodVc(Sess, M.Role, F, Phi, AgreeAll, R);
+        VcSplit Split;
+        Split.Assumed = roleAssumptions(F, M.Role, Phi, AgreeAll);
+        Split.Label = "n=" + std::to_string(N) +
+                      " i1=" + std::to_string(I1) +
+                      " i2=" + std::to_string(I2);
+        Plan.Splits.push_back(std::move(Split));
+
         if (Ctx.SawUnsupportedAtom) {
-          R.Verified = false;
-          R.Countermodel = "unsupported atom shape in bounded lowering";
-          return R;
-        }
-        if (!Ok) {
-          R.Verified = false;
-          R.Countermodel =
-              "n=" + std::to_string(N) + " i1=" + std::to_string(I1) +
-              " i2=" + std::to_string(I2) + ": " + R.Countermodel;
-          return R;
+          // The lowering replaced an atom by a free variable; the plan
+          // ends here and the method reports unverified.
+          Plan.Unsupported = true;
+          Plan.UnsupportedNote =
+              "unsupported atom shape in bounded lowering";
+          return Plan;
         }
       }
     }
   }
-  return R;
+  return Plan;
 }
 
 } // namespace
 
-SymbolicResult SymbolicEngine::verify(const TestingMethod &M) {
+MethodPlan SymbolicEngine::plan(const TestingMethod &M) const {
   switch (M.family().Kind) {
   case StateKind::Counter:
-    return verifyCounter(F, M, ConflictBudget, Mode);
+    return buildCounterPlan(F, M);
   case StateKind::Set:
-    return verifySet(F, M, ConflictBudget, Mode);
+    return buildSetPlan(F, M);
   case StateKind::Map:
-    return verifyMap(F, M, ConflictBudget, Mode);
+    return buildMapPlan(F, M);
   case StateKind::Seq:
-    return verifySeq(F, M, SeqLenBound, ConflictBudget, Mode);
+    return buildSeqPlan(F, M, SeqLenBound);
   }
   semcomm_unreachable("invalid family kind");
+}
+
+SymbolicResult SymbolicEngine::verify(const TestingMethod &M) {
+  SharedSession Sess(F, ConflictBudget, Mode);
+  SymbolicResult R;
+  R.Verified = Sess.discharge(plan(M), R);
+  return R;
+}
+
+PairOutcome SymbolicEngine::verifyPair(const ConditionEntry &E) {
+  SharedSession Sess(F, ConflictBudget, Mode);
+  PairOutcome Out;
+  for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                          ConditionKind::After})
+    for (MethodRole Role :
+         {MethodRole::Soundness, MethodRole::Completeness}) {
+      TestingMethod M;
+      M.Entry = &E;
+      M.Kind = K;
+      M.Role = Role;
+      Stopwatch Timer;
+      SymbolicResult R;
+      R.Verified = Sess.discharge(plan(M), R);
+      Out.MethodMillis.push_back(Timer.millis());
+      Out.Methods.push_back(std::move(R));
+    }
+  Out.Checks = Sess.checks();
+  Out.Conflicts = Sess.conflicts();
+  Out.RetainedClauses = Sess.retainedClauses();
+  Out.DbReductions = Sess.dbReductions();
+  Out.ReclaimedClauses = Sess.reclaimedClauses();
+  Out.Selectors = Sess.numSelectors();
+  Out.SessionsOpened = Sess.sessionsOpened();
+  return Out;
 }

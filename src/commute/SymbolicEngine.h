@@ -33,52 +33,51 @@
 /// reported Unknown — the analogue of the prover timeouts that dominate the
 /// paper's ArrayList verification time (Table 5.8).
 ///
-/// Discharge strategy: each testing method opens one SmtSession, asserts
-/// the shared symbolic-execution prefix (argument/element well-formedness)
-/// once, and discharges every case split under assumption literals. The
-/// warm solver retains Tseitin definitions, theory bridges, and learned
-/// clauses across the splits of a method (SolveMode::Incremental); the
-/// one-shot mode rebuilds the session per VC and exists as the cold-start
-/// baseline for the perf comparison (bench/perf_engine_scaling.cpp).
+/// Discharge strategy: each testing method is compiled to a MethodPlan
+/// (pair-common prefix, selector-scoped method prefix, labeled VC splits)
+/// and handed to a SharedSession (see SessionPool.h). In the default
+/// SolveMode::SharedPair, verifyPair() runs all six testing methods of one
+/// (family, op-pair) against a single warm solver under per-method selector
+/// literals; PerMethod (the pre-pair incremental mode) and OneShot (cold
+/// start per split) remain as comparison baselines for
+/// bench/perf_engine_scaling.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMCOMM_COMMUTE_SYMBOLICENGINE_H
 #define SEMCOMM_COMMUTE_SYMBOLICENGINE_H
 
+#include "commute/SessionPool.h"
 #include "commute/TestingMethod.h"
-#include "smt/SmtSolver.h"
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace semcomm {
 
-/// How the engine discharges the VCs of one testing method.
-enum class SolveMode : uint8_t {
-  /// A fresh solver session per VC (the historical behavior; cold start
-  /// every split). Kept as the baseline the perf benches compare against.
-  OneShot,
-  /// One warm session per testing method: the shared prefix is asserted
-  /// once and every case split is discharged under assumption literals,
-  /// retaining Tseitin definitions, bridges, and learned clauses.
-  Incremental,
-};
+/// Outcome of verifying all six testing methods of one pair through one
+/// SharedSession, plus the session-level reuse statistics the driver
+/// reports per pair.
+struct PairOutcome {
+  /// Per-method results in enumeration order: before/between/after x
+  /// soundness/completeness.
+  std::vector<SymbolicResult> Methods;
+  std::vector<double> MethodMillis; ///< Wall time per method.
+  uint64_t Checks = 0;              ///< SMT checks the session served.
+  int64_t Conflicts = 0;            ///< CDCL conflicts across the pair.
+  uint64_t RetainedClauses = 0;     ///< Clauses alive at the end.
+  uint64_t DbReductions = 0;        ///< Clause-GC runs.
+  uint64_t ReclaimedClauses = 0;    ///< Clauses the GC reclaimed.
+  unsigned Selectors = 0;           ///< Selector literals registered.
+  size_t SessionsOpened = 0;        ///< 1 in SharedPair mode.
 
-/// Outcome of symbolically verifying one testing method.
-struct SymbolicResult {
-  bool Verified = false;
-  /// When not verified: whether the solver produced a (possibly spurious)
-  /// countermodel or ran out of budget.
-  SatResult LastOutcome = SatResult::Unknown;
-  uint64_t NumVcs = 0;       ///< VC instances discharged (ArrayList splits).
-  int64_t SatConflicts = 0;  ///< Total CDCL conflicts.
-  int64_t MaxVcConflicts = 0; ///< Largest single-split conflict count.
-  /// Clauses alive in the method's warm session after the last split
-  /// (Tseitin definitions + bridges + learned); 0 in one-shot mode, where
-  /// nothing is carried over.
-  uint64_t RetainedClauses = 0;
-  std::string Countermodel;  ///< Diagnostic atoms of a failed proof.
+  unsigned failures() const {
+    unsigned N = 0;
+    for (const SymbolicResult &R : Methods)
+      N += !R.Verified;
+    return N;
+  }
 };
 
 /// Symbolic verifier for generated testing methods.
@@ -87,13 +86,26 @@ public:
   /// \p SeqLenBound is the ArrayList case-split bound (lengths 0..bound).
   explicit SymbolicEngine(ExprFactory &F, int SeqLenBound = 3,
                           int64_t ConflictBudget = 200000,
-                          SolveMode Mode = SolveMode::Incremental)
+                          SolveMode Mode = SolveMode::SharedPair)
       : F(F), SeqLenBound(SeqLenBound), ConflictBudget(ConflictBudget),
         Mode(Mode) {}
 
-  /// Verifies one testing method symbolically. Safe to call concurrently
-  /// from several engines sharing one (thread-safe) ExprFactory.
+  /// Verifies one testing method symbolically in a session of its own.
+  /// Safe to call concurrently from several engines sharing one
+  /// (thread-safe) ExprFactory.
   SymbolicResult verify(const TestingMethod &M);
+
+  /// Verifies all six testing methods of \p E through one SharedSession
+  /// (one warm solver for the whole pair in SharedPair mode). Method order
+  /// is deterministic, so results and statistics are a function of the
+  /// options alone.
+  PairOutcome verifyPair(const ConditionEntry &E);
+
+  /// Compiles one testing method to its discharge plan (exposed so tests
+  /// can replay plans against differently configured sessions).
+  MethodPlan plan(const TestingMethod &M) const;
+
+  SolveMode mode() const { return Mode; }
 
 private:
   ExprFactory &F;

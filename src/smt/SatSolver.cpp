@@ -19,6 +19,7 @@ SatSolver::SatSolver() {
   Level.push_back(0);
   Reason.push_back(-1);
   Activity.push_back(0.0);
+  SavedPhase.push_back(0);
   Watches.resize(2);
 }
 
@@ -27,6 +28,7 @@ int SatSolver::addVar() {
   Level.push_back(0);
   Reason.push_back(-1);
   Activity.push_back(0.0);
+  SavedPhase.push_back(0);
   Watches.resize(Watches.size() + 2);
   return numVars();
 }
@@ -72,7 +74,7 @@ void SatSolver::addClause(const std::vector<Lit> &Input) {
     return;
   }
 
-  Clauses.push_back({std::move(C), false});
+  Clauses.push_back({std::move(C), false, 0, 0.0});
   attach(static_cast<int>(Clauses.size()) - 1);
 }
 
@@ -139,8 +141,18 @@ void SatSolver::bumpActivity(int Var) {
   }
 }
 
+void SatSolver::bumpClauseActivity(int ClauseIdx) {
+  Clause &C = Clauses[ClauseIdx];
+  C.Act += ClauseActInc;
+  if (C.Act > 1e100) {
+    for (Clause &D : Clauses)
+      D.Act *= 1e-100;
+    ClauseActInc *= 1e-100;
+  }
+}
+
 void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
-                        int &BackLevel) {
+                        int &BackLevel, int &Glue) {
   // Standard first-UIP resolution walk over the trail.
   Learned.clear();
   Learned.push_back(Lit()); // Slot for the asserting literal.
@@ -153,6 +165,8 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
 
   do {
     assert(CI != -1 && "analysis walked past a decision");
+    if (Clauses[CI].Learned)
+      bumpClauseActivity(CI); // A lemma useful in analysis is worth keeping.
     const Clause &C = Clauses[CI];
     for (size_t I = (HaveP ? 1 : 0); I != C.Lits.size(); ++I) {
       Lit Q = C.Lits[I];
@@ -190,6 +204,23 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &Learned,
     }
   if (Learned.size() > 1)
     std::swap(Learned[1], Learned[MaxIdx]);
+
+  // Glue (LBD): distinct decision levels in the learned clause. Low-glue
+  // clauses connect few levels and tend to stay useful, so reduceDb()
+  // protects them. Counted with a generation-stamped scratch buffer so the
+  // conflict hot loop never allocates.
+  if (GlueStamp.size() <= static_cast<size_t>(currentLevel()))
+    GlueStamp.resize(static_cast<size_t>(currentLevel()) + 1, 0);
+  ++GlueStampGen;
+  GlueStamp[static_cast<size_t>(currentLevel())] = GlueStampGen;
+  Glue = 1;
+  for (size_t I = 1; I < Learned.size(); ++I) {
+    int64_t &Stamp = GlueStamp[static_cast<size_t>(Level[Learned[I].var()])];
+    if (Stamp != GlueStampGen) {
+      Stamp = GlueStampGen;
+      ++Glue;
+    }
+  }
 }
 
 void SatSolver::backtrack(int ToLevel) {
@@ -198,6 +229,7 @@ void SatSolver::backtrack(int ToLevel) {
   size_t Bound = TrailLim[ToLevel];
   for (size_t I = Trail.size(); I != Bound; --I) {
     int V = Trail[I - 1].var();
+    SavedPhase[V] = Assign[V]; // Phase saving: remember the last value.
     Assign[V] = Undef;
     Reason[V] = -1;
   }
@@ -262,6 +294,7 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
     Unsatisfiable = true;
     return SatResult::Unsat;
   }
+  maybeReduceDb();
 
   int64_t StartConflicts = Conflicts;
   int64_t RestartLimit = 64;
@@ -282,8 +315,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
       }
 
       std::vector<Lit> Learned;
-      int BackLevel = 0;
-      analyze(ConflictIdx, Learned, BackLevel);
+      int BackLevel = 0, Glue = 0;
+      analyze(ConflictIdx, Learned, BackLevel, Glue);
       backtrack(BackLevel);
       if (Learned.size() == 1) {
         // Asserting unit: analyze() computed BackLevel 0, so the trail is
@@ -291,13 +324,15 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
         assert(currentLevel() == 0 && "unit learned above the root");
         enqueue(Learned[0], -1);
       } else {
-        Clauses.push_back({Learned, true});
+        Clauses.push_back({Learned, true, Glue, ClauseActInc});
         ++LearnedClauses;
+        ++LearnedAlive;
         int CI = static_cast<int>(Clauses.size()) - 1;
         attach(CI);
         enqueue(Learned[0], CI);
       }
       ActivityInc *= 1.05;
+      ClauseActInc *= 1.001;
       continue;
     }
 
@@ -305,6 +340,9 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
       SinceRestart = 0;
       RestartLimit = RestartLimit + RestartLimit / 2;
       backtrack(0);
+      // Restarts are the in-search root points where the learned database
+      // can be safely compacted.
+      maybeReduceDb();
       continue;
     }
 
@@ -332,7 +370,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
     }
     ++Decisions;
     TrailLim.push_back(static_cast<int>(Trail.size()));
-    enqueue(Lit(V, false), -1); // Negative-first polarity.
+    // Saved-phase polarity (negative-first for never-assigned variables).
+    enqueue(Lit(V, SavedPhase[V] == 1), -1);
   }
 }
 
@@ -341,4 +380,113 @@ bool SatSolver::modelValue(int Var) const {
   assert(static_cast<size_t>(Var) < ModelVals.size() &&
          "no model saved for this variable");
   return ModelVals[Var] == 1;
+}
+
+void SatSolver::maybeReduceDb() {
+  if (GcEnabled && LearnedAlive >= ReduceLimit) {
+    reduceDb();
+    ReduceLimit += ReduceLimit / 2;
+  }
+}
+
+size_t SatSolver::reduceDb() {
+  // Root level only: at the root the database is fully propagated, so every
+  // clause is either root-satisfied or has at least two non-false literals —
+  // which is exactly what rebuilding the watch lists below relies on.
+  assert(currentLevel() == 0 && "reduceDb is a root-level operation");
+  if (Unsatisfiable || Clauses.empty())
+    return 0;
+
+  // Clauses currently serving as the reason of an implied literal must
+  // survive (conflict analysis walks Reason indices through them).
+  std::vector<bool> IsReason(Clauses.size(), false);
+  for (Lit L : Trail)
+    if (Reason[L.var()] >= 0)
+      IsReason[static_cast<size_t>(Reason[L.var()])] = true;
+
+  // Deletion candidates: learned, not a reason, not binary, not low-glue.
+  std::vector<int> Candidates;
+  for (size_t I = 0; I != Clauses.size(); ++I) {
+    const Clause &C = Clauses[I];
+    if (C.Learned && !IsReason[I] && C.Lits.size() > 2 && C.Glue > 2)
+      Candidates.push_back(static_cast<int>(I));
+  }
+  size_t Target = Candidates.size() / 2;
+  if (Target == 0)
+    return 0;
+
+  // Drop the least active half (stable sort: equal activities drop the
+  // older clause first; fully deterministic).
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [this](int A, int B) {
+                     return Clauses[static_cast<size_t>(A)].Act <
+                            Clauses[static_cast<size_t>(B)].Act;
+                   });
+  std::vector<bool> Remove(Clauses.size(), false);
+  for (size_t I = 0; I != Target; ++I)
+    Remove[static_cast<size_t>(Candidates[I])] = true;
+
+  // Compact the clause vector, remembering where survivors moved.
+  std::vector<int> NewIdx(Clauses.size(), -1);
+  size_t Out = 0;
+  for (size_t I = 0; I != Clauses.size(); ++I) {
+    if (Remove[I])
+      continue;
+    NewIdx[I] = static_cast<int>(Out);
+    if (Out != I)
+      Clauses[Out] = std::move(Clauses[I]);
+    ++Out;
+  }
+  Clauses.resize(Out);
+
+  // Remap the reasons of implied root literals (all protected above).
+  for (Lit L : Trail) {
+    int &R = Reason[L.var()];
+    if (R >= 0) {
+      assert(NewIdx[static_cast<size_t>(R)] >= 0 && "reason clause dropped");
+      R = NewIdx[static_cast<size_t>(R)];
+    }
+  }
+
+  // Rebuild every watch list. Watches must sit on non-false literals (or a
+  // root-true one when the clause is root-satisfied with a single non-false
+  // literal) so unit propagation stays complete.
+  for (std::vector<Watcher> &W : Watches)
+    W.clear();
+  for (size_t I = 0; I != Clauses.size(); ++I) {
+    Clause &C = Clauses[I];
+    size_t Pos = 0;
+    for (size_t K = 0; K != C.Lits.size() && Pos < 2; ++K)
+      if (valueOf(C.Lits[K]) != 0)
+        std::swap(C.Lits[Pos++], C.Lits[K]);
+    if (Pos < 2) {
+      // Root-satisfied clause with one non-false literal: that literal is
+      // true and already sits in slot 0, so any second watch is inert.
+      assert(valueOf(C.Lits[0]) == 1 && "unsatisfied clause became unit");
+    }
+    attach(static_cast<int>(I));
+  }
+
+  LearnedAlive -= static_cast<int64_t>(Target);
+  ReclaimedClauses += static_cast<int64_t>(Target);
+  ++DbReductions;
+  assert(reasonInvariantHolds() && "reduceDb broke a reason reference");
+  return Target;
+}
+
+bool SatSolver::reasonInvariantHolds() const {
+  for (Lit L : Trail) {
+    int R = Reason[L.var()];
+    if (R < 0)
+      continue;
+    if (R >= static_cast<int>(Clauses.size()))
+      return false;
+    const Clause &C = Clauses[static_cast<size_t>(R)];
+    bool Found = false;
+    for (Lit Q : C.Lits)
+      Found = Found || Q == L;
+    if (!Found)
+      return false;
+  }
+  return true;
 }

@@ -23,6 +23,18 @@
 /// re-deriving its lemmas. After an assumption-failed solve, unsatCore()
 /// names the subset of assumptions responsible.
 ///
+/// Because shared sessions now live for a whole (family, op-pair) — and the
+/// conflict-heavy benches (BM_Pigeonhole) learn orders of magnitude more
+/// clauses than they keep using — the solver periodically *reduces* the
+/// learned-clause database: clauses are ranked by a bumped/decayed activity
+/// score, and the least useful half is dropped at root level. Clauses that
+/// are the reason of a currently implied literal, binary clauses, and
+/// low-glue clauses (LBD <= 2) are never dropped, so the reduction can
+/// never change a SAT/UNSAT answer — only the work needed to re-derive a
+/// discarded lemma. Decisions use saved phases (the last value a variable
+/// held), which keeps the search near previously satisfying regions across
+/// the near-identical queries of one session.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMCOMM_SMT_SATSOLVER_H
@@ -98,12 +110,38 @@ public:
   size_t numClauses() const { return Clauses.size(); }
   int64_t numLearnedClauses() const { return LearnedClauses; }
 
+  /// Clause-database reduction. GC runs automatically during solve() once
+  /// the live learned-clause count passes a growing threshold; both knobs
+  /// exist so tests can force aggressive reduction and benches can pin the
+  /// no-GC baseline.
+  void setClauseGc(bool Enabled) { GcEnabled = Enabled; }
+  /// First reduction fires at \p FirstLimit live learned clauses; each
+  /// reduction raises the threshold by 50%. Values below 1 keep the
+  /// current threshold (a zero limit would otherwise pin the threshold at
+  /// zero and run a full compaction at every restart).
+  void setClauseGcLimit(int64_t FirstLimit) {
+    if (FirstLimit > 0)
+      ReduceLimit = FirstLimit;
+  }
+  /// Reduces the learned database now (root level only, i.e. between
+  /// solve() calls or from the solver's own restart points). Returns the
+  /// number of clauses reclaimed. Reason, binary, and glue-protected
+  /// clauses always survive.
+  size_t reduceDb();
+  int64_t numDbReductions() const { return DbReductions; }
+  int64_t numReclaimedClauses() const { return ReclaimedClauses; }
+  /// Debug check: every implied literal's reason clause still exists and
+  /// contains that literal — the invariant reduceDb() must preserve.
+  bool reasonInvariantHolds() const;
+
 private:
   enum : uint8_t { Undef = 2 };
 
   struct Clause {
     std::vector<Lit> Lits;
     bool Learned = false;
+    int Glue = 0;       ///< LBD at learning time; <= 2 is GC-protected.
+    double Act = 0.0;   ///< Bumped when used in conflict analysis.
   };
 
   struct Watcher {
@@ -121,7 +159,11 @@ private:
   std::vector<Clause> Clauses;
   std::vector<std::vector<Watcher>> Watches; ///< Indexed by literal code.
   std::vector<double> Activity;
+  std::vector<uint8_t> SavedPhase; ///< Last assigned value per var.
+  std::vector<int64_t> GlueStamp;  ///< Per-level scratch for LBD counting.
+  int64_t GlueStampGen = 0;
   double ActivityInc = 1.0;
+  double ClauseActInc = 1.0;
   bool Unsatisfiable = false;
 
   std::vector<Lit> AssumpCore;    ///< Core of the last assumption-failure.
@@ -130,6 +172,11 @@ private:
   int64_t Conflicts = 0;
   int64_t Decisions = 0;
   int64_t LearnedClauses = 0;
+  int64_t LearnedAlive = 0;   ///< Learned clauses currently in the database.
+  bool GcEnabled = true;
+  int64_t ReduceLimit = 2000; ///< Live learned clauses that trigger a GC.
+  int64_t DbReductions = 0;
+  int64_t ReclaimedClauses = 0;
 
   size_t watchIndex(Lit L) const {
     return 2 * static_cast<size_t>(L.var()) + (L.positive() ? 0 : 1);
@@ -142,10 +189,16 @@ private:
   }
   void enqueue(Lit L, int ReasonIdx);
   int propagate(); ///< Returns conflicting clause index or -1.
-  void analyze(int ConflictIdx, std::vector<Lit> &Learned, int &BackLevel);
+  void analyze(int ConflictIdx, std::vector<Lit> &Learned, int &BackLevel,
+               int &Glue);
+  /// Runs reduceDb() and grows the threshold when the live learned-clause
+  /// count has passed it. Root level only (callers are solve() entry and
+  /// the restart point).
+  void maybeReduceDb();
   void analyzeFinal(Lit Failed); ///< Fills AssumpCore from the trail.
   void backtrack(int ToLevel);
   void bumpActivity(int Var);
+  void bumpClauseActivity(int ClauseIdx);
   void attach(int ClauseIdx);
   int pickBranchVar();
   int currentLevel() const { return static_cast<int>(TrailLim.size()); }

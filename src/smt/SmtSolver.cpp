@@ -314,8 +314,16 @@ void SmtSession::assertBase(ExprRef E) {
   Encoder.assertTrue(N);
 }
 
+void SmtSession::assertScoped(ExprRef Selector, ExprRef Body) {
+  ExprRef N = normalize(F.implies(Selector, Body));
+  ingest(N);
+  std::set<ExprRef> Visited;
+  collectBoolAtoms(normalize(Body), ScopedAtoms[Selector], Visited);
+  Encoder.assertTrue(N);
+}
+
 SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
-                            int64_t MaxConflicts) {
+                            int64_t MaxConflicts, ExprRef ActiveScope) {
   std::vector<Lit> Assumptions;
   Assumptions.reserve(Assumed.size());
   std::set<ExprRef> QueryAtoms, Visited;
@@ -333,14 +341,37 @@ SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
   LastConflicts = Sat.numConflicts() - ConflictsBefore;
   LastDecisions = Sat.numDecisions() - DecisionsBefore;
 
+  LastCoreIdx.clear();
+  if (R == SatResult::Unsat) {
+    // Map the failed-assumption core back onto the caller's Assumed
+    // vector (first match wins for duplicated formulas).
+    for (Lit Core : Sat.unsatCore())
+      for (size_t I = 0; I != Assumptions.size(); ++I)
+        if (Assumptions[I] == Core) {
+          if (std::find(LastCoreIdx.begin(), LastCoreIdx.end(), I) ==
+              LastCoreIdx.end())
+            LastCoreIdx.push_back(I);
+          break;
+        }
+    std::sort(LastCoreIdx.begin(), LastCoreIdx.end());
+  }
+
   LastModel.clear();
   if (R == SatResult::Sat) {
-    // Report only over this check's vocabulary (base + current query): a
-    // warm session's atom map also holds every earlier query's atoms,
-    // which would drown the countermodel in unrelated diagnostics.
+    // Report only over this check's vocabulary (base + active scope +
+    // current query): a warm session's atom map also holds every earlier
+    // query's and every other scope's atoms, which would drown the
+    // countermodel in unrelated diagnostics.
+    const std::set<ExprRef> *Scope = nullptr;
+    if (ActiveScope) {
+      auto It = ScopedAtoms.find(ActiveScope);
+      if (It != ScopedAtoms.end())
+        Scope = &It->second;
+    }
     for (const auto &[Atom, V] : Encoder.atoms())
       if (Sat.modelValue(V) &&
-          (BaseAtoms.count(Atom) || QueryAtoms.count(Atom)))
+          (BaseAtoms.count(Atom) || QueryAtoms.count(Atom) ||
+           (Scope && Scope->count(Atom))))
         LastModel.push_back(printAbstract(Atom));
     // Encoder.atoms() iterates in pointer order, which varies when several
     // threads share the interning factory; sort so diagnostics are stable.

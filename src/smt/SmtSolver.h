@@ -77,12 +77,22 @@ public:
   /// subsequent check().
   void assertBase(ExprRef E);
 
+  /// Asserts `Selector -> Body` permanently, attributing \p Body's atoms
+  /// to \p Selector's scope instead of the session base. A check() run
+  /// with that selector as its ActiveScope reports countermodels over
+  /// base + scope + query atoms — other scopes' atoms stay out of the
+  /// diagnostics (the shared per-pair sessions assert every method's
+  /// prefix this way).
+  void assertScoped(ExprRef Selector, ExprRef Body);
+
   /// Decides base ∧ ⋀Assumed under a per-call conflict budget (negative =
   /// unlimited). The \p Assumed formulas hold for this call only; their
   /// Tseitin encodings, bridge clauses, and any learned clauses are
-  /// retained for future calls.
+  /// retained for future calls. \p ActiveScope (a selector previously
+  /// passed to assertScoped) widens the countermodel vocabulary to that
+  /// scope's atoms.
   SatResult check(const std::vector<ExprRef> &Assumed,
-                  int64_t MaxConflicts = -1);
+                  int64_t MaxConflicts = -1, ExprRef ActiveScope = nullptr);
 
   /// SAT statistics of the last check() (per-call deltas).
   int64_t conflicts() const { return LastConflicts; }
@@ -94,11 +104,26 @@ public:
   /// learned clauses) that later checks reuse instead of re-deriving.
   size_t retainedClauses() const { return Sat.numClauses(); }
   int64_t learnedClauses() const { return Sat.numLearnedClauses(); }
+  /// Learned-clause-database reductions the warm solver ran, and the total
+  /// clauses they reclaimed (long-lived shared sessions rely on this GC).
+  int64_t dbReductions() const { return Sat.numDbReductions(); }
+  int64_t reclaimedClauses() const { return Sat.numReclaimedClauses(); }
   int numAtoms() const { return static_cast<int>(Encoder.atoms().size()); }
+
+  /// The underlying CDCL solver, exposed for clause-GC configuration
+  /// (benches pin the no-GC baseline; tests force aggressive reduction).
+  SatSolver &solver() { return Sat; }
 
   /// After a Sat check(): the atoms assigned true, for countermodel
   /// diagnostics (sorted by printed form; deterministic across runs).
   const std::vector<std::string> &modelAtoms() const { return LastModel; }
+
+  /// After an Unsat check(): indices into the check's Assumed vector of the
+  /// assumptions the refutation actually used (the solver's unsat core
+  /// mapped back to formulas). Empty when the base alone is contradictory.
+  const std::vector<size_t> &lastCoreAssumptionIndices() const {
+    return LastCoreIdx;
+  }
 
 private:
   ExprRef normalize(ExprRef E);
@@ -133,9 +158,11 @@ private:
   std::set<ExprRef> IntAtomSeen;
 
   /// Atoms of the base formulas: a failing check's countermodel is
-  /// reported over base + current-query atoms only, not over every atom
-  /// the warm session has accumulated from earlier, unrelated queries.
+  /// reported over base + active-scope + current-query atoms only, not
+  /// over every atom the warm session has accumulated from earlier,
+  /// unrelated queries or other selector scopes.
   std::set<ExprRef> BaseAtoms;
+  std::map<ExprRef, std::set<ExprRef>> ScopedAtoms; ///< Keyed by selector.
 
   // High-water marks of the atoms already covered by emitted bridges.
   size_t BridgedObjTerms = 0;
@@ -147,6 +174,7 @@ private:
   int64_t LastConflicts = 0;
   int64_t LastDecisions = 0;
   std::vector<std::string> LastModel;
+  std::vector<size_t> LastCoreIdx;
 };
 
 /// One-shot eager SMT checker: the historical facade, each check() running

@@ -182,21 +182,28 @@ TEST(DriverEngines, EnumerationCoversBothEnginesExactlyOnce) {
   Opts.Engine = EngineKind::Symbolic;
   size_t SymOnly = enumerateJobs(Fx.C, Opts).size();
 
-  // "Both" doubles the commutativity jobs but never the inverse jobs.
-  size_t Inverses = buildInverseSpecs().size();
+  // "Both" doubles every job: the inverse catalog now runs under each
+  // engine too (the symbolic inverse path cross-checks the concrete one).
   EXPECT_EQ(ExOnly, SymOnly);
-  EXPECT_EQ(Jobs.size(), 2 * ExOnly - Inverses);
+  EXPECT_EQ(Jobs.size(), 2 * ExOnly);
 
   std::set<std::string> Keys;
+  size_t SymbolicInverses = 0, ExhaustiveInverses = 0;
   for (const JobRecord &J : Jobs) {
     EXPECT_TRUE(J.Engine == "exhaustive" || J.Engine == "symbolic")
         << J.key();
     if (J.Category == "inverse") {
-      EXPECT_EQ(J.Engine, "exhaustive");
+      if (J.Engine == "symbolic")
+        ++SymbolicInverses;
+      else
+        ++ExhaustiveInverses;
     }
     Keys.insert(J.key());
   }
   EXPECT_EQ(Keys.size(), Jobs.size());
+  size_t Inverses = buildInverseSpecs().size();
+  EXPECT_EQ(SymbolicInverses, Inverses);
+  EXPECT_EQ(ExhaustiveInverses, Inverses);
 }
 
 TEST(DriverEngines, SymbolicMatchesExhaustiveOnFullCatalog) {
@@ -210,28 +217,52 @@ TEST(DriverEngines, SymbolicMatchesExhaustiveOnFullCatalog) {
   Report R = runFullCatalog(Fx.C, Opts);
   EXPECT_EQ(R.failures(), 0u);
 
-  // Pair every symbolic commutativity verdict with its exhaustive twin.
+  // Pair every symbolic verdict (commutativity and inverse) with its
+  // exhaustive twin.
   std::map<std::string, bool> Exhaustive;
   for (const JobRecord &J : R.Results)
-    if (J.Category == "commutativity" && J.Engine == "exhaustive")
-      Exhaustive[J.Family + "/" + J.Op1 + "/" + J.Op2 + "/" + J.Kind + "/" +
-                 J.Role] = J.Verified;
+    if (J.Engine == "exhaustive")
+      Exhaustive[J.Family + "/" + J.Category + "/" + J.Op1 + "/" + J.Op2 +
+                 "/" + J.Kind + "/" + J.Role] = J.Verified;
 
-  size_t SymbolicJobs = 0;
+  size_t SymbolicJobs = 0, SymbolicInverses = 0;
   uint64_t TotalVcs = 0;
   for (const JobRecord &J : R.Results) {
     if (J.Engine != "symbolic")
       continue;
     ++SymbolicJobs;
+    SymbolicInverses += J.Category == "inverse";
     TotalVcs += J.Vcs;
-    std::string Key = J.Family + "/" + J.Op1 + "/" + J.Op2 + "/" + J.Kind +
-                      "/" + J.Role;
+    std::string Key = J.Family + "/" + J.Category + "/" + J.Op1 + "/" +
+                      J.Op2 + "/" + J.Kind + "/" + J.Role;
     ASSERT_TRUE(Exhaustive.count(Key)) << Key;
     EXPECT_EQ(J.Verified, Exhaustive[Key]) << Key;
     EXPECT_GT(J.Vcs, 0u) << Key;
   }
   EXPECT_EQ(SymbolicJobs, Exhaustive.size());
+  EXPECT_EQ(SymbolicInverses, buildInverseSpecs().size());
   EXPECT_GT(TotalVcs, SymbolicJobs); // ArrayList case splits multiply VCs.
+
+  // Every symbolic (family, op-pair) shows up in the pair-session stats
+  // with its six methods and a live session.
+  EXPECT_FALSE(R.Pairs.empty());
+  size_t PairEntries = 0;
+  for (const Family *Fam : allFamilies())
+    PairEntries += Fx.C.entries(*Fam).size();
+  EXPECT_EQ(R.Pairs.size(), PairEntries);
+  bool AnyRetained = false;
+  for (const PairStats &P : R.Pairs) {
+    EXPECT_EQ(P.Methods, 6u) << P.Family << "/" << P.Op1 << "," << P.Op2;
+    EXPECT_EQ(P.Mode, "shared-pair");
+    EXPECT_EQ(P.SessionsOpened, 1u);
+    EXPECT_EQ(P.Selectors, 6u);
+    EXPECT_GT(P.Vcs, 0u);
+    // Trivial pairs (e.g. Accumulator read/read) may encode entirely to
+    // unit clauses, which live on the trail; substantial pairs must show
+    // retained clauses.
+    AnyRetained = AnyRetained || P.RetainedClauses > 0;
+  }
+  EXPECT_TRUE(AnyRetained);
 }
 
 TEST(DriverEngines, SymbolicVerdictsAreThreadCountInvariant) {
@@ -242,20 +273,56 @@ TEST(DriverEngines, SymbolicVerdictsAreThreadCountInvariant) {
 
   Opts.Threads = 1;
   Report Serial = runFullCatalog(Fx.C, Opts);
-  Opts.Threads = 8;
-  Report Parallel = runFullCatalog(Fx.C, Opts);
+  for (unsigned Threads : {2u, 8u}) {
+    Opts.Threads = Threads;
+    Report Parallel = runFullCatalog(Fx.C, Opts);
 
-  EXPECT_TRUE(Serial.sameVerdicts(Parallel));
-  EXPECT_TRUE(Parallel.sameVerdicts(Serial));
-  EXPECT_EQ(Serial.failures(), 0u);
-  EXPECT_EQ(Parallel.failures(), 0u);
+    EXPECT_TRUE(Serial.sameVerdicts(Parallel)) << Threads;
+    EXPECT_TRUE(Parallel.sameVerdicts(Serial)) << Threads;
+    EXPECT_EQ(Serial.failures(), 0u);
+    EXPECT_EQ(Parallel.failures(), 0u);
 
-  // Solver statistics are a function of the job, not of scheduling.
-  for (size_t I = 0; I != Serial.Results.size(); ++I) {
-    EXPECT_EQ(Serial.Results[I].Vcs, Parallel.Results[I].Vcs)
-        << Serial.Results[I].key();
-    EXPECT_EQ(Serial.Results[I].Conflicts, Parallel.Results[I].Conflicts)
-        << Serial.Results[I].key();
+    // Solver statistics are a function of the job, not of scheduling:
+    // each pair runs its six methods in a fixed order on one worker.
+    for (size_t I = 0; I != Serial.Results.size(); ++I) {
+      EXPECT_EQ(Serial.Results[I].Vcs, Parallel.Results[I].Vcs)
+          << Serial.Results[I].key();
+      EXPECT_EQ(Serial.Results[I].Conflicts, Parallel.Results[I].Conflicts)
+          << Serial.Results[I].key();
+      EXPECT_EQ(Serial.Results[I].ProofCore, Parallel.Results[I].ProofCore)
+          << Serial.Results[I].key();
+    }
+    ASSERT_EQ(Serial.Pairs.size(), Parallel.Pairs.size());
+    for (size_t I = 0; I != Serial.Pairs.size(); ++I) {
+      EXPECT_EQ(Serial.Pairs[I].Checks, Parallel.Pairs[I].Checks);
+      EXPECT_EQ(Serial.Pairs[I].Conflicts, Parallel.Pairs[I].Conflicts);
+      EXPECT_EQ(Serial.Pairs[I].RetainedClauses,
+                Parallel.Pairs[I].RetainedClauses);
+    }
+  }
+}
+
+TEST(DriverEngines, SolveModesAgreeOnDriverVerdicts) {
+  // The per-method and one-shot comparison modes must reach the same
+  // verdicts as the shared-pair default (only the statistics may differ).
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.Families = {"Set"};
+  Opts.Threads = 4;
+
+  Opts.SymbolicMode = SolveMode::SharedPair;
+  Report Shared = runFullCatalog(Fx.C, Opts);
+  Opts.SymbolicMode = SolveMode::PerMethod;
+  Report PerMethod = runFullCatalog(Fx.C, Opts);
+
+  EXPECT_EQ(Shared.failures(), 0u);
+  EXPECT_EQ(PerMethod.failures(), 0u);
+  EXPECT_TRUE(Shared.sameVerdicts(PerMethod));
+  for (const PairStats &P : PerMethod.Pairs) {
+    EXPECT_EQ(P.Mode, "per-method");
+    EXPECT_EQ(P.SessionsOpened, 6u);
+    EXPECT_EQ(P.Selectors, 0u);
   }
 }
 
@@ -334,11 +401,40 @@ TEST(DriverReport, EngineAndSolverStatsRoundTrip) {
     EXPECT_EQ(Back->Results[I].MaxVcConflicts, R.Results[I].MaxVcConflicts);
     EXPECT_EQ(Back->Results[I].RetainedClauses,
               R.Results[I].RetainedClauses);
+    EXPECT_EQ(Back->Results[I].DbReductions, R.Results[I].DbReductions);
+    EXPECT_EQ(Back->Results[I].ReclaimedClauses,
+              R.Results[I].ReclaimedClauses);
+    EXPECT_EQ(Back->Results[I].ProofCore, R.Results[I].ProofCore);
   }
   ASSERT_EQ(Back->Families.size(), R.Families.size());
   for (size_t I = 0; I != R.Families.size(); ++I) {
     EXPECT_EQ(Back->Families[I].Vcs, R.Families[I].Vcs);
     EXPECT_EQ(Back->Families[I].Conflicts, R.Families[I].Conflicts);
+    EXPECT_EQ(Back->Families[I].RetainedClauses,
+              R.Families[I].RetainedClauses);
+    EXPECT_EQ(Back->Families[I].DbReductions, R.Families[I].DbReductions);
+    EXPECT_EQ(Back->Families[I].ReclaimedClauses,
+              R.Families[I].ReclaimedClauses);
+  }
+  // The per-pair reuse stats round-trip field by field.
+  EXPECT_FALSE(R.Pairs.empty());
+  ASSERT_EQ(Back->Pairs.size(), R.Pairs.size());
+  for (size_t I = 0; I != R.Pairs.size(); ++I) {
+    EXPECT_EQ(Back->Pairs[I].Family, R.Pairs[I].Family);
+    EXPECT_EQ(Back->Pairs[I].Op1, R.Pairs[I].Op1);
+    EXPECT_EQ(Back->Pairs[I].Op2, R.Pairs[I].Op2);
+    EXPECT_EQ(Back->Pairs[I].Mode, R.Pairs[I].Mode);
+    EXPECT_EQ(Back->Pairs[I].Methods, R.Pairs[I].Methods);
+    EXPECT_EQ(Back->Pairs[I].Vcs, R.Pairs[I].Vcs);
+    EXPECT_EQ(Back->Pairs[I].Checks, R.Pairs[I].Checks);
+    EXPECT_EQ(Back->Pairs[I].Conflicts, R.Pairs[I].Conflicts);
+    EXPECT_EQ(Back->Pairs[I].RetainedClauses, R.Pairs[I].RetainedClauses);
+    EXPECT_EQ(Back->Pairs[I].DbReductions, R.Pairs[I].DbReductions);
+    EXPECT_EQ(Back->Pairs[I].ReclaimedClauses,
+              R.Pairs[I].ReclaimedClauses);
+    EXPECT_EQ(Back->Pairs[I].Selectors, R.Pairs[I].Selectors);
+    EXPECT_EQ(Back->Pairs[I].SessionsOpened, R.Pairs[I].SessionsOpened);
+    EXPECT_EQ(Back->Pairs[I].Millis, R.Pairs[I].Millis);
   }
   // The round-tripped report re-serializes byte-identically.
   EXPECT_EQ(Back->toJson().dump(2), R.toJson().dump(2));

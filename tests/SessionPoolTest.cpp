@@ -1,0 +1,232 @@
+//===- tests/SessionPoolTest.cpp - Shared per-pair session tests ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The shared per-pair session layer must be invisible in the verdicts:
+/// selector literals isolate each method's scoped prefix inside the shared
+/// clause database, and discharging any subset of a pair's methods in any
+/// order through one SharedSession agrees with independent per-method
+/// sessions. The fuzz sweep below drives exactly that comparison over
+/// random method subsets, including mutants whose proofs fail.
+///
+//===----------------------------------------------------------------------===//
+
+#include "commute/SymbolicEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace semcomm;
+
+namespace {
+
+struct PoolFixture {
+  ExprFactory F;
+  Catalog C{F};
+};
+PoolFixture &fixture() {
+  static PoolFixture Fx;
+  return Fx;
+}
+
+} // namespace
+
+TEST(SharedSessionTest, SelectorsIsolateContradictoryScopedPrefixes) {
+  // Two methods with mutually contradictory scoped prefixes must coexist
+  // in one warm database: each proof sees only its own prefix.
+  PoolFixture &Fx = fixture();
+  ExprRef X = Fx.F.var("shared_x", Sort::Bool);
+
+  MethodPlan PosPlan;
+  PosPlan.Name = "scoped_pos";
+  PosPlan.Scoped.push_back({X, "x"});
+  PosPlan.Splits.push_back(
+      VcSplit{{{Fx.F.lnot(X), "not-x"}}, ""}); // x ∧ ¬x: refuted.
+
+  MethodPlan NegPlan;
+  NegPlan.Name = "scoped_neg";
+  NegPlan.Scoped.push_back({Fx.F.lnot(X), "not-x"});
+  NegPlan.Splits.push_back(VcSplit{{{X, "x"}}, ""});
+
+  SharedSession Sess(Fx.F, /*Budget=*/-1, SolveMode::SharedPair);
+  SymbolicResult R1, R2;
+  EXPECT_TRUE(Sess.discharge(PosPlan, R1));
+  EXPECT_TRUE(Sess.discharge(NegPlan, R2));
+  EXPECT_EQ(Sess.numSelectors(), 2u);
+  EXPECT_EQ(Sess.sessionsOpened(), 1u);
+
+  // Had either scoped prefix leaked into the global base, the database
+  // would now be contradictory and this satisfiable plan would "verify".
+  MethodPlan SatPlan;
+  SatPlan.Name = "scoped_free";
+  SatPlan.Splits.push_back(
+      VcSplit{{{Fx.F.var("shared_y", Sort::Bool), "y"}}, ""});
+  SymbolicResult R3;
+  EXPECT_FALSE(Sess.discharge(SatPlan, R3));
+  EXPECT_EQ(R3.LastOutcome, SatResult::Sat);
+}
+
+TEST(SharedSessionTest, SameNameDifferentPlansGetDistinctSelectors) {
+  // Two *different* plans that happen to share a name (e.g. a mutated
+  // entry's methods keep the original names) must not share a selector:
+  // the second plan would otherwise be proved against the first plan's
+  // scoped prefix.
+  PoolFixture &Fx = fixture();
+  ExprRef X = Fx.F.var("dup_x", Sort::Bool);
+
+  MethodPlan A;
+  A.Name = "dup_method";
+  A.Scoped.push_back({X, "x"});
+  A.Splits.push_back(VcSplit{{{Fx.F.lnot(X), "not-x"}}, ""});
+
+  MethodPlan B = A; // Same name, contradictory prefix.
+  B.Scoped.clear();
+  B.Scoped.push_back({Fx.F.lnot(X), "not-x"});
+
+  SharedSession Sess(Fx.F, /*Budget=*/-1, SolveMode::SharedPair);
+  SymbolicResult RA, RB, RA2;
+  EXPECT_TRUE(Sess.discharge(A, RA));
+  // Under B's own prefix (¬x) the split ¬x is satisfiable — had B reused
+  // A's selector (prefix x), it would wrongly verify.
+  EXPECT_FALSE(Sess.discharge(B, RB));
+  EXPECT_EQ(RB.LastOutcome, SatResult::Sat);
+  EXPECT_EQ(Sess.numSelectors(), 2u);
+  // Re-discharging A reuses its original selector.
+  EXPECT_TRUE(Sess.discharge(A, RA2));
+  EXPECT_EQ(Sess.numSelectors(), 2u);
+}
+
+TEST(SharedSessionTest, UnsatCoreLabelsNameTheUsedAssumptions) {
+  PoolFixture &Fx = fixture();
+  ExprRef A = Fx.F.var("core_a", Sort::Bool);
+  ExprRef B = Fx.F.var("core_b", Sort::Bool);
+
+  MethodPlan Plan;
+  Plan.Name = "core_demo";
+  Plan.Scoped.push_back({Fx.F.implies(A, B), "a-implies-b"});
+  // Assume a and ¬b: the refutation needs the selector (which activates
+  // the implication) and both split literals — and nothing else.
+  Plan.Splits.push_back(
+      VcSplit{{{A, "a"}, {Fx.F.lnot(B), "not-b"},
+               {Fx.F.var("core_unused", Sort::Bool), "unused"}},
+              ""});
+
+  SharedSession Sess(Fx.F, /*Budget=*/-1, SolveMode::SharedPair);
+  SymbolicResult R;
+  ASSERT_TRUE(Sess.discharge(Plan, R));
+  auto Has = [&R](const char *L) {
+    return std::find(R.CoreLabels.begin(), R.CoreLabels.end(), L) !=
+           R.CoreLabels.end();
+  };
+  EXPECT_TRUE(Has("sel:core_demo"));
+  EXPECT_TRUE(Has("a"));
+  EXPECT_TRUE(Has("not-b"));
+  EXPECT_FALSE(Has("unused"));
+}
+
+TEST(SharedSessionTest, UnsupportedPlanReportsItsNote) {
+  PoolFixture &Fx = fixture();
+  MethodPlan Plan;
+  Plan.Name = "unsupported_demo";
+  Plan.Unsupported = true;
+  Plan.UnsupportedNote = "unsupported atom shape in bounded lowering";
+  // Even a refutable final split must not count as a proof.
+  Plan.Splits.push_back(VcSplit{{{Fx.F.falseExpr(), "false"}}, "n=0"});
+
+  SharedSession Sess(Fx.F, /*Budget=*/-1, SolveMode::SharedPair);
+  SymbolicResult R;
+  EXPECT_FALSE(Sess.discharge(Plan, R));
+  EXPECT_EQ(R.Countermodel, Plan.UnsupportedNote);
+}
+
+/// Fuzz: random subsets of a pair's six methods, in random order, through
+/// one shared session, against independent per-method sessions — verdicts
+/// and VC counts must be identical. Mutated entries mix failing proofs
+/// into the sequence.
+class SharedPairFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedPairFuzzTest, RandomMethodSubsetsMatchPerMethodSessions) {
+  PoolFixture &Fx = fixture();
+  std::mt19937 Rng(GetParam());
+  SymbolicEngine Shared(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                        SolveMode::SharedPair);
+  SymbolicEngine PerMethod(Fx.F, /*SeqLenBound=*/2,
+                           /*ConflictBudget=*/200000, SolveMode::PerMethod);
+
+  // Pool of entries spanning all four families.
+  std::vector<const ConditionEntry *> Entries;
+  for (const Family *Fam : allFamilies())
+    for (const ConditionEntry &E : Fx.C.entries(*Fam))
+      Entries.push_back(&E);
+
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    const ConditionEntry &Real =
+        *Entries[Rng() % Entries.size()];
+    // Half of the trials weaken the conditions to "always commutes",
+    // which fails soundness for most pairs — the shared session must not
+    // let one method's failure contaminate another's verdict.
+    ConditionEntry Mutant = Real;
+    bool Mutated = (Rng() & 1) != 0;
+    if (Mutated)
+      Mutant.Before = Mutant.Between = Mutant.After = Fx.F.trueExpr();
+    const ConditionEntry &E = Mutated ? Mutant : Real;
+
+    // A random subset of the six methods, in random order.
+    std::vector<std::pair<ConditionKind, MethodRole>> All;
+    for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                            ConditionKind::After})
+      for (MethodRole Role :
+           {MethodRole::Soundness, MethodRole::Completeness})
+        All.push_back({K, Role});
+    std::shuffle(All.begin(), All.end(), Rng);
+    size_t Take = 1 + Rng() % All.size();
+
+    SharedSession Sess(Fx.F, /*Budget=*/200000, SolveMode::SharedPair);
+    for (size_t I = 0; I != Take; ++I) {
+      TestingMethod M;
+      M.Entry = &E;
+      M.Kind = All[I].first;
+      M.Role = All[I].second;
+
+      SymbolicResult Got;
+      Got.Verified = Sess.discharge(Shared.plan(M), Got);
+      SymbolicResult Want = PerMethod.verify(M);
+
+      ASSERT_EQ(Got.Verified, Want.Verified)
+          << "seed=" << GetParam() << " trial=" << Trial << " "
+          << E.Fam->Name << " " << E.pairName() << " " << M.name()
+          << (Mutated ? " (mutant)" : "");
+      ASSERT_EQ(Got.NumVcs, Want.NumVcs) << M.name();
+    }
+    EXPECT_EQ(Sess.sessionsOpened(), 1u);
+    EXPECT_EQ(Sess.numSelectors(), Take);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedPairFuzzTest,
+                         ::testing::Values(17, 29, 71, 113));
+
+TEST(SharedSessionTest, PerMethodAndOneShotModesRecreateSessions) {
+  PoolFixture &Fx = fixture();
+  const ConditionEntry &E = Fx.C.entries(setFamily()).front();
+  SymbolicEngine PerMethod(Fx.F, /*SeqLenBound=*/2,
+                           /*ConflictBudget=*/200000, SolveMode::PerMethod);
+  SymbolicEngine OneShot(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                         SolveMode::OneShot);
+  PairOutcome PM = PerMethod.verifyPair(E);
+  PairOutcome OS = OneShot.verifyPair(E);
+  EXPECT_EQ(PM.failures(), 0u);
+  EXPECT_EQ(OS.failures(), 0u);
+  EXPECT_EQ(PM.SessionsOpened, 6u); // One session per method.
+  uint64_t Vcs = 0;
+  for (const SymbolicResult &R : OS.Methods)
+    Vcs += R.NumVcs;
+  EXPECT_EQ(OS.SessionsOpened, Vcs); // One session per VC split.
+  EXPECT_EQ(PM.Selectors, 0u);       // Selectors are SharedPair-only.
+}

@@ -339,6 +339,115 @@ TEST_P(SatIncrementalFuzzTest, AssumptionsAgreeWithFreshSolver) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SatIncrementalFuzzTest,
                          ::testing::Values(3, 7, 31, 127));
 
+// --- Clause-database reduction ------------------------------------------------
+
+TEST(SatSolverClauseGc, ReductionFiresAndPreservesPigeonholeAnswers) {
+  // Conflict-heavy warm workload with an aggressive GC threshold: the
+  // reduction must fire, reclaim clauses, and change no answer.
+  SatSolver Gc, NoGc;
+  NoGc.setClauseGc(false);
+  Gc.setClauseGcLimit(50);
+  Lit SelGc(Gc.addVar(), true), SelNo(NoGc.addVar(), true);
+  gatedPigeonhole(Gc, 6, SelGc);
+  gatedPigeonhole(NoGc, 6, SelNo);
+
+  for (int Round = 0; Round < 4; ++Round) {
+    ASSERT_EQ(Gc.solve({SelGc}), SatResult::Unsat) << Round;
+    ASSERT_EQ(NoGc.solve({SelNo}), SatResult::Unsat) << Round;
+    ASSERT_EQ(Gc.solve({SelGc.negated()}), SatResult::Sat) << Round;
+    ASSERT_EQ(NoGc.solve({SelNo.negated()}), SatResult::Sat) << Round;
+    EXPECT_TRUE(Gc.reasonInvariantHolds()) << Round;
+  }
+  EXPECT_GT(Gc.numDbReductions(), 0);
+  EXPECT_GT(Gc.numReclaimedClauses(), 0);
+  EXPECT_EQ(NoGc.numDbReductions(), 0);
+  // The GC'd database is strictly smaller than the packrat one.
+  EXPECT_LT(Gc.numClauses(), NoGc.numClauses());
+}
+
+TEST(SatSolverClauseGc, ManualReduceKeepsReasonClauses) {
+  SatSolver S;
+  Lit Sel(S.addVar(), true);
+  gatedPigeonhole(S, 5, Sel);
+  ASSERT_EQ(S.solve({Sel}), SatResult::Unsat);
+  ASSERT_TRUE(S.reasonInvariantHolds());
+
+  // Root-level reduction between solves: reasons of root-implied literals
+  // survive, and the database still answers identically.
+  size_t Before = S.numClauses();
+  size_t Removed = S.reduceDb();
+  EXPECT_EQ(S.numClauses(), Before - Removed);
+  EXPECT_TRUE(S.reasonInvariantHolds());
+  EXPECT_EQ(S.solve({Sel}), SatResult::Unsat);
+  EXPECT_EQ(S.solve({Sel.negated()}), SatResult::Sat);
+  EXPECT_TRUE(S.reasonInvariantHolds());
+}
+
+// Property sweep: a warm solver with forced-aggressive clause GC must agree
+// with a no-GC reference on every answer of a random query sequence.
+class SatClauseGcFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatClauseGcFuzzTest, AggressiveGcAgreesWithNoGcReference) {
+  std::mt19937 Rng(GetParam());
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    int NV = 6 + static_cast<int>(Rng() % 10);
+    int NC = 8 + static_cast<int>(Rng() % (NV * 4));
+    std::vector<std::vector<int>> Cls;
+    for (int C = 0; C < NC; ++C) {
+      int Len = 2 + static_cast<int>(Rng() % 3);
+      std::vector<int> Clause;
+      for (int I = 0; I < Len; ++I) {
+        int V = 1 + static_cast<int>(Rng() % NV);
+        Clause.push_back((Rng() & 1) ? V : -V);
+      }
+      Cls.push_back(Clause);
+    }
+
+    SatSolver Gc, NoGc;
+    Gc.setClauseGcLimit(4); // Absurdly aggressive: reduce all the time.
+    NoGc.setClauseGc(false);
+    for (SatSolver *S : {&Gc, &NoGc}) {
+      for (int V = 0; V < NV; ++V)
+        S->addVar();
+      for (const auto &Clause : Cls) {
+        std::vector<Lit> Lits;
+        for (int L : Clause)
+          Lits.push_back(Lit(L > 0 ? L : -L, L > 0));
+        S->addClause(Lits);
+      }
+    }
+
+    for (int Round = 0; Round < 10; ++Round) {
+      std::vector<Lit> Assumps;
+      int NA = static_cast<int>(Rng() % 4);
+      for (int I = 0; I < NA; ++I) {
+        int V = 1 + static_cast<int>(Rng() % NV);
+        Assumps.push_back(Lit(V, (Rng() & 1) != 0));
+      }
+      SatResult Got = Gc.solve(Assumps);
+      SatResult Want = NoGc.solve(Assumps);
+      ASSERT_EQ(Got, Want) << "seed=" << GetParam() << " iter=" << Iter
+                           << " round=" << Round;
+      ASSERT_TRUE(Gc.reasonInvariantHolds());
+      if (Got == SatResult::Sat) {
+        // The GC'd solver's model still satisfies the original CNF.
+        for (const auto &Clause : Cls) {
+          bool SatC = false;
+          for (int L : Clause)
+            if ((L > 0) == Gc.modelValue(L > 0 ? L : -L))
+              SatC = true;
+          ASSERT_TRUE(SatC) << "invalid model after clause GC";
+        }
+      }
+      if (Want == SatResult::Unsat && Assumps.empty())
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatClauseGcFuzzTest,
+                         ::testing::Values(11, 42, 1009, 4099));
+
 // --- Tseitin ------------------------------------------------------------------
 
 TEST(TseitinTest, RoundTripSemantics) {

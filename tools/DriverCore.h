@@ -13,9 +13,13 @@
 /// dispatches the independent verification jobs across a work-stealing
 /// ThreadPool, and aggregates per-family timings plus a JSON report.
 ///
-/// The job list and the result order are fully determined by the options —
-/// never by thread scheduling — so an N-thread run and a 1-thread run
-/// produce byte-identical verdict sequences (DriverTest pins this down).
+/// Symbolic commutativity jobs are planned *per pair*: the six testing
+/// methods of one (family, op-pair) run as one unit on one worker so they
+/// can share a warm solver session (SolveMode::SharedPair); the report
+/// gains per-pair reuse statistics. The job list and the result order are
+/// fully determined by the options — never by thread scheduling — so an
+/// N-thread run and a 1-thread run produce byte-identical verdict
+/// sequences (DriverTest pins this down).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +27,7 @@
 #define SEMCOMM_TOOLS_DRIVERCORE_H
 
 #include "commute/Condition.h"
+#include "commute/SessionPool.h"
 #include "support/Json.h"
 
 #include <cstdint>
@@ -33,9 +38,9 @@
 namespace semcomm {
 namespace driver {
 
-/// Which verification engine(s) discharge the commutativity jobs. The
-/// inverse catalog (Table 5.10) is concrete-execution by construction and
-/// always runs on the exhaustive path.
+/// Which verification engine(s) discharge the catalog jobs. Both the
+/// commutativity catalog and the inverse catalog (Table 5.10) run on the
+/// selected engine(s); "both" cross-checks them against each other.
 enum class EngineKind : uint8_t { Exhaustive, Symbolic, Both };
 
 const char *engineKindName(EngineKind E);
@@ -50,7 +55,7 @@ struct DriverOptions {
   bool Commutativity = true;
   /// Include the inverse-operation catalog (Table 5.10).
   bool Inverses = true;
-  /// Engine selection for the commutativity jobs.
+  /// Engine selection for the catalog jobs.
   EngineKind Engine = EngineKind::Exhaustive;
   /// Enumeration bounds handed to the exhaustive engine.
   Scope Bounds;
@@ -58,6 +63,9 @@ struct DriverOptions {
   int SymbolicSeqLenBound = 3;
   /// Per-VC CDCL conflict budget for the symbolic engine.
   int64_t SymbolicConflictBudget = 200000;
+  /// Session strategy for the symbolic engine: shared-pair (default),
+  /// per-method, or oneshot (comparison baselines).
+  SolveMode SymbolicMode = SolveMode::SharedPair;
 };
 
 /// One verification job and (after running) its outcome. Category is
@@ -78,6 +86,12 @@ struct JobRecord {
   int64_t Conflicts = 0;        ///< Total CDCL conflicts.
   int64_t MaxVcConflicts = 0;   ///< Largest single-VC conflict count.
   uint64_t RetainedClauses = 0; ///< Warm-session clauses reused across VCs.
+  uint64_t DbReductions = 0;    ///< Clause-GC runs during the job.
+  uint64_t ReclaimedClauses = 0; ///< Clauses the GC reclaimed.
+  /// Semicolon-joined labels of the assumptions the proofs actually used
+  /// (unsat cores: selector/split literals) — the raw material of
+  /// §5.2.1-style hint minimization.
+  std::string ProofCore;
   std::string Note; ///< Counterexample or failure note when !Verified.
 
   /// Stable identity of the job (everything except the outcome).
@@ -98,9 +112,33 @@ struct FamilySummary {
   /// Sum of per-job times (approximates CPU time across workers).
   double JobMillis = 0;
   uint64_t Scenarios = 0;
-  /// Symbolic-path aggregates (zero in exhaustive-only runs).
+  /// Symbolic-path aggregates (zero in exhaustive-only runs). Conflicts,
+  /// reductions, and reclaim counts are sums; RetainedClauses is the peak
+  /// across the family's jobs — the number clause-DB reduction is meant to
+  /// bound.
   uint64_t Vcs = 0;
   int64_t Conflicts = 0;
+  uint64_t RetainedClauses = 0;
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
+};
+
+/// Reuse statistics of one shared pair session (symbolic commutativity
+/// jobs only; one row per (family, op-pair) in job-list order).
+struct PairStats {
+  std::string Family;
+  std::string Op1, Op2;
+  std::string Mode; ///< solveModeName of the run.
+  unsigned Methods = 0;
+  uint64_t Vcs = 0;
+  uint64_t Checks = 0;
+  int64_t Conflicts = 0;
+  uint64_t RetainedClauses = 0;
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
+  unsigned Selectors = 0;
+  uint64_t SessionsOpened = 0;
+  double Millis = 0;
 };
 
 /// Everything a run produces; serializes to/from the JSON report.
@@ -110,6 +148,9 @@ struct Report {
   Scope Bounds;
   std::vector<FamilySummary> Families;
   std::vector<JobRecord> Results;
+  /// Per-pair shared-session reuse stats (empty for exhaustive-only runs
+  /// and for reports predating the field).
+  std::vector<PairStats> Pairs;
   /// Non-empty when the run never started (e.g. unknown family name); a
   /// report with an Error has no results and counts as failed.
   std::string Error;

@@ -37,12 +37,17 @@ void printUsage(const char *Argv0) {
       "options:\n"
       "  --families LIST   comma-separated families to verify: all (default),\n"
       "                    Accumulator, Set, Map, ArrayList\n"
-      "  --engine E        engine for the commutativity catalog: exhaustive\n"
-      "                    (default), symbolic, or both; the inverse catalog\n"
-      "                    always runs on the exhaustive path\n"
+      "  --engine E        engine for both catalogs (commutativity and\n"
+      "                    Table 5.10 inverses): exhaustive (default),\n"
+      "                    symbolic, or both\n"
       "  --seq-bound N     ArrayList case-split bound for the symbolic\n"
-      "                    engine (default: 3)\n"
-      "  --threads N       worker threads (default: hardware concurrency)\n"
+      "                    engine (default: 3); requires --engine\n"
+      "                    symbolic or both\n"
+      "  --solve-mode M    symbolic session strategy: shared-pair (default,\n"
+      "                    one warm solver per op-pair), per-method, or\n"
+      "                    oneshot; requires --engine symbolic or both\n"
+      "  --threads N       worker threads (default: hardware concurrency;\n"
+      "                    must be positive)\n"
       "  --no-commute      skip the commutativity-condition catalog\n"
       "  --no-inverse      skip the inverse catalog (Table 5.10)\n"
       "  --list            print the job list without verifying\n"
@@ -78,6 +83,7 @@ int main(int argc, char **argv) {
   DriverOptions Opts;
   Opts.Threads = ThreadPool::hardwareThreads();
   bool ListOnly = false, Quiet = false, FailuresOnly = false;
+  bool SeqBoundSet = false, SolveModeSet = false;
   std::string JsonPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -122,9 +128,36 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.SymbolicSeqLenBound = static_cast<int>(N);
+      SeqBoundSet = true;
+    } else if (Arg == "--solve-mode") {
+      std::string M = needValue("--solve-mode");
+      if (M == "shared-pair") {
+        Opts.SymbolicMode = SolveMode::SharedPair;
+      } else if (M == "per-method") {
+        Opts.SymbolicMode = SolveMode::PerMethod;
+      } else if (M == "oneshot") {
+        Opts.SymbolicMode = SolveMode::OneShot;
+      } else {
+        std::fprintf(stderr,
+                     "unknown solve mode '%s' (expected shared-pair, "
+                     "per-method or oneshot)\n",
+                     M.c_str());
+        return 2;
+      }
+      SolveModeSet = true;
     } else if (Arg == "--threads") {
-      Opts.Threads = static_cast<unsigned>(
-          std::strtoul(needValue("--threads"), nullptr, 10));
+      const char *Val = needValue("--threads");
+      char *End = nullptr;
+      long N = std::strtol(Val, &End, 10);
+      if (End == Val || *End != '\0' || N < 1) {
+        // Threads=0 used to be silently promoted to 1; reject it instead
+        // of guessing what the caller meant.
+        std::fprintf(stderr, "--threads wants a positive integer, got "
+                             "'%s'\n",
+                     Val);
+        return 2;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
     } else if (Arg == "--no-commute") {
       Opts.Commutativity = false;
     } else if (Arg == "--no-inverse") {
@@ -142,6 +175,24 @@ int main(int argc, char **argv) {
       printUsage(argv[0]);
       return 2;
     }
+  }
+
+  // Reject incoherent combinations up front instead of silently ignoring
+  // half of them (flag order must not matter, so this runs post-parse).
+  if (SeqBoundSet && Opts.Engine == EngineKind::Exhaustive) {
+    std::fprintf(stderr, "--seq-bound only applies to the symbolic engine; "
+                         "pass --engine symbolic or both\n");
+    return 2;
+  }
+  if (SolveModeSet && Opts.Engine == EngineKind::Exhaustive) {
+    std::fprintf(stderr, "--solve-mode only applies to the symbolic "
+                         "engine; pass --engine symbolic or both\n");
+    return 2;
+  }
+  if (!Opts.Commutativity && !Opts.Inverses) {
+    std::fprintf(stderr, "--no-commute together with --no-inverse leaves "
+                         "nothing to verify\n");
+    return 2;
   }
 
   std::string Error;
