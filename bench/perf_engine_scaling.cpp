@@ -8,12 +8,19 @@
 // §4.1's small-scope argument: the verdicts stabilize by scope 3 while the
 // cost grows combinatorially — the reason the default scope suffices.
 //
-// The symbolic section compares the three discharge strategies — one-shot
-// session-per-VC, the per-method warm session, and the shared per-pair
-// session (selector literals, one warm solver for all six methods of an
-// op-pair) — and emits machine-readable BENCH_JSON lines that
-// bench/run_all.sh collects into BENCH_semcommute.json, including the
-// shared-pair over per-method speedup ratio and the clause-GC counters.
+// The symbolic section compares the four discharge strategies — one-shot
+// session-per-VC, the per-method warm session, the shared per-pair session
+// (selector literals, one warm solver for all six methods of an op-pair),
+// and the shared family session (one warm solver for the whole family,
+// per-pair scopes retired when done) — and emits machine-readable
+// BENCH_JSON lines that bench/run_all.sh collects into
+// BENCH_semcommute.json, including the pair-over-method and
+// family-over-pair speedup ratios and the clause-GC/eviction counters.
+//
+// A second sweep varies the clause-GC budget (the --gc-budget knob /
+// SatSolver::setClauseGcLimit) over the shared-family ArrayList suite so
+// the default threshold is picked from measured peak-retention/time data
+// instead of MiniSat folklore.
 //
 //===----------------------------------------------------------------------===//
 
@@ -81,6 +88,33 @@ SymbolicRun runSharedPairSuite(ExprFactory &F, const Catalog &C, int Bound) {
   return Out;
 }
 
+/// Family-level discharge: every ArrayList pair through one FamilySession,
+/// each pair's scope retired when its six methods are done.
+SymbolicRun runSharedFamilySuite(ExprFactory &F, const Catalog &C, int Bound,
+                                 int64_t GcBudget,
+                                 FamilySessionStats *StatsOut = nullptr) {
+  SymbolicEngine Engine(F, Bound, /*ConflictBudget=*/200000,
+                        SolveMode::SharedFamily);
+  Engine.setClauseGcBudget(GcBudget);
+  SymbolicRun Out;
+  Stopwatch W;
+  FamilyOutcome FO = Engine.verifyFamily(C, arrayListFamily());
+  for (const PairOutcome &O : FO.Pairs)
+    for (const SymbolicResult &R : O.Methods) {
+      Out.Vcs += R.NumVcs;
+      Out.Failures += !R.Verified;
+      ++Out.Methods;
+    }
+  Out.Conflicts = FO.Conflicts;
+  Out.RetainedClauses = FO.Stats.PeakRetainedClauses;
+  Out.DbReductions = FO.DbReductions;
+  Out.ReclaimedClauses = FO.ReclaimedClauses;
+  Out.Seconds = W.seconds();
+  if (StatsOut)
+    *StatsOut = FO.Stats;
+  return Out;
+}
+
 } // namespace
 
 int main() {
@@ -112,9 +146,10 @@ int main() {
 
   std::printf("\nSymbolic engine, full ArrayList method suite by length "
               "bound:\none-shot session-per-VC vs per-method warm session "
-              "vs shared per-pair session:\n\n");
-  std::printf("%8s %10s %12s %12s %12s %12s %10s\n", "bound", "methods",
-              "VCs", "oneshot(s)", "method(s)", "pair(s)", "pair-gain");
+              "vs shared per-pair vs shared family session:\n\n");
+  std::printf("%8s %10s %12s %12s %12s %12s %12s %10s %10s\n", "bound",
+              "methods", "VCs", "oneshot(s)", "method(s)", "pair(s)",
+              "family(s)", "pair-gain", "fam-gain");
   for (int Bound = 2; Bound <= 4; ++Bound) {
     // Untimed warm-up: intern this bound's expressions into the shared
     // factory so no timed leg pays first-time allocation.
@@ -122,35 +157,83 @@ int main() {
     SymbolicRun OneShot = runSymbolicSuite(F, C, Bound, SolveMode::OneShot);
     SymbolicRun Method = runSymbolicSuite(F, C, Bound, SolveMode::PerMethod);
     SymbolicRun Pair = runSharedPairSuite(F, C, Bound);
-    // The acceptance metric: shared-pair sessions must at least hold the
-    // line against the per-method incremental baseline.
+    FamilySessionStats FamStats;
+    SymbolicRun Fam = runSharedFamilySuite(F, C, Bound, /*GcBudget=*/0,
+                                           &FamStats);
+    // The acceptance metrics: each tier must at least hold the line
+    // against the one below it.
     double PairGain = Pair.Seconds > 0 ? Method.Seconds / Pair.Seconds : 0;
+    double FamGain = Fam.Seconds > 0 ? Pair.Seconds / Fam.Seconds : 0;
     double IncrGain = Method.Seconds > 0 ? OneShot.Seconds / Method.Seconds
                                          : 0;
-    unsigned Failures = OneShot.Failures + Method.Failures + Pair.Failures;
-    std::printf("%8d %10u %12llu %12.3f %12.3f %12.3f %9.2fx%s\n", Bound,
-                Pair.Methods, (unsigned long long)Pair.Vcs, OneShot.Seconds,
-                Method.Seconds, Pair.Seconds, PairGain,
-                Failures ? "  FAILURES!" : "");
+    unsigned Failures = OneShot.Failures + Method.Failures + Pair.Failures +
+                        Fam.Failures;
+    std::printf("%8d %10u %12llu %12.3f %12.3f %12.3f %12.3f %9.2fx %9.2fx"
+                "%s\n",
+                Bound, Pair.Methods, (unsigned long long)Pair.Vcs,
+                OneShot.Seconds, Method.Seconds, Pair.Seconds, Fam.Seconds,
+                PairGain, FamGain, Failures ? "  FAILURES!" : "");
     // Machine-readable line for bench/run_all.sh's aggregate baseline.
     std::printf("BENCH_JSON {\"bench\":\"perf_engine_scaling\","
                 "\"metric\":\"symbolic_arraylist_suite\",\"bound\":%d,"
                 "\"methods\":%u,\"vcs\":%llu,\"oneshot_s\":%.4f,"
                 "\"per_method_s\":%.4f,\"shared_pair_s\":%.4f,"
+                "\"shared_family_s\":%.4f,"
                 "\"speedup\":%.3f,\"pair_over_method_speedup\":%.3f,"
+                "\"family_over_pair_speedup\":%.3f,"
                 "\"oneshot_conflicts\":%lld,\"per_method_conflicts\":%lld,"
                 "\"shared_pair_conflicts\":%lld,"
+                "\"shared_family_conflicts\":%lld,"
                 "\"shared_pair_retained_clauses\":%llu,"
                 "\"shared_pair_db_reductions\":%llu,"
                 "\"shared_pair_reclaimed_clauses\":%llu,"
+                "\"family_peak_retained_clauses\":%llu,"
+                "\"family_evictions\":%llu,"
+                "\"family_evicted_clauses\":%llu,"
+                "\"family_prefix_reuses\":%llu,"
                 "\"failures\":%u}\n",
                 Bound, Pair.Methods, (unsigned long long)Pair.Vcs,
-                OneShot.Seconds, Method.Seconds, Pair.Seconds, IncrGain,
-                PairGain, (long long)OneShot.Conflicts,
+                OneShot.Seconds, Method.Seconds, Pair.Seconds, Fam.Seconds,
+                IncrGain, PairGain, FamGain, (long long)OneShot.Conflicts,
                 (long long)Method.Conflicts, (long long)Pair.Conflicts,
+                (long long)Fam.Conflicts,
                 (unsigned long long)Pair.RetainedClauses,
                 (unsigned long long)Pair.DbReductions,
-                (unsigned long long)Pair.ReclaimedClauses, Failures);
+                (unsigned long long)Pair.ReclaimedClauses,
+                (unsigned long long)FamStats.PeakRetainedClauses,
+                (unsigned long long)FamStats.PairsRetired,
+                (unsigned long long)FamStats.EvictedClauses,
+                (unsigned long long)FamStats.PrefixReuses, Failures);
+  }
+
+  // Clause-GC budget sweep over the shared-family ArrayList suite: the
+  // default reduce threshold is whatever this data says, not folklore.
+  // (A budget below the workload's live-lemma count trades re-derivation
+  // conflicts for retention; a budget above it never fires.)
+  std::printf("\nClause-GC budget sweep, shared-family ArrayList suite "
+              "(bound 3):\n\n");
+  std::printf("%10s %10s %12s %14s %12s %12s\n", "budget", "time(s)",
+              "conflicts", "peak-retained", "reductions", "reclaimed");
+  runSharedFamilySuite(F, C, 3, 0); // Warm-up.
+  for (int64_t Budget : {100LL, 250LL, 500LL, 1000LL, 2000LL, 4000LL}) {
+    FamilySessionStats FamStats;
+    SymbolicRun Run = runSharedFamilySuite(F, C, 3, Budget, &FamStats);
+    std::printf("%10lld %10.3f %12lld %14llu %12llu %12llu%s\n",
+                (long long)Budget, Run.Seconds, (long long)Run.Conflicts,
+                (unsigned long long)FamStats.PeakRetainedClauses,
+                (unsigned long long)Run.DbReductions,
+                (unsigned long long)Run.ReclaimedClauses,
+                Run.Failures ? "  FAILURES!" : "");
+    std::printf("BENCH_JSON {\"bench\":\"perf_engine_scaling\","
+                "\"metric\":\"gc_budget_sweep\",\"bound\":3,"
+                "\"gc_budget\":%lld,\"shared_family_s\":%.4f,"
+                "\"conflicts\":%lld,\"peak_retained_clauses\":%llu,"
+                "\"db_reductions\":%llu,\"reclaimed_clauses\":%llu,"
+                "\"failures\":%u}\n",
+                (long long)Budget, Run.Seconds, (long long)Run.Conflicts,
+                (unsigned long long)FamStats.PeakRetainedClauses,
+                (unsigned long long)Run.DbReductions,
+                (unsigned long long)Run.ReclaimedClauses, Run.Failures);
   }
   return 0;
 }

@@ -128,6 +128,29 @@ else
   failures=$((failures + 1))
 fi
 
+# Family-tier snapshot: the same catalog under --solve-mode shared-family,
+# whose per-family eviction / peak-retention / prefix-reuse counters join
+# the baseline so family-session regressions (unbounded retention, lost
+# prefix sharing) are caught like wall-time ones.
+FAMILY_JSON="$RESULTS_DIR/driver_family_stats.json"
+if [ -x "$DRIVER_BIN" ]; then
+  echo "== semcommute-verify (shared-family session snapshot)"
+  start=$(now)
+  if "$DRIVER_BIN" --families all --engine symbolic \
+       --solve-mode shared-family --quiet \
+       --json "$FAMILY_JSON" > "$RESULTS_DIR/driver_family_stats.txt" 2>&1
+  then status=ok; else
+    status=failed
+    echo "FAILED  semcommute-verify shared-family (see $RESULTS_DIR/driver_family_stats.txt)"
+    failures=$((failures + 1))
+  fi
+  end=$(now)
+  record "driver_family_stats" \
+    "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
+else
+  record "driver_family_stats" 0 missing
+fi
+
 python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
 import json, os, sys
 
@@ -213,13 +236,30 @@ if os.path.exists(driver_path):
             },
         }
 
+# Family-session statistics from the shared-family snapshot run.
+family_stats = None
+family_path = os.path.join(results_dir, "driver_family_stats.json")
+if os.path.exists(family_path):
+    try:
+        with open(family_path) as f:
+            report = json.load(f)
+    except json.JSONDecodeError:
+        report = None
+    if report:
+        family_stats = {
+            "engine": "symbolic",
+            "mode": "shared-family",
+            "families": report.get("family_stats", []),
+        }
+
 doc = {
-    "schema": 2,
+    "schema": 3,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
     "google_benchmarks": google,
     "driver_solver_stats": driver_stats,
+    "driver_family_stats": family_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

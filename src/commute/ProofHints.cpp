@@ -13,6 +13,7 @@
 #include "support/Unreachable.h"
 
 #include <cassert>
+#include <set>
 
 using namespace semcomm;
 
@@ -124,15 +125,17 @@ semcomm::buildArrayListHintScripts(ExprFactory &F) {
   const char *ScanOps[] = {"indexOf", "lastIndexOf"};
   const char *RaOps[] = {"remove_at", "remove_at_"};
 
+  // Labels are assigned en bloc after the scripts are built.
   auto note = [](ExprRef Formula, const char *Comment) {
-    return HintCommand{HintCommandKind::Note, Formula, "", Comment};
+    return HintCommand{HintCommandKind::Note, Formula, "", Comment, ""};
   };
   auto assuming = [](ExprRef Formula, const char *Comment) {
-    return HintCommand{HintCommandKind::Assuming, Formula, "", Comment};
+    return HintCommand{HintCommandKind::Assuming, Formula, "", Comment, ""};
   };
   auto pickWitness = [](ExprRef Formula, const char *Var,
                         const char *Comment) {
-    return HintCommand{HintCommandKind::PickWitness, Formula, Var, Comment};
+    return HintCommand{HintCommandKind::PickWitness, Formula, Var, Comment,
+                       ""};
   };
 
   // --- Category 1: soundness, shift x scan (12 methods) ---------------------
@@ -286,7 +289,27 @@ semcomm::buildArrayListHintScripts(ExprFactory &F) {
     }
   }
 
+  // Stable command labels: what the symbolic engine's unsat cores report
+  // when a proof uses an assumed hint lemma (see minimizedFor).
+  for (HintScript &S : Scripts)
+    for (size_t I = 0; I != S.Commands.size(); ++I)
+      S.Commands[I].Label = std::string("hint:") + S.Op1Name + "," +
+                            S.Op2Name + ":" + conditionKindName(S.Kind) +
+                            ":" + methodRoleName(S.Role) + ":" +
+                            std::to_string(I);
+
   return Scripts;
+}
+
+HintScript semcomm::minimizedFor(const HintScript &Script,
+                                 const std::vector<std::string> &CoreLabels) {
+  std::set<std::string> Used(CoreLabels.begin(), CoreLabels.end());
+  HintScript Out = Script;
+  Out.Commands.clear();
+  for (const HintCommand &Cmd : Script.Commands)
+    if (Cmd.Kind == HintCommandKind::Assuming || Used.count(Cmd.Label))
+      Out.Commands.push_back(Cmd);
+  return Out;
 }
 
 HintSummary semcomm::summarizeHints(const std::vector<HintScript> &Scripts) {

@@ -55,6 +55,11 @@ struct HintCommand {
   ExprRef Formula;        ///< Lemma / case / witness obligation.
   std::string WitnessVar; ///< pickWitness only.
   std::string Comment;    ///< What the command contributes to the proof.
+  /// Stable identity of the command ("hint:<pair>:<kind>:<role>:<n>",
+  /// assigned by buildArrayListHintScripts). When the symbolic engine
+  /// assumes a hint lemma, this label is what the unsat core reports —
+  /// the signal minimizedFor() consumes.
+  std::string Label;
 };
 
 /// The hint script of one testing method.
@@ -95,6 +100,16 @@ struct HintValidation {
 /// corresponding testing method (see file comment for the obligations).
 HintValidation validateScript(const HintScript &Script, const Catalog &C,
                               const Scope &Bounds = Scope());
+
+/// The automated counterpart of §5.2.1's hand-minimization: returns
+/// \p Script with every note/pickWitness command whose Label never appears
+/// in \p CoreLabels removed. \p CoreLabels is the union of the unsat-core
+/// labels recorded for the script's (family, op-pair) — the driver's
+/// proof_core field, or SymbolicResult::CoreLabels from an engine run with
+/// the scripts attached. Assuming commands define the case structure the
+/// cores were recorded under, so they are always kept.
+HintScript minimizedFor(const HintScript &Script,
+                        const std::vector<std::string> &CoreLabels);
 
 } // namespace semcomm
 

@@ -10,8 +10,84 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace semcomm;
+
+namespace {
+
+/// Discharges every split of \p Plan against a warm session under a fixed
+/// selector-assumption prefix — the shared tail of SharedSession::discharge
+/// and FamilySession::discharge, so the split loop, core-label recording,
+/// countermodel assembly, and the Unsupported-trump rule cannot drift
+/// between the pair and family tiers. \p SessionForSplit returns the
+/// session each split runs on (OneShot mode re-opens one per split);
+/// \p Sels/\p SelLabels are the selector assumptions prepended to every
+/// split; \p PeakRetained, when set, tracks the retained-clause high-water
+/// mark across checks.
+bool dischargeSplits(const MethodPlan &Plan, int64_t Budget,
+                     const std::vector<ExprRef> &Sels,
+                     const std::vector<std::string> &SelLabels,
+                     bool TrackRetained, uint64_t *PeakRetained,
+                     const std::function<SmtSession &()> &SessionForSplit,
+                     SymbolicResult &R) {
+  auto AddCoreLabel = [&R](const std::string &L) {
+    if (std::find(R.CoreLabels.begin(), R.CoreLabels.end(), L) ==
+        R.CoreLabels.end())
+      R.CoreLabels.push_back(L);
+  };
+
+  bool Ok = true;
+  size_t FailedAt = Plan.Splits.size();
+  for (size_t SI = 0; SI != Plan.Splits.size(); ++SI) {
+    const VcSplit &Split = Plan.Splits[SI];
+    SmtSession &Session = SessionForSplit();
+
+    std::vector<ExprRef> Assumed = Sels;
+    std::vector<std::string> Labels = SelLabels;
+    for (const TaggedAssumption &A : Split.Assumed) {
+      Assumed.push_back(A.E);
+      Labels.push_back(A.Label);
+    }
+
+    SatResult Out = Session.check(Assumed, Budget, Sels);
+    R.SatConflicts += Session.conflicts();
+    R.MaxVcConflicts = std::max(R.MaxVcConflicts, Session.conflicts());
+    ++R.NumVcs;
+    if (TrackRetained)
+      R.RetainedClauses = Session.retainedClauses();
+    if (PeakRetained)
+      *PeakRetained = std::max(
+          *PeakRetained, static_cast<uint64_t>(Session.retainedClauses()));
+
+    if (Out == SatResult::Unsat) {
+      for (size_t I : Session.lastCoreAssumptionIndices())
+        AddCoreLabel(Labels[I]);
+      continue;
+    }
+
+    R.LastOutcome = Out;
+    std::string Atoms;
+    for (const std::string &A : Session.modelAtoms())
+      if (A.rfind("__sel_", 0) != 0 && A.rfind("__pair_", 0) != 0)
+        Atoms += A + "; "; // Selectors are plumbing, not state.
+    R.Countermodel = Split.Label.empty() ? Atoms : Split.Label + ": " + Atoms;
+    Ok = false;
+    FailedAt = SI;
+    break;
+  }
+
+  // An out-of-fragment atom trumps whatever the truncated final split said
+  // (the lowering replaced the atom by a free variable, so that split's
+  // verdict is meaningless).
+  if (Plan.Unsupported && (Ok || FailedAt + 1 == Plan.Splits.size())) {
+    R.Countermodel = Plan.UnsupportedNote;
+    Ok = false;
+  }
+  return Ok;
+}
+
+} // namespace
 
 const char *semcomm::solveModeName(SolveMode M) {
   switch (M) {
@@ -21,8 +97,30 @@ const char *semcomm::solveModeName(SolveMode M) {
     return "per-method";
   case SolveMode::SharedPair:
     return "shared-pair";
+  case SolveMode::SharedFamily:
+    return "shared-family";
   }
   return "shared-pair";
+}
+
+std::vector<ExprRef> semcomm::planFingerprint(const MethodPlan &Plan) {
+  // The fingerprint is the plan's prefix content; hash-consing makes
+  // pointer equality structural equality, so two plans match iff their
+  // prefixes are the same formulas.
+  std::vector<ExprRef> Fingerprint = Plan.Common;
+  Fingerprint.push_back(nullptr); // Separator: Common vs Scoped.
+  for (const TaggedAssumption &S : Plan.Scoped)
+    Fingerprint.push_back(S.E);
+  return Fingerprint;
+}
+
+ExprRef semcomm::findPlanSelector(
+    const std::vector<PlanSelectorEntry> &Entries,
+    const std::vector<ExprRef> &Fingerprint) {
+  for (const PlanSelectorEntry &E : Entries)
+    if (E.Fingerprint == Fingerprint)
+      return E.Sel;
+  return nullptr;
 }
 
 void SharedSession::openSession() {
@@ -57,21 +155,15 @@ void SharedSession::assertPrefix(const MethodPlan &Plan, ExprRef Sel) {
 
 bool SharedSession::discharge(const MethodPlan &Plan, SymbolicResult &R) {
   ExprRef Sel = nullptr;
-  if (Mode == SolveMode::SharedPair) {
+  // A SharedSession given SharedFamily mode serves a single pair — the
+  // degenerate family — with the same selector discipline as SharedPair
+  // (FamilySession owns the real multi-pair nesting and eviction).
+  if (Mode == SolveMode::SharedPair || Mode == SolveMode::SharedFamily) {
     if (!Session)
       openSession();
-    // The fingerprint is the plan's prefix content; hash-consing makes
-    // pointer equality structural equality, so two plans match iff their
-    // prefixes are the same formulas.
-    std::vector<ExprRef> Fingerprint = Plan.Common;
-    Fingerprint.push_back(nullptr); // Separator: Common vs Scoped.
-    for (const TaggedAssumption &S : Plan.Scoped)
-      Fingerprint.push_back(S.E);
-
-    std::vector<SelectorEntry> &Entries = Selectors[Plan.Name];
-    for (const SelectorEntry &E : Entries)
-      if (E.Fingerprint == Fingerprint)
-        Sel = E.Sel;
+    std::vector<ExprRef> Fingerprint = planFingerprint(Plan);
+    std::vector<PlanSelectorEntry> &Entries = Selectors[Plan.Name];
+    Sel = findPlanSelector(Entries, Fingerprint);
     if (!Sel) {
       // A repeated name with a different prefix (e.g. a mutated entry
       // whose methods share names with the original's) gets its own
@@ -92,68 +184,27 @@ bool SharedSession::discharge(const MethodPlan &Plan, SymbolicResult &R) {
   uint64_t RedBefore = dbReductions();
   uint64_t RecBefore = reclaimedClauses();
 
-  auto AddCoreLabel = [&R](const std::string &L) {
-    if (std::find(R.CoreLabels.begin(), R.CoreLabels.end(), L) ==
-        R.CoreLabels.end())
-      R.CoreLabels.push_back(L);
-  };
-
-  bool Ok = true;
-  size_t FailedAt = Plan.Splits.size();
-  for (size_t SI = 0; SI != Plan.Splits.size(); ++SI) {
-    const VcSplit &Split = Plan.Splits[SI];
-    if (Mode == SolveMode::OneShot) {
-      openSession();
-      assertPrefix(Plan, nullptr);
-    }
-    assert(Session && "split discharged without a session");
-
-    std::vector<ExprRef> Assumed;
-    std::vector<std::string> Labels;
-    if (Sel) {
-      Assumed.push_back(Sel);
-      Labels.push_back("sel:" + Plan.Name);
-    }
-    for (const TaggedAssumption &A : Split.Assumed) {
-      Assumed.push_back(A.E);
-      Labels.push_back(A.Label);
-    }
-
-    SatResult Out = Session->check(Assumed, Budget, Sel);
-    R.SatConflicts += Session->conflicts();
-    R.MaxVcConflicts = std::max(R.MaxVcConflicts, Session->conflicts());
-    ++R.NumVcs;
-    if (Mode != SolveMode::OneShot)
-      R.RetainedClauses = Session->retainedClauses();
-
-    if (Out == SatResult::Unsat) {
-      for (size_t I : Session->lastCoreAssumptionIndices())
-        AddCoreLabel(Labels[I]);
-      continue;
-    }
-
-    R.LastOutcome = Out;
-    std::string Atoms;
-    for (const std::string &A : Session->modelAtoms())
-      if (A.rfind("__sel_", 0) != 0) // Selectors are plumbing, not state.
-        Atoms += A + "; ";
-    R.Countermodel =
-        Split.Label.empty() ? Atoms : Split.Label + ": " + Atoms;
-    Ok = false;
-    FailedAt = SI;
-    break;
+  std::vector<ExprRef> Sels;
+  std::vector<std::string> SelLabels;
+  if (Sel) {
+    Sels.push_back(Sel);
+    SelLabels.push_back("sel:" + Plan.Name);
   }
+  bool Ok = dischargeSplits(
+      Plan, Budget, Sels, SelLabels,
+      /*TrackRetained=*/Mode != SolveMode::OneShot, /*PeakRetained=*/nullptr,
+      [this, &Plan]() -> SmtSession & {
+        if (Mode == SolveMode::OneShot) {
+          openSession();
+          assertPrefix(Plan, nullptr);
+        }
+        assert(Session && "split discharged without a session");
+        return *Session;
+      },
+      R);
 
   R.DbReductions += dbReductions() - RedBefore;
   R.ReclaimedClauses += reclaimedClauses() - RecBefore;
-
-  // An out-of-fragment atom trumps whatever the truncated final split said
-  // (the lowering replaced the atom by a free variable, so that split's
-  // verdict is meaningless).
-  if (Plan.Unsupported && (Ok || FailedAt + 1 == Plan.Splits.size())) {
-    R.Countermodel = Plan.UnsupportedNote;
-    Ok = false;
-  }
   return Ok;
 }
 
@@ -177,4 +228,105 @@ uint64_t SharedSession::reclaimedClauses() const {
 
 uint64_t SharedSession::retainedClauses() const {
   return Session ? Session->retainedClauses() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// FamilySession
+//===----------------------------------------------------------------------===//
+
+FamilySession::FamilySession(ExprFactory &F, const FamilyPlan &Plan,
+                             int64_t Budget)
+    : F(F), Plan(Plan), Budget(Budget), Session(F) {
+  for (ExprRef C : Plan.FamilyCommon)
+    if (FamilyBase.insert(C).second) {
+      Session.assertBase(C);
+      ++Stats.PrefixAsserts;
+    }
+}
+
+void FamilySession::configureClauseGc(bool Enabled, int64_t FirstLimit) {
+  Session.solver().setClauseGc(Enabled);
+  if (FirstLimit > 0)
+    Session.solver().setClauseGcLimit(FirstLimit);
+}
+
+FamilySession::PairScope &FamilySession::ensurePair(const std::string &Key) {
+  auto It = LivePairs.find(Key);
+  if (It != LivePairs.end())
+    return It->second;
+  // A retired key re-opens under a fresh selector name: its old selector
+  // is permanently false, so reusing it would vacuously "verify"
+  // everything discharged under it.
+  unsigned Epoch = PairEpochs[Key]++;
+  std::string SelName = "__pair_" + Plan.FamilyName + ":" + Key;
+  if (Epoch > 0)
+    SelName += "#" + std::to_string(Epoch);
+  PairScope &PS = LivePairs[Key];
+  PS.Sel = F.var(SelName, Sort::Bool);
+  ++SelectorCount;
+  ++Stats.PairsOpened;
+  return PS;
+}
+
+bool FamilySession::discharge(const std::string &PairKey,
+                              const MethodPlan &MPlan, SymbolicResult &R) {
+  PairScope &PS = ensurePair(PairKey);
+
+  // Pair-common prefix: family-common formulas are already session base;
+  // the remainder is asserted once under the pair selector.
+  for (ExprRef C : MPlan.Common) {
+    if (FamilyBase.count(C)) {
+      ++Stats.PrefixReuses;
+      continue;
+    }
+    if (PS.AssertedCommon.insert(C).second) {
+      Session.assertScoped(PS.Sel, C);
+      ++Stats.PrefixAsserts;
+    } else {
+      ++Stats.PrefixReuses;
+    }
+  }
+
+  // Method selector, nested under the pair's (same fingerprint discipline
+  // as SharedSession: a repeated name with a different prefix gets a fresh
+  // selector instead of inheriting the old prefix).
+  std::vector<ExprRef> Fingerprint = planFingerprint(MPlan);
+  std::vector<PlanSelectorEntry> &Entries = PS.Methods[MPlan.Name];
+  ExprRef MSel = findPlanSelector(Entries, Fingerprint);
+  if (!MSel) {
+    std::string SelName = "__sel_" + MPlan.Name + "@" + PairKey;
+    unsigned Epoch = PairEpochs[PairKey] - 1;
+    if (Epoch > 0)
+      SelName += "#e" + std::to_string(Epoch);
+    if (!Entries.empty())
+      SelName += "#" + std::to_string(Entries.size());
+    MSel = F.var(SelName, Sort::Bool);
+    Entries.push_back({Fingerprint, MSel});
+    PS.MethodSels.push_back(MSel);
+    ++SelectorCount;
+    for (const TaggedAssumption &S : MPlan.Scoped)
+      Session.assertScopedUnder(PS.Sel, MSel, S.E);
+  }
+
+  uint64_t RedBefore = dbReductions();
+  uint64_t RecBefore = reclaimedClauses();
+  bool Ok = dischargeSplits(
+      MPlan, Budget, {PS.Sel, MSel}, {"pair:" + PairKey, "sel:" + MPlan.Name},
+      /*TrackRetained=*/true, &Stats.PeakRetainedClauses,
+      [this]() -> SmtSession & { return Session; }, R);
+  R.DbReductions += dbReductions() - RedBefore;
+  R.ReclaimedClauses += reclaimedClauses() - RecBefore;
+  return Ok;
+}
+
+size_t FamilySession::retirePair(const std::string &PairKey) {
+  auto It = LivePairs.find(PairKey);
+  if (It == LivePairs.end())
+    return 0;
+  size_t Evicted = Session.retireScope(It->second.Sel,
+                                       It->second.MethodSels);
+  LivePairs.erase(It);
+  ++Stats.PairsRetired;
+  Stats.EvictedClauses += Evicted;
+  return Evicted;
 }

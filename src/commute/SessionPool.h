@@ -69,6 +69,13 @@ enum class SolveMode : uint8_t {
   /// One warm session per (family, op-pair): all methods of the pair share
   /// one solver under per-method selector literals. The default.
   SharedPair,
+  /// One warm session per *family*: every op-pair's common prefix is
+  /// asserted under a per-pair selector, method prefixes under method
+  /// selectors nested inside it, and a finished pair's scope is *retired*
+  /// (selector falsified, its clauses evicted) so the clause database is
+  /// bounded by the live pair plus the family-common prefix instead of
+  /// growing with the whole family.
+  SharedFamily,
 };
 
 const char *solveModeName(SolveMode M);
@@ -132,6 +139,24 @@ struct MethodPlan {
   std::string UnsupportedNote;
 };
 
+/// One registered method selector with the plan fingerprint it was
+/// allocated for (the plan's Common + Scoped formulas; hash-consing makes
+/// pointer equality structural equality). The fingerprint guards against
+/// two *different* plans sharing a name: a mismatch allocates a fresh
+/// selector instead of silently proving the new plan against the old
+/// plan's prefix. Shared by SharedSession and FamilySession so the
+/// reuse-or-allocate discipline cannot drift between the tiers.
+struct PlanSelectorEntry {
+  std::vector<ExprRef> Fingerprint;
+  ExprRef Sel = nullptr;
+};
+
+/// The fingerprint of \p Plan's prefix content, and the selector an entry
+/// list already holds for it (nullptr when none matches).
+std::vector<ExprRef> planFingerprint(const MethodPlan &Plan);
+ExprRef findPlanSelector(const std::vector<PlanSelectorEntry> &Entries,
+                         const std::vector<ExprRef> &Fingerprint);
+
 /// A warm solver session shared by the testing methods of one (family,
 /// op-pair). Not thread-safe: one SharedSession lives on one worker.
 class SharedSession {
@@ -176,15 +201,8 @@ private:
   std::unique_ptr<SmtSession> Session;
   std::set<ExprRef> AssertedCommon; ///< Dedup only; never iterated.
 
-  /// Registered selectors, keyed by plan name. The fingerprint (the
-  /// plan's Common + Scoped formulas) guards against two *different*
-  /// plans sharing a name: a mismatch allocates a fresh selector instead
-  /// of silently proving the new plan against the old plan's prefix.
-  struct SelectorEntry {
-    std::vector<ExprRef> Fingerprint;
-    ExprRef Sel = nullptr;
-  };
-  std::map<std::string, std::vector<SelectorEntry>> Selectors;
+  /// Registered selectors, keyed by plan name (see PlanSelectorEntry).
+  std::map<std::string, std::vector<PlanSelectorEntry>> Selectors;
   unsigned SelectorCount = 0;
   size_t SessionsOpened = 0;
 
@@ -193,6 +211,112 @@ private:
   int64_t ClosedConflicts = 0;
   uint64_t ClosedReductions = 0;
   uint64_t ClosedReclaimed = 0;
+};
+
+/// The discharge plans of one (family, op-pair): the six testing methods
+/// in (kind x role) enumeration order.
+struct PairPlan {
+  std::string Key; ///< "op1,op2" — scopes the pair inside a FamilySession.
+  std::vector<MethodPlan> Methods;
+};
+
+/// The whole-family discharge plan a FamilySession runs.
+struct FamilyPlan {
+  std::string FamilyName;
+  /// Well-formedness formulas present in *every* method plan's Common
+  /// prefix across the family: asserted once as unguarded session base
+  /// (they constrain only the family's shared argument/element vocabulary,
+  /// so they are sound for every pair).
+  std::vector<ExprRef> FamilyCommon;
+  std::vector<PairPlan> Pairs;
+};
+
+/// Lifetime statistics of one family-level session.
+struct FamilySessionStats {
+  uint64_t PairsOpened = 0;    ///< Pair scopes allocated.
+  uint64_t PairsRetired = 0;   ///< Pair scopes evicted (retirePair calls).
+  uint64_t EvictedClauses = 0; ///< Clauses eviction removed from the DB.
+  /// High-water mark of retained clauses across every check — the number
+  /// scoped eviction is meant to bound (without it, the DB grows with the
+  /// family; with it, with the live pair).
+  uint64_t PeakRetainedClauses = 0;
+  /// Common-prefix assertions actually issued vs. skipped because the
+  /// formula was already in the family base or the pair scope (the
+  /// amortization the family tier exists for).
+  uint64_t PrefixAsserts = 0;
+  uint64_t PrefixReuses = 0;
+};
+
+/// A warm solver session shared by every op-pair of one family
+/// (SolveMode::SharedFamily). The family-common prefix is session base;
+/// each pair's remaining common prefix lives under a per-pair selector;
+/// each method's prefix under a method selector nested inside its pair's.
+/// retirePair() permanently deactivates a finished pair and evicts its
+/// clauses, so the database stays bounded by the live scope. Not
+/// thread-safe: one FamilySession lives on one worker.
+class FamilySession {
+public:
+  /// Asserts \p Plan's family-common prefix as session base. The plan must
+  /// outlive the session.
+  FamilySession(ExprFactory &F, const FamilyPlan &Plan, int64_t Budget);
+  FamilySession(const FamilySession &) = delete;
+  FamilySession &operator=(const FamilySession &) = delete;
+
+  /// Clause-GC configuration (see SharedSession::configureClauseGc);
+  /// \p FirstLimit is the --gc-budget knob.
+  void configureClauseGc(bool Enabled, int64_t FirstLimit = 0);
+
+  /// Discharges every split of \p Plan under pair \p PairKey's scope,
+  /// accumulating statistics into \p R. A retired pair key transparently
+  /// gets a fresh scope (re-verification after eviction is legal, it just
+  /// re-asserts the pair's prefix). Returns true when the method verifies.
+  bool discharge(const std::string &PairKey, const MethodPlan &Plan,
+                 SymbolicResult &R);
+
+  /// Permanently retires \p PairKey's scope: its selector is falsified at
+  /// root, its prefix clauses and scope-touching learned clauses are
+  /// evicted, and dead variables' search state is recycled. Returns the
+  /// number of clauses evicted (0 when the key has no live scope).
+  size_t retirePair(const std::string &PairKey);
+
+  /// Lifetime statistics.
+  uint64_t checks() const { return Session.numChecks(); }
+  int64_t conflicts() const { return Session.totalConflicts(); }
+  uint64_t dbReductions() const {
+    return static_cast<uint64_t>(Session.dbReductions());
+  }
+  uint64_t reclaimedClauses() const {
+    return static_cast<uint64_t>(Session.reclaimedClauses());
+  }
+  uint64_t retainedClauses() const { return Session.retainedClauses(); }
+  unsigned numSelectors() const { return SelectorCount; }
+  const FamilySessionStats &stats() const { return Stats; }
+
+  /// The underlying session, exposed so tests can assert solver invariants
+  /// (reasonInvariantHolds) after evictions.
+  SmtSession &session() { return Session; }
+
+private:
+  /// The live scope of one pair.
+  struct PairScope {
+    ExprRef Sel = nullptr;
+    std::set<ExprRef> AssertedCommon; ///< Dedup under this pair's selector.
+    std::map<std::string, std::vector<PlanSelectorEntry>> Methods;
+    std::vector<ExprRef> MethodSels; ///< For retirement, insertion order.
+  };
+
+  PairScope &ensurePair(const std::string &PairKey);
+
+  ExprFactory &F;
+  const FamilyPlan &Plan;
+  int64_t Budget;
+  SmtSession Session;
+  std::set<ExprRef> FamilyBase; ///< FamilyCommon membership (dedup only).
+  std::map<std::string, PairScope> LivePairs;
+  /// Fresh-name counters for re-opened (previously retired) pair scopes.
+  std::map<std::string, unsigned> PairEpochs;
+  unsigned SelectorCount = 0;
+  FamilySessionStats Stats;
 };
 
 } // namespace semcomm

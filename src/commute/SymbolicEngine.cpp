@@ -15,6 +15,7 @@
 #include <cassert>
 #include <functional>
 #include <map>
+#include <set>
 
 using namespace semcomm;
 
@@ -689,13 +690,33 @@ ExprRef SeqScenario::onAtom(ExprRef Atom) {
     return lowerIntCmp(ExprKind::Lt, Atom->operand(0), Atom->operand(1));
   case ExprKind::Le:
     return lowerIntCmp(ExprKind::Le, Atom->operand(0), Atom->operand(1));
+  case ExprKind::Forall:
+  case ExprKind::Exists: {
+    // Bounded quantifiers with scenario-constant bounds (the shape every
+    // proof-hint lemma uses) expand pointwise; symbolic bounds are outside
+    // the fragment.
+    int64_t Lo, Hi;
+    if (!constInt(Atom->operand(0), Lo) || !constInt(Atom->operand(1), Hi)) {
+      SawUnsupportedAtom = true;
+      return F.var("__unknown_atom", Sort::Bool);
+    }
+    std::vector<ExprRef> Parts;
+    for (int64_t J = Lo; J <= Hi; ++J) {
+      ExprRef Body = F.substitute(Atom->operand(2),
+                                  {{Atom->name(), F.intConst(J)}});
+      Parts.push_back(
+          rewriteBool(F, Body, [this](ExprRef A) { return onAtom(A); }));
+    }
+    return Atom->kind() == ExprKind::Forall ? F.conj(std::move(Parts))
+                                            : F.disj(std::move(Parts));
+  }
   default:
     return Atom;
   }
 }
 
 MethodPlan buildSeqPlan(ExprFactory &F, const TestingMethod &M,
-                        int SeqLenBound) {
+                        int SeqLenBound, const HintScript *Hint) {
   const ConditionEntry &E = *M.Entry;
   const Operation &Op1 = E.op1();
   const Operation &Op2 = E.op2();
@@ -892,6 +913,28 @@ MethodPlan buildSeqPlan(ExprFactory &F, const TestingMethod &M,
 
         VcSplit Split;
         Split.Assumed = roleAssumptions(F, M.Role, Phi, AgreeAll);
+        // Attached proof hints: the script's note/pickWitness lemmas are
+        // valid over every reached scenario (validateScript machine-checks
+        // exactly that), so assuming them can never flip a genuine
+        // countermodel — it only lets the refutation name which hints it
+        // used via their labels in the unsat core. Assuming commands are
+        // case structure, not lemmas, and are not asserted. A hint whose
+        // lowering leaves the bounded fragment is skipped rather than
+        // poisoning the plan.
+        if (Hint)
+          for (const HintCommand &Cmd : Hint->Commands) {
+            if (Cmd.Kind == HintCommandKind::Assuming)
+              continue;
+            bool SavedUnsupported = Ctx.SawUnsupportedAtom;
+            Ctx.SawUnsupportedAtom = false;
+            ExprRef Lowered =
+                rewriteBool(F, F.substitute(Cmd.Formula, Subst),
+                            [&](ExprRef A) { return Ctx.onAtom(A); });
+            bool HintUnsupported = Ctx.SawUnsupportedAtom;
+            Ctx.SawUnsupportedAtom = SavedUnsupported;
+            if (!HintUnsupported)
+              Split.Assumed.push_back({Lowered, Cmd.Label});
+          }
         Split.Label = "n=" + std::to_string(N) +
                       " i1=" + std::to_string(I1) +
                       " i2=" + std::to_string(I2);
@@ -921,21 +964,136 @@ MethodPlan SymbolicEngine::plan(const TestingMethod &M) const {
     return buildSetPlan(F, M);
   case StateKind::Map:
     return buildMapPlan(F, M);
-  case StateKind::Seq:
-    return buildSeqPlan(F, M, SeqLenBound);
+  case StateKind::Seq: {
+    const HintScript *Hint = nullptr;
+    if (Hints)
+      for (const HintScript &S : *Hints)
+        if (S.matches(M)) {
+          Hint = &S;
+          break;
+        }
+    return buildSeqPlan(F, M, SeqLenBound, Hint);
+  }
   }
   semcomm_unreachable("invalid family kind");
 }
 
+FamilyPlan SymbolicEngine::planFamily(
+    const std::string &FamilyName,
+    const std::vector<const ConditionEntry *> &Entries) const {
+  FamilyPlan FP;
+  FP.FamilyName = FamilyName;
+  for (const ConditionEntry *E : Entries) {
+    PairPlan PP;
+    PP.Key = E->pairName();
+    for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                            ConditionKind::After})
+      for (MethodRole Role :
+           {MethodRole::Soundness, MethodRole::Completeness}) {
+        TestingMethod M;
+        M.Entry = E;
+        M.Kind = K;
+        M.Role = Role;
+        PP.Methods.push_back(plan(M));
+      }
+    FP.Pairs.push_back(std::move(PP));
+  }
+
+  // Family-common prefix: the Common formulas present in every method plan
+  // of every pair, hoisted to session base. Kept in first-plan order so
+  // the assertion sequence — and with it every solver statistic — is a
+  // function of the entry list alone.
+  bool First = true;
+  std::vector<ExprRef> Inter;
+  for (const PairPlan &PP : FP.Pairs)
+    for (const MethodPlan &MP : PP.Methods) {
+      if (First) {
+        Inter = MP.Common;
+        First = false;
+        continue;
+      }
+      std::set<ExprRef> Present(MP.Common.begin(), MP.Common.end());
+      Inter.erase(std::remove_if(Inter.begin(), Inter.end(),
+                                 [&Present](ExprRef C) {
+                                   return Present.count(C) == 0;
+                                 }),
+                  Inter.end());
+    }
+  if (!First)
+    FP.FamilyCommon = std::move(Inter);
+  return FP;
+}
+
 SymbolicResult SymbolicEngine::verify(const TestingMethod &M) {
   SharedSession Sess(F, ConflictBudget, Mode);
+  Sess.configureClauseGc(true, GcBudget);
   SymbolicResult R;
   R.Verified = Sess.discharge(plan(M), R);
   return R;
 }
 
+FamilyOutcome SymbolicEngine::verifyEntries(
+    const std::string &FamilyName,
+    const std::vector<const ConditionEntry *> &Entries) {
+  FamilyOutcome Out;
+  Out.Family = FamilyName;
+  FamilyPlan FP = planFamily(FamilyName, Entries);
+  FamilySession Sess(F, FP, ConflictBudget);
+  Sess.configureClauseGc(true, GcBudget);
+  for (size_t PI = 0; PI != FP.Pairs.size(); ++PI) {
+    const PairPlan &PP = FP.Pairs[PI];
+    PairOutcome PO;
+    uint64_t ChecksBefore = Sess.checks();
+    int64_t ConflictsBefore = Sess.conflicts();
+    uint64_t RedBefore = Sess.dbReductions();
+    uint64_t RecBefore = Sess.reclaimedClauses();
+    unsigned SelBefore = Sess.numSelectors();
+    for (const MethodPlan &MP : PP.Methods) {
+      Stopwatch Timer;
+      SymbolicResult R;
+      R.Verified = Sess.discharge(PP.Key, MP, R);
+      PO.MethodMillis.push_back(Timer.millis());
+      PO.Methods.push_back(std::move(R));
+    }
+    PO.Checks = Sess.checks() - ChecksBefore;
+    PO.Conflicts = Sess.conflicts() - ConflictsBefore;
+    PO.RetainedClauses = Sess.retainedClauses();
+    PO.DbReductions = Sess.dbReductions() - RedBefore;
+    PO.ReclaimedClauses = Sess.reclaimedClauses() - RecBefore;
+    PO.Selectors = Sess.numSelectors() - SelBefore;
+    PO.SessionsOpened = PI == 0 ? 1 : 0; // One warm solver per family.
+    // The pair's VCs are done: evict its scope so the clause database is
+    // bounded by the live pair, not the family.
+    Sess.retirePair(PP.Key);
+    Out.PairKeys.push_back(PP.Key);
+    Out.Pairs.push_back(std::move(PO));
+  }
+  Out.Stats = Sess.stats();
+  Out.Checks = Sess.checks();
+  Out.Conflicts = Sess.conflicts();
+  Out.RetainedClauses = Sess.retainedClauses();
+  Out.DbReductions = Sess.dbReductions();
+  Out.ReclaimedClauses = Sess.reclaimedClauses();
+  Out.Selectors = Sess.numSelectors();
+  return Out;
+}
+
+FamilyOutcome SymbolicEngine::verifyFamily(const Catalog &C,
+                                           const Family &Fam) {
+  std::vector<const ConditionEntry *> Entries;
+  for (const ConditionEntry &E : C.entries(Fam))
+    Entries.push_back(&E);
+  return verifyEntries(Fam.Name, Entries);
+}
+
 PairOutcome SymbolicEngine::verifyPair(const ConditionEntry &E) {
+  if (Mode == SolveMode::SharedFamily) {
+    // A single pair is the degenerate family: same nesting, same eviction.
+    FamilyOutcome FO = verifyEntries(E.Fam->Name, {&E});
+    return FO.Pairs.empty() ? PairOutcome() : std::move(FO.Pairs.front());
+  }
   SharedSession Sess(F, ConflictBudget, Mode);
+  Sess.configureClauseGc(true, GcBudget);
   PairOutcome Out;
   for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
                           ConditionKind::After})

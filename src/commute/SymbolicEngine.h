@@ -47,6 +47,7 @@
 #ifndef SEMCOMM_COMMUTE_SYMBOLICENGINE_H
 #define SEMCOMM_COMMUTE_SYMBOLICENGINE_H
 
+#include "commute/ProofHints.h"
 #include "commute/SessionPool.h"
 #include "commute/TestingMethod.h"
 
@@ -80,6 +81,31 @@ struct PairOutcome {
   }
 };
 
+/// Outcome of verifying every op-pair of one family through a single
+/// FamilySession (SolveMode::SharedFamily), plus the session-level
+/// statistics the driver reports per family.
+struct FamilyOutcome {
+  std::string Family;
+  std::vector<std::string> PairKeys; ///< "op1,op2", catalog entry order.
+  std::vector<PairOutcome> Pairs;    ///< Parallel to PairKeys; per-pair
+                                     ///< stats are deltas over the shared
+                                     ///< session.
+  FamilySessionStats Stats;          ///< Eviction / prefix-reuse counters.
+  uint64_t Checks = 0;               ///< SMT checks the session served.
+  int64_t Conflicts = 0;             ///< CDCL conflicts across the family.
+  uint64_t RetainedClauses = 0;      ///< Clauses alive at the end.
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
+  unsigned Selectors = 0; ///< Pair + method selectors registered.
+
+  unsigned failures() const {
+    unsigned N = 0;
+    for (const PairOutcome &P : Pairs)
+      N += P.failures();
+    return N;
+  }
+};
+
 /// Symbolic verifier for generated testing methods.
 class SymbolicEngine {
 public:
@@ -96,22 +122,55 @@ public:
   SymbolicResult verify(const TestingMethod &M);
 
   /// Verifies all six testing methods of \p E through one SharedSession
-  /// (one warm solver for the whole pair in SharedPair mode). Method order
-  /// is deterministic, so results and statistics are a function of the
-  /// options alone.
+  /// (one warm solver for the whole pair in SharedPair mode; in
+  /// SharedFamily mode, through a degenerate one-pair FamilySession).
+  /// Method order is deterministic, so results and statistics are a
+  /// function of the options alone.
   PairOutcome verifyPair(const ConditionEntry &E);
+
+  /// Verifies every op-pair of \p Fam through one FamilySession: the
+  /// family-common prefix is asserted once, each pair runs under its own
+  /// selector scope and is retired (evicted) when its six methods are
+  /// done. Pair and method order are deterministic.
+  FamilyOutcome verifyFamily(const Catalog &C, const Family &Fam);
 
   /// Compiles one testing method to its discharge plan (exposed so tests
   /// can replay plans against differently configured sessions).
   MethodPlan plan(const TestingMethod &M) const;
 
+  /// Compiles a set of catalog entries to a whole-family plan: six method
+  /// plans per pair, plus the family-common prefix (the Common formulas
+  /// present in every method plan, hoisted to session base).
+  FamilyPlan planFamily(const std::string &FamilyName,
+                        const std::vector<const ConditionEntry *> &Entries)
+      const;
+
+  /// Clause-GC budget: the live-learned-clause count at which a session's
+  /// first database reduction fires (the driver's --gc-budget knob;
+  /// 0 keeps the solver default).
+  void setClauseGcBudget(int64_t Budget) { GcBudget = Budget; }
+
+  /// Attaches proof-hint scripts: ArrayList method plans whose method
+  /// matches a script gain the script's note/pickWitness lemmas as extra
+  /// *labeled* split assumptions, so unsat cores can name the hint
+  /// commands a proof actually used (the input to minimizedFor()).
+  /// \p Scripts must outlive the engine; nullptr detaches.
+  void attachHints(const std::vector<HintScript> *Scripts) {
+    Hints = Scripts;
+  }
+
   SolveMode mode() const { return Mode; }
 
 private:
+  FamilyOutcome verifyEntries(const std::string &FamilyName,
+                              const std::vector<const ConditionEntry *> &E);
+
   ExprFactory &F;
   int SeqLenBound;
   int64_t ConflictBudget;
   SolveMode Mode;
+  int64_t GcBudget = 0;
+  const std::vector<HintScript> *Hints = nullptr;
 };
 
 } // namespace semcomm

@@ -425,7 +425,16 @@ size_t SatSolver::reduceDb() {
   std::vector<bool> Remove(Clauses.size(), false);
   for (size_t I = 0; I != Target; ++I)
     Remove[static_cast<size_t>(Candidates[I])] = true;
+  compactClauses(Remove);
 
+  LearnedAlive -= static_cast<int64_t>(Target);
+  ReclaimedClauses += static_cast<int64_t>(Target);
+  ++DbReductions;
+  assert(reasonInvariantHolds() && "reduceDb broke a reason reference");
+  return Target;
+}
+
+void SatSolver::compactClauses(const std::vector<bool> &Remove) {
   // Compact the clause vector, remembering where survivors moved.
   std::vector<int> NewIdx(Clauses.size(), -1);
   size_t Out = 0;
@@ -439,7 +448,8 @@ size_t SatSolver::reduceDb() {
   }
   Clauses.resize(Out);
 
-  // Remap the reasons of implied root literals (all protected above).
+  // Remap the reasons of implied root literals (callers either protect
+  // reason clauses from removal or detach the reasons first).
   for (Lit L : Trail) {
     int &R = Reason[L.var()];
     if (R >= 0) {
@@ -466,12 +476,69 @@ size_t SatSolver::reduceDb() {
     }
     attach(static_cast<int>(I));
   }
+}
 
-  LearnedAlive -= static_cast<int64_t>(Target);
-  ReclaimedClauses += static_cast<int64_t>(Target);
-  ++DbReductions;
-  assert(reasonInvariantHolds() && "reduceDb broke a reason reference");
-  return Target;
+size_t SatSolver::retireScope(Lit Selector, const std::vector<int> &ScopeVars) {
+  backtrack(0);
+  ++ScopeRetirements;
+  addClause({Selector.negated()});
+  if (Unsatisfiable)
+    return 0; // Trivially Unsat database: nothing left worth sweeping.
+
+  // Level-0 literals are permanently true and conflict analysis never walks
+  // their reasons (analyze/analyzeFinal skip level-0 vars), so detaching
+  // the root reasons makes every clause a legal deletion candidate.
+  for (Lit L : Trail)
+    Reason[L.var()] = -1;
+
+  std::vector<bool> InScope(Assign.size(), false);
+  InScope[Selector.var()] = true;
+  for (int V : ScopeVars)
+    InScope[static_cast<size_t>(V)] = true;
+
+  // Evict (a) every clause satisfied at root — with ~Selector now a root
+  // unit this covers all the scope's selector-guarded problem clauses —
+  // and (b) every learned clause that mentions a scope var (learned
+  // clauses are redundant, so dropping them only costs re-derivation).
+  std::vector<bool> Remove(Clauses.size(), false);
+  size_t Removed = 0;
+  int64_t LearnedRemoved = 0;
+  for (size_t I = 0; I != Clauses.size(); ++I) {
+    const Clause &C = Clauses[I];
+    bool RootSat = false, MentionsScope = false;
+    for (Lit L : C.Lits) {
+      if (valueOf(L) == 1)
+        RootSat = true;
+      MentionsScope = MentionsScope || InScope[static_cast<size_t>(L.var())];
+    }
+    if (RootSat || (C.Learned && MentionsScope)) {
+      Remove[I] = true;
+      ++Removed;
+      LearnedRemoved += C.Learned;
+    }
+  }
+  if (Removed == 0)
+    return 0;
+  compactClauses(Remove);
+  LearnedAlive -= LearnedRemoved;
+  EvictedClauses += static_cast<int64_t>(Removed);
+
+  // Recycle the search state of dead variables (typically the retired
+  // scope's selectors, Tseitin definitions, and private atoms): a var with
+  // no occurrence left cannot influence any answer, and keeping its bumped
+  // activity would keep the branching heuristic exploring a dead scope.
+  std::vector<bool> Occurs(Assign.size(), false);
+  for (const Clause &C : Clauses)
+    for (Lit L : C.Lits)
+      Occurs[static_cast<size_t>(L.var())] = true;
+  for (int V = 1; V <= numVars(); ++V)
+    if (!Occurs[static_cast<size_t>(V)] &&
+        Assign[static_cast<size_t>(V)] == Undef) {
+      Activity[static_cast<size_t>(V)] = 0.0;
+      SavedPhase[static_cast<size_t>(V)] = 0;
+    }
+  assert(reasonInvariantHolds() && "retireScope broke a reason reference");
+  return Removed;
 }
 
 bool SatSolver::reasonInvariantHolds() const {

@@ -130,6 +130,21 @@ public:
   size_t reduceDb();
   int64_t numDbReductions() const { return DbReductions; }
   int64_t numReclaimedClauses() const { return ReclaimedClauses; }
+
+  /// Permanently retires a selector scope (root level only): asserts the
+  /// unit clause ~Selector, drops every learned clause that mentions
+  /// \p Selector or any var in \p ScopeVars (learned clauses are redundant,
+  /// so this can never change an answer), physically removes every clause
+  /// satisfied at root level — which is what evicts the scope's
+  /// selector-guarded problem clauses once ~Selector holds — and recycles
+  /// the activity and saved phase of variables that no longer occur in the
+  /// database. The family-level sessions call this when a pair's VCs are
+  /// done, so the clause database stays bounded by the live scope instead
+  /// of growing with the whole family. Returns the number of clauses
+  /// evicted.
+  size_t retireScope(Lit Selector, const std::vector<int> &ScopeVars);
+  int64_t numScopeRetirements() const { return ScopeRetirements; }
+  int64_t numEvictedClauses() const { return EvictedClauses; }
   /// Debug check: every implied literal's reason clause still exists and
   /// contains that literal — the invariant reduceDb() must preserve.
   bool reasonInvariantHolds() const;
@@ -174,9 +189,18 @@ private:
   int64_t LearnedClauses = 0;
   int64_t LearnedAlive = 0;   ///< Learned clauses currently in the database.
   bool GcEnabled = true;
-  int64_t ReduceLimit = 2000; ///< Live learned clauses that trigger a GC.
+  /// Live learned clauses that trigger a GC. The default comes from
+  /// bench/perf_engine_scaling's gc_budget_sweep: on the catalog workload,
+  /// budgets at or below ~500 reclaim clauses with *zero* extra conflicts
+  /// (lemma locality is per-pair, and family sessions evict pairs anyway),
+  /// while larger thresholds simply never fire; on the conflict-heavy
+  /// warm-pigeonhole bench, 500 bounds retention without changing any
+  /// answer. Overridable per session via --gc-budget.
+  int64_t ReduceLimit = 500;
   int64_t DbReductions = 0;
   int64_t ReclaimedClauses = 0;
+  int64_t ScopeRetirements = 0;
+  int64_t EvictedClauses = 0;
 
   size_t watchIndex(Lit L) const {
     return 2 * static_cast<size_t>(L.var()) + (L.positive() ? 0 : 1);
@@ -195,6 +219,10 @@ private:
   /// count has passed it. Root level only (callers are solve() entry and
   /// the restart point).
   void maybeReduceDb();
+  /// Drops the clauses marked in \p Remove, remaps the surviving reasons,
+  /// and rebuilds every watch list (root level only; shared tail of
+  /// reduceDb() and retireScope()).
+  void compactClauses(const std::vector<bool> &Remove);
   void analyzeFinal(Lit Failed); ///< Fills AssumpCore from the trail.
   void backtrack(int ToLevel);
   void bumpActivity(int Var);

@@ -322,8 +322,38 @@ void SmtSession::assertScoped(ExprRef Selector, ExprRef Body) {
   Encoder.assertTrue(N);
 }
 
+void SmtSession::assertScopedUnder(ExprRef Outer, ExprRef Selector,
+                                   ExprRef Body) {
+  ExprRef N = normalize(F.implies(Outer, F.implies(Selector, Body)));
+  ingest(N);
+  std::set<ExprRef> Visited;
+  collectBoolAtoms(normalize(Body), ScopedAtoms[Selector], Visited);
+  Encoder.assertTrue(N);
+}
+
+size_t SmtSession::retireScope(ExprRef Selector,
+                               const std::vector<ExprRef> &SubSelectors) {
+  Lit SelLit = Encoder.encode(normalize(Selector));
+  std::vector<int> ScopeVars;
+  for (ExprRef S : SubSelectors) {
+    ScopeVars.push_back(Encoder.encode(normalize(S)).var());
+    ScopedAtoms.erase(S);
+  }
+  ScopedAtoms.erase(Selector);
+  return Sat.retireScope(SelLit, ScopeVars);
+}
+
 SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
                             int64_t MaxConflicts, ExprRef ActiveScope) {
+  std::vector<ExprRef> Scopes;
+  if (ActiveScope)
+    Scopes.push_back(ActiveScope);
+  return check(Assumed, MaxConflicts, Scopes);
+}
+
+SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
+                            int64_t MaxConflicts,
+                            const std::vector<ExprRef> &ActiveScopes) {
   std::vector<Lit> Assumptions;
   Assumptions.reserve(Assumed.size());
   std::set<ExprRef> QueryAtoms, Visited;
@@ -338,16 +368,39 @@ SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
   int64_t DecisionsBefore = Sat.numDecisions();
   SatResult R = Sat.solve(Assumptions, MaxConflicts);
   ++Checks;
-  LastConflicts = Sat.numConflicts() - ConflictsBefore;
-  LastDecisions = Sat.numDecisions() - DecisionsBefore;
 
   LastCoreIdx.clear();
   if (R == SatResult::Unsat) {
-    // Map the failed-assumption core back onto the caller's Assumed
-    // vector (first match wins for duplicated formulas).
-    for (Lit Core : Sat.unsatCore())
+    std::vector<Lit> Core = Sat.unsatCore();
+    // Core-minimizing restarts: re-solving under just the core either
+    // confirms it (fixpoint) or returns a strictly smaller one; the
+    // refutation's lemmas are retained, so each round is cheap. Bounded by
+    // both a round count and the *remainder* of this check's conflict
+    // budget, so a check never spends more than MaxConflicts total and
+    // 'conflicts per VC' stays comparable to the configured budget.
+    for (unsigned Round = 0; Round < CoreMinRounds && Core.size() > 1;
+         ++Round) {
+      int64_t Remaining = -1;
+      if (MaxConflicts >= 0) {
+        Remaining = MaxConflicts - (Sat.numConflicts() - ConflictsBefore);
+        if (Remaining <= 0)
+          break; // The main solve used the whole budget.
+      }
+      SatResult R2 = Sat.solve(Core, Remaining);
+      ++CoreMinSolves;
+      if (R2 != SatResult::Unsat)
+        break; // Budget exhausted mid-minimization: keep the last core.
+      if (Sat.unsatCore().size() >= Core.size()) {
+        Core = Sat.unsatCore();
+        break; // Fixpoint: the core is locally minimal.
+      }
+      Core = Sat.unsatCore();
+    }
+    // Map the minimized core back onto the caller's Assumed vector (first
+    // match wins for duplicated formulas).
+    for (Lit C : Core)
       for (size_t I = 0; I != Assumptions.size(); ++I)
-        if (Assumptions[I] == Core) {
+        if (Assumptions[I] == C) {
           if (std::find(LastCoreIdx.begin(), LastCoreIdx.end(), I) ==
               LastCoreIdx.end())
             LastCoreIdx.push_back(I);
@@ -355,23 +408,30 @@ SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
         }
     std::sort(LastCoreIdx.begin(), LastCoreIdx.end());
   }
+  LastConflicts = Sat.numConflicts() - ConflictsBefore;
+  LastDecisions = Sat.numDecisions() - DecisionsBefore;
 
   LastModel.clear();
   if (R == SatResult::Sat) {
-    // Report only over this check's vocabulary (base + active scope +
+    // Report only over this check's vocabulary (base + active scopes +
     // current query): a warm session's atom map also holds every earlier
     // query's and every other scope's atoms, which would drown the
     // countermodel in unrelated diagnostics.
-    const std::set<ExprRef> *Scope = nullptr;
-    if (ActiveScope) {
+    std::vector<const std::set<ExprRef> *> Scopes;
+    for (ExprRef ActiveScope : ActiveScopes) {
       auto It = ScopedAtoms.find(ActiveScope);
       if (It != ScopedAtoms.end())
-        Scope = &It->second;
+        Scopes.push_back(&It->second);
     }
+    auto InScope = [&Scopes](ExprRef Atom) {
+      for (const std::set<ExprRef> *S : Scopes)
+        if (S->count(Atom))
+          return true;
+      return false;
+    };
     for (const auto &[Atom, V] : Encoder.atoms())
       if (Sat.modelValue(V) &&
-          (BaseAtoms.count(Atom) || QueryAtoms.count(Atom) ||
-           (Scope && Scope->count(Atom))))
+          (BaseAtoms.count(Atom) || QueryAtoms.count(Atom) || InScope(Atom)))
         LastModel.push_back(printAbstract(Atom));
     // Encoder.atoms() iterates in pointer order, which varies when several
     // threads share the interning factory; sort so diagnostics are stable.

@@ -85,6 +85,22 @@ public:
   /// prefix this way).
   void assertScoped(ExprRef Selector, ExprRef Body);
 
+  /// Asserts `Outer -> (Selector -> Body)` permanently, attributing
+  /// \p Body's atoms to \p Selector's scope. The family-level sessions
+  /// nest every method selector under its pair selector this way, so
+  /// retiring the pair selector deactivates the whole pair at once.
+  void assertScopedUnder(ExprRef Outer, ExprRef Selector, ExprRef Body);
+
+  /// Permanently retires \p Selector's scope: the selector is forced false
+  /// at root level, the scope's selector-guarded clauses and every learned
+  /// clause touching \p Selector or \p SubSelectors (nested selectors
+  /// asserted under it) are evicted, and dead variables' search state is
+  /// recycled. Once retired, a selector can never be re-activated; callers
+  /// that re-verify a retired scope must allocate a fresh selector.
+  /// Returns the number of clauses evicted.
+  size_t retireScope(ExprRef Selector,
+                     const std::vector<ExprRef> &SubSelectors = {});
+
   /// Decides base ∧ ⋀Assumed under a per-call conflict budget (negative =
   /// unlimited). The \p Assumed formulas hold for this call only; their
   /// Tseitin encodings, bridge clauses, and any learned clauses are
@@ -93,6 +109,21 @@ public:
   /// scope's atoms.
   SatResult check(const std::vector<ExprRef> &Assumed,
                   int64_t MaxConflicts = -1, ExprRef ActiveScope = nullptr);
+
+  /// As above, with several active scopes (a family session passes the
+  /// pair selector and the method selector together).
+  SatResult check(const std::vector<ExprRef> &Assumed, int64_t MaxConflicts,
+                  const std::vector<ExprRef> &ActiveScopes);
+
+  /// After an Unsat check(), iterate solve(unsatCore()) until the core
+  /// stops shrinking (or \p MaxRounds re-solves ran) before recording the
+  /// core, so CoreLabels name a locally minimal assumption set — the
+  /// §5.2.1 minimization signal. 0 disables the extra solves. The default
+  /// is a small bound: each round is cheap (the refutation's lemmas are
+  /// already learned), and the fixpoint is usually reached in one.
+  void setCoreMinimizationRounds(unsigned N) { CoreMinRounds = N; }
+  /// Extra solves the minimization ran (statistics).
+  int64_t coreMinimizationSolves() const { return CoreMinSolves; }
 
   /// SAT statistics of the last check() (per-call deltas).
   int64_t conflicts() const { return LastConflicts; }
@@ -108,6 +139,10 @@ public:
   /// clauses they reclaimed (long-lived shared sessions rely on this GC).
   int64_t dbReductions() const { return Sat.numDbReductions(); }
   int64_t reclaimedClauses() const { return Sat.numReclaimedClauses(); }
+  /// Scope retirements served and the clauses they evicted (family-level
+  /// sessions retire each finished pair's scope).
+  int64_t scopeRetirements() const { return Sat.numScopeRetirements(); }
+  int64_t evictedClauses() const { return Sat.numEvictedClauses(); }
   int numAtoms() const { return static_cast<int>(Encoder.atoms().size()); }
 
   /// The underlying CDCL solver, exposed for clause-GC configuration
@@ -173,6 +208,8 @@ private:
   size_t Checks = 0;
   int64_t LastConflicts = 0;
   int64_t LastDecisions = 0;
+  unsigned CoreMinRounds = 4;
+  int64_t CoreMinSolves = 0;
   std::vector<std::string> LastModel;
   std::vector<size_t> LastCoreIdx;
 };

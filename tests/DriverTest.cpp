@@ -303,8 +303,9 @@ TEST(DriverEngines, SymbolicVerdictsAreThreadCountInvariant) {
 }
 
 TEST(DriverEngines, SolveModesAgreeOnDriverVerdicts) {
-  // The per-method and one-shot comparison modes must reach the same
-  // verdicts as the shared-pair default (only the statistics may differ).
+  // The shared-family, per-method and one-shot comparison modes must reach
+  // the same verdicts as the shared-pair default (only the statistics may
+  // differ).
   DriverFixture Fx;
   DriverOptions Opts;
   Opts.Engine = EngineKind::Symbolic;
@@ -315,14 +316,86 @@ TEST(DriverEngines, SolveModesAgreeOnDriverVerdicts) {
   Report Shared = runFullCatalog(Fx.C, Opts);
   Opts.SymbolicMode = SolveMode::PerMethod;
   Report PerMethod = runFullCatalog(Fx.C, Opts);
+  Opts.SymbolicMode = SolveMode::SharedFamily;
+  Report FamilyRun = runFullCatalog(Fx.C, Opts);
 
   EXPECT_EQ(Shared.failures(), 0u);
   EXPECT_EQ(PerMethod.failures(), 0u);
+  EXPECT_EQ(FamilyRun.failures(), 0u);
   EXPECT_TRUE(Shared.sameVerdicts(PerMethod));
+  EXPECT_TRUE(Shared.sameVerdicts(FamilyRun));
   for (const PairStats &P : PerMethod.Pairs) {
     EXPECT_EQ(P.Mode, "per-method");
     EXPECT_EQ(P.SessionsOpened, 6u);
     EXPECT_EQ(P.Selectors, 0u);
+  }
+
+  // The family run reports one warm session for the whole family, pair
+  // rows under shared-family mode, and a family_stats row whose eviction
+  // counters show every pair was retired.
+  EXPECT_TRUE(Shared.FamilySessions.empty());
+  ASSERT_EQ(FamilyRun.FamilySessions.size(), 1u);
+  const FamilyStats &FS = FamilyRun.FamilySessions[0];
+  EXPECT_EQ(FS.Family, "Set");
+  EXPECT_EQ(FS.Mode, "shared-family");
+  EXPECT_EQ(FS.Pairs, FamilyRun.Pairs.size());
+  EXPECT_EQ(FS.Evictions, FamilyRun.Pairs.size());
+  EXPECT_GT(FS.EvictedClauses, 0u);
+  EXPECT_GT(FS.PrefixReuses, 0u);
+  EXPECT_GT(FS.PeakRetainedClauses, 0u);
+  uint64_t Sessions = 0;
+  for (const PairStats &P : FamilyRun.Pairs) {
+    EXPECT_EQ(P.Mode, "shared-family");
+    EXPECT_EQ(P.Selectors, 7u); // Pair selector + six method selectors.
+    Sessions += P.SessionsOpened;
+  }
+  EXPECT_EQ(Sessions, 1u);
+}
+
+TEST(DriverEngines, SharedFamilyVerdictsAreThreadCountInvariant) {
+  // The acceptance bar of the family tier: on the full catalog,
+  // shared-family verdicts and solver statistics are identical at 1, 2
+  // and 8 threads (each family runs its pairs in catalog order on one
+  // worker), and every family row shows bounded retention via eviction.
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.SymbolicMode = SolveMode::SharedFamily;
+  Opts.SymbolicSeqLenBound = 2;
+
+  Opts.Threads = 1;
+  Report Serial = runFullCatalog(Fx.C, Opts);
+  EXPECT_EQ(Serial.failures(), 0u);
+  ASSERT_EQ(Serial.FamilySessions.size(), 4u);
+  for (const FamilyStats &FS : Serial.FamilySessions) {
+    EXPECT_EQ(FS.Evictions, FS.Pairs) << FS.Family;
+    EXPECT_GT(FS.Checks, 0u) << FS.Family;
+  }
+
+  for (unsigned Threads : {2u, 8u}) {
+    Opts.Threads = Threads;
+    Report Parallel = runFullCatalog(Fx.C, Opts);
+    EXPECT_TRUE(Serial.sameVerdicts(Parallel)) << Threads;
+    EXPECT_EQ(Parallel.failures(), 0u);
+    for (size_t I = 0; I != Serial.Results.size(); ++I) {
+      EXPECT_EQ(Serial.Results[I].Vcs, Parallel.Results[I].Vcs)
+          << Serial.Results[I].key();
+      EXPECT_EQ(Serial.Results[I].Conflicts, Parallel.Results[I].Conflicts)
+          << Serial.Results[I].key();
+      EXPECT_EQ(Serial.Results[I].ProofCore, Parallel.Results[I].ProofCore)
+          << Serial.Results[I].key();
+    }
+    ASSERT_EQ(Serial.FamilySessions.size(), Parallel.FamilySessions.size());
+    for (size_t I = 0; I != Serial.FamilySessions.size(); ++I) {
+      EXPECT_EQ(Serial.FamilySessions[I].Checks,
+                Parallel.FamilySessions[I].Checks);
+      EXPECT_EQ(Serial.FamilySessions[I].Conflicts,
+                Parallel.FamilySessions[I].Conflicts);
+      EXPECT_EQ(Serial.FamilySessions[I].PeakRetainedClauses,
+                Parallel.FamilySessions[I].PeakRetainedClauses);
+      EXPECT_EQ(Serial.FamilySessions[I].EvictedClauses,
+                Parallel.FamilySessions[I].EvictedClauses);
+    }
   }
 }
 
@@ -437,6 +510,42 @@ TEST(DriverReport, EngineAndSolverStatsRoundTrip) {
     EXPECT_EQ(Back->Pairs[I].Millis, R.Pairs[I].Millis);
   }
   // The round-tripped report re-serializes byte-identically.
+  EXPECT_EQ(Back->toJson().dump(2), R.toJson().dump(2));
+}
+
+TEST(DriverReport, FamilyStatsRoundTrip) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.SymbolicMode = SolveMode::SharedFamily;
+  Opts.Families = {"Accumulator", "Set"};
+  Opts.Threads = 2;
+
+  Report R = runFullCatalog(Fx.C, Opts);
+  ASSERT_EQ(R.FamilySessions.size(), 2u);
+  std::optional<Report> Back = Report::fromJson(R.toJson());
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->FamilySessions.size(), R.FamilySessions.size());
+  for (size_t I = 0; I != R.FamilySessions.size(); ++I) {
+    const FamilyStats &A = R.FamilySessions[I];
+    const FamilyStats &B = Back->FamilySessions[I];
+    EXPECT_EQ(B.Family, A.Family);
+    EXPECT_EQ(B.Mode, A.Mode);
+    EXPECT_EQ(B.Pairs, A.Pairs);
+    EXPECT_EQ(B.Methods, A.Methods);
+    EXPECT_EQ(B.Vcs, A.Vcs);
+    EXPECT_EQ(B.Checks, A.Checks);
+    EXPECT_EQ(B.Conflicts, A.Conflicts);
+    EXPECT_EQ(B.PrefixAsserts, A.PrefixAsserts);
+    EXPECT_EQ(B.PrefixReuses, A.PrefixReuses);
+    EXPECT_EQ(B.PeakRetainedClauses, A.PeakRetainedClauses);
+    EXPECT_EQ(B.Evictions, A.Evictions);
+    EXPECT_EQ(B.EvictedClauses, A.EvictedClauses);
+    EXPECT_EQ(B.DbReductions, A.DbReductions);
+    EXPECT_EQ(B.ReclaimedClauses, A.ReclaimedClauses);
+    EXPECT_EQ(B.Selectors, A.Selectors);
+    EXPECT_EQ(B.Millis, A.Millis);
+  }
   EXPECT_EQ(Back->toJson().dump(2), R.toJson().dump(2));
 }
 

@@ -7,10 +7,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "commute/ProofHints.h"
+#include "commute/SymbolicEngine.h"
 #include "logic/Dsl.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 using namespace semcomm;
@@ -77,6 +79,127 @@ TEST_P(ScriptValidation, ScriptIsValid) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, ScriptValidation, ::testing::Range(0, 8));
 
+TEST(HintsTest, EveryCommandCarriesADistinctLabel) {
+  HintsFixture &Fx = fixture();
+  std::set<std::string> Labels;
+  size_t Commands = 0;
+  for (const HintScript &S : Fx.Scripts)
+    for (const HintCommand &C : S.Commands) {
+      EXPECT_EQ(C.Label.rfind("hint:", 0), 0u) << C.Comment;
+      Labels.insert(C.Label);
+      ++Commands;
+    }
+  EXPECT_EQ(Labels.size(), Commands); // 201 distinct labels.
+}
+
+TEST(HintsTest, MinimizedForDropsUnusedLemmasAndKeepsCaseStructure) {
+  HintsFixture &Fx = fixture();
+  const HintScript &S = Fx.Scripts.front(); // Category 1: has all kinds.
+  ASSERT_GE(S.Commands.size(), 3u);
+
+  // Keep exactly one note's label: the minimized script retains that note
+  // plus every assuming command, drops the other lemmas, and still
+  // machine-validates (dropping commands can never invalidate a script).
+  std::string Kept;
+  for (const HintCommand &C : S.Commands)
+    if (C.Kind == HintCommandKind::Note) {
+      Kept = C.Label;
+      break;
+    }
+  ASSERT_FALSE(Kept.empty());
+  HintScript Min = minimizedFor(S, {Kept, "sel:unrelated", "phi"});
+
+  size_t Assumings = 0, Notes = 0, Witnesses = 0;
+  for (const HintCommand &C : Min.Commands)
+    switch (C.Kind) {
+    case HintCommandKind::Assuming:
+      ++Assumings;
+      break;
+    case HintCommandKind::Note:
+      EXPECT_EQ(C.Label, Kept);
+      ++Notes;
+      break;
+    case HintCommandKind::PickWitness:
+      ++Witnesses;
+      break;
+    }
+  size_t OrigAssumings = 0;
+  for (const HintCommand &C : S.Commands)
+    OrigAssumings += C.Kind == HintCommandKind::Assuming;
+  EXPECT_EQ(Assumings, OrigAssumings);
+  EXPECT_EQ(Notes, 1u);
+  EXPECT_EQ(Witnesses, 0u);
+  EXPECT_LT(Min.Commands.size(), S.Commands.size());
+
+  HintValidation V = validateScript(Min, Fx.C);
+  EXPECT_TRUE(V.Ok) << V.FailureNote;
+
+  // An empty core drops every lemma; the case skeleton survives.
+  HintScript Bare = minimizedFor(S, {});
+  EXPECT_EQ(Bare.Commands.size(), OrigAssumings);
+}
+
+TEST(HintsTest, AttachedHintLabelsFlowIntoCoresAndShrunkenHintsVerify) {
+  // The full §5.2.1 loop, automated: attach the scripts to the symbolic
+  // engine, record which hint lemmas the proofs' unsat cores actually
+  // used, minimize each script to that label set, and re-verify with only
+  // the shrunken hints attached. At bounded scopes the minimized cores
+  // typically name *no* hint lemmas — the fully expanded VCs carry the
+  // content the paper's hand-written hints supplied to the unbounded
+  // prover — so this is the minimization verdict at its strongest: the
+  // scripts shrink to their case skeletons and everything still verifies.
+  HintsFixture &Fx = fixture();
+  SymbolicEngine Eng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                     SolveMode::SharedPair);
+  Eng.attachHints(&Fx.Scripts);
+
+  // A category-1 pair: soundness of add_at x indexOf needs real reasoning,
+  // and its script carries several lemmas.
+  const ConditionEntry &E = Fx.C.entry(arrayListFamily(), "add_at",
+                                       "indexOf");
+  PairOutcome WithHints = Eng.verifyPair(E);
+  EXPECT_EQ(WithHints.failures(), 0u);
+
+  // Collect the hint labels the pair's cores used.
+  std::vector<std::string> CoreLabels;
+  for (const SymbolicResult &R : WithHints.Methods)
+    for (const std::string &L : R.CoreLabels)
+      CoreLabels.push_back(L);
+
+  // Minimize every script of this pair against the recorded cores; the
+  // shrunken scripts still machine-validate and, re-attached, the pair
+  // still verifies with identical verdicts.
+  std::vector<HintScript> Shrunk;
+  for (const HintScript &S : Fx.Scripts) {
+    if (S.Op1Name != "add_at" || S.Op2Name != "indexOf")
+      continue;
+    HintScript Min = minimizedFor(S, CoreLabels);
+    EXPECT_LE(Min.Commands.size(), S.Commands.size());
+    HintValidation V = validateScript(Min, Fx.C);
+    EXPECT_TRUE(V.Ok) << V.FailureNote;
+    Shrunk.push_back(std::move(Min));
+  }
+  EXPECT_FALSE(Shrunk.empty());
+
+  SymbolicEngine Rerun(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                       SolveMode::SharedPair);
+  Rerun.attachHints(&Shrunk);
+  PairOutcome WithShrunk = Rerun.verifyPair(E);
+  ASSERT_EQ(WithShrunk.Methods.size(), WithHints.Methods.size());
+  for (size_t I = 0; I != WithHints.Methods.size(); ++I)
+    EXPECT_EQ(WithShrunk.Methods[I].Verified,
+              WithHints.Methods[I].Verified)
+        << I;
+
+  // And hints never change a verdict: the no-hints engine agrees.
+  SymbolicEngine Plain(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                       SolveMode::SharedPair);
+  PairOutcome NoHints = Plain.verifyPair(E);
+  for (size_t I = 0; I != WithHints.Methods.size(); ++I)
+    EXPECT_EQ(NoHints.Methods[I].Verified, WithHints.Methods[I].Verified)
+        << I;
+}
+
 TEST(HintsTest, CorruptedNoteIsRejected) {
   HintsFixture &Fx = fixture();
   Vocab D(Fx.F);
@@ -85,7 +208,7 @@ TEST(HintsTest, CorruptedNoteIsRejected) {
   // i1 — false whenever add_at/remove_at actually shifts something.
   Bad.Commands.push_back(HintCommand{
       HintCommandKind::Note,
-      D.eq(D.at(D.S2, D.I1), D.at(D.S1, D.I1)), "", "bogus lemma"});
+      D.eq(D.at(D.S2, D.I1), D.at(D.S1, D.I1)), "", "bogus lemma", ""});
   HintValidation V = validateScript(Bad, Fx.C);
   EXPECT_FALSE(V.Ok);
   EXPECT_NE(V.FailureNote.find("note"), std::string::npos);
@@ -97,7 +220,7 @@ TEST(HintsTest, VacuousAssumingIsRejected) {
   HintScript Bad = Fx.Scripts.front();
   Bad.Commands.push_back(HintCommand{HintCommandKind::Assuming,
                                      D.lt(D.I1, D.c(0)), "",
-                                     "impossible case"});
+                                     "impossible case", ""});
   HintValidation V = validateScript(Bad, Fx.C);
   EXPECT_FALSE(V.Ok);
   EXPECT_NE(V.FailureNote.find("vacuous"), std::string::npos);

@@ -212,6 +212,210 @@ TEST_P(SharedPairFuzzTest, RandomMethodSubsetsMatchPerMethodSessions) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SharedPairFuzzTest,
                          ::testing::Values(17, 29, 71, 113));
 
+TEST(FamilySessionTest, SelectorsNestAndRetireCleanly) {
+  // Two "pairs" with contradictory pair-common prefixes coexist under
+  // their pair selectors; retiring one evicts its clauses and leaves the
+  // other scope's proofs intact.
+  PoolFixture &Fx = fixture();
+  ExprRef X = Fx.F.var("fam_x", Sort::Bool);
+
+  FamilyPlan FP;
+  FP.FamilyName = "demo";
+  FamilySession Sess(Fx.F, FP, /*Budget=*/-1);
+
+  MethodPlan Pos;
+  Pos.Name = "m";
+  Pos.Common = {X};
+  Pos.Splits.push_back(VcSplit{{{Fx.F.lnot(X), "not-x"}}, ""});
+  MethodPlan Neg;
+  Neg.Name = "m";
+  Neg.Common = {Fx.F.lnot(X)};
+  Neg.Splits.push_back(VcSplit{{{X, "x"}}, ""});
+
+  SymbolicResult R1, R2;
+  EXPECT_TRUE(Sess.discharge("p1", Pos, R1));
+  EXPECT_TRUE(Sess.discharge("p2", Neg, R2));
+  // Pair selector + method selector per pair.
+  EXPECT_EQ(Sess.numSelectors(), 4u);
+  EXPECT_EQ(Sess.stats().PairsOpened, 2u);
+
+  // The core names the pair scope, the method selector, and the split.
+  auto Has = [&R1](const char *L) {
+    return std::find(R1.CoreLabels.begin(), R1.CoreLabels.end(), L) !=
+           R1.CoreLabels.end();
+  };
+  EXPECT_TRUE(Has("pair:p1"));
+  EXPECT_TRUE(Has("not-x"));
+
+  uint64_t Retained = Sess.retainedClauses();
+  EXPECT_GT(Sess.retirePair("p1"), 0u);
+  EXPECT_LT(Sess.retainedClauses(), Retained);
+  EXPECT_EQ(Sess.stats().PairsRetired, 1u);
+  EXPECT_TRUE(Sess.session().solver().reasonInvariantHolds());
+
+  // p2 still verifies after p1's eviction; p1 re-opens under a fresh
+  // selector and verifies again.
+  SymbolicResult R3, R4;
+  EXPECT_TRUE(Sess.discharge("p2", Neg, R3));
+  EXPECT_TRUE(Sess.discharge("p1", Pos, R4));
+  EXPECT_EQ(Sess.stats().PairsOpened, 3u);
+}
+
+TEST(FamilySessionTest, FamilyCommonPrefixIsSharedAcrossPairs) {
+  PoolFixture &Fx = fixture();
+  ExprRef X = Fx.F.var("famc_x", Sort::Bool);
+
+  FamilyPlan FP;
+  FP.FamilyName = "demo2";
+  FP.FamilyCommon = {X};
+  FamilySession Sess(Fx.F, FP, /*Budget=*/-1);
+  EXPECT_EQ(Sess.stats().PrefixAsserts, 1u);
+
+  MethodPlan M;
+  M.Name = "m";
+  M.Common = {X}; // Already family base: counted as a reuse, not asserted.
+  M.Splits.push_back(VcSplit{{{Fx.F.lnot(X), "not-x"}}, ""});
+  SymbolicResult R1, R2;
+  EXPECT_TRUE(Sess.discharge("p1", M, R1));
+  EXPECT_TRUE(Sess.discharge("p2", M, R2));
+  EXPECT_EQ(Sess.stats().PrefixAsserts, 1u);
+  EXPECT_EQ(Sess.stats().PrefixReuses, 2u);
+}
+
+TEST(SymbolicEngineTest, VerifyFamilyMatchesSharedPairOnWholeCatalog) {
+  // The family tier is a pure performance refactor: every verdict equals
+  // the shared-pair tier's, pair by pair and method by method, and every
+  // finished pair is retired.
+  PoolFixture &Fx = fixture();
+  SymbolicEngine FamEng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                        SolveMode::SharedFamily);
+  SymbolicEngine Pair(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                      SolveMode::SharedPair);
+
+  for (const Family *Fam : allFamilies()) {
+    FamilyOutcome FO = FamEng.verifyFamily(Fx.C, *Fam);
+    const std::vector<ConditionEntry> &Entries = Fx.C.entries(*Fam);
+    ASSERT_EQ(FO.Pairs.size(), Entries.size()) << Fam->Name;
+    EXPECT_EQ(FO.Stats.PairsRetired, Entries.size());
+    EXPECT_EQ(FO.Stats.PairsOpened, Entries.size());
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      EXPECT_EQ(FO.PairKeys[I], Entries[I].pairName());
+      PairOutcome Want = Pair.verifyPair(Entries[I]);
+      ASSERT_EQ(FO.Pairs[I].Methods.size(), Want.Methods.size());
+      for (size_t M = 0; M != Want.Methods.size(); ++M) {
+        EXPECT_EQ(FO.Pairs[I].Methods[M].Verified,
+                  Want.Methods[M].Verified)
+            << Fam->Name << " " << Entries[I].pairName() << " method " << M;
+        EXPECT_EQ(FO.Pairs[I].Methods[M].NumVcs, Want.Methods[M].NumVcs);
+      }
+    }
+  }
+}
+
+TEST(SymbolicEngineTest, EvictionBoundsRetainedClausesAcrossAFamily) {
+  // The point of the family tier's eviction: the peak database stays near
+  // one live pair's footprint instead of accumulating every pair's. The
+  // no-eviction reference discharges the same plans through the same
+  // session without ever retiring a pair.
+  PoolFixture &Fx = fixture();
+  SymbolicEngine Eng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                     SolveMode::SharedFamily);
+
+  const Family &Fam = mapFamily();
+  FamilyOutcome Evicting = Eng.verifyFamily(Fx.C, Fam);
+
+  std::vector<const ConditionEntry *> Entries;
+  for (const ConditionEntry &E : Fx.C.entries(Fam))
+    Entries.push_back(&E);
+  FamilyPlan FP = Eng.planFamily(Fam.Name, Entries);
+  FamilySession NoEvict(Fx.F, FP, /*Budget=*/200000);
+  for (const PairPlan &PP : FP.Pairs)
+    for (const MethodPlan &MP : PP.Methods) {
+      SymbolicResult R;
+      NoEvict.discharge(PP.Key, MP, R);
+    }
+
+  EXPECT_GT(Evicting.Stats.EvictedClauses, 0u);
+  EXPECT_LT(Evicting.Stats.PeakRetainedClauses,
+            NoEvict.stats().PeakRetainedClauses);
+  // Not proportional to family size: the evicting peak stays well under
+  // half of the accumulate-everything peak on the 49-pair Map family.
+  EXPECT_LT(Evicting.Stats.PeakRetainedClauses,
+            NoEvict.stats().PeakRetainedClauses / 2);
+}
+
+/// Eviction-soundness fuzz: random pair discharge / retire / re-verify
+/// orders through one FamilySession — including mutant catalogs whose
+/// proofs fail — against a no-eviction per-pair reference. Verdicts must
+/// match everywhere and the solver's reason invariant must survive every
+/// eviction.
+class FamilyEvictionFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyEvictionFuzzTest, RandomRetireOrdersMatchNoEvictionReference) {
+  PoolFixture &Fx = fixture();
+  std::mt19937 Rng(GetParam());
+  SymbolicEngine Planner(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                         SolveMode::SharedFamily);
+
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    const Family *Fam = allFamilies()[Rng() % allFamilies().size()];
+    const std::vector<ConditionEntry> &All = Fx.C.entries(*Fam);
+
+    // A handful of pairs, half of the trials mutated to "always commutes"
+    // (fails soundness for most pairs).
+    std::vector<ConditionEntry> Picked;
+    for (int I = 0; I < 4; ++I) {
+      ConditionEntry E = All[Rng() % All.size()];
+      if (Rng() & 1)
+        E.Before = E.Between = E.After = Fx.F.trueExpr();
+      Picked.push_back(E);
+    }
+    std::vector<const ConditionEntry *> Ptrs;
+    for (const ConditionEntry &E : Picked)
+      Ptrs.push_back(&E);
+    FamilyPlan FP = Planner.planFamily(Fam->Name, Ptrs);
+    FamilySession Sess(Fx.F, FP, /*Budget=*/200000);
+    Sess.configureClauseGc(true, /*FirstLimit=*/64);
+
+    // Random operation sequence over the picked pairs: discharge a random
+    // method of a random pair (re-verification after retirement included),
+    // or retire a random pair.
+    for (int Step = 0; Step < 24; ++Step) {
+      size_t PI = Rng() % FP.Pairs.size();
+      const PairPlan &PP = FP.Pairs[PI];
+      // Keys may repeat across picked entries; index the key by position
+      // so a mutant and its original stay distinguishable to the test.
+      std::string Key = PP.Key + "#" + std::to_string(PI);
+      if (Rng() % 4 == 0) {
+        Sess.retirePair(Key);
+        ASSERT_TRUE(Sess.session().solver().reasonInvariantHolds())
+            << "seed=" << GetParam() << " trial=" << Trial
+            << " step=" << Step;
+        continue;
+      }
+      const MethodPlan &MP = PP.Methods[Rng() % PP.Methods.size()];
+      SymbolicResult Got;
+      Got.Verified = Sess.discharge(Key, MP, Got);
+
+      SharedSession Ref(Fx.F, /*Budget=*/200000, SolveMode::PerMethod);
+      SymbolicResult Want;
+      Want.Verified = Ref.discharge(MP, Want);
+
+      ASSERT_EQ(Got.Verified, Want.Verified)
+          << "seed=" << GetParam() << " trial=" << Trial << " step=" << Step
+          << " " << Fam->Name << " " << PP.Key << " " << MP.Name;
+      ASSERT_EQ(Got.NumVcs, Want.NumVcs) << MP.Name;
+    }
+    // Retire everything that is still live and confirm the solver state.
+    for (size_t PI = 0; PI != FP.Pairs.size(); ++PI)
+      Sess.retirePair(FP.Pairs[PI].Key + "#" + std::to_string(PI));
+    ASSERT_TRUE(Sess.session().solver().reasonInvariantHolds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FamilyEvictionFuzzTest,
+                         ::testing::Values(23, 47, 89, 131));
+
 TEST(SharedSessionTest, PerMethodAndOneShotModesRecreateSessions) {
   PoolFixture &Fx = fixture();
   const ConditionEntry &E = Fx.C.entries(setFamily()).front();

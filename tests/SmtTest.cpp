@@ -448,6 +448,149 @@ TEST_P(SatClauseGcFuzzTest, AggressiveGcAgreesWithNoGcReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SatClauseGcFuzzTest,
                          ::testing::Values(11, 42, 1009, 4099));
 
+// --- Scope retirement ---------------------------------------------------------
+
+TEST(SatSolverScopeRetire, EvictsScopeClausesAndPreservesAnswers) {
+  SatSolver S;
+  Lit SelA(S.addVar(), true), SelB(S.addVar(), true);
+  gatedPigeonhole(S, 4, SelA);
+  gatedPigeonhole(S, 4, SelB);
+  ASSERT_EQ(S.solve({SelA}), SatResult::Unsat);
+  ASSERT_EQ(S.solve({SelB}), SatResult::Unsat);
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+
+  // Retiring A's scope drops its gated problem clauses (root-satisfied via
+  // ~selA) and every learned clause touching the scope.
+  size_t Before = S.numClauses();
+  size_t Evicted = S.retireScope(SelA, {});
+  EXPECT_GT(Evicted, 0u);
+  EXPECT_EQ(S.numClauses(), Before - Evicted);
+  EXPECT_EQ(S.numScopeRetirements(), 1);
+  EXPECT_EQ(S.numEvictedClauses(), static_cast<int64_t>(Evicted));
+  EXPECT_TRUE(S.reasonInvariantHolds());
+
+  // The retired selector is permanently false; B's scope is untouched.
+  EXPECT_EQ(S.solve({SelA}), SatResult::Unsat);
+  EXPECT_EQ(S.unsatCore().size(), 1u);
+  EXPECT_EQ(S.solve({SelB}), SatResult::Unsat);
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.reasonInvariantHolds());
+}
+
+TEST(SatSolverScopeRetire, DropsLearnedClausesOfScopeVars) {
+  SatSolver S;
+  Lit Sel(S.addVar(), true);
+  std::vector<std::vector<int>> Var = gatedPigeonhole(S, 5, Sel);
+  ASSERT_EQ(S.solve({Sel}), SatResult::Unsat);
+  ASSERT_GT(S.numLearnedClauses(), 0);
+
+  // Retire with the pigeonhole vars named as scope vars: every learned
+  // clause mentions them, so the learned database empties.
+  std::vector<int> ScopeVars;
+  for (const auto &Row : Var)
+    for (int V : Row)
+      ScopeVars.push_back(V);
+  S.retireScope(Sel, ScopeVars);
+  EXPECT_TRUE(S.reasonInvariantHolds());
+  EXPECT_EQ(S.numClauses(), 0u); // Everything was gated or learned.
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(SmtSessionTest, RetireScopeEvictsAndReVerifies) {
+  ExprFactory F;
+  SmtSession S(F);
+  ExprRef PairSel = F.var("pair_sel", Sort::Bool);
+  ExprRef MSel = F.var("m_sel", Sort::Bool);
+  ExprRef X = F.var("retire_x", Sort::Bool);
+  ExprRef Y = F.var("retire_y", Sort::Bool);
+
+  S.assertScoped(PairSel, X);
+  S.assertScopedUnder(PairSel, MSel, F.implies(X, Y));
+  // Under both selectors, x holds and x->y holds, so ~y is refuted.
+  ASSERT_EQ(S.check({PairSel, MSel, F.lnot(Y)}, -1, {PairSel, MSel}),
+            SatResult::Unsat);
+
+  size_t Retained = S.retainedClauses();
+  size_t Evicted = S.retireScope(PairSel, {MSel});
+  EXPECT_GT(Evicted, 0u);
+  EXPECT_LT(S.retainedClauses(), Retained);
+  EXPECT_EQ(S.scopeRetirements(), 1);
+  EXPECT_TRUE(S.solver().reasonInvariantHolds());
+
+  // The scope is gone: without its prefix, ~y is satisfiable again.
+  EXPECT_EQ(S.check({F.lnot(Y)}), SatResult::Sat);
+  // A fresh selector re-asserts the same content and verifies again.
+  ExprRef PairSel2 = F.var("pair_sel2", Sort::Bool);
+  S.assertScoped(PairSel2, X);
+  S.assertScoped(PairSel2, F.implies(X, Y));
+  EXPECT_EQ(S.check({PairSel2, F.lnot(Y)}, -1, PairSel2), SatResult::Unsat);
+}
+
+// --- Core-minimizing restarts -------------------------------------------------
+
+TEST(SatSolverCoreMinimization, SolveOfCoreReachesSmallerFixpoint) {
+  // Crafted so the first analyzeFinal core is {a, b, c} while {b, c}
+  // suffices: the long clause (w | ~c | ~a | ~b) becomes ~c's reason
+  // before the chain b -> z -> ~c is processed, but re-solving under the
+  // core alone rediscovers the refutation through the chain.
+  SatSolver S;
+  int A = S.addVar(), B = S.addVar(), C = S.addVar(), W = S.addVar(),
+      Z = S.addVar();
+  S.addClause({Lit(B, false), Lit(Z, true)});                    // b -> z
+  S.addClause({Lit(W, true), Lit(C, false), Lit(A, false),
+               Lit(B, false)});                                  // long
+  S.addClause({Lit(W, false)});
+  S.addClause({Lit(Z, false), Lit(C, false)});                   // z -> ~c
+
+  ASSERT_EQ(S.solve({Lit(A, true), Lit(B, true), Lit(C, true)}),
+            SatResult::Unsat);
+  std::vector<Lit> Core = S.unsatCore();
+  // Iterate solve(unsatCore()) to a fixpoint by hand (the SmtSession does
+  // this internally): the core shrinks to a strict subset.
+  while (true) {
+    ASSERT_EQ(S.solve(Core), SatResult::Unsat);
+    if (S.unsatCore().size() >= Core.size())
+      break;
+    Core = S.unsatCore();
+  }
+  EXPECT_LT(Core.size(), 3u);
+  for (Lit L : Core)
+    EXPECT_NE(L.var(), A); // a is not needed: b -> z -> ~c refutes c.
+}
+
+TEST(SmtSessionTest, CoreMinimizationRecordsAnUnsatSubset) {
+  ExprFactory F;
+  SmtSession S(F);
+  ExprRef A = F.var("cm_a", Sort::Bool), B = F.var("cm_b", Sort::Bool),
+          C = F.var("cm_c", Sort::Bool), Z = F.var("cm_z", Sort::Bool);
+  S.assertBase(F.implies(B, Z));
+  S.assertBase(F.implies(Z, F.lnot(C)));
+  S.assertBase(F.implies(F.conj({A, B, C}), F.falseExpr()));
+
+  std::vector<ExprRef> Assumed = {A, B, C};
+  ASSERT_EQ(S.check(Assumed), SatResult::Unsat);
+  std::vector<size_t> Core = S.lastCoreAssumptionIndices();
+  ASSERT_FALSE(Core.empty());
+
+  // The recorded core is itself an unsat assumption set.
+  std::vector<ExprRef> CoreFormulas;
+  for (size_t I : Core)
+    CoreFormulas.push_back(Assumed[I]);
+  EXPECT_EQ(S.check(CoreFormulas), SatResult::Unsat);
+
+  // Disabling minimization can only widen the core.
+  SmtSession S2(F);
+  S2.setCoreMinimizationRounds(0);
+  S2.assertBase(F.implies(B, Z));
+  S2.assertBase(F.implies(Z, F.lnot(C)));
+  S2.assertBase(F.implies(F.conj({A, B, C}), F.falseExpr()));
+  ASSERT_EQ(S2.check(Assumed), SatResult::Unsat);
+  std::vector<size_t> Wide = S2.lastCoreAssumptionIndices();
+  for (size_t I : Core)
+    EXPECT_TRUE(std::find(Wide.begin(), Wide.end(), I) != Wide.end());
+  EXPECT_EQ(S2.coreMinimizationSolves(), 0);
+}
+
 // --- Tseitin ------------------------------------------------------------------
 
 TEST(TseitinTest, RoundTripSemantics) {

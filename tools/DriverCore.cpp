@@ -192,12 +192,19 @@ struct PairGroup {
   std::vector<size_t> JobIdx; ///< Six jobs, in (kind x role) order.
 };
 
+/// Copies a pair outcome into its stats row (shared by the pair-group and
+/// family-group paths). Millis is the sum of the method times; the
+/// pair-group path overwrites it with its own wall clock.
+void fillPairStats(const PairOutcome &O, const ConditionEntry &E,
+                   const char *ModeName, PairStats &Stats);
+
 void runPairGroup(const Catalog &C, const DriverOptions &Opts,
                   const PairGroup &G, std::vector<JobRecord> &Jobs,
                   PairStats &Stats) {
   Stopwatch Timer;
   SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
                      Opts.SymbolicConflictBudget, Opts.SymbolicMode);
+  Sym.setClauseGcBudget(Opts.GcBudget);
   PairOutcome O = Sym.verifyPair(*G.Entry);
   assert(O.Methods.size() == G.JobIdx.size() &&
          "pair group out of sync with enumeration");
@@ -205,13 +212,31 @@ void runPairGroup(const Catalog &C, const DriverOptions &Opts,
     JobRecord &Out = Jobs[G.JobIdx[I]];
     fillSymbolicRecord(O.Methods[I], Out);
     Out.Millis = O.MethodMillis[I];
-    Stats.Vcs += O.Methods[I].NumVcs;
   }
-  Stats.Family = G.Entry->Fam->Name;
-  Stats.Op1 = G.Entry->op1().Name;
-  Stats.Op2 = G.Entry->op2().Name;
-  Stats.Mode = solveModeName(Opts.SymbolicMode);
-  Stats.Methods = static_cast<unsigned>(G.JobIdx.size());
+  fillPairStats(O, *G.Entry, solveModeName(Opts.SymbolicMode), Stats);
+  Stats.Millis = Timer.millis();
+}
+
+/// The unit of work for symbolic commutativity jobs in SharedFamily mode:
+/// every pair of one family runs on one worker through one FamilySession
+/// (pair order = catalog entry order = enumeration order).
+struct FamilyGroup {
+  const Family *Fam = nullptr;
+  std::vector<PairGroup> Pairs;
+  /// PairStats row of each pair (same index space as the pair-group list),
+  /// so stats placement never relies on families being contiguous there.
+  std::vector<size_t> PairRows;
+};
+
+void fillPairStats(const PairOutcome &O, const ConditionEntry &E,
+                   const char *ModeName, PairStats &Stats) {
+  Stats.Family = E.Fam->Name;
+  Stats.Op1 = E.op1().Name;
+  Stats.Op2 = E.op2().Name;
+  Stats.Mode = ModeName;
+  Stats.Methods = static_cast<unsigned>(O.Methods.size());
+  for (const SymbolicResult &R : O.Methods)
+    Stats.Vcs += R.NumVcs;
   Stats.Checks = O.Checks;
   Stats.Conflicts = O.Conflicts;
   Stats.RetainedClauses = O.RetainedClauses;
@@ -219,6 +244,51 @@ void runPairGroup(const Catalog &C, const DriverOptions &Opts,
   Stats.ReclaimedClauses = O.ReclaimedClauses;
   Stats.Selectors = O.Selectors;
   Stats.SessionsOpened = O.SessionsOpened;
+  for (double Ms : O.MethodMillis)
+    Stats.Millis += Ms;
+}
+
+void runFamilyGroup(const Catalog &C, const DriverOptions &Opts,
+                    const FamilyGroup &G, std::vector<JobRecord> &Jobs,
+                    std::vector<PairStats> &Pairs, FamilyStats &Stats) {
+  Stopwatch Timer;
+  SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
+                     Opts.SymbolicConflictBudget, SolveMode::SharedFamily);
+  Sym.setClauseGcBudget(Opts.GcBudget);
+  FamilyOutcome FO = Sym.verifyFamily(C, *G.Fam);
+  assert(FO.Pairs.size() == G.Pairs.size() &&
+         "family group out of sync with the catalog");
+  for (size_t PI = 0; PI != G.Pairs.size(); ++PI) {
+    const PairGroup &PG = G.Pairs[PI];
+    const PairOutcome &PO = FO.Pairs[PI];
+    assert(PO.Methods.size() == PG.JobIdx.size() &&
+           "pair group out of sync with enumeration");
+    for (size_t I = 0; I != PG.JobIdx.size(); ++I) {
+      JobRecord &Out = Jobs[PG.JobIdx[I]];
+      fillSymbolicRecord(PO.Methods[I], Out);
+      Out.Millis = PO.MethodMillis[I];
+    }
+    fillPairStats(PO, *PG.Entry, solveModeName(SolveMode::SharedFamily),
+                  Pairs[G.PairRows[PI]]);
+  }
+  Stats.Family = G.Fam->Name;
+  Stats.Mode = solveModeName(SolveMode::SharedFamily);
+  Stats.Pairs = static_cast<unsigned>(FO.Pairs.size());
+  for (const PairOutcome &PO : FO.Pairs) {
+    Stats.Methods += static_cast<unsigned>(PO.Methods.size());
+    for (const SymbolicResult &R : PO.Methods)
+      Stats.Vcs += R.NumVcs;
+  }
+  Stats.Checks = FO.Checks;
+  Stats.Conflicts = FO.Conflicts;
+  Stats.PrefixAsserts = FO.Stats.PrefixAsserts;
+  Stats.PrefixReuses = FO.Stats.PrefixReuses;
+  Stats.PeakRetainedClauses = FO.Stats.PeakRetainedClauses;
+  Stats.Evictions = FO.Stats.PairsRetired;
+  Stats.EvictedClauses = FO.Stats.EvictedClauses;
+  Stats.DbReductions = FO.DbReductions;
+  Stats.ReclaimedClauses = FO.ReclaimedClauses;
+  Stats.Selectors = FO.Selectors;
   Stats.Millis = Timer.millis();
 }
 
@@ -283,21 +353,48 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   }
   std::vector<PairStats> Pairs(Groups.size());
 
+  // In SharedFamily mode the unit of work grows to the whole family: one
+  // worker runs every pair of a family through one FamilySession (group
+  // order follows the first pair's position, i.e. enumeration order).
+  bool FamilyMode = Opts.SymbolicMode == SolveMode::SharedFamily;
+  std::vector<FamilyGroup> FamGroups;
+  if (FamilyMode) {
+    std::map<const Family *, size_t> FamGroupOf;
+    for (size_t G = 0; G != Groups.size(); ++G) {
+      const Family *Fam = Groups[G].Entry->Fam;
+      auto [It, Fresh] = FamGroupOf.try_emplace(Fam, FamGroups.size());
+      if (Fresh) {
+        FamGroups.push_back({});
+        FamGroups.back().Fam = Fam;
+      }
+      FamGroups[It->second].Pairs.push_back(Groups[G]);
+      FamGroups[It->second].PairRows.push_back(G);
+    }
+  }
+  std::vector<FamilyStats> FamSessions(FamGroups.size());
+
   ExhaustiveEngine Engine(Opts.Bounds);
   Stopwatch Wall;
   {
     ThreadPool Pool(Opts.Threads == 0 ? 1 : Opts.Threads);
     for (size_t I = 0; I != Jobs.size(); ++I) {
       if (Prepared[I].Symbolic && !Prepared[I].Inverse)
-        continue; // Runs inside its pair group.
+        continue; // Runs inside its pair or family group.
       Pool.submit([&Engine, &C, &Opts, &Prepared, &Jobs, I] {
         runJob(Engine, C, Opts, Prepared[I], Jobs[I]);
       });
     }
-    for (size_t G = 0; G != Groups.size(); ++G)
-      Pool.submit([&C, &Opts, &Groups, &Jobs, &Pairs, G] {
-        runPairGroup(C, Opts, Groups[G], Jobs, Pairs[G]);
-      });
+    if (FamilyMode) {
+      for (size_t G = 0; G != FamGroups.size(); ++G)
+        Pool.submit([&C, &Opts, &FamGroups, &Jobs, &Pairs, &FamSessions, G] {
+          runFamilyGroup(C, Opts, FamGroups[G], Jobs, Pairs, FamSessions[G]);
+        });
+    } else {
+      for (size_t G = 0; G != Groups.size(); ++G)
+        Pool.submit([&C, &Opts, &Groups, &Jobs, &Pairs, G] {
+          runPairGroup(C, Opts, Groups[G], Jobs, Pairs[G]);
+        });
+    }
     Pool.wait();
   }
 
@@ -307,6 +404,7 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   R.Bounds = Opts.Bounds;
   R.Results = std::move(Jobs);
   R.Pairs = std::move(Pairs);
+  R.FamilySessions = std::move(FamSessions);
 
   for (const Family *Fam : Fams) {
     FamilySummary S;
@@ -423,6 +521,39 @@ json::Value Report::toJson() const {
     Root.set("pair_stats", std::move(PairArr));
   }
 
+  if (!FamilySessions.empty()) {
+    json::Value FamSessArr = json::Value::array();
+    for (const FamilyStats &S : FamilySessions) {
+      json::Value V = json::Value::object();
+      V.set("family", json::Value::string(S.Family));
+      V.set("mode", json::Value::string(S.Mode));
+      V.set("pairs", json::Value::integer(S.Pairs));
+      V.set("methods", json::Value::integer(S.Methods));
+      V.set("vcs", json::Value::integer(static_cast<int64_t>(S.Vcs)));
+      V.set("checks", json::Value::integer(static_cast<int64_t>(S.Checks)));
+      V.set("sat_conflicts", json::Value::integer(S.Conflicts));
+      V.set("prefix_asserts",
+            json::Value::integer(static_cast<int64_t>(S.PrefixAsserts)));
+      V.set("prefix_reuses",
+            json::Value::integer(static_cast<int64_t>(S.PrefixReuses)));
+      V.set("peak_retained_clauses",
+            json::Value::integer(
+                static_cast<int64_t>(S.PeakRetainedClauses)));
+      V.set("evictions",
+            json::Value::integer(static_cast<int64_t>(S.Evictions)));
+      V.set("evicted_clauses",
+            json::Value::integer(static_cast<int64_t>(S.EvictedClauses)));
+      V.set("db_reductions",
+            json::Value::integer(static_cast<int64_t>(S.DbReductions)));
+      V.set("reclaimed_clauses",
+            json::Value::integer(static_cast<int64_t>(S.ReclaimedClauses)));
+      V.set("selectors", json::Value::integer(S.Selectors));
+      V.set("ms", json::Value::number(S.Millis));
+      FamSessArr.push(std::move(V));
+    }
+    Root.set("family_stats", std::move(FamSessArr));
+  }
+
   json::Value ResArr = json::Value::array();
   for (const JobRecord &J : Results) {
     json::Value R = json::Value::object();
@@ -536,6 +667,35 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
     }
   }
 
+  if (const json::Value *FamSessArr = V.find("family_stats")) {
+    if (!FamSessArr->isArray())
+      return std::nullopt;
+    for (size_t I = 0; I != FamSessArr->size(); ++I) {
+      const json::Value &P = FamSessArr->at(I);
+      FamilyStats S;
+      S.Family = P["family"].asString();
+      S.Mode = P["mode"].asString();
+      S.Pairs = static_cast<unsigned>(P["pairs"].asInt());
+      S.Methods = static_cast<unsigned>(P["methods"].asInt());
+      S.Vcs = static_cast<uint64_t>(P["vcs"].asInt());
+      S.Checks = static_cast<uint64_t>(P["checks"].asInt());
+      S.Conflicts = P["sat_conflicts"].asInt();
+      S.PrefixAsserts = static_cast<uint64_t>(P["prefix_asserts"].asInt());
+      S.PrefixReuses = static_cast<uint64_t>(P["prefix_reuses"].asInt());
+      S.PeakRetainedClauses =
+          static_cast<uint64_t>(P["peak_retained_clauses"].asInt());
+      S.Evictions = static_cast<uint64_t>(P["evictions"].asInt());
+      S.EvictedClauses =
+          static_cast<uint64_t>(P["evicted_clauses"].asInt());
+      S.DbReductions = static_cast<uint64_t>(P["db_reductions"].asInt());
+      S.ReclaimedClauses =
+          static_cast<uint64_t>(P["reclaimed_clauses"].asInt());
+      S.Selectors = static_cast<unsigned>(P["selectors"].asInt());
+      S.Millis = P["ms"].asDouble();
+      R.FamilySessions.push_back(std::move(S));
+    }
+  }
+
   const json::Value &ResArr = V["results"];
   if (!ResArr.isArray())
     return std::nullopt;
@@ -639,6 +799,25 @@ std::string driver::renderSummary(const Report &R) {
                     static_cast<unsigned long long>(Checks),
                     static_cast<unsigned long long>(TotalReductions),
                     static_cast<unsigned long long>(TotalReclaimed));
+      Out += Buf;
+    }
+    if (!R.FamilySessions.empty()) {
+      uint64_t Evictions = 0, Evicted = 0, Peak = 0, Reuses = 0;
+      for (const FamilyStats &S : R.FamilySessions) {
+        Evictions += S.Evictions;
+        Evicted += S.EvictedClauses;
+        Peak = std::max(Peak, S.PeakRetainedClauses);
+        Reuses += S.PrefixReuses;
+      }
+      std::snprintf(Buf, sizeof(Buf),
+                    "family sessions: %zu families, %llu pair evictions "
+                    "dropping %llu clauses, peak %llu retained, %llu "
+                    "prefix-assert reuses\n",
+                    R.FamilySessions.size(),
+                    static_cast<unsigned long long>(Evictions),
+                    static_cast<unsigned long long>(Evicted),
+                    static_cast<unsigned long long>(Peak),
+                    static_cast<unsigned long long>(Reuses));
       Out += Buf;
     }
   }

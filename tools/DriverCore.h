@@ -64,8 +64,13 @@ struct DriverOptions {
   /// Per-VC CDCL conflict budget for the symbolic engine.
   int64_t SymbolicConflictBudget = 200000;
   /// Session strategy for the symbolic engine: shared-pair (default),
-  /// per-method, or oneshot (comparison baselines).
+  /// shared-family (one warm solver per family, with scoped eviction), or
+  /// the per-method / oneshot comparison baselines.
   SolveMode SymbolicMode = SolveMode::SharedPair;
+  /// Clause-GC budget: live learned clauses at which a warm session's
+  /// first database reduction fires (--gc-budget; 0 keeps the solver
+  /// default, which bench/perf_engine_scaling's sweep picked from data).
+  int64_t GcBudget = 0;
 };
 
 /// One verification job and (after running) its outcome. Category is
@@ -141,6 +146,32 @@ struct PairStats {
   double Millis = 0;
 };
 
+/// Reuse and eviction statistics of one family-level session (symbolic
+/// commutativity jobs under SolveMode::SharedFamily; one row per family).
+struct FamilyStats {
+  std::string Family;
+  std::string Mode; ///< solveModeName of the run.
+  unsigned Pairs = 0;
+  unsigned Methods = 0;
+  uint64_t Vcs = 0;
+  uint64_t Checks = 0;
+  int64_t Conflicts = 0;
+  /// Common-prefix assertions issued vs. skipped because the formula was
+  /// already in the family base or the pair scope (the amortization the
+  /// family tier buys).
+  uint64_t PrefixAsserts = 0;
+  uint64_t PrefixReuses = 0;
+  /// High-water mark of retained clauses across the family's checks — the
+  /// number scoped eviction bounds.
+  uint64_t PeakRetainedClauses = 0;
+  uint64_t Evictions = 0; ///< Pair scopes retired.
+  uint64_t EvictedClauses = 0;
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
+  unsigned Selectors = 0; ///< Pair + method selectors registered.
+  double Millis = 0;
+};
+
 /// Everything a run produces; serializes to/from the JSON report.
 struct Report {
   unsigned Threads = 1;
@@ -151,6 +182,8 @@ struct Report {
   /// Per-pair shared-session reuse stats (empty for exhaustive-only runs
   /// and for reports predating the field).
   std::vector<PairStats> Pairs;
+  /// Per-family session stats (SolveMode::SharedFamily runs only).
+  std::vector<FamilyStats> FamilySessions;
   /// Non-empty when the run never started (e.g. unknown family name); a
   /// report with an Error has no results and counts as failed.
   std::string Error;

@@ -44,8 +44,14 @@ void printUsage(const char *Argv0) {
       "                    engine (default: 3); requires --engine\n"
       "                    symbolic or both\n"
       "  --solve-mode M    symbolic session strategy: shared-pair (default,\n"
-      "                    one warm solver per op-pair), per-method, or\n"
-      "                    oneshot; requires --engine symbolic or both\n"
+      "                    one warm solver per op-pair), shared-family (one\n"
+      "                    warm solver per family with per-pair scope\n"
+      "                    eviction), per-method, or oneshot; requires\n"
+      "                    --engine symbolic or both\n"
+      "  --gc-budget N     live learned clauses at which a warm session's\n"
+      "                    first clause-DB reduction fires (default: the\n"
+      "                    data-picked solver default); requires --engine\n"
+      "                    symbolic or both\n"
       "  --threads N       worker threads (default: hardware concurrency;\n"
       "                    must be positive)\n"
       "  --no-commute      skip the commutativity-condition catalog\n"
@@ -83,7 +89,7 @@ int main(int argc, char **argv) {
   DriverOptions Opts;
   Opts.Threads = ThreadPool::hardwareThreads();
   bool ListOnly = false, Quiet = false, FailuresOnly = false;
-  bool SeqBoundSet = false, SolveModeSet = false;
+  bool SeqBoundSet = false, SolveModeSet = false, GcBudgetSet = false;
   std::string JsonPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -133,6 +139,8 @@ int main(int argc, char **argv) {
       std::string M = needValue("--solve-mode");
       if (M == "shared-pair") {
         Opts.SymbolicMode = SolveMode::SharedPair;
+      } else if (M == "shared-family") {
+        Opts.SymbolicMode = SolveMode::SharedFamily;
       } else if (M == "per-method") {
         Opts.SymbolicMode = SolveMode::PerMethod;
       } else if (M == "oneshot") {
@@ -140,11 +148,23 @@ int main(int argc, char **argv) {
       } else {
         std::fprintf(stderr,
                      "unknown solve mode '%s' (expected shared-pair, "
-                     "per-method or oneshot)\n",
+                     "shared-family, per-method or oneshot)\n",
                      M.c_str());
         return 2;
       }
       SolveModeSet = true;
+    } else if (Arg == "--gc-budget") {
+      const char *Val = needValue("--gc-budget");
+      char *End = nullptr;
+      long N = std::strtol(Val, &End, 10);
+      if (End == Val || *End != '\0' || N < 1) {
+        std::fprintf(stderr, "--gc-budget wants a positive integer, got "
+                             "'%s'\n",
+                     Val);
+        return 2;
+      }
+      Opts.GcBudget = static_cast<int64_t>(N);
+      GcBudgetSet = true;
     } else if (Arg == "--threads") {
       const char *Val = needValue("--threads");
       char *End = nullptr;
@@ -186,6 +206,11 @@ int main(int argc, char **argv) {
   }
   if (SolveModeSet && Opts.Engine == EngineKind::Exhaustive) {
     std::fprintf(stderr, "--solve-mode only applies to the symbolic "
+                         "engine; pass --engine symbolic or both\n");
+    return 2;
+  }
+  if (GcBudgetSet && Opts.Engine == EngineKind::Exhaustive) {
+    std::fprintf(stderr, "--gc-budget only applies to the symbolic "
                          "engine; pass --engine symbolic or both\n");
     return 2;
   }
