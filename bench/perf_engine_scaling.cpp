@@ -8,26 +8,38 @@
 // §4.1's small-scope argument: the verdicts stabilize by scope 3 while the
 // cost grows combinatorially — the reason the default scope suffices.
 //
-// The symbolic section compares the four discharge strategies — one-shot
+// The symbolic section compares the five discharge strategies — one-shot
 // session-per-VC, the per-method warm session, the shared per-pair session
 // (selector literals, one warm solver for all six methods of an op-pair),
-// and the shared family session (one warm solver for the whole family,
-// per-pair scopes retired when done) — and emits machine-readable
-// BENCH_JSON lines that bench/run_all.sh collects into
-// BENCH_semcommute.json, including the pair-over-method and
-// family-over-pair speedup ratios and the clause-GC/eviction counters.
+// the shared family session (one warm solver for the whole family,
+// per-pair scopes retired when done), and the shared catalog session
+// (selector-tree scopes, family subtrees retired in one pass, Tseitin
+// variables recycled) — and emits machine-readable BENCH_JSON lines that
+// bench/run_all.sh collects into BENCH_semcommute.json, including the
+// pair-over-method, family-over-pair, and catalog-over-family speedup
+// ratios, the clause-GC/eviction counters, and a peak-live-variables
+// series (peak live vs. cumulative variable demand, per bound) showing
+// what index recycling buys.
 //
 // A second sweep varies the clause-GC budget (the --gc-budget knob /
 // SatSolver::setClauseGcLimit) over the shared-family ArrayList suite so
 // the default threshold is picked from measured peak-retention/time data
 // instead of MiniSat folklore.
 //
+// A third run compares the shared-family ArrayList suite with the §5.2.1
+// proof-hint scripts attached against a hints-off baseline, emitting the
+// conflict reduction (and the max single-VC conflict count, i.e. the
+// budget the suite actually needs) so the ArrayList conflict budget is a
+// measured choice.
+//
 //===----------------------------------------------------------------------===//
 
 #include "commute/ExhaustiveEngine.h"
+#include "commute/ProofHints.h"
 #include "commute/SymbolicEngine.h"
 #include "support/Timing.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace semcomm;
@@ -38,6 +50,7 @@ struct SymbolicRun {
   double Seconds = 0;
   uint64_t Vcs = 0;
   int64_t Conflicts = 0;
+  int64_t MaxVcConflicts = 0;
   unsigned Failures = 0;
   unsigned Methods = 0;
   uint64_t RetainedClauses = 0;
@@ -89,19 +102,24 @@ SymbolicRun runSharedPairSuite(ExprFactory &F, const Catalog &C, int Bound) {
 }
 
 /// Family-level discharge: every ArrayList pair through one FamilySession,
-/// each pair's scope retired when its six methods are done.
+/// each pair's scope retired when its six methods are done. With
+/// \p Hints, the §5.2.1 scripts attach as labeled split assumptions.
 SymbolicRun runSharedFamilySuite(ExprFactory &F, const Catalog &C, int Bound,
                                  int64_t GcBudget,
-                                 FamilySessionStats *StatsOut = nullptr) {
+                                 FamilySessionStats *StatsOut = nullptr,
+                                 const std::vector<HintScript> *Hints =
+                                     nullptr) {
   SymbolicEngine Engine(F, Bound, /*ConflictBudget=*/200000,
                         SolveMode::SharedFamily);
   Engine.setClauseGcBudget(GcBudget);
+  Engine.attachHints(Hints);
   SymbolicRun Out;
   Stopwatch W;
   FamilyOutcome FO = Engine.verifyFamily(C, arrayListFamily());
   for (const PairOutcome &O : FO.Pairs)
     for (const SymbolicResult &R : O.Methods) {
       Out.Vcs += R.NumVcs;
+      Out.MaxVcConflicts = std::max(Out.MaxVcConflicts, R.MaxVcConflicts);
       Out.Failures += !R.Verified;
       ++Out.Methods;
     }
@@ -112,6 +130,34 @@ SymbolicRun runSharedFamilySuite(ExprFactory &F, const Catalog &C, int Bound,
   Out.Seconds = W.seconds();
   if (StatsOut)
     *StatsOut = FO.Stats;
+  return Out;
+}
+
+/// Catalog-level discharge of the same ArrayList workload: one
+/// CatalogSession (selector-tree scopes, subtree retirement, variable
+/// recycling) serving the family as its only shard.
+SymbolicRun runSharedCatalogSuite(ExprFactory &F, const Catalog &C, int Bound,
+                                  CatalogSessionStats *StatsOut = nullptr) {
+  SymbolicEngine Engine(F, Bound, /*ConflictBudget=*/200000,
+                        SolveMode::SharedCatalog);
+  SymbolicRun Out;
+  Stopwatch W;
+  CatalogOutcome CO = Engine.verifyCatalog(C, {&arrayListFamily()});
+  for (const FamilyOutcome &FO : CO.Families)
+    for (const PairOutcome &O : FO.Pairs)
+      for (const SymbolicResult &R : O.Methods) {
+        Out.Vcs += R.NumVcs;
+        Out.MaxVcConflicts = std::max(Out.MaxVcConflicts, R.MaxVcConflicts);
+        Out.Failures += !R.Verified;
+        ++Out.Methods;
+      }
+  Out.Conflicts = CO.Conflicts;
+  Out.RetainedClauses = CO.Stats.PeakRetainedClauses;
+  Out.DbReductions = CO.DbReductions;
+  Out.ReclaimedClauses = CO.ReclaimedClauses;
+  Out.Seconds = W.seconds();
+  if (StatsOut)
+    *StatsOut = CO.Stats;
   return Out;
 }
 
@@ -146,10 +192,12 @@ int main() {
 
   std::printf("\nSymbolic engine, full ArrayList method suite by length "
               "bound:\none-shot session-per-VC vs per-method warm session "
-              "vs shared per-pair vs shared family session:\n\n");
-  std::printf("%8s %10s %12s %12s %12s %12s %12s %10s %10s\n", "bound",
-              "methods", "VCs", "oneshot(s)", "method(s)", "pair(s)",
-              "family(s)", "pair-gain", "fam-gain");
+              "vs shared per-pair vs shared family vs shared catalog "
+              "session:\n\n");
+  std::printf("%8s %10s %12s %12s %12s %12s %12s %12s %9s %9s %9s\n",
+              "bound", "methods", "VCs", "oneshot(s)", "method(s)",
+              "pair(s)", "family(s)", "catalog(s)", "pair-gain", "fam-gain",
+              "cat-gain");
   for (int Bound = 2; Bound <= 4; ++Bound) {
     // Untimed warm-up: intern this bound's expressions into the shared
     // factory so no timed leg pays first-time allocation.
@@ -160,30 +208,43 @@ int main() {
     FamilySessionStats FamStats;
     SymbolicRun Fam = runSharedFamilySuite(F, C, Bound, /*GcBudget=*/0,
                                            &FamStats);
+    CatalogSessionStats CatStats;
+    SymbolicRun Cat = runSharedCatalogSuite(F, C, Bound, &CatStats);
     // The acceptance metrics: each tier must at least hold the line
     // against the one below it.
     double PairGain = Pair.Seconds > 0 ? Method.Seconds / Pair.Seconds : 0;
     double FamGain = Fam.Seconds > 0 ? Pair.Seconds / Fam.Seconds : 0;
+    double CatGain = Cat.Seconds > 0 ? Fam.Seconds / Cat.Seconds : 0;
     double IncrGain = Method.Seconds > 0 ? OneShot.Seconds / Method.Seconds
                                          : 0;
     unsigned Failures = OneShot.Failures + Method.Failures + Pair.Failures +
-                        Fam.Failures;
-    std::printf("%8d %10u %12llu %12.3f %12.3f %12.3f %12.3f %9.2fx %9.2fx"
-                "%s\n",
+                        Fam.Failures + Cat.Failures;
+    std::printf("%8d %10u %12llu %12.3f %12.3f %12.3f %12.3f %12.3f "
+                "%8.2fx %8.2fx %8.2fx%s\n",
                 Bound, Pair.Methods, (unsigned long long)Pair.Vcs,
                 OneShot.Seconds, Method.Seconds, Pair.Seconds, Fam.Seconds,
-                PairGain, FamGain, Failures ? "  FAILURES!" : "");
+                Cat.Seconds, PairGain, FamGain, CatGain,
+                Failures ? "  FAILURES!" : "");
+    // The peak-live-variables series: what recycling buys at this bound.
+    std::printf("%8s catalog vars: peak %llu live of %llu requested, "
+                "%llu recycled, peak %llu live clauses\n", "",
+                (unsigned long long)CatStats.PeakLiveVars,
+                (unsigned long long)CatStats.VarRequests,
+                (unsigned long long)CatStats.RecycledVars,
+                (unsigned long long)CatStats.PeakLiveClauses);
     // Machine-readable line for bench/run_all.sh's aggregate baseline.
     std::printf("BENCH_JSON {\"bench\":\"perf_engine_scaling\","
                 "\"metric\":\"symbolic_arraylist_suite\",\"bound\":%d,"
                 "\"methods\":%u,\"vcs\":%llu,\"oneshot_s\":%.4f,"
                 "\"per_method_s\":%.4f,\"shared_pair_s\":%.4f,"
-                "\"shared_family_s\":%.4f,"
+                "\"shared_family_s\":%.4f,\"shared_catalog_s\":%.4f,"
                 "\"speedup\":%.3f,\"pair_over_method_speedup\":%.3f,"
                 "\"family_over_pair_speedup\":%.3f,"
+                "\"catalog_over_family_speedup\":%.3f,"
                 "\"oneshot_conflicts\":%lld,\"per_method_conflicts\":%lld,"
                 "\"shared_pair_conflicts\":%lld,"
                 "\"shared_family_conflicts\":%lld,"
+                "\"shared_catalog_conflicts\":%lld,"
                 "\"shared_pair_retained_clauses\":%llu,"
                 "\"shared_pair_db_reductions\":%llu,"
                 "\"shared_pair_reclaimed_clauses\":%llu,"
@@ -191,19 +252,28 @@ int main() {
                 "\"family_evictions\":%llu,"
                 "\"family_evicted_clauses\":%llu,"
                 "\"family_prefix_reuses\":%llu,"
+                "\"catalog_peak_live_vars\":%llu,"
+                "\"catalog_var_requests\":%llu,"
+                "\"catalog_recycled_vars\":%llu,"
+                "\"catalog_peak_live_clauses\":%llu,"
                 "\"failures\":%u}\n",
                 Bound, Pair.Methods, (unsigned long long)Pair.Vcs,
                 OneShot.Seconds, Method.Seconds, Pair.Seconds, Fam.Seconds,
-                IncrGain, PairGain, FamGain, (long long)OneShot.Conflicts,
+                Cat.Seconds, IncrGain, PairGain, FamGain, CatGain,
+                (long long)OneShot.Conflicts,
                 (long long)Method.Conflicts, (long long)Pair.Conflicts,
-                (long long)Fam.Conflicts,
+                (long long)Fam.Conflicts, (long long)Cat.Conflicts,
                 (unsigned long long)Pair.RetainedClauses,
                 (unsigned long long)Pair.DbReductions,
                 (unsigned long long)Pair.ReclaimedClauses,
                 (unsigned long long)FamStats.PeakRetainedClauses,
                 (unsigned long long)FamStats.PairsRetired,
                 (unsigned long long)FamStats.EvictedClauses,
-                (unsigned long long)FamStats.PrefixReuses, Failures);
+                (unsigned long long)FamStats.PrefixReuses,
+                (unsigned long long)CatStats.PeakLiveVars,
+                (unsigned long long)CatStats.VarRequests,
+                (unsigned long long)CatStats.RecycledVars,
+                (unsigned long long)CatStats.PeakLiveClauses, Failures);
   }
 
   // Clause-GC budget sweep over the shared-family ArrayList suite: the
@@ -235,5 +305,48 @@ int main() {
                 (unsigned long long)Run.DbReductions,
                 (unsigned long long)Run.ReclaimedClauses, Run.Failures);
   }
+
+  // Hint-guided budget measurement: the shared-family ArrayList suite with
+  // the §5.2.1 proof-hint scripts attached vs. the hints-off baseline. The
+  // max single-VC conflict count is the budget the suite actually needs —
+  // whether --symbolic conflict budgets can drop is a data question, so
+  // both numbers land in the committed baseline.
+  std::printf("\nHint-guided budget measurement, shared-family ArrayList "
+              "suite (bound 3):\n\n");
+  std::printf("%10s %10s %12s %16s\n", "hints", "time(s)", "conflicts",
+              "max-vc-conflicts");
+  std::vector<HintScript> Scripts = buildArrayListHintScripts(F);
+  SymbolicRun HintsOff = runSharedFamilySuite(F, C, 3, /*GcBudget=*/0);
+  SymbolicRun HintsOn = runSharedFamilySuite(F, C, 3, /*GcBudget=*/0,
+                                             /*StatsOut=*/nullptr, &Scripts);
+  for (const auto &Leg : {std::make_pair("off", &HintsOff),
+                          std::make_pair("on", &HintsOn)})
+    std::printf("%10s %10.3f %12lld %16lld%s\n", Leg.first,
+                Leg.second->Seconds, (long long)Leg.second->Conflicts,
+                (long long)Leg.second->MaxVcConflicts,
+                Leg.second->Failures ? "  FAILURES!" : "");
+  double HintReduction =
+      HintsOn.Conflicts > 0
+          ? (double)HintsOff.Conflicts / (double)HintsOn.Conflicts
+          : (HintsOff.Conflicts > 0 ? 0.0 : 1.0);
+  std::printf("hint_conflict_reduction: %.3fx; the suite's conflict budget "
+              "could drop to ~%lld (max single-VC count with hints %s)\n",
+              HintReduction,
+              (long long)std::max<int64_t>(HintsOn.MaxVcConflicts, 1),
+              HintsOn.MaxVcConflicts <= HintsOff.MaxVcConflicts ? "attached"
+                                                                : "off");
+  std::printf("BENCH_JSON {\"bench\":\"perf_engine_scaling\","
+              "\"metric\":\"hint_budget\",\"bound\":3,"
+              "\"hints_off_s\":%.4f,\"hints_on_s\":%.4f,"
+              "\"hints_off_conflicts\":%lld,\"hints_on_conflicts\":%lld,"
+              "\"hints_off_max_vc_conflicts\":%lld,"
+              "\"hints_on_max_vc_conflicts\":%lld,"
+              "\"hint_conflict_reduction\":%.3f,"
+              "\"failures\":%u}\n",
+              HintsOff.Seconds, HintsOn.Seconds,
+              (long long)HintsOff.Conflicts, (long long)HintsOn.Conflicts,
+              (long long)HintsOff.MaxVcConflicts,
+              (long long)HintsOn.MaxVcConflicts, HintReduction,
+              HintsOff.Failures + HintsOn.Failures);
   return 0;
 }

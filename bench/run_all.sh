@@ -151,6 +151,30 @@ else
   record "driver_family_stats" 0 missing
 fi
 
+# Catalog-tier snapshot: one warm solver for the whole catalog
+# (--solve-mode shared-catalog at one thread), whose subtree-retirement /
+# variable-recycling / peak-liveness counters join the baseline so
+# catalog-session regressions (unbounded variable growth, lost prefix
+# amortization) are caught like wall-time ones.
+CATALOG_JSON="$RESULTS_DIR/driver_catalog_stats.json"
+if [ -x "$DRIVER_BIN" ]; then
+  echo "== semcommute-verify (shared-catalog session snapshot)"
+  start=$(now)
+  if "$DRIVER_BIN" --families all --engine symbolic \
+       --solve-mode shared-catalog --threads 1 --quiet \
+       --json "$CATALOG_JSON" > "$RESULTS_DIR/driver_catalog_stats.txt" 2>&1
+  then status=ok; else
+    status=failed
+    echo "FAILED  semcommute-verify shared-catalog (see $RESULTS_DIR/driver_catalog_stats.txt)"
+    failures=$((failures + 1))
+  fi
+  end=$(now)
+  record "driver_catalog_stats" \
+    "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
+else
+  record "driver_catalog_stats" 0 missing
+fi
+
 python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
 import json, os, sys
 
@@ -252,14 +276,34 @@ if os.path.exists(family_path):
             "families": report.get("family_stats", []),
         }
 
+# Catalog-session statistics from the shared-catalog snapshot run: the
+# single one-thread session's prefix/retirement/recycling counters plus
+# its per-family-tier slices.
+catalog_stats = None
+catalog_path = os.path.join(results_dir, "driver_catalog_stats.json")
+if os.path.exists(catalog_path):
+    try:
+        with open(catalog_path) as f:
+            report = json.load(f)
+    except json.JSONDecodeError:
+        report = None
+    if report:
+        catalog_stats = {
+            "engine": "symbolic",
+            "mode": "shared-catalog",
+            "sessions": report.get("catalog_stats", []),
+            "families": report.get("family_stats", []),
+        }
+
 doc = {
-    "schema": 3,
+    "schema": 4,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
     "google_benchmarks": google,
     "driver_solver_stats": driver_stats,
     "driver_family_stats": family_stats,
+    "driver_catalog_stats": catalog_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

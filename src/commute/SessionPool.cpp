@@ -99,6 +99,8 @@ const char *semcomm::solveModeName(SolveMode M) {
     return "shared-pair";
   case SolveMode::SharedFamily:
     return "shared-family";
+  case SolveMode::SharedCatalog:
+    return "shared-catalog";
   }
   return "shared-pair";
 }
@@ -155,10 +157,12 @@ void SharedSession::assertPrefix(const MethodPlan &Plan, ExprRef Sel) {
 
 bool SharedSession::discharge(const MethodPlan &Plan, SymbolicResult &R) {
   ExprRef Sel = nullptr;
-  // A SharedSession given SharedFamily mode serves a single pair — the
-  // degenerate family — with the same selector discipline as SharedPair
-  // (FamilySession owns the real multi-pair nesting and eviction).
-  if (Mode == SolveMode::SharedPair || Mode == SolveMode::SharedFamily) {
+  // A SharedSession given a family- or catalog-tier mode serves a single
+  // pair — the degenerate family — with the same selector discipline as
+  // SharedPair (FamilySession and CatalogSession own the real multi-pair
+  // nesting and eviction).
+  if (Mode == SolveMode::SharedPair || Mode == SolveMode::SharedFamily ||
+      Mode == SolveMode::SharedCatalog) {
     if (!Session)
       openSession();
     std::vector<ExprRef> Fingerprint = planFingerprint(Plan);
@@ -231,12 +235,127 @@ uint64_t SharedSession::retainedClauses() const {
 }
 
 //===----------------------------------------------------------------------===//
+// PairTier
+//===----------------------------------------------------------------------===//
+
+PairTier::PairTier(ExprFactory &F, SmtSession &Session, std::string Tag,
+                   SmtSession::ScopeId Parent, std::vector<ExprRef> PathSels,
+                   std::vector<std::string> PathLabels,
+                   std::vector<const std::set<ExprRef> *> OuterBases,
+                   int64_t Budget, FamilySessionStats &Stats,
+                   unsigned &SelectorCount)
+    : F(F), Session(Session), Tag(std::move(Tag)), Parent(Parent),
+      PathSels(std::move(PathSels)), PathLabels(std::move(PathLabels)),
+      OuterBases(std::move(OuterBases)), Budget(Budget), Stats(Stats),
+      SelectorCount(SelectorCount) {}
+
+PairTier::PairScope &PairTier::ensurePair(const std::string &Key) {
+  auto It = LivePairs.find(Key);
+  if (It != LivePairs.end())
+    return It->second;
+  // A retired key re-opens under a fresh selector name: its old selector
+  // is permanently false, so reusing it would vacuously "verify"
+  // everything discharged under it.
+  unsigned Epoch = PairEpochs[Key]++;
+  std::string SelName = "__pair_" + Tag + ":" + Key;
+  if (Epoch > 0)
+    SelName += "#" + std::to_string(Epoch);
+  PairScope &PS = LivePairs[Key];
+  PS.Sel = F.var(SelName, Sort::Bool);
+  // The pair scope owns a Tseitin layer: its formulas' definition vars
+  // retire — and their indices recycle — with the scope.
+  PS.Scope = Session.openScope(PS.Sel, Parent, /*OwnLayer=*/true);
+  ++SelectorCount;
+  ++Stats.PairsOpened;
+  return PS;
+}
+
+bool PairTier::discharge(const std::string &PairKey, const MethodPlan &MPlan,
+                         SymbolicResult &R) {
+  PairScope &PS = ensurePair(PairKey);
+
+  // Pair-common prefix: formulas already in an outer base (session- or
+  // family-common) are reuses; the remainder is asserted once under the
+  // pair selector.
+  for (ExprRef C : MPlan.Common) {
+    bool InOuter = false;
+    for (const std::set<ExprRef> *B : OuterBases)
+      InOuter = InOuter || B->count(C) != 0;
+    if (InOuter) {
+      ++Stats.PrefixReuses;
+      continue;
+    }
+    if (PS.AssertedCommon.insert(C).second) {
+      Session.assertInScope(PS.Scope, C);
+      ++Stats.PrefixAsserts;
+    } else {
+      ++Stats.PrefixReuses;
+    }
+  }
+
+  // Method selector, nested under the pair's (same fingerprint discipline
+  // as SharedSession: a repeated name with a different prefix gets a fresh
+  // selector instead of inheriting the old prefix). Method scopes share
+  // the pair's Tseitin layer — they retire only with the pair.
+  std::vector<ExprRef> Fingerprint = planFingerprint(MPlan);
+  std::vector<PlanSelectorEntry> &Entries = PS.Methods[MPlan.Name];
+  ExprRef MSel = findPlanSelector(Entries, Fingerprint);
+  if (!MSel) {
+    std::string SelName = "__sel_" + MPlan.Name + "@" + Tag + ":" + PairKey;
+    unsigned Epoch = PairEpochs[PairKey] - 1;
+    if (Epoch > 0)
+      SelName += "#e" + std::to_string(Epoch);
+    if (!Entries.empty())
+      SelName += "#" + std::to_string(Entries.size());
+    MSel = F.var(SelName, Sort::Bool);
+    Entries.push_back({Fingerprint, MSel});
+    ++SelectorCount;
+    SmtSession::ScopeId MScope =
+        Session.openScope(MSel, PS.Scope, /*OwnLayer=*/false);
+    for (const TaggedAssumption &S : MPlan.Scoped)
+      Session.assertInScope(MScope, S.E);
+  }
+
+  std::vector<ExprRef> Sels = PathSels;
+  Sels.push_back(PS.Sel);
+  Sels.push_back(MSel);
+  std::vector<std::string> SelLabels = PathLabels;
+  SelLabels.push_back("pair:" + PairKey);
+  SelLabels.push_back("sel:" + MPlan.Name);
+
+  uint64_t RedBefore = static_cast<uint64_t>(Session.dbReductions());
+  uint64_t RecBefore = static_cast<uint64_t>(Session.reclaimedClauses());
+  bool Ok = dischargeSplits(
+      MPlan, Budget, Sels, SelLabels,
+      /*TrackRetained=*/true, &Stats.PeakRetainedClauses,
+      [this]() -> SmtSession & { return Session; }, R);
+  R.DbReductions += static_cast<uint64_t>(Session.dbReductions()) - RedBefore;
+  R.ReclaimedClauses +=
+      static_cast<uint64_t>(Session.reclaimedClauses()) - RecBefore;
+  return Ok;
+}
+
+size_t PairTier::retirePair(const std::string &PairKey) {
+  auto It = LivePairs.find(PairKey);
+  if (It == LivePairs.end())
+    return 0;
+  size_t Evicted = Session.retireScope(It->second.Scope);
+  LivePairs.erase(It);
+  ++Stats.PairsRetired;
+  Stats.EvictedClauses += Evicted;
+  return Evicted;
+}
+
+//===----------------------------------------------------------------------===//
 // FamilySession
 //===----------------------------------------------------------------------===//
 
 FamilySession::FamilySession(ExprFactory &F, const FamilyPlan &Plan,
                              int64_t Budget)
-    : F(F), Plan(Plan), Budget(Budget), Session(F) {
+    : F(F), Plan(Plan), Session(F),
+      Pairs(F, Session, Plan.FamilyName, SmtSession::RootScope,
+            /*PathSels=*/{}, /*PathLabels=*/{}, {&FamilyBase}, Budget, Stats,
+            SelectorCount) {
   for (ExprRef C : Plan.FamilyCommon)
     if (FamilyBase.insert(C).second) {
       Session.assertBase(C);
@@ -250,83 +369,138 @@ void FamilySession::configureClauseGc(bool Enabled, int64_t FirstLimit) {
     Session.solver().setClauseGcLimit(FirstLimit);
 }
 
-FamilySession::PairScope &FamilySession::ensurePair(const std::string &Key) {
-  auto It = LivePairs.find(Key);
-  if (It != LivePairs.end())
-    return It->second;
-  // A retired key re-opens under a fresh selector name: its old selector
-  // is permanently false, so reusing it would vacuously "verify"
-  // everything discharged under it.
-  unsigned Epoch = PairEpochs[Key]++;
-  std::string SelName = "__pair_" + Plan.FamilyName + ":" + Key;
-  if (Epoch > 0)
-    SelName += "#" + std::to_string(Epoch);
-  PairScope &PS = LivePairs[Key];
-  PS.Sel = F.var(SelName, Sort::Bool);
-  ++SelectorCount;
-  ++Stats.PairsOpened;
-  return PS;
-}
-
 bool FamilySession::discharge(const std::string &PairKey,
                               const MethodPlan &MPlan, SymbolicResult &R) {
-  PairScope &PS = ensurePair(PairKey);
-
-  // Pair-common prefix: family-common formulas are already session base;
-  // the remainder is asserted once under the pair selector.
-  for (ExprRef C : MPlan.Common) {
-    if (FamilyBase.count(C)) {
-      ++Stats.PrefixReuses;
-      continue;
-    }
-    if (PS.AssertedCommon.insert(C).second) {
-      Session.assertScoped(PS.Sel, C);
-      ++Stats.PrefixAsserts;
-    } else {
-      ++Stats.PrefixReuses;
-    }
-  }
-
-  // Method selector, nested under the pair's (same fingerprint discipline
-  // as SharedSession: a repeated name with a different prefix gets a fresh
-  // selector instead of inheriting the old prefix).
-  std::vector<ExprRef> Fingerprint = planFingerprint(MPlan);
-  std::vector<PlanSelectorEntry> &Entries = PS.Methods[MPlan.Name];
-  ExprRef MSel = findPlanSelector(Entries, Fingerprint);
-  if (!MSel) {
-    std::string SelName = "__sel_" + MPlan.Name + "@" + PairKey;
-    unsigned Epoch = PairEpochs[PairKey] - 1;
-    if (Epoch > 0)
-      SelName += "#e" + std::to_string(Epoch);
-    if (!Entries.empty())
-      SelName += "#" + std::to_string(Entries.size());
-    MSel = F.var(SelName, Sort::Bool);
-    Entries.push_back({Fingerprint, MSel});
-    PS.MethodSels.push_back(MSel);
-    ++SelectorCount;
-    for (const TaggedAssumption &S : MPlan.Scoped)
-      Session.assertScopedUnder(PS.Sel, MSel, S.E);
-  }
-
-  uint64_t RedBefore = dbReductions();
-  uint64_t RecBefore = reclaimedClauses();
-  bool Ok = dischargeSplits(
-      MPlan, Budget, {PS.Sel, MSel}, {"pair:" + PairKey, "sel:" + MPlan.Name},
-      /*TrackRetained=*/true, &Stats.PeakRetainedClauses,
-      [this]() -> SmtSession & { return Session; }, R);
-  R.DbReductions += dbReductions() - RedBefore;
-  R.ReclaimedClauses += reclaimedClauses() - RecBefore;
-  return Ok;
+  return Pairs.discharge(PairKey, MPlan, R);
 }
 
 size_t FamilySession::retirePair(const std::string &PairKey) {
-  auto It = LivePairs.find(PairKey);
-  if (It == LivePairs.end())
+  return Pairs.retirePair(PairKey);
+}
+
+//===----------------------------------------------------------------------===//
+// CatalogSession
+//===----------------------------------------------------------------------===//
+
+CatalogSession::CatalogSession(ExprFactory &F, const CatalogPlan &Plan,
+                               int64_t Budget)
+    : F(F), Plan(Plan), Budget(Budget), Session(F),
+      Tiers(Plan.Families.size()), FamilyEpochs(Plan.Families.size(), 0) {
+  for (ExprRef C : Plan.CatalogCommon)
+    if (CatalogBase.insert(C).second) {
+      Session.assertBase(C);
+      ++CatStats.PrefixAsserts;
+    }
+}
+
+void CatalogSession::configureClauseGc(bool Enabled, int64_t FirstLimit) {
+  Session.solver().setClauseGc(Enabled);
+  if (FirstLimit > 0)
+    Session.solver().setClauseGcLimit(FirstLimit);
+}
+
+CatalogSession::FamilyTier &CatalogSession::ensureFamily(size_t FamIdx) {
+  assert(FamIdx < Tiers.size() && "family index outside the catalog plan");
+  FamilyTier &Tier = Tiers[FamIdx];
+  if (Tier.Alive)
+    return Tier;
+  const FamilyPlan &FP = Plan.Families[FamIdx];
+  // A retired family re-opens under a fresh epoch: its old selector (and
+  // its old pairs' selectors, which embed the epoch tag) are permanently
+  // false.
+  unsigned Epoch = FamilyEpochs[FamIdx]++;
+  std::string Tag = FP.FamilyName;
+  if (Epoch > 0)
+    Tag += "@e" + std::to_string(Epoch);
+  Tier.Sel = F.var("__fam_" + Tag, Sort::Bool);
+  Tier.Scope =
+      Session.openScope(Tier.Sel, SmtSession::RootScope, /*OwnLayer=*/true);
+  ++SelectorCount;
+  ++CatStats.FamiliesOpened;
+  Tier.Stats = FamilySessionStats{};
+  Tier.FamilyBase.clear();
+  // Family-common prefix: formulas already catalog base are reuses; the
+  // remainder is asserted once under the family selector.
+  for (ExprRef C : FP.FamilyCommon) {
+    if (CatalogBase.count(C)) {
+      ++Tier.Stats.PrefixReuses;
+      continue;
+    }
+    if (Tier.FamilyBase.insert(C).second) {
+      Session.assertInScope(Tier.Scope, C);
+      ++Tier.Stats.PrefixAsserts;
+    }
+  }
+  Tier.Pairs = std::make_unique<PairTier>(
+      F, Session, Tag, Tier.Scope, std::vector<ExprRef>{Tier.Sel},
+      std::vector<std::string>{"fam:" + FP.FamilyName},
+      std::vector<const std::set<ExprRef> *>{&CatalogBase, &Tier.FamilyBase},
+      Budget, Tier.Stats, SelectorCount);
+  Tier.Alive = true;
+  return Tier;
+}
+
+bool CatalogSession::discharge(size_t FamIdx, const std::string &PairKey,
+                               const MethodPlan &MPlan, SymbolicResult &R) {
+  return ensureFamily(FamIdx).Pairs->discharge(PairKey, MPlan, R);
+}
+
+size_t CatalogSession::retirePair(size_t FamIdx, const std::string &PairKey) {
+  FamilyTier &Tier = Tiers[FamIdx];
+  if (!Tier.Alive)
     return 0;
-  size_t Evicted = Session.retireScope(It->second.Sel,
-                                       It->second.MethodSels);
-  LivePairs.erase(It);
-  ++Stats.PairsRetired;
-  Stats.EvictedClauses += Evicted;
+  return Tier.Pairs->retirePair(PairKey);
+}
+
+size_t CatalogSession::retireFamily(size_t FamIdx) {
+  FamilyTier &Tier = Tiers[FamIdx];
+  if (!Tier.Alive)
+    return 0;
+  size_t Evicted = Session.retireScope(Tier.Scope);
+  Tier.Stats.EvictedClauses += Evicted;
+  ++CatStats.FamiliesRetired;
+  // Fold the tier's counters into the retired accumulator so stats()
+  // keeps counting it after the bookkeeping is dropped.
+  RetiredTierAccum.PairsOpened += Tier.Stats.PairsOpened;
+  RetiredTierAccum.PairsRetired += Tier.Stats.PairsRetired;
+  RetiredTierAccum.EvictedClauses += Tier.Stats.EvictedClauses;
+  RetiredTierAccum.PeakRetainedClauses = std::max(
+      RetiredTierAccum.PeakRetainedClauses, Tier.Stats.PeakRetainedClauses);
+  RetiredTierAccum.PrefixAsserts += Tier.Stats.PrefixAsserts;
+  RetiredTierAccum.PrefixReuses += Tier.Stats.PrefixReuses;
+  Tier.Pairs.reset();
+  Tier.FamilyBase.clear();
+  Tier.Alive = false;
   return Evicted;
+}
+
+const FamilySessionStats &CatalogSession::familyStats(size_t FamIdx) const {
+  return Tiers[FamIdx].Stats;
+}
+
+CatalogSessionStats CatalogSession::stats() const {
+  CatalogSessionStats S = CatStats;
+  FamilySessionStats Agg = RetiredTierAccum;
+  for (const FamilyTier &Tier : Tiers) {
+    if (!Tier.Alive)
+      continue;
+    Agg.PairsOpened += Tier.Stats.PairsOpened;
+    Agg.PairsRetired += Tier.Stats.PairsRetired;
+    Agg.EvictedClauses += Tier.Stats.EvictedClauses;
+    Agg.PeakRetainedClauses =
+        std::max(Agg.PeakRetainedClauses, Tier.Stats.PeakRetainedClauses);
+    Agg.PrefixAsserts += Tier.Stats.PrefixAsserts;
+    Agg.PrefixReuses += Tier.Stats.PrefixReuses;
+  }
+  S.PairsOpened = Agg.PairsOpened;
+  S.PairsRetired = Agg.PairsRetired;
+  S.PrefixAsserts += Agg.PrefixAsserts;
+  S.PrefixReuses += Agg.PrefixReuses;
+  S.EvictedClauses += Agg.EvictedClauses;
+  S.PeakRetainedClauses = Agg.PeakRetainedClauses;
+  S.RecycledVars = static_cast<uint64_t>(Session.recycledVars());
+  S.PeakLiveVars = static_cast<uint64_t>(Session.peakLiveVars());
+  S.PeakLiveClauses = static_cast<uint64_t>(Session.peakClauses());
+  S.VarRequests = static_cast<uint64_t>(Session.varRequests());
+  return S;
 }

@@ -76,6 +76,16 @@ enum class SolveMode : uint8_t {
   /// bounded by the live pair plus the family-common prefix instead of
   /// growing with the whole family.
   SharedFamily,
+  /// One warm session for the whole *catalog*: the catalog-common
+  /// well-formedness prefix is asserted once at the session root, each
+  /// family's remaining common prefix under a per-family selector, pairs
+  /// under pair selectors nested inside it, methods inside those. Pair
+  /// and family scopes are retired as subtrees when their VCs are done,
+  /// and their Tseitin definition variables are recycled, so both the
+  /// clause database and the variable array are bounded by the live pair
+  /// — while the atom table, bridge lattice, and root Tseitin skeleton
+  /// are derived once and shared by all four families.
+  SharedCatalog,
 };
 
 const char *solveModeName(SolveMode M);
@@ -247,17 +257,77 @@ struct FamilySessionStats {
   uint64_t PrefixReuses = 0;
 };
 
+/// The pair tier of a scope-tree session: the map of live pair scopes
+/// under one parent scope, with epoch-named re-opening of retired keys,
+/// common-prefix dedup against the outer (session/family) bases, method
+/// selectors nested inside their pair's scope, and the split discharge.
+/// Pair scopes own a Tseitin cache layer (their formulas' definition
+/// variables retire and recycle with them); method scopes share their
+/// pair's layer, since they only ever retire together with it. Shared by
+/// FamilySession (parent = session root) and CatalogSession (parent = a
+/// family scope) so the reuse-or-retire discipline cannot drift between
+/// the tiers.
+class PairTier {
+public:
+  /// \p Tag names the tier's selectors ("<family>" or "<family>@e<N>" for
+  /// a re-opened family scope — selector names must be unique for the
+  /// session's lifetime, retired selectors included). \p PathSels /
+  /// \p PathLabels are the parent-scope selectors every check assumes
+  /// (empty for the family tier, the family selector for the catalog
+  /// tier). \p OuterBases are formula sets already asserted above the
+  /// pair scopes; prefix formulas found there are counted as reuses.
+  PairTier(ExprFactory &F, SmtSession &Session, std::string Tag,
+           SmtSession::ScopeId Parent, std::vector<ExprRef> PathSels,
+           std::vector<std::string> PathLabels,
+           std::vector<const std::set<ExprRef> *> OuterBases, int64_t Budget,
+           FamilySessionStats &Stats, unsigned &SelectorCount);
+  PairTier(const PairTier &) = delete;
+  PairTier &operator=(const PairTier &) = delete;
+
+  bool discharge(const std::string &PairKey, const MethodPlan &Plan,
+                 SymbolicResult &R);
+  size_t retirePair(const std::string &PairKey);
+
+private:
+  /// The live scope of one pair.
+  struct PairScope {
+    SmtSession::ScopeId Scope = SmtSession::RootScope;
+    ExprRef Sel = nullptr;
+    std::set<ExprRef> AssertedCommon; ///< Dedup under this pair's selector.
+    std::map<std::string, std::vector<PlanSelectorEntry>> Methods;
+  };
+
+  PairScope &ensurePair(const std::string &PairKey);
+
+  ExprFactory &F;
+  SmtSession &Session;
+  std::string Tag;
+  SmtSession::ScopeId Parent;
+  std::vector<ExprRef> PathSels;
+  std::vector<std::string> PathLabels;
+  std::vector<const std::set<ExprRef> *> OuterBases;
+  int64_t Budget;
+  FamilySessionStats &Stats;
+  unsigned &SelectorCount;
+  std::map<std::string, PairScope> LivePairs;
+  /// Fresh-name counters for re-opened (previously retired) pair scopes.
+  std::map<std::string, unsigned> PairEpochs;
+};
+
 /// A warm solver session shared by every op-pair of one family
 /// (SolveMode::SharedFamily). The family-common prefix is session base;
 /// each pair's remaining common prefix lives under a per-pair selector;
 /// each method's prefix under a method selector nested inside its pair's.
-/// retirePair() permanently deactivates a finished pair and evicts its
-/// clauses, so the database stays bounded by the live scope. Not
-/// thread-safe: one FamilySession lives on one worker.
+/// retirePair() permanently deactivates a finished pair, evicts its
+/// clauses (selector-guarded, learned, and the pair layer's Tseitin
+/// definitions), and recycles its definition variable indices, so both
+/// the clause database and the variable array stay bounded by the live
+/// scope. Not thread-safe: one FamilySession lives on one worker.
 class FamilySession {
 public:
   /// Asserts \p Plan's family-common prefix as session base. The plan must
-  /// outlive the session.
+  /// outlive the session (only FamilyName and FamilyCommon are read, so
+  /// lazy callers may pass a plan whose Pairs are empty).
   FamilySession(ExprFactory &F, const FamilyPlan &Plan, int64_t Budget);
   FamilySession(const FamilySession &) = delete;
   FamilySession &operator=(const FamilySession &) = delete;
@@ -273,10 +343,9 @@ public:
   bool discharge(const std::string &PairKey, const MethodPlan &Plan,
                  SymbolicResult &R);
 
-  /// Permanently retires \p PairKey's scope: its selector is falsified at
-  /// root, its prefix clauses and scope-touching learned clauses are
-  /// evicted, and dead variables' search state is recycled. Returns the
-  /// number of clauses evicted (0 when the key has no live scope).
+  /// Permanently retires \p PairKey's scope subtree (pair selector plus
+  /// the method selectors nested under it). Returns the number of clauses
+  /// evicted (0 when the key has no live scope).
   size_t retirePair(const std::string &PairKey);
 
   /// Lifetime statistics.
@@ -297,26 +366,130 @@ public:
   SmtSession &session() { return Session; }
 
 private:
-  /// The live scope of one pair.
-  struct PairScope {
-    ExprRef Sel = nullptr;
-    std::set<ExprRef> AssertedCommon; ///< Dedup under this pair's selector.
-    std::map<std::string, std::vector<PlanSelectorEntry>> Methods;
-    std::vector<ExprRef> MethodSels; ///< For retirement, insertion order.
-  };
-
-  PairScope &ensurePair(const std::string &PairKey);
-
   ExprFactory &F;
   const FamilyPlan &Plan;
-  int64_t Budget;
   SmtSession Session;
   std::set<ExprRef> FamilyBase; ///< FamilyCommon membership (dedup only).
-  std::map<std::string, PairScope> LivePairs;
-  /// Fresh-name counters for re-opened (previously retired) pair scopes.
-  std::map<std::string, unsigned> PairEpochs;
   unsigned SelectorCount = 0;
   FamilySessionStats Stats;
+  PairTier Pairs; ///< Constructed last: captures Session/Stats/counters.
+};
+
+/// The whole-catalog discharge plan a CatalogSession runs. Families carry
+/// their common prefix (and, for eager callers, their pair plans); the
+/// catalog-common prefix is the subset of well-formedness formulas every
+/// entry either asserts itself or provably cannot mention (its variables
+/// are outside the entry's vocabulary), hoisted to the session root.
+struct CatalogPlan {
+  std::vector<ExprRef> CatalogCommon;
+  std::vector<FamilyPlan> Families;
+};
+
+/// Lifetime statistics of one catalog-level session. Per-family counters
+/// (prefix asserts/reuses, evictions, peak retention) aggregate the
+/// family tiers, live and retired; the variable numbers come from the
+/// solver's recycling accounting.
+struct CatalogSessionStats {
+  uint64_t FamiliesOpened = 0;
+  /// Family-subtree retirements (retireFamily calls on a live scope).
+  uint64_t FamiliesRetired = 0;
+  uint64_t PairsOpened = 0;
+  uint64_t PairsRetired = 0;
+  uint64_t PrefixAsserts = 0; ///< Catalog + family + pair level.
+  uint64_t PrefixReuses = 0;
+  uint64_t EvictedClauses = 0;
+  uint64_t PeakRetainedClauses = 0;
+  /// Variable recycling: indices reclaimed by scope retirements, the
+  /// live-variable and clause high-water marks, and the cumulative
+  /// variable demand (the allocation a no-recycling run would need).
+  uint64_t RecycledVars = 0;
+  uint64_t PeakLiveVars = 0;
+  uint64_t PeakLiveClauses = 0;
+  uint64_t VarRequests = 0;
+};
+
+/// A warm solver session shared by every family of the catalog
+/// (SolveMode::SharedCatalog). The catalog-common prefix is session base;
+/// each family's remaining common prefix lives under a per-family
+/// selector; pair scopes nest under their family's, method scopes under
+/// their pair's. retirePair()/retireFamily() retire whole subtrees, and
+/// the solver recycles the retired scopes' definition variables, so the
+/// session's memory is bounded by the live pair — not by catalog size —
+/// while the atom table and bridge lattice are derived once for all
+/// families. Not thread-safe: one CatalogSession lives on one worker.
+class CatalogSession {
+public:
+  /// Asserts \p Plan's catalog-common prefix as session base. The plan
+  /// must outlive the session (family Pairs may be empty: lazy callers
+  /// materialize pair plans just before discharge).
+  CatalogSession(ExprFactory &F, const CatalogPlan &Plan, int64_t Budget);
+  CatalogSession(const CatalogSession &) = delete;
+  CatalogSession &operator=(const CatalogSession &) = delete;
+
+  /// Clause-GC configuration (see SharedSession::configureClauseGc).
+  void configureClauseGc(bool Enabled, int64_t FirstLimit = 0);
+
+  /// Discharges every split of \p Plan under family \p FamIdx (an index
+  /// into the catalog plan's Families) and pair \p PairKey. Opens the
+  /// family scope — asserting its remaining common prefix — on first use;
+  /// a retired family or pair transparently re-opens under a fresh
+  /// epoch-named selector. Returns true when the method verifies.
+  bool discharge(size_t FamIdx, const std::string &PairKey,
+                 const MethodPlan &Plan, SymbolicResult &R);
+
+  /// Retires one pair's scope subtree. Returns the clauses evicted.
+  size_t retirePair(size_t FamIdx, const std::string &PairKey);
+
+  /// Retires family \p FamIdx's whole scope subtree — the family
+  /// selector, every still-live pair under it, and their method scopes —
+  /// in one solver pass. Returns the clauses evicted.
+  size_t retireFamily(size_t FamIdx);
+
+  /// Per-family tier statistics (reset when a retired family re-opens).
+  const FamilySessionStats &familyStats(size_t FamIdx) const;
+  /// Catalog-level statistics snapshot (aggregates live + retired tiers
+  /// and the solver's variable accounting).
+  CatalogSessionStats stats() const;
+
+  /// Lifetime statistics.
+  uint64_t checks() const { return Session.numChecks(); }
+  int64_t conflicts() const { return Session.totalConflicts(); }
+  uint64_t dbReductions() const {
+    return static_cast<uint64_t>(Session.dbReductions());
+  }
+  uint64_t reclaimedClauses() const {
+    return static_cast<uint64_t>(Session.reclaimedClauses());
+  }
+  uint64_t retainedClauses() const { return Session.retainedClauses(); }
+  unsigned numSelectors() const { return SelectorCount; }
+
+  /// The underlying session, exposed so tests can assert solver
+  /// invariants (reasonInvariantHolds) after subtree evictions.
+  SmtSession &session() { return Session; }
+
+private:
+  /// The live scope of one family.
+  struct FamilyTier {
+    bool Alive = false;
+    SmtSession::ScopeId Scope = SmtSession::RootScope;
+    ExprRef Sel = nullptr;
+    std::set<ExprRef> FamilyBase; ///< Formulas under the family selector.
+    std::unique_ptr<PairTier> Pairs;
+    FamilySessionStats Stats;
+  };
+
+  FamilyTier &ensureFamily(size_t FamIdx);
+
+  ExprFactory &F;
+  const CatalogPlan &Plan;
+  int64_t Budget;
+  SmtSession Session;
+  std::set<ExprRef> CatalogBase; ///< CatalogCommon membership (dedup only).
+  std::vector<FamilyTier> Tiers; ///< Parallel to Plan.Families.
+  std::vector<unsigned> FamilyEpochs;
+  unsigned SelectorCount = 0;
+  CatalogSessionStats CatStats;        ///< Catalog-level counters.
+  FamilySessionStats RetiredTierAccum; ///< Folded stats of retired tiers.
 };
 
 } // namespace semcomm

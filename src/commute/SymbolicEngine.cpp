@@ -716,7 +716,8 @@ ExprRef SeqScenario::onAtom(ExprRef Atom) {
 }
 
 MethodPlan buildSeqPlan(ExprFactory &F, const TestingMethod &M,
-                        int SeqLenBound, const HintScript *Hint) {
+                        int SeqLenBound, const HintScript *Hint,
+                        bool CommonOnly = false) {
   const ConditionEntry &E = *M.Entry;
   const Operation &Op1 = E.op1();
   const Operation &Op2 = E.op2();
@@ -735,6 +736,8 @@ MethodPlan buildSeqPlan(ExprFactory &F, const TestingMethod &M,
   for (int64_t P = 0; P < SeqLenBound; ++P)
     Plan.Common.push_back(
         F.ne(F.var("e" + std::to_string(P), Sort::Obj), F.nullConst()));
+  if (CommonOnly)
+    return Plan; // Lazy planning only needs the prefix; splits come later.
 
   // Applies an operation at concrete index arguments on a term vector.
   // Returns false if the precondition fails.
@@ -956,6 +959,79 @@ MethodPlan buildSeqPlan(ExprFactory &F, const TestingMethod &M,
 
 } // namespace
 
+namespace {
+
+/// Intersects \p Next into \p Inter (first-call copies), keeping
+/// first-seen order so the assertion sequence — and with it every solver
+/// statistic — is a function of the entry list alone.
+void intersectCommon(bool &First, std::vector<ExprRef> &Inter,
+                     const std::vector<ExprRef> &Next) {
+  if (First) {
+    Inter = Next;
+    First = false;
+    return;
+  }
+  std::set<ExprRef> Present(Next.begin(), Next.end());
+  Inter.erase(std::remove_if(
+                  Inter.begin(), Inter.end(),
+                  [&Present](ExprRef C) { return Present.count(C) == 0; }),
+              Inter.end());
+}
+
+/// A sorted variable identity: name plus sort tag. Sort matters —
+/// Accumulator's increase(v) makes an *Int* "v1" that must not collide
+/// with the object-sorted "v1" of the container families.
+std::string varKey(const std::string &Name, Sort S) {
+  return Name + "#" + std::to_string(static_cast<int>(S));
+}
+
+/// Collects the (name, sort) keys of the Var leaves of \p E.
+void collectVarKeys(ExprRef E, std::set<std::string> &Out) {
+  if (E->kind() == ExprKind::Var) {
+    Out.insert(varKey(E->name(), E->sort()));
+    return;
+  }
+  for (ExprRef Op : E->operands())
+    collectVarKeys(Op, Out);
+}
+
+/// An over-approximation of the variables \p E's plan formulas can
+/// mention — the operations' numbered argument vars plus the family's
+/// fixed element vocabulary. Used to decide whether a well-formedness
+/// formula from another family's prefix is vacuous for this entry (its
+/// variables cannot occur), which is what makes hoisting it to the
+/// catalog base sound.
+std::set<std::string> entryVocabulary(const ConditionEntry &E, StateKind Kind,
+                                      int SeqLenBound) {
+  std::set<std::string> V;
+  auto AddOp = [&V](const Operation &Op, int Pos) {
+    for (size_t A = 0; A != Op.ArgBaseNames.size(); ++A)
+      V.insert(varKey(Op.ArgBaseNames[A] + std::to_string(Pos),
+                      Op.ArgSorts[A]));
+  };
+  AddOp(E.op1(), 1);
+  AddOp(E.op2(), 2);
+  // Set plans compare membership of v1/v2 in the agreement goal and Seq
+  // plans read the element vars regardless of the ops' argument lists.
+  if (Kind == StateKind::Set || Kind == StateKind::Seq) {
+    V.insert(varKey("v1", Sort::Obj));
+    V.insert(varKey("v2", Sort::Obj));
+  }
+  if (Kind == StateKind::Seq)
+    for (int P = 0; P < SeqLenBound; ++P)
+      V.insert(varKey("e" + std::to_string(P), Sort::Obj));
+  return V;
+}
+
+uint64_t splitsOf(const PairPlan &PP) {
+  uint64_t N = 0;
+  for (const MethodPlan &MP : PP.Methods)
+    N += MP.Splits.size();
+  return N;
+}
+
+} // namespace
+
 MethodPlan SymbolicEngine::plan(const TestingMethod &M) const {
   switch (M.family().Kind) {
   case StateKind::Counter:
@@ -978,50 +1054,154 @@ MethodPlan SymbolicEngine::plan(const TestingMethod &M) const {
   semcomm_unreachable("invalid family kind");
 }
 
+std::vector<ExprRef>
+SymbolicEngine::planCommonOnly(const ConditionEntry &E) const {
+  // The Common prefix depends only on the entry's operations, never on
+  // the testing method's kind or role, so one method stands for all six.
+  TestingMethod M;
+  M.Entry = &E;
+  M.Kind = ConditionKind::Before;
+  M.Role = MethodRole::Soundness;
+  // Only the Seq builder materializes a split lattice worth skipping; the
+  // single-VC families' plans are one formula each, and hash-consing
+  // dedups their construction against the later full plan anyway.
+  if (M.family().Kind == StateKind::Seq)
+    return buildSeqPlan(F, M, SeqLenBound, /*Hint=*/nullptr,
+                        /*CommonOnly=*/true)
+        .Common;
+  return plan(M).Common;
+}
+
+std::vector<ExprRef> SymbolicEngine::familyCommonOf(
+    const std::vector<const ConditionEntry *> &Entries) const {
+  bool First = true;
+  std::vector<ExprRef> Inter;
+  for (const ConditionEntry *E : Entries)
+    intersectCommon(First, Inter, planCommonOnly(*E));
+  return First ? std::vector<ExprRef>{} : Inter;
+}
+
+PairPlan SymbolicEngine::planPair(const ConditionEntry &E) const {
+  PairPlan PP;
+  PP.Key = E.pairName();
+  for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                          ConditionKind::After})
+    for (MethodRole Role : {MethodRole::Soundness, MethodRole::Completeness}) {
+      TestingMethod M;
+      M.Entry = &E;
+      M.Kind = K;
+      M.Role = Role;
+      PP.Methods.push_back(plan(M));
+    }
+  return PP;
+}
+
 FamilyPlan SymbolicEngine::planFamily(
     const std::string &FamilyName,
     const std::vector<const ConditionEntry *> &Entries) const {
   FamilyPlan FP;
   FP.FamilyName = FamilyName;
-  for (const ConditionEntry *E : Entries) {
-    PairPlan PP;
-    PP.Key = E->pairName();
-    for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
-                            ConditionKind::After})
-      for (MethodRole Role :
-           {MethodRole::Soundness, MethodRole::Completeness}) {
-        TestingMethod M;
-        M.Entry = E;
-        M.Kind = K;
-        M.Role = Role;
-        PP.Methods.push_back(plan(M));
-      }
-    FP.Pairs.push_back(std::move(PP));
+  for (const ConditionEntry *E : Entries)
+    FP.Pairs.push_back(planPair(*E));
+  // Family-common prefix: the Common formulas present in every method plan
+  // of every pair, hoisted to session base.
+  FP.FamilyCommon = familyCommonOf(Entries);
+  return FP;
+}
+
+CatalogPlan SymbolicEngine::planCatalog(
+    const Catalog &C, const std::vector<const Family *> &Fams) const {
+  CatalogPlan CP;
+
+  // Per-entry Common prefixes and vocabularies (splits never
+  // materialize: the prefixes are method-independent).
+  struct EntryInfo {
+    const ConditionEntry *Entry;
+    std::set<ExprRef> Common;
+    std::set<std::string> Vocab;
+  };
+  std::vector<EntryInfo> Infos;
+  std::vector<ExprRef> Candidates; // Union of Commons, first-seen order.
+  std::set<ExprRef> CandidateSet;
+
+  for (const Family *Fam : Fams) {
+    FamilyPlan FP;
+    FP.FamilyName = Fam->Name;
+    bool First = true;
+    std::vector<ExprRef> Inter;
+    for (const ConditionEntry &E : C.entries(*Fam)) {
+      std::vector<ExprRef> Com = planCommonOnly(E);
+      intersectCommon(First, Inter, Com);
+      for (ExprRef F2 : Com)
+        if (CandidateSet.insert(F2).second)
+          Candidates.push_back(F2);
+      Infos.push_back({&E, std::set<ExprRef>(Com.begin(), Com.end()),
+                       entryVocabulary(E, Fam->Kind, SeqLenBound)});
+    }
+    if (!First)
+      FP.FamilyCommon = std::move(Inter);
+    CP.Families.push_back(std::move(FP));
   }
 
-  // Family-common prefix: the Common formulas present in every method plan
-  // of every pair, hoisted to session base. Kept in first-plan order so
-  // the assertion sequence — and with it every solver statistic — is a
-  // function of the entry list alone.
-  bool First = true;
-  std::vector<ExprRef> Inter;
-  for (const PairPlan &PP : FP.Pairs)
-    for (const MethodPlan &MP : PP.Methods) {
-      if (First) {
-        Inter = MP.Common;
-        First = false;
+  // Catalog-common prefix: a well-formedness formula is hoisted to the
+  // session root iff every entry either asserts it in its own Common
+  // prefix or provably cannot mention it (none of its variables occur in
+  // the entry's vocabulary) — asserting it is then vacuous for that
+  // entry, so the hoist cannot change any verdict.
+  for (ExprRef Cand : Candidates) {
+    std::set<std::string> Vars;
+    collectVarKeys(Cand, Vars);
+    bool Safe = true;
+    for (const EntryInfo &Info : Infos) {
+      if (Info.Common.count(Cand))
         continue;
-      }
-      std::set<ExprRef> Present(MP.Common.begin(), MP.Common.end());
-      Inter.erase(std::remove_if(Inter.begin(), Inter.end(),
-                                 [&Present](ExprRef C) {
-                                   return Present.count(C) == 0;
-                                 }),
-                  Inter.end());
+      for (const std::string &V : Vars)
+        if (Info.Vocab.count(V)) {
+          Safe = false;
+          break;
+        }
+      if (!Safe)
+        break;
     }
-  if (!First)
-    FP.FamilyCommon = std::move(Inter);
-  return FP;
+    if (Safe)
+      CP.CatalogCommon.push_back(Cand);
+  }
+
+#ifndef NDEBUG
+  // entryVocabulary is a hand-maintained restatement of the plan
+  // builders' variable naming; if a builder grows a variable outside it,
+  // the hoist above could silently mask a countermodel. Cross-check the
+  // claim against the *materialized* plans: an entry that does not
+  // assert a hoisted formula must really never mention its variables.
+  for (const EntryInfo &Info : Infos) {
+    bool NeedsPlans = false;
+    for (ExprRef Cand : CP.CatalogCommon)
+      NeedsPlans = NeedsPlans || !Info.Common.count(Cand);
+    if (!NeedsPlans)
+      continue;
+    std::set<std::string> PlanVars;
+    for (const MethodPlan &MP : planPair(*Info.Entry).Methods) {
+      for (ExprRef E2 : MP.Common)
+        collectVarKeys(E2, PlanVars);
+      for (const TaggedAssumption &A : MP.Scoped)
+        collectVarKeys(A.E, PlanVars);
+      for (const VcSplit &S : MP.Splits)
+        for (const TaggedAssumption &A : S.Assumed)
+          collectVarKeys(A.E, PlanVars);
+    }
+    for (ExprRef Cand : CP.CatalogCommon) {
+      if (Info.Common.count(Cand))
+        continue;
+      std::set<std::string> Vars;
+      collectVarKeys(Cand, Vars);
+      for (const std::string &V : Vars)
+        assert(!PlanVars.count(V) &&
+               "catalog-common hoist: entryVocabulary under-approximates "
+               "a plan's variables");
+    }
+  }
+#endif
+  return CP;
 }
 
 SymbolicResult SymbolicEngine::verify(const TestingMethod &M) {
@@ -1037,11 +1217,23 @@ FamilyOutcome SymbolicEngine::verifyEntries(
     const std::vector<const ConditionEntry *> &Entries) {
   FamilyOutcome Out;
   Out.Family = FamilyName;
-  FamilyPlan FP = planFamily(FamilyName, Entries);
+
+  // Lazy planning: the session only needs the family-common prefix up
+  // front (cheap — no splits materialize); each pair's full plan is built
+  // just before its discharge and dropped after its scope retires, so
+  // plan memory is bounded by one pair instead of the family.
+  FamilyPlan FP;
+  FP.FamilyName = FamilyName;
+  FP.FamilyCommon = familyCommonOf(Entries);
+
   FamilySession Sess(F, FP, ConflictBudget);
   Sess.configureClauseGc(true, GcBudget);
-  for (size_t PI = 0; PI != FP.Pairs.size(); ++PI) {
-    const PairPlan &PP = FP.Pairs[PI];
+  for (size_t PI = 0; PI != Entries.size(); ++PI) {
+    PairPlan PP = planPair(*Entries[PI]);
+    uint64_t PairSplits = splitsOf(PP);
+    Out.TotalSplits += PairSplits;
+    Out.PeakMaterializedSplits =
+        std::max(Out.PeakMaterializedSplits, PairSplits);
     PairOutcome PO;
     uint64_t ChecksBefore = Sess.checks();
     int64_t ConflictsBefore = Sess.conflicts();
@@ -1063,11 +1255,88 @@ FamilyOutcome SymbolicEngine::verifyEntries(
     PO.Selectors = Sess.numSelectors() - SelBefore;
     PO.SessionsOpened = PI == 0 ? 1 : 0; // One warm solver per family.
     // The pair's VCs are done: evict its scope so the clause database is
-    // bounded by the live pair, not the family.
+    // bounded by the live pair, not the family (its plan dies with this
+    // iteration for the same reason).
     Sess.retirePair(PP.Key);
     Out.PairKeys.push_back(PP.Key);
     Out.Pairs.push_back(std::move(PO));
   }
+  Out.Stats = Sess.stats();
+  Out.Checks = Sess.checks();
+  Out.Conflicts = Sess.conflicts();
+  Out.RetainedClauses = Sess.retainedClauses();
+  Out.DbReductions = Sess.dbReductions();
+  Out.ReclaimedClauses = Sess.reclaimedClauses();
+  Out.Selectors = Sess.numSelectors();
+  return Out;
+}
+
+CatalogOutcome
+SymbolicEngine::verifyCatalog(const Catalog &C,
+                              const std::vector<const Family *> &Fams) {
+  CatalogOutcome Out;
+  CatalogPlan CP = planCatalog(C, Fams);
+  CatalogSession Sess(F, CP, ConflictBudget);
+  Sess.configureClauseGc(true, GcBudget);
+
+  for (size_t FI = 0; FI != Fams.size(); ++FI) {
+    const Family &Fam = *Fams[FI];
+    FamilyOutcome FO;
+    FO.Family = Fam.Name;
+    uint64_t FamChecksBefore = Sess.checks();
+    int64_t FamConflictsBefore = Sess.conflicts();
+    uint64_t FamRedBefore = Sess.dbReductions();
+    uint64_t FamRecBefore = Sess.reclaimedClauses();
+    unsigned FamSelBefore = Sess.numSelectors();
+
+    const std::vector<ConditionEntry> &Entries = C.entries(Fam);
+    for (size_t PI = 0; PI != Entries.size(); ++PI) {
+      PairPlan PP = planPair(Entries[PI]);
+      uint64_t PairSplits = splitsOf(PP);
+      FO.TotalSplits += PairSplits;
+      FO.PeakMaterializedSplits =
+          std::max(FO.PeakMaterializedSplits, PairSplits);
+      PairOutcome PO;
+      uint64_t ChecksBefore = Sess.checks();
+      int64_t ConflictsBefore = Sess.conflicts();
+      uint64_t RedBefore = Sess.dbReductions();
+      uint64_t RecBefore = Sess.reclaimedClauses();
+      unsigned SelBefore = Sess.numSelectors();
+      for (const MethodPlan &MP : PP.Methods) {
+        Stopwatch Timer;
+        SymbolicResult R;
+        R.Verified = Sess.discharge(FI, PP.Key, MP, R);
+        PO.MethodMillis.push_back(Timer.millis());
+        PO.Methods.push_back(std::move(R));
+      }
+      PO.Checks = Sess.checks() - ChecksBefore;
+      PO.Conflicts = Sess.conflicts() - ConflictsBefore;
+      PO.RetainedClauses = Sess.retainedClauses();
+      PO.DbReductions = Sess.dbReductions() - RedBefore;
+      PO.ReclaimedClauses = Sess.reclaimedClauses() - RecBefore;
+      PO.Selectors = Sess.numSelectors() - SelBefore;
+      PO.SessionsOpened = FI == 0 && PI == 0 ? 1 : 0; // One for the run.
+      Sess.retirePair(FI, PP.Key);
+      FO.PairKeys.push_back(PP.Key);
+      FO.Pairs.push_back(std::move(PO));
+    }
+
+    FO.Stats = Sess.familyStats(FI);
+    FO.Checks = Sess.checks() - FamChecksBefore;
+    FO.Conflicts = Sess.conflicts() - FamConflictsBefore;
+    FO.RetainedClauses = Sess.retainedClauses();
+    FO.DbReductions = Sess.dbReductions() - FamRedBefore;
+    FO.ReclaimedClauses = Sess.reclaimedClauses() - FamRecBefore;
+    FO.Selectors = Sess.numSelectors() - FamSelBefore;
+    // The family's pairs are all retired; retire its whole scope subtree
+    // so the next family starts from the catalog-common base alone.
+    Sess.retireFamily(FI);
+    Out.TotalSplits += FO.TotalSplits;
+    Out.PeakMaterializedSplits =
+        std::max(Out.PeakMaterializedSplits, FO.PeakMaterializedSplits);
+    Out.Families.push_back(std::move(FO));
+  }
+
   Out.Stats = Sess.stats();
   Out.Checks = Sess.checks();
   Out.Conflicts = Sess.conflicts();
@@ -1087,7 +1356,7 @@ FamilyOutcome SymbolicEngine::verifyFamily(const Catalog &C,
 }
 
 PairOutcome SymbolicEngine::verifyPair(const ConditionEntry &E) {
-  if (Mode == SolveMode::SharedFamily) {
+  if (Mode == SolveMode::SharedFamily || Mode == SolveMode::SharedCatalog) {
     // A single pair is the degenerate family: same nesting, same eviction.
     FamilyOutcome FO = verifyEntries(E.Fam->Name, {&E});
     return FO.Pairs.empty() ? PairOutcome() : std::move(FO.Pairs.front());

@@ -97,11 +97,42 @@ struct FamilyOutcome {
   uint64_t DbReductions = 0;
   uint64_t ReclaimedClauses = 0;
   unsigned Selectors = 0; ///< Pair + method selectors registered.
+  /// Lazy-planning accounting: VC splits materialized over the whole run
+  /// vs. the largest number alive at once (one pair's worth — plans are
+  /// built just before discharge and dropped after retirePair, so plan
+  /// memory no longer grows with family size).
+  uint64_t TotalSplits = 0;
+  uint64_t PeakMaterializedSplits = 0;
 
   unsigned failures() const {
     unsigned N = 0;
     for (const PairOutcome &P : Pairs)
       N += P.failures();
+    return N;
+  }
+};
+
+/// Outcome of verifying several families through a single CatalogSession
+/// (SolveMode::SharedCatalog): per-family outcomes in the same shape
+/// verifyFamily produces (so reporting code is shared), plus the
+/// catalog-session statistics — prefix amortization, subtree
+/// retirements, variable recycling, and the peak-liveness bounds.
+struct CatalogOutcome {
+  std::vector<FamilyOutcome> Families; ///< Requested-family order.
+  CatalogSessionStats Stats;
+  uint64_t Checks = 0;
+  int64_t Conflicts = 0;
+  uint64_t RetainedClauses = 0; ///< Clauses alive at the end.
+  uint64_t DbReductions = 0;
+  uint64_t ReclaimedClauses = 0;
+  unsigned Selectors = 0; ///< Family + pair + method selectors.
+  uint64_t TotalSplits = 0;
+  uint64_t PeakMaterializedSplits = 0;
+
+  unsigned failures() const {
+    unsigned N = 0;
+    for (const FamilyOutcome &FO : Families)
+      N += FO.failures();
     return N;
   }
 };
@@ -129,21 +160,46 @@ public:
   PairOutcome verifyPair(const ConditionEntry &E);
 
   /// Verifies every op-pair of \p Fam through one FamilySession: the
-  /// family-common prefix is asserted once, each pair runs under its own
-  /// selector scope and is retired (evicted) when its six methods are
-  /// done. Pair and method order are deterministic.
+  /// family-common prefix is asserted once, each pair's plan is
+  /// materialized lazily just before its discharge, and the pair's scope
+  /// is retired (evicted) — and its plan dropped — when its six methods
+  /// are done. Pair and method order are deterministic.
   FamilyOutcome verifyFamily(const Catalog &C, const Family &Fam);
+
+  /// Verifies every op-pair of every family in \p Fams through one
+  /// CatalogSession: the catalog-common prefix is asserted once, each
+  /// family opens a selector scope beneath it, pairs are planned lazily,
+  /// discharged, and retired as in verifyFamily, and a finished family's
+  /// whole scope subtree is retired in one pass. Family, pair, and method
+  /// order are deterministic.
+  CatalogOutcome verifyCatalog(const Catalog &C,
+                               const std::vector<const Family *> &Fams);
 
   /// Compiles one testing method to its discharge plan (exposed so tests
   /// can replay plans against differently configured sessions).
   MethodPlan plan(const TestingMethod &M) const;
 
+  /// Compiles one entry's six testing methods to a pair plan, in
+  /// (kind x role) enumeration order.
+  PairPlan planPair(const ConditionEntry &E) const;
+
   /// Compiles a set of catalog entries to a whole-family plan: six method
   /// plans per pair, plus the family-common prefix (the Common formulas
-  /// present in every method plan, hoisted to session base).
+  /// present in every method plan, hoisted to session base). Eager —
+  /// every pair's splits are materialized; the verify* entry points use
+  /// the lazy per-pair path instead.
   FamilyPlan planFamily(const std::string &FamilyName,
                         const std::vector<const ConditionEntry *> &Entries)
       const;
+
+  /// Compiles the catalog-level plan for \p Fams: per-family common
+  /// prefixes (pairs left unmaterialized — verifyCatalog plans them
+  /// lazily) plus the catalog-common prefix, the well-formedness formulas
+  /// every entry either asserts in its own Common prefix or provably
+  /// cannot mention (none of the formula's variables occur in the entry's
+  /// vocabulary), hoisted to the session root.
+  CatalogPlan planCatalog(const Catalog &C,
+                          const std::vector<const Family *> &Fams) const;
 
   /// Clause-GC budget: the live-learned-clause count at which a session's
   /// first database reduction fires (the driver's --gc-budget knob;
@@ -164,6 +220,15 @@ public:
 private:
   FamilyOutcome verifyEntries(const std::string &FamilyName,
                               const std::vector<const ConditionEntry *> &E);
+  /// The Common prefix of \p E's method plans without materializing the
+  /// ArrayList split lattice (the prefixes are a handful of
+  /// well-formedness formulas, identical across an entry's six methods).
+  std::vector<ExprRef> planCommonOnly(const ConditionEntry &E) const;
+  /// Intersection of planCommonOnly over \p Entries, in first-entry
+  /// order — the family-common prefix shared by planFamily, the lazy
+  /// verify paths, and planCatalog.
+  std::vector<ExprRef>
+  familyCommonOf(const std::vector<const ConditionEntry *> &Entries) const;
 
   ExprFactory &F;
   int SeqLenBound;

@@ -20,16 +20,39 @@ SatSolver::SatSolver() {
   Reason.push_back(-1);
   Activity.push_back(0.0);
   SavedPhase.push_back(0);
+  IsFree.push_back(0);
   Watches.resize(2);
 }
 
 int SatSolver::addVar() {
+  ++VarRequests;
+  if (!FreeVars.empty()) {
+    // Reuse a retired index. Its state was reset at retirement, but a
+    // decision taken on a then-free var (possible: free vars are
+    // unconstrained) could have re-dirtied the saved phase, so reset
+    // defensively here too.
+    int V = FreeVars.back();
+    FreeVars.pop_back();
+    IsFree[static_cast<size_t>(V)] = 0;
+    assert(Assign[static_cast<size_t>(V)] == Undef &&
+           "recycled a var still assigned");
+    Activity[static_cast<size_t>(V)] = 0.0;
+    SavedPhase[static_cast<size_t>(V)] = 0;
+    Reason[static_cast<size_t>(V)] = -1;
+    assert(varStateIsClean(V) && "recycled var carries stale state");
+    if (numLiveVars() > PeakLiveVars)
+      PeakLiveVars = numLiveVars();
+    return V;
+  }
   Assign.push_back(Undef);
   Level.push_back(0);
   Reason.push_back(-1);
   Activity.push_back(0.0);
   SavedPhase.push_back(0);
+  IsFree.push_back(0);
   Watches.resize(Watches.size() + 2);
+  if (numLiveVars() > PeakLiveVars)
+    PeakLiveVars = numLiveVars();
   return numVars();
 }
 
@@ -76,6 +99,8 @@ void SatSolver::addClause(const std::vector<Lit> &Input) {
 
   Clauses.push_back({std::move(C), false, 0, 0.0});
   attach(static_cast<int>(Clauses.size()) - 1);
+  if (Clauses.size() > PeakClauses)
+    PeakClauses = Clauses.size();
 }
 
 void SatSolver::enqueue(Lit L, int ReasonIdx) {
@@ -239,10 +264,13 @@ void SatSolver::backtrack(int ToLevel) {
 }
 
 int SatSolver::pickBranchVar() {
+  // Free-listed vars are unconstrained and awaiting reuse: deciding on
+  // them would only pad the trail (and dirty their saved phase).
   int Best = 0;
   double BestAct = -1.0;
   for (int V = 1; V <= numVars(); ++V)
-    if (Assign[V] == Undef && Activity[V] > BestAct) {
+    if (Assign[V] == Undef && !IsFree[static_cast<size_t>(V)] &&
+        Activity[V] > BestAct) {
       Best = V;
       BestAct = Activity[V];
     }
@@ -327,6 +355,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
         Clauses.push_back({Learned, true, Glue, ClauseActInc});
         ++LearnedClauses;
         ++LearnedAlive;
+        if (Clauses.size() > PeakClauses)
+          PeakClauses = Clauses.size();
         int CI = static_cast<int>(Clauses.size()) - 1;
         attach(CI);
         enqueue(Learned[0], CI);
@@ -478,10 +508,12 @@ void SatSolver::compactClauses(const std::vector<bool> &Remove) {
   }
 }
 
-size_t SatSolver::retireScope(Lit Selector, const std::vector<int> &ScopeVars) {
+size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
+                               const std::vector<int> &ScopeVars) {
   backtrack(0);
   ++ScopeRetirements;
-  addClause({Selector.negated()});
+  for (Lit Selector : Selectors)
+    addClause({Selector.negated()});
   if (Unsatisfiable)
     return 0; // Trivially Unsat database: nothing left worth sweeping.
 
@@ -491,54 +523,106 @@ size_t SatSolver::retireScope(Lit Selector, const std::vector<int> &ScopeVars) {
   for (Lit L : Trail)
     Reason[L.var()] = -1;
 
+  // InScope: selector and scope vars, whose learned clauses are dropped.
+  // Owned: scope vars only — the caller's scope-private set, whose
+  // *problem* clauses (Tseitin definitions of the retired subtree's
+  // formulas) are dropped too. Sound by the privacy contract: every clause
+  // mentioning an owned var belongs to an assertion of the retired
+  // subtree, and those assertions are vacuous once their selectors are
+  // false at root.
   std::vector<bool> InScope(Assign.size(), false);
-  InScope[Selector.var()] = true;
-  for (int V : ScopeVars)
+  std::vector<bool> Owned(Assign.size(), false);
+  for (Lit Selector : Selectors)
+    InScope[static_cast<size_t>(Selector.var())] = true;
+  for (int V : ScopeVars) {
     InScope[static_cast<size_t>(V)] = true;
+    Owned[static_cast<size_t>(V)] = true;
+  }
 
-  // Evict (a) every clause satisfied at root — with ~Selector now a root
-  // unit this covers all the scope's selector-guarded problem clauses —
-  // and (b) every learned clause that mentions a scope var (learned
-  // clauses are redundant, so dropping them only costs re-derivation).
   std::vector<bool> Remove(Clauses.size(), false);
   size_t Removed = 0;
   int64_t LearnedRemoved = 0;
   for (size_t I = 0; I != Clauses.size(); ++I) {
     const Clause &C = Clauses[I];
-    bool RootSat = false, MentionsScope = false;
+    bool RootSat = false, MentionsScope = false, MentionsOwned = false;
     for (Lit L : C.Lits) {
       if (valueOf(L) == 1)
         RootSat = true;
       MentionsScope = MentionsScope || InScope[static_cast<size_t>(L.var())];
+      MentionsOwned = MentionsOwned || Owned[static_cast<size_t>(L.var())];
     }
-    if (RootSat || (C.Learned && MentionsScope)) {
+    if (RootSat || MentionsOwned || (C.Learned && MentionsScope)) {
       Remove[I] = true;
       ++Removed;
       LearnedRemoved += C.Learned;
     }
   }
-  if (Removed == 0)
-    return 0;
-  compactClauses(Remove);
-  LearnedAlive -= LearnedRemoved;
-  EvictedClauses += static_cast<int64_t>(Removed);
+  if (Removed != 0) {
+    compactClauses(Remove);
+    LearnedAlive -= LearnedRemoved;
+    EvictedClauses += static_cast<int64_t>(Removed);
+  }
 
-  // Recycle the search state of dead variables (typically the retired
-  // scope's selectors, Tseitin definitions, and private atoms): a var with
-  // no occurrence left cannot influence any answer, and keeping its bumped
-  // activity would keep the branching heuristic exploring a dead scope.
+  // Reset the search state of dead variables (a var with no occurrence
+  // left cannot influence any answer, and keeping its bumped activity
+  // would keep the branching heuristic exploring a dead scope), and
+  // recycle the dead *owned* ones: their index joins the free list that
+  // addVar() drains. Only owned vars recycle — the caller's atom maps may
+  // still name other dead vars, and handing such an index out again would
+  // silently alias two meanings. An owned var pinned at root (typically a
+  // Tseitin wrapper definition the retirement's own unit propagation
+  // forced true) is a fact about a variable nothing mentions: it is
+  // compacted off the trail and recycled too — selectors are never owned,
+  // so retired selectors stay permanently false.
   std::vector<bool> Occurs(Assign.size(), false);
   for (const Clause &C : Clauses)
     for (Lit L : C.Lits)
       Occurs[static_cast<size_t>(L.var())] = true;
-  for (int V = 1; V <= numVars(); ++V)
-    if (!Occurs[static_cast<size_t>(V)] &&
-        Assign[static_cast<size_t>(V)] == Undef) {
-      Activity[static_cast<size_t>(V)] = 0.0;
-      SavedPhase[static_cast<size_t>(V)] = 0;
+  bool TrailDirty = false;
+  std::vector<bool> DropFromTrail(Assign.size(), false);
+  for (int V = 1; V <= numVars(); ++V) {
+    size_t S = static_cast<size_t>(V);
+    if (Occurs[S] || IsFree[S])
+      continue;
+    bool Recyclable = RecyclingEnabled && Owned[S];
+    if (Assign[S] != Undef) {
+      if (!Recyclable)
+        continue; // A pinned fact that must keep holding (e.g. ~selector).
+      Assign[S] = Undef;
+      Level[S] = 0;
+      DropFromTrail[S] = true;
+      TrailDirty = true;
     }
-  assert(reasonInvariantHolds() && "retireScope broke a reason reference");
+    Activity[S] = 0.0;
+    SavedPhase[S] = 0;
+    Reason[S] = -1;
+    if (Recyclable) {
+      FreeVars.push_back(V);
+      IsFree[S] = 1;
+      ++RecycledVars;
+    }
+  }
+  if (TrailDirty) {
+    // Root level: no decision marks to maintain, and dropping a literal
+    // nothing mentions cannot enable or retract any propagation.
+    size_t OutT = 0;
+    for (Lit L : Trail)
+      if (!DropFromTrail[static_cast<size_t>(L.var())])
+        Trail[OutT++] = L;
+    Trail.resize(OutT);
+    PropHead = OutT;
+  }
+  assert(reasonInvariantHolds() && "retireScopes broke a reason reference");
   return Removed;
+}
+
+bool SatSolver::varStateIsClean(int Var) const {
+  size_t S = static_cast<size_t>(Var);
+  if (Var < 1 || Var > numVars())
+    return false;
+  return Assign[S] == Undef && Activity[S] == 0.0 && SavedPhase[S] == 0 &&
+         Reason[S] == -1 && Watches[2 * S].empty() &&
+         Watches[2 * S + 1].empty();
 }
 
 bool SatSolver::reasonInvariantHolds() const {

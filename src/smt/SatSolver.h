@@ -73,7 +73,12 @@ class SatSolver {
 public:
   SatSolver();
 
-  /// Allocates a fresh variable; returns its 1-based index.
+  /// Allocates a variable and returns its 1-based index. Indices of
+  /// variables recycled by retireScopes() are handed out again (most
+  /// recently retired first) before the variable array grows, so the live
+  /// variable count — not just the clause count — is bounded over a
+  /// long-lived session; a reused index starts with clean search state
+  /// (unassigned, zero activity, default phase, empty watch lists).
   int addVar();
 
   /// Adds a clause (empty clause makes the instance trivially Unsat).
@@ -131,20 +136,54 @@ public:
   int64_t numDbReductions() const { return DbReductions; }
   int64_t numReclaimedClauses() const { return ReclaimedClauses; }
 
-  /// Permanently retires a selector scope (root level only): asserts the
-  /// unit clause ~Selector, drops every learned clause that mentions
-  /// \p Selector or any var in \p ScopeVars (learned clauses are redundant,
-  /// so this can never change an answer), physically removes every clause
-  /// satisfied at root level — which is what evicts the scope's
-  /// selector-guarded problem clauses once ~Selector holds — and recycles
-  /// the activity and saved phase of variables that no longer occur in the
-  /// database. The family-level sessions call this when a pair's VCs are
-  /// done, so the clause database stays bounded by the live scope instead
-  /// of growing with the whole family. Returns the number of clauses
-  /// evicted.
-  size_t retireScope(Lit Selector, const std::vector<int> &ScopeVars);
+  /// Permanently retires a selector *subtree* in one pass (root level
+  /// only): every literal in \p Selectors — an interior selector node
+  /// together with all the selectors nested under it — is asserted false
+  /// as a unit clause, then one sweep evicts
+  ///
+  ///  * every clause satisfied at root level (with the selectors now
+  ///    false at root this covers all the subtree's selector-guarded
+  ///    problem clauses),
+  ///  * every learned clause mentioning a selector or scope var (learned
+  ///    clauses are redundant, so this can never change an answer), and
+  ///  * every clause — problem clauses included — mentioning a var in
+  ///    \p ScopeVars. Passing a var here is the caller's guarantee that
+  ///    it is *private* to the retired subtree: no live assertion's
+  ///    encoding mentions it (SmtSession derives the set from its
+  ///    scope-layered Tseitin bookkeeping).
+  ///
+  /// Scope vars that end up with no occurrence and no assignment are
+  /// *recycled*: their activity/phase state is reset and their indices
+  /// join a free list that addVar() drains, so the variable count is
+  /// bounded by the live scope. Dead non-scope vars only get their
+  /// activity/phase reset (their indices may still be referenced by the
+  /// caller's atom maps). Returns the number of clauses evicted.
+  size_t retireScopes(const std::vector<Lit> &Selectors,
+                      const std::vector<int> &ScopeVars);
+  /// Single-selector convenience wrapper around retireScopes().
+  size_t retireScope(Lit Selector, const std::vector<int> &ScopeVars) {
+    return retireScopes({Selector}, ScopeVars);
+  }
+  /// Disables index recycling (reference runs for the recycle fuzz and the
+  /// peak-live-vars acceptance comparison; eviction is unaffected).
+  void setVarRecycling(bool Enabled) { RecyclingEnabled = Enabled; }
   int64_t numScopeRetirements() const { return ScopeRetirements; }
   int64_t numEvictedClauses() const { return EvictedClauses; }
+  int64_t numRecycledVars() const { return RecycledVars; }
+  /// Variable accounting for the catalog-session statistics: slots
+  /// currently backing a live (non-free-listed) variable, the high-water
+  /// mark of that number, cumulative addVar() calls (what the allocation
+  /// would be without recycling), and the clause-count high-water mark.
+  int numLiveVars() const {
+    return numVars() - static_cast<int>(FreeVars.size());
+  }
+  int peakLiveVars() const { return PeakLiveVars; }
+  int64_t numVarRequests() const { return VarRequests; }
+  size_t peakClauses() const { return PeakClauses; }
+  /// Debug check for tests: \p Var is unassigned with zero activity,
+  /// default phase, no reason, and empty watch lists — the state every
+  /// recycled index must present on reuse.
+  bool varStateIsClean(int Var) const;
   /// Debug check: every implied literal's reason clause still exists and
   /// contains that literal — the invariant reduceDb() must preserve.
   bool reasonInvariantHolds() const;
@@ -201,6 +240,15 @@ private:
   int64_t ReclaimedClauses = 0;
   int64_t ScopeRetirements = 0;
   int64_t EvictedClauses = 0;
+
+  // Variable recycling (fed by retireScopes, drained by addVar).
+  std::vector<int> FreeVars;     ///< Recycled indices, LIFO.
+  std::vector<uint8_t> IsFree;   ///< Per-var free-list membership.
+  bool RecyclingEnabled = true;
+  int64_t RecycledVars = 0;
+  int64_t VarRequests = 0;
+  int PeakLiveVars = 0;
+  size_t PeakClauses = 0;
 
   size_t watchIndex(Lit L) const {
     return 2 * static_cast<size_t>(L.var()) + (L.positive() ? 0 : 1);

@@ -272,7 +272,12 @@ void SmtSession::emitNewBridges() {
 
 void SmtSession::ingest(ExprRef Normalized) {
   collectTheoryAtoms(Normalized);
+  // Bridges constrain global atoms and outlive every scope, so their
+  // encodings must never land in a retirable scope layer.
+  Tseitin::LayerId Saved = Encoder.activeLayer();
+  Encoder.setActiveLayer(Tseitin::RootLayer);
   emitNewBridges();
+  Encoder.setActiveLayer(Saved);
 }
 
 void SmtSession::collectBoolAtoms(ExprRef E, std::set<ExprRef> &Out,
@@ -306,49 +311,187 @@ void SmtSession::collectBoolAtoms(ExprRef E, std::set<ExprRef> &Out,
 
 // --- Session top level --------------------------------------------------------
 
+SmtSession::SmtSession(ExprFactory &F) : F(F), Encoder(Sat) {
+  Scopes.push_back(ScopeNode{}); // RootScope: unguarded, root layer.
+}
+
 void SmtSession::assertBase(ExprRef E) {
   ExprRef N = normalize(E);
   ingest(N);
   std::set<ExprRef> Visited;
   collectBoolAtoms(N, BaseAtoms, Visited);
+  Tseitin::LayerId Saved = Encoder.activeLayer();
+  Encoder.setActiveLayer(Tseitin::RootLayer);
   Encoder.assertTrue(N);
+  Encoder.setActiveLayer(Saved);
+}
+
+SmtSession::ScopeId SmtSession::openScope(ExprRef Selector, ScopeId Parent,
+                                          bool OwnLayer) {
+  assert(Parent < Scopes.size() && Scopes[Parent].Alive &&
+         "opening a scope under a dead parent");
+  assert(ScopeOf.find(Selector) == ScopeOf.end() &&
+         "selector already guards a live scope");
+  ScopeNode Node;
+  Node.Selector = Selector;
+  Node.Parent = Parent;
+  Node.OwnsLayer = OwnLayer;
+  Node.Layer = OwnLayer ? Encoder.pushLayer(Scopes[Parent].Layer)
+                        : Scopes[Parent].Layer;
+  ScopeId Id = Scopes.size();
+  Scopes.push_back(std::move(Node));
+  Scopes[Parent].Children.push_back(Id);
+  ScopeOf[Selector] = Id;
+  return Id;
+}
+
+SmtSession::ScopeId SmtSession::ensureScope(ExprRef Selector, ScopeId Parent) {
+  auto It = ScopeOf.find(Selector);
+  if (It != ScopeOf.end())
+    return It->second;
+  return openScope(Selector, Parent, /*OwnLayer=*/false);
+}
+
+void SmtSession::assertInScope(ScopeId Scope, ExprRef Body) {
+  assert(Scope < Scopes.size() && Scopes[Scope].Alive &&
+         "asserting into a dead scope");
+  if (Scope == RootScope) {
+    assertBase(Body);
+    return;
+  }
+  // Wrap Body in the selector path, innermost first.
+  ExprRef Formula = Body;
+  for (ScopeId S = Scope; S != RootScope; S = Scopes[S].Parent)
+    Formula = F.implies(Scopes[S].Selector, Formula);
+  ExprRef N = normalize(Formula);
+  ingest(N);
+  std::set<ExprRef> Visited;
+  collectBoolAtoms(normalize(Body), ScopedAtoms[Scopes[Scope].Selector],
+                   Visited);
+  Tseitin::LayerId Saved = Encoder.activeLayer();
+  Encoder.setActiveLayer(Scopes[Scope].Layer);
+  Encoder.assertTrue(N);
+  Encoder.setActiveLayer(Saved);
 }
 
 void SmtSession::assertScoped(ExprRef Selector, ExprRef Body) {
-  ExprRef N = normalize(F.implies(Selector, Body));
-  ingest(N);
-  std::set<ExprRef> Visited;
-  collectBoolAtoms(normalize(Body), ScopedAtoms[Selector], Visited);
-  Encoder.assertTrue(N);
+  assertInScope(ensureScope(Selector, RootScope), Body);
 }
 
 void SmtSession::assertScopedUnder(ExprRef Outer, ExprRef Selector,
                                    ExprRef Body) {
-  ExprRef N = normalize(F.implies(Outer, F.implies(Selector, Body)));
-  ingest(N);
-  std::set<ExprRef> Visited;
-  collectBoolAtoms(normalize(Body), ScopedAtoms[Selector], Visited);
-  Encoder.assertTrue(N);
+  ScopeId Parent = ensureScope(Outer, RootScope);
+  auto It = ScopeOf.find(Selector);
+  ScopeId Scope = It != ScopeOf.end() ? It->second
+                                      : openScope(Selector, Parent,
+                                                  /*OwnLayer=*/false);
+  assertInScope(Scope, Body);
+}
+
+size_t SmtSession::retireScope(ScopeId Scope) {
+  assert(Scope != RootScope && "the root scope is permanent");
+  assert(Scope < Scopes.size() && Scopes[Scope].Alive &&
+         "retiring a dead scope");
+
+  // Collect the subtree: selectors to falsify, owned layers to evict.
+  std::vector<ScopeId> Subtree, Stack{Scope};
+  while (!Stack.empty()) {
+    ScopeId S = Stack.back();
+    Stack.pop_back();
+    Subtree.push_back(S);
+    for (ScopeId C : Scopes[S].Children)
+      Stack.push_back(C);
+  }
+  std::vector<Lit> Selectors;
+  std::vector<int> ScopeVars;
+  for (ScopeId S : Subtree) {
+    ScopeNode &Node = Scopes[S];
+    Selectors.push_back(Encoder.encode(normalize(Node.Selector)));
+    if (Node.OwnsLayer) {
+      const std::vector<int> &Owned = Encoder.ownedVars(Node.Layer);
+      ScopeVars.insert(ScopeVars.end(), Owned.begin(), Owned.end());
+    }
+  }
+
+  size_t Evicted = Sat.retireScopes(Selectors, ScopeVars);
+
+  // Drop the subtree's bookkeeping: layers (leaves before parents, so a
+  // parent layer never dies while a child still names it), selector maps,
+  // and the tree nodes themselves.
+  Encoder.setActiveLayer(Tseitin::RootLayer);
+  for (auto It = Subtree.rbegin(); It != Subtree.rend(); ++It) {
+    ScopeNode &Node = Scopes[*It];
+    if (Node.OwnsLayer)
+      Encoder.dropLayer(Node.Layer);
+    ScopeOf.erase(Node.Selector);
+    ScopedAtoms.erase(Node.Selector);
+    Node.Alive = false;
+    Node.Children.clear();
+  }
+  std::vector<ScopeId> &Siblings = Scopes[Scopes[Scope].Parent].Children;
+  Siblings.erase(std::remove(Siblings.begin(), Siblings.end(), Scope),
+                 Siblings.end());
+  return Evicted;
 }
 
 size_t SmtSession::retireScope(ExprRef Selector,
                                const std::vector<ExprRef> &SubSelectors) {
-  Lit SelLit = Encoder.encode(normalize(Selector));
-  std::vector<int> ScopeVars;
-  for (ExprRef S : SubSelectors) {
-    ScopeVars.push_back(Encoder.encode(normalize(S)).var());
-    ScopedAtoms.erase(S);
+  // Sub-selectors registered as tree descendants retire with the subtree;
+  // unregistered ones (legacy callers name nested selectors explicitly)
+  // are falsified and swept alongside it.
+  auto It = ScopeOf.find(Selector);
+  if (It == ScopeOf.end()) {
+    // Never asserted through the tree: fall back to a direct solver-level
+    // retirement over the named selectors.
+    Lit SelLit = Encoder.encode(normalize(Selector));
+    std::vector<Lit> Selectors{SelLit};
+    for (ExprRef S : SubSelectors) {
+      Selectors.push_back(Encoder.encode(normalize(S)));
+      ScopedAtoms.erase(S);
+    }
+    ScopedAtoms.erase(Selector);
+    return Sat.retireScopes(Selectors, {});
   }
-  ScopedAtoms.erase(Selector);
-  return Sat.retireScope(SelLit, ScopeVars);
+  for (ExprRef S : SubSelectors) {
+    auto SubIt = ScopeOf.find(S);
+    if (SubIt == ScopeOf.end()) {
+      Sat.retireScopes({Encoder.encode(normalize(S))}, {});
+      ScopedAtoms.erase(S);
+    } else {
+      assert(SubIt->second != It->second && "selector nested under itself");
+    }
+  }
+  return retireScope(It->second);
 }
 
 SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
                             int64_t MaxConflicts, ExprRef ActiveScope) {
-  std::vector<ExprRef> Scopes;
+  std::vector<ExprRef> ActiveSels;
   if (ActiveScope)
-    Scopes.push_back(ActiveScope);
-  return check(Assumed, MaxConflicts, Scopes);
+    ActiveSels.push_back(ActiveScope);
+  return check(Assumed, MaxConflicts, ActiveSels);
+}
+
+SmtSession::ScopeId SmtSession::innermostScope(
+    const std::vector<ExprRef> &ActiveScopes) const {
+  // The deepest registered scope hosts the query encodings: its layer is
+  // the first to die, and the query formulas of one scope are never
+  // referenced by another (sibling lookups don't cross layers).
+  ScopeId Best = RootScope;
+  size_t BestDepth = 0;
+  for (ExprRef Sel : ActiveScopes) {
+    auto It = ScopeOf.find(Sel);
+    if (It == ScopeOf.end())
+      continue;
+    size_t Depth = 0;
+    for (ScopeId S = It->second; S != RootScope; S = Scopes[S].Parent)
+      ++Depth;
+    if (Depth > BestDepth) {
+      BestDepth = Depth;
+      Best = It->second;
+    }
+  }
+  return Best;
 }
 
 SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
@@ -357,12 +500,15 @@ SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
   std::vector<Lit> Assumptions;
   Assumptions.reserve(Assumed.size());
   std::set<ExprRef> QueryAtoms, Visited;
+  Tseitin::LayerId SavedLayer = Encoder.activeLayer();
+  Encoder.setActiveLayer(Scopes[innermostScope(ActiveScopes)].Layer);
   for (ExprRef E : Assumed) {
     ExprRef N = normalize(E);
     ingest(N);
     collectBoolAtoms(N, QueryAtoms, Visited);
     Assumptions.push_back(Encoder.encode(N));
   }
+  Encoder.setActiveLayer(SavedLayer);
 
   int64_t ConflictsBefore = Sat.numConflicts();
   int64_t DecisionsBefore = Sat.numDecisions();
@@ -417,14 +563,14 @@ SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
     // current query): a warm session's atom map also holds every earlier
     // query's and every other scope's atoms, which would drown the
     // countermodel in unrelated diagnostics.
-    std::vector<const std::set<ExprRef> *> Scopes;
+    std::vector<const std::set<ExprRef> *> ActiveAtomSets;
     for (ExprRef ActiveScope : ActiveScopes) {
       auto It = ScopedAtoms.find(ActiveScope);
       if (It != ScopedAtoms.end())
-        Scopes.push_back(&It->second);
+        ActiveAtomSets.push_back(&It->second);
     }
-    auto InScope = [&Scopes](ExprRef Atom) {
-      for (const std::set<ExprRef> *S : Scopes)
+    auto InScope = [&ActiveAtomSets](ExprRef Atom) {
+      for (const std::set<ExprRef> *S : ActiveAtomSets)
         if (S->count(Atom))
           return true;
       return false;

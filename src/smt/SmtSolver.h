@@ -30,6 +30,17 @@
 /// — never of pointer values — which keeps multi-threaded driver runs
 /// verdict-deterministic.
 ///
+/// Scoped assertions live on a selector *tree* (catalog → family → pair →
+/// method paths): each scope is guarded by a boolean selector, asserting
+/// into a scope implies the whole selector path, and a scope may own a
+/// Tseitin cache layer so its formulas' definition variables are private
+/// to its subtree. retireScope() then retires a whole subtree in one
+/// solver pass — selectors falsified, guarded and definition clauses
+/// evicted, definition variable indices recycled — so both the clause
+/// database *and the variable array* stay bounded by the live scope over
+/// a catalog-length session. Atom variables and theory bridges stay
+/// global: they are the shared lattice the long-lived tiers amortize.
+///
 /// SmtSolver is the original one-shot facade, now a thin wrapper that runs
 /// each check() in a fresh session.
 ///
@@ -69,7 +80,13 @@ struct IntAtomInfo {
 /// against the same warm CDCL solver.
 class SmtSession {
 public:
-  explicit SmtSession(ExprFactory &F) : F(F), Encoder(Sat) {}
+  /// A node in the session's selector tree. RootScope is the unguarded
+  /// session base; every other scope is guarded by its selector and by
+  /// all the selectors on its path to the root.
+  using ScopeId = size_t;
+  static constexpr ScopeId RootScope = 0;
+
+  explicit SmtSession(ExprFactory &F);
   SmtSession(const SmtSession &) = delete;
   SmtSession &operator=(const SmtSession &) = delete;
 
@@ -77,27 +94,47 @@ public:
   /// subsequent check().
   void assertBase(ExprRef E);
 
-  /// Asserts `Selector -> Body` permanently, attributing \p Body's atoms
-  /// to \p Selector's scope instead of the session base. A check() run
-  /// with that selector as its ActiveScope reports countermodels over
-  /// base + scope + query atoms — other scopes' atoms stay out of the
-  /// diagnostics (the shared per-pair sessions assert every method's
-  /// prefix this way).
+  /// Opens a scope guarded by \p Selector under \p Parent and returns its
+  /// id. When \p OwnLayer is set the scope owns a Tseitin cache layer:
+  /// definition variables created while asserting or checking in the
+  /// scope are private to its subtree and are evicted and *recycled* when
+  /// the scope retires (the family/catalog tiers give each pair and
+  /// family scope its own layer; method scopes share their pair's, since
+  /// they only ever retire together with it).
+  ScopeId openScope(ExprRef Selector, ScopeId Parent = RootScope,
+                    bool OwnLayer = false);
+
+  /// Asserts `sel_1 -> (sel_2 -> ... -> Body)` over \p Scope's selector
+  /// path permanently, attributing \p Body's atoms to the scope and its
+  /// encoding to the scope's layer. A check() run with the scope's
+  /// selector among its ActiveScopes reports countermodels over base +
+  /// scope + query atoms — other scopes' atoms stay out of the
+  /// diagnostics.
+  void assertInScope(ScopeId Scope, ExprRef Body);
+
+  /// Permanently retires \p Scope and its entire subtree in one solver
+  /// pass: every subtree selector is forced false at root level, the
+  /// subtree's guarded clauses, scope-touching learned clauses, and the
+  /// definition clauses of its owned Tseitin layers are evicted, and the
+  /// owned definition variables are recycled. Once retired, a selector
+  /// can never be re-activated; callers that re-verify a retired scope
+  /// must open a fresh one. Returns the number of clauses evicted.
+  size_t retireScope(ScopeId Scope);
+
+  /// Asserts `Selector -> Body`, auto-registering \p Selector as a root
+  /// child (shared per-pair sessions assert every method's prefix this
+  /// way; the selector shares the root Tseitin layer, preserving whole-
+  /// session encoding reuse for tiers that never retire).
   void assertScoped(ExprRef Selector, ExprRef Body);
 
-  /// Asserts `Outer -> (Selector -> Body)` permanently, attributing
-  /// \p Body's atoms to \p Selector's scope. The family-level sessions
-  /// nest every method selector under its pair selector this way, so
-  /// retiring the pair selector deactivates the whole pair at once.
+  /// Asserts `Outer -> (Selector -> Body)`, auto-registering \p Outer as
+  /// a root child and \p Selector beneath it.
   void assertScopedUnder(ExprRef Outer, ExprRef Selector, ExprRef Body);
 
-  /// Permanently retires \p Selector's scope: the selector is forced false
-  /// at root level, the scope's selector-guarded clauses and every learned
-  /// clause touching \p Selector or \p SubSelectors (nested selectors
-  /// asserted under it) are evicted, and dead variables' search state is
-  /// recycled. Once retired, a selector can never be re-activated; callers
-  /// that re-verify a retired scope must allocate a fresh selector.
-  /// Returns the number of clauses evicted.
+  /// Retires the scope registered for \p Selector (with its subtree).
+  /// \p SubSelectors not already registered as descendants are falsified
+  /// and swept along with it (legacy callers named nested selectors
+  /// explicitly). Returns the number of clauses evicted.
   size_t retireScope(ExprRef Selector,
                      const std::vector<ExprRef> &SubSelectors = {});
 
@@ -143,6 +180,15 @@ public:
   /// sessions retire each finished pair's scope).
   int64_t scopeRetirements() const { return Sat.numScopeRetirements(); }
   int64_t evictedClauses() const { return Sat.numEvictedClauses(); }
+  /// Variable recycling and liveness accounting (catalog-session stats):
+  /// indices recycled by scope retirements, vars currently live, the
+  /// live-var and clause-count high-water marks, and the cumulative
+  /// variable demand (what the allocation would be without recycling).
+  int64_t recycledVars() const { return Sat.numRecycledVars(); }
+  int liveVars() const { return Sat.numLiveVars(); }
+  int peakLiveVars() const { return Sat.peakLiveVars(); }
+  size_t peakClauses() const { return Sat.peakClauses(); }
+  int64_t varRequests() const { return Sat.numVarRequests(); }
   int numAtoms() const { return static_cast<int>(Encoder.atoms().size()); }
 
   /// The underlying CDCL solver, exposed for clause-GC configuration
@@ -161,13 +207,32 @@ public:
   }
 
 private:
+  /// One node of the selector tree.
+  struct ScopeNode {
+    ExprRef Selector = nullptr; ///< Null for the root.
+    ScopeId Parent = RootScope;
+    std::vector<ScopeId> Children;
+    Tseitin::LayerId Layer = Tseitin::RootLayer;
+    bool OwnsLayer = false;
+    bool Alive = true;
+  };
+
   ExprRef normalize(ExprRef E);
   ExprRef normalizeAtom(ExprRef E);
   ExprRef canonicalIntAtom(ExprKind K, ExprRef A, ExprRef B);
   ExprRef eqObj(ExprRef A, ExprRef B);
 
+  /// The registered scope of \p Selector, opening one under \p Parent
+  /// (sharing the parent layer) if none exists.
+  ScopeId ensureScope(ExprRef Selector, ScopeId Parent);
+  /// Deepest registered scope among \p ActiveScopes (its layer hosts the
+  /// query encodings), or RootScope.
+  ScopeId innermostScope(const std::vector<ExprRef> &ActiveScopes) const;
+
   /// Registers the theory atoms of a normalized formula and asserts the
-  /// bridge instances that mention at least one newly seen atom.
+  /// bridge instances that mention at least one newly seen atom. Bridges
+  /// always encode into the root layer: they constrain global atoms and
+  /// outlive every scope.
   void ingest(ExprRef Normalized);
   void collectTheoryAtoms(ExprRef E);
   void emitNewBridges();
@@ -198,6 +263,11 @@ private:
   /// unrelated queries or other selector scopes.
   std::set<ExprRef> BaseAtoms;
   std::map<ExprRef, std::set<ExprRef>> ScopedAtoms; ///< Keyed by selector.
+
+  /// The selector tree (node 0 is the root). Nodes are never erased, only
+  /// marked dead, so ScopeIds stay stable for the session's lifetime.
+  std::vector<ScopeNode> Scopes;
+  std::map<ExprRef, ScopeId> ScopeOf; ///< Live selectors only.
 
   // High-water marks of the atoms already covered by emitted bridges.
   size_t BridgedObjTerms = 0;

@@ -14,21 +14,62 @@
 
 using namespace semcomm;
 
-Lit Tseitin::freshDefinition() { return Lit(Solver.addVar(), true); }
+Tseitin::LayerId Tseitin::pushLayer(LayerId Parent) {
+  assert(Parent < Layers.size() && Layers[Parent].Alive &&
+         "pushLayer under a dead parent");
+  Layers.push_back({{}, {}, Parent, true});
+  return static_cast<LayerId>(Layers.size()) - 1;
+}
+
+void Tseitin::setActiveLayer(LayerId L) {
+  assert(L < Layers.size() && Layers[L].Alive && "activating a dead layer");
+  Active = L;
+}
+
+void Tseitin::dropLayer(LayerId L) {
+  assert(L != RootLayer && "the root layer is permanent");
+  assert(L != Active && "dropping the active layer");
+  Layers[L].Cache.clear();
+  Layers[L].Owned.clear();
+  Layers[L].Owned.shrink_to_fit();
+  Layers[L].Alive = false;
+}
+
+Lit Tseitin::freshDefinition() {
+  int V = Solver.addVar();
+  Layers[Active].Owned.push_back(V);
+  return Lit(V, true);
+}
 
 Lit Tseitin::atomLit(ExprRef Atom) {
   auto It = Atoms.find(Atom);
   if (It != Atoms.end())
     return Lit(It->second, true);
+  // Atom vars are global (bridges reference them for the whole session
+  // lifetime), so they are never layer-owned or recycled.
   int V = Solver.addVar();
   Atoms.emplace(Atom, V);
   return Lit(V, true);
 }
 
+const Lit *Tseitin::lookup(ExprRef E) const {
+  // Walk the ancestor chain only: a sibling layer's definitions may be
+  // evicted with that sibling, so referencing them would dangle.
+  LayerId L = Active;
+  while (true) {
+    const Layer &Lay = Layers[L];
+    auto It = Lay.Cache.find(E);
+    if (It != Lay.Cache.end())
+      return &It->second;
+    if (L == RootLayer)
+      return nullptr;
+    L = Lay.Parent;
+  }
+}
+
 Lit Tseitin::encode(ExprRef E) {
-  auto Cached = Cache.find(E);
-  if (Cached != Cache.end())
-    return Cached->second;
+  if (const Lit *Cached = lookup(E))
+    return *Cached;
 
   Lit Result;
   switch (E->kind()) {
@@ -106,6 +147,6 @@ Lit Tseitin::encode(ExprRef E) {
     break;
   }
 
-  Cache.emplace(E, Result);
+  Layers[Active].Cache.emplace(E, Result);
   return Result;
 }

@@ -13,6 +13,18 @@
 /// the caller (SmtSolver) is responsible for adding theory-consistency
 /// bridge clauses over those atoms.
 ///
+/// The definition cache is *scope-layered* to support the session scope
+/// trees: every layer has a parent, lookups walk the active layer's
+/// ancestor chain (never a sibling), and fresh definition variables are
+/// recorded as *owned* by the active layer. Because a definition created
+/// under layer L can therefore only be referenced by encodings performed
+/// under L or its descendants, retiring a scope subtree may evict every
+/// clause mentioning the subtree layers' owned vars and recycle those
+/// variable indices — the session-level invariant behind
+/// SatSolver::retireScopes(). Atom variables stay global (one table for
+/// the whole solver): they are shared with the theory bridges and must
+/// keep their index for the life of the session.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEMCOMM_SMT_TSEITIN_H
@@ -22,16 +34,40 @@
 #include "smt/SatSolver.h"
 
 #include <map>
+#include <vector>
 
 namespace semcomm {
 
-/// Encodes expressions into a SatSolver, memoizing shared subformulas
-/// (hash-consing makes the memoization exact).
+/// Encodes expressions into a SatSolver, memoizing shared subformulas per
+/// scope layer (hash-consing makes the memoization exact).
 class Tseitin {
 public:
-  explicit Tseitin(SatSolver &Solver) : Solver(Solver) {}
+  using LayerId = unsigned;
+  static constexpr LayerId RootLayer = 0;
 
-  /// Returns a literal equisatisfiably representing \p E.
+  explicit Tseitin(SatSolver &Solver) : Solver(Solver) {
+    Layers.push_back({{}, {}, RootLayer, true});
+  }
+
+  /// Opens a new cache layer under \p Parent and returns its id. The layer
+  /// does not become active until setActiveLayer().
+  LayerId pushLayer(LayerId Parent);
+  /// Routes subsequent encode() inserts (and owned-var recording) to \p L.
+  void setActiveLayer(LayerId L);
+  LayerId activeLayer() const { return Active; }
+  /// The definition variables created while \p L was active — the
+  /// scope-private set a retirement hands to SatSolver::retireScopes().
+  const std::vector<int> &ownedVars(LayerId L) const {
+    return Layers[L].Owned;
+  }
+  /// Forgets a layer's cache and owned list (the caller retires the vars
+  /// through the solver first). The layer must not be active and must have
+  /// no live children.
+  void dropLayer(LayerId L);
+
+  /// Returns a literal equisatisfiably representing \p E. Cache lookups
+  /// walk the active layer's ancestor chain; misses insert into the active
+  /// layer.
   Lit encode(ExprRef E);
 
   /// Asserts \p E at the top level.
@@ -41,11 +77,20 @@ public:
   const std::map<ExprRef, int> &atoms() const { return Atoms; }
 
 private:
+  struct Layer {
+    std::map<ExprRef, Lit> Cache;
+    std::vector<int> Owned; ///< Definition vars created under this layer.
+    LayerId Parent;
+    bool Alive;
+  };
+
   Lit freshDefinition();
   Lit atomLit(ExprRef Atom);
+  const Lit *lookup(ExprRef E) const;
 
   SatSolver &Solver;
-  std::map<ExprRef, Lit> Cache;
+  std::vector<Layer> Layers;
+  LayerId Active = RootLayer;
   std::map<ExprRef, int> Atoms;
 };
 

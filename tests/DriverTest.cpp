@@ -399,6 +399,109 @@ TEST(DriverEngines, SharedFamilyVerdictsAreThreadCountInvariant) {
   }
 }
 
+TEST(DriverEngines, SharedCatalogAgreesWithOtherModes) {
+  // The catalog tier must be invisible in the verdicts: shared-catalog
+  // agrees with shared-family and shared-pair, and reports catalog_stats
+  // rows whose retirement/recycling counters show the tier actually ran.
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.Families = {"Set"};
+  Opts.Threads = 4;
+
+  Opts.SymbolicMode = SolveMode::SharedPair;
+  Report Shared = runFullCatalog(Fx.C, Opts);
+  Opts.SymbolicMode = SolveMode::SharedFamily;
+  Report FamilyRun = runFullCatalog(Fx.C, Opts);
+  Opts.SymbolicMode = SolveMode::SharedCatalog;
+  Report CatalogRun = runFullCatalog(Fx.C, Opts);
+
+  EXPECT_EQ(CatalogRun.failures(), 0u);
+  EXPECT_TRUE(Shared.sameVerdicts(CatalogRun));
+  EXPECT_TRUE(FamilyRun.sameVerdicts(CatalogRun));
+  EXPECT_TRUE(Shared.CatalogSessions.empty());
+  EXPECT_TRUE(FamilyRun.CatalogSessions.empty());
+
+  // One family at 4 threads: one family-sharded catalog session, which
+  // still reports family_stats and pair rows under shared-catalog mode.
+  ASSERT_EQ(CatalogRun.CatalogSessions.size(), 1u);
+  const CatalogStats &CS = CatalogRun.CatalogSessions[0];
+  EXPECT_EQ(CS.Mode, "shared-catalog");
+  EXPECT_EQ(CS.FamilyNames, "Set");
+  EXPECT_EQ(CS.Families, 1u);
+  EXPECT_EQ(CS.Pairs, CatalogRun.Pairs.size());
+  EXPECT_EQ(CS.SubtreeRetirements, 1u);
+  EXPECT_EQ(CS.PairEvictions, CatalogRun.Pairs.size());
+  EXPECT_GT(CS.RecycledVars, 0u);
+  EXPECT_GT(CS.PeakLiveVars, 0u);
+  EXPECT_LT(CS.PeakLiveVars, CS.VarRequests);
+  ASSERT_EQ(CatalogRun.FamilySessions.size(), 1u);
+  EXPECT_EQ(CatalogRun.FamilySessions[0].Mode, "shared-catalog");
+  EXPECT_EQ(CatalogRun.FamilySessions[0].Evictions,
+            CatalogRun.Pairs.size());
+  for (const PairStats &P : CatalogRun.Pairs)
+    EXPECT_EQ(P.Mode, "shared-catalog");
+}
+
+TEST(DriverEngines, SharedCatalogVerdictsAreThreadCountInvariant) {
+  // The acceptance bar of the catalog tier: on the full catalog,
+  // shared-catalog verdicts are identical at 1, 2, and 8 threads. At one
+  // thread the whole catalog runs through a single session; at more,
+  // deterministic family shards — so statistics agree between the
+  // sharded runs, and only verdicts are compared against the 1-thread
+  // single-session run.
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.SymbolicMode = SolveMode::SharedCatalog;
+  Opts.SymbolicSeqLenBound = 2;
+
+  Opts.Threads = 1;
+  Report Serial = runFullCatalog(Fx.C, Opts);
+  EXPECT_EQ(Serial.failures(), 0u);
+  ASSERT_EQ(Serial.CatalogSessions.size(), 1u);
+  EXPECT_EQ(Serial.CatalogSessions[0].Families, 4u);
+  EXPECT_EQ(Serial.CatalogSessions[0].SubtreeRetirements, 4u);
+  EXPECT_GT(Serial.CatalogSessions[0].RecycledVars, 0u);
+  ASSERT_EQ(Serial.FamilySessions.size(), 4u);
+  for (const FamilyStats &FS : Serial.FamilySessions)
+    EXPECT_EQ(FS.Evictions, FS.Pairs) << FS.Family;
+
+  Opts.Threads = 2;
+  Report Two = runFullCatalog(Fx.C, Opts);
+  Opts.Threads = 8;
+  Report Eight = runFullCatalog(Fx.C, Opts);
+  EXPECT_TRUE(Serial.sameVerdicts(Two));
+  EXPECT_TRUE(Serial.sameVerdicts(Eight));
+  EXPECT_EQ(Two.failures(), 0u);
+  EXPECT_EQ(Eight.failures(), 0u);
+
+  // Sharded runs are deterministic: 2 and 8 threads use the same
+  // one-session-per-family shards, so stats agree exactly.
+  ASSERT_EQ(Two.CatalogSessions.size(), 4u);
+  ASSERT_EQ(Eight.CatalogSessions.size(), 4u);
+  for (size_t I = 0; I != Two.CatalogSessions.size(); ++I) {
+    EXPECT_EQ(Two.CatalogSessions[I].FamilyNames,
+              Eight.CatalogSessions[I].FamilyNames);
+    EXPECT_EQ(Two.CatalogSessions[I].Checks,
+              Eight.CatalogSessions[I].Checks);
+    EXPECT_EQ(Two.CatalogSessions[I].Conflicts,
+              Eight.CatalogSessions[I].Conflicts);
+    EXPECT_EQ(Two.CatalogSessions[I].RecycledVars,
+              Eight.CatalogSessions[I].RecycledVars);
+    EXPECT_EQ(Two.CatalogSessions[I].PeakLiveVars,
+              Eight.CatalogSessions[I].PeakLiveVars);
+  }
+  for (size_t I = 0; I != Two.Results.size(); ++I) {
+    EXPECT_EQ(Two.Results[I].Vcs, Eight.Results[I].Vcs)
+        << Two.Results[I].key();
+    EXPECT_EQ(Two.Results[I].Conflicts, Eight.Results[I].Conflicts)
+        << Two.Results[I].key();
+    EXPECT_EQ(Two.Results[I].ProofCore, Eight.Results[I].ProofCore)
+        << Two.Results[I].key();
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // JSON report round-trip
 //===----------------------------------------------------------------------===//
@@ -543,6 +646,47 @@ TEST(DriverReport, FamilyStatsRoundTrip) {
     EXPECT_EQ(B.EvictedClauses, A.EvictedClauses);
     EXPECT_EQ(B.DbReductions, A.DbReductions);
     EXPECT_EQ(B.ReclaimedClauses, A.ReclaimedClauses);
+    EXPECT_EQ(B.Selectors, A.Selectors);
+    EXPECT_EQ(B.Millis, A.Millis);
+  }
+  EXPECT_EQ(Back->toJson().dump(2), R.toJson().dump(2));
+}
+
+TEST(DriverReport, CatalogStatsRoundTrip) {
+  DriverFixture Fx;
+  DriverOptions Opts;
+  Opts.Engine = EngineKind::Symbolic;
+  Opts.SymbolicMode = SolveMode::SharedCatalog;
+  Opts.Families = {"Accumulator", "Set"};
+  Opts.Threads = 1;
+
+  Report R = runFullCatalog(Fx.C, Opts);
+  ASSERT_EQ(R.CatalogSessions.size(), 1u);
+  EXPECT_EQ(R.CatalogSessions[0].FamilyNames, "Accumulator,Set");
+  std::optional<Report> Back = Report::fromJson(R.toJson());
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->CatalogSessions.size(), R.CatalogSessions.size());
+  for (size_t I = 0; I != R.CatalogSessions.size(); ++I) {
+    const CatalogStats &A = R.CatalogSessions[I];
+    const CatalogStats &B = Back->CatalogSessions[I];
+    EXPECT_EQ(B.Mode, A.Mode);
+    EXPECT_EQ(B.FamilyNames, A.FamilyNames);
+    EXPECT_EQ(B.Families, A.Families);
+    EXPECT_EQ(B.Pairs, A.Pairs);
+    EXPECT_EQ(B.Methods, A.Methods);
+    EXPECT_EQ(B.Vcs, A.Vcs);
+    EXPECT_EQ(B.Checks, A.Checks);
+    EXPECT_EQ(B.Conflicts, A.Conflicts);
+    EXPECT_EQ(B.PrefixAsserts, A.PrefixAsserts);
+    EXPECT_EQ(B.PrefixReuses, A.PrefixReuses);
+    EXPECT_EQ(B.SubtreeRetirements, A.SubtreeRetirements);
+    EXPECT_EQ(B.PairEvictions, A.PairEvictions);
+    EXPECT_EQ(B.EvictedClauses, A.EvictedClauses);
+    EXPECT_EQ(B.RecycledVars, A.RecycledVars);
+    EXPECT_EQ(B.PeakLiveVars, A.PeakLiveVars);
+    EXPECT_EQ(B.PeakLiveClauses, A.PeakLiveClauses);
+    EXPECT_EQ(B.VarRequests, A.VarRequests);
+    EXPECT_EQ(B.PeakRetainedClauses, A.PeakRetainedClauses);
     EXPECT_EQ(B.Selectors, A.Selectors);
     EXPECT_EQ(B.Millis, A.Millis);
   }

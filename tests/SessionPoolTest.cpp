@@ -416,6 +416,200 @@ TEST_P(FamilyEvictionFuzzTest, RandomRetireOrdersMatchNoEvictionReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FamilyEvictionFuzzTest,
                          ::testing::Values(23, 47, 89, 131));
 
+TEST(CatalogSessionTest, FamilyScopesIsolateAndSubtreeRetire) {
+  // Two families with contradictory family-common prefixes coexist under
+  // their family selectors; retiring one family's subtree (family scope,
+  // pair scopes, method scopes, one solver pass) leaves the other
+  // family's proofs intact and recycles the retired scopes' variables.
+  PoolFixture &Fx = fixture();
+  ExprRef X = Fx.F.var("cat_x", Sort::Bool);
+  ExprRef W = Fx.F.var("cat_w", Sort::Bool);
+
+  CatalogPlan CP;
+  CP.Families.resize(2);
+  CP.Families[0].FamilyName = "demoA";
+  CP.Families[0].FamilyCommon = {X};
+  CP.Families[1].FamilyName = "demoB";
+  CP.Families[1].FamilyCommon = {Fx.F.lnot(X)};
+  CatalogSession Sess(Fx.F, CP, /*Budget=*/-1);
+
+  // Compound scoped/split formulas, so the pair scopes own Tseitin
+  // definitions (the variables subtree retirement recycles).
+  MethodPlan Pos;
+  Pos.Name = "m";
+  Pos.Scoped.push_back({Fx.F.disj({X, W}), "x-or-w"});
+  Pos.Splits.push_back(
+      VcSplit{{{Fx.F.conj({Fx.F.lnot(X), W}), "not-x-and-w"}}, ""});
+  MethodPlan Neg;
+  Neg.Name = "m";
+  Neg.Splits.push_back(VcSplit{{{Fx.F.conj({X, W}), "x-and-w"}}, ""});
+
+  SymbolicResult R1, R2;
+  EXPECT_TRUE(Sess.discharge(0, "p", Pos, R1));
+  EXPECT_TRUE(Sess.discharge(1, "p", Neg, R2));
+  // Family + pair + method selector per family.
+  EXPECT_EQ(Sess.numSelectors(), 6u);
+  EXPECT_EQ(Sess.stats().FamiliesOpened, 2u);
+  EXPECT_EQ(Sess.stats().PairsOpened, 2u);
+
+  // The core names the family scope, the pair scope, and the split.
+  auto Has = [&R1](const char *L) {
+    return std::find(R1.CoreLabels.begin(), R1.CoreLabels.end(), L) !=
+           R1.CoreLabels.end();
+  };
+  EXPECT_TRUE(Has("fam:demoA"));
+  EXPECT_TRUE(Has("not-x-and-w"));
+
+  uint64_t Retained = Sess.retainedClauses();
+  int64_t RecycledBefore = Sess.session().recycledVars();
+  EXPECT_GT(Sess.retireFamily(0), 0u);
+  EXPECT_LT(Sess.retainedClauses(), Retained);
+  EXPECT_EQ(Sess.stats().FamiliesRetired, 1u);
+  EXPECT_GT(Sess.session().recycledVars(), RecycledBefore);
+  EXPECT_TRUE(Sess.session().solver().reasonInvariantHolds());
+
+  // demoB still verifies after demoA's subtree retirement; demoA
+  // re-opens under a fresh epoch and verifies again.
+  SymbolicResult R3, R4;
+  EXPECT_TRUE(Sess.discharge(1, "p", Neg, R3));
+  EXPECT_TRUE(Sess.discharge(0, "p", Pos, R4));
+  EXPECT_EQ(Sess.stats().FamiliesOpened, 3u);
+}
+
+TEST(SymbolicEngineTest, VerifyCatalogMatchesSharedPairOnWholeCatalog) {
+  // The catalog tier is a pure performance refactor: every verdict equals
+  // the shared-pair tier's, family by family, pair by pair, method by
+  // method; every pair and every family subtree is retired; and the
+  // session recycles variables.
+  PoolFixture &Fx = fixture();
+  SymbolicEngine CatEng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                        SolveMode::SharedCatalog);
+  SymbolicEngine Pair(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                      SolveMode::SharedPair);
+
+  CatalogOutcome CO = CatEng.verifyCatalog(Fx.C, allFamilies());
+  ASSERT_EQ(CO.Families.size(), allFamilies().size());
+  EXPECT_EQ(CO.Stats.FamiliesRetired, allFamilies().size());
+  EXPECT_GT(CO.Stats.RecycledVars, 0u);
+  EXPECT_LT(CO.Stats.PeakLiveVars, CO.Stats.VarRequests);
+
+  for (size_t FI = 0; FI != allFamilies().size(); ++FI) {
+    const Family *Fam = allFamilies()[FI];
+    const FamilyOutcome &FO = CO.Families[FI];
+    const std::vector<ConditionEntry> &Entries = Fx.C.entries(*Fam);
+    ASSERT_EQ(FO.Pairs.size(), Entries.size()) << Fam->Name;
+    EXPECT_EQ(FO.Stats.PairsRetired, Entries.size());
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      EXPECT_EQ(FO.PairKeys[I], Entries[I].pairName());
+      PairOutcome Want = Pair.verifyPair(Entries[I]);
+      ASSERT_EQ(FO.Pairs[I].Methods.size(), Want.Methods.size());
+      for (size_t M = 0; M != Want.Methods.size(); ++M) {
+        EXPECT_EQ(FO.Pairs[I].Methods[M].Verified, Want.Methods[M].Verified)
+            << Fam->Name << " " << Entries[I].pairName() << " method " << M;
+        EXPECT_EQ(FO.Pairs[I].Methods[M].NumVcs, Want.Methods[M].NumVcs);
+      }
+    }
+  }
+}
+
+TEST(SymbolicEngineTest, CatalogCommonPrefixHoistsSharedWellFormedness) {
+  // The catalog plan hoists the well-formedness formulas every entry
+  // either asserts itself or provably cannot mention: the shared v1/v2
+  // non-null constraints qualify (Set and ArrayList assert them; the
+  // families that skip them never mention those variables).
+  PoolFixture &Fx = fixture();
+  SymbolicEngine Eng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                     SolveMode::SharedCatalog);
+  CatalogPlan CP = Eng.planCatalog(Fx.C, allFamilies());
+  ASSERT_EQ(CP.Families.size(), 4u);
+  EXPECT_FALSE(CP.CatalogCommon.empty());
+  ExprRef V1NonNull =
+      Fx.F.ne(Fx.F.var("v1", Sort::Obj), Fx.F.nullConst());
+  EXPECT_TRUE(std::find(CP.CatalogCommon.begin(), CP.CatalogCommon.end(),
+                        V1NonNull) != CP.CatalogCommon.end());
+  // Every hoisted formula really is in some family's common prefix and in
+  // no family's *negated* vocabulary: cross-check against shared-pair
+  // verdicts is covered by VerifyCatalogMatchesSharedPairOnWholeCatalog.
+}
+
+TEST(SymbolicEngineTest, CatalogRecyclingBoundsLiveVarsBelowDemand) {
+  // The acceptance bound of variable recycling: the catalog session's
+  // peak live variable count stays measurably below the cumulative
+  // allocation a no-recycling run needs for the same discharge sequence.
+  PoolFixture &Fx = fixture();
+  SymbolicEngine Eng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                     SolveMode::SharedCatalog);
+  CatalogPlan CP = Eng.planCatalog(Fx.C, allFamilies());
+
+  auto RunAll = [&](CatalogSession &Sess) {
+    unsigned Failures = 0;
+    for (size_t FI = 0; FI != allFamilies().size(); ++FI) {
+      for (const ConditionEntry &E : Fx.C.entries(*allFamilies()[FI])) {
+        PairPlan PP = Eng.planPair(E);
+        for (const MethodPlan &MP : PP.Methods) {
+          SymbolicResult R;
+          Failures += !Sess.discharge(FI, PP.Key, MP, R);
+        }
+        Sess.retirePair(FI, PP.Key);
+      }
+      Sess.retireFamily(FI);
+    }
+    return Failures;
+  };
+
+  CatalogSession Rec(Fx.F, CP, /*Budget=*/200000);
+  unsigned RecFailures = RunAll(Rec);
+
+  CatalogSession NoRec(Fx.F, CP, /*Budget=*/200000);
+  NoRec.session().solver().setVarRecycling(false);
+  unsigned NoRecFailures = RunAll(NoRec);
+
+  // Recycling is invisible in the verdicts...
+  EXPECT_EQ(RecFailures, NoRecFailures);
+  // ...and both runs make the same variable demand, but the recycling
+  // session's peak live count is measurably below the no-recycling run's
+  // cumulative allocation (its live == allocated count).
+  CatalogSessionStats RecStats = Rec.stats(), NoRecStats = NoRec.stats();
+  EXPECT_EQ(RecStats.VarRequests, NoRecStats.VarRequests);
+  EXPECT_EQ(NoRecStats.RecycledVars, 0u);
+  uint64_t NoRecAllocated =
+      static_cast<uint64_t>(NoRec.session().solver().numVars());
+  EXPECT_GT(RecStats.RecycledVars, 0u);
+  EXPECT_LT(RecStats.PeakLiveVars, NoRecAllocated);
+  // "Measurably": at least 15% of the cumulative allocation is recycled
+  // away at bound 2; larger bounds only widen the gap.
+  EXPECT_LT(RecStats.PeakLiveVars, NoRecAllocated * 85 / 100);
+}
+
+TEST(SymbolicEngineTest, LazyPlanningBoundsMaterializedSplits) {
+  // verifyFamily/verifyCatalog materialize each pair's splits just
+  // before discharge and drop them after retirePair: the peak number of
+  // live splits is one pair's worth, far below the whole family's.
+  PoolFixture &Fx = fixture();
+  SymbolicEngine Eng(Fx.F, /*SeqLenBound=*/2, /*ConflictBudget=*/200000,
+                     SolveMode::SharedFamily);
+  FamilyOutcome FO = Eng.verifyFamily(Fx.C, arrayListFamily());
+  EXPECT_GT(FO.PeakMaterializedSplits, 0u);
+  EXPECT_GT(FO.TotalSplits, FO.PeakMaterializedSplits * 10);
+
+  // The peak equals the largest single pair's split count — exactly what
+  // the eager planner would have materialized for that pair alone.
+  std::vector<const ConditionEntry *> Entries;
+  for (const ConditionEntry &E : Fx.C.entries(arrayListFamily()))
+    Entries.push_back(&E);
+  FamilyPlan Eager = Eng.planFamily(arrayListFamily().Name, Entries);
+  uint64_t MaxPair = 0, Total = 0;
+  for (const PairPlan &PP : Eager.Pairs) {
+    uint64_t N = 0;
+    for (const MethodPlan &MP : PP.Methods)
+      N += MP.Splits.size();
+    MaxPair = std::max(MaxPair, N);
+    Total += N;
+  }
+  EXPECT_EQ(FO.PeakMaterializedSplits, MaxPair);
+  EXPECT_EQ(FO.TotalSplits, Total);
+}
+
 TEST(SharedSessionTest, PerMethodAndOneShotModesRecreateSessions) {
   PoolFixture &Fx = fixture();
   const ConditionEntry &E = Fx.C.entries(setFamily()).front();

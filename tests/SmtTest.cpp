@@ -496,6 +496,256 @@ TEST(SatSolverScopeRetire, DropsLearnedClausesOfScopeVars) {
   EXPECT_EQ(S.solve(), SatResult::Sat);
 }
 
+TEST(SatSolverScopeRetire, SubtreeRetiresInOnePass) {
+  // An interior selector node plus its nested selectors retire in ONE
+  // retireScopes() call: every selector is falsified, every guarded and
+  // scope-learned clause is evicted, and unrelated scopes are untouched.
+  SatSolver S;
+  Lit Outer(S.addVar(), true), Inner1(S.addVar(), true),
+      Inner2(S.addVar(), true), Other(S.addVar(), true);
+  gatedPigeonhole(S, 4, Inner1);
+  gatedPigeonhole(S, 4, Inner2);
+  gatedPigeonhole(S, 4, Other);
+  // Nest the inner selectors under the outer one: outer -> inner_i would
+  // activate them; here it is enough that they belong to one subtree.
+  ASSERT_EQ(S.solve({Inner1}), SatResult::Unsat);
+  ASSERT_EQ(S.solve({Inner2}), SatResult::Unsat);
+  ASSERT_EQ(S.solve({Other}), SatResult::Unsat);
+
+  int64_t RetireCallsBefore = S.numScopeRetirements();
+  size_t Evicted = S.retireScopes({Outer, Inner1, Inner2}, {});
+  EXPECT_GT(Evicted, 0u);
+  EXPECT_EQ(S.numScopeRetirements(), RetireCallsBefore + 1);
+  EXPECT_TRUE(S.reasonInvariantHolds());
+
+  // All three subtree selectors are permanently false; the unrelated
+  // scope still refutes.
+  for (Lit Sel : {Outer, Inner1, Inner2}) {
+    EXPECT_EQ(S.solve({Sel}), SatResult::Unsat);
+    EXPECT_EQ(S.unsatCore().size(), 1u);
+  }
+  EXPECT_EQ(S.solve({Other}), SatResult::Unsat);
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(SatSolverVarRecycling, RecycledIndicesResetActivityPhaseAndWatches) {
+  SatSolver S;
+  Lit Sel(S.addVar(), true);
+  std::vector<std::vector<int>> Var = gatedPigeonhole(S, 4, Sel);
+  // Solving bumps activity and saves phases on the pigeonhole vars.
+  ASSERT_EQ(S.solve({Sel}), SatResult::Unsat);
+  ASSERT_EQ(S.solve({Sel.negated()}), SatResult::Sat);
+
+  std::vector<int> ScopeVars;
+  for (const auto &Row : Var)
+    for (int V : Row)
+      ScopeVars.push_back(V);
+  int AllocatedBefore = S.numVars();
+  S.retireScopes({Sel}, ScopeVars);
+  EXPECT_EQ(S.numRecycledVars(), static_cast<int64_t>(ScopeVars.size()));
+  EXPECT_EQ(S.numLiveVars(), AllocatedBefore - S.numRecycledVars());
+
+  // addVar() drains the free list: indices are reused (the array does not
+  // grow) and every reused index presents clean search state.
+  for (size_t I = 0; I != ScopeVars.size(); ++I) {
+    int V = S.addVar();
+    EXPECT_LE(V, AllocatedBefore) << I;
+    EXPECT_TRUE(S.varStateIsClean(V)) << V;
+  }
+  EXPECT_EQ(S.numVars(), AllocatedBefore);
+  // The next request grows the array again.
+  EXPECT_EQ(S.addVar(), AllocatedBefore + 1);
+
+  // A reused slot behaves like a fresh variable.
+  int X = S.numVars();
+  S.addClause({Lit(X, true)});
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(X));
+  EXPECT_TRUE(S.reasonInvariantHolds());
+}
+
+TEST(SatSolverVarRecycling, DisabledRecyclingKeepsAllocationCumulative) {
+  SatSolver S;
+  S.setVarRecycling(false);
+  Lit Sel(S.addVar(), true);
+  std::vector<std::vector<int>> Var = gatedPigeonhole(S, 3, Sel);
+  ASSERT_EQ(S.solve({Sel}), SatResult::Unsat);
+  std::vector<int> ScopeVars;
+  for (const auto &Row : Var)
+    for (int V : Row)
+      ScopeVars.push_back(V);
+  int Before = S.numVars();
+  S.retireScopes({Sel}, ScopeVars);
+  EXPECT_EQ(S.numRecycledVars(), 0);
+  EXPECT_EQ(S.addVar(), Before + 1); // No index reuse.
+}
+
+/// Recycle fuzz: random gated scope groups are solved, retired (their
+/// vars recycled), and re-created on the recycled indices, against a
+/// reference solver with recycling disabled. Verdicts must agree on every
+/// query and the reason invariant must hold after every recycle.
+class SatVarRecycleFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatVarRecycleFuzzTest, RetireReopenCyclesMatchNoRecyclingReference) {
+  std::mt19937 Rng(GetParam());
+  for (int Iter = 0; Iter < 12; ++Iter) {
+    SatSolver Rec, Ref;
+    Ref.setVarRecycling(false);
+
+    // A persistent random base over vars that never retire.
+    int NBase = 4 + static_cast<int>(Rng() % 5);
+    for (int V = 0; V < NBase; ++V) {
+      Rec.addVar();
+      Ref.addVar();
+    }
+    int NClauses = 2 + static_cast<int>(Rng() % 8);
+    for (int Ci = 0; Ci < NClauses; ++Ci) {
+      std::vector<Lit> C;
+      int Len = 1 + static_cast<int>(Rng() % 3);
+      for (int I = 0; I < Len; ++I) {
+        int V = 1 + static_cast<int>(Rng() % NBase);
+        C.push_back(Lit(V, (Rng() & 1) != 0));
+      }
+      Rec.addClause(C);
+      Ref.addClause(C);
+    }
+    // A trivially unsatisfiable base makes every later answer Unsat and
+    // every retirement a no-op; skip to a meaningful instance.
+    if (Rec.solve() == SatResult::Unsat)
+      continue;
+
+    for (int Cycle = 0; Cycle < 6; ++Cycle) {
+      // Open a scope: a selector plus a gated random group. Because both
+      // solvers allocate the same *number* of vars and the recycler hands
+      // indices deterministically, clauses are built per-solver from its
+      // own returned indices.
+      int Holes = 2 + static_cast<int>(Rng() % 3);
+      int Pigeons = Holes + ((Rng() & 1) != 0 ? 1 : 0); // Unsat or Sat.
+      auto BuildScope = [&](SatSolver &S, Lit &SelOut,
+                            std::vector<int> &VarsOut) {
+        SelOut = Lit(S.addVar(), true);
+        VarsOut.clear();
+        std::vector<std::vector<int>> Grid(
+            static_cast<size_t>(Pigeons),
+            std::vector<int>(static_cast<size_t>(Holes)));
+        for (auto &Row : Grid)
+          for (int &V : Row) {
+            V = S.addVar();
+            VarsOut.push_back(V);
+          }
+        for (int P = 0; P < Pigeons; ++P) {
+          std::vector<Lit> C{SelOut.negated()};
+          for (int H = 0; H < Holes; ++H)
+            C.push_back(Lit(Grid[static_cast<size_t>(P)]
+                                [static_cast<size_t>(H)],
+                            true));
+          S.addClause(C);
+        }
+        for (int H = 0; H < Holes; ++H)
+          for (int P1 = 0; P1 < Pigeons; ++P1)
+            for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+              S.addClause({SelOut.negated(),
+                           Lit(Grid[static_cast<size_t>(P1)]
+                                   [static_cast<size_t>(H)],
+                               false),
+                           Lit(Grid[static_cast<size_t>(P2)]
+                                   [static_cast<size_t>(H)],
+                               false)});
+      };
+      Lit RecSel, RefSel;
+      std::vector<int> RecVars, RefVars;
+      BuildScope(Rec, RecSel, RecVars);
+      BuildScope(Ref, RefSel, RefVars);
+
+      // Random queries mixing the scope selector with base literals.
+      for (int Q = 0; Q < 4; ++Q) {
+        std::vector<Lit> RecAssumps{RecSel}, RefAssumps{RefSel};
+        int NA = static_cast<int>(Rng() % 3);
+        for (int I = 0; I < NA; ++I) {
+          int V = 1 + static_cast<int>(Rng() % NBase);
+          bool Pos = (Rng() & 1) != 0;
+          RecAssumps.push_back(Lit(V, Pos));
+          RefAssumps.push_back(Lit(V, Pos));
+        }
+        ASSERT_EQ(Rec.solve(RecAssumps), Ref.solve(RefAssumps))
+            << "seed=" << GetParam() << " iter=" << Iter
+            << " cycle=" << Cycle << " q=" << Q;
+      }
+
+      // Retire the scope; the recycler reclaims the group's indices.
+      Rec.retireScopes({RecSel}, RecVars);
+      Ref.retireScopes({RefSel}, RefVars);
+      ASSERT_TRUE(Rec.reasonInvariantHolds());
+      ASSERT_TRUE(Ref.reasonInvariantHolds());
+      ASSERT_EQ(Rec.solve(), Ref.solve());
+    }
+    // The recycler bounded the variable array; the reference grew it.
+    EXPECT_LT(Rec.numVars(), Ref.numVars());
+    EXPECT_GT(Rec.numRecycledVars(), 0);
+    EXPECT_EQ(Rec.numVarRequests(), Ref.numVarRequests());
+    EXPECT_LE(Rec.peakLiveVars(), Ref.peakLiveVars());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatVarRecycleFuzzTest,
+                         ::testing::Values(13, 57, 911, 2025));
+
+TEST(SmtSessionTest, ScopeTreeSubtreeRetireRecyclesDefinitionVars) {
+  // A three-level scope tree (family -> pair -> method): retiring the
+  // interior (pair) node retires the method scope with it, evicts the
+  // pair layer's Tseitin definitions, and recycles their variables so a
+  // re-opened scope reuses the indices instead of growing the solver.
+  ExprFactory F;
+  SmtSession S(F);
+  ExprRef FamSel = F.var("tree_fam", Sort::Bool);
+  ExprRef PairSel = F.var("tree_pair", Sort::Bool);
+  ExprRef MSel = F.var("tree_m", Sort::Bool);
+  ExprRef X = F.var("tree_x", Sort::Bool), Y = F.var("tree_y", Sort::Bool),
+          Z = F.var("tree_z", Sort::Bool);
+
+  SmtSession::ScopeId Fam =
+      S.openScope(FamSel, SmtSession::RootScope, /*OwnLayer=*/true);
+  SmtSession::ScopeId Pair = S.openScope(PairSel, Fam, /*OwnLayer=*/true);
+  SmtSession::ScopeId M = S.openScope(MSel, Pair, /*OwnLayer=*/false);
+  S.assertInScope(Fam, F.disj({X, Y}));
+  S.assertInScope(Pair, F.implies(X, Z));
+  S.assertInScope(M, F.conj({X, F.lnot(Y)}));
+  // Under the whole path, x ∧ ¬y ∧ (x->z) refutes ¬z.
+  ASSERT_EQ(S.check({FamSel, PairSel, MSel, F.lnot(Z)}, -1,
+                    {FamSel, PairSel, MSel}),
+            SatResult::Unsat);
+
+  int LiveBefore = S.liveVars();
+  size_t Evicted = S.retireScope(Pair);
+  EXPECT_GT(Evicted, 0u);
+  EXPECT_GT(S.recycledVars(), 0);
+  EXPECT_LT(S.liveVars(), LiveBefore);
+  EXPECT_TRUE(S.solver().reasonInvariantHolds());
+  EXPECT_EQ(S.scopeRetirements(), 1);
+
+  // The family scope survives; the retired subtree is gone, so the same
+  // query without its prefix is satisfiable again.
+  EXPECT_EQ(S.check({FamSel, F.lnot(Z)}, -1, {FamSel}), SatResult::Sat);
+
+  // Re-opening a fresh pair scope re-asserts the content, reusing the
+  // recycled indices: the variable array does not grow past its peak.
+  int AllocAfterRetire = S.solver().numVars();
+  ExprRef PairSel2 = F.var("tree_pair2", Sort::Bool);
+  SmtSession::ScopeId Pair2 = S.openScope(PairSel2, Fam, /*OwnLayer=*/true);
+  S.assertInScope(Pair2, F.implies(X, Z));
+  S.assertInScope(Pair2, F.conj({X, F.lnot(Y)}));
+  EXPECT_EQ(S.check({FamSel, PairSel2, F.lnot(Z)}, -1, {FamSel, PairSel2}),
+            SatResult::Unsat);
+  // Allowance: the fresh selector atom may claim one new slot; the
+  // definition vars all come from the free list.
+  EXPECT_LE(S.solver().numVars(), AllocAfterRetire + 1);
+
+  // Retiring the family retires the re-opened pair subtree with it.
+  S.retireScope(Fam);
+  EXPECT_TRUE(S.solver().reasonInvariantHolds());
+  EXPECT_EQ(S.check({F.lnot(Z)}), SatResult::Sat);
+}
+
 TEST(SmtSessionTest, RetireScopeEvictsAndReVerifies) {
   ExprFactory F;
   SmtSession S(F);

@@ -248,14 +248,12 @@ void fillPairStats(const PairOutcome &O, const ConditionEntry &E,
     Stats.Millis += Ms;
 }
 
-void runFamilyGroup(const Catalog &C, const DriverOptions &Opts,
-                    const FamilyGroup &G, std::vector<JobRecord> &Jobs,
-                    std::vector<PairStats> &Pairs, FamilyStats &Stats) {
-  Stopwatch Timer;
-  SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
-                     Opts.SymbolicConflictBudget, SolveMode::SharedFamily);
-  Sym.setClauseGcBudget(Opts.GcBudget);
-  FamilyOutcome FO = Sym.verifyFamily(C, *G.Fam);
+/// Copies one family outcome into its job records, pair-stats rows, and
+/// family-stats row — shared by the family-group and catalog-group paths
+/// (the catalog path hands over each family tier's slice).
+void fillFamilyRecords(const FamilyOutcome &FO, const FamilyGroup &G,
+                       const char *ModeName, std::vector<JobRecord> &Jobs,
+                       std::vector<PairStats> &Pairs, FamilyStats &Stats) {
   assert(FO.Pairs.size() == G.Pairs.size() &&
          "family group out of sync with the catalog");
   for (size_t PI = 0; PI != G.Pairs.size(); ++PI) {
@@ -268,11 +266,10 @@ void runFamilyGroup(const Catalog &C, const DriverOptions &Opts,
       fillSymbolicRecord(PO.Methods[I], Out);
       Out.Millis = PO.MethodMillis[I];
     }
-    fillPairStats(PO, *PG.Entry, solveModeName(SolveMode::SharedFamily),
-                  Pairs[G.PairRows[PI]]);
+    fillPairStats(PO, *PG.Entry, ModeName, Pairs[G.PairRows[PI]]);
   }
   Stats.Family = G.Fam->Name;
-  Stats.Mode = solveModeName(SolveMode::SharedFamily);
+  Stats.Mode = ModeName;
   Stats.Pairs = static_cast<unsigned>(FO.Pairs.size());
   for (const PairOutcome &PO : FO.Pairs) {
     Stats.Methods += static_cast<unsigned>(PO.Methods.size());
@@ -289,6 +286,71 @@ void runFamilyGroup(const Catalog &C, const DriverOptions &Opts,
   Stats.DbReductions = FO.DbReductions;
   Stats.ReclaimedClauses = FO.ReclaimedClauses;
   Stats.Selectors = FO.Selectors;
+}
+
+void runFamilyGroup(const Catalog &C, const DriverOptions &Opts,
+                    const FamilyGroup &G, std::vector<JobRecord> &Jobs,
+                    std::vector<PairStats> &Pairs, FamilyStats &Stats) {
+  Stopwatch Timer;
+  SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
+                     Opts.SymbolicConflictBudget, SolveMode::SharedFamily);
+  Sym.setClauseGcBudget(Opts.GcBudget);
+  FamilyOutcome FO = Sym.verifyFamily(C, *G.Fam);
+  fillFamilyRecords(FO, G, solveModeName(SolveMode::SharedFamily), Jobs,
+                    Pairs, Stats);
+  Stats.Millis = Timer.millis();
+}
+
+/// The unit of work in SharedCatalog mode: one CatalogSession serving a
+/// deterministic list of family groups — all of them at one thread, one
+/// per session (family shards) otherwise.
+struct CatalogGroup {
+  std::vector<size_t> FamGroupIdx; ///< Indices into the FamilyGroup list.
+};
+
+void runCatalogGroup(const Catalog &C, const DriverOptions &Opts,
+                     const std::vector<FamilyGroup> &FamGroups,
+                     const CatalogGroup &CG, std::vector<JobRecord> &Jobs,
+                     std::vector<PairStats> &Pairs,
+                     std::vector<FamilyStats> &FamSessions,
+                     CatalogStats &Stats) {
+  Stopwatch Timer;
+  SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
+                     Opts.SymbolicConflictBudget, SolveMode::SharedCatalog);
+  Sym.setClauseGcBudget(Opts.GcBudget);
+  std::vector<const Family *> Fams;
+  for (size_t GI : CG.FamGroupIdx)
+    Fams.push_back(FamGroups[GI].Fam);
+  CatalogOutcome CO = Sym.verifyCatalog(C, Fams);
+  assert(CO.Families.size() == CG.FamGroupIdx.size() &&
+         "catalog group out of sync with the plan");
+
+  const char *ModeName = solveModeName(SolveMode::SharedCatalog);
+  Stats.Mode = ModeName;
+  for (size_t I = 0; I != CG.FamGroupIdx.size(); ++I) {
+    const FamilyGroup &G = FamGroups[CG.FamGroupIdx[I]];
+    FamilyStats &FS = FamSessions[CG.FamGroupIdx[I]];
+    fillFamilyRecords(CO.Families[I], G, ModeName, Jobs, Pairs, FS);
+    FS.Millis = 0; // Shared wall clock: reported on the catalog row.
+    Stats.FamilyNames += (Stats.FamilyNames.empty() ? "" : ",") + G.Fam->Name;
+    Stats.Pairs += FS.Pairs;
+    Stats.Methods += FS.Methods;
+    Stats.Vcs += FS.Vcs;
+  }
+  Stats.Families = static_cast<unsigned>(CG.FamGroupIdx.size());
+  Stats.Checks = CO.Checks;
+  Stats.Conflicts = CO.Conflicts;
+  Stats.PrefixAsserts = CO.Stats.PrefixAsserts;
+  Stats.PrefixReuses = CO.Stats.PrefixReuses;
+  Stats.SubtreeRetirements = CO.Stats.FamiliesRetired;
+  Stats.PairEvictions = CO.Stats.PairsRetired;
+  Stats.EvictedClauses = CO.Stats.EvictedClauses;
+  Stats.RecycledVars = CO.Stats.RecycledVars;
+  Stats.PeakLiveVars = CO.Stats.PeakLiveVars;
+  Stats.PeakLiveClauses = CO.Stats.PeakLiveClauses;
+  Stats.VarRequests = CO.Stats.VarRequests;
+  Stats.PeakRetainedClauses = CO.Stats.PeakRetainedClauses;
+  Stats.Selectors = CO.Selectors;
   Stats.Millis = Timer.millis();
 }
 
@@ -353,12 +415,14 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   }
   std::vector<PairStats> Pairs(Groups.size());
 
-  // In SharedFamily mode the unit of work grows to the whole family: one
-  // worker runs every pair of a family through one FamilySession (group
-  // order follows the first pair's position, i.e. enumeration order).
+  // In SharedFamily and SharedCatalog modes the unit of work grows to the
+  // whole family: one worker runs every pair of a family through one
+  // session (group order follows the first pair's position, i.e.
+  // enumeration order).
   bool FamilyMode = Opts.SymbolicMode == SolveMode::SharedFamily;
+  bool CatalogMode = Opts.SymbolicMode == SolveMode::SharedCatalog;
   std::vector<FamilyGroup> FamGroups;
-  if (FamilyMode) {
+  if (FamilyMode || CatalogMode) {
     std::map<const Family *, size_t> FamGroupOf;
     for (size_t G = 0; G != Groups.size(); ++G) {
       const Family *Fam = Groups[G].Entry->Fam;
@@ -373,18 +437,43 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   }
   std::vector<FamilyStats> FamSessions(FamGroups.size());
 
+  // SharedCatalog scheduling: at one thread the whole catalog runs
+  // through a single CatalogSession; with more threads each family runs
+  // as its own catalog session (family shards), so the shard list — and
+  // with it every statistic — is a function of the options alone.
+  unsigned Threads = Opts.Threads == 0 ? 1 : Opts.Threads;
+  std::vector<CatalogGroup> CatGroups;
+  if (CatalogMode && !FamGroups.empty()) {
+    if (Threads == 1) {
+      CatGroups.push_back({});
+      for (size_t G = 0; G != FamGroups.size(); ++G)
+        CatGroups.back().FamGroupIdx.push_back(G);
+    } else {
+      for (size_t G = 0; G != FamGroups.size(); ++G)
+        CatGroups.push_back({{G}});
+    }
+  }
+  std::vector<CatalogStats> CatSessions(CatGroups.size());
+
   ExhaustiveEngine Engine(Opts.Bounds);
   Stopwatch Wall;
   {
-    ThreadPool Pool(Opts.Threads == 0 ? 1 : Opts.Threads);
+    ThreadPool Pool(Threads);
     for (size_t I = 0; I != Jobs.size(); ++I) {
       if (Prepared[I].Symbolic && !Prepared[I].Inverse)
-        continue; // Runs inside its pair or family group.
+        continue; // Runs inside its pair, family, or catalog group.
       Pool.submit([&Engine, &C, &Opts, &Prepared, &Jobs, I] {
         runJob(Engine, C, Opts, Prepared[I], Jobs[I]);
       });
     }
-    if (FamilyMode) {
+    if (CatalogMode) {
+      for (size_t G = 0; G != CatGroups.size(); ++G)
+        Pool.submit([&C, &Opts, &FamGroups, &CatGroups, &Jobs, &Pairs,
+                     &FamSessions, &CatSessions, G] {
+          runCatalogGroup(C, Opts, FamGroups, CatGroups[G], Jobs, Pairs,
+                          FamSessions, CatSessions[G]);
+        });
+    } else if (FamilyMode) {
       for (size_t G = 0; G != FamGroups.size(); ++G)
         Pool.submit([&C, &Opts, &FamGroups, &Jobs, &Pairs, &FamSessions, G] {
           runFamilyGroup(C, Opts, FamGroups[G], Jobs, Pairs, FamSessions[G]);
@@ -399,12 +488,13 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   }
 
   Report R;
-  R.Threads = Opts.Threads == 0 ? 1 : Opts.Threads;
+  R.Threads = Threads;
   R.WallMillis = Wall.millis();
   R.Bounds = Opts.Bounds;
   R.Results = std::move(Jobs);
   R.Pairs = std::move(Pairs);
   R.FamilySessions = std::move(FamSessions);
+  R.CatalogSessions = std::move(CatSessions);
 
   for (const Family *Fam : Fams) {
     FamilySummary S;
@@ -554,6 +644,47 @@ json::Value Report::toJson() const {
     Root.set("family_stats", std::move(FamSessArr));
   }
 
+  if (!CatalogSessions.empty()) {
+    json::Value CatArr = json::Value::array();
+    for (const CatalogStats &S : CatalogSessions) {
+      json::Value V = json::Value::object();
+      V.set("mode", json::Value::string(S.Mode));
+      V.set("family_names", json::Value::string(S.FamilyNames));
+      V.set("families", json::Value::integer(S.Families));
+      V.set("pairs", json::Value::integer(S.Pairs));
+      V.set("methods", json::Value::integer(S.Methods));
+      V.set("vcs", json::Value::integer(static_cast<int64_t>(S.Vcs)));
+      V.set("checks", json::Value::integer(static_cast<int64_t>(S.Checks)));
+      V.set("sat_conflicts", json::Value::integer(S.Conflicts));
+      V.set("prefix_asserts",
+            json::Value::integer(static_cast<int64_t>(S.PrefixAsserts)));
+      V.set("prefix_reuses",
+            json::Value::integer(static_cast<int64_t>(S.PrefixReuses)));
+      V.set("subtree_retirements",
+            json::Value::integer(
+                static_cast<int64_t>(S.SubtreeRetirements)));
+      V.set("pair_evictions",
+            json::Value::integer(static_cast<int64_t>(S.PairEvictions)));
+      V.set("evicted_clauses",
+            json::Value::integer(static_cast<int64_t>(S.EvictedClauses)));
+      V.set("recycled_vars",
+            json::Value::integer(static_cast<int64_t>(S.RecycledVars)));
+      V.set("peak_live_vars",
+            json::Value::integer(static_cast<int64_t>(S.PeakLiveVars)));
+      V.set("peak_live_clauses",
+            json::Value::integer(static_cast<int64_t>(S.PeakLiveClauses)));
+      V.set("var_requests",
+            json::Value::integer(static_cast<int64_t>(S.VarRequests)));
+      V.set("peak_retained_clauses",
+            json::Value::integer(
+                static_cast<int64_t>(S.PeakRetainedClauses)));
+      V.set("selectors", json::Value::integer(S.Selectors));
+      V.set("ms", json::Value::number(S.Millis));
+      CatArr.push(std::move(V));
+    }
+    Root.set("catalog_stats", std::move(CatArr));
+  }
+
   json::Value ResArr = json::Value::array();
   for (const JobRecord &J : Results) {
     json::Value R = json::Value::object();
@@ -696,6 +827,40 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
     }
   }
 
+  if (const json::Value *CatArr = V.find("catalog_stats")) {
+    if (!CatArr->isArray())
+      return std::nullopt;
+    for (size_t I = 0; I != CatArr->size(); ++I) {
+      const json::Value &P = CatArr->at(I);
+      CatalogStats S;
+      S.Mode = P["mode"].asString();
+      S.FamilyNames = P["family_names"].asString();
+      S.Families = static_cast<unsigned>(P["families"].asInt());
+      S.Pairs = static_cast<unsigned>(P["pairs"].asInt());
+      S.Methods = static_cast<unsigned>(P["methods"].asInt());
+      S.Vcs = static_cast<uint64_t>(P["vcs"].asInt());
+      S.Checks = static_cast<uint64_t>(P["checks"].asInt());
+      S.Conflicts = P["sat_conflicts"].asInt();
+      S.PrefixAsserts = static_cast<uint64_t>(P["prefix_asserts"].asInt());
+      S.PrefixReuses = static_cast<uint64_t>(P["prefix_reuses"].asInt());
+      S.SubtreeRetirements =
+          static_cast<uint64_t>(P["subtree_retirements"].asInt());
+      S.PairEvictions = static_cast<uint64_t>(P["pair_evictions"].asInt());
+      S.EvictedClauses =
+          static_cast<uint64_t>(P["evicted_clauses"].asInt());
+      S.RecycledVars = static_cast<uint64_t>(P["recycled_vars"].asInt());
+      S.PeakLiveVars = static_cast<uint64_t>(P["peak_live_vars"].asInt());
+      S.PeakLiveClauses =
+          static_cast<uint64_t>(P["peak_live_clauses"].asInt());
+      S.VarRequests = static_cast<uint64_t>(P["var_requests"].asInt());
+      S.PeakRetainedClauses =
+          static_cast<uint64_t>(P["peak_retained_clauses"].asInt());
+      S.Selectors = static_cast<unsigned>(P["selectors"].asInt());
+      S.Millis = P["ms"].asDouble();
+      R.CatalogSessions.push_back(std::move(S));
+    }
+  }
+
   const json::Value &ResArr = V["results"];
   if (!ResArr.isArray())
     return std::nullopt;
@@ -818,6 +983,28 @@ std::string driver::renderSummary(const Report &R) {
                     static_cast<unsigned long long>(Evicted),
                     static_cast<unsigned long long>(Peak),
                     static_cast<unsigned long long>(Reuses));
+      Out += Buf;
+    }
+    if (!R.CatalogSessions.empty()) {
+      uint64_t Subtrees = 0, Recycled = 0, PeakVars = 0, Demand = 0,
+               PeakCls = 0;
+      for (const CatalogStats &S : R.CatalogSessions) {
+        Subtrees += S.SubtreeRetirements;
+        Recycled += S.RecycledVars;
+        PeakVars = std::max(PeakVars, S.PeakLiveVars);
+        PeakCls = std::max(PeakCls, S.PeakLiveClauses);
+        Demand += S.VarRequests;
+      }
+      std::snprintf(Buf, sizeof(Buf),
+                    "catalog sessions: %zu sessions, %llu family-subtree "
+                    "retirements, %llu vars recycled (peak %llu live of "
+                    "%llu requested), peak %llu live clauses\n",
+                    R.CatalogSessions.size(),
+                    static_cast<unsigned long long>(Subtrees),
+                    static_cast<unsigned long long>(Recycled),
+                    static_cast<unsigned long long>(PeakVars),
+                    static_cast<unsigned long long>(Demand),
+                    static_cast<unsigned long long>(PeakCls));
       Out += Buf;
     }
   }

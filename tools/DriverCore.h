@@ -64,8 +64,11 @@ struct DriverOptions {
   /// Per-VC CDCL conflict budget for the symbolic engine.
   int64_t SymbolicConflictBudget = 200000;
   /// Session strategy for the symbolic engine: shared-pair (default),
-  /// shared-family (one warm solver per family, with scoped eviction), or
-  /// the per-method / oneshot comparison baselines.
+  /// shared-family (one warm solver per family, with scoped eviction),
+  /// shared-catalog (one warm solver for the whole catalog at one thread,
+  /// family-sharded catalog sessions at more threads; selector-tree
+  /// scopes with subtree retirement and variable recycling), or the
+  /// per-method / oneshot comparison baselines.
   SolveMode SymbolicMode = SolveMode::SharedPair;
   /// Clause-GC budget: live learned clauses at which a warm session's
   /// first database reduction fires (--gc-budget; 0 keeps the solver
@@ -172,6 +175,38 @@ struct FamilyStats {
   double Millis = 0;
 };
 
+/// Reuse, retirement, and recycling statistics of one catalog-level
+/// session (symbolic commutativity jobs under SolveMode::SharedCatalog;
+/// one row per catalog session — a single row at one thread, one per
+/// family shard otherwise).
+struct CatalogStats {
+  std::string Mode;        ///< solveModeName of the run.
+  std::string FamilyNames; ///< Comma-joined families this session served.
+  unsigned Families = 0;
+  unsigned Pairs = 0;
+  unsigned Methods = 0;
+  uint64_t Vcs = 0;
+  uint64_t Checks = 0;
+  int64_t Conflicts = 0;
+  /// Prefix amortization across the catalog + family + pair levels.
+  uint64_t PrefixAsserts = 0;
+  uint64_t PrefixReuses = 0;
+  /// Whole-family scope subtrees retired in one pass.
+  uint64_t SubtreeRetirements = 0;
+  uint64_t PairEvictions = 0; ///< Pair scopes retired.
+  uint64_t EvictedClauses = 0;
+  /// Variable recycling: indices reclaimed by scope retirements, the
+  /// live-variable and clause high-water marks, and the cumulative
+  /// variable demand (the allocation a no-recycling run would need).
+  uint64_t RecycledVars = 0;
+  uint64_t PeakLiveVars = 0;
+  uint64_t PeakLiveClauses = 0;
+  uint64_t VarRequests = 0;
+  uint64_t PeakRetainedClauses = 0;
+  unsigned Selectors = 0; ///< Family + pair + method selectors.
+  double Millis = 0;
+};
+
 /// Everything a run produces; serializes to/from the JSON report.
 struct Report {
   unsigned Threads = 1;
@@ -182,8 +217,12 @@ struct Report {
   /// Per-pair shared-session reuse stats (empty for exhaustive-only runs
   /// and for reports predating the field).
   std::vector<PairStats> Pairs;
-  /// Per-family session stats (SolveMode::SharedFamily runs only).
+  /// Per-family session stats (SolveMode::SharedFamily and SharedCatalog
+  /// runs; under shared-catalog each row is one family tier's slice of
+  /// its catalog session).
   std::vector<FamilyStats> FamilySessions;
+  /// Per-catalog-session stats (SolveMode::SharedCatalog runs only).
+  std::vector<CatalogStats> CatalogSessions;
   /// Non-empty when the run never started (e.g. unknown family name); a
   /// report with an Error has no results and counts as failed.
   std::string Error;

@@ -46,7 +46,10 @@ void printUsage(const char *Argv0) {
       "  --solve-mode M    symbolic session strategy: shared-pair (default,\n"
       "                    one warm solver per op-pair), shared-family (one\n"
       "                    warm solver per family with per-pair scope\n"
-      "                    eviction), per-method, or oneshot; requires\n"
+      "                    eviction), shared-catalog (one warm solver for\n"
+      "                    the whole catalog at --threads 1, one per family\n"
+      "                    shard otherwise; subtree retirement + variable\n"
+      "                    recycling), per-method, or oneshot; requires\n"
       "                    --engine symbolic or both\n"
       "  --gc-budget N     live learned clauses at which a warm session's\n"
       "                    first clause-DB reduction fires (default: the\n"
@@ -141,6 +144,8 @@ int main(int argc, char **argv) {
         Opts.SymbolicMode = SolveMode::SharedPair;
       } else if (M == "shared-family") {
         Opts.SymbolicMode = SolveMode::SharedFamily;
+      } else if (M == "shared-catalog") {
+        Opts.SymbolicMode = SolveMode::SharedCatalog;
       } else if (M == "per-method") {
         Opts.SymbolicMode = SolveMode::PerMethod;
       } else if (M == "oneshot") {
@@ -148,7 +153,8 @@ int main(int argc, char **argv) {
       } else {
         std::fprintf(stderr,
                      "unknown solve mode '%s' (expected shared-pair, "
-                     "shared-family, per-method or oneshot)\n",
+                     "shared-family, shared-catalog, per-method or "
+                     "oneshot)\n",
                      M.c_str());
         return 2;
       }
