@@ -175,6 +175,29 @@ else
   record "driver_catalog_stats" 0 missing
 fi
 
+# Certification snapshot: the same one-thread shared-catalog run with
+# --certify, so the baseline records the cost of proof logging + the
+# in-process RUP check relative to the uncertified run directly above
+# (certify_overhead_x) alongside the certificate counts.
+CERTIFY_JSON="$RESULTS_DIR/driver_certify_stats.json"
+if [ -x "$DRIVER_BIN" ]; then
+  echo "== semcommute-verify (certified shared-catalog snapshot)"
+  start=$(now)
+  if "$DRIVER_BIN" --families all --engine symbolic \
+       --solve-mode shared-catalog --threads 1 --certify --quiet \
+       --json "$CERTIFY_JSON" > "$RESULTS_DIR/driver_certify_stats.txt" 2>&1
+  then status=ok; else
+    status=failed
+    echo "FAILED  semcommute-verify certify (see $RESULTS_DIR/driver_certify_stats.txt)"
+    failures=$((failures + 1))
+  fi
+  end=$(now)
+  record "driver_certify_stats" \
+    "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
+else
+  record "driver_certify_stats" 0 missing
+fi
+
 python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
 import json, os, sys
 
@@ -295,8 +318,44 @@ if os.path.exists(catalog_path):
             "families": report.get("family_stats", []),
         }
 
+# Certification statistics from the --certify snapshot: certificate and
+# checker-database counts, whether every proof checked, and the wall-time
+# ratio against the uncertified shared-catalog run (certify_overhead_x).
+certify_stats = None
+certify_path = os.path.join(results_dir, "driver_certify_stats.json")
+if os.path.exists(certify_path):
+    try:
+        with open(certify_path) as f:
+            report = json.load(f)
+    except json.JSONDecodeError:
+        report = None
+    if report and report.get("certify"):
+        sym = [r for r in report.get("results", [])
+               if r.get("engine") == "symbolic"]
+        plain_wall = None
+        if catalog_stats is not None:
+            try:
+                with open(catalog_path) as f:
+                    plain_wall = json.load(f).get("wall_ms")
+            except (json.JSONDecodeError, OSError):
+                pass
+        wall = report.get("wall_ms")
+        certify_stats = {
+            "engine": "symbolic",
+            "mode": "shared-catalog",
+            "jobs": len(sym),
+            "jobs_proof_checked": sum(1 for r in sym
+                                      if r.get("proof_checked")),
+            "proof_queries": sum(r.get("proof_queries", 0) for r in sym),
+            "peak_proof_clauses": max((r.get("proof_clauses", 0)
+                                       for r in sym), default=0),
+            "wall_ms": wall,
+            "certify_overhead_x": (round(wall / plain_wall, 3)
+                                   if wall and plain_wall else None),
+        }
+
 doc = {
-    "schema": 4,
+    "schema": 5,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
@@ -304,6 +363,7 @@ doc = {
     "driver_solver_stats": driver_stats,
     "driver_family_stats": family_stats,
     "driver_catalog_stats": catalog_stats,
+    "driver_certify_stats": certify_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

@@ -37,6 +37,19 @@ bool dischargeSplits(const MethodPlan &Plan, int64_t Budget,
       R.CoreLabels.push_back(L);
   };
 
+  // Proof tag stem: the selector path identifies the method within the
+  // session; the split index disambiguates its checks. Spaces fold to '_'
+  // exactly as SmtSession::setProofTag does, so the tags recorded here
+  // match the Query-step tags in the trace byte for byte.
+  std::string TagStem;
+  for (const std::string &L : SelLabels)
+    TagStem += (TagStem.empty() ? "" : "|") + L;
+  if (TagStem.empty())
+    TagStem = Plan.Name;
+  for (char &C : TagStem)
+    if (C == ' ')
+      C = '_';
+
   bool Ok = true;
   size_t FailedAt = Plan.Splits.size();
   for (size_t SI = 0; SI != Plan.Splits.size(); ++SI) {
@@ -48,6 +61,12 @@ bool dischargeSplits(const MethodPlan &Plan, int64_t Budget,
     for (const TaggedAssumption &A : Split.Assumed) {
       Assumed.push_back(A.E);
       Labels.push_back(A.Label);
+    }
+
+    std::string Tag;
+    if (Session.certifying()) {
+      Tag = TagStem + "#" + std::to_string(SI);
+      Session.setProofTag(Tag);
     }
 
     SatResult Out = Session.check(Assumed, Budget, Sels);
@@ -63,6 +82,12 @@ bool dischargeSplits(const MethodPlan &Plan, int64_t Budget,
     if (Out == SatResult::Unsat) {
       for (size_t I : Session.lastCoreAssumptionIndices())
         AddCoreLabel(Labels[I]);
+      if (!Tag.empty()) {
+        // An Unsat verdict is a claim — record the certificate tag the
+        // checker must later confirm for this method.
+        R.ProofQueryTags.push_back(std::move(Tag));
+        ++R.ProofQueries;
+      }
       continue;
     }
 
@@ -131,8 +156,16 @@ void SharedSession::openSession() {
     ClosedConflicts += Session->totalConflicts();
     ClosedReductions += static_cast<uint64_t>(Session->dbReductions());
     ClosedReclaimed += static_cast<uint64_t>(Session->reclaimedClauses());
+    // Check the closing session's trace now: the trace dies with the
+    // session, and the fold makes the rotated sessions (OneShot /
+    // PerMethod open one per plan or split) certify as one run.
+    if (Certify && !CertFolded)
+      Cert.fold(Session->finishCertification());
   }
   Session = std::make_unique<SmtSession>(F);
+  if (Certify)
+    Session->enableCertification();
+  CertFolded = false;
   Session->solver().setClauseGc(GcEnabled);
   if (GcLimit > 0)
     Session->solver().setClauseGcLimit(GcLimit);
@@ -210,6 +243,14 @@ bool SharedSession::discharge(const MethodPlan &Plan, SymbolicResult &R) {
   R.DbReductions += dbReductions() - RedBefore;
   R.ReclaimedClauses += reclaimedClauses() - RecBefore;
   return Ok;
+}
+
+const proof::CertifySummary &SharedSession::finishCertification() {
+  if (Session && Certify && !CertFolded) {
+    Cert.fold(Session->finishCertification());
+    CertFolded = true;
+  }
+  return Cert;
 }
 
 uint64_t SharedSession::checks() const {
@@ -351,11 +392,15 @@ size_t PairTier::retirePair(const std::string &PairKey) {
 //===----------------------------------------------------------------------===//
 
 FamilySession::FamilySession(ExprFactory &F, const FamilyPlan &Plan,
-                             int64_t Budget)
+                             int64_t Budget, bool Certify)
     : F(F), Plan(Plan), Session(F),
       Pairs(F, Session, Plan.FamilyName, SmtSession::RootScope,
             /*PathSels=*/{}, /*PathLabels=*/{}, {&FamilyBase}, Budget, Stats,
             SelectorCount) {
+  // Certification must switch on before the first assertion reaches the
+  // solver — the proof's Input steps have to cover the whole database.
+  if (Certify)
+    Session.enableCertification();
   for (ExprRef C : Plan.FamilyCommon)
     if (FamilyBase.insert(C).second) {
       Session.assertBase(C);
@@ -383,9 +428,13 @@ size_t FamilySession::retirePair(const std::string &PairKey) {
 //===----------------------------------------------------------------------===//
 
 CatalogSession::CatalogSession(ExprFactory &F, const CatalogPlan &Plan,
-                               int64_t Budget)
+                               int64_t Budget, bool Certify)
     : F(F), Plan(Plan), Budget(Budget), Session(F),
       Tiers(Plan.Families.size()), FamilyEpochs(Plan.Families.size(), 0) {
+  // Certification must switch on before the first assertion reaches the
+  // solver — the proof's Input steps have to cover the whole database.
+  if (Certify)
+    Session.enableCertification();
   for (ExprRef C : Plan.CatalogCommon)
     if (CatalogBase.insert(C).second) {
       Session.assertBase(C);

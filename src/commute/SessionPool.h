@@ -113,6 +113,21 @@ struct SymbolicResult {
   /// alone.
   std::vector<std::string> CoreLabels;
   std::string Countermodel; ///< Diagnostic atoms of a failed proof.
+
+  /// Certification (populated only when the session certifies): the proof
+  /// tags of this method's Unsat verdicts, in discharge order — the keys
+  /// its certificates carry in the session's proof trace.
+  std::vector<std::string> ProofQueryTags;
+  /// Certified query count (== ProofQueryTags.size(); kept separately so
+  /// the driver's JSON row needs no recount).
+  uint64_t ProofQueries = 0;
+  /// Checker database high-water mark of the certifying session (a
+  /// session-level number, duplicated per method for per-job reporting).
+  uint64_t ProofClauses = 0;
+  /// True when the independent checker verified every one of this
+  /// method's Unsat verdicts. Engines backfill it after the session's
+  /// finishCertification(); false when not certifying.
+  bool ProofChecked = false;
 };
 
 /// One labeled assumption formula (the label names it in unsat cores).
@@ -187,6 +202,16 @@ public:
     GcLimit = FirstLimit;
   }
 
+  /// Turns on proof logging + independent checking for every solver this
+  /// session opens (must be called before the first discharge). Rotated
+  /// sessions (OneShot / PerMethod) each certify individually; their
+  /// summaries fold.
+  void enableCertification() { Certify = true; }
+  bool certifying() const { return Certify; }
+  /// Checks the current session's trace (if any) and returns the folded
+  /// summary over every session this SharedSession ever opened.
+  const proof::CertifySummary &finishCertification();
+
   /// Lifetime statistics (across re-opened sessions in the non-shared
   /// modes).
   uint64_t checks() const;
@@ -207,6 +232,9 @@ private:
   SolveMode Mode;
   bool GcEnabled = true;
   int64_t GcLimit = 0; ///< 0 keeps the solver default.
+  bool Certify = false;
+  bool CertFolded = false; ///< Current session already folded into Cert.
+  proof::CertifySummary Cert; ///< Folded over closed sessions.
 
   std::unique_ptr<SmtSession> Session;
   std::set<ExprRef> AssertedCommon; ///< Dedup only; never iterated.
@@ -327,8 +355,10 @@ class FamilySession {
 public:
   /// Asserts \p Plan's family-common prefix as session base. The plan must
   /// outlive the session (only FamilyName and FamilyCommon are read, so
-  /// lazy callers may pass a plan whose Pairs are empty).
-  FamilySession(ExprFactory &F, const FamilyPlan &Plan, int64_t Budget);
+  /// lazy callers may pass a plan whose Pairs are empty). \p Certify turns
+  /// on proof logging before any assertion reaches the solver.
+  FamilySession(ExprFactory &F, const FamilyPlan &Plan, int64_t Budget,
+                bool Certify = false);
   FamilySession(const FamilySession &) = delete;
   FamilySession &operator=(const FamilySession &) = delete;
 
@@ -364,6 +394,12 @@ public:
   /// The underlying session, exposed so tests can assert solver invariants
   /// (reasonInvariantHolds) after evictions.
   SmtSession &session() { return Session; }
+
+  bool certifying() const { return Session.certifying(); }
+  /// Runs the independent checker over the session's trace (idempotent).
+  const proof::CertifySummary &finishCertification() {
+    return Session.finishCertification();
+  }
 
 private:
   ExprFactory &F;
@@ -421,8 +457,10 @@ class CatalogSession {
 public:
   /// Asserts \p Plan's catalog-common prefix as session base. The plan
   /// must outlive the session (family Pairs may be empty: lazy callers
-  /// materialize pair plans just before discharge).
-  CatalogSession(ExprFactory &F, const CatalogPlan &Plan, int64_t Budget);
+  /// materialize pair plans just before discharge). \p Certify turns on
+  /// proof logging before any assertion reaches the solver.
+  CatalogSession(ExprFactory &F, const CatalogPlan &Plan, int64_t Budget,
+                 bool Certify = false);
   CatalogSession(const CatalogSession &) = delete;
   CatalogSession &operator=(const CatalogSession &) = delete;
 
@@ -466,6 +504,12 @@ public:
   /// The underlying session, exposed so tests can assert solver
   /// invariants (reasonInvariantHolds) after subtree evictions.
   SmtSession &session() { return Session; }
+
+  bool certifying() const { return Session.certifying(); }
+  /// Runs the independent checker over the session's trace (idempotent).
+  const proof::CertifySummary &finishCertification() {
+    return Session.finishCertification();
+  }
 
 private:
   /// The live scope of one family.

@@ -1204,11 +1204,43 @@ CatalogPlan SymbolicEngine::planCatalog(
   return CP;
 }
 
+namespace {
+
+/// Stamps the session's certification verdict onto every method result:
+/// the database high-water mark, and whether every one of the method's
+/// own Unsat-query tags was checked and passed (a fatal trace error
+/// voids everything — the trace itself could not be replayed).
+void backfillCertification(const proof::CertifySummary &S,
+                           std::vector<SymbolicResult> &Methods) {
+  for (SymbolicResult &R : Methods) {
+    R.ProofClauses = S.PeakClauses;
+    R.ProofChecked = S.Error.empty() && S.allPassed(R.ProofQueryTags);
+  }
+}
+
+/// The outcome-level aggregate of one session's summary.
+template <typename Outcome>
+void stampOutcomeCertification(const proof::CertifySummary &S, Outcome &O) {
+  O.Certified = S.Checked && S.Ok;
+  O.ProofSteps = S.Steps;
+  O.ProofQueries = S.Queries;
+  O.ProofClauses = S.PeakClauses;
+}
+
+} // namespace
+
 SymbolicResult SymbolicEngine::verify(const TestingMethod &M) {
   SharedSession Sess(F, ConflictBudget, Mode);
+  if (Certify)
+    Sess.enableCertification();
   Sess.configureClauseGc(true, GcBudget);
   SymbolicResult R;
   R.Verified = Sess.discharge(plan(M), R);
+  if (Certify) {
+    const proof::CertifySummary &S = Sess.finishCertification();
+    R.ProofClauses = S.PeakClauses;
+    R.ProofChecked = S.Error.empty() && S.allPassed(R.ProofQueryTags);
+  }
   return R;
 }
 
@@ -1226,7 +1258,7 @@ FamilyOutcome SymbolicEngine::verifyEntries(
   FP.FamilyName = FamilyName;
   FP.FamilyCommon = familyCommonOf(Entries);
 
-  FamilySession Sess(F, FP, ConflictBudget);
+  FamilySession Sess(F, FP, ConflictBudget, Certify);
   Sess.configureClauseGc(true, GcBudget);
   for (size_t PI = 0; PI != Entries.size(); ++PI) {
     PairPlan PP = planPair(*Entries[PI]);
@@ -1268,6 +1300,16 @@ FamilyOutcome SymbolicEngine::verifyEntries(
   Out.DbReductions = Sess.dbReductions();
   Out.ReclaimedClauses = Sess.reclaimedClauses();
   Out.Selectors = Sess.numSelectors();
+  if (Certify) {
+    // One trace covers the whole family session; check it once and stamp
+    // every method with its own queries' verdicts.
+    const proof::CertifySummary &S = Sess.finishCertification();
+    stampOutcomeCertification(S, Out);
+    for (PairOutcome &PO : Out.Pairs) {
+      backfillCertification(S, PO.Methods);
+      stampOutcomeCertification(S, PO);
+    }
+  }
   return Out;
 }
 
@@ -1276,7 +1318,7 @@ SymbolicEngine::verifyCatalog(const Catalog &C,
                               const std::vector<const Family *> &Fams) {
   CatalogOutcome Out;
   CatalogPlan CP = planCatalog(C, Fams);
-  CatalogSession Sess(F, CP, ConflictBudget);
+  CatalogSession Sess(F, CP, ConflictBudget, Certify);
   Sess.configureClauseGc(true, GcBudget);
 
   for (size_t FI = 0; FI != Fams.size(); ++FI) {
@@ -1344,6 +1386,19 @@ SymbolicEngine::verifyCatalog(const Catalog &C,
   Out.DbReductions = Sess.dbReductions();
   Out.ReclaimedClauses = Sess.reclaimedClauses();
   Out.Selectors = Sess.numSelectors();
+  if (Certify) {
+    // One trace covers the entire catalog session — every family, pair,
+    // and method verdict certifies against the same certificate stream.
+    const proof::CertifySummary &S = Sess.finishCertification();
+    stampOutcomeCertification(S, Out);
+    for (FamilyOutcome &FO : Out.Families) {
+      stampOutcomeCertification(S, FO);
+      for (PairOutcome &PO : FO.Pairs) {
+        backfillCertification(S, PO.Methods);
+        stampOutcomeCertification(S, PO);
+      }
+    }
+  }
   return Out;
 }
 
@@ -1362,6 +1417,8 @@ PairOutcome SymbolicEngine::verifyPair(const ConditionEntry &E) {
     return FO.Pairs.empty() ? PairOutcome() : std::move(FO.Pairs.front());
   }
   SharedSession Sess(F, ConflictBudget, Mode);
+  if (Certify)
+    Sess.enableCertification();
   Sess.configureClauseGc(true, GcBudget);
   PairOutcome Out;
   for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
@@ -1385,5 +1442,10 @@ PairOutcome SymbolicEngine::verifyPair(const ConditionEntry &E) {
   Out.ReclaimedClauses = Sess.reclaimedClauses();
   Out.Selectors = Sess.numSelectors();
   Out.SessionsOpened = Sess.sessionsOpened();
+  if (Certify) {
+    const proof::CertifySummary &S = Sess.finishCertification();
+    stampOutcomeCertification(S, Out);
+    backfillCertification(S, Out.Methods);
+  }
   return Out;
 }

@@ -73,6 +73,14 @@ struct PairOutcome {
   unsigned Selectors = 0;           ///< Selector literals registered.
   size_t SessionsOpened = 0;        ///< 1 in SharedPair mode.
 
+  /// Certification aggregates (zero unless the engine certifies): the
+  /// checker's verdict over the pair's session trace, its step/query
+  /// counts, and its database high-water mark.
+  bool Certified = false;
+  uint64_t ProofSteps = 0;
+  uint64_t ProofQueries = 0;
+  uint64_t ProofClauses = 0;
+
   unsigned failures() const {
     unsigned N = 0;
     for (const SymbolicResult &R : Methods)
@@ -104,6 +112,13 @@ struct FamilyOutcome {
   uint64_t TotalSplits = 0;
   uint64_t PeakMaterializedSplits = 0;
 
+  /// Certification aggregates over the family session's trace (zero
+  /// unless the engine certifies).
+  bool Certified = false;
+  uint64_t ProofSteps = 0;
+  uint64_t ProofQueries = 0;
+  uint64_t ProofClauses = 0;
+
   unsigned failures() const {
     unsigned N = 0;
     for (const PairOutcome &P : Pairs)
@@ -128,6 +143,13 @@ struct CatalogOutcome {
   unsigned Selectors = 0; ///< Family + pair + method selectors.
   uint64_t TotalSplits = 0;
   uint64_t PeakMaterializedSplits = 0;
+
+  /// Certification aggregates over the one catalog-session trace (zero
+  /// unless the engine certifies).
+  bool Certified = false;
+  uint64_t ProofSteps = 0;
+  uint64_t ProofQueries = 0;
+  uint64_t ProofClauses = 0;
 
   unsigned failures() const {
     unsigned N = 0;
@@ -206,6 +228,14 @@ public:
   /// 0 keeps the solver default).
   void setClauseGcBudget(int64_t Budget) { GcBudget = Budget; }
 
+  /// Turns on certified verdicts (the driver's --certify knob): every
+  /// session the engine opens logs a DRAT-style proof trace, the
+  /// independent RUP checker replays it when the session closes, and each
+  /// method's SymbolicResult records whether its Unsat verdicts carried
+  /// checked certificates (ProofQueries / ProofClauses / ProofChecked).
+  void setCertify(bool C) { Certify = C; }
+  bool certify() const { return Certify; }
+
   /// Attaches proof-hint scripts: ArrayList method plans whose method
   /// matches a script gain the script's note/pickWitness lemmas as extra
   /// *labeled* split assumptions, so unsat cores can name the hint
@@ -235,6 +265,7 @@ private:
   int64_t ConflictBudget;
   SolveMode Mode;
   int64_t GcBudget = 0;
+  bool Certify = false;
   const std::vector<HintScript> *Hints = nullptr;
 };
 

@@ -191,7 +191,7 @@ SymbolicResult semcomm::verifyInverseSymbolic(ExprFactory &F,
                                               const InverseSpec &Spec,
                                               int SeqLenBound,
                                               int64_t ConflictBudget,
-                                              SolveMode Mode) {
+                                              SolveMode Mode, bool Certify) {
   MethodPlan Plan;
   switch (Spec.Fam->Kind) {
   case StateKind::Counter:
@@ -209,7 +209,14 @@ SymbolicResult semcomm::verifyInverseSymbolic(ExprFactory &F,
   }
 
   SharedSession Sess(F, ConflictBudget, Mode);
+  if (Certify)
+    Sess.enableCertification();
   SymbolicResult R;
   R.Verified = Sess.discharge(Plan, R);
+  if (Certify) {
+    const proof::CertifySummary &S = Sess.finishCertification();
+    R.ProofClauses = S.PeakClauses;
+    R.ProofChecked = S.Error.empty() && S.allPassed(R.ProofQueryTags);
+  }
   return R;
 }

@@ -44,11 +44,15 @@ namespace semcomm {
 /// Symbolically verifies Property 3 for \p Spec: executing the operation
 /// and then its inverse restores the initial abstract state. \p SeqLenBound
 /// bounds the ArrayList case splits; statistics land in the returned
-/// SymbolicResult exactly as for commutativity methods.
+/// SymbolicResult exactly as for commutativity methods. \p Certify turns on
+/// proof logging + independent checking (ProofQueries / ProofClauses /
+/// ProofChecked in the result), so inverse verdicts carry certificates
+/// like commutativity verdicts do.
 SymbolicResult verifyInverseSymbolic(ExprFactory &F, const InverseSpec &Spec,
                                      int SeqLenBound = 3,
                                      int64_t ConflictBudget = 200000,
-                                     SolveMode Mode = SolveMode::SharedPair);
+                                     SolveMode Mode = SolveMode::SharedPair,
+                                     bool Certify = false);
 
 } // namespace semcomm
 

@@ -13,6 +13,22 @@
 
 using namespace semcomm;
 
+namespace {
+/// The proof trace speaks signed DIMACS ints; Lit::Encoded already is one.
+std::vector<int> proofLits(const std::vector<Lit> &C) {
+  std::vector<int> Out;
+  Out.reserve(C.size());
+  for (Lit L : C)
+    Out.push_back(L.Encoded);
+  return Out;
+}
+} // namespace
+
+void SatSolver::logQueryProof(const std::vector<Lit> &Core) {
+  if (Proof)
+    Proof->addQuery(proofLits(Core), Clauses.size());
+}
+
 SatSolver::SatSolver() {
   // Var indices are 1-based; slot 0 is a sentinel.
   Assign.push_back(Undef);
@@ -81,11 +97,19 @@ void SatSolver::addClause(const std::vector<Lit> &Input) {
     C.push_back(L);
   }
 
+  // Proof logging happens *after* normalization: the trace's Input clauses
+  // are exactly the clauses the solver stores (or pins on the trail), so
+  // later Delete records match; the normalization itself joins the trust
+  // base, as the CNF stream does in standard DRAT checking.
   if (C.empty()) {
+    if (Proof)
+      Proof->addInput({});
     Unsatisfiable = true;
     return;
   }
   if (C.size() == 1) {
+    if (Proof)
+      Proof->addInput({C[0].Encoded});
     if (valueOf(C[0]) == 0) {
       Unsatisfiable = true;
       return;
@@ -96,6 +120,8 @@ void SatSolver::addClause(const std::vector<Lit> &Input) {
       Unsatisfiable = true;
     return;
   }
+  if (Proof)
+    Proof->addInput(proofLits(C));
 
   Clauses.push_back({std::move(C), false, 0, 0.0});
   attach(static_cast<int>(Clauses.size()) - 1);
@@ -346,6 +372,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumptions,
       int BackLevel = 0, Glue = 0;
       analyze(ConflictIdx, Learned, BackLevel, Glue);
       backtrack(BackLevel);
+      if (Proof)
+        Proof->addDerive(proofLits(Learned));
       if (Learned.size() == 1) {
         // Asserting unit: analyze() computed BackLevel 0, so the trail is
         // already at the root and the unit survives every future solve.
@@ -455,6 +483,10 @@ size_t SatSolver::reduceDb() {
   std::vector<bool> Remove(Clauses.size(), false);
   for (size_t I = 0; I != Target; ++I)
     Remove[static_cast<size_t>(Candidates[I])] = true;
+  if (Proof)
+    for (size_t I = 0; I != Target; ++I)
+      Proof->addDelete(
+          proofLits(Clauses[static_cast<size_t>(Candidates[I])].Lits));
   compactClauses(Remove);
 
   LearnedAlive -= static_cast<int64_t>(Target);
@@ -519,7 +551,15 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
 
   // Level-0 literals are permanently true and conflict analysis never walks
   // their reasons (analyze/analyzeFinal skip level-0 vars), so detaching
-  // the root reasons makes every clause a legal deletion candidate.
+  // the root reasons makes every clause a legal deletion candidate. The
+  // sweep below may evict exactly those reason clauses, so a certifying
+  // run first dumps every still-implied root literal as a derived unit —
+  // each is RUP at this moment, and the dump cannot repeat across
+  // retirements because the reasons are detached right after.
+  if (Proof)
+    for (Lit L : Trail)
+      if (Reason[L.var()] >= 0)
+        Proof->addDerive({L.Encoded});
   for (Lit L : Trail)
     Reason[L.var()] = -1;
 
@@ -558,6 +598,10 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
     }
   }
   if (Removed != 0) {
+    if (Proof)
+      for (size_t I = 0; I != Clauses.size(); ++I)
+        if (Remove[I])
+          Proof->addDelete(proofLits(Clauses[I].Lits));
     compactClauses(Remove);
     LearnedAlive -= LearnedRemoved;
     EvictedClauses += static_cast<int64_t>(Removed);
@@ -580,6 +624,7 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
       Occurs[static_cast<size_t>(L.var())] = true;
   bool TrailDirty = false;
   std::vector<bool> DropFromTrail(Assign.size(), false);
+  std::vector<int> RecycleLog; ///< Recycle records, after the unit deletes.
   for (int V = 1; V <= numVars(); ++V) {
     size_t S = static_cast<size_t>(V);
     if (Occurs[S] || IsFree[S])
@@ -588,6 +633,11 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
     if (Assign[S] != Undef) {
       if (!Recyclable)
         continue; // A pinned fact that must keep holding (e.g. ~selector).
+      // The pinned fact leaves the formula with its variable: log the unit
+      // deletion, or the checker would (rightly) refuse to recycle an
+      // index that still carries an axiom.
+      if (Proof)
+        Proof->addDelete({Lit(V, Assign[S] == 1).Encoded});
       Assign[S] = Undef;
       Level[S] = 0;
       DropFromTrail[S] = true;
@@ -600,8 +650,15 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
       FreeVars.push_back(V);
       IsFree[S] = 1;
       ++RecycledVars;
+      if (Proof)
+        RecycleLog.push_back(V);
     }
   }
+  // Recycle records go after every unit delete of the batch so the checker
+  // rebuilds its root state once, not per variable.
+  if (Proof)
+    for (int V : RecycleLog)
+      Proof->addRecycle(V);
   if (TrailDirty) {
     // Root level: no decision marks to maintain, and dropping a literal
     // nothing mentions cannot enable or retract any propagation.

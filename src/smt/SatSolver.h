@@ -40,6 +40,8 @@
 #ifndef SEMCOMM_SMT_SATSOLVER_H
 #define SEMCOMM_SMT_SATSOLVER_H
 
+#include "proof/ProofTrace.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -188,6 +190,21 @@ public:
   /// contains that literal — the invariant reduceDb() must preserve.
   bool reasonInvariantHolds() const;
 
+  /// Attaches a DRAT-style proof trace (proof/ProofTrace.h). Must be set
+  /// before the first addClause() so the trace sees every stored clause;
+  /// the solver does not own the trace. While attached, the solver logs
+  /// every stored input clause, every learned clause (including the
+  /// root-trail literals dumped before a retirement detaches their
+  /// reasons), every deletion — reduceDb, retireScopes, and the unit
+  /// clauses compacted off the trail when a pinned variable is recycled —
+  /// and every recycled variable index.
+  void setProofTrace(proof::ProofTrace *P) { Proof = P; }
+  proof::ProofTrace *proofTrace() const { return Proof; }
+  /// Logs one Query step: \p Core is the final unsat core of a verdict the
+  /// caller wants certified; the live stored-clause count is stamped so
+  /// the checker can cross-check its mirrored database.
+  void logQueryProof(const std::vector<Lit> &Core);
+
 private:
   enum : uint8_t { Undef = 2 };
 
@@ -245,6 +262,7 @@ private:
   std::vector<int> FreeVars;     ///< Recycled indices, LIFO.
   std::vector<uint8_t> IsFree;   ///< Per-var free-list membership.
   bool RecyclingEnabled = true;
+  proof::ProofTrace *Proof = nullptr; ///< Not owned; null = no logging.
   int64_t RecycledVars = 0;
   int64_t VarRequests = 0;
   int PeakLiveVars = 0;

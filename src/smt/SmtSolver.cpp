@@ -315,6 +315,23 @@ SmtSession::SmtSession(ExprFactory &F) : F(F), Encoder(Sat) {
   Scopes.push_back(ScopeNode{}); // RootScope: unguarded, root layer.
 }
 
+void SmtSession::enableCertification() {
+  assert(!ProofLog && "certification enabled twice");
+  assert(Checks == 0 && Sat.numVars() == 0 &&
+         "certification must be enabled before the first assertion");
+  ProofLog = std::make_unique<proof::ProofTrace>();
+  Sat.setProofTrace(ProofLog.get());
+}
+
+const proof::CertifySummary &SmtSession::finishCertification() {
+  if (ProofLog && !CertFinished) {
+    proof::ProofChecker Checker;
+    Cert.fold(Checker.check(*ProofLog));
+    CertFinished = true;
+  }
+  return Cert;
+}
+
 void SmtSession::assertBase(ExprRef E) {
   ExprRef N = normalize(E);
   ingest(N);
@@ -342,6 +359,8 @@ SmtSession::ScopeId SmtSession::openScope(ExprRef Selector, ScopeId Parent,
   Scopes.push_back(std::move(Node));
   Scopes[Parent].Children.push_back(Id);
   ScopeOf[Selector] = Id;
+  if (Audit)
+    Audit->openScope(printAbstract(Selector));
   return Id;
 }
 
@@ -359,6 +378,8 @@ void SmtSession::assertInScope(ScopeId Scope, ExprRef Body) {
     assertBase(Body);
     return;
   }
+  if (Audit)
+    Audit->assertInScope(printAbstract(Scopes[Scope].Selector));
   // Wrap Body in the selector path, innermost first.
   ExprRef Formula = Body;
   for (ScopeId S = Scope; S != RootScope; S = Scopes[S].Parent)
@@ -411,6 +432,8 @@ size_t SmtSession::retireScope(ScopeId Scope) {
       const std::vector<int> &Owned = Encoder.ownedVars(Node.Layer);
       ScopeVars.insert(ScopeVars.end(), Owned.begin(), Owned.end());
     }
+    if (Audit)
+      Audit->retire(printAbstract(Node.Selector));
   }
 
   size_t Evicted = Sat.retireScopes(Selectors, ScopeVars);
@@ -494,9 +517,35 @@ SmtSession::ScopeId SmtSession::innermostScope(
   return Best;
 }
 
+void SmtSession::encodeForAudit(const std::vector<ExprRef> &Assumed,
+                                const std::vector<ExprRef> &ActiveScopes) {
+  if (Audit) {
+    std::vector<std::string> Names;
+    Names.reserve(ActiveScopes.size());
+    for (ExprRef Sel : ActiveScopes)
+      Names.push_back(printAbstract(Sel));
+    Audit->check(std::move(Names));
+  }
+  Tseitin::LayerId SavedLayer = Encoder.activeLayer();
+  Encoder.setActiveLayer(Scopes[innermostScope(ActiveScopes)].Layer);
+  for (ExprRef E : Assumed) {
+    ExprRef N = normalize(E);
+    ingest(N);
+    Encoder.encode(N);
+  }
+  Encoder.setActiveLayer(SavedLayer);
+}
+
 SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
                             int64_t MaxConflicts,
                             const std::vector<ExprRef> &ActiveScopes) {
+  if (Audit) {
+    std::vector<std::string> Names;
+    Names.reserve(ActiveScopes.size());
+    for (ExprRef Sel : ActiveScopes)
+      Names.push_back(printAbstract(Sel));
+    Audit->check(std::move(Names));
+  }
   std::vector<Lit> Assumptions;
   Assumptions.reserve(Assumed.size());
   std::set<ExprRef> QueryAtoms, Visited;
@@ -553,6 +602,10 @@ SatResult SmtSession::check(const std::vector<ExprRef> &Assumed,
           break;
         }
     std::sort(LastCoreIdx.begin(), LastCoreIdx.end());
+    // One certified verdict: the minimized core under the caller's current
+    // proof tag. Sat/Unknown checks have no certificate — a countermodel
+    // is its own witness, and the engine treats Unknown as a failed proof.
+    Sat.logQueryProof(Core);
   }
   LastConflicts = Sat.numConflicts() - ConflictsBefore;
   LastDecisions = Sat.numDecisions() - DecisionsBefore;

@@ -55,11 +55,14 @@
 #define SEMCOMM_SMT_SMTSOLVER_H
 
 #include "logic/ExprFactory.h"
+#include "proof/ProofChecker.h"
 #include "smt/SatSolver.h"
+#include "smt/SessionAudit.h"
 #include "smt/Tseitin.h"
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -151,6 +154,42 @@ public:
   /// pair selector and the method selector together).
   SatResult check(const std::vector<ExprRef> &Assumed, int64_t MaxConflicts,
                   const std::vector<ExprRef> &ActiveScopes);
+
+  /// Runs check()'s encoding pipeline — normalization, bridge emission,
+  /// scope-layer routing, Tseitin encoding — without the SAT search. The
+  /// `semcommute-lint` replay drives sessions through this to audit the
+  /// encoding discipline at static-analysis cost.
+  void encodeForAudit(const std::vector<ExprRef> &Assumed,
+                      const std::vector<ExprRef> &ActiveScopes);
+
+  /// --- Certification (proof logging + independent checking) -----------
+  ///
+  /// Turns on DRAT-style proof logging. Must be called before the first
+  /// assertion or check: the trace has to see every stored clause, or the
+  /// checker would reject honest deletions. Each Unsat check() logs one
+  /// Query step carrying the current proof tag and the minimized core.
+  void enableCertification();
+  bool certifying() const { return ProofLog != nullptr; }
+  /// Tag stamped onto subsequently certified verdicts (the selector path
+  /// of the verification condition being discharged).
+  void setProofTag(const std::string &T) {
+    if (ProofLog)
+      ProofLog->setTag(T);
+  }
+  /// Replays the accumulated trace through the independent proof::
+  /// ProofChecker and caches the outcome. Idempotent; cheap when
+  /// certification was never enabled (returns an unchecked summary).
+  const proof::CertifySummary &finishCertification();
+  /// The live trace (null unless certifying) — exposed for the rejection
+  /// tests, which mutate serialized copies.
+  proof::ProofTrace *proofTrace() { return ProofLog.get(); }
+
+  /// Attaches a discipline event log (scope/assert/check/retire plus the
+  /// encoder's layer events) for the lint replay. Not owned.
+  void setAuditLog(audit::Log *L) {
+    Audit = L;
+    Encoder.setAuditLog(L);
+  }
 
   /// After an Unsat check(), iterate solve(unsatCore()) until the core
   /// stops shrinking (or \p MaxRounds re-solves ran) before recording the
@@ -274,6 +313,11 @@ private:
   size_t BridgedMapLookups = 0;
   size_t BridgedMemAtoms = 0;
   size_t BridgedIntAtoms = 0;
+
+  std::unique_ptr<proof::ProofTrace> ProofLog; ///< Null unless certifying.
+  proof::CertifySummary Cert;
+  bool CertFinished = false;
+  audit::Log *Audit = nullptr; ///< Optional discipline event log.
 
   size_t Checks = 0;
   int64_t LastConflicts = 0;

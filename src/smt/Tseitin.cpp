@@ -18,7 +18,10 @@ Tseitin::LayerId Tseitin::pushLayer(LayerId Parent) {
   assert(Parent < Layers.size() && Layers[Parent].Alive &&
          "pushLayer under a dead parent");
   Layers.push_back({{}, {}, Parent, true});
-  return static_cast<LayerId>(Layers.size()) - 1;
+  LayerId Id = static_cast<LayerId>(Layers.size()) - 1;
+  if (Audit)
+    Audit->pushLayer(Id, Parent);
+  return Id;
 }
 
 void Tseitin::setActiveLayer(LayerId L) {
@@ -29,6 +32,8 @@ void Tseitin::setActiveLayer(LayerId L) {
 void Tseitin::dropLayer(LayerId L) {
   assert(L != RootLayer && "the root layer is permanent");
   assert(L != Active && "dropping the active layer");
+  if (Audit)
+    Audit->dropLayer(L);
   Layers[L].Cache.clear();
   Layers[L].Owned.clear();
   Layers[L].Owned.shrink_to_fit();
@@ -38,6 +43,8 @@ void Tseitin::dropLayer(LayerId L) {
 Lit Tseitin::freshDefinition() {
   int V = Solver.addVar();
   Layers[Active].Owned.push_back(V);
+  if (Audit)
+    Audit->define(Active);
   return Lit(V, true);
 }
 
@@ -59,8 +66,11 @@ const Lit *Tseitin::lookup(ExprRef E) const {
   while (true) {
     const Layer &Lay = Layers[L];
     auto It = Lay.Cache.find(E);
-    if (It != Lay.Cache.end())
+    if (It != Lay.Cache.end()) {
+      if (Audit)
+        Audit->reference(L, Active);
       return &It->second;
+    }
     if (L == RootLayer)
       return nullptr;
     L = Lay.Parent;

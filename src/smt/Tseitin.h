@@ -32,6 +32,7 @@
 
 #include "logic/Expr.h"
 #include "smt/SatSolver.h"
+#include "smt/SessionAudit.h"
 
 #include <map>
 #include <vector>
@@ -76,6 +77,10 @@ public:
   /// The atom map: every non-propositional boolean leaf and its variable.
   const std::map<ExprRef, int> &atoms() const { return Atoms; }
 
+  /// Attaches a discipline event log (lint replays record layer pushes,
+  /// definition creations, and cache references through it). Not owned.
+  void setAuditLog(audit::Log *L) { Audit = L; }
+
 private:
   struct Layer {
     std::map<ExprRef, Lit> Cache;
@@ -92,6 +97,7 @@ private:
   std::vector<Layer> Layers;
   LayerId Active = RootLayer;
   std::map<ExprRef, int> Atoms;
+  audit::Log *Audit = nullptr; ///< Optional discipline event log.
 };
 
 } // namespace semcomm

@@ -152,6 +152,9 @@ void fillSymbolicRecord(const SymbolicResult &R, JobRecord &Out) {
   for (const std::string &L : R.CoreLabels)
     Core += (Core.empty() ? "" : ";") + L;
   Out.ProofCore = std::move(Core);
+  Out.ProofQueries = R.ProofQueries;
+  Out.ProofClauses = R.ProofClauses;
+  Out.ProofChecked = R.ProofChecked;
   if (!R.Verified)
     Out.Note = R.Countermodel;
 }
@@ -163,7 +166,8 @@ void runJob(const ExhaustiveEngine &Engine, const Catalog &C,
     SymbolicResult R =
         verifyInverseSymbolic(C.factory(), *P.Inverse,
                               Opts.SymbolicSeqLenBound,
-                              Opts.SymbolicConflictBudget, Opts.SymbolicMode);
+                              Opts.SymbolicConflictBudget, Opts.SymbolicMode,
+                              Opts.Certify);
     fillSymbolicRecord(R, Out);
   } else if (P.Inverse) {
     InverseVerifyResult R = verifyInverse(*P.Inverse, Opts.Bounds);
@@ -205,6 +209,7 @@ void runPairGroup(const Catalog &C, const DriverOptions &Opts,
   SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
                      Opts.SymbolicConflictBudget, Opts.SymbolicMode);
   Sym.setClauseGcBudget(Opts.GcBudget);
+  Sym.setCertify(Opts.Certify);
   PairOutcome O = Sym.verifyPair(*G.Entry);
   assert(O.Methods.size() == G.JobIdx.size() &&
          "pair group out of sync with enumeration");
@@ -295,6 +300,7 @@ void runFamilyGroup(const Catalog &C, const DriverOptions &Opts,
   SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
                      Opts.SymbolicConflictBudget, SolveMode::SharedFamily);
   Sym.setClauseGcBudget(Opts.GcBudget);
+  Sym.setCertify(Opts.Certify);
   FamilyOutcome FO = Sym.verifyFamily(C, *G.Fam);
   fillFamilyRecords(FO, G, solveModeName(SolveMode::SharedFamily), Jobs,
                     Pairs, Stats);
@@ -318,6 +324,7 @@ void runCatalogGroup(const Catalog &C, const DriverOptions &Opts,
   SymbolicEngine Sym(C.factory(), Opts.SymbolicSeqLenBound,
                      Opts.SymbolicConflictBudget, SolveMode::SharedCatalog);
   Sym.setClauseGcBudget(Opts.GcBudget);
+  Sym.setCertify(Opts.Certify);
   std::vector<const Family *> Fams;
   for (size_t GI : CG.FamGroupIdx)
     Fams.push_back(FamGroups[GI].Fam);
@@ -490,6 +497,7 @@ Report driver::runFullCatalog(const Catalog &C, const DriverOptions &Opts) {
   Report R;
   R.Threads = Threads;
   R.WallMillis = Wall.millis();
+  R.Certified = Opts.Certify;
   R.Bounds = Opts.Bounds;
   R.Results = std::move(Jobs);
   R.Pairs = std::move(Pairs);
@@ -550,6 +558,8 @@ json::Value Report::toJson() const {
   Root.set("tool", json::Value::string("semcommute-verify"));
   Root.set("threads", json::Value::integer(Threads));
   Root.set("wall_ms", json::Value::number(WallMillis));
+  if (Certified)
+    Root.set("certify", json::Value::boolean(true));
   if (!Error.empty())
     Root.set("error", json::Value::string(Error));
 
@@ -712,6 +722,13 @@ json::Value Report::toJson() const {
             json::Value::integer(static_cast<int64_t>(J.ReclaimedClauses)));
       if (!J.ProofCore.empty())
         R.set("proof_core", json::Value::string(J.ProofCore));
+      if (Certified) {
+        R.set("proof_queries",
+              json::Value::integer(static_cast<int64_t>(J.ProofQueries)));
+        R.set("proof_clauses",
+              json::Value::integer(static_cast<int64_t>(J.ProofClauses)));
+        R.set("proof_checked", json::Value::boolean(J.ProofChecked));
+      }
     }
     if (!J.Note.empty())
       R.set("note", json::Value::string(J.Note));
@@ -733,6 +750,8 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
     return std::nullopt;
   R.Threads = static_cast<unsigned>(V["threads"].asInt());
   R.WallMillis = V["wall_ms"].asDouble();
+  if (const json::Value *C = V.find("certify"))
+    R.Certified = C->isBool() && C->asBool();
   if (const json::Value *E = V.find("error"))
     R.Error = E->asString();
 
@@ -894,6 +913,12 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
       J.ReclaimedClauses = static_cast<uint64_t>(V2->asInt());
     if (const json::Value *Core = Res.find("proof_core"))
       J.ProofCore = Core->asString();
+    if (const json::Value *V2 = Res.find("proof_queries"))
+      J.ProofQueries = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = Res.find("proof_clauses"))
+      J.ProofClauses = static_cast<uint64_t>(V2->asInt());
+    if (const json::Value *V2 = Res.find("proof_checked"))
+      J.ProofChecked = V2->isBool() && V2->asBool();
     if (const json::Value *Note = Res.find("note"))
       J.Note = Note->asString();
     R.Results.push_back(std::move(J));
@@ -1007,6 +1032,25 @@ std::string driver::renderSummary(const Report &R) {
                     static_cast<unsigned long long>(PeakCls));
       Out += Buf;
     }
+  }
+  if (R.Certified) {
+    size_t CertJobs = 0, CertOk = 0;
+    uint64_t CertQueries = 0, CertPeak = 0;
+    for (const JobRecord &J : R.Results) {
+      if (J.Engine != engineKindName(EngineKind::Symbolic))
+        continue;
+      ++CertJobs;
+      CertOk += J.ProofChecked;
+      CertQueries += J.ProofQueries;
+      CertPeak = std::max(CertPeak, J.ProofClauses);
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "certified: %zu/%zu symbolic jobs proof-checked, %llu "
+                  "certificates, peak %llu checker clauses\n",
+                  CertOk, CertJobs,
+                  static_cast<unsigned long long>(CertQueries),
+                  static_cast<unsigned long long>(CertPeak));
+    Out += Buf;
   }
   std::snprintf(Buf, sizeof(Buf),
                 "wall time %.1f ms on %u thread%s; %u verification "

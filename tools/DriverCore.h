@@ -74,6 +74,12 @@ struct DriverOptions {
   /// first database reduction fires (--gc-budget; 0 keeps the solver
   /// default, which bench/perf_engine_scaling's sweep picked from data).
   int64_t GcBudget = 0;
+  /// Certified verdicts (--certify): symbolic sessions log DRAT-style
+  /// proof traces, the independent RUP checker replays each trace
+  /// in-process when its session closes, and every job row records
+  /// proof_queries / proof_clauses / proof_checked. Symbolic engine only
+  /// (the CLI rejects --certify with --engine exhaustive).
+  bool Certify = false;
 };
 
 /// One verification job and (after running) its outcome. Category is
@@ -100,6 +106,13 @@ struct JobRecord {
   /// (unsat cores: selector/split literals) — the raw material of
   /// §5.2.1-style hint minimization.
   std::string ProofCore;
+  /// Certification fields (zero/false unless the run certified): Unsat
+  /// verdicts of this job that carried certificates, the certifying
+  /// session's checker-database high-water mark, and whether the
+  /// independent checker confirmed every one of this job's certificates.
+  uint64_t ProofQueries = 0;
+  uint64_t ProofClauses = 0;
+  bool ProofChecked = false;
   std::string Note; ///< Counterexample or failure note when !Verified.
 
   /// Stable identity of the job (everything except the outcome).
@@ -211,6 +224,7 @@ struct CatalogStats {
 struct Report {
   unsigned Threads = 1;
   double WallMillis = 0;
+  bool Certified = false; ///< The run logged + checked proof traces.
   Scope Bounds;
   std::vector<FamilySummary> Families;
   std::vector<JobRecord> Results;

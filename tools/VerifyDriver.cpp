@@ -55,6 +55,11 @@ void printUsage(const char *Argv0) {
       "                    first clause-DB reduction fires (default: the\n"
       "                    data-picked solver default); requires --engine\n"
       "                    symbolic or both\n"
+      "  --certify         certified verdicts: every symbolic session logs\n"
+      "                    a DRAT-style proof trace and the independent RUP\n"
+      "                    checker replays it in-process; job rows gain\n"
+      "                    proof_queries/proof_clauses/proof_checked;\n"
+      "                    requires --engine symbolic or both\n"
       "  --threads N       worker threads (default: hardware concurrency;\n"
       "                    must be positive)\n"
       "  --no-commute      skip the commutativity-condition catalog\n"
@@ -171,6 +176,8 @@ int main(int argc, char **argv) {
       }
       Opts.GcBudget = static_cast<int64_t>(N);
       GcBudgetSet = true;
+    } else if (Arg == "--certify") {
+      Opts.Certify = true;
     } else if (Arg == "--threads") {
       const char *Val = needValue("--threads");
       char *End = nullptr;
@@ -218,6 +225,12 @@ int main(int argc, char **argv) {
   if (GcBudgetSet && Opts.Engine == EngineKind::Exhaustive) {
     std::fprintf(stderr, "--gc-budget only applies to the symbolic "
                          "engine; pass --engine symbolic or both\n");
+    return 2;
+  }
+  if (Opts.Certify && Opts.Engine == EngineKind::Exhaustive) {
+    std::fprintf(stderr, "--certify only applies to the symbolic engine "
+                         "(exhaustive jobs have no proof traces); pass "
+                         "--engine symbolic or both\n");
     return 2;
   }
   if (!Opts.Commutativity && !Opts.Inverses) {
