@@ -32,6 +32,7 @@ fig_2_2_testing_methods
 fig_2_3_2_4_inverse_methods
 fig_3_templates
 fig_4_1_abstract_vs_concrete
+perf_dynamic_check
 perf_engine_scaling
 perf_lattice_ablation
 perf_speculation
@@ -49,7 +50,6 @@ tr_full_catalog
 "
 
 GOOGLE_BENCHES="
-perf_dynamic_check
 perf_inverse_vs_snapshot
 perf_sat_solver
 "
@@ -354,8 +354,19 @@ if os.path.exists(certify_path):
                                    if wall and plain_wall else None),
         }
 
+# Compiled commutativity-index statistics from perf_dynamic_check's
+# index_summary line: the interpreted-vs-indexed-vs-constant-bitmap
+# speedups and the compiled image shape, so index regressions (lost
+# constant coverage, a slowed VM) are caught like wall-time ones.
+index_stats = None
+for m in inline_metrics:
+    if (m.get("bench") == "perf_dynamic_check"
+            and m.get("metric") == "index_summary"):
+        index_stats = {k: v for k, v in m.items()
+                       if k not in ("bench", "metric")}
+
 doc = {
-    "schema": 5,
+    "schema": 6,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
@@ -364,6 +375,7 @@ doc = {
     "driver_family_stats": family_stats,
     "driver_catalog_stats": catalog_stats,
     "driver_certify_stats": certify_stats,
+    "index_stats": index_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

@@ -1,0 +1,470 @@
+//===- index/CommutativityIndex.cpp - Compiled condition index ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/CommutativityIndex.h"
+
+#include "logic/Simplifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace semcomm;
+using namespace semcomm::index;
+
+const char *semcomm::index::slotName(unsigned Slot) {
+  switch (Slot) {
+  case SlotBefore:
+    return "before";
+  case SlotBetween:
+    return "between";
+  case SlotAfter:
+    return "after";
+  case SlotBetweenConservative:
+    return "between-conservative";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation: Expr DAG -> SSA bytecode.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lowers one condition expression. Shared subterms compile once (the
+/// memo maps DAG nodes to registers), n-ary And/Or fold into binary
+/// chains, and Ite becomes a branch-free select. Unsupported shapes
+/// (quantifiers, names outside the argument layout) poison the whole
+/// program, which then falls back to the interpreter at query time.
+class ProgramCompiler {
+public:
+  ProgramCompiler(const Operation &Op1, const Operation &Op2) {
+    // Argument-atom bank layout: op1 args, op2 args, r1, r2.
+    unsigned Slot = 0;
+    for (const std::string &Base : Op1.ArgBaseNames)
+      ArgSlots[Base + "1"] = Slot++;
+    for (const std::string &Base : Op2.ArgBaseNames)
+      ArgSlots[Base + "2"] = Slot++;
+    ArgSlots["r1"] = Slot++;
+    ArgSlots["r2"] = Slot++;
+    assert(Slot <= MaxArgSlots && "argument bank overflow");
+  }
+
+  /// Compiles \p E; returns false if any subterm is outside the fragment.
+  bool compile(ExprRef E, IndexProgram &Out) {
+    Prog = &Out;
+    Out.Code.clear();
+    Memo.clear();
+    Failed = false;
+    unsigned Root = lower(E);
+    if (Failed)
+      return false;
+    // A bare argument atom lowers to a direct operand, not a register;
+    // materialize it so the program has a result register.
+    if (Root & OperandArgBit)
+      Root = emit({IOpcode::LoadArg, 0, uint16_t(Root & OperandIndexMask), 0,
+                   0, 0});
+    // The DAG memo can make the root an interior register (e.g. when the
+    // root was already emitted as a shared subterm); the VM returns the
+    // last register, so re-emit a move-equivalent only when needed.
+    if (Root != Out.numRegs() - 1) {
+      // Duplicate via a no-op boolean identity: Or(root, root) keeps the
+      // program branch-free and total.
+      emit({IOpcode::Or, 0, uint16_t(Root), uint16_t(Root), 0, 0});
+    }
+    // The VM's register file is a fixed inline array; a program too large
+    // for it falls back to the interpreter like any other unsupported
+    // shape (the shipped catalog peaks at 19 registers).
+    return Out.numRegs() <= MaxVMRegs;
+  }
+
+private:
+  unsigned emit(IInstr I) {
+    Prog->Code.push_back(I);
+    return Prog->numRegs() - 1;
+  }
+
+  unsigned fail() {
+    Failed = true;
+    return 0;
+  }
+
+  /// The state slot of a probe's state operand, or NumStateSlots on error.
+  unsigned stateSlot(ExprRef S) {
+    if (S->kind() != ExprKind::Var || S->sort() != Sort::State)
+      return NumStateSlots;
+    if (S->name() == "s1")
+      return StateSlotS1;
+    if (S->name() == "s2")
+      return StateSlotS2;
+    if (S->name() == "s3")
+      return StateSlotS3;
+    return NumStateSlots;
+  }
+
+  unsigned lower(ExprRef E) {
+    if (Failed)
+      return 0;
+    auto It = Memo.find(E);
+    if (It != Memo.end())
+      return It->second;
+    unsigned Reg = lowerUncached(E);
+    Memo[E] = Reg;
+    return Reg;
+  }
+
+  unsigned lowerBin(IOpcode Op, ExprRef E) {
+    uint16_t A = uint16_t(lower(E->operand(0)));
+    uint16_t B = uint16_t(lower(E->operand(1)));
+    return emit({Op, 0, A, B, 0, 0});
+  }
+
+  unsigned lowerProbe(IOpcode Op, ExprRef E, bool HasArg) {
+    unsigned St = stateSlot(E->operand(0));
+    if (St == NumStateSlots)
+      return fail();
+    uint16_t A = HasArg ? uint16_t(lower(E->operand(1))) : uint16_t(0);
+    return emit({Op, uint8_t(St), A, 0, 0, 0});
+  }
+
+  unsigned lowerUncached(ExprRef E) {
+    switch (E->kind()) {
+    case ExprKind::ConstBool:
+      return emit({IOpcode::ConstBool, 0, 0, 0, 0, E->boolValue() ? 1 : 0});
+    case ExprKind::ConstInt:
+      return emit({IOpcode::ConstInt, 0, 0, 0, 0, E->intValue()});
+    case ExprKind::ConstNull:
+      return emit({IOpcode::ConstNull, 0, 0, 0, 0, 0});
+    case ExprKind::Var: {
+      if (E->sort() == Sort::State)
+        return fail(); // State vars are only valid inside probes.
+      auto It = ArgSlots.find(E->name());
+      if (It == ArgSlots.end())
+        return fail();
+      // No instruction at all: argument atoms become direct operands of
+      // their consumers (OperandArgBit), erasing the LoadArg shuffle.
+      return OperandArgBit | It->second;
+    }
+
+    case ExprKind::Add:
+      return lowerBin(IOpcode::Add, E);
+    case ExprKind::Sub:
+      return lowerBin(IOpcode::Sub, E);
+    case ExprKind::Neg:
+      return emit({IOpcode::Neg, 0, uint16_t(lower(E->operand(0))), 0, 0, 0});
+
+    case ExprKind::Eq:
+      return lowerBin(IOpcode::Eq, E);
+    case ExprKind::Lt:
+      return lowerBin(IOpcode::Lt, E);
+    case ExprKind::Le:
+      return lowerBin(IOpcode::Le, E);
+
+    case ExprKind::Not:
+      // Peephole: !(a = b) fuses into one Ne instruction. Disequality
+      // guards dominate the catalog (nearly every between condition opens
+      // with v1 != v2), so this shortens most hot programs.
+      if (E->operand(0)->kind() == ExprKind::Eq)
+        return lowerBin(IOpcode::Ne, E->operand(0));
+      return emit({IOpcode::Not, 0, uint16_t(lower(E->operand(0))), 0, 0, 0});
+    case ExprKind::And:
+    case ExprKind::Or: {
+      IOpcode Op = E->kind() == ExprKind::And ? IOpcode::And : IOpcode::Or;
+      unsigned Acc = lower(E->operand(0));
+      for (unsigned I = 1; I != E->numOperands(); ++I) {
+        ExprRef Term = E->operand(I);
+        // Peephole: x | !y is Implies(y, x) — one instruction instead of
+        // a Not plus an Or. Total evaluation makes the reordering sound.
+        if (Op == IOpcode::Or && Term->kind() == ExprKind::Not &&
+            Term->operand(0)->kind() != ExprKind::Eq) {
+          uint16_t Y = uint16_t(lower(Term->operand(0)));
+          Acc = emit({IOpcode::Implies, 0, Y, uint16_t(Acc), 0, 0});
+          continue;
+        }
+        uint16_t Next = uint16_t(lower(Term));
+        Acc = emit({Op, 0, uint16_t(Acc), Next, 0, 0});
+      }
+      return Acc;
+    }
+    case ExprKind::Implies:
+      return lowerBin(IOpcode::Implies, E);
+    case ExprKind::Iff:
+      return lowerBin(IOpcode::Iff, E);
+    case ExprKind::Ite: {
+      uint16_t C = uint16_t(lower(E->operand(0)));
+      uint16_t T = uint16_t(lower(E->operand(1)));
+      uint16_t F = uint16_t(lower(E->operand(2)));
+      return emit({IOpcode::Select, 0, C, T, F, 0});
+    }
+
+    case ExprKind::SetContains:
+      return lowerProbe(IOpcode::SetContains, E, true);
+    case ExprKind::MapGet:
+      return lowerProbe(IOpcode::MapGet, E, true);
+    case ExprKind::MapHasKey:
+      return lowerProbe(IOpcode::MapHasKey, E, true);
+    case ExprKind::SeqAt:
+      return lowerProbe(IOpcode::SeqAt, E, true);
+    case ExprKind::SeqLen:
+      return lowerProbe(IOpcode::SeqLen, E, false);
+    case ExprKind::SeqIndexOf:
+      return lowerProbe(IOpcode::SeqIndexOf, E, true);
+    case ExprKind::SeqLastIndexOf:
+      return lowerProbe(IOpcode::SeqLastIndexOf, E, true);
+    case ExprKind::StateSize:
+      return lowerProbe(IOpcode::StateSize, E, false);
+    case ExprKind::CounterValue:
+      return lowerProbe(IOpcode::CounterValue, E, false);
+
+    case ExprKind::Forall:
+    case ExprKind::Exists:
+      // Dynamic-bound quantifiers are outside the branch-free fragment;
+      // the shipped catalog never uses them (pinned by IndexTest).
+      return fail();
+    }
+    return fail();
+  }
+
+  IndexProgram *Prog = nullptr;
+  bool Failed = false;
+  std::map<std::string, unsigned> ArgSlots;
+  std::map<ExprRef, unsigned> Memo;
+};
+
+void setBit(std::vector<uint64_t> &Words, unsigned Bit, bool B) {
+  if (B)
+    Words[Bit >> 6] |= uint64_t(1) << (Bit & 63);
+}
+
+} // namespace
+
+CommutativityIndex CommutativityIndex::compile(const Catalog &C) {
+  CommutativityIndex Idx;
+  ExprFactory &F = C.factory();
+  for (const Family *Fam : allFamilies()) {
+    FamilyIndex FI;
+    FI.Name = Fam->Name;
+    FI.Fam = Fam;
+    FI.NumOps = static_cast<unsigned>(Fam->Ops.size());
+    FI.NumStructures = static_cast<unsigned>(Fam->StructureNames.size());
+    unsigned NumPairSlots = FI.NumOps * FI.NumOps * NumSlotsPerPair;
+    FI.ProgOf.assign(NumPairSlots, -1);
+    FI.ConstMask.assign((NumPairSlots + 63) / 64, 0);
+    FI.ConstVal.assign((NumPairSlots + 63) / 64, 0);
+
+    for (const ConditionEntry &E : C.entries(*Fam)) {
+      ExprRef Phis[NumSlotsPerPair] = {
+          E.Before, E.Between, E.After, dropS1Disjuncts(F, E.Between)};
+      ProgramCompiler PC(E.op1(), E.op2());
+      for (unsigned Slot = 0; Slot != NumSlotsPerPair; ++Slot) {
+        unsigned PS = (E.Op1 * FI.NumOps + E.Op2) * NumSlotsPerPair + Slot;
+        ExprRef Phi = Phis[Slot];
+        if (Phi->kind() == ExprKind::ConstBool) {
+          setBit(FI.ConstMask, PS, true);
+          setBit(FI.ConstVal, PS, Phi->boolValue());
+          continue;
+        }
+        IndexProgram P;
+        if (!PC.compile(Phi, P))
+          continue; // Unsupported: ProgOf stays -1, bitmap stays clear.
+        FI.MaxRegs = std::max(FI.MaxRegs, P.numRegs());
+        FI.ProgOf[PS] = static_cast<int32_t>(FI.Programs.size());
+        FI.Programs.push_back(std::move(P));
+      }
+    }
+    Idx.Families.push_back(std::move(FI));
+  }
+  return Idx;
+}
+
+unsigned FamilyIndex::opIndex(const std::string &OpName) const {
+  for (unsigned I = 0; I != NumOps; ++I)
+    if (Fam->Ops[I].Name == OpName)
+      return I;
+  return NumOps;
+}
+
+IndexStats CommutativityIndex::stats() const {
+  IndexStats S;
+  for (const FamilyIndex &FI : Families) {
+    unsigned NumPairSlots = FI.NumOps * FI.NumOps * NumSlotsPerPair;
+    S.TotalSlots += NumPairSlots;
+    S.Programs += FI.numPrograms();
+    S.MaxRegs = std::max(S.MaxRegs, FI.MaxRegs);
+    for (const IndexProgram &P : FI.Programs)
+      S.TotalInstructions += P.numRegs();
+    for (unsigned PS = 0; PS != NumPairSlots; ++PS)
+      if (FI.ConstMask[PS >> 6] & (uint64_t(1) << (PS & 63)))
+        ++S.Constants;
+    // Paper counting: 3 exact conditions per ordered pair, once per
+    // implementing structure (the conservative dialect is a derived
+    // fourth slot, not a catalog condition).
+    S.PaperConditions += 3 * FI.NumOps * FI.NumOps * FI.NumStructures;
+  }
+  S.Fallbacks = S.TotalSlots - S.Programs - S.Constants;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: versioned, line-oriented text image.
+//===----------------------------------------------------------------------===//
+
+std::string CommutativityIndex::serialize() const {
+  std::ostringstream Out;
+  Out << "SEMCOMM-INDEX 1\n";
+  Out << "families " << Families.size() << "\n";
+  for (const FamilyIndex &FI : Families) {
+    Out << "family " << FI.Name << " ops " << FI.NumOps << " structures "
+        << FI.NumStructures << " maxregs " << FI.MaxRegs << " programs "
+        << FI.Programs.size() << "\n";
+    auto EmitWords = [&Out](const char *Tag,
+                            const std::vector<uint64_t> &Words) {
+      Out << Tag << " " << Words.size();
+      for (uint64_t W : Words)
+        Out << " " << W;
+      Out << "\n";
+    };
+    EmitWords("constmask", FI.ConstMask);
+    EmitWords("constval", FI.ConstVal);
+    Out << "progof " << FI.ProgOf.size();
+    for (int32_t P : FI.ProgOf)
+      Out << " " << P;
+    Out << "\n";
+    for (const IndexProgram &P : FI.Programs) {
+      Out << "prog " << P.Code.size() << "\n";
+      for (const IInstr &I : P.Code)
+        Out << unsigned(I.Op) << " " << unsigned(I.St) << " " << I.A << " "
+            << I.B << " " << I.C << " " << I.Imm << "\n";
+    }
+  }
+  Out << "end\n";
+  return Out.str();
+}
+
+std::optional<CommutativityIndex>
+CommutativityIndex::parse(const std::string &Image) {
+  std::istringstream In(Image);
+  std::string Tok;
+  unsigned Version = 0;
+  if (!(In >> Tok >> Version) || Tok != "SEMCOMM-INDEX" || Version != 1)
+    return std::nullopt;
+  size_t NumFamilies = 0;
+  if (!(In >> Tok >> NumFamilies) || Tok != "families")
+    return std::nullopt;
+
+  CommutativityIndex Idx;
+  for (size_t FIdx = 0; FIdx != NumFamilies; ++FIdx) {
+    FamilyIndex FI;
+    size_t NumProgs = 0;
+    std::string KwOps, KwStructs, KwRegs, KwProgs;
+    if (!(In >> Tok >> FI.Name >> KwOps >> FI.NumOps >> KwStructs >>
+          FI.NumStructures >> KwRegs >> FI.MaxRegs >> KwProgs >> NumProgs) ||
+        Tok != "family" || KwOps != "ops" || KwStructs != "structures" ||
+        KwRegs != "maxregs" || KwProgs != "programs")
+      return std::nullopt;
+    for (const Family *Fam : allFamilies())
+      if (Fam->Name == FI.Name)
+        FI.Fam = Fam;
+    if (!FI.Fam || FI.Fam->Ops.size() != FI.NumOps)
+      return std::nullopt;
+
+    unsigned NumPairSlots = FI.NumOps * FI.NumOps * NumSlotsPerPair;
+    auto ReadWords = [&](const char *Key, std::vector<uint64_t> &Words) {
+      size_t N = 0;
+      if (!(In >> Tok >> N) || Tok != Key || N != (NumPairSlots + 63) / 64)
+        return false;
+      Words.resize(N);
+      for (uint64_t &W : Words)
+        if (!(In >> W))
+          return false;
+      return true;
+    };
+    if (!ReadWords("constmask", FI.ConstMask) ||
+        !ReadWords("constval", FI.ConstVal))
+      return std::nullopt;
+
+    size_t NumProgOf = 0;
+    if (!(In >> Tok >> NumProgOf) || Tok != "progof" ||
+        NumProgOf != NumPairSlots)
+      return std::nullopt;
+    FI.ProgOf.resize(NumProgOf);
+    for (int32_t &P : FI.ProgOf) {
+      if (!(In >> P) || P >= static_cast<int32_t>(NumProgs))
+        return std::nullopt;
+    }
+
+    for (size_t PIdx = 0; PIdx != NumProgs; ++PIdx) {
+      size_t NumInstr = 0;
+      if (!(In >> Tok >> NumInstr) || Tok != "prog" || NumInstr == 0 ||
+          NumInstr > MaxVMRegs)
+        return std::nullopt;
+      IndexProgram P;
+      P.Code.resize(NumInstr);
+      for (size_t Pos = 0; Pos != NumInstr; ++Pos) {
+        IInstr &I = P.Code[Pos];
+        unsigned Op = 0, St = 0;
+        if (!(In >> Op >> St >> I.A >> I.B >> I.C >> I.Imm) ||
+            Op >= NumIOpcodes || St >= NumStateSlots)
+          return std::nullopt;
+        I.Op = static_cast<IOpcode>(Op);
+        I.St = static_cast<uint8_t>(St);
+        // Operand validation: a register operand must name an earlier
+        // instruction (dependency order), a direct argument operand must
+        // be inside the bank. How many operand fields an opcode actually
+        // reads decides which fields are checked.
+        auto ValidTok = [Pos](uint16_t T) {
+          return (T & OperandArgBit) ? (T & OperandIndexMask) < MaxArgSlots
+                                     : T < Pos;
+        };
+        unsigned Arity = 0;
+        switch (I.Op) {
+        case IOpcode::ConstBool:
+        case IOpcode::ConstInt:
+        case IOpcode::ConstNull:
+        case IOpcode::SeqLen:
+        case IOpcode::StateSize:
+        case IOpcode::CounterValue:
+          Arity = 0;
+          break;
+        case IOpcode::LoadArg:
+          if (I.A >= MaxArgSlots)
+            return std::nullopt;
+          Arity = 0;
+          break;
+        case IOpcode::Neg:
+        case IOpcode::Not:
+        case IOpcode::SetContains:
+        case IOpcode::MapGet:
+        case IOpcode::MapHasKey:
+        case IOpcode::SeqAt:
+        case IOpcode::SeqIndexOf:
+        case IOpcode::SeqLastIndexOf:
+          Arity = 1;
+          break;
+        case IOpcode::Select:
+          Arity = 3;
+          break;
+        default: // All binary arithmetic, comparison, and connectives.
+          Arity = 2;
+          break;
+        }
+        if ((Arity >= 1 && !ValidTok(I.A)) ||
+            (Arity >= 2 && !ValidTok(I.B)) || (Arity >= 3 && !ValidTok(I.C)))
+          return std::nullopt;
+      }
+      FI.MaxRegs = std::max(FI.MaxRegs, P.numRegs());
+      FI.Programs.push_back(std::move(P));
+    }
+    Idx.Families.push_back(std::move(FI));
+  }
+  if (!(In >> Tok) || Tok != "end")
+    return std::nullopt;
+  return Idx;
+}

@@ -1,0 +1,199 @@
+//===- index/CommutativityIndex.h - Compiled condition index ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verified catalog answers "do op1/op2 commute under condition phi";
+/// a production runtime asks that question millions of times per second
+/// with concrete arguments. This module is the PesTrie move for that
+/// query: precompute a persistent, compressed index offline so each
+/// online query is a near-constant lookup.
+///
+/// For every ordered operation pair of every family, the compiler lowers
+/// four condition dialects into IndexProgram bytecode:
+///
+///   slot 0  before  (exact)
+///   slot 1  between (exact; references the saved pre-state s1)
+///   slot 2  after   (exact)
+///   slot 3  between (conservative s1-free dialect; the run-time
+///                    gatekeeper's condition, §4.1.2 option 2)
+///
+/// Conditions that are constant (the catalog's many `true` entries, and
+/// conservative dialects that fold to `false` because every clause needed
+/// s1) never get a program at all: they live in a packed pair x slot
+/// bitmap, so those queries are two bit tests. Everything else runs on
+/// the register-machine evaluator (IndexVM.h) with no per-query
+/// allocation. Conditions outside the compilable fragment (none in the
+/// shipped catalog — pinned by IndexTest) are reported Unsupported and
+/// fall back to the interpreter at the facade layer.
+///
+/// The index serializes to a versioned text image (semcommute-indexgen
+/// writes it; parse() reloads it and rebinds family singletons by name),
+/// and every compiled program is fuzz-cross-checked against
+/// logic/Evaluator (IndexFuzz.h), so the index inherits the catalog's
+/// verified status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_INDEX_COMMUTATIVITYINDEX_H
+#define SEMCOMM_INDEX_COMMUTATIVITYINDEX_H
+
+#include "commute/Condition.h"
+#include "index/IndexProgram.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+namespace index {
+
+/// Per-pair condition slots of the compiled index.
+enum : unsigned {
+  SlotBefore = 0,
+  SlotBetween = 1,
+  SlotAfter = 2,
+  SlotBetweenConservative = 3,
+  NumSlotsPerPair = 4,
+};
+
+const char *slotName(unsigned Slot);
+
+/// What a lookup resolved to.
+enum class Verdict : uint8_t {
+  ConstFalse,  ///< Constant-bitmap hit: never commutes under this slot.
+  ConstTrue,   ///< Constant-bitmap hit: always commutes under this slot.
+  Program,     ///< Run the returned IndexProgram.
+  Unsupported, ///< Not compiled; caller must fall back to the interpreter.
+};
+
+/// The compiled image of one family: programs, the constant bitmaps, and
+/// the pair x slot dispatch table.
+class FamilyIndex {
+public:
+  const std::string &familyName() const { return Name; }
+  const Family &family() const { return *Fam; }
+  unsigned numOps() const { return NumOps; }
+  unsigned numStructures() const { return NumStructures; }
+  unsigned numPrograms() const { return static_cast<unsigned>(Programs.size()); }
+  unsigned maxRegs() const { return MaxRegs; }
+
+  /// Operation index by name; returns NumOps when unknown.
+  unsigned opIndex(const std::string &OpName) const;
+
+  /// Classifies the (Op1, Op2, Slot) condition. On Verdict::Program,
+  /// *ProgOut points at the program to run.
+  Verdict classify(unsigned Op1, unsigned Op2, unsigned Slot,
+                   const IndexProgram **ProgOut) const {
+    unsigned PS = (Op1 * NumOps + Op2) * NumSlotsPerPair + Slot;
+    if (ConstMask[PS >> 6] & (uint64_t(1) << (PS & 63)))
+      return (ConstVal[PS >> 6] & (uint64_t(1) << (PS & 63)))
+                 ? Verdict::ConstTrue
+                 : Verdict::ConstFalse;
+    int32_t P = ProgOf[PS];
+    if (P < 0)
+      return Verdict::Unsupported;
+    *ProgOut = &Programs[P];
+    return Verdict::Program;
+  }
+
+  /// The program of a non-constant slot, or nullptr.
+  const IndexProgram *program(unsigned Op1, unsigned Op2,
+                              unsigned Slot) const {
+    const IndexProgram *P = nullptr;
+    return classify(Op1, Op2, Slot, &P) == Verdict::Program ? P : nullptr;
+  }
+
+  /// Raw dispatch tables, for callers that cache them in a pre-resolved
+  /// handle (runtime/IndexedChecker::PairHandle) so a constant-bitmap hit
+  /// inlines to two loads and a bit test. Stable for the index's lifetime.
+  const uint64_t *constMaskWords() const { return ConstMask.data(); }
+  const uint64_t *constValWords() const { return ConstVal.data(); }
+  const int32_t *progOfTable() const { return ProgOf.data(); }
+  const IndexProgram *programTable() const { return Programs.data(); }
+
+  friend bool operator==(const FamilyIndex &X, const FamilyIndex &Y) {
+    return X.Name == Y.Name && X.NumOps == Y.NumOps &&
+           X.NumStructures == Y.NumStructures && X.ProgOf == Y.ProgOf &&
+           X.ConstMask == Y.ConstMask && X.ConstVal == Y.ConstVal &&
+           X.Programs == Y.Programs;
+  }
+
+private:
+  friend class CommutativityIndex;
+
+  std::string Name;
+  const Family *Fam = nullptr; ///< Rebound by name on parse().
+  unsigned NumOps = 0;
+  unsigned NumStructures = 0;
+  unsigned MaxRegs = 0;
+  /// (op1 * NumOps + op2) * NumSlotsPerPair + slot -> program id, or -1
+  /// for constant / unsupported slots.
+  std::vector<int32_t> ProgOf;
+  /// Packed constant bitmaps over the same pair x slot index space.
+  std::vector<uint64_t> ConstMask, ConstVal;
+  std::vector<IndexProgram> Programs;
+};
+
+/// Aggregate compilation statistics.
+struct IndexStats {
+  unsigned TotalSlots = 0;      ///< pairs x NumSlotsPerPair over all families.
+  unsigned Programs = 0;        ///< Slots lowered to bytecode.
+  unsigned Constants = 0;       ///< Slots resolved by the constant bitmap.
+  unsigned Fallbacks = 0;       ///< Slots left to the interpreter.
+  unsigned MaxRegs = 0;         ///< Largest register file any program needs.
+  unsigned TotalInstructions = 0;
+  /// Paper-counted exact conditions covered (765 for the full catalog:
+  /// 3 kinds per pair, counted once per implementing structure).
+  unsigned PaperConditions = 0;
+
+  double constantFraction() const {
+    return TotalSlots ? double(Constants) / double(TotalSlots) : 0.0;
+  }
+};
+
+/// The whole-catalog compiled index. Immutable after compile()/parse(),
+/// so one instance may be shared read-only across any number of threads;
+/// per-thread mutable state (the VM register file) lives in IndexVM.
+class CommutativityIndex {
+public:
+  /// Compiles every condition of \p C (all families, all four slots).
+  static CommutativityIndex compile(const Catalog &C);
+
+  /// The compiled family image, or nullptr for an unknown family.
+  const FamilyIndex *familyIndex(const Family &Fam) const {
+    for (const FamilyIndex &FI : Families)
+      if (FI.Fam == &Fam)
+        return &FI;
+    return nullptr;
+  }
+
+  const std::vector<FamilyIndex> &families() const { return Families; }
+
+  IndexStats stats() const;
+
+  /// Versioned text image; exact round-trip through parse().
+  std::string serialize() const;
+
+  /// Reloads a serialized image, rebinding each family singleton by name.
+  /// Returns nullopt on any structural error (truncation, bad counts,
+  /// unknown opcode or family).
+  static std::optional<CommutativityIndex> parse(const std::string &Image);
+
+  friend bool operator==(const CommutativityIndex &X,
+                         const CommutativityIndex &Y) {
+    return X.Families == Y.Families;
+  }
+
+private:
+  std::vector<FamilyIndex> Families; ///< In allFamilies() order.
+};
+
+} // namespace index
+} // namespace semcomm
+
+#endif // SEMCOMM_INDEX_COMMUTATIVITYINDEX_H

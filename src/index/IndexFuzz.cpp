@@ -1,0 +1,189 @@
+//===- index/IndexFuzz.cpp - Index vs. interpreter cross-check ------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "index/IndexFuzz.h"
+
+#include "index/IndexVM.h"
+#include "logic/Evaluator.h"
+#include "logic/Simplifier.h"
+#include "spec/AbstractState.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+using namespace semcomm;
+using namespace semcomm::index;
+
+namespace {
+
+/// splitmix64: a counter-based generator, so every (condition, trial) gets
+/// an independent stream and the sweep is deterministic under any thread
+/// count.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() { return State = mix64(State); }
+  /// Uniform in [0, Bound).
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+};
+
+/// A sort-correct random scalar. Object identities and integers stay in a
+/// small range so equalities, guards, and probes hit both outcomes often.
+Value randomValue(Rng &R, Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return Value::boolean(R.below(2) != 0);
+  case Sort::Int:
+    return Value::integer(static_cast<int64_t>(R.below(8)) - 2);
+  case Sort::Obj:
+    return R.below(8) == 0 ? Value::null()
+                           : Value::obj(static_cast<int64_t>(R.below(5)));
+  case Sort::State:
+    break;
+  }
+  return Value::undef(); // Unreachable for argument/return sorts.
+}
+
+/// One ordered pair's cross-check work: all four slots, TrialsPerCondition
+/// environments each.
+struct PairJob {
+  const FamilyIndex *FI;
+  const ConditionEntry *Entry;
+  ExprRef Conservative; ///< Precomputed s1-free between dialect.
+  const std::vector<AbstractState> *States;
+  uint64_t StreamBase; ///< Seed material unique to this pair.
+};
+
+} // namespace
+
+FuzzReport semcomm::index::crossCheck(const Catalog &C,
+                                      const CommutativityIndex &Idx,
+                                      uint64_t Seed,
+                                      unsigned TrialsPerCondition,
+                                      unsigned NumThreads) {
+  // Precompute everything that touches the shared ExprFactory serially:
+  // dropS1Disjuncts interns new nodes, and the factory is not thread-safe.
+  std::vector<PairJob> Jobs;
+  std::vector<std::vector<AbstractState>> StatePools;
+  StatePools.reserve(allFamilies().size());
+  Scope S;
+  for (const Family *Fam : allFamilies())
+    StatePools.push_back(enumerateStates(*Fam, S));
+
+  unsigned FamIdx = 0;
+  for (const Family *Fam : allFamilies()) {
+    const FamilyIndex *FI = Idx.familyIndex(*Fam);
+    if (FI) {
+      for (const ConditionEntry &E : C.entries(*Fam))
+        Jobs.push_back({FI, &E, dropS1Disjuncts(C.factory(), E.Between),
+                        &StatePools[FamIdx],
+                        mix64(Seed ^ (uint64_t(FamIdx) << 32) ^
+                              (uint64_t(E.Op1) << 16) ^ E.Op2)});
+    }
+    ++FamIdx;
+  }
+
+  FuzzReport Report;
+  std::atomic<uint64_t> Trials{0}, Programs{0}, Constants{0}, Unsupported{0},
+      Mismatches{0};
+  std::mutex DiagMutex;
+  std::vector<std::string> Diags;
+  unsigned MaxRegs = Idx.stats().MaxRegs;
+
+  ThreadPool::parallelFor(Jobs.size(), NumThreads, [&](size_t JobIdx) {
+    const PairJob &Job = Jobs[JobIdx];
+    const ConditionEntry &E = *Job.Entry;
+    const Operation &Op1 = E.op1();
+    const Operation &Op2 = E.op2();
+    ExprRef Phis[NumSlotsPerPair] = {E.Before, E.Between, E.After,
+                                     Job.Conservative};
+    IndexVM VM(MaxRegs);
+    Value Args[MaxArgSlots];
+    unsigned N1 = static_cast<unsigned>(Op1.ArgSorts.size());
+    unsigned N2 = static_cast<unsigned>(Op2.ArgSorts.size());
+
+    for (unsigned Slot = 0; Slot != NumSlotsPerPair; ++Slot) {
+      const IndexProgram *Prog = nullptr;
+      Verdict V = Job.FI->classify(E.Op1, E.Op2, Slot, &Prog);
+      if (V == Verdict::Unsupported) {
+        Unsupported.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      for (unsigned Trial = 0; Trial != TrialsPerCondition; ++Trial) {
+        Rng R(mix64(Job.StreamBase ^ (uint64_t(Slot) << 48) ^ Trial));
+
+        // Sort-correct random arguments and return values...
+        Env Interp;
+        for (unsigned I = 0; I != N1; ++I) {
+          Args[I] = randomValue(R, Op1.ArgSorts[I]);
+          Interp.bind(Op1.ArgBaseNames[I] + "1", Args[I]);
+        }
+        for (unsigned I = 0; I != N2; ++I) {
+          Args[N1 + I] = randomValue(R, Op2.ArgSorts[I]);
+          Interp.bind(Op2.ArgBaseNames[I] + "2", Args[N1 + I]);
+        }
+        Args[N1 + N2] = randomValue(R, Op1.ReturnSort);
+        Args[N1 + N2 + 1] = randomValue(R, Op2.ReturnSort);
+        Interp.bind("r1", Args[N1 + N2]);
+        Interp.bind("r2", Args[N1 + N2 + 1]);
+
+        // ...and three independent random abstract states.
+        const std::vector<AbstractState> &Pool = *Job.States;
+        const AbstractState &S1 = Pool[R.below(Pool.size())];
+        const AbstractState &S2 = Pool[R.below(Pool.size())];
+        const AbstractState &S3 = Pool[R.below(Pool.size())];
+        Interp.bindState("s1", &S1);
+        Interp.bindState("s2", &S2);
+        Interp.bindState("s3", &S3);
+        const StateView *Views[NumStateSlots] = {&S1, &S2, &S3};
+
+        bool Expected = evaluateBool(Phis[Slot], Interp);
+        bool Got;
+        if (V == Verdict::Program) {
+          Got = VM.runBool(*Prog, Args, Views);
+          Programs.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          Got = V == Verdict::ConstTrue;
+          Constants.fetch_add(1, std::memory_order_relaxed);
+        }
+        Trials.fetch_add(1, std::memory_order_relaxed);
+
+        if (Got != Expected) {
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> Lock(DiagMutex);
+          if (Diags.size() < 8) {
+            std::ostringstream Msg;
+            Msg << Job.FI->familyName() << " " << E.pairName() << " "
+                << slotName(Slot) << " trial " << Trial << ": interpreter="
+                << (Expected ? "true" : "false")
+                << " index=" << (Got ? "true" : "false") << " (s1=" << S1.str()
+                << " s2=" << S2.str() << " s3=" << S3.str() << ")";
+            Diags.push_back(Msg.str());
+          }
+        }
+      }
+    }
+  });
+
+  Report.Trials = Trials.load();
+  Report.ProgramsChecked = Programs.load();
+  Report.ConstantsChecked = Constants.load();
+  Report.UnsupportedSlots = Unsupported.load();
+  Report.Mismatches = Mismatches.load();
+  Report.Diagnostics = std::move(Diags);
+  return Report;
+}

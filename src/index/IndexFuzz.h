@@ -1,0 +1,58 @@
+//===- index/IndexFuzz.h - Index vs. interpreter cross-check ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential fuzzing of the compiled commutativity index against the
+/// reference tree interpreter (logic/Evaluator): for every ordered pair x
+/// slot of every family, both evaluators run the same randomly generated
+/// environments (sort-correct arguments and return values, abstract states
+/// drawn from the exhaustive enumeration) and must agree bit-for-bit.
+/// Constant-bitmap slots are checked the same way, pinning the bitmap
+/// against the interpreter too. This is how the index inherits the
+/// catalog's verified status — the compiler is never trusted, only
+/// cross-checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_INDEX_INDEXFUZZ_H
+#define SEMCOMM_INDEX_INDEXFUZZ_H
+
+#include "index/CommutativityIndex.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+namespace index {
+
+/// Outcome of one crossCheck() sweep.
+struct FuzzReport {
+  uint64_t Trials = 0;           ///< Environments evaluated (both paths).
+  uint64_t ProgramsChecked = 0;  ///< Trials resolved by compiled programs.
+  uint64_t ConstantsChecked = 0; ///< Trials resolved by the constant bitmap.
+  uint64_t UnsupportedSlots = 0; ///< Pair x slot entries with no program.
+  uint64_t Mismatches = 0;       ///< Disagreements (must be zero).
+  /// Up to eight human-readable diagnostics for the first mismatches.
+  std::vector<std::string> Diagnostics;
+
+  bool clean() const { return Mismatches == 0 && UnsupportedSlots == 0; }
+};
+
+/// Runs \p TrialsPerCondition random environments through every (pair,
+/// slot) of every family, comparing \p Idx against the interpreter on
+/// \p C's conditions. Deterministic in \p Seed regardless of \p NumThreads
+/// (each condition derives its own counter-based RNG stream).
+FuzzReport crossCheck(const Catalog &C, const CommutativityIndex &Idx,
+                      uint64_t Seed, unsigned TrialsPerCondition,
+                      unsigned NumThreads);
+
+} // namespace index
+} // namespace semcomm
+
+#endif // SEMCOMM_INDEX_INDEXFUZZ_H

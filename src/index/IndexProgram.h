@@ -1,0 +1,149 @@
+//===- index/IndexProgram.h - Branch-free condition bytecode ----*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluable form the commutativity index compiles verified conditions
+/// into: a flattened ITE/DAG bytecode program for a small register machine.
+/// Each instruction writes exactly one register (SSA over the expression
+/// DAG, so shared subterms evaluate once); there are no branches — And/Or
+/// lower to binary boolean instructions and Ite to a select — so a program
+/// executes in a fixed number of steps regardless of the data.
+///
+/// Inputs come from two banks:
+///  * argument atoms — a fixed slot layout over the two operations'
+///    actual arguments and recorded return values (op1 args, then op2
+///    args, then r1, then r2), and
+///  * abstract-state probes — contains/indexOf-style reads against the
+///    StateViews bound to the s1/s2/s3 slots (the live structure at run
+///    time).
+///
+/// Soundness of branch-free evaluation: the interpreter (logic/Evaluator)
+/// short-circuits And/Or left-to-right, which the paper's guarded-access
+/// idiom relies on. Full evaluation is nevertheless equivalent over the
+/// catalog's vocabulary because every probe is total — an out-of-range
+/// seqAt yields Undef and a missed mapGet yields null, both Obj-sorted
+/// values that only ever flow into the totalizing Eq atom (Undef equals
+/// nothing). Integer and boolean operands are produced only by total
+/// operators, so no instruction can fault; the compiled program computes
+/// exactly the value the interpreter would. The fuzz cross-check
+/// (IndexFuzz.h) pins this argument on every compiled condition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_INDEX_INDEXPROGRAM_H
+#define SEMCOMM_INDEX_INDEXPROGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace semcomm {
+namespace index {
+
+/// Register-machine opcodes. Operand registers are named A/B/C; St is the
+/// state slot (0=s1, 1=s2, 2=s3) of a probe; Imm carries constant payloads.
+enum class IOpcode : uint8_t {
+  // Leaves.
+  ConstBool, ///< reg = Imm != 0
+  ConstInt,  ///< reg = Imm
+  ConstNull, ///< reg = null
+  LoadArg,   ///< reg = args[A] (argument-atom bank)
+
+  // Integer terms.
+  Add, ///< reg = r[A] + r[B]
+  Sub, ///< reg = r[A] - r[B]
+  Neg, ///< reg = -r[A]
+
+  // Atoms.
+  Eq, ///< reg = r[A] = r[B] (semantic equality; Undef equals nothing)
+  Ne, ///< reg = !(r[A] = r[B]) (fused Not(Eq); Undef differs from all)
+  Lt, ///< reg = r[A] < r[B]
+  Le, ///< reg = r[A] <= r[B]
+
+  // Boolean connectives (n-ary And/Or are lowered to binary chains).
+  Not,     ///< reg = !r[A]
+  And,     ///< reg = r[A] && r[B]
+  Or,      ///< reg = r[A] || r[B]
+  Implies, ///< reg = !r[A] || r[B]
+  Iff,     ///< reg = r[A] == r[B]
+  Select,  ///< reg = r[A] ? r[B] : r[C]
+
+  // Abstract-state probes against the StateView in slot St.
+  SetContains,    ///< reg = states[St]->contains(r[A])
+  MapGet,         ///< reg = states[St]->mapGet(r[A])
+  MapHasKey,      ///< reg = states[St]->mapHasKey(r[A])
+  SeqAt,          ///< reg = states[St]->seqAt(r[A])
+  SeqLen,         ///< reg = states[St]->seqLen()
+  SeqIndexOf,     ///< reg = states[St]->seqIndexOf(r[A])
+  SeqLastIndexOf, ///< reg = states[St]->seqLastIndexOf(r[A])
+  StateSize,      ///< reg = states[St]->size()
+  CounterValue,   ///< reg = states[St]->counter()
+};
+
+/// Number of distinct opcodes (serialization bound check).
+constexpr unsigned NumIOpcodes =
+    static_cast<unsigned>(IOpcode::CounterValue) + 1;
+
+/// Operand encoding: a value operand (the A/B/C field of every opcode
+/// except LoadArg, whose A is a plain bank slot) either names a register
+/// (bit 15 clear: an earlier instruction's result) or reads the argument
+/// bank directly (bit 15 set: bank slot in the low bits). Direct argument
+/// operands are how the compiler erases the LoadArg shuffle from the hot
+/// programs — most conditions are a couple of connectives over argument
+/// atoms, so the loads would otherwise outnumber the real work.
+constexpr uint16_t OperandArgBit = 0x8000;
+constexpr uint16_t OperandIndexMask = 0x7fff;
+
+/// One instruction. Instruction i writes register i; programs are in
+/// dependency order, so a linear sweep evaluates the DAG bottom-up.
+struct IInstr {
+  IOpcode Op = IOpcode::ConstBool;
+  uint8_t St = 0;         ///< State slot of a probe (0=s1, 1=s2, 2=s3).
+  uint16_t A = 0, B = 0, C = 0; ///< Operands (see OperandArgBit encoding).
+  int64_t Imm = 0;        ///< ConstBool / ConstInt payload.
+
+  friend bool operator==(const IInstr &X, const IInstr &Y) {
+    return X.Op == Y.Op && X.St == Y.St && X.A == Y.A && X.B == Y.B &&
+           X.C == Y.C && X.Imm == Y.Imm;
+  }
+};
+
+/// A compiled condition: straight-line code whose last register is the
+/// Bool-sorted result.
+struct IndexProgram {
+  std::vector<IInstr> Code;
+
+  unsigned numRegs() const { return static_cast<unsigned>(Code.size()); }
+
+  friend bool operator==(const IndexProgram &X, const IndexProgram &Y) {
+    return X.Code == Y.Code;
+  }
+};
+
+/// Argument-atom bank layout: op1's arguments occupy slots
+/// [0, numArgs1), op2's occupy [numArgs1, numArgs1+numArgs2), then r1 and
+/// r2. No catalog operation takes more than two arguments, so the bank is
+/// a small fixed-size stack array at every query site.
+constexpr unsigned MaxArgSlots = 8;
+
+/// Register-file ceiling. One register per instruction (SSA), so this
+/// bounds program length too; the shipped catalog's largest program uses
+/// 19. A fixed ceiling lets the VM keep its register file inline — at a
+/// compile-time offset from everything else it touches — instead of
+/// behind a heap pointer whose placement varies run to run. The compiler
+/// falls back to the interpreter for any condition that would exceed it,
+/// and parse() rejects longer programs.
+constexpr unsigned MaxVMRegs = 64;
+
+/// State-slot indices of the probe bank.
+constexpr unsigned StateSlotS1 = 0, StateSlotS2 = 1, StateSlotS3 = 2,
+                   NumStateSlots = 3;
+
+} // namespace index
+} // namespace semcomm
+
+#endif // SEMCOMM_INDEX_INDEXPROGRAM_H

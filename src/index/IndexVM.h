@@ -1,0 +1,329 @@
+//===- index/IndexVM.h - Compiled-condition evaluator -----------*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact register machine that executes IndexProgram bytecode: one
+/// linear sweep over the instructions, a preallocated register file, no
+/// branches in the evaluated logic and no per-query allocation. The
+/// semantics totalize exactly the way the tree interpreter's value domain
+/// does — Eq is semantic equality (Undef equals nothing), probes are
+/// total (seqAt out of range yields Undef, mapGet of an absent key yields
+/// null) — so a compiled program computes the same boolean the
+/// interpreter would, without the interpreter's short-circuit control
+/// flow (see the soundness note in IndexProgram.h).
+///
+/// The VM is the only mutable state of the indexed query path; give each
+/// thread its own (the index itself is immutable and shared).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_INDEX_INDEXVM_H
+#define SEMCOMM_INDEX_INDEXVM_H
+
+#include "index/IndexProgram.h"
+#include "logic/StateView.h"
+#include "logic/Value.h"
+
+#include <cassert>
+
+namespace semcomm {
+namespace index {
+
+/// Executes compiled condition programs against an argument bank and the
+/// s1/s2/s3 state slots.
+///
+/// The register file is inline (MaxVMRegs slots), not heap-allocated: a
+/// query interleaves stores into the caller's argument bank with loads
+/// and stores here, and keeping both at fixed relative offsets avoids
+/// the run-to-run 4K-aliasing stalls a heap-placed file is exposed to.
+class IndexVM {
+public:
+  /// \p MaxRegs must be at least the largest numRegs() of any program this
+  /// VM will run (IndexStats::MaxRegs for a whole index) and at most
+  /// MaxVMRegs (the compiler never emits past it; parse() rejects it).
+  explicit IndexVM(unsigned MaxRegs) {
+    assert(MaxRegs <= MaxVMRegs && "program register ceiling exceeded");
+    (void)MaxRegs;
+  }
+
+  /// Runs \p P and returns its Bool result. \p Args is the argument-atom
+  /// bank (op1 args, op2 args, r1, r2 — see IndexProgram.h); \p States
+  /// holds the s1/s2/s3 StateViews (unreferenced slots may be null).
+  ///
+  /// Dispatch is token-threaded where the compiler supports computed goto
+  /// (GCC/Clang): every handler ends in its own indirect jump, so the
+  /// branch predictor learns the per-site opcode successor instead of
+  /// funnelling every transition through one switch. A query runs a short
+  /// program millions of times, which is exactly the regime where this
+  /// halves the per-instruction cost.
+  bool runBool(const IndexProgram &P, const Value *Args,
+               const StateView *const *States) {
+    assert(P.numRegs() <= MaxVMRegs && "register file too small");
+    Value *const R = Regs;
+    const IInstr *IP = P.Code.data();
+    const IInstr *const End = IP + P.Code.size();
+    Value *W = R;
+    // Operand decode: registers or direct argument-bank reads (see the
+    // OperandArgBit encoding in IndexProgram.h).
+    auto V = [&](uint16_t T) -> const Value & {
+      return (T & OperandArgBit) ? Args[T & OperandIndexMask] : R[T];
+    };
+
+#if defined(__GNUC__) || defined(__clang__)
+    static const void *const Tbl[NumIOpcodes] = {
+        &&L_ConstBool, &&L_ConstInt,   &&L_ConstNull,   &&L_LoadArg,
+        &&L_Add,       &&L_Sub,        &&L_Neg,         &&L_Eq,
+        &&L_Ne,        &&L_Lt,         &&L_Le,          &&L_Not,
+        &&L_And,       &&L_Or,         &&L_Implies,     &&L_Iff,
+        &&L_Select,    &&L_SetContains, &&L_MapGet,     &&L_MapHasKey,
+        &&L_SeqAt,     &&L_SeqLen,     &&L_SeqIndexOf,  &&L_SeqLastIndexOf,
+        &&L_StateSize, &&L_CounterValue};
+#define SEMCOMM_VM_NEXT()                                                      \
+  do {                                                                         \
+    if (IP == End)                                                             \
+      goto L_Done;                                                             \
+    goto *Tbl[static_cast<unsigned>(IP->Op)];                                  \
+  } while (0)
+
+    SEMCOMM_VM_NEXT();
+  L_ConstBool: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(I.Imm != 0);
+    SEMCOMM_VM_NEXT();
+  }
+  L_ConstInt: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(I.Imm);
+    SEMCOMM_VM_NEXT();
+  }
+  L_ConstNull: {
+    ++IP;
+    *W++ = Value::null();
+    SEMCOMM_VM_NEXT();
+  }
+  L_LoadArg: {
+    const IInstr &I = *IP++;
+    *W++ = Args[I.A];
+    SEMCOMM_VM_NEXT();
+  }
+  L_Add: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(V(I.A).asInt() + V(I.B).asInt());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Sub: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(V(I.A).asInt() - V(I.B).asInt());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Neg: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(-V(I.A).asInt());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Eq: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(V(I.A).semanticEquals(V(I.B)));
+    SEMCOMM_VM_NEXT();
+  }
+  L_Ne: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(!V(I.A).semanticEquals(V(I.B)));
+    SEMCOMM_VM_NEXT();
+  }
+  L_Lt: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(V(I.A).asInt() < V(I.B).asInt());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Le: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(V(I.A).asInt() <= V(I.B).asInt());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Not: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(!V(I.A).asBool());
+    SEMCOMM_VM_NEXT();
+  }
+  L_And: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(V(I.A).asBool() && V(I.B).asBool());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Or: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(V(I.A).asBool() || V(I.B).asBool());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Implies: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(!V(I.A).asBool() || V(I.B).asBool());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Iff: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(V(I.A).asBool() == V(I.B).asBool());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Select: {
+    const IInstr &I = *IP++;
+    *W++ = V(I.A).asBool() ? V(I.B) : V(I.C);
+    SEMCOMM_VM_NEXT();
+  }
+  L_SetContains: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(States[I.St]->contains(V(I.A)));
+    SEMCOMM_VM_NEXT();
+  }
+  L_MapGet: {
+    const IInstr &I = *IP++;
+    *W++ = States[I.St]->mapGet(V(I.A));
+    SEMCOMM_VM_NEXT();
+  }
+  L_MapHasKey: {
+    const IInstr &I = *IP++;
+    *W++ = Value::boolean(States[I.St]->mapHasKey(V(I.A)));
+    SEMCOMM_VM_NEXT();
+  }
+  L_SeqAt: {
+    const IInstr &I = *IP++;
+    *W++ = States[I.St]->seqAt(V(I.A).asInt());
+    SEMCOMM_VM_NEXT();
+  }
+  L_SeqLen: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(States[I.St]->seqLen());
+    SEMCOMM_VM_NEXT();
+  }
+  L_SeqIndexOf: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(States[I.St]->seqIndexOf(V(I.A)));
+    SEMCOMM_VM_NEXT();
+  }
+  L_SeqLastIndexOf: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(States[I.St]->seqLastIndexOf(V(I.A)));
+    SEMCOMM_VM_NEXT();
+  }
+  L_StateSize: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(States[I.St]->size());
+    SEMCOMM_VM_NEXT();
+  }
+  L_CounterValue: {
+    const IInstr &I = *IP++;
+    *W++ = Value::integer(States[I.St]->counter());
+    SEMCOMM_VM_NEXT();
+  }
+  L_Done:;
+#undef SEMCOMM_VM_NEXT
+
+#else // Portable fallback: one switch per instruction.
+    for (; IP != End; ++IP) {
+      const IInstr &I = *IP;
+      Value Out;
+      switch (I.Op) {
+      case IOpcode::ConstBool:
+        Out = Value::boolean(I.Imm != 0);
+        break;
+      case IOpcode::ConstInt:
+        Out = Value::integer(I.Imm);
+        break;
+      case IOpcode::ConstNull:
+        Out = Value::null();
+        break;
+      case IOpcode::LoadArg:
+        Out = Args[I.A];
+        break;
+      case IOpcode::Add:
+        Out = Value::integer(V(I.A).asInt() + V(I.B).asInt());
+        break;
+      case IOpcode::Sub:
+        Out = Value::integer(V(I.A).asInt() - V(I.B).asInt());
+        break;
+      case IOpcode::Neg:
+        Out = Value::integer(-V(I.A).asInt());
+        break;
+      case IOpcode::Eq:
+        Out = Value::boolean(V(I.A).semanticEquals(V(I.B)));
+        break;
+      case IOpcode::Ne:
+        Out = Value::boolean(!V(I.A).semanticEquals(V(I.B)));
+        break;
+      case IOpcode::Lt:
+        Out = Value::boolean(V(I.A).asInt() < V(I.B).asInt());
+        break;
+      case IOpcode::Le:
+        Out = Value::boolean(V(I.A).asInt() <= V(I.B).asInt());
+        break;
+      case IOpcode::Not:
+        Out = Value::boolean(!V(I.A).asBool());
+        break;
+      case IOpcode::And:
+        Out = Value::boolean(V(I.A).asBool() && V(I.B).asBool());
+        break;
+      case IOpcode::Or:
+        Out = Value::boolean(V(I.A).asBool() || V(I.B).asBool());
+        break;
+      case IOpcode::Implies:
+        Out = Value::boolean(!V(I.A).asBool() || V(I.B).asBool());
+        break;
+      case IOpcode::Iff:
+        Out = Value::boolean(V(I.A).asBool() == V(I.B).asBool());
+        break;
+      case IOpcode::Select:
+        Out = V(I.A).asBool() ? V(I.B) : V(I.C);
+        break;
+      case IOpcode::SetContains:
+        Out = Value::boolean(States[I.St]->contains(V(I.A)));
+        break;
+      case IOpcode::MapGet:
+        Out = States[I.St]->mapGet(V(I.A));
+        break;
+      case IOpcode::MapHasKey:
+        Out = Value::boolean(States[I.St]->mapHasKey(V(I.A)));
+        break;
+      case IOpcode::SeqAt:
+        Out = States[I.St]->seqAt(V(I.A).asInt());
+        break;
+      case IOpcode::SeqLen:
+        Out = Value::integer(States[I.St]->seqLen());
+        break;
+      case IOpcode::SeqIndexOf:
+        Out = Value::integer(States[I.St]->seqIndexOf(V(I.A)));
+        break;
+      case IOpcode::SeqLastIndexOf:
+        Out = Value::integer(States[I.St]->seqLastIndexOf(V(I.A)));
+        break;
+      case IOpcode::StateSize:
+        Out = Value::integer(States[I.St]->size());
+        break;
+      case IOpcode::CounterValue:
+        Out = Value::integer(States[I.St]->counter());
+        break;
+      }
+      *W++ = Out;
+    }
+#endif
+
+    assert(!P.Code.empty() && Regs[P.Code.size() - 1].isBool() &&
+           "compiled condition did not evaluate to a boolean");
+    return Regs[P.Code.size() - 1].asBool();
+  }
+
+  unsigned capacity() const { return MaxVMRegs; }
+
+private:
+  Value Regs[MaxVMRegs];
+};
+
+} // namespace index
+} // namespace semcomm
+
+#endif // SEMCOMM_INDEX_INDEXVM_H

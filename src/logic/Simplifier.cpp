@@ -89,3 +89,14 @@ void semcomm::collectStateNames(ExprRef E, std::set<std::string> &Out) {
   for (ExprRef Op : E->operands())
     collectStateNames(Op, Out);
 }
+
+ExprRef semcomm::dropS1Disjuncts(ExprFactory &F, ExprRef Between) {
+  std::vector<ExprRef> Kept;
+  for (ExprRef Clause : collectDisjuncts(Between)) {
+    std::set<std::string> States;
+    collectStateNames(Clause, States);
+    if (!States.count("s1"))
+      Kept.push_back(Clause);
+  }
+  return F.disj(std::move(Kept)); // Empty disjunction folds to false.
+}

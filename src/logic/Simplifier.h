@@ -42,6 +42,14 @@ void collectFreeVars(ExprRef E, std::set<std::string> &Out);
 /// Collects the names of the states (s1, s2, s3) that \p E queries.
 void collectStateNames(ExprRef E, std::set<std::string> &Out);
 
+/// The conservative s1-free dialect of a between condition (§4.1.2 option
+/// 2): drops every top-level disjunct that references the saved pre-state
+/// s1, leaving a sound, possibly incomplete condition over s2 alone. An
+/// empty disjunction folds to false ("may conflict"). Shared by the
+/// run-time checker and the compiled commutativity index so the two paths
+/// cannot drift.
+ExprRef dropS1Disjuncts(ExprFactory &F, ExprRef Between);
+
 } // namespace semcomm
 
 #endif // SEMCOMM_LOGIC_SIMPLIFIER_H

@@ -13,9 +13,25 @@
 
 using namespace semcomm;
 
+const DynamicChecker::PairConditions &
+DynamicChecker::pairConditions(const Family &Fam, const std::string &Op1,
+                               const std::string &Op2) const {
+  std::lock_guard<std::mutex> Lock(MemoMutex);
+  auto Key = std::make_tuple(&Fam, Op1, Op2);
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  PairConditions PC;
+  PC.Between = Cat.entry(Fam, Op1, Op2).Between;
+  PC.Conservative = dropS1Disjuncts(F, PC.Between);
+  // std::map iterators are stable, so the returned reference outlives
+  // later insertions.
+  return Memo.emplace(std::move(Key), PC).first->second;
+}
+
 ExprRef DynamicChecker::betweenOf(const Family &Fam, const std::string &Op1,
                                   const std::string &Op2) const {
-  return Cat.entry(Fam, Op1, Op2).Between;
+  return pairConditions(Fam, Op1, Op2).Between;
 }
 
 void DynamicChecker::bindArgs(Env &E, const Family &Fam,
@@ -48,14 +64,7 @@ bool DynamicChecker::commutesExact(const StateView &Before,
 ExprRef DynamicChecker::conservativeBetween(const Family &Fam,
                                             const std::string &Op1,
                                             const std::string &Op2) const {
-  std::vector<ExprRef> Kept;
-  for (ExprRef Clause : collectDisjuncts(betweenOf(Fam, Op1, Op2))) {
-    std::set<std::string> States;
-    collectStateNames(Clause, States);
-    if (!States.count("s1"))
-      Kept.push_back(Clause);
-  }
-  return F.disj(std::move(Kept)); // Empty disjunction folds to false.
+  return pairConditions(Fam, Op1, Op2).Conservative;
 }
 
 bool DynamicChecker::mayCommute(const ConcreteStructure &Live,

@@ -27,6 +27,10 @@
 #include "impl/ConcreteStructure.h"
 #include "logic/Evaluator.h"
 
+#include <map>
+#include <mutex>
+#include <tuple>
+
 namespace semcomm {
 
 /// Evaluates between conditions against live structures.
@@ -61,8 +65,27 @@ private:
                 const ArgList &A1, const Value &R1, const std::string &Op2,
                 const ArgList &A2) const;
 
+  /// Both condition dialects of one memoized pair.
+  struct PairConditions {
+    ExprRef Between = nullptr;
+    ExprRef Conservative = nullptr;
+  };
+
+  /// Catalog entry lookup is a per-query name scan and the conservative
+  /// dialect is a fresh rewrite; both are pure in (family, op1, op2), so
+  /// they are computed once and memoized. The mutex keeps the checker
+  /// usable as a shared const object across gatekeeper threads (the
+  /// rewrite interns into the non-thread-safe ExprFactory).
+  const PairConditions &pairConditions(const Family &Fam,
+                                       const std::string &Op1,
+                                       const std::string &Op2) const;
+
   ExprFactory &F;
   const Catalog &Cat;
+  mutable std::mutex MemoMutex;
+  mutable std::map<std::tuple<const Family *, std::string, std::string>,
+                   PairConditions>
+      Memo;
 };
 
 } // namespace semcomm

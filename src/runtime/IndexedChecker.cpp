@@ -1,0 +1,82 @@
+//===- runtime/IndexedChecker.cpp - Index-backed condition checks ---------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/IndexedChecker.h"
+
+#include <cassert>
+
+using namespace semcomm;
+using namespace semcomm::index;
+
+IndexedChecker::PairHandle
+IndexedChecker::resolve(const Family &Fam, const std::string &Op1,
+                        const std::string &Op2) const {
+  PairHandle H;
+  H.FI = Idx->familyIndex(Fam);
+  assert(H.FI && "family not covered by the compiled index");
+  H.Op1 = Fam.opIndex(Op1);
+  H.Op2 = Fam.opIndex(Op2);
+  H.NumArgs1 = static_cast<unsigned>(Fam.Ops[H.Op1].ArgSorts.size());
+  H.NumArgs2 = static_cast<unsigned>(Fam.Ops[H.Op2].ArgSorts.size());
+  H.SlotBase = (H.Op1 * H.FI->numOps() + H.Op2) * NumSlotsPerPair;
+  H.ConstMask = H.FI->constMaskWords();
+  H.ConstVal = H.FI->constValWords();
+  H.ProgOf = H.FI->progOfTable();
+  H.Programs = H.FI->programTable();
+  return H;
+}
+
+namespace {
+
+/// Constant-bitmap probe for pair-slot \p PS of \p H; true when the slot
+/// is in the bitmap (the answer is then in *Out).
+bool constantAt(const IndexedChecker::PairHandle &H, unsigned PS,
+                bool *Out) {
+  uint64_t Bit = uint64_t(1) << (PS & 63);
+  *Out = (H.ConstVal[PS >> 6] & Bit) != 0;
+  return (H.ConstMask[PS >> 6] & Bit) != 0;
+}
+
+} // namespace
+
+bool IndexedChecker::mayCommute(const ConcreteStructure &Live,
+                                const std::string &Op1, const ArgList &A1,
+                                const Value &R1, const std::string &Op2,
+                                const ArgList &A2) const {
+  if (ActivePath == Path::Interpreted) {
+    ++Stats.InterpreterFallbacks;
+    return Interp.mayCommute(Live, Op1, A1, R1, Op2, A2);
+  }
+  PairHandle H = resolve(Live.family(), Op1, Op2);
+  // The facade keeps full accounting; the handle fast path does not count
+  // constant hits (see QueryStats), so probe the bitmap here first.
+  bool Const;
+  if (constantAt(H, H.SlotBase + index::SlotBetweenConservative, &Const)) {
+    ++Stats.ConstantHits;
+    return Const;
+  }
+  return mayCommuteFast(H, Live, A1, R1, A2);
+}
+
+bool IndexedChecker::commutesExact(const StateView &Before,
+                                   const ConcreteStructure &Live,
+                                   const std::string &Op1, const ArgList &A1,
+                                   const Value &R1, const std::string &Op2,
+                                   const ArgList &A2) const {
+  if (ActivePath == Path::Interpreted) {
+    ++Stats.InterpreterFallbacks;
+    return Interp.commutesExact(Before, Live, Op1, A1, R1, Op2, A2);
+  }
+  PairHandle H = resolve(Live.family(), Op1, Op2);
+  bool Const;
+  if (constantAt(H, H.SlotBase + index::SlotBetween, &Const)) {
+    ++Stats.ConstantHits;
+    return Const;
+  }
+  return commutesExactFast(H, Before, Live, A1, R1, A2);
+}

@@ -1,0 +1,210 @@
+//===- runtime/IndexedChecker.h - Index-backed condition checks -*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-time facade over the compiled commutativity index: the same
+/// gatekeeper queries DynamicChecker answers by interpreting condition
+/// trees, answered by a constant-bitmap test or a straight-line bytecode
+/// program (index/CommutativityIndex.h). The interpreted path is kept —
+/// selectable per checker — as the reference oracle, and any condition the
+/// compiler could not lower (none in the shipped catalog) silently falls
+/// back to it, so switching a system onto the index can never change an
+/// answer, only its cost.
+///
+/// Query cost tiers, fastest first:
+///  1. constant-bitmap hit (mayCommuteFast on a PairHandle): two bit tests;
+///  2. compiled program (PairHandle): one linear bytecode sweep, no
+///     allocation;
+///  3. name-based facade (mayCommute/commutesExact): adds the per-call
+///     name -> operation-index resolution;
+///  4. interpreter fallback: DynamicChecker's Env + tree walk.
+///
+/// A checker instance is not thread-safe (the VM register file and the
+/// query counters are mutable); give each thread its own checker over one
+/// shared immutable CommutativityIndex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_RUNTIME_INDEXEDCHECKER_H
+#define SEMCOMM_RUNTIME_INDEXEDCHECKER_H
+
+#include "index/CommutativityIndex.h"
+#include "index/IndexVM.h"
+#include "runtime/DynamicChecker.h"
+
+#include <memory>
+
+namespace semcomm {
+
+/// Evaluates between conditions against live structures via the compiled
+/// index, with the tree interpreter as fallback and reference oracle.
+class IndexedChecker {
+public:
+  /// Which machinery answers queries.
+  enum class Path : uint8_t {
+    Indexed,     ///< Bitmap / bytecode; interpreter only for Unsupported.
+    Interpreted, ///< Reference oracle: every query goes to DynamicChecker.
+  };
+
+  /// Per-checker query counters (how queries actually resolved).
+  ///
+  /// The PairHandle fast paths deliberately do NOT count constant-bitmap
+  /// hits: that tier's entire value is two loads and a bit test, and a
+  /// per-query counter increment is a serializing read-modify-write that
+  /// measures ~5x the query itself. The name-based facade (which already
+  /// pays a per-call resolve) counts every tier; program runs and
+  /// interpreter fallbacks are counted everywhere — their cost amortizes
+  /// the increment.
+  struct QueryStats {
+    uint64_t ConstantHits = 0;         ///< Bitmap answers (facade only).
+    uint64_t ProgramRuns = 0;          ///< Answered by a bytecode program.
+    uint64_t InterpreterFallbacks = 0; ///< Answered by the interpreter.
+  };
+
+  /// Compiles a private index from \p C.
+  IndexedChecker(ExprFactory &F, const Catalog &C)
+      : IndexedChecker(F, C,
+                       std::make_shared<const index::CommutativityIndex>(
+                           index::CommutativityIndex::compile(C))) {}
+
+  /// Shares \p Idx (e.g. one image loaded by semcommute-indexgen serving
+  /// every thread's checker).
+  IndexedChecker(ExprFactory &F, const Catalog &C,
+                 std::shared_ptr<const index::CommutativityIndex> Idx)
+      : Interp(F, C), Idx(std::move(Idx)),
+        VM(this->Idx->stats().MaxRegs) {}
+
+  void setPath(Path P) { ActivePath = P; }
+  Path path() const { return ActivePath; }
+
+  /// Same contract as DynamicChecker::mayCommute: the conservative s1-free
+  /// between condition of (Op1; Op2) against the live structure only.
+  bool mayCommute(const ConcreteStructure &Live, const std::string &Op1,
+                  const ArgList &A1, const Value &R1, const std::string &Op2,
+                  const ArgList &A2) const;
+
+  /// Same contract as DynamicChecker::commutesExact: the exact between
+  /// condition with s1 bound to \p Before.
+  bool commutesExact(const StateView &Before, const ConcreteStructure &Live,
+                     const std::string &Op1, const ArgList &A1,
+                     const Value &R1, const std::string &Op2,
+                     const ArgList &A2) const;
+
+  /// A pre-resolved ordered pair: hoists the name -> index resolution out
+  /// of hot query loops (a gatekeeper checks the same few pairs millions
+  /// of times) and caches the family's raw bitmap / program tables so a
+  /// constant-bitmap hit inlines down to two loads and a bit test. Valid
+  /// as long as the checker's index is alive.
+  struct PairHandle {
+    const index::FamilyIndex *FI = nullptr;
+    unsigned Op1 = 0, Op2 = 0;
+    unsigned NumArgs1 = 0, NumArgs2 = 0;
+    unsigned SlotBase = 0; ///< (Op1 * NumOps + Op2) * NumSlotsPerPair.
+    const uint64_t *ConstMask = nullptr;
+    const uint64_t *ConstVal = nullptr;
+    const int32_t *ProgOf = nullptr;
+    const index::IndexProgram *Programs = nullptr;
+  };
+
+  /// Resolves \p Op1 / \p Op2 of \p Fam; aborts on unknown names (same
+  /// policy as Family::opIndex).
+  PairHandle resolve(const Family &Fam, const std::string &Op1,
+                     const std::string &Op2) const;
+
+  /// mayCommute on a pre-resolved pair (always the indexed machinery).
+  bool mayCommuteFast(const PairHandle &H, const ConcreteStructure &Live,
+                      const ArgList &A1, const Value &R1,
+                      const ArgList &A2) const {
+    // Constant bitmap first, before any other setup: the hit is the
+    // common case for a hot pair and must stay two loads + a bit test.
+    unsigned PS = H.SlotBase + index::SlotBetweenConservative;
+    uint64_t Bit = uint64_t(1) << (PS & 63);
+    if (H.ConstMask[PS >> 6] & Bit)
+      return (H.ConstVal[PS >> 6] & Bit) != 0;
+    // The conservative dialect is s1-free by construction, so slot s1
+    // stays null: a program compiled for this slot never probes it.
+    const StateView *Views[index::NumStateSlots] = {nullptr, &Live, nullptr};
+    bool Answered = false;
+    bool Result = runProgram(H, PS, A1, R1, A2, Views, Answered);
+    if (Answered)
+      return Result;
+    ++Stats.InterpreterFallbacks;
+    return Interp.mayCommute(Live, H.FI->family().Ops[H.Op1].Name, A1, R1,
+                             H.FI->family().Ops[H.Op2].Name, A2);
+  }
+
+  /// commutesExact on a pre-resolved pair (always the indexed machinery).
+  bool commutesExactFast(const PairHandle &H, const StateView &Before,
+                         const ConcreteStructure &Live, const ArgList &A1,
+                         const Value &R1, const ArgList &A2) const {
+    unsigned PS = H.SlotBase + index::SlotBetween;
+    uint64_t Bit = uint64_t(1) << (PS & 63);
+    if (H.ConstMask[PS >> 6] & Bit)
+      return (H.ConstVal[PS >> 6] & Bit) != 0;
+    const StateView *Views[index::NumStateSlots] = {&Before, &Live, nullptr};
+    bool Answered = false;
+    bool Result = runProgram(H, PS, A1, R1, A2, Views, Answered);
+    if (Answered)
+      return Result;
+    ++Stats.InterpreterFallbacks;
+    return Interp.commutesExact(Before, Live, H.FI->family().Ops[H.Op1].Name,
+                                A1, R1, H.FI->family().Ops[H.Op2].Name, A2);
+  }
+
+  const QueryStats &queryStats() const { return Stats; }
+  void resetQueryStats() const { Stats = QueryStats(); }
+
+  /// The interpreted reference checker (also the fallback target).
+  const DynamicChecker &interpreter() const { return Interp; }
+
+  /// The compiled index this checker queries.
+  const index::CommutativityIndex &index() const { return *Idx; }
+
+private:
+  /// Runs the compiled program for pair-slot \p PS (the caller has
+  /// already ruled out a constant-bitmap hit). Sets \p Answered false on
+  /// an unsupported slot, leaving the caller to fall back to the
+  /// interpreter.
+  bool runProgram(const PairHandle &H, unsigned PS, const ArgList &A1,
+                  const Value &R1, const ArgList &A2,
+                  const StateView *const *Views, bool &Answered) const {
+    Answered = true;
+    int32_t Pi = H.ProgOf[PS];
+    if (Pi < 0) {
+      Answered = false;
+      return false;
+    }
+
+    // Fill the argument-atom bank (see IndexProgram.h for the layout).
+    // The bank is a reused member, so every slot a program for this pair
+    // can reference must be written each query: both argument runs, r1,
+    // and r2 (nulled — its value is unknown between the operations; the
+    // compiler never references slots past its pair's layout).
+    Value *const Args = ArgBank;
+    for (unsigned I = 0; I != H.NumArgs1; ++I)
+      Args[I] = A1[I];
+    for (unsigned I = 0; I != H.NumArgs2; ++I)
+      Args[H.NumArgs1 + I] = A2[I];
+    Args[H.NumArgs1 + H.NumArgs2] = R1;
+    Args[H.NumArgs1 + H.NumArgs2 + 1] = Value();
+
+    ++Stats.ProgramRuns;
+    return VM.runBool(H.Programs[Pi], Args, Views);
+  }
+
+  DynamicChecker Interp;
+  std::shared_ptr<const index::CommutativityIndex> Idx;
+  Path ActivePath = Path::Indexed;
+  mutable index::IndexVM VM;
+  mutable Value ArgBank[index::MaxArgSlots]; ///< Reused per-query bank.
+  mutable QueryStats Stats;
+};
+
+} // namespace semcomm
+
+#endif // SEMCOMM_RUNTIME_INDEXEDCHECKER_H

@@ -26,7 +26,7 @@
 #define SEMCOMM_RUNTIME_SPECULATIVERUNTIME_H
 
 #include "inverse/InverseSpec.h"
-#include "runtime/DynamicChecker.h"
+#include "runtime/IndexedChecker.h"
 
 #include <cstdint>
 #include <memory>
@@ -84,6 +84,14 @@ public:
   /// baseline of bench/perf_speculation).
   void setUseCommutativity(bool B) { UseCommutativity = B; }
 
+  /// Which machinery the gatekeeper queries: the compiled commutativity
+  /// index (default) or the tree interpreter (reference oracle; also the
+  /// no-index baseline of bench/perf_dynamic_check).
+  void setCheckerPath(IndexedChecker::Path P) { Checker.setPath(P); }
+
+  /// The gatekeeper's checker (for query statistics and inspection).
+  const IndexedChecker &checker() const { return Checker; }
+
 private:
   struct LogEntry {
     std::string OpName;
@@ -100,7 +108,7 @@ private:
   void abortTxn(unsigned T, RuntimeStats &Stats);
 
   ExprFactory &F;
-  DynamicChecker Checker;
+  IndexedChecker Checker;
   const StructureFactory &Factory;
   RollbackPolicy Policy;
   bool UseCommutativity = true;

@@ -718,6 +718,62 @@ TEST(DriverReport, LegacyReportsWithoutEngineFieldReadAsExhaustive) {
             "Set/commutativity/exhaustive/add_/add_/before/soundness");
 }
 
+TEST(DriverReport, BenchBaselineIndexStatsRoundTrips) {
+  // bench/run_all.sh (schema 6) embeds perf_dynamic_check's index_summary
+  // metrics as an index_stats section in BENCH_semcommute.json. The section
+  // must survive our JSON parse/dump unchanged — CI and regression tooling
+  // read the baseline back through this parser.
+  const char *Doc = R"({
+    "schema": 6,
+    "tool": "bench/run_all.sh",
+    "index_stats": {
+      "indexed_speedup_x": 25.4,
+      "constant_speedup_x": 118.7,
+      "interpreted_ns": 642.1,
+      "indexed_ns": 25.3,
+      "constant_ns": 3.1,
+      "raw_op_ns": 41.8,
+      "constant_fraction": 0.2882,
+      "total_slots": 680,
+      "programs": 484,
+      "constants": 196,
+      "fallbacks": 0,
+      "max_regs": 19,
+      "total_instructions": 2683,
+      "paper_conditions": 765
+    }
+  })";
+  std::optional<json::Value> V = json::Value::parse(Doc);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ((*V)["schema"].asInt(), 6);
+
+  const json::Value &Idx = (*V)["index_stats"];
+  ASSERT_TRUE(Idx.isObject());
+  EXPECT_DOUBLE_EQ(Idx["indexed_speedup_x"].asDouble(), 25.4);
+  EXPECT_DOUBLE_EQ(Idx["constant_fraction"].asDouble(), 0.2882);
+  EXPECT_EQ(Idx["total_slots"].asInt(), 680);
+  EXPECT_EQ(Idx["programs"].asInt(), 484);
+  EXPECT_EQ(Idx["constants"].asInt(), 196);
+  EXPECT_EQ(Idx["fallbacks"].asInt(), 0);
+  EXPECT_EQ(Idx["paper_conditions"].asInt(), 765);
+
+  // Compact and pretty serializations both reparse to the identical DOM
+  // and re-serialize byte-identically (objects preserve member order).
+  for (int Indent : {-1, 2}) {
+    std::optional<json::Value> Back = json::Value::parse(V->dump(Indent));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_TRUE(*Back == *V);
+    EXPECT_EQ(Back->dump(Indent), V->dump(Indent));
+  }
+
+  // A pre-index baseline (schema 5, no index_stats) still reads cleanly:
+  // the consumer distinguishes "absent" from "null" via find().
+  std::optional<json::Value> Old =
+      json::Value::parse(R"({"schema": 5, "tool": "bench/run_all.sh"})");
+  ASSERT_TRUE(Old.has_value());
+  EXPECT_EQ(Old->find("index_stats"), nullptr);
+}
+
 TEST(DriverReport, SameVerdictsDetectsDifferences) {
   DriverFixture Fx;
   DriverOptions Opts;
