@@ -365,8 +365,27 @@ for m in inline_metrics:
         index_stats = {k: v for k, v in m.items()
                        if k not in ("bench", "metric")}
 
+# Speculative-executor statistics from perf_speculation: the summary line
+# (gatekeeper indexed-vs-interpreted ratios from the scheduler-interleaved
+# replay cells, thread-scaling factors, storm undone-op counts) plus the
+# full grid rows as curves, so executor regressions (a slowed gatekeeper,
+# an abort storm that stops converging) are caught like wall-time ones.
+speculation_stats = None
+spec_rows = [m for m in inline_metrics
+             if (m.get("bench") == "perf_speculation"
+                 and m.get("metric") == "speculation_grid")]
+for m in inline_metrics:
+    if (m.get("bench") == "perf_speculation"
+            and m.get("metric") == "speculation_summary"):
+        speculation_stats = {k: v for k, v in m.items()
+                             if k not in ("bench", "metric")}
+if speculation_stats is not None and spec_rows:
+    speculation_stats["grid"] = [
+        {k: v for k, v in row.items() if k not in ("bench", "metric")}
+        for row in spec_rows]
+
 doc = {
-    "schema": 6,
+    "schema": 7,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
@@ -376,6 +395,7 @@ doc = {
     "driver_catalog_stats": catalog_stats,
     "driver_certify_stats": certify_stats,
     "index_stats": index_stats,
+    "speculation_stats": speculation_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

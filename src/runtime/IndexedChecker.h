@@ -64,6 +64,11 @@ public:
     uint64_t ConstantHits = 0;         ///< Bitmap answers (facade only).
     uint64_t ProgramRuns = 0;          ///< Answered by a bytecode program.
     uint64_t InterpreterFallbacks = 0; ///< Answered by the interpreter.
+    /// Sampled fast-path accounting (see setStatsSampling): every Nth
+    /// PairHandle query is classified, making constant-bitmap hit rates
+    /// observable on the hot path without a per-query counter.
+    uint64_t SampledQueries = 0;
+    uint64_t SampledConstantHits = 0;
   };
 
   /// Compiles a private index from \p C.
@@ -81,6 +86,29 @@ public:
 
   void setPath(Path P) { ActivePath = P; }
   Path path() const { return ActivePath; }
+
+  /// Opt-in sampled accounting for the PairHandle fast paths. The full
+  /// QueryStats counters deliberately skip constant-bitmap hits there: a
+  /// per-query counter RMW costs ~5x the two-bit test itself. Sampling
+  /// classifies only every \p Period -th handle query (rounded up to a
+  /// power of two; 0 disables), so hit rates become observable under a
+  /// running executor at the cost of one well-predicted branch plus a
+  /// non-atomic tick. Estimated totals = Sampled* counters x the period.
+  void setStatsSampling(unsigned Period) {
+    if (Period == 0) {
+      SampleOn = false;
+      SampleMask = 0;
+      return;
+    }
+    unsigned P = 1;
+    while (P < Period)
+      P <<= 1;
+    SampleOn = true;
+    SampleMask = P - 1; // Period 1 => mask 0: every query sampled.
+  }
+  unsigned statsSamplingPeriod() const {
+    return SampleOn ? SampleMask + 1 : 0;
+  }
 
   /// Same contract as DynamicChecker::mayCommute: the conservative s1-free
   /// between condition of (Op1; Op2) against the live structure only.
@@ -124,8 +152,15 @@ public:
     // common case for a hot pair and must stay two loads + a bit test.
     unsigned PS = H.SlotBase + index::SlotBetweenConservative;
     uint64_t Bit = uint64_t(1) << (PS & 63);
-    if (H.ConstMask[PS >> 6] & Bit)
+    if (H.ConstMask[PS >> 6] & Bit) {
+      if (SampleOn && ((++SampleTick & SampleMask) == 0)) {
+        ++Stats.SampledQueries;
+        ++Stats.SampledConstantHits;
+      }
       return (H.ConstVal[PS >> 6] & Bit) != 0;
+    }
+    if (SampleOn && ((++SampleTick & SampleMask) == 0))
+      ++Stats.SampledQueries;
     // The conservative dialect is s1-free by construction, so slot s1
     // stays null: a program compiled for this slot never probes it.
     const StateView *Views[index::NumStateSlots] = {nullptr, &Live, nullptr};
@@ -144,8 +179,15 @@ public:
                          const Value &R1, const ArgList &A2) const {
     unsigned PS = H.SlotBase + index::SlotBetween;
     uint64_t Bit = uint64_t(1) << (PS & 63);
-    if (H.ConstMask[PS >> 6] & Bit)
+    if (H.ConstMask[PS >> 6] & Bit) {
+      if (SampleOn && ((++SampleTick & SampleMask) == 0)) {
+        ++Stats.SampledQueries;
+        ++Stats.SampledConstantHits;
+      }
       return (H.ConstVal[PS >> 6] & Bit) != 0;
+    }
+    if (SampleOn && ((++SampleTick & SampleMask) == 0))
+      ++Stats.SampledQueries;
     const StateView *Views[index::NumStateSlots] = {&Before, &Live, nullptr};
     bool Answered = false;
     bool Result = runProgram(H, PS, A1, R1, A2, Views, Answered);
@@ -157,7 +199,10 @@ public:
   }
 
   const QueryStats &queryStats() const { return Stats; }
-  void resetQueryStats() const { Stats = QueryStats(); }
+  void resetQueryStats() const {
+    Stats = QueryStats();
+    SampleTick = 0;
+  }
 
   /// The interpreted reference checker (also the fallback target).
   const DynamicChecker &interpreter() const { return Interp; }
@@ -200,8 +245,11 @@ private:
   DynamicChecker Interp;
   std::shared_ptr<const index::CommutativityIndex> Idx;
   Path ActivePath = Path::Indexed;
+  bool SampleOn = false;   ///< Sampled fast-path stats enabled.
+  unsigned SampleMask = 0; ///< Period-1 of sampled stats (power of two).
   mutable index::IndexVM VM;
   mutable Value ArgBank[index::MaxArgSlots]; ///< Reused per-query bank.
+  mutable uint64_t SampleTick = 0;
   mutable QueryStats Stats;
 };
 

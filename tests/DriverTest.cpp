@@ -774,6 +774,98 @@ TEST(DriverReport, BenchBaselineIndexStatsRoundTrips) {
   EXPECT_EQ(Old->find("index_stats"), nullptr);
 }
 
+TEST(DriverReport, BenchBaselineSpeculationStatsRoundTrips) {
+  // bench/run_all.sh (schema 7) embeds perf_speculation's summary and grid
+  // rows as a speculation_stats section in BENCH_semcommute.json. The
+  // section must survive our JSON parse/dump unchanged — CI and regression
+  // tooling read the baseline back through this parser.
+  const char *Doc = R"({
+    "schema": 7,
+    "tool": "bench/run_all.sh",
+    "speculation_stats": {
+      "max_threads": 8,
+      "thread_levels": 4,
+      "gk_window": 16,
+      "indexed_over_interpreted_x_high": 11.91,
+      "indexed_over_interpreted_x_low": 4.28,
+      "gk_ns_per_query_indexed_high": 47.0,
+      "gk_ns_per_query_interpreted_high": 736.4,
+      "scaling_1_to_max_low": 0.692,
+      "scaling_1_to_max_high": 0.989,
+      "ops_per_sec_1t_low": 1723096,
+      "ops_per_sec_max_low": 1192889,
+      "ops_per_sec_1t_high": 2340830,
+      "ops_per_sec_max_high": 2314804,
+      "sampled_const_hit_rate": 0.0156,
+      "storm_undone_inverses": 1641,
+      "storm_undone_snapshot": 1655,
+      "all_completed": true,
+      "grid": [
+        {"mode": "replay", "threads": 1, "shards": 2, "contention": "high",
+         "keys": 65536, "policy": "inverses", "path": "indexed",
+         "abort_every": 0, "txns": 125, "ops": 12000, "wall_ms": 210.7,
+         "ops_per_sec": 56963, "ops_executed": 15504, "commits": 125,
+         "aborts": 43, "wounds": 43, "injected_aborts": 0,
+         "abort_rate": 0.344, "undone_ops": 1843, "snapshots": 0,
+         "gk_checks": 2731881, "gk_pass_rate": 0.9998,
+         "gk_ns_per_query": 47.0, "checker_program_runs": 2650124,
+         "checker_fallbacks": 0, "sampled_const_hit_rate": 0.0156,
+         "completed": true},
+        {"mode": "parallel", "threads": 8, "shards": 4,
+         "contention": "high", "keys": 48, "policy": "snapshot",
+         "path": "indexed", "abort_every": 1024, "txns": 313,
+         "ops": 30048, "wall_ms": 15.6, "ops_per_sec": 1923412,
+         "ops_executed": 31904, "commits": 313, "aborts": 31,
+         "wounds": 2, "injected_aborts": 29, "abort_rate": 0.099,
+         "undone_ops": 1849, "snapshots": 950, "gk_checks": 159,
+         "gk_pass_rate": 0.56, "gk_ns_per_query": 48126.0,
+         "checker_program_runs": 69, "checker_fallbacks": 0,
+         "sampled_const_hit_rate": 0.0, "completed": true}
+      ]
+    }
+  })";
+  std::optional<json::Value> V = json::Value::parse(Doc);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ((*V)["schema"].asInt(), 7);
+
+  const json::Value &Spec = (*V)["speculation_stats"];
+  ASSERT_TRUE(Spec.isObject());
+  EXPECT_DOUBLE_EQ(Spec["indexed_over_interpreted_x_high"].asDouble(), 11.91);
+  EXPECT_DOUBLE_EQ(Spec["gk_ns_per_query_interpreted_high"].asDouble(),
+                   736.4);
+  EXPECT_EQ(Spec["max_threads"].asInt(), 8);
+  EXPECT_EQ(Spec["gk_window"].asInt(), 16);
+  EXPECT_EQ(Spec["storm_undone_inverses"].asInt(), 1641);
+  EXPECT_TRUE(Spec["all_completed"].asBool());
+
+  const json::Value &Grid = Spec["grid"];
+  ASSERT_TRUE(Grid.isArray());
+  ASSERT_EQ(Grid.size(), 2u);
+  EXPECT_EQ(Grid.at(0)["mode"].asString(), "replay");
+  EXPECT_EQ(Grid.at(0)["path"].asString(), "indexed");
+  EXPECT_EQ(Grid.at(0)["gk_checks"].asInt(), 2731881);
+  EXPECT_EQ(Grid.at(1)["mode"].asString(), "parallel");
+  EXPECT_EQ(Grid.at(1)["policy"].asString(), "snapshot");
+  EXPECT_EQ(Grid.at(1)["snapshots"].asInt(), 950);
+  EXPECT_DOUBLE_EQ(Grid.at(1)["abort_rate"].asDouble(), 0.099);
+
+  // Compact and pretty serializations both reparse to the identical DOM
+  // and re-serialize byte-identically (objects preserve member order).
+  for (int Indent : {-1, 2}) {
+    std::optional<json::Value> Back = json::Value::parse(V->dump(Indent));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_TRUE(*Back == *V);
+    EXPECT_EQ(Back->dump(Indent), V->dump(Indent));
+  }
+
+  // A pre-executor baseline (schema 6, no speculation_stats) still reads
+  // cleanly: the consumer distinguishes "absent" from "null" via find().
+  std::optional<json::Value> Old =
+      json::Value::parse(R"({"schema": 6, "tool": "bench/run_all.sh"})");
+  ASSERT_TRUE(Old.has_value());
+  EXPECT_EQ(Old->find("speculation_stats"), nullptr);
+}
+
 TEST(DriverReport, SameVerdictsDetectsDifferences) {
   DriverFixture Fx;
   DriverOptions Opts;

@@ -11,7 +11,7 @@
 #include "index/IndexVM.h"
 #include "logic/Simplifier.h"
 #include "runtime/IndexedChecker.h"
-#include "runtime/SpeculativeRuntime.h"
+#include "runtime/SpeculativeExecutor.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -339,11 +339,12 @@ TEST(DynamicCheckerMemoTest, ConservativeBetweenIsMemoized) {
   EXPECT_EQ(First, Expected);
 }
 
-// --- SpeculativeRuntime on the index -----------------------------------------
+// --- SpeculativeExecutor on the index ----------------------------------------
 
 TEST(SpeculativeIndexTest, IndexedAndInterpretedGatekeepersAgree) {
   // The same workload through both gatekeeper paths must produce the same
-  // schedule (stats) and the same final abstract state.
+  // schedule (stats) and the same final abstract state. Replay mode keeps
+  // the comparison exact under multi-threaded execution.
   IndexFixture &Fx = fixture();
   std::vector<Transaction> Txns;
   for (int T = 0; T != 4; ++T) {
@@ -351,35 +352,83 @@ TEST(SpeculativeIndexTest, IndexedAndInterpretedGatekeepersAgree) {
     for (int I = 0; I != 6; ++I) {
       int K = (T * 7 + I * 3) % 8;
       if ((T + I) % 3 == 0)
-        Txn.push_back({"add", {Value::obj(K)}});
+        Txn.push_back({"add", {Value::obj(K)}, 0});
       else if ((T + I) % 3 == 1)
-        Txn.push_back({"contains", {Value::obj(K)}});
+        Txn.push_back({"contains", {Value::obj(K)}, 0});
       else
-        Txn.push_back({"remove", {Value::obj(K)}});
+        Txn.push_back({"remove", {Value::obj(K)}, 0});
     }
     Txns.push_back(std::move(Txn));
   }
 
-  SpeculativeRuntime Indexed(Fx.F, Fx.C, factoryFor("HashSet"));
-  Indexed.setCheckerPath(IndexedChecker::Path::Indexed);
-  RuntimeStats IndexedStats = Indexed.run(Txns);
+  ExecutorConfig Cfg;
+  Cfg.Threads = 4;
+  Cfg.Mode = SchedulerMode::Replay;
+  Cfg.ReplaySeed = 17;
+  Cfg.CheckerPath = IndexedChecker::Path::Indexed;
+  SpeculativeExecutor Indexed(Fx.F, Fx.C, factoryFor("HashSet"), Cfg);
+  ExecutorStats IndexedStats = Indexed.run(Txns);
 
-  SpeculativeRuntime Interp(Fx.F, Fx.C, factoryFor("HashSet"));
-  Interp.setCheckerPath(IndexedChecker::Path::Interpreted);
-  RuntimeStats InterpStats = Interp.run(Txns);
+  Cfg.CheckerPath = IndexedChecker::Path::Interpreted;
+  SpeculativeExecutor Interp(Fx.F, Fx.C, factoryFor("HashSet"), Cfg);
+  ExecutorStats InterpStats = Interp.run(Txns);
 
   EXPECT_EQ(IndexedStats.OpsExecuted, InterpStats.OpsExecuted);
   EXPECT_EQ(IndexedStats.GatekeeperChecks, InterpStats.GatekeeperChecks);
   EXPECT_EQ(IndexedStats.GatekeeperPasses, InterpStats.GatekeeperPasses);
-  EXPECT_EQ(IndexedStats.Aborts, InterpStats.Aborts);
+  EXPECT_EQ(IndexedStats.aborts(), InterpStats.aborts());
   EXPECT_EQ(IndexedStats.Commits, InterpStats.Commits);
-  EXPECT_TRUE(Indexed.structure().abstraction() ==
-              Interp.structure().abstraction());
+  EXPECT_EQ(Indexed.commitOrder(), Interp.commitOrder());
+  EXPECT_TRUE(Indexed.shard(0).abstraction() ==
+              Interp.shard(0).abstraction());
 
-  // The indexed gatekeeper actually used the index.
-  EXPECT_EQ(Indexed.checker().queryStats().InterpreterFallbacks, 0u);
-  EXPECT_GT(Indexed.checker().queryStats().ConstantHits +
-                Indexed.checker().queryStats().ProgramRuns,
-            0u);
-  EXPECT_GT(Interp.checker().queryStats().InterpreterFallbacks, 0u);
+  // The indexed gatekeeper actually used the index; the interpreted one
+  // answered every admission query through the oracle.
+  EXPECT_GT(IndexedStats.GatekeeperChecks, 0u);
+  EXPECT_EQ(IndexedStats.CheckerFallbacks, 0u);
+  EXPECT_EQ(InterpStats.CheckerFallbacks, InterpStats.GatekeeperChecks);
+}
+
+TEST(IndexedCheckerTest, SampledHandleStatsCountEveryPeriodthQuery) {
+  // Opt-in sampling makes constant-bitmap hit rates observable on the
+  // PairHandle fast path: every Period-th query (power-of-two rounded) is
+  // classified; off by default.
+  IndexFixture &Fx = fixture();
+  IndexedChecker Checker(Fx.F, Fx.C);
+  EXPECT_EQ(Checker.statsSamplingPeriod(), 0u);
+
+  // Rounding: 3 -> 4, 64 -> 64, 1 -> every query.
+  Checker.setStatsSampling(3);
+  EXPECT_EQ(Checker.statsSamplingPeriod(), 4u);
+  Checker.setStatsSampling(64);
+  EXPECT_EQ(Checker.statsSamplingPeriod(), 64u);
+
+  std::unique_ptr<ConcreteStructure> S = factoryFor("HashSet").Make();
+  S->invoke("add", {Value::obj(1)});
+  // add(o1) / add(o2): distinct-element adds commute unconditionally, a
+  // constant-bitmap slot.
+  IndexedChecker::PairHandle H = Checker.resolve(setFamily(), "add_", "add_");
+
+  Checker.setStatsSampling(4);
+  Checker.resetQueryStats();
+  for (int I = 0; I != 17; ++I)
+    Checker.mayCommuteFast(H, *S, {Value::obj(1)}, Value(), {Value::obj(2)});
+  EXPECT_EQ(Checker.queryStats().SampledQueries, 4u); // floor(17 / 4)
+  EXPECT_EQ(Checker.queryStats().SampledConstantHits,
+            Checker.queryStats().SampledQueries);
+
+  // Sampling every query degenerates to exact counting.
+  Checker.setStatsSampling(1);
+  Checker.resetQueryStats();
+  for (int I = 0; I != 5; ++I)
+    Checker.mayCommuteFast(H, *S, {Value::obj(1)}, Value(), {Value::obj(2)});
+  EXPECT_EQ(Checker.queryStats().SampledQueries, 5u);
+
+  // Off again: the tick is not even advanced.
+  Checker.setStatsSampling(0);
+  Checker.resetQueryStats();
+  for (int I = 0; I != 5; ++I)
+    Checker.mayCommuteFast(H, *S, {Value::obj(1)}, Value(), {Value::obj(2)});
+  EXPECT_EQ(Checker.queryStats().SampledQueries, 0u);
+  EXPECT_EQ(Checker.queryStats().SampledConstantHits, 0u);
 }

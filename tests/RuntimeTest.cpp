@@ -9,7 +9,7 @@
 #include "impl/HashSet.h"
 #include "impl/HashTable.h"
 #include "runtime/Lattice.h"
-#include "runtime/SpeculativeRuntime.h"
+#include "runtime/SpeculativeExecutor.h"
 
 #include <gtest/gtest.h>
 
@@ -94,110 +94,307 @@ TEST(DynamicCheckerTest, ConservativeCheckIsSound) {
   }
 }
 
-// --- SpeculativeRuntime -----------------------------------------------------------
+// --- SpeculativeExecutor --------------------------------------------------------
 
-static Transaction mapTxn(std::initializer_list<std::pair<int, int>> Puts) {
+namespace {
+
+Transaction mapTxn(std::initializer_list<std::pair<int, int>> Puts) {
   Transaction T;
   for (auto [K, V] : Puts)
-    T.push_back({"put", {Value::obj(K), Value::obj(V)}});
+    T.push_back({"put", {Value::obj(K), Value::obj(V)}, 0});
   return T;
 }
 
-TEST(SpeculativeRuntimeTest, DisjointKeysRunWithoutAborts) {
-  RuntimeFixture &Fx = fixture();
-  SpeculativeRuntime Rt(Fx.F, Fx.C, factoryFor("HashTable"));
-  RuntimeStats Stats = Rt.run({mapTxn({{1, 10}, {2, 20}}),
-                               mapTxn({{3, 30}, {4, 40}}),
-                               mapTxn({{5, 50}, {6, 60}})});
-  EXPECT_EQ(Stats.Aborts, 0u);
-  EXPECT_EQ(Stats.Commits, 3u);
-  EXPECT_EQ(Stats.OpsExecuted, 6u);
-  EXPECT_GT(Stats.GatekeeperPasses, 0u);
-  EXPECT_EQ(Rt.structure().size(), 6);
+/// Replay-mode config: the seeded scheduler interleaves the transactions'
+/// steps deterministically, so assertions about gatekeeper traffic and
+/// conflicts are reproducible.
+ExecutorConfig replayCfg(unsigned Threads, unsigned Shards = 1,
+                         uint64_t Seed = 11) {
+  ExecutorConfig Cfg;
+  Cfg.Threads = Threads;
+  Cfg.Shards = Shards;
+  Cfg.Mode = SchedulerMode::Replay;
+  Cfg.ReplaySeed = Seed;
+  return Cfg;
 }
 
-TEST(SpeculativeRuntimeTest, ConflictingPutsAbortAndStillConverge) {
+/// A mixed Map workload over a sharded key space: puts, removes, and gets
+/// (all total operations, so the serial replay reference applies exactly).
+std::vector<Transaction> mixedMapWorkload(unsigned NumTxns, unsigned OpsPerTxn,
+                                          unsigned NumKeys, unsigned Shards,
+                                          uint32_t Seed) {
+  std::mt19937 Rng(Seed);
+  std::vector<Transaction> Txns;
+  for (unsigned T = 0; T != NumTxns; ++T) {
+    Transaction Txn;
+    for (unsigned I = 0; I != OpsPerTxn; ++I) {
+      Value Key = Value::obj(1 + Rng() % NumKeys);
+      unsigned Shard = SpeculativeExecutor::shardOf(Key, Shards);
+      switch (Rng() % 4) {
+      case 0:
+        Txn.push_back({"get", {Key}, Shard});
+        break;
+      case 1:
+        Txn.push_back({"remove", {Key}, Shard});
+        break;
+      default:
+        Txn.push_back(
+            {"put", {Key, Value::obj(static_cast<int>(Rng() % 100))}, Shard});
+        break;
+      }
+    }
+    Txns.push_back(std::move(Txn));
+  }
+  return Txns;
+}
+
+/// The deterministic slice of ExecutorStats (everything but wall-clock
+/// nanos and the sampled estimates), for invariance comparisons.
+std::vector<uint64_t> deterministicStats(const ExecutorStats &S) {
+  return {S.OpsExecuted,    S.GatekeeperChecks, S.GatekeeperPasses,
+          S.Wounds,         S.InjectedAborts,   S.Stalls,
+          S.WaitRounds,     S.OpsUndone,        S.PreSkips,
+          S.SnapshotsTaken, S.Commits,          S.CheckerProgramRuns,
+          S.CheckerFallbacks};
+}
+
+void expectShardsMatchSerialReplay(const SpeculativeExecutor &Ex,
+                                   const StructureFactory &Factory,
+                                   const std::vector<Transaction> &Txns) {
+  std::vector<std::unique_ptr<ConcreteStructure>> Ref =
+      SpeculativeExecutor::replaySerial(Factory, Ex.numShards(), Txns,
+                                        Ex.commitOrder());
+  for (unsigned S = 0; S != Ex.numShards(); ++S)
+    EXPECT_EQ(Ex.shard(S).abstraction(), Ref[S]->abstraction())
+        << "shard " << S;
+}
+
+} // namespace
+
+TEST(SpeculativeExecutorTest, DisjointKeysRunWithoutAborts) {
   RuntimeFixture &Fx = fixture();
-  SpeculativeRuntime Rt(Fx.F, Fx.C, factoryFor("HashTable"));
+  SpeculativeExecutor Ex(Fx.F, Fx.C, factoryFor("HashTable"), replayCfg(2));
+  ExecutorStats Stats = Ex.run({mapTxn({{1, 10}, {2, 20}}),
+                                mapTxn({{3, 30}, {4, 40}}),
+                                mapTxn({{5, 50}, {6, 60}})});
+  EXPECT_TRUE(Stats.Completed);
+  EXPECT_EQ(Stats.aborts(), 0u);
+  EXPECT_EQ(Stats.Commits, 3u);
+  EXPECT_EQ(Stats.OpsExecuted, 6u);
+  // The replay scheduler interleaves the transactions, so the gatekeeper
+  // sees concurrent uncommitted puts — and admits all of them.
+  EXPECT_GT(Stats.GatekeeperPasses, 0u);
+  EXPECT_EQ(Stats.GatekeeperChecks, Stats.GatekeeperPasses);
+  EXPECT_EQ(Ex.shard(0).size(), 6);
+}
+
+TEST(SpeculativeExecutorTest, ConflictingPutsConflictAndStillConverge) {
+  RuntimeFixture &Fx = fixture();
+  SpeculativeExecutor Ex(Fx.F, Fx.C, factoryFor("HashTable"), replayCfg(2));
   // Same key, different values: put/put commutes only when values agree,
-  // so the second transaction's first put conflicts and it must wait or
+  // so one transaction's put is refused admission and it must wait or
   // roll back — yet both eventually commit.
-  RuntimeStats Stats =
-      Rt.run({mapTxn({{1, 10}, {2, 20}}), mapTxn({{1, 11}, {3, 30}})});
-  EXPECT_GT(Stats.Aborts + Stats.Stalls, 0u);
+  ExecutorStats Stats =
+      Ex.run({mapTxn({{1, 10}, {2, 20}}), mapTxn({{1, 11}, {3, 30}})});
+  EXPECT_GT(Stats.aborts() + Stats.Stalls + Stats.WaitRounds, 0u);
   EXPECT_GT(Stats.GatekeeperChecks, Stats.GatekeeperPasses);
   EXPECT_EQ(Stats.Commits, 2u);
   // Keys {1, 2, 3} are present; key 1 holds whichever committed last — a
   // serializable outcome.
-  EXPECT_EQ(Rt.structure().size(), 3);
-  Value K1 = Rt.structure().mapGet(Value::obj(1));
+  EXPECT_EQ(Ex.shard(0).size(), 3);
+  Value K1 = Ex.shard(0).mapGet(Value::obj(1));
   EXPECT_TRUE(K1 == Value::obj(10) || K1 == Value::obj(11));
 }
 
-TEST(SpeculativeRuntimeTest, InverseRollbackRestoresContribution) {
-  // One transaction adds elements and is forced to abort by a conflicting
-  // reader; its contribution must vanish from the abstract state.
+TEST(SpeculativeExecutorTest, InverseRollbackRestoresContribution) {
+  // Forced-abort injection makes the writer roll back mid-flight; the
+  // verified inverses must erase its partial contribution, and the final
+  // committed state must still match the serial replay of the commit
+  // order.
   RuntimeFixture &Fx = fixture();
-  SpeculativeRuntime Rt(Fx.F, Fx.C, factoryFor("HashSet"));
-  Transaction Writer = {{"add", {Value::obj(1)}},
-                        {"add", {Value::obj(2)}},
-                        {"remove", {Value::obj(1)}}};
-  Transaction Reader = {{"contains", {Value::obj(2)}},
-                        {"contains", {Value::obj(2)}}};
-  RuntimeStats Stats = Rt.run({Reader, Writer});
+  // AbortEvery=1 with a per-transaction cap of one: each transaction's
+  // very first executed op self-aborts once (so the writer is guaranteed
+  // to undo a mutating add), then both retry and complete.
+  ExecutorConfig Cfg = replayCfg(2);
+  Cfg.AbortEvery = 1;
+  Cfg.MaxInjectedAbortsPerTxn = 1;
+  SpeculativeExecutor Ex(Fx.F, Fx.C, factoryFor("HashSet"), Cfg);
+  std::vector<Transaction> Txns = {
+      {{"contains", {Value::obj(2)}, 0}, {"contains", {Value::obj(2)}, 0}},
+      {{"add", {Value::obj(1)}, 0},
+       {"add", {Value::obj(2)}, 0},
+       {"remove", {Value::obj(1)}, 0}}};
+  ExecutorStats Stats = Ex.run(Txns);
   EXPECT_EQ(Stats.Commits, 2u);
+  EXPECT_GT(Stats.InjectedAborts, 0u);
+  EXPECT_GT(Stats.OpsUndone, 0u);
   // Final committed state: {2} (1 added then removed by the writer).
-  EXPECT_FALSE(Rt.structure().contains(Value::obj(1)));
-  EXPECT_TRUE(Rt.structure().contains(Value::obj(2)));
-  if (Stats.Aborts > 0) {
-    EXPECT_GT(Stats.OpsUndone, 0u);
-  }
+  EXPECT_FALSE(Ex.shard(0).contains(Value::obj(1)));
+  EXPECT_TRUE(Ex.shard(0).contains(Value::obj(2)));
+  expectShardsMatchSerialReplay(Ex, factoryFor("HashSet"), Txns);
 }
 
-TEST(SpeculativeRuntimeTest, CommutativityIncreasesConcurrency) {
+TEST(SpeculativeExecutorTest, CommutativityIncreasesConcurrency) {
   // Four transactions adding disjoint element ranges. With the gatekeeper
   // the adds interleave freely (distinct adds commute); without it every
-  // concurrent pair "conflicts" and execution degenerates to stalling
+  // concurrent pair "conflicts" and the schedule degenerates to waiting
   // serialization.
   RuntimeFixture &Fx = fixture();
   std::vector<Transaction> Txns;
   for (int T = 0; T < 4; ++T) {
     Transaction Txn;
     for (int I = 0; I < 5; ++I)
-      Txn.push_back({"add", {Value::obj(1 + T * 5 + I)}});
+      Txn.push_back({"add", {Value::obj(1 + T * 5 + I)}, 0});
     Txns.push_back(Txn);
   }
 
-  SpeculativeRuntime With(Fx.F, Fx.C, factoryFor("HashSet"));
-  RuntimeStats SWith = With.run(Txns);
-  SpeculativeRuntime Without(Fx.F, Fx.C, factoryFor("HashSet"));
-  Without.setUseCommutativity(false);
-  RuntimeStats SWithout = Without.run(Txns);
+  SpeculativeExecutor With(Fx.F, Fx.C, factoryFor("HashSet"), replayCfg(2));
+  ExecutorStats SWith = With.run(Txns);
+  ExecutorConfig NoGkCfg = replayCfg(2);
+  NoGkCfg.UseCommutativity = false;
+  SpeculativeExecutor Without(Fx.F, Fx.C, factoryFor("HashSet"), NoGkCfg);
+  ExecutorStats SWithout = Without.run(Txns);
 
   EXPECT_EQ(SWith.Commits, 4u);
   EXPECT_EQ(SWithout.Commits, 4u);
   // With the gatekeeper: full concurrency, no waiting, no rollbacks.
-  EXPECT_EQ(SWith.Aborts, 0u);
-  EXPECT_EQ(SWith.Stalls, 0u);
+  EXPECT_EQ(SWith.aborts(), 0u);
+  EXPECT_EQ(SWith.WaitRounds, 0u);
   EXPECT_GT(SWith.GatekeeperPasses, 0u);
-  // Without: the same schedule serializes by stalling.
-  EXPECT_GT(SWithout.Stalls, 0u);
+  // Without: the same schedule serializes by waiting (and wounding when a
+  // younger transaction got in first).
+  EXPECT_GT(SWithout.WaitRounds, 0u);
   EXPECT_EQ(SWithout.GatekeeperPasses, 0u);
   // Either way the committed abstract state is identical.
-  EXPECT_EQ(With.structure().abstraction(),
-            Without.structure().abstraction());
+  EXPECT_EQ(With.shard(0).abstraction(), Without.shard(0).abstraction());
 }
 
-TEST(SpeculativeRuntimeTest, SnapshotPolicyUndoesCollateralWork) {
+TEST(SpeculativeExecutorTest, SnapshotPolicyUndoesCollateralWork) {
   RuntimeFixture &Fx = fixture();
   std::vector<Transaction> Txns = {mapTxn({{1, 10}, {2, 20}}),
                                    mapTxn({{1, 11}, {3, 30}})};
-  SpeculativeRuntime Snap(Fx.F, Fx.C, factoryFor("HashTable"),
-                          RollbackPolicy::Snapshot);
-  RuntimeStats S = Snap.run(Txns);
+  ExecutorConfig Cfg = replayCfg(2);
+  Cfg.Policy = RollbackPolicy::Snapshot;
+  Cfg.AbortEvery = 2;
+  Cfg.MaxInjectedAbortsPerTxn = 1;
+  SpeculativeExecutor Snap(Fx.F, Fx.C, factoryFor("HashTable"), Cfg);
+  ExecutorStats S = Snap.run(Txns);
   EXPECT_EQ(S.Commits, 2u);
   EXPECT_GT(S.SnapshotsTaken, 0u);
-  EXPECT_EQ(Snap.structure().size(), 3);
+  EXPECT_GT(S.OpsUndone, 0u);
+  EXPECT_EQ(Snap.shard(0).size(), 3);
+}
+
+TEST(SpeculativeExecutorTest, ReplayModeIsThreadCountInvariant) {
+  // Satellite (a): in Replay mode the schedule is a pure function of the
+  // seed, so final per-shard states, the commit order, and every
+  // deterministic statistic must be identical at 1 and 8 threads.
+  RuntimeFixture &Fx = fixture();
+  std::vector<Transaction> Txns = mixedMapWorkload(
+      /*NumTxns=*/10, /*OpsPerTxn=*/12, /*NumKeys=*/16, /*Shards=*/4,
+      /*Seed=*/42);
+
+  SpeculativeExecutor One(Fx.F, Fx.C, factoryFor("HashTable"),
+                          replayCfg(1, /*Shards=*/4, /*Seed=*/99));
+  ExecutorStats S1 = One.run(Txns);
+  SpeculativeExecutor Eight(Fx.F, Fx.C, factoryFor("HashTable"),
+                            replayCfg(8, /*Shards=*/4, /*Seed=*/99));
+  ExecutorStats S8 = Eight.run(Txns);
+
+  EXPECT_TRUE(S1.Completed);
+  EXPECT_TRUE(S8.Completed);
+  EXPECT_EQ(S1.Commits, 10u);
+  EXPECT_EQ(deterministicStats(S1), deterministicStats(S8));
+  EXPECT_EQ(One.commitOrder(), Eight.commitOrder());
+  for (unsigned S = 0; S != One.numShards(); ++S)
+    EXPECT_EQ(One.shard(S).abstraction(), Eight.shard(S).abstraction())
+        << "shard " << S;
+  expectShardsMatchSerialReplay(One, factoryFor("HashTable"), Txns);
+}
+
+TEST(SpeculativeExecutorTest, InverseAndSnapshotRollbackAgreeUnderAbortStorms) {
+  // Satellite (b): under forced-abort storms both rollback policies must
+  // leave each executor's shards exactly equal to the serial replay of
+  // its own commit order (the policies may legitimately commit in
+  // different orders, since snapshot admission is stricter).
+  RuntimeFixture &Fx = fixture();
+  std::vector<Transaction> Txns = mixedMapWorkload(
+      /*NumTxns=*/8, /*OpsPerTxn=*/10, /*NumKeys=*/12, /*Shards=*/2,
+      /*Seed=*/7);
+
+  for (RollbackPolicy Policy :
+       {RollbackPolicy::Inverses, RollbackPolicy::Snapshot}) {
+    ExecutorConfig Cfg = replayCfg(4, /*Shards=*/2, /*Seed=*/5);
+    Cfg.Policy = Policy;
+    Cfg.AbortEvery = 6;
+    Cfg.MaxInjectedAbortsPerTxn = 2;
+    SpeculativeExecutor Ex(Fx.F, Fx.C, factoryFor("HashTable"), Cfg);
+    ExecutorStats S = Ex.run(Txns);
+    EXPECT_TRUE(S.Completed);
+    EXPECT_EQ(S.Commits, 8u);
+    EXPECT_GT(S.InjectedAborts, 0u)
+        << (Policy == RollbackPolicy::Inverses ? "inverses" : "snapshot");
+    EXPECT_GT(S.OpsUndone, 0u);
+    expectShardsMatchSerialReplay(Ex, factoryFor("HashTable"), Txns);
+  }
+}
+
+TEST(SpeculativeExecutorTest, IndexedAndInterpretedGatekeepersAgree) {
+  // Satellite (c): with the same seed and workload, the compiled-index
+  // gatekeeper and the tree-interpreter reference must produce identical
+  // schedules, stats, and final states — the index changes query cost,
+  // never answers.
+  RuntimeFixture &Fx = fixture();
+  std::vector<Transaction> Txns = mixedMapWorkload(
+      /*NumTxns=*/8, /*OpsPerTxn=*/10, /*NumKeys=*/6, /*Shards=*/2,
+      /*Seed=*/21);
+
+  ExecutorConfig IdxCfg = replayCfg(4, /*Shards=*/2, /*Seed=*/3);
+  IdxCfg.CheckerPath = IndexedChecker::Path::Indexed;
+  SpeculativeExecutor Indexed(Fx.F, Fx.C, factoryFor("HashTable"), IdxCfg);
+  ExecutorStats SI = Indexed.run(Txns);
+
+  ExecutorConfig InterpCfg = IdxCfg;
+  InterpCfg.CheckerPath = IndexedChecker::Path::Interpreted;
+  SpeculativeExecutor Interp(Fx.F, Fx.C, factoryFor("HashTable"), InterpCfg);
+  ExecutorStats ST = Interp.run(Txns);
+
+  EXPECT_GT(SI.GatekeeperChecks, 0u);
+  // The shipped catalog lowers every condition, so the indexed path never
+  // falls back; the interpreted path answers everything by fallback.
+  EXPECT_EQ(SI.CheckerFallbacks, 0u);
+  EXPECT_EQ(ST.CheckerFallbacks, ST.GatekeeperChecks);
+  EXPECT_EQ(ST.CheckerProgramRuns, 0u);
+
+  // Same verdicts → same schedule: compare everything except the checker
+  // counters (which name the machinery, not the answers).
+  std::vector<uint64_t> A = deterministicStats(SI), B = deterministicStats(ST);
+  A.resize(11); // drop CheckerProgramRuns / CheckerFallbacks
+  B.resize(11);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Indexed.commitOrder(), Interp.commitOrder());
+  for (unsigned S = 0; S != Indexed.numShards(); ++S)
+    EXPECT_EQ(Indexed.shard(S).abstraction(), Interp.shard(S).abstraction());
+}
+
+TEST(SpeculativeExecutorTest, ParallelModeCommitsEverythingSerializably) {
+  // Real concurrency (non-deterministic interleavings): every transaction
+  // still commits exactly once and the result equals the serial replay of
+  // the observed commit order.
+  RuntimeFixture &Fx = fixture();
+  std::vector<Transaction> Txns = mixedMapWorkload(
+      /*NumTxns=*/16, /*OpsPerTxn=*/20, /*NumKeys=*/10, /*Shards=*/4,
+      /*Seed=*/33);
+  ExecutorConfig Cfg;
+  Cfg.Threads = 8;
+  Cfg.Shards = 4;
+  Cfg.Mode = SchedulerMode::Parallel;
+  SpeculativeExecutor Ex(Fx.F, Fx.C, factoryFor("HashTable"), Cfg);
+  ExecutorStats S = Ex.run(Txns);
+  EXPECT_TRUE(S.Completed);
+  EXPECT_EQ(S.Commits, 16u);
+  EXPECT_EQ(Ex.commitOrder().size(), 16u);
+  expectShardsMatchSerialReplay(Ex, factoryFor("HashTable"), Txns);
 }
 
 // --- Lattice --------------------------------------------------------------------
