@@ -100,8 +100,10 @@ public:
       SampleMask = 0;
       return;
     }
+    // Clamp at 2^31: doubling past it would wrap P to 0 and never
+    // terminate. Larger requests sample every 2^31st query.
     unsigned P = 1;
-    while (P < Period)
+    while (P < Period && P < (1u << 31))
       P <<= 1;
     SampleOn = true;
     SampleMask = P - 1; // Period 1 => mask 0: every query sampled.

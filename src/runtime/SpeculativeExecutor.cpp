@@ -13,6 +13,8 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 using namespace semcomm;
@@ -139,6 +141,12 @@ struct ShardLogEntry {
   uint32_t Op = 0;
   ArgList Args;
   Value Ret;
+  /// Precondition-failure placeholder: the operation was skipped, not
+  /// executed. It pins the skip decision in the serial order — the
+  /// gatekeeper treats it as commuting with nothing, so no operation
+  /// admitted later can be serialized before it (a later add could
+  /// otherwise make the skipped index valid under replaySerial).
+  bool PreFailed = false;
 };
 
 struct SpeculativeExecutor::ShardState {
@@ -308,7 +316,7 @@ SpeculativeExecutor::step(TxnCtx &T, WorkerCtx &W) {
     bool WriterClash = Cfg.Policy == RollbackPolicy::Snapshot &&
                        Spec.Mutates && Fam.Ops[E.Op].Mutates;
     bool Commutes = false;
-    if (!WriterClash && Cfg.UseCommutativity) {
+    if (!E.PreFailed && !WriterClash && Cfg.UseCommutativity) {
       if (Cfg.CheckerPath == IndexedChecker::Path::Indexed)
         Commutes =
             W.Checker.mayCommuteFast(PairTable[E.Op * NumOps + Op.Op],
@@ -336,7 +344,31 @@ SpeculativeExecutor::step(TxnCtx &T, WorkerCtx &W) {
   // exception).
   if (!preHolds(static_cast<PreKind>(PreKindTable[Op.Op]), *S.Instance,
                 Op.Args)) {
+    // While other transactions hold uncommitted effects in this shard the
+    // failure may be an artifact of state that later aborts, so the skip
+    // decision is deferred: resolve it like a conflict (wound-wait) and
+    // re-evaluate once the foreign effects have cleared.
+    for (const ShardLogEntry &E : S.Log) {
+      if (E.Txn == T.Id)
+        continue;
+      uint32_t Owner = E.Txn;
+      if (T.Id < Owner)
+        Txns[Owner]->DoomedBy.store(T.Id, std::memory_order_relaxed);
+      L.unlock();
+      ++W.Stats.WaitRounds;
+      return StepOutcome::Waited;
+    }
+    // Only committed state plus our own effects are visible, so the skip
+    // is exactly what replaySerial decides at this point in the commit
+    // order — provided nothing admitted later serializes before it. The
+    // placeholder entry (commutes with nothing) enforces that.
+    S.Log.push_back({T.Id, T.NextSeq, Op.Op, Op.Args, Value(),
+                     /*PreFailed=*/true});
     L.unlock();
+    T.Undo.push_back(
+        {Op.Shard, T.NextSeq, Op.Op, /*Mutates=*/false, Op.Args, Value()});
+    T.Touched[Op.Shard] = 1;
+    ++T.NextSeq;
     ++T.Pc;
     ++W.Stats.PreSkips;
     return StepOutcome::PreSkipped;
@@ -437,6 +469,17 @@ void SpeculativeExecutor::rollback(TxnCtx &T, WorkerCtx &W, bool FromWound) {
 }
 
 void SpeculativeExecutor::commitTxn(TxnCtx &T, WorkerCtx &W) {
+  // Claim the commit sequence number BEFORE any shard log entry is
+  // removed. A transaction whose operation conflicts with ours can only
+  // be admitted once our entries are gone; it then depends on our
+  // committed effects and must serialize after us. The shard mutex
+  // release below / acquire on its side orders this fetch_add before the
+  // dependent transaction's, so coherence on CommitSeq guarantees it a
+  // later number. (Claiming the seq after clearing the logs opened a
+  // window where the dependent could execute, finish, and grab a smaller
+  // seq — commitOrder() then was not an equivalent serial order.)
+  uint32_t Seq = CommitSeq.fetch_add(1, std::memory_order_relaxed);
+  CommitOrderVec[Seq] = T.Id;
   for (size_t Sh = 0; Sh != NumShards; ++Sh) {
     if (!T.Touched[Sh])
       continue;
@@ -452,8 +495,6 @@ void SpeculativeExecutor::commitTxn(TxnCtx &T, WorkerCtx &W) {
   T.Undo.clear();
   for (auto &Snap : T.Snapshots)
     Snap.reset();
-  uint32_t Seq = CommitSeq.fetch_add(1, std::memory_order_relaxed);
-  CommitOrderVec[Seq] = T.Id;
   ++W.Stats.Commits;
   // Release: transactions backed off on this one may now restart and must
   // see the log entries gone.
@@ -593,10 +634,16 @@ ExecutorStats SpeculativeExecutor::run(const std::vector<Transaction> &Input) {
     T->Id = static_cast<uint32_t>(Ti);
     T->Script.reserve(Input[Ti].size());
     for (const TxOp &Op : Input[Ti]) {
-      assert(Op.Shard < NumShards && "operation addressed past the shards");
-      T->Script.push_back(
-          {Fam.opIndex(Op.OpName), Op.Shard % static_cast<uint32_t>(NumShards),
-           Op.Args});
+      // Hard input validation, in release builds too: silently wrapping a
+      // miswired shard id would route the operation to the wrong shard.
+      if (Op.Shard >= NumShards) {
+        std::fprintf(stderr,
+                     "SpeculativeExecutor::run: operation '%s' of txn %zu "
+                     "addresses shard %u but the executor has %zu\n",
+                     Op.OpName.c_str(), Ti, Op.Shard, NumShards);
+        std::abort();
+      }
+      T->Script.push_back({Fam.opIndex(Op.OpName), Op.Shard, Op.Args});
     }
     T->Snapshots.resize(NumShards);
     T->Touched.assign(NumShards, 0);

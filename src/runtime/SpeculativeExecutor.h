@@ -21,6 +21,16 @@
 /// as the baseline, by restoring a per-shard snapshot under single-writer
 /// admission).
 ///
+/// State-dependent preconditions (the ArrayList index bounds; every other
+/// catalog operation is total) are never decided against speculative
+/// foreign state: a precondition failure observed while other
+/// transactions hold uncommitted effects in the shard is treated as a
+/// conflict (wound-wait) and re-evaluated once those effects clear, and a
+/// genuine skip leaves a conservative placeholder in the shard log —
+/// commuting with nothing — so no operation admitted later can be
+/// serialized before the skip decision. Skips therefore match what
+/// replaySerial produces at the same point of the commit order.
+///
 /// Two scheduler modes:
 ///  * Parallel — real concurrency on a work-stealing pool; transactions
 ///    that must wait yield their worker by resubmitting a continuation.
