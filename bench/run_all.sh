@@ -60,6 +60,17 @@ record() { # name seconds status
   printf '%s\t%s\t%s\n' "$1" "$2" "$3" >> "$TIMINGS_TSV"
 }
 
+# Per-bench extra arguments. perf_speculation's full grid costs ~3 min of
+# wall time; the default aggregation run uses a calibrated 250k-op budget
+# (~17 s) that still exercises every grid cell, and SEMCOMM_BENCH_FULL=1
+# restores the full-resolution grid.
+bench_args() { # name
+  case "$1" in
+    perf_speculation)
+      [ "${SEMCOMM_BENCH_FULL:-0}" = "1" ] || echo "--ops 250000" ;;
+  esac
+}
+
 now() { # fractional seconds; %N is GNU-only, so keep this POSIX-portable
   python3 -c 'import time; print(f"{time.time():.3f}")'
 }
@@ -74,7 +85,9 @@ for bench in $PLAIN_BENCHES; do
   fi
   echo "== $bench"
   start=$(now)
-  if "$bin" > "$RESULTS_DIR/$bench.txt" 2>&1; then status=ok; else
+  # shellcheck disable=SC2046 # bench_args emits space-separated flags
+  if "$bin" $(bench_args "$bench") > "$RESULTS_DIR/$bench.txt" 2>&1
+  then status=ok; else
     status=failed
     echo "FAILED  $bench (see $RESULTS_DIR/$bench.txt)"
     failures=$((failures + 1))
@@ -196,6 +209,39 @@ if [ -x "$DRIVER_BIN" ]; then
     "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
 else
   record "driver_certify_stats" 0 missing
+fi
+
+# Service-loop snapshots: three 3-pass full-catalog semcommute-serve runs
+# (prefix-batched, FIFO, and batched-without-compaction) whose request
+# rates and per-pass live peaks join the baseline as service_stats, so
+# serving regressions (a lost batching speedup, a compaction that stops
+# bounding the warm session) are caught like wall-time ones.
+SERVE_BIN="$BUILD_DIR/semcommute-serve"
+if [ -x "$SERVE_BIN" ]; then
+  for cfg in "serve_batched:" "serve_fifo:--no-batch" \
+             "serve_nocompact:--no-compact"; do
+    name=${cfg%%:*}
+    extra=${cfg#*:}
+    echo "== semcommute-serve ($name)"
+    start=$(now)
+    # shellcheck disable=SC2086 # $extra is zero or one flag
+    if "$SERVE_BIN" --families all --passes 3 $extra \
+         --json "$RESULTS_DIR/$name.json" --quiet \
+         > "$RESULTS_DIR/$name.txt" 2>&1
+    then status=ok; else
+      status=failed
+      echo "FAILED  semcommute-serve $name (see $RESULTS_DIR/$name.txt)"
+      failures=$((failures + 1))
+    fi
+    end=$(now)
+    record "$name" "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
+  done
+else
+  echo "MISSING semcommute-serve (not built?)"
+  for name in serve_batched serve_fifo serve_nocompact; do
+    record "$name" 0 missing
+  done
+  failures=$((failures + 1))
 fi
 
 python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
@@ -384,8 +430,62 @@ if speculation_stats is not None and spec_rows:
         {k: v for k, v in row.items() if k not in ("bench", "metric")}
         for row in spec_rows]
 
+# Verification-service statistics from the three semcommute-serve
+# snapshot runs: request rates with and without prefix batching (and the
+# measured speedup), live peaks with and without bridge compaction, the
+# compaction/release counters, and how many passes the batched run needed
+# before its live peaks plateaued (successive passes within 1.05x).
+def load_serve(name):
+    path = os.path.join(results_dir, name + ".json")
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except json.JSONDecodeError:
+        return None
+
+service_stats = None
+serve_batched = load_serve("serve_batched")
+serve_fifo = load_serve("serve_fifo")
+serve_nocompact = load_serve("serve_nocompact")
+if serve_batched:
+    def live_peaks(doc):
+        sess = doc.get("session", {})
+        return {k: sess.get("peak_live_" + k)
+                for k in ("vars", "clauses", "bridges")}
+    passes = serve_batched.get("pass_stats", [])
+    passes_to_plateau = None
+    for i in range(1, len(passes)):
+        prev, cur = passes[i - 1], passes[i]
+        if all(cur.get("peak_live_" + k, 0)
+               <= 1.05 * max(prev.get("peak_live_" + k, 0), 1)
+               for k in ("vars", "clauses", "bridges")):
+            passes_to_plateau = i + 1
+            break
+    sess = serve_batched.get("session", {})
+    rps = serve_batched.get("requests_per_sec")
+    fifo_rps = serve_fifo.get("requests_per_sec") if serve_fifo else None
+    service_stats = {
+        "passes": len(passes),
+        "requests": sum(p.get("requests", 0) for p in passes),
+        "req_per_sec_batched": rps,
+        "req_per_sec_fifo": fifo_rps,
+        "batching_speedup_x": (round(rps / fifo_rps, 3)
+                               if rps and fifo_rps else None),
+        "pair_groups": serve_batched.get("pair_groups"),
+        "batched_reuses": serve_batched.get("batched_reuses"),
+        "bridge_compactions": sess.get("bridge_compactions"),
+        "released_atom_vars": sess.get("released_atom_vars"),
+        "released_selectors": sess.get("released_selectors"),
+        "peaks_compacting": live_peaks(serve_batched),
+        "peaks_no_compaction": (live_peaks(serve_nocompact)
+                                if serve_nocompact else None),
+        "passes_to_plateau": passes_to_plateau,
+    }
+
 doc = {
-    "schema": 7,
+    "schema": 8,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
@@ -396,6 +496,7 @@ doc = {
     "driver_certify_stats": certify_stats,
     "index_stats": index_stats,
     "speculation_stats": speculation_stats,
+    "service_stats": service_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

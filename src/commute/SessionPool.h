@@ -442,6 +442,17 @@ struct CatalogSessionStats {
   uint64_t PeakLiveVars = 0;
   uint64_t PeakLiveClauses = 0;
   uint64_t VarRequests = 0;
+  /// Bridge-compaction accounting (all zero unless the session was built
+  /// with CompactBridges): compaction passes run, theory-atom variables
+  /// released back to the recycler, retired-scope selector variables
+  /// released (epoch-interned selectors fold instead of pinning the trail
+  /// forever), and the live/peak bridge-clause counts the compactor
+  /// bounds.
+  uint64_t BridgeCompactions = 0;
+  uint64_t ReleasedAtomVars = 0;
+  uint64_t ReleasedSelectors = 0;
+  uint64_t LiveBridges = 0;
+  uint64_t PeakLiveBridges = 0;
 };
 
 /// A warm solver session shared by every family of the catalog
@@ -459,8 +470,15 @@ public:
   /// must outlive the session (family Pairs may be empty: lazy callers
   /// materialize pair plans just before discharge). \p Certify turns on
   /// proof logging before any assertion reaches the solver.
+  /// \p CompactBridges turns on the session's bridge compactor (theory
+  /// atoms are reference-counted by live scope; once every owner retires,
+  /// the bridge clauses over them are compacted out and their variables
+  /// recycled) — the long-horizon mode the verification service runs in.
+  /// \p CompactMinDead is the dead-entry threshold below which a
+  /// retirement never triggers a compaction pass.
   CatalogSession(ExprFactory &F, const CatalogPlan &Plan, int64_t Budget,
-                 bool Certify = false);
+                 bool Certify = false, bool CompactBridges = false,
+                 size_t CompactMinDead = 64);
   CatalogSession(const CatalogSession &) = delete;
   CatalogSession &operator=(const CatalogSession &) = delete;
 
@@ -504,6 +522,12 @@ public:
   /// The underlying session, exposed so tests can assert solver
   /// invariants (reasonInvariantHolds) after subtree evictions.
   SmtSession &session() { return Session; }
+
+  /// Restarts the solver's live-variable / live-clause / live-bridge
+  /// high-water marks from the current live counts. The service calls
+  /// this between catalog passes so each pass's peak is measured
+  /// independently (the plateau criterion compares per-pass peaks).
+  void resetPeakStats() { Session.resetPeakStats(); }
 
   bool certifying() const { return Session.certifying(); }
   /// Runs the independent checker over the session's trace (idempotent).

@@ -236,6 +236,15 @@ public:
   void setCertify(bool C) { Certify = C; }
   bool certify() const { return Certify; }
 
+  /// Turns on bridge compaction for catalog sessions (the driver's
+  /// --compact-bridges knob): retired scopes release their theory-atom
+  /// references, and once every owner of an atom is dead its bridge
+  /// clauses are compacted out of the clause database and its variable
+  /// recycled. Only verifyCatalog sessions honor it — the other modes
+  /// retire nothing, so there is nothing to compact.
+  void setBridgeCompaction(bool B) { CompactBridges = B; }
+  bool bridgeCompaction() const { return CompactBridges; }
+
   /// Attaches proof-hint scripts: ArrayList method plans whose method
   /// matches a script gain the script's note/pickWitness lemmas as extra
   /// *labeled* split assumptions, so unsat cores can name the hint
@@ -266,6 +275,7 @@ private:
   SolveMode Mode;
   int64_t GcBudget = 0;
   bool Certify = false;
+  bool CompactBridges = false;
   const std::vector<HintScript> *Hints = nullptr;
 };
 

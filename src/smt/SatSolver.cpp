@@ -541,10 +541,13 @@ void SatSolver::compactClauses(const std::vector<bool> &Remove) {
 }
 
 size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
-                               const std::vector<int> &ScopeVars) {
+                               const std::vector<int> &ScopeVars,
+                               const std::vector<Lit> &ReleasableSelectors) {
   backtrack(0);
   ++ScopeRetirements;
   for (Lit Selector : Selectors)
+    addClause({Selector.negated()});
+  for (Lit Selector : ReleasableSelectors)
     addClause({Selector.negated()});
   if (Unsatisfiable)
     return 0; // Trivially Unsat database: nothing left worth sweeping.
@@ -572,8 +575,13 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
   // false at root.
   std::vector<bool> InScope(Assign.size(), false);
   std::vector<bool> Owned(Assign.size(), false);
+  std::vector<bool> Releasable(Assign.size(), false);
   for (Lit Selector : Selectors)
     InScope[static_cast<size_t>(Selector.var())] = true;
+  for (Lit Selector : ReleasableSelectors) {
+    InScope[static_cast<size_t>(Selector.var())] = true;
+    Releasable[static_cast<size_t>(Selector.var())] = true;
+  }
   for (int V : ScopeVars) {
     InScope[static_cast<size_t>(V)] = true;
     Owned[static_cast<size_t>(V)] = true;
@@ -616,8 +624,13 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
   // silently alias two meanings. An owned var pinned at root (typically a
   // Tseitin wrapper definition the retirement's own unit propagation
   // forced true) is a fact about a variable nothing mentions: it is
-  // compacted off the trail and recycled too — selectors are never owned,
-  // so retired selectors stay permanently false.
+  // compacted off the trail and recycled too. Plain retired selectors stay
+  // permanently false (legacy callers may still hold their atoms), but
+  // *releasable* selectors — those the caller certifies will never be
+  // assumed or re-encoded — follow the owned-var path: their pinned-false
+  // unit is deleted from the proof, dropped from the trail, and the index
+  // recycled, so a long-lived session's trail stops growing with its
+  // retirement history.
   std::vector<bool> Occurs(Assign.size(), false);
   for (const Clause &C : Clauses)
     for (Lit L : C.Lits)
@@ -629,7 +642,9 @@ size_t SatSolver::retireScopes(const std::vector<Lit> &Selectors,
     size_t S = static_cast<size_t>(V);
     if (Occurs[S] || IsFree[S])
       continue;
-    bool Recyclable = RecyclingEnabled && Owned[S];
+    bool Recyclable = RecyclingEnabled && (Owned[S] || Releasable[S]);
+    if (Recyclable && Releasable[S])
+      ++ReleasedSelectors;
     if (Assign[S] != Undef) {
       if (!Recyclable)
         continue; // A pinned fact that must keep holding (e.g. ~selector).

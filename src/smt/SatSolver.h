@@ -161,7 +161,22 @@ public:
   /// activity/phase reset (their indices may still be referenced by the
   /// caller's atom maps). Returns the number of clauses evicted.
   size_t retireScopes(const std::vector<Lit> &Selectors,
-                      const std::vector<int> &ScopeVars);
+                      const std::vector<int> &ScopeVars) {
+    return retireScopes(Selectors, ScopeVars, {});
+  }
+  /// Extended retirement for the long-lived service loop: selectors in
+  /// \p ReleasableSelectors are falsified and swept exactly like
+  /// \p Selectors, but when such a selector ends up dead (no clause
+  /// occurrence), its pinned-false unit is compacted off the trail and its
+  /// index joins the free list — the caller's guarantee is that the
+  /// selector will never be assumed or re-encoded again (epoch-tagged
+  /// selector names make every reopened scope a fresh atom). This is the
+  /// trail-compaction half of bridge/selector compaction: without it a
+  /// warm session's trail grows by one pinned literal per retired scope
+  /// forever.
+  size_t retireScopes(const std::vector<Lit> &Selectors,
+                      const std::vector<int> &ScopeVars,
+                      const std::vector<Lit> &ReleasableSelectors);
   /// Single-selector convenience wrapper around retireScopes().
   size_t retireScope(Lit Selector, const std::vector<int> &ScopeVars) {
     return retireScopes({Selector}, ScopeVars);
@@ -172,6 +187,16 @@ public:
   int64_t numScopeRetirements() const { return ScopeRetirements; }
   int64_t numEvictedClauses() const { return EvictedClauses; }
   int64_t numRecycledVars() const { return RecycledVars; }
+  /// Retired selectors whose pinned-false units were compacted off the
+  /// trail and whose indices were recycled (subset of numRecycledVars).
+  int64_t numReleasedSelectors() const { return ReleasedSelectors; }
+  /// True when \p Var currently sits on the recycler's free list. The SMT
+  /// layer uses this after a retirement to decide which atom-map entries
+  /// may be erased: only a free-listed index is guaranteed to carry no
+  /// clause, no assignment, and no meaning.
+  bool varIsFree(int Var) const {
+    return Var >= 1 && Var <= numVars() && IsFree[static_cast<size_t>(Var)];
+  }
   /// Variable accounting for the catalog-session statistics: slots
   /// currently backing a live (non-free-listed) variable, the high-water
   /// mark of that number, cumulative addVar() calls (what the allocation
@@ -182,6 +207,14 @@ public:
   int peakLiveVars() const { return PeakLiveVars; }
   int64_t numVarRequests() const { return VarRequests; }
   size_t peakClauses() const { return PeakClauses; }
+  /// Restarts the live-var/clause high-water marks from the *current*
+  /// live counts. The service loop calls this at pass boundaries so the
+  /// steady-state plateau (pass N peak vs pass N-1 peak) is observable
+  /// instead of being masked by the first pass's warm-up peak.
+  void resetPeakStats() {
+    PeakLiveVars = numLiveVars();
+    PeakClauses = Clauses.size();
+  }
   /// Debug check for tests: \p Var is unassigned with zero activity,
   /// default phase, no reason, and empty watch lists — the state every
   /// recycled index must present on reuse.
@@ -264,6 +297,7 @@ private:
   bool RecyclingEnabled = true;
   proof::ProofTrace *Proof = nullptr; ///< Not owned; null = no logging.
   int64_t RecycledVars = 0;
+  int64_t ReleasedSelectors = 0;
   int64_t VarRequests = 0;
   int PeakLiveVars = 0;
   size_t PeakClauses = 0;

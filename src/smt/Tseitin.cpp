@@ -52,8 +52,9 @@ Lit Tseitin::atomLit(ExprRef Atom) {
   auto It = Atoms.find(Atom);
   if (It != Atoms.end())
     return Lit(It->second, true);
-  // Atom vars are global (bridges reference them for the whole session
-  // lifetime), so they are never layer-owned or recycled.
+  // Atom vars are global (bridges reference them across scopes), so they
+  // are never layer-owned; they leave the table only through an explicit
+  // releaseAtom() once the SMT layer proves every referencing scope died.
   int V = Solver.addVar();
   Atoms.emplace(Atom, V);
   return Lit(V, true);

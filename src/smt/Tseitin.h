@@ -22,8 +22,9 @@
 /// clause mentioning the subtree layers' owned vars and recycle those
 /// variable indices — the session-level invariant behind
 /// SatSolver::retireScopes(). Atom variables stay global (one table for
-/// the whole solver): they are shared with the theory bridges and must
-/// keep their index for the life of the session.
+/// the whole solver): they are shared with the theory bridges and keep
+/// their index until the SMT layer's bridge compaction proves every scope
+/// that mentioned them dead and releases them explicitly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -76,6 +77,18 @@ public:
 
   /// The atom map: every non-propositional boolean leaf and its variable.
   const std::map<ExprRef, int> &atoms() const { return Atoms; }
+
+  /// Erases \p Atom's global atom-map entry and returns true when one was
+  /// present. Only legal after the variable has been retired through the
+  /// solver (its index recycled or about to be): atom vars are global
+  /// precisely because bridges and scoped encodings may reference them, so
+  /// the caller must guarantee no live clause and no live cache layer
+  /// still names the variable. The SMT layer's bridge compaction and
+  /// selector release provide that guarantee (dead-owner accounting plus
+  /// epoch-tagged selector names); with the entry gone, a future encode of
+  /// the same expression allocates a fresh variable instead of aliasing
+  /// the recycled index.
+  bool releaseAtom(ExprRef Atom) { return Atoms.erase(Atom) != 0; }
 
   /// Attaches a discipline event log (lint replays record layer pushes,
   /// definition creations, and cache references through it). Not owned.

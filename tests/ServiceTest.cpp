@@ -1,0 +1,282 @@
+//===- tests/ServiceTest.cpp - Warm verification service tests --------------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// The verification service over a warm catalog session: request routing,
+// prefix-batched drains, bridge compaction + selector release keeping the
+// session bounded across passes, snapshot/reload, and — the load-bearing
+// property — verdict equality between a compacting service and a
+// no-compaction reference under randomized request/retire orders.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/VerifyService.h"
+
+#include "DriverCore.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace semcomm;
+using namespace semcomm::service;
+
+namespace {
+
+std::vector<const Family *> families(std::vector<std::string> Names) {
+  std::string Error;
+  std::vector<const Family *> Fams = driver::resolveFamilies(Names, Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  return Fams;
+}
+
+/// Every (entry, kind) request of the served families, catalog order.
+std::vector<ServiceRequest>
+allRequests(const Catalog &C, const std::vector<const Family *> &Fams) {
+  std::vector<ServiceRequest> Reqs;
+  for (const Family *Fam : Fams)
+    for (const ConditionEntry &E : C.entries(*Fam))
+      for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                              ConditionKind::After})
+        Reqs.push_back({Fam->Name, E.op1().Name, E.op2().Name, K});
+  return Reqs;
+}
+
+std::string keyOf(const ServiceRequest &R) {
+  return R.Family + "|" + R.Op1 + "," + R.Op2 + "|" +
+         std::string(serviceKindName(R.Kind));
+}
+
+TEST(ServiceTest, SubmitValidatesFamilyAndPair) {
+  ExprFactory F;
+  Catalog C(F);
+  ServiceConfig Cfg;
+  VerifyService Svc(C, families({"Accumulator"}), Cfg);
+
+  std::string Error;
+  EXPECT_FALSE(Svc.submit({"Set", "add", "add", ConditionKind::Before},
+                          Error));
+  EXPECT_NE(Error.find("not served"), std::string::npos) << Error;
+  EXPECT_FALSE(Svc.submit(
+      {"Accumulator", "increase", "nonesuch", ConditionKind::Before},
+      Error));
+  EXPECT_NE(Error.find("no catalog entry"), std::string::npos) << Error;
+  EXPECT_TRUE(Svc.submit(
+      {"Accumulator", "increase", "read", ConditionKind::After}, Error));
+  EXPECT_EQ(Svc.pending(), 1u);
+}
+
+TEST(ServiceTest, BatchingGroupsSamePairRequests) {
+  ExprFactory F;
+  Catalog C(F);
+  ServiceConfig Cfg;
+  VerifyService Svc(C, families({"Accumulator"}), Cfg);
+
+  // Three kinds of one pair, interleaved with another pair: batching must
+  // serve them as two pair groups, not five scope opens.
+  std::string Error;
+  for (ConditionKind K : {ConditionKind::Before, ConditionKind::Between,
+                          ConditionKind::After})
+    ASSERT_TRUE(Svc.submit({"Accumulator", "increase", "increase", K},
+                           Error))
+        << Error;
+  for (ConditionKind K : {ConditionKind::Before, ConditionKind::After})
+    ASSERT_TRUE(
+        Svc.submit({"Accumulator", "increase", "read", K}, Error))
+        << Error;
+
+  std::vector<ServiceVerdict> Verdicts = Svc.drain();
+  ASSERT_EQ(Verdicts.size(), 5u);
+  for (const ServiceVerdict &V : Verdicts)
+    EXPECT_TRUE(V.verified()) << keyOf(V.Req);
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Drains, 1u);
+  EXPECT_EQ(S.PairGroups, 2u);
+  EXPECT_EQ(S.BatchedReuses, 3u);
+  EXPECT_EQ(S.MethodsDischarged, 10u);
+  EXPECT_TRUE(Svc.session().solver().reasonInvariantHolds());
+}
+
+// The tentpole property: a compacting, selector-releasing, batched
+// service and a no-compaction FIFO reference reach identical verdicts on
+// a randomized request stream with randomized drain points — and the
+// compacting session's solver invariants hold after every drain.
+TEST(ServiceTest, FuzzCompactionMatchesReference) {
+  ExprFactory F;
+  Catalog C(F);
+  std::vector<const Family *> Fams = families({"Accumulator", "Set"});
+
+  ServiceConfig Compacting;
+  Compacting.CompactMinDead = 8; // Force frequent compaction passes.
+  VerifyService Svc(C, Fams, Compacting);
+
+  ServiceConfig Reference;
+  Reference.Batch = false;
+  Reference.CompactBridges = false;
+  Reference.ReleaseSelectors = false;
+  VerifyService Ref(C, Fams, Reference);
+
+  std::vector<ServiceRequest> Universe = allRequests(C, Fams);
+  std::mt19937 Rng(20110604);
+  std::uniform_int_distribution<size_t> Pick(0, Universe.size() - 1);
+  std::uniform_int_distribution<int> DrainNow(0, 6);
+
+  std::map<std::string, std::pair<bool, bool>> Served;
+  std::string Error;
+  for (int R = 0; R != 60; ++R) {
+    const ServiceRequest &Req = Universe[Pick(Rng)];
+    ASSERT_TRUE(Svc.submit(Req, Error)) << Error;
+    ASSERT_TRUE(Ref.submit(Req, Error)) << Error;
+    if (DrainNow(Rng) == 0 || R == 59) {
+      std::vector<ServiceVerdict> A = Svc.drain();
+      std::vector<ServiceVerdict> B = Ref.drain();
+      ASSERT_TRUE(Svc.session().solver().reasonInvariantHolds())
+          << "after drain at request " << R;
+      ASSERT_EQ(A.size(), B.size());
+      // Batched order differs from FIFO order; compare as verdict maps.
+      std::map<std::string, std::pair<bool, bool>> MA, MB;
+      for (const ServiceVerdict &V : A)
+        MA[keyOf(V.Req)] = {V.Sound, V.Complete};
+      for (const ServiceVerdict &V : B)
+        MB[keyOf(V.Req)] = {V.Sound, V.Complete};
+      ASSERT_EQ(MA, MB) << "verdict divergence at request " << R;
+      for (const auto &KV : MA)
+        Served.insert(KV);
+    }
+  }
+
+  // Repeated requests must be stable across re-open epochs too.
+  for (const auto &KV : Served) {
+    EXPECT_TRUE(KV.second.first && KV.second.second)
+        << KV.first << " failed verification";
+  }
+  // The stream retires enough scopes to exercise both growth killers.
+  ServiceStats S = Svc.stats();
+  EXPECT_GT(S.Session.BridgeCompactions, 0u);
+  EXPECT_GT(S.Session.ReleasedSelectors, 0u);
+}
+
+// Three full catalog passes through one warm compacting session: the
+// per-pass live-vars / live-clauses / live-bridges peaks must plateau
+// (pass 3 within 5% of pass 2), while a no-compaction session's trail
+// and atom universe would keep growing.
+TEST(ServiceTest, LivePeaksPlateauAcrossPasses) {
+  ExprFactory F;
+  Catalog C(F);
+  std::vector<const Family *> Fams = families({"Accumulator", "Set"});
+
+  ServiceConfig Cfg;
+  Cfg.CompactMinDead = 8;
+  VerifyService Svc(C, Fams, Cfg);
+  std::vector<ServiceRequest> Pass = allRequests(C, Fams);
+
+  struct Peaks {
+    uint64_t Vars, Clauses, Bridges;
+  };
+  std::vector<Peaks> PassPeaks;
+  std::string Error;
+  for (int P = 0; P != 3; ++P) {
+    Svc.resetPeakStats();
+    for (const ServiceRequest &R : Pass)
+      ASSERT_TRUE(Svc.submit(R, Error)) << Error;
+    for (const ServiceVerdict &V : Svc.drain())
+      EXPECT_TRUE(V.verified()) << keyOf(V.Req);
+    ASSERT_TRUE(Svc.session().solver().reasonInvariantHolds());
+    ServiceStats S = Svc.stats();
+    PassPeaks.push_back({S.Session.PeakLiveVars, S.Session.PeakLiveClauses,
+                         S.Session.PeakLiveBridges});
+  }
+
+  EXPECT_LE(static_cast<double>(PassPeaks[2].Vars),
+            1.05 * static_cast<double>(PassPeaks[1].Vars));
+  EXPECT_LE(static_cast<double>(PassPeaks[2].Clauses),
+            1.05 * static_cast<double>(PassPeaks[1].Clauses));
+  EXPECT_LE(static_cast<double>(PassPeaks[2].Bridges),
+            1.05 * static_cast<double>(PassPeaks[1].Bridges));
+
+  ServiceStats S = Svc.stats();
+  EXPECT_GT(S.Session.BridgeCompactions, 0u);
+  EXPECT_GT(S.Session.ReleasedSelectors, 0u);
+  EXPECT_GT(S.Session.ReleasedAtomVars, 0u);
+}
+
+// A compacting session still certifies: compaction deletes clauses out of
+// the proof trace (Delete/Recycle steps), and the independent checker
+// must accept the full trace including the re-emitted bridge Inputs.
+TEST(ServiceTest, CompactingSessionCertifies) {
+  ExprFactory F;
+  Catalog C(F);
+  std::vector<const Family *> Fams = families({"Accumulator"});
+
+  ServiceConfig Cfg;
+  Cfg.Certify = true;
+  Cfg.CompactMinDead = 4;
+  VerifyService Svc(C, Fams, Cfg);
+
+  std::vector<ServiceRequest> Pass = allRequests(C, Fams);
+  std::string Error;
+  for (int P = 0; P != 2; ++P) {
+    for (const ServiceRequest &R : Pass)
+      ASSERT_TRUE(Svc.submit(R, Error)) << Error;
+    for (const ServiceVerdict &V : Svc.drain())
+      EXPECT_TRUE(V.verified()) << keyOf(V.Req);
+  }
+
+  ASSERT_TRUE(Svc.certifying());
+  const proof::CertifySummary &Cert = Svc.finishCertification();
+  EXPECT_TRUE(Cert.Checked);
+  EXPECT_TRUE(Cert.Ok) << Cert.Error;
+  EXPECT_GT(Cert.Queries, 0u);
+  EXPECT_EQ(Cert.Queries, Cert.QueriesPassed);
+}
+
+TEST(ServiceTest, SnapshotRoundTripsAndResumesServing) {
+  ExprFactory F;
+  Catalog C(F);
+  std::vector<const Family *> Fams = families({"Accumulator"});
+  ServiceConfig Cfg;
+
+  VerifyService Svc(C, Fams, Cfg);
+  std::vector<ServiceRequest> Pass = allRequests(C, Fams);
+  std::string Error;
+  for (const ServiceRequest &R : Pass)
+    ASSERT_TRUE(Svc.submit(R, Error)) << Error;
+  Svc.drain();
+  json::Value Image = Svc.snapshot();
+
+  // The image round-trips through its textual form.
+  std::optional<json::Value> Parsed = json::Value::parse(Image.dump(2));
+  ASSERT_TRUE(Parsed.has_value());
+
+  VerifyService Fresh(C, Fams, Cfg);
+  ASSERT_TRUE(Fresh.restore(*Parsed, Error)) << Error;
+  ASSERT_EQ(Fresh.log().size(), Svc.log().size());
+  for (size_t I = 0; I != Fresh.log().size(); ++I) {
+    EXPECT_EQ(keyOf(Fresh.log()[I].Req), keyOf(Svc.log()[I].Req));
+    EXPECT_EQ(Fresh.log()[I].Sound, Svc.log()[I].Sound);
+    EXPECT_EQ(Fresh.log()[I].Complete, Svc.log()[I].Complete);
+  }
+  EXPECT_EQ(Fresh.stats().Requests, Svc.stats().Requests);
+  EXPECT_EQ(Fresh.stats().Drains, Svc.stats().Drains);
+
+  // The restored service re-warms and keeps serving with the same
+  // verdicts the original produced.
+  ASSERT_TRUE(Fresh.submit(Pass.front(), Error)) << Error;
+  std::vector<ServiceVerdict> More = Fresh.drain();
+  ASSERT_EQ(More.size(), 1u);
+  EXPECT_TRUE(More.front().verified());
+
+  // Restoring into a service that has already served is rejected.
+  EXPECT_FALSE(Fresh.restore(*Parsed, Error));
+  // A mismatched family set is rejected.
+  VerifyService Other(C, families({"Set"}), Cfg);
+  EXPECT_FALSE(Other.restore(*Parsed, Error));
+  EXPECT_NE(Error.find("family set"), std::string::npos) << Error;
+}
+
+} // namespace

@@ -325,6 +325,7 @@ void runCatalogGroup(const Catalog &C, const DriverOptions &Opts,
                      Opts.SymbolicConflictBudget, SolveMode::SharedCatalog);
   Sym.setClauseGcBudget(Opts.GcBudget);
   Sym.setCertify(Opts.Certify);
+  Sym.setBridgeCompaction(Opts.CompactBridges);
   std::vector<const Family *> Fams;
   for (size_t GI : CG.FamGroupIdx)
     Fams.push_back(FamGroups[GI].Fam);
@@ -357,6 +358,10 @@ void runCatalogGroup(const Catalog &C, const DriverOptions &Opts,
   Stats.PeakLiveClauses = CO.Stats.PeakLiveClauses;
   Stats.VarRequests = CO.Stats.VarRequests;
   Stats.PeakRetainedClauses = CO.Stats.PeakRetainedClauses;
+  Stats.BridgeCompactions = CO.Stats.BridgeCompactions;
+  Stats.ReleasedAtomVars = CO.Stats.ReleasedAtomVars;
+  Stats.ReleasedSelectors = CO.Stats.ReleasedSelectors;
+  Stats.PeakLiveBridges = CO.Stats.PeakLiveBridges;
   Stats.Selectors = CO.Selectors;
   Stats.Millis = Timer.millis();
 }
@@ -688,6 +693,14 @@ json::Value Report::toJson() const {
       V.set("peak_retained_clauses",
             json::Value::integer(
                 static_cast<int64_t>(S.PeakRetainedClauses)));
+      V.set("bridge_compactions",
+            json::Value::integer(static_cast<int64_t>(S.BridgeCompactions)));
+      V.set("released_atom_vars",
+            json::Value::integer(static_cast<int64_t>(S.ReleasedAtomVars)));
+      V.set("released_selectors",
+            json::Value::integer(static_cast<int64_t>(S.ReleasedSelectors)));
+      V.set("peak_live_bridges",
+            json::Value::integer(static_cast<int64_t>(S.PeakLiveBridges)));
       V.set("selectors", json::Value::integer(S.Selectors));
       V.set("ms", json::Value::number(S.Millis));
       CatArr.push(std::move(V));
@@ -874,6 +887,16 @@ std::optional<Report> Report::fromJson(const json::Value &V) {
       S.VarRequests = static_cast<uint64_t>(P["var_requests"].asInt());
       S.PeakRetainedClauses =
           static_cast<uint64_t>(P["peak_retained_clauses"].asInt());
+      // Bridge-compaction counters arrived with --compact-bridges; older
+      // reports simply lack them.
+      if (const json::Value *BC = P.find("bridge_compactions"))
+        S.BridgeCompactions = static_cast<uint64_t>(BC->asInt());
+      if (const json::Value *RA = P.find("released_atom_vars"))
+        S.ReleasedAtomVars = static_cast<uint64_t>(RA->asInt());
+      if (const json::Value *RS = P.find("released_selectors"))
+        S.ReleasedSelectors = static_cast<uint64_t>(RS->asInt());
+      if (const json::Value *PB = P.find("peak_live_bridges"))
+        S.PeakLiveBridges = static_cast<uint64_t>(PB->asInt());
       S.Selectors = static_cast<unsigned>(P["selectors"].asInt());
       S.Millis = P["ms"].asDouble();
       R.CatalogSessions.push_back(std::move(S));

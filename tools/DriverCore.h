@@ -80,6 +80,13 @@ struct DriverOptions {
   /// proof_queries / proof_clauses / proof_checked. Symbolic engine only
   /// (the CLI rejects --certify with --engine exhaustive).
   bool Certify = false;
+  /// Bridge compaction (--compact-bridges): shared-catalog sessions
+  /// reference-count theory atoms by live scopes and compact bridge
+  /// clauses (and their Tseitin variables) out of the clause database
+  /// once every owning scope retires. Symbolic shared-catalog runs only
+  /// (the CLI rejects it elsewhere); the long-lived path is
+  /// semcommute-serve, where compaction defaults on.
+  bool CompactBridges = false;
 };
 
 /// One verification job and (after running) its outcome. Category is
@@ -216,6 +223,13 @@ struct CatalogStats {
   uint64_t PeakLiveClauses = 0;
   uint64_t VarRequests = 0;
   uint64_t PeakRetainedClauses = 0;
+  /// Bridge compaction: compaction passes run, theory-atom and selector
+  /// variables released to the recycler, and the live-bridge high-water
+  /// mark (all zero unless --compact-bridges).
+  uint64_t BridgeCompactions = 0;
+  uint64_t ReleasedAtomVars = 0;
+  uint64_t ReleasedSelectors = 0;
+  uint64_t PeakLiveBridges = 0;
   unsigned Selectors = 0; ///< Family + pair + method selectors.
   double Millis = 0;
 };

@@ -60,6 +60,13 @@ void printUsage(const char *Argv0) {
       "                    checker replays it in-process; job rows gain\n"
       "                    proof_queries/proof_clauses/proof_checked;\n"
       "                    requires --engine symbolic or both\n"
+      "  --compact-bridges reference-count theory atoms by live scopes and\n"
+      "                    compact bridge clauses out of the clause DB once\n"
+      "                    every owning scope retires (catalog_stats rows\n"
+      "                    gain bridge_compactions/released_atom_vars/\n"
+      "                    released_selectors/peak_live_bridges); requires\n"
+      "                    --engine symbolic or both with --solve-mode\n"
+      "                    shared-catalog\n"
       "  --threads N       worker threads (default: hardware concurrency;\n"
       "                    must be positive)\n"
       "  --no-commute      skip the commutativity-condition catalog\n"
@@ -178,6 +185,8 @@ int main(int argc, char **argv) {
       GcBudgetSet = true;
     } else if (Arg == "--certify") {
       Opts.Certify = true;
+    } else if (Arg == "--compact-bridges") {
+      Opts.CompactBridges = true;
     } else if (Arg == "--threads") {
       const char *Val = needValue("--threads");
       char *End = nullptr;
@@ -231,6 +240,15 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "--certify only applies to the symbolic engine "
                          "(exhaustive jobs have no proof traces); pass "
                          "--engine symbolic or both\n");
+    return 2;
+  }
+  if (Opts.CompactBridges &&
+      (Opts.Engine == EngineKind::Exhaustive ||
+       Opts.SymbolicMode != SolveMode::SharedCatalog)) {
+    std::fprintf(stderr, "--compact-bridges requires --engine symbolic (or "
+                         "both) with --solve-mode shared-catalog: only the "
+                         "whole-catalog session lives long enough for "
+                         "bridge clauses to accumulate\n");
     return 2;
   }
   if (!Opts.Commutativity && !Opts.Inverses) {
