@@ -34,6 +34,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+// With --quick the sweeps trim to a ~5s budget (exhaustive scope <= 4,
+// symbolic bound <= 3, three GC budget points) — what bench/run_all.sh
+// passes unless SEMCOMM_BENCH_FULL=1. Every BENCH_JSON metric name is
+// emitted either way; the full sweep just adds the expensive rows.
+
 #include "commute/ExhaustiveEngine.h"
 #include "commute/ProofHints.h"
 #include "commute/SymbolicEngine.h"
@@ -41,6 +46,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 using namespace semcomm;
 
@@ -163,15 +169,22 @@ SymbolicRun runSharedCatalogSuite(ExprFactory &F, const Catalog &C, int Bound,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+  const int MaxExhaustiveLen = Quick ? 4 : 5;
+  const int MaxSymbolicBound = Quick ? 3 : 4;
+
   ExprFactory F;
   Catalog C(F);
 
   std::printf("Exhaustive engine, full ArrayList method suite by "
-              "scope:\n\n");
+              "scope%s:\n\n", Quick ? " (--quick)" : "");
   std::printf("%8s %10s %12s %10s\n", "maxLen", "methods", "scenarios",
               "time(s)");
-  for (int MaxLen = 2; MaxLen <= 5; ++MaxLen) {
+  for (int MaxLen = 2; MaxLen <= MaxExhaustiveLen; ++MaxLen) {
     Scope Sc;
     Sc.MaxSeqLen = MaxLen;
     ExhaustiveEngine Engine(Sc);
@@ -198,7 +211,7 @@ int main() {
               "bound", "methods", "VCs", "oneshot(s)", "method(s)",
               "pair(s)", "family(s)", "catalog(s)", "pair-gain", "fam-gain",
               "cat-gain");
-  for (int Bound = 2; Bound <= 4; ++Bound) {
+  for (int Bound = 2; Bound <= MaxSymbolicBound; ++Bound) {
     // Untimed warm-up: intern this bound's expressions into the shared
     // factory so no timed leg pays first-time allocation.
     runSharedPairSuite(F, C, Bound);
@@ -285,7 +298,10 @@ int main() {
   std::printf("%10s %10s %12s %14s %12s %12s\n", "budget", "time(s)",
               "conflicts", "peak-retained", "reductions", "reclaimed");
   runSharedFamilySuite(F, C, 3, 0); // Warm-up.
-  for (int64_t Budget : {100LL, 250LL, 500LL, 1000LL, 2000LL, 4000LL}) {
+  std::vector<int64_t> GcBudgets =
+      Quick ? std::vector<int64_t>{100, 500, 4000}
+            : std::vector<int64_t>{100, 250, 500, 1000, 2000, 4000};
+  for (int64_t Budget : GcBudgets) {
     FamilySessionStats FamStats;
     SymbolicRun Run = runSharedFamilySuite(F, C, 3, Budget, &FamStats);
     std::printf("%10lld %10.3f %12lld %14llu %12llu %12llu%s\n",

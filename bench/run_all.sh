@@ -63,9 +63,14 @@ record() { # name seconds status
 # Per-bench extra arguments. perf_speculation's full grid costs ~3 min of
 # wall time; the default aggregation run uses a calibrated 250k-op budget
 # (~17 s) that still exercises every grid cell, and SEMCOMM_BENCH_FULL=1
-# restores the full-resolution grid.
+# restores the full-resolution grid. perf_engine_scaling gets the same
+# treatment: its full sweep (exhaustive scope 5, symbolic bound 4, six GC
+# budget points) costs ~24 s; --quick trims it to ~5 s while emitting
+# every BENCH_JSON metric name.
 bench_args() { # name
   case "$1" in
+    perf_engine_scaling)
+      [ "${SEMCOMM_BENCH_FULL:-0}" = "1" ] || echo "--quick" ;;
     perf_speculation)
       [ "${SEMCOMM_BENCH_FULL:-0}" = "1" ] || echo "--ops 250000" ;;
   esac
@@ -242,6 +247,35 @@ else
     record "$name" 0 missing
   done
   failures=$((failures + 1))
+fi
+
+# Sharded-service snapshots: the same 3-pass full-catalog workload through
+# the sharded front-end (4 shards, prefix image shared, clause exchange
+# on) at 1/2/4/8 drain threads. Their aggregate request rates and warm-up
+# decomposition (prefix import vs encode-from-scratch) join the baseline
+# as sharded_service_stats; serve_batched above is the single-session
+# baseline the scaling ratios are taken against.
+if [ -x "$SERVE_BIN" ]; then
+  for threads in 1 2 4 8; do
+    name="serve_sharded_t$threads"
+    echo "== semcommute-serve ($name)"
+    start=$(now)
+    if "$SERVE_BIN" --families all --passes 3 --shards 4 \
+         --threads "$threads" \
+         --json "$RESULTS_DIR/$name.json" --quiet \
+         > "$RESULTS_DIR/$name.txt" 2>&1
+    then status=ok; else
+      status=failed
+      echo "FAILED  semcommute-serve $name (see $RESULTS_DIR/$name.txt)"
+      failures=$((failures + 1))
+    fi
+    end=$(now)
+    record "$name" "$(awk "BEGIN{printf \"%.3f\", $end - $start}")" "$status"
+  done
+else
+  for threads in 1 2 4 8; do
+    record "serve_sharded_t$threads" 0 missing
+  done
 fi
 
 python3 - "$RESULTS_DIR" "$TIMINGS_TSV" "$BASELINE_JSON" <<'EOF'
@@ -484,8 +518,48 @@ if serve_batched:
         "passes_to_plateau": passes_to_plateau,
     }
 
+# Sharded-service statistics from the serve_sharded_t{1,2,4,8} runs: the
+# warm-up decomposition (what a shard costs to encode the catalog prefix
+# from scratch vs to import shard 0's image), the aggregate request rate
+# at each thread count with its ratio over the single-session serve_batched
+# baseline, and the clause-exchange counters. The host CPU count is
+# recorded because the thread-scaling ratios are meaningless without it
+# (a 1-CPU container pins them at ~1x).
+sharded_service_stats = None
+sharded_runs = {}
+for threads in (1, 2, 4, 8):
+    doc_t = load_serve(f"serve_sharded_t{threads}")
+    if doc_t and doc_t.get("sharded_service"):
+        sharded_runs[threads] = doc_t
+if sharded_runs:
+    base_rps = (serve_batched or {}).get("requests_per_sec")
+    first = next(iter(sharded_runs.values()))["sharded_service"]
+    per_thread = []
+    for threads, doc_t in sorted(sharded_runs.items()):
+        rps = doc_t.get("requests_per_sec")
+        per_thread.append({
+            "threads": threads,
+            "req_per_sec": rps,
+            "speedup_vs_single_x": (round(rps / base_rps, 3)
+                                    if rps and base_rps else None),
+            "exchange": doc_t["sharded_service"].get("exchange"),
+        })
+    sharded_service_stats = {
+        "shards": first.get("shards"),
+        "route": first.get("route"),
+        "cpus": first.get("cpus"),
+        "share_prefix": first.get("share_prefix"),
+        "share_clauses": first.get("share_clauses"),
+        "plan_millis": first.get("plan_millis"),
+        "warmup_scratch_millis": first.get("warmup_scratch_millis"),
+        "warmup_import_millis_avg": first.get("warmup_import_millis_avg"),
+        "warmup_speedup_x": first.get("warmup_speedup_x"),
+        "req_per_sec_single_session": base_rps,
+        "per_thread": per_thread,
+    }
+
 doc = {
-    "schema": 8,
+    "schema": 9,
     "tool": "bench/run_all.sh",
     "benches": benches,
     "inline_metrics": inline_metrics,
@@ -497,6 +571,7 @@ doc = {
     "index_stats": index_stats,
     "speculation_stats": speculation_stats,
     "service_stats": service_stats,
+    "sharded_service_stats": sharded_service_stats,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)

@@ -1318,7 +1318,8 @@ SymbolicEngine::verifyCatalog(const Catalog &C,
                               const std::vector<const Family *> &Fams) {
   CatalogOutcome Out;
   CatalogPlan CP = planCatalog(C, Fams);
-  CatalogSession Sess(F, CP, ConflictBudget, Certify, CompactBridges);
+  CatalogSession Sess(F, CP, ConflictBudget, Certify, CompactBridges,
+                      /*CompactMinDead=*/64, Prefix);
   Sess.configureClauseGc(true, GcBudget);
 
   for (size_t FI = 0; FI != Fams.size(); ++FI) {

@@ -245,6 +245,14 @@ public:
   void setBridgeCompaction(bool B) { CompactBridges = B; }
   bool bridgeCompaction() const { return CompactBridges; }
 
+  /// Attaches a pre-encoded catalog prefix image: verifyCatalog sessions
+  /// load it instead of re-encoding the catalog-common prefix (cross-
+  /// shard prefix sharing). The image must have been exported over the
+  /// same factory, the same catalog plan, and the same bridge-compaction
+  /// flag; it must outlive the engine. nullptr detaches.
+  void setPrefixImage(const PrefixImage *Img) { Prefix = Img; }
+  const PrefixImage *prefixImage() const { return Prefix; }
+
   /// Attaches proof-hint scripts: ArrayList method plans whose method
   /// matches a script gain the script's note/pickWitness lemmas as extra
   /// *labeled* split assumptions, so unsat cores can name the hint
@@ -277,6 +285,7 @@ private:
   bool Certify = false;
   bool CompactBridges = false;
   const std::vector<HintScript> *Hints = nullptr;
+  const PrefixImage *Prefix = nullptr; ///< Not owned; null = encode fresh.
 };
 
 } // namespace semcomm

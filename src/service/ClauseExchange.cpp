@@ -1,0 +1,68 @@
+//===- service/ClauseExchange.cpp - Cross-shard learned-clause pool ----------===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ClauseExchange.h"
+
+#include <cassert>
+
+using namespace semcomm;
+using namespace semcomm::service;
+
+ClauseExchange::ClauseExchange(size_t NumShards,
+                               const ClauseExchangeConfig &Cfg)
+    : Cfg(Cfg), Cursors(NumShards, std::vector<size_t>(NumShards, 0)) {
+  Buckets.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Buckets.push_back(std::make_unique<Bucket>());
+}
+
+void ClauseExchange::publish(size_t Source,
+                             const std::vector<PrefixClause> &Clauses) {
+  assert(Source < Buckets.size() && "publish from an unknown shard");
+  Bucket &B = *Buckets[Source];
+  uint64_t Accepted = 0, Refused = 0;
+  {
+    std::lock_guard<std::mutex> Lock(B.M);
+    for (const PrefixClause &P : Clauses) {
+      if (P.Lits.empty() || P.Lits.size() > Cfg.MaxSize ||
+          P.Glue > Cfg.MaxGlue || B.Clauses.size() >= Cfg.PerShardCap ||
+          !B.Keys.insert(P.Lits).second) {
+        ++Refused;
+        continue;
+      }
+      B.Clauses.push_back(P);
+      ++Accepted;
+    }
+  }
+  Published.fetch_add(Accepted, std::memory_order_relaxed);
+  Dropped.fetch_add(Refused, std::memory_order_relaxed);
+}
+
+std::vector<PrefixClause> ClauseExchange::collectFor(size_t Consumer) {
+  assert(Consumer < Cursors.size() && "collect for an unknown shard");
+  std::vector<PrefixClause> Out;
+  for (size_t Source = 0; Source != Buckets.size(); ++Source) {
+    if (Source == Consumer)
+      continue;
+    Bucket &B = *Buckets[Source];
+    std::lock_guard<std::mutex> Lock(B.M);
+    size_t &Cur = Cursors[Consumer][Source];
+    for (; Cur < B.Clauses.size(); ++Cur)
+      Out.push_back(B.Clauses[Cur]);
+  }
+  Collected.fetch_add(Out.size(), std::memory_order_relaxed);
+  return Out;
+}
+
+ClauseExchangeStats ClauseExchange::stats() const {
+  ClauseExchangeStats S;
+  S.Published = Published.load(std::memory_order_relaxed);
+  S.Dropped = Dropped.load(std::memory_order_relaxed);
+  S.Collected = Collected.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,99 @@
+//===- service/ClauseExchange.h - Cross-shard learned-clause pool -*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock-striped exchange the sharded verification service trades
+/// prefix-level learned clauses through. Every shard owns one append-only
+/// *bucket* guarded by its own mutex (publishes from different shards
+/// never contend — the lock striping), and every consumer keeps a cursor
+/// per bucket, so a collect hands over exactly the clauses published since
+/// the consumer's previous collect.
+///
+/// Determinism: the service publishes at the *end* of a shard's drain and
+/// collects at the *start* of the next drain, sequentially in shard-id
+/// order, behind the drain barrier. A bucket is therefore only ever
+/// appended to by its one owning shard, in an order that is a function of
+/// that shard's own (deterministic) request stream — so the sequence of
+/// clauses a consumer sees is thread-count invariant, and so are the
+/// verdicts and stats of every shard that imports them.
+///
+/// Clauses are PrefixClause (smt/SatSolver.h): literal-sorted encodings
+/// over prefix-owned variables, so the literal vector itself is the dedup
+/// key (the service keeps per-shard seen-sets to stop ping-pong re-export;
+/// the exchange itself dedups within each bucket).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SERVICE_CLAUSEEXCHANGE_H
+#define SEMCOMM_SERVICE_CLAUSEEXCHANGE_H
+
+#include "smt/SatSolver.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace semcomm {
+namespace service {
+
+/// Exchange knobs: what a shard may publish and how much a bucket holds.
+struct ClauseExchangeConfig {
+  size_t MaxSize = 8;      ///< Max literals per shared clause.
+  int MaxGlue = 4;         ///< Max LBD per shared clause.
+  size_t PerShardCap = 256; ///< Bucket capacity; overflow is dropped.
+};
+
+struct ClauseExchangeStats {
+  uint64_t Published = 0; ///< Clauses accepted into buckets.
+  uint64_t Dropped = 0;   ///< Rejected: bucket full or bucket duplicate.
+  uint64_t Collected = 0; ///< Clauses handed to consumers.
+};
+
+/// See file comment. Thread-safety contract: publish() may run from any
+/// worker thread (bucket-striped locking); collectFor() must not race a
+/// publish into the same consumer's unread range — the service guarantees
+/// that by collecting only at drain boundaries, behind the drain barrier.
+class ClauseExchange {
+public:
+  ClauseExchange(size_t NumShards, const ClauseExchangeConfig &Cfg);
+
+  /// Publishes \p Clauses into shard \p Source's bucket. Duplicates
+  /// already in the bucket and clauses past the bucket cap are dropped.
+  void publish(size_t Source, const std::vector<PrefixClause> &Clauses);
+
+  /// Every clause published by shards other than \p Consumer since the
+  /// consumer's last collect, in source-shard-id order then publication
+  /// order.
+  std::vector<PrefixClause> collectFor(size_t Consumer);
+
+  ClauseExchangeStats stats() const;
+  const ClauseExchangeConfig &config() const { return Cfg; }
+  size_t numShards() const { return Buckets.size(); }
+
+private:
+  struct Bucket {
+    std::mutex M;
+    std::vector<PrefixClause> Clauses;       ///< Append-only, capped.
+    std::set<std::vector<int>> Keys;         ///< Dedup within the bucket.
+  };
+
+  ClauseExchangeConfig Cfg;
+  std::vector<std::unique_ptr<Bucket>> Buckets; ///< Indexed by source.
+  std::vector<std::vector<size_t>> Cursors;     ///< [consumer][source].
+  std::atomic<uint64_t> Published{0};
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<uint64_t> Collected{0};
+};
+
+} // namespace service
+} // namespace semcomm
+
+#endif // SEMCOMM_SERVICE_CLAUSEEXCHANGE_H

@@ -1,0 +1,188 @@
+//===- service/ShardedVerifyService.h - Sharded serving front-end -*- C++ -*-===//
+//
+// Part of the SemCommute project: a reproduction of Kim & Rinard,
+// "Verification of Semantic Commutativity Conditions and Inverse Operations
+// on Linked Data Structures" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N warm verification sessions behind one submit/drain front-end. Each
+/// shard is a full VerifyService (warm CatalogSession, prefix-batched
+/// drains, compaction) serving the same catalog; requests are routed to
+/// shards by a stable hash of their family (or family+pair — the default,
+/// which balances the four-family catalog), and a drain runs every shard's
+/// batched drain, on a work-stealing ThreadPool when Threads > 1.
+///
+/// What makes N shards cheaper than N processes:
+///
+///  * One catalog plan. planCatalog runs once; every shard serves from
+///    the shared read-only plan.
+///  * One prefix encoding. Shard 0 asserts the catalog-common prefix +
+///    bridge lattice from scratch and exports it as a PrefixImage; every
+///    other shard *loads* the image (a propositional replay) instead of
+///    re-encoding — the warm-up ratio the bench reports.
+///  * Learned-clause import. After its drain, each shard publishes its
+///    root-level learned clauses over prefix-owned variables (glue/size
+///    capped) into the lock-striped ClauseExchange; at the start of the
+///    next drain each shard adopts the other shards' publications. A
+///    shard validates variable ownership before adoption (indices within
+///    the shared prefix and live), and per-shard seen-sets stop ping-pong
+///    re-export. Disabled under Certify: a foreign clause has no local
+///    proof derivation.
+///
+/// Determinism: routing, per-shard serve order, and the exchange protocol
+/// (publish at drain end, collect at next drain start, both sequenced in
+/// shard-id order around the drain barrier) are all functions of the
+/// request stream alone — never of thread scheduling. drain() returns the
+/// per-shard verdict groups concatenated in shard-id order, so at a fixed
+/// shard count the combined verdict log is byte-identical across thread
+/// counts (ShardedServiceTest pins 1 vs 8 threads), and verdict *values*
+/// equal the single-session VerifyService reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEMCOMM_SERVICE_SHARDEDVERIFYSERVICE_H
+#define SEMCOMM_SERVICE_SHARDEDVERIFYSERVICE_H
+
+#include "service/ClauseExchange.h"
+#include "service/VerifyService.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace semcomm {
+namespace service {
+
+/// How requests map to shards. Family keeps a family's whole traffic on
+/// one shard (maximal prefix locality, but the four-family catalog can
+/// then use at most four shards); Pair hashes family+pair, balancing load
+/// across any shard count — the default.
+enum class RouteBy : uint8_t { Family, Pair };
+
+/// Front-end construction knobs. Base carries the per-shard session
+/// configuration (batching, compaction, certify, budgets).
+struct ShardedServiceConfig {
+  ServiceConfig Base;
+  unsigned Shards = 4;
+  /// Worker threads for drains; 1 runs shards sequentially in shard-id
+  /// order on the caller's thread. Thread count never changes verdicts,
+  /// logs, or per-shard stats — only wall time.
+  unsigned Threads = 1;
+  RouteBy Route = RouteBy::Pair;
+  /// Load shard 0's exported PrefixImage into shards 1..N-1 (off = every
+  /// shard re-encodes the prefix; the warm-up baseline).
+  bool SharePrefix = true;
+  /// Trade learned clauses through the ClauseExchange (forced off under
+  /// Base.Certify).
+  bool ShareClauses = true;
+  ClauseExchangeConfig Exchange;
+};
+
+/// Per-shard accounting beyond the shard's own ServiceStats.
+struct ShardStats {
+  ServiceStats Stats;
+  double WarmupMillis = 0;      ///< Shard construction wall time.
+  bool PrefixImported = false;  ///< Loaded the image (vs encoded).
+  uint64_t ClausesPublished = 0;
+  uint64_t ClausesAdopted = 0;
+};
+
+struct ShardedServiceStats {
+  std::vector<ShardStats> Shards;
+  uint64_t Requests = 0;
+  uint64_t Drains = 0;
+  double ServeMillis = 0;
+  /// Warm-up decomposition: the shared planCatalog pass, shard 0's
+  /// encode-from-scratch construction, and the average import-path
+  /// construction of shards 1..N-1 (0 with one shard). The old
+  /// one-process-per-shard world paid Plan + Scratch per shard; the
+  /// sharded front-end pays Import.
+  double PlanMillis = 0;
+  double WarmupScratchMillis = 0; ///< Plan + shard 0 construction.
+  double WarmupImportMillisAvg = 0;
+  ClauseExchangeStats Exchange;
+};
+
+/// The sharded front-end. Not thread-safe at the interface: one caller
+/// submits and drains; drains fan out internally.
+class ShardedVerifyService {
+public:
+  ShardedVerifyService(const Catalog &C,
+                       const std::vector<const Family *> &Fams,
+                       const ShardedServiceConfig &Cfg);
+
+  /// Routes and queues one request (see VerifyService::submit for the
+  /// rejection cases).
+  bool submit(const ServiceRequest &R, std::string &Error);
+
+  /// Imports pending exchange clauses (shard-id order), drains every
+  /// shard (parallel when Threads > 1), publishes fresh learned clauses,
+  /// and returns the per-shard verdict groups concatenated in shard-id
+  /// order. The combined verdicts are also appended to log().
+  std::vector<ServiceVerdict> drain();
+
+  size_t pending() const;
+  const std::vector<ServiceVerdict> &log() const { return VerdictLog; }
+  const ShardedServiceConfig &config() const { return Cfg; }
+  ShardedServiceStats stats() const;
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+  /// The shard a request routes to (exposed for tests).
+  size_t shardOf(const ServiceRequest &R) const;
+  VerifyService &shard(size_t S) { return *Shards[S]; }
+  /// The shared prefix image (empty when SharePrefix is off or the
+  /// service has a single shard).
+  const PrefixImage &prefixImage() const { return Prefix; }
+
+  /// Pass-boundary hook: restarts every shard's peak counters.
+  void resetPeakStats();
+
+  bool certifying() const { return Cfg.Base.Certify; }
+  /// Folds every shard's certification outcome (each shard's trace is
+  /// checked independently — per-shard --certify).
+  proof::CertifySummary finishCertification();
+
+  /// Serializes the full sharded image: front-end config, the combined
+  /// verdict log, and every shard's own snapshot.
+  json::Value snapshot() const;
+  /// Restores a snapshot() into a freshly constructed front-end. The
+  /// shard count, routing, and every per-shard config must match.
+  bool restore(const json::Value &V, std::string &Error);
+
+private:
+  /// Collect-and-adopt for one shard (start of drain, shard-id order).
+  void importForShard(size_t S);
+  /// Export-and-publish for one shard (end of the shard's drain; runs on
+  /// the drain worker, bucket-striped).
+  void publishFromShard(size_t S);
+
+  const Catalog &C;
+  std::vector<const Family *> Fams;
+  ShardedServiceConfig Cfg;
+  CatalogPlan Plan; ///< Shared, read-only; outlives every shard.
+  PrefixImage Prefix;
+  std::vector<std::unique_ptr<VerifyService>> Shards;
+  std::unique_ptr<ClauseExchange> Exchange; ///< Null unless sharing.
+  std::unique_ptr<ThreadPool> Pool;         ///< Null when Threads <= 1.
+
+  /// Clauses this shard has already published or adopted (ping-pong
+  /// stopper); only the shard's own import/publish steps touch it.
+  std::vector<std::set<std::vector<int>>> SeenKeys;
+  std::vector<uint64_t> Published;
+  std::vector<uint64_t> Adopted;
+  std::vector<double> WarmupMillis;
+
+  std::vector<ServiceVerdict> VerdictLog;
+  uint64_t Drains = 0;
+  double ServeMillis = 0;
+  double PlanMillis = 0;
+};
+
+} // namespace service
+} // namespace semcomm
+
+#endif // SEMCOMM_SERVICE_SHARDEDVERIFYSERVICE_H

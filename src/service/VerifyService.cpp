@@ -43,17 +43,24 @@ bool semcomm::service::parseServiceKind(const std::string &Name,
 
 VerifyService::VerifyService(const Catalog &C,
                              const std::vector<const Family *> &Fams,
-                             const ServiceConfig &Cfg)
+                             const ServiceConfig &Cfg,
+                             const CatalogPlan *SharedPlan,
+                             const PrefixImage *Prefix)
     : C(C), Fams(Fams), Cfg(Cfg),
       Eng(C.factory(), Cfg.SeqLenBound, Cfg.ConflictBudget,
-          SolveMode::SharedCatalog),
-      Plan(Eng.planCatalog(C, Fams)) {
+          SolveMode::SharedCatalog) {
+  if (SharedPlan) {
+    Plan = SharedPlan;
+  } else {
+    OwnedPlan = std::make_unique<CatalogPlan>(Eng.planCatalog(C, Fams));
+    Plan = OwnedPlan.get();
+  }
   for (size_t I = 0; I != Fams.size(); ++I)
     FamIdxByName.emplace(Fams[I]->Name, I);
-  Sess = std::make_unique<CatalogSession>(C.factory(), Plan,
+  Sess = std::make_unique<CatalogSession>(C.factory(), *Plan,
                                           Cfg.ConflictBudget, Cfg.Certify,
                                           Cfg.CompactBridges,
-                                          Cfg.CompactMinDead);
+                                          Cfg.CompactMinDead, Prefix);
   Sess->configureClauseGc(true);
   Sess->session().setSelectorRelease(Cfg.ReleaseSelectors);
 }
@@ -221,6 +228,18 @@ bool VerifyService::restore(const json::Value &V, std::string &Error) {
   const json::Value *Schema = V.find("schema");
   if (!Schema || !Schema->isInt() || Schema->asInt() != 1) {
     Error = "unsupported snapshot schema";
+    return false;
+  }
+  // A snapshot from a differently batched service carries counters
+  // (PairGroups, BatchedReuses) this service's drains could never have
+  // produced — reject instead of silently mixing disciplines.
+  const json::Value *Config = V.find("config");
+  const json::Value *Batch = Config ? Config->find("batch") : nullptr;
+  if (Batch && Batch->isBool() && Batch->asBool() != Cfg.Batch) {
+    Error = std::string("snapshot config field 'batch' is ") +
+            (Batch->asBool() ? "true" : "false") +
+            " but the live service was built with batch=" +
+            (Cfg.Batch ? "true" : "false");
     return false;
   }
   const json::Value *Families = V.find("families");

@@ -109,9 +109,24 @@ public:
   /// \p Fams must be a subset of \p C's families and outlive the service;
   /// the catalog (and its factory) must outlive it too.
   VerifyService(const Catalog &C, const std::vector<const Family *> &Fams,
-                const ServiceConfig &Cfg);
+                const ServiceConfig &Cfg)
+      : VerifyService(C, Fams, Cfg, nullptr, nullptr) {}
+  /// Shard constructor (ShardedVerifyService): a non-null \p SharedPlan
+  /// replaces the per-service planCatalog pass (it must be the plan for
+  /// exactly this \p C / \p Fams and outlive the service), and a non-null
+  /// \p Prefix makes the warm session *load* the pre-encoded catalog
+  /// prefix instead of re-encoding it.
+  VerifyService(const Catalog &C, const std::vector<const Family *> &Fams,
+                const ServiceConfig &Cfg, const CatalogPlan *SharedPlan,
+                const PrefixImage *Prefix);
   VerifyService(const VerifyService &) = delete;
   VerifyService &operator=(const VerifyService &) = delete;
+
+  /// Captures the warm session's catalog-common prefix for sibling shards
+  /// (legal only before the first drain; see SmtSession::exportPrefix).
+  PrefixImage exportPrefix() { return Sess->exportPrefix(); }
+  /// The catalog plan this service serves from (shared across shards).
+  const CatalogPlan &plan() const { return *Plan; }
 
   /// Queues one request. Returns false — with \p Error set — when the
   /// family is not served or the pair has no catalog entry.
@@ -167,7 +182,10 @@ private:
   std::vector<const Family *> Fams;
   ServiceConfig Cfg;
   SymbolicEngine Eng;
-  CatalogPlan Plan; ///< Pairs unmaterialized; must outlive Sess.
+  /// Owned plan for standalone services; null when a shard serves from
+  /// the front-end's shared plan.
+  std::unique_ptr<CatalogPlan> OwnedPlan;
+  const CatalogPlan *Plan; ///< Pairs unmaterialized; must outlive Sess.
   std::unique_ptr<CatalogSession> Sess;
   std::map<std::string, size_t> FamIdxByName;
 

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <type_traits>
 
 using namespace semcomm;
 using detail::IntAtomInfo;
@@ -367,6 +368,181 @@ void SmtSession::enableBridgeCompaction(size_t MinDead) {
   BridgeCompactionEnabled = true;
   BridgeMinDead = MinDead;
   BridgeLayer = Encoder.pushLayer(Tseitin::RootLayer);
+}
+
+// --- Cross-shard prefix sharing ----------------------------------------------
+
+namespace {
+
+/// Stable total order for re-sorting pointer-keyed maps into the image.
+bool printedBefore(ExprRef A, ExprRef B) {
+  return printAbstract(A) < printAbstract(B);
+}
+
+template <typename MapT>
+std::vector<std::pair<ExprRef, int>> sortedByPrint(const MapT &M) {
+  std::vector<std::pair<ExprRef, int>> Out;
+  Out.reserve(M.size());
+  for (const auto &[E, V] : M) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(V)>, Lit>)
+      Out.push_back({E, V.Encoded});
+    else
+      Out.push_back({E, V});
+  }
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return printedBefore(A.first, B.first);
+  });
+  return Out;
+}
+
+} // namespace
+
+PrefixImage SmtSession::exportPrefix() {
+  assert(Checks == 0 && "prefix export after checks began");
+  assert(Scopes.size() == 1 && "prefix export after scopes were opened");
+  assert(Sat.numLearnedClauses() == 0 && "prefix export after search");
+  assert(BridgedObjTerms == ObjTerms.size() &&
+         BridgedMapLookups == MapLookups.size() &&
+         BridgedMemAtoms == MemAtoms.size() &&
+         BridgedIntAtoms == IntAtoms.size() &&
+         "prefix export with unemitted bridges");
+
+  PrefixImage Img;
+  Img.NumVars = Sat.numVars();
+  Sat.exportRootState(Img.Clauses, Img.Units);
+
+  Img.Atoms = sortedByPrint(Encoder.atoms());
+  Img.RootDefs = sortedByPrint(Encoder.layerCache(Tseitin::RootLayer));
+  Img.RootOwned = Encoder.ownedVars(Tseitin::RootLayer);
+  Img.HasBridgeLayer = BridgeCompactionEnabled;
+  if (BridgeCompactionEnabled) {
+    Img.BridgeDefs = sortedByPrint(Encoder.layerCache(BridgeLayer));
+    Img.BridgeOwned = Encoder.ownedVars(BridgeLayer);
+  }
+
+  Img.ObjTerms = ObjTerms;
+  Img.MemAtoms = MemAtoms;
+  for (const auto &[Atom, Info] : IntAtoms)
+    Img.IntAtoms.push_back({Atom, Info.Signature, Info.IsEq, Info.C});
+  Img.BaseAtoms.assign(BaseAtoms.begin(), BaseAtoms.end());
+  std::sort(Img.BaseAtoms.begin(), Img.BaseAtoms.end(), printedBefore);
+  Img.LiveBridges = LiveBridges;
+
+  PrefixVars = Img.NumVars;
+  return Img;
+}
+
+void SmtSession::importPrefix(const PrefixImage &Img) {
+  assert(Checks == 0 && Sat.numVars() == 0 &&
+         "prefix import must be the session's first operation");
+  assert(Scopes.size() == 1 && "prefix import after scopes were opened");
+  assert(BridgeCompactionEnabled == Img.HasBridgeLayer &&
+         "bridge-compaction flag must match the exporting session");
+
+  // Replay the propositional database through the public entry points, so
+  // a certifying importer's trace covers every stored clause. All clauses
+  // land before the first unit: with the root assignment still empty,
+  // nothing is dropped or shortened, and the units then propagate to the
+  // exporting session's root fixpoint.
+  for (int I = 0; I != Img.NumVars; ++I)
+    Sat.addVar();
+  std::vector<Lit> C;
+  for (const std::vector<int> &Enc : Img.Clauses) {
+    C.clear();
+    for (int E : Enc) {
+      Lit L;
+      L.Encoded = E;
+      C.push_back(L);
+    }
+    Sat.addClause(C);
+  }
+  for (int E : Img.Units) {
+    Lit L;
+    L.Encoded = E;
+    Sat.addClause({L});
+  }
+
+  for (const auto &[Atom, Var] : Img.Atoms)
+    Encoder.importAtom(Atom, Var);
+  for (const auto &[E, Def] : Img.RootDefs) {
+    Lit L;
+    L.Encoded = Def;
+    Encoder.importDefinition(Tseitin::RootLayer, E, L);
+  }
+  for (int V : Img.RootOwned)
+    Encoder.importOwnedVar(Tseitin::RootLayer, V);
+  if (Img.HasBridgeLayer) {
+    for (const auto &[E, Def] : Img.BridgeDefs) {
+      Lit L;
+      L.Encoded = Def;
+      Encoder.importDefinition(BridgeLayer, E, L);
+    }
+    for (int V : Img.BridgeOwned)
+      Encoder.importOwnedVar(BridgeLayer, V);
+  }
+
+  ObjTerms = Img.ObjTerms;
+  for (ExprRef T : ObjTerms) {
+    ObjTermSet.insert(T);
+    if (T->kind() == ExprKind::MapGet)
+      MapLookups.push_back(T);
+  }
+  MemAtoms = Img.MemAtoms;
+  MemAtomSet.insert(MemAtoms.begin(), MemAtoms.end());
+  for (const PrefixImage::IntAtomEntry &A : Img.IntAtoms) {
+    IntAtoms.push_back({A.Atom, {A.Signature, A.IsEq, A.C}});
+    IntAtomSeen.insert(A.Atom);
+  }
+  BaseAtoms.insert(Img.BaseAtoms.begin(), Img.BaseAtoms.end());
+
+  BridgedObjTerms = ObjTerms.size();
+  BridgedMapLookups = MapLookups.size();
+  BridgedMemAtoms = MemAtoms.size();
+  BridgedIntAtoms = IntAtoms.size();
+  LiveBridges = Img.LiveBridges;
+  if (LiveBridges > PeakLiveBridges)
+    PeakLiveBridges = LiveBridges;
+
+  // Every prefix entry is root-owned: permanent under compaction, so the
+  // imported variables can never be recycled out from under the exchange.
+  if (BridgeCompactionEnabled) {
+    for (ExprRef T : ObjTerms)
+      EntryOwners[T].insert(RootScope);
+    for (ExprRef M : MemAtoms)
+      EntryOwners[M].insert(RootScope);
+    for (const auto &[Atom, Info] : IntAtoms)
+      EntryOwners[Atom].insert(RootScope);
+  }
+
+  PrefixVars = Img.NumVars;
+}
+
+std::vector<PrefixClause>
+SmtSession::exportLearnedPrefixClauses(size_t MaxSize, int MaxGlue) const {
+  if (PrefixVars == 0)
+    return {};
+  return Sat.exportLearnedClauses(PrefixVars, MaxSize, MaxGlue);
+}
+
+size_t
+SmtSession::importLearnedPrefixClauses(const std::vector<PrefixClause> &In) {
+  assert(!certifying() && "clause import would bypass the proof trace");
+  if (PrefixVars == 0)
+    return 0;
+  size_t Adopted = 0;
+  for (const PrefixClause &P : In) {
+    bool Owned = true;
+    for (int E : P.Lits) {
+      int V = E > 0 ? E : -E;
+      if (V < 1 || V > PrefixVars) {
+        Owned = false;
+        break;
+      }
+    }
+    if (Owned && Sat.importLearnedClause(P))
+      ++Adopted;
+  }
+  return Adopted;
 }
 
 void SmtSession::assertBase(ExprRef E) {

@@ -56,6 +56,7 @@
 
 #include "logic/ExprFactory.h"
 #include "proof/ProofChecker.h"
+#include "smt/PrefixImage.h"
 #include "smt/SatSolver.h"
 #include "smt/SessionAudit.h"
 #include "smt/Tseitin.h"
@@ -208,6 +209,41 @@ public:
     Sat.resetPeakStats();
     PeakLiveBridges = LiveBridges;
   }
+
+  /// --- Cross-shard prefix sharing --------------------------------------
+  ///
+  /// Captures the session's entire root-level state — propositional
+  /// database, Tseitin caches, theory registries, bridge watermarks — as a
+  /// read-only PrefixImage. Preconditions: no checks run and no scopes
+  /// opened yet (the catalog-common prefix has just been asserted, bridges
+  /// included), and nothing learned. The image holds ExprRefs, so it may
+  /// only be imported into sessions sharing this session's ExprFactory;
+  /// its serialize() text is byte-identical across runs for the same
+  /// asserted-formula sequence.
+  PrefixImage exportPrefix();
+  /// Loads \p Img instead of re-encoding the prefix: replays the
+  /// propositional database through addVar()/addClause() (so a certifying
+  /// importer's trace still covers every stored clause), installs the
+  /// Tseitin caches and theory registries, and sets the bridge watermarks
+  /// so no duplicate bridge is ever emitted. Must be the fresh session's
+  /// first operation, after enableCertification()/enableBridgeCompaction()
+  /// — and the compaction flag must match the exporting session's. Under
+  /// compaction every imported registry entry is root-owned: prefix atoms
+  /// are permanent, so their variables are never recycled — the invariant
+  /// the learned-clause exchange's ownership rule rides on.
+  void importPrefix(const PrefixImage &Img);
+  /// Variables covered by the exported/imported prefix (0 when neither
+  /// ran) — the ownership bound for the learned-clause exchange.
+  int prefixVars() const { return PrefixVars; }
+  /// Shareable root-level learned clauses: every variable prefix-owned,
+  /// size/glue-capped (see SatSolver::exportLearnedClauses).
+  std::vector<PrefixClause> exportLearnedPrefixClauses(size_t MaxSize,
+                                                       int MaxGlue) const;
+  /// Adopts foreign learned clauses after validating variable ownership
+  /// (all indices within the shared prefix and live). Returns the number
+  /// adopted. Not legal on a certifying session — a foreign clause has no
+  /// local derivation for the trace.
+  size_t importLearnedPrefixClauses(const std::vector<PrefixClause> &In);
 
   /// --- Certification (proof logging + independent checking) -----------
   ///
@@ -391,6 +427,11 @@ private:
   proof::CertifySummary Cert;
   bool CertFinished = false;
   audit::Log *Audit = nullptr; ///< Optional discipline event log.
+
+  /// Variable count of the exported/imported prefix image (0 = no prefix
+  /// sharing); the first PrefixVars indices are root-owned in every shard
+  /// that loaded the same image.
+  int PrefixVars = 0;
 
   size_t Checks = 0;
   int64_t LastConflicts = 0;

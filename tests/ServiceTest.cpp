@@ -279,4 +279,29 @@ TEST(ServiceTest, SnapshotRoundTripsAndResumesServing) {
   EXPECT_NE(Error.find("family set"), std::string::npos) << Error;
 }
 
+// A snapshot taken under one serving discipline must not restore into a
+// service configured with the other: batched and FIFO logs are ordered
+// differently, so silently accepting the image would corrupt resume
+// semantics. The rejection names the mismatched field.
+TEST(ServiceTest, RestoreRejectsBatchMismatch) {
+  ExprFactory F;
+  Catalog C(F);
+  std::vector<const Family *> Fams = families({"Accumulator"});
+
+  ServiceConfig Batched;
+  VerifyService Svc(C, Fams, Batched);
+  std::vector<ServiceRequest> Pass = allRequests(C, Fams);
+  std::string Error;
+  for (const ServiceRequest &R : Pass)
+    ASSERT_TRUE(Svc.submit(R, Error)) << Error;
+  Svc.drain();
+  json::Value Image = Svc.snapshot();
+
+  ServiceConfig Fifo = Batched;
+  Fifo.Batch = false;
+  VerifyService Other(C, Fams, Fifo);
+  EXPECT_FALSE(Other.restore(Image, Error));
+  EXPECT_NE(Error.find("batch"), std::string::npos) << Error;
+}
+
 } // namespace
